@@ -1,0 +1,77 @@
+package ferret
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ferret/internal/audiofeat"
+)
+
+// synthRecording builds a recording with three utterances separated by
+// long pauses, each utterance two tones separated by a short word gap.
+func synthRecording(rate int) []float64 {
+	rng := rand.New(rand.NewSource(9))
+	tone := func(hz float64, sec float64) []float64 {
+		n := int(sec * float64(rate))
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 0.3 * math.Sin(2*math.Pi*hz*float64(i)/float64(rate))
+		}
+		return out
+	}
+	pause := func(sec float64) []float64 {
+		n := int(sec * float64(rate))
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.NormFloat64() * 0.001
+		}
+		return out
+	}
+	var rec []float64
+	for u := 0; u < 3; u++ {
+		rec = append(rec, tone(300+float64(u)*200, 0.25)...)
+		rec = append(rec, pause(0.06)...)
+		rec = append(rec, tone(900+float64(u)*100, 0.25)...)
+		rec = append(rec, pause(0.4)...) // utterance boundary
+	}
+	return rec
+}
+
+func TestIngestRecording(t *testing.T) {
+	const rate = 16000
+	dir := t.TempDir()
+	wav := filepath.Join(dir, "meeting.wav")
+	if err := audiofeat.WriteWAVFile(wav, synthRecording(rate), rate); err != nil {
+		t.Fatal(err)
+	}
+	sys := openSystem(t, AudioConfig(filepath.Join(dir, "db")), AudioExtractor(rate))
+	ids, err := sys.IngestRecording(wav, rate, Attrs{"speaker": "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("split into %d utterances, want 3", len(ids))
+	}
+	for i, id := range ids {
+		key := sys.KeyOf(id)
+		if !strings.Contains(key, "#u0") {
+			t.Errorf("utterance %d key %q", i, key)
+		}
+		a, ok := sys.AttrsOf(id)
+		if !ok || a["recording"] != wav || a["speaker"] != "synthetic" {
+			t.Errorf("utterance %d attrs %v", i, a)
+		}
+	}
+	// Each ingested utterance should retrieve itself first.
+	results, err := sys.QueryByKey(sys.KeyOf(ids[1]), QueryOptions{Mode: BruteForceOriginal, K: 1})
+	if err != nil || results[0].ID != ids[1] {
+		t.Fatalf("self query: %+v %v", results, err)
+	}
+	// Wrong sample rate is rejected.
+	if _, err := sys.IngestRecording(wav, 8000, nil); err == nil {
+		t.Fatal("rate mismatch accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package ferret
+
+// Benchmark harness regenerating the paper's evaluation (§6). One
+// benchmark per table/figure; each prints the reproduced table (once) and
+// exports its headline numbers as benchmark metrics:
+//
+//	go test -bench Table1 -benchtime 1x
+//	go test -bench . -benchtime 1x        # everything at small scale
+//	go run ./cmd/ferret-bench -scale medium   # bigger, standalone
+//
+// The experiments run at the "small" scale so the full suite finishes in
+// about a minute; cmd/ferret-bench exposes medium and paper scales. See
+// EXPERIMENTS.md for paper-vs-measured values and the expected shape.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"ferret/internal/experiments"
+)
+
+// printOnce gates the table dumps so -benchtime with multiple iterations
+// does not spam the output.
+var printOnce sync.Map
+
+func dumpOnce(name string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		f()
+	}
+}
+
+// BenchmarkTable1 reproduces Table 1: search quality (average precision,
+// first/second tier) and metadata sizes for the VARY image, TIMIT audio and
+// PSB shape benchmarks, Ferret vs the SIMPLIcity-like and SHD baselines.
+func BenchmarkTable1(b *testing.B) {
+	scale := experiments.Small()
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dumpOnce("table1", func() { experiments.FprintTable1(os.Stdout, rows) })
+	for _, r := range rows {
+		if r.Method == "Ferret" {
+			b.ReportMetric(r.AvgPrecision, "avgprec/"+metricName(r.Dataset))
+		}
+	}
+}
+
+// BenchmarkTable2 reproduces Table 2: average search time with sketching
+// and filtering on, for the Mixed image, TIMIT audio and Mixed 3D shape
+// speed datasets.
+func BenchmarkTable2(b *testing.B) {
+	scale := experiments.Small()
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dumpOnce("table2", func() { experiments.FprintTable2(os.Stdout, rows) })
+	for _, r := range rows {
+		b.ReportMetric(r.AvgSearchSec*1000, "ms-per-query/"+metricName(r.Benchmark))
+	}
+}
+
+// BenchmarkFigure7 reproduces Figure 7: average precision as a function of
+// sketch size for each data type, against the original-feature-vector
+// reference, including the low/high knee points discussed in §6.3.2.
+func BenchmarkFigure7(b *testing.B) {
+	scale := experiments.Small()
+	var series []experiments.Fig7Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.Figure7(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dumpOnce("figure7", func() { experiments.FprintFigure7(os.Stdout, series) })
+	for _, s := range series {
+		b.ReportMetric(s.OriginalPrecision, "origprec/"+metricName(s.Dataset))
+	}
+}
+
+// BenchmarkFigure8 reproduces Figure 8: query time versus dataset size for
+// the three search approaches (BruteForceOriginal, BruteForceSketch,
+// Filtering) on the three speed datasets.
+func BenchmarkFigure8(b *testing.B) {
+	scale := experiments.Small()
+	var panels []experiments.Fig8Panel
+	for i := 0; i < b.N; i++ {
+		var err error
+		panels, err = experiments.Figure8(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dumpOnce("figure8", func() { experiments.FprintFigure8(os.Stdout, panels) })
+	// Export the speedup of filtering over brute force at the largest size.
+	for _, p := range panels {
+		var bf, fl float64
+		maxN := 0
+		for _, pt := range p.Points {
+			if pt.N > maxN {
+				maxN = pt.N
+			}
+		}
+		for _, pt := range p.Points {
+			if pt.N != maxN {
+				continue
+			}
+			switch pt.Mode.String() {
+			case "BruteForceOriginal":
+				bf = pt.Seconds
+			case "Filtering":
+				fl = pt.Seconds
+			}
+		}
+		if fl > 0 {
+			b.ReportMetric(bf/fl, "speedup/"+metricName(p.Dataset))
+		}
+	}
+}
+
+// BenchmarkAblations runs the design-choice studies: sketch XOR-fold K,
+// EMD variants, filter parameters, metadata durability policies, and the
+// bit-sampling index extension.
+func BenchmarkAblations(b *testing.B) {
+	scale := experiments.Small()
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Ablations(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dumpOnce("ablations", func() { experiments.FprintAblations(os.Stdout, rows) })
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ':
+			out = append(out, '-')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,105 @@
+// Command ferret-bench regenerates the paper's evaluation tables and
+// figures (§6) against the synthetic benchmark datasets:
+//
+//	ferret-bench -exp table1            # search quality + metadata sizes
+//	ferret-bench -exp table2            # search speed (sketch + filter on)
+//	ferret-bench -exp figure7           # avg precision vs sketch size
+//	ferret-bench -exp figure8           # query time vs dataset size
+//	ferret-bench -exp all -scale medium
+//
+// Scales: small (seconds), medium (minutes, default), paper (approaches
+// the paper's dataset sizes; slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ferret/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure7, figure8, ablations or all")
+	scaleName := flag.String("scale", "medium", "dataset scale: small, medium or paper")
+	flag.Parse()
+
+	scale, ok := experiments.ByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ferret-bench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s (scale %s) ===\n", name, scale.Name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "ferret-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+	if want("table1") {
+		ran = true
+		run("Table 1: search quality", func() error {
+			rows, err := experiments.Table1(scale)
+			if err != nil {
+				return err
+			}
+			experiments.FprintTable1(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("table2") {
+		ran = true
+		run("Table 2: search speed", func() error {
+			rows, err := experiments.Table2(scale)
+			if err != nil {
+				return err
+			}
+			experiments.FprintTable2(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("figure7") {
+		ran = true
+		run("Figure 7: precision vs sketch size", func() error {
+			series, err := experiments.Figure7(scale)
+			if err != nil {
+				return err
+			}
+			experiments.FprintFigure7(os.Stdout, series)
+			return nil
+		})
+	}
+	if want("figure8") {
+		ran = true
+		run("Figure 8: query time vs dataset size", func() error {
+			panels, err := experiments.Figure8(scale)
+			if err != nil {
+				return err
+			}
+			experiments.FprintFigure8(os.Stdout, panels)
+			return nil
+		})
+	}
+	if want("ablations") {
+		ran = true
+		run("Ablations: design-choice studies", func() error {
+			rows, err := experiments.Ablations(scale)
+			if err != nil {
+				return err
+			}
+			experiments.FprintAblations(os.Stdout, rows)
+			return nil
+		})
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ferret-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

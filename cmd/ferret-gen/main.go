@@ -1,0 +1,91 @@
+// Command ferret-gen materializes the synthetic benchmark datasets as real
+// files — PNG images, WAV recordings, OFF models or a TSV expression
+// matrix — together with the ground-truth benchmark file the performance
+// evaluation tool consumes. It exists because the paper's datasets (VARY,
+// TIMIT, PSB) are proprietary or unavailable; see DESIGN.md for the
+// substitution rationale.
+//
+//	ferret-gen -type vary  -out ./data -sets 8 -members 5 -extra 100
+//	ferret-gen -type timit -out ./data -sets 10 -members 7 -extra 30
+//	ferret-gen -type psb   -out ./data -sets 6 -members 5
+//	ferret-gen -type genes -out ./data -sets 6 -members 8 -extra 60
+//
+// The benchmark file is written to <out>/<type>.bench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ferret/internal/evaltool"
+	"ferret/internal/synth"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "./data", "output directory")
+		dtype   = flag.String("type", "vary", "dataset: vary, timit, psb, genes or sensors")
+		sets    = flag.Int("sets", 0, "number of similarity sets (0 = generator default)")
+		members = flag.Int("members", 0, "members per set (0 = default)")
+		extra   = flag.Int("extra", 0, "distractor objects (0 = default, -1 = none)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("ferret-gen: %v", err)
+	}
+
+	var (
+		setsOut [][]string
+		err     error
+	)
+	switch *dtype {
+	case "vary":
+		setsOut, err = synth.WriteVARYFiles(*out, synth.VARYOptions{
+			Sets: *sets, SetSize: *members, Distractors: *extra, Seed: *seed,
+		})
+	case "timit":
+		setsOut, err = synth.WriteTIMITFiles(*out, synth.TIMITOptions{
+			Sets: *sets, Speakers: *members, Distractors: *extra, Seed: *seed,
+		})
+	case "psb":
+		setsOut, err = synth.WritePSBFiles(*out, synth.PSBOptions{
+			Classes: *sets, PerClass: *members, Seed: *seed,
+		})
+	case "genes":
+		setsOut, err = synth.WriteMicroarrayFile(filepath.Join(*out, "expression.tsv"), synth.MicroarrayOptions{
+			Clusters: *sets, PerCluster: *members, Distractors: *extra, Seed: *seed,
+		})
+	case "sensors":
+		setsOut, err = synth.WriteSensorFiles(*out, synth.SensorOptions{
+			Sets: *sets, SetSize: *members, Distractors: *extra, Seed: *seed,
+		})
+	default:
+		log.Fatalf("ferret-gen: unknown dataset type %q", *dtype)
+	}
+	if err != nil {
+		log.Fatalf("ferret-gen: generating %s: %v", *dtype, err)
+	}
+
+	benchPath := filepath.Join(*out, *dtype+".bench")
+	f, err := os.Create(benchPath)
+	if err != nil {
+		log.Fatalf("ferret-gen: %v", err)
+	}
+	if err := evaltool.WriteBenchmark(f, setsOut); err != nil {
+		log.Fatalf("ferret-gen: writing benchmark: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("ferret-gen: %v", err)
+	}
+	total := 0
+	for _, s := range setsOut {
+		total += len(s)
+	}
+	fmt.Printf("generated %d similarity sets (%d members) under %s\nbenchmark file: %s\n",
+		len(setsOut), total, *out, benchPath)
+}

@@ -1,0 +1,224 @@
+// Command ferret-query is the command-line client for a running ferretd
+// (paper §4.1.4): it issues queries with adjustable parameters so scripts
+// and users can experiment without restarting the server.
+//
+//	ferret-query -addr 127.0.0.1:7070 ping
+//	ferret-query count
+//	ferret-query query -key vary/set00/img00.png -k 10 -mode filtering
+//	ferret-query queryfile -path ./new.png -k 5
+//	ferret-query search -keywords dog,beach
+//	ferret-query info -key vary/set00/img00.png
+//	ferret-query add -path ./new.png -attr note="a new dog"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ferret/internal/evaltool"
+	"ferret/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "ferretd protocol address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	client, err := protocol.Dial(*addr)
+	if err != nil {
+		fatal("connecting to %s: %v", *addr, err)
+	}
+	defer client.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ping":
+		if err := client.Ping(); err != nil {
+			fatal("ping: %v", err)
+		}
+		fmt.Println("pong")
+
+	case "count":
+		n, err := client.Count()
+		if err != nil {
+			fatal("count: %v", err)
+		}
+		fmt.Println(n)
+
+	case "query", "queryfile":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		key := fs.String("key", "", "object key (query)")
+		path := fs.String("path", "", "data file (queryfile)")
+		k := fs.Int("k", 10, "number of results")
+		mode := fs.String("mode", "filtering", "filtering, bruteforce or sketch")
+		keywords := fs.String("keywords", "", "comma-separated keyword restriction")
+		attrFlags := attrValues{}
+		fs.Var(&attrFlags, "attr", "attribute restriction name=value (repeatable)")
+		fs.Parse(rest)
+		params := protocol.QueryParams{K: *k, Mode: *mode, Attrs: attrFlags.m}
+		if *keywords != "" {
+			params.Keywords = strings.Split(*keywords, ",")
+		}
+		var results []protocol.Result
+		var err error
+		if cmd == "query" {
+			if *key == "" {
+				fatal("query requires -key")
+			}
+			results, err = client.Query(*key, params)
+		} else {
+			if *path == "" {
+				fatal("queryfile requires -path")
+			}
+			results, err = client.QueryFile(*path, params)
+		}
+		if err != nil {
+			fatal("%s: %v", cmd, err)
+		}
+		printResults(results, true)
+
+	case "search":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		keywords := fs.String("keywords", "", "comma-separated keywords (AND)")
+		attrFlags := attrValues{}
+		fs.Var(&attrFlags, "attr", "attribute equality name=value (repeatable)")
+		fs.Parse(rest)
+		var kw []string
+		if *keywords != "" {
+			kw = strings.Split(*keywords, ",")
+		}
+		results, err := client.Search(kw, attrFlags.m)
+		if err != nil {
+			fatal("search: %v", err)
+		}
+		printResults(results, false)
+
+	case "eval":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		benchFile := fs.String("bench", "", "benchmark file of similarity sets")
+		mode := fs.String("mode", "filtering", "search mode")
+		k := fs.Int("k", 0, "results per query (0 = auto from set sizes)")
+		fs.Parse(rest)
+		if *benchFile == "" {
+			fatal("eval requires -bench")
+		}
+		f, err := os.Open(*benchFile)
+		if err != nil {
+			fatal("eval: %v", err)
+		}
+		sets, err := evaltool.ParseBenchmark(f)
+		f.Close()
+		if err != nil {
+			fatal("eval: %v", err)
+		}
+		runner := &evaltool.RemoteRunner{
+			Client: client,
+			Params: protocol.QueryParams{Mode: *mode, K: *k},
+		}
+		rep, err := runner.Run(sets)
+		if err != nil {
+			fatal("eval: %v", err)
+		}
+		fmt.Println(rep)
+		fmt.Printf("latency: p50=%v p95=%v\n", rep.P50QueryTime, rep.P95QueryTime)
+
+	case "stats":
+		pairs, err := client.Stats()
+		if err != nil {
+			fatal("stats: %v", err)
+		}
+		for k, v := range pairs {
+			fmt.Printf("%s=%s\n", k, v)
+		}
+
+	case "delete":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		key := fs.String("key", "", "object key")
+		fs.Parse(rest)
+		if *key == "" {
+			fatal("delete requires -key")
+		}
+		if err := client.Delete(*key); err != nil {
+			fatal("delete: %v", err)
+		}
+		fmt.Println("deleted")
+
+	case "info":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		key := fs.String("key", "", "object key")
+		fs.Parse(rest)
+		if *key == "" {
+			fatal("info requires -key")
+		}
+		pairs, err := client.Info(*key)
+		if err != nil {
+			fatal("info: %v", err)
+		}
+		for k, v := range pairs {
+			fmt.Printf("%s=%s\n", k, v)
+		}
+
+	case "add":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		path := fs.String("path", "", "data file to ingest")
+		attrFlags := attrValues{}
+		fs.Var(&attrFlags, "attr", "attribute name=value (repeatable)")
+		fs.Parse(rest)
+		if *path == "" {
+			fatal("add requires -path")
+		}
+		if err := client.AddFile(*path, attrFlags.m); err != nil {
+			fatal("add: %v", err)
+		}
+		fmt.Println("added")
+
+	default:
+		usage()
+	}
+}
+
+// attrValues collects repeatable -attr name=value flags.
+type attrValues struct{ m map[string]string }
+
+func (a *attrValues) String() string { return fmt.Sprint(a.m) }
+
+func (a *attrValues) Set(v string) error {
+	eq := strings.IndexByte(v, '=')
+	if eq <= 0 {
+		return fmt.Errorf("attribute must be name=value, got %q", v)
+	}
+	if a.m == nil {
+		a.m = map[string]string{}
+	}
+	a.m[v[:eq]] = v[eq+1:]
+	return nil
+}
+
+func printResults(results []protocol.Result, withDistance bool) {
+	for i, r := range results {
+		if withDistance {
+			fmt.Printf("%3d  %-50s %.4f\n", i+1, r.Key, r.Distance)
+		} else {
+			fmt.Printf("%3d  %s\n", i+1, r.Key)
+		}
+	}
+	if len(results) == 0 {
+		fmt.Println("(no results)")
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ferret-query: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ferret-query [-addr host:port] <command> [flags]
+commands: ping, count, query, queryfile, search, info, add, delete, stats, eval`)
+	os.Exit(2)
+}

@@ -1,0 +1,39 @@
+// Command ferret-web runs the Ferret web interface as a stand-alone
+// process connected to a running ferretd through the command-line query
+// protocol — the paper's deployment shape (§4.3), where the web server and
+// the search server are separate programs.
+//
+//	ferret-web -addr :8080 -server 127.0.0.1:7070 -title "Image search"
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"ferret/internal/protocol"
+	"ferret/internal/webui"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		server = flag.String("server", "127.0.0.1:7070", "ferretd protocol address")
+		title  = flag.String("title", "Ferret similarity search", "page title")
+	)
+	flag.Parse()
+
+	client, err := protocol.Dial(*server)
+	if err != nil {
+		log.Fatalf("ferret-web: connecting to %s: %v", *server, err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		log.Fatalf("ferret-web: ping %s: %v", *server, err)
+	}
+
+	log.Printf("serving web interface on http://%s/ (backend %s)", *addr, *server)
+	if err := http.ListenAndServe(*addr, webui.Handler(client, *title, nil)); err != nil {
+		log.Fatalf("ferret-web: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+// Command ferretd runs a Ferret similarity search server: the core
+// components and the selected data-type plug-in linked into one concurrent
+// program (paper §3), serving the command-line query protocol over TCP and,
+// optionally, the web interface and the directory-scan data acquisition
+// loop.
+//
+//	ferretd -dir /var/lib/ferret -type image -addr :7070 -web :8080 -scan ./incoming
+//
+// Data types: image (.png/.ppm), audio (.wav mono 16-bit PCM), shape
+// (.off), genomic (-matrix expression.tsv, ingested at startup).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ferret"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "./ferret-db", "metadata directory")
+		dtype    = flag.String("type", "image", "data type: image, audio, shape or genomic")
+		addr     = flag.String("addr", "127.0.0.1:7070", "protocol listen address")
+		webAddr  = flag.String("web", "", "web interface listen address (empty = disabled)")
+		scanDir  = flag.String("scan", "", "data acquisition directory (empty = disabled)")
+		scanIntv = flag.Duration("scan-interval", 10*time.Second, "acquisition scan interval")
+		rate     = flag.Int("rate", 16000, "audio sample rate (type=audio)")
+		matrix   = flag.String("matrix", "", "microarray TSV to ingest at startup (type=genomic)")
+		distance = flag.String("distance", "pearson", "genomic distance: pearson, spearman or l1")
+		relaxed  = flag.Bool("relaxed-durability", false, "periodic fsync instead of per-commit (paper §4.1.3)")
+	)
+	flag.Parse()
+
+	cfg, extractor, exts, m, err := buildSystem(*dtype, *dir, *rate, *matrix, *distance)
+	if err != nil {
+		log.Fatalf("ferretd: %v", err)
+	}
+	if *relaxed {
+		cfg = ferret.RelaxedDurability(cfg)
+	}
+	sys, err := ferret.Open(cfg, extractor)
+	if err != nil {
+		log.Fatalf("ferretd: opening system: %v", err)
+	}
+	defer sys.Close()
+
+	if m != nil {
+		added, err := ingestMatrixOnce(sys, m)
+		if err != nil {
+			log.Fatalf("ferretd: ingesting matrix: %v", err)
+		}
+		if added > 0 {
+			log.Printf("ingested %d genes from %s", added, *matrix)
+		}
+	}
+	log.Printf("database %s holds %d objects", *dir, sys.Count())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *scanDir != "" {
+		sc := sys.NewScanner(*scanDir, exts)
+		sc.Interval = *scanIntv
+		sc.OnError = func(path string, err error) { log.Printf("acquire %s: %v", path, err) }
+		ch := sc.Run(ctx)
+		go func() {
+			for added := range ch {
+				if added > 0 {
+					log.Printf("acquired %d new objects from %s", added, *scanDir)
+				}
+			}
+		}()
+		log.Printf("scanning %s every %v", *scanDir, *scanIntv)
+	}
+
+	if *webAddr != "" {
+		go func() {
+			log.Printf("web interface on http://%s/", *webAddr)
+			handler := webHandler(sys, *dtype, *scanDir)
+			srv := &http.Server{Addr: *webAddr, Handler: handler}
+			go func() {
+				<-ctx.Done()
+				srv.Close()
+			}()
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("web: %v", err)
+			}
+		}()
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ferretd: listen: %v", err)
+	}
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	log.Printf("serving query protocol on %s", *addr)
+	if err := sys.Serve(l); err != nil && ctx.Err() == nil {
+		log.Fatalf("ferretd: serve: %v", err)
+	}
+	log.Printf("shutting down")
+}
+
+// webHandler assembles the web UI with a data-type specific presenter
+// (paper Figures 10–12 show thumbnails and audio players next to results).
+// When a data directory is being scanned, its files are served under
+// /data/ so image results render inline and audio results get players.
+func webHandler(sys *ferret.System, dtype, dataDir string) http.Handler {
+	var present func(key string) template.HTML
+	if dataDir != "" {
+		switch dtype {
+		case "image":
+			present = func(key string) template.HTML {
+				u := url.URL{Path: "/data/" + key}
+				return template.HTML(fmt.Sprintf(`<img src="%s" height="48" alt="">`, u.EscapedPath()))
+			}
+		case "audio":
+			present = func(key string) template.HTML {
+				u := url.URL{Path: "/data/" + key}
+				return template.HTML(fmt.Sprintf(`<audio controls preload="none" src="%s"></audio>`, u.EscapedPath()))
+			}
+		}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", sys.WebHandler("Ferret: "+dtype+" search", present))
+	if dataDir != "" {
+		mux.Handle("/data/", http.StripPrefix("/data/", http.FileServer(http.Dir(dataDir))))
+	}
+	return mux
+}
+
+// buildSystem resolves the per-data-type configuration, extractor and
+// acquisition extension filter.
+func buildSystem(dtype, dir string, rate int, matrixPath, distance string) (ferret.Config, ferret.Extractor, []string, *ferret.Matrix, error) {
+	switch dtype {
+	case "image":
+		return ferret.ImageConfig(dir), ferret.ImageExtractor(), []string{".png", ".ppm"}, nil, nil
+	case "audio":
+		return ferret.AudioConfig(dir), ferret.AudioExtractor(rate), []string{".wav"}, nil, nil
+	case "shape":
+		return ferret.ShapeConfig(dir), ferret.ShapeExtractor(), []string{".off"}, nil, nil
+	case "sensor", "sensors":
+		lo := []float32{-3, -3, -3}
+		hi := []float32{3, 3, 3}
+		return ferret.SensorConfig(dir, lo, hi), ferret.SensorExtractor(0, 0), []string{".csv"}, nil, nil
+	case "genomic":
+		if matrixPath == "" {
+			return ferret.Config{}, nil, nil, nil, fmt.Errorf("type=genomic requires -matrix")
+		}
+		m, err := ferret.ParseMatrixTSV(matrixPath)
+		if err != nil {
+			return ferret.Config{}, nil, nil, nil, err
+		}
+		min, max := m.Bounds()
+		cfg, err := ferret.GenomicConfig(dir, min, max, distance)
+		if err != nil {
+			return ferret.Config{}, nil, nil, nil, err
+		}
+		return cfg, ferret.GenomicExtractor(), []string{".tsv"}, m, nil
+	default:
+		return ferret.Config{}, nil, nil, nil, fmt.Errorf("unknown data type %q", dtype)
+	}
+}
+
+// ingestMatrixOnce loads matrix rows not yet present (restart-safe).
+func ingestMatrixOnce(sys *ferret.System, m *ferret.Matrix) (int, error) {
+	added := 0
+	for i := range m.Genes {
+		if _, ok := sys.LookupKey(m.Genes[i]); ok {
+			continue
+		}
+		if _, err := sys.Ingest(m.RowObject(i), ferret.Attrs{"gene": m.Genes[i]}); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}

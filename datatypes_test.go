@@ -1,0 +1,170 @@
+package ferret
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ferret/internal/audiofeat"
+	"ferret/internal/protocol"
+	"ferret/internal/sensorfeat"
+)
+
+func TestSensorPipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bench, err := GenSensors(SensorOptions{Sets: 3, SetSize: 3, Distractors: 12, Channels: 2, Samples: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := []float32{-3, -3}
+	hi := []float32{3, 3}
+	sys := openSystem(t, SensorConfig(filepath.Join(dir, "db"), lo, hi), SensorExtractor(0, 0))
+	if _, err := sys.IngestBenchmark(bench); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Evaluate(bench.Sets, QueryOptions{Mode: Filtering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgPrecision < 0.7 {
+		t.Fatalf("sensor quality %s", rep)
+	}
+}
+
+func TestSensorFileExtractor(t *testing.T) {
+	dir := t.TempDir()
+	// Write a CSV recording and ingest through the file extractor.
+	s := &sensorfeat.Series{Channels: []string{"x", "y"}}
+	for i := 0; i < 200; i++ {
+		s.Data = append(s.Data, []float32{float32(i%10) * 0.1, float32(i%7) * 0.2})
+	}
+	csvPath := filepath.Join(dir, "rec.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sensorfeat.WriteCSV(f, s); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sys := openSystem(t, SensorConfig(filepath.Join(dir, "db"), []float32{-3, -3}, []float32{3, 3}), SensorExtractor(64, 32))
+	id, err := sys.IngestFile(csvPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.QueryFile(csvPath, QueryOptions{Mode: BruteForceOriginal, K: 1})
+	if err != nil || results[0].ID != id || results[0].Distance > 1e-6 {
+		t.Fatalf("self query: %+v %v", results, err)
+	}
+}
+
+func TestGenomicExtractorReadsFirstRow(t *testing.T) {
+	dir := t.TempDir()
+	tsv := filepath.Join(dir, "m.tsv")
+	os.WriteFile(tsv, []byte("gene\tc1\tc2\nG1\t1\t2\nG2\t3\t4\n"), 0o644)
+	ex := GenomicExtractor()
+	o, err := ex.Extract(tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Key != "G1" || o.Segments[0].Vec[1] != 2 {
+		t.Fatalf("extracted %+v", o)
+	}
+	if _, err := ex.Extract(filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Fatal("missing file extracted")
+	}
+	empty := filepath.Join(dir, "empty.tsv")
+	os.WriteFile(empty, []byte("gene\tc1\n"), 0o644)
+	if _, err := ex.Extract(empty); err == nil {
+		t.Fatal("empty matrix extracted")
+	}
+}
+
+func TestParseMatrixTSVErrors(t *testing.T) {
+	if _, err := ParseMatrixTSV(filepath.Join(t.TempDir(), "no.tsv")); err == nil {
+		t.Fatal("missing file parsed")
+	}
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	if err := sys.ListenAndServe("256.256.256.256:99999"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestAudioExtractorRejectsWrongRate(t *testing.T) {
+	dir := t.TempDir()
+	wav := filepath.Join(dir, "x.wav")
+	// 8 kHz file into a 16 kHz system.
+	samples := make([]float64, 4000)
+	for i := range samples {
+		samples[i] = 0.3 * float64(i%20-10) / 10
+	}
+	if err := audiofeat.WriteWAVFile(wav, samples, 8000); err != nil {
+		t.Fatal(err)
+	}
+	ex := AudioExtractor(16000)
+	if _, err := ex.Extract(wav); err == nil || !strings.Contains(err.Error(), "sample rate") {
+		t.Fatalf("rate mismatch: %v", err)
+	}
+}
+
+func TestShapeExtractorErrors(t *testing.T) {
+	ex := ShapeExtractor()
+	if _, err := ex.Extract(filepath.Join(t.TempDir(), "missing.off")); err == nil {
+		t.Fatal("missing file extracted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.off")
+	os.WriteFile(bad, []byte("NOTOFF\n"), 0o644)
+	if _, err := ex.Extract(bad); err == nil {
+		t.Fatal("bad OFF extracted")
+	}
+}
+
+func TestImageExtractorErrors(t *testing.T) {
+	ex := ImageExtractor()
+	if _, err := ex.Extract(filepath.Join(t.TempDir(), "missing.png")); err == nil {
+		t.Fatal("missing file extracted")
+	}
+}
+
+func TestQueryParamsOverProtocolWithSegWeights(t *testing.T) {
+	// The public stack passes segweights through (exercised lightly here;
+	// the server package tests semantics).
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	o, _ := NewObject("two-seg", []float32{0.5, 0.5}, [][]float32{{0, 0, 0, 0}, {1, 1, 1, 1}})
+	if _, err := sys.Ingest(o, nil); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go sys.Serve(l)
+	client, err := protocol.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	results, err := client.Query("two-seg", protocol.QueryParams{
+		K: 1, Mode: "bruteforce", SegWeights: []float64{1, 0},
+	})
+	if err != nil || len(results) != 1 {
+		t.Fatalf("segweights query: %+v %v", results, err)
+	}
+}
+
+func TestIngestBenchmarkPropagatesErrors(t *testing.T) {
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	bench := &SynthBenchmark{
+		Objects: []Object{SingleVector("dup", vec(0, 0, 0, 0)), SingleVector("dup", vec(1, 1, 1, 1))},
+	}
+	if n, err := sys.IngestBenchmark(bench); err == nil || n != 1 {
+		t.Fatalf("duplicate key: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,93 @@
+package ferret_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ferret"
+)
+
+// ExampleOpen builds a minimal similarity search system over plain feature
+// vectors, ingests three objects and retrieves the nearest neighbors of a
+// query vector.
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "ferret-example-*")
+	defer os.RemoveAll(dir)
+
+	sys, err := ferret.Open(ferret.Config{
+		Dir: dir,
+		Sketch: ferret.SketchParams{
+			N:   64,
+			Min: []float32{0, 0},
+			Max: []float32{1, 1},
+		},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sys.Ingest(ferret.SingleVector("left", []float32{0.1, 0.5}), nil)
+	sys.Ingest(ferret.SingleVector("middle", []float32{0.5, 0.5}), nil)
+	sys.Ingest(ferret.SingleVector("right", []float32{0.9, 0.5}), nil)
+
+	results, err := sys.Query(
+		ferret.SingleVector("query", []float32{0.15, 0.5}),
+		ferret.QueryOptions{Mode: ferret.BruteForceOriginal, K: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s %.2f\n", r.Key, r.Distance)
+	}
+	// Output:
+	// left 0.05
+	// middle 0.35
+}
+
+// ExampleSystem_SearchAttrs shows the attribute-search bootstrap: keyword
+// search finds seed objects whose annotations match, which can then feed
+// similarity queries.
+func ExampleSystem_SearchAttrs() {
+	dir, _ := os.MkdirTemp("", "ferret-example-*")
+	defer os.RemoveAll(dir)
+
+	sys, err := ferret.Open(ferret.Config{
+		Dir:    dir,
+		Sketch: ferret.SketchParams{N: 64, Min: []float32{0}, Max: []float32{1}},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sys.Ingest(ferret.SingleVector("a.jpg", []float32{0.2}), ferret.Attrs{"note": "a dog on a beach"})
+	sys.Ingest(ferret.SingleVector("b.jpg", []float32{0.4}), ferret.Attrs{"note": "a cat indoors"})
+	sys.Ingest(ferret.SingleVector("c.jpg", []float32{0.6}), ferret.Attrs{"note": "dog in the park"})
+
+	for _, id := range sys.SearchAttrs(ferret.AttrQuery{Keywords: []string{"dog"}}) {
+		fmt.Println(sys.KeyOf(id))
+	}
+	// Output:
+	// a.jpg
+	// c.jpg
+}
+
+// ExampleNewObject builds a multi-segment object — the paper's generic
+// representation: a set of weighted feature vectors.
+func ExampleNewObject() {
+	o, err := ferret.NewObject(
+		"image-1",
+		[]float32{3, 1}, // raw weights; normalized to sum to 1
+		[][]float32{{0.1, 0.9}, {0.8, 0.2}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segments=%d dim=%d w0=%.2f w1=%.2f\n",
+		len(o.Segments), o.Dim(), o.Segments[0].Weight, o.Segments[1].Weight)
+	// Output:
+	// segments=2 dim=2 w0=0.75 w1=0.25
+}

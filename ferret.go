@@ -1,0 +1,313 @@
+// Package ferret is a toolkit for building content-based similarity search
+// systems for feature-rich data — a from-scratch Go implementation of
+// "Ferret: A Toolkit for Content-Based Similarity Search of Feature-Rich
+// Data" (Lv, Josephson, Wang, Charikar, Li — EuroSys 2006).
+//
+// A search system is built by combining the toolkit's core components with
+// data-type specific plug-ins:
+//
+//   - an Extractor (segmentation + feature extraction) turning raw data
+//     into weighted sets of feature vectors,
+//   - a segment distance function (default ℓ₁) and an object distance
+//     function (default Earth Mover's Distance), and
+//   - sketching/filtering/ranking parameters.
+//
+// The toolkit supplies the core similarity search engine (sketch
+// construction, filtering, ranking), attribute-based search, transactional
+// metadata storage with crash recovery, a command-line query protocol with
+// TCP server and client, data acquisition, a web interface and a
+// performance evaluation tool. Ready-made configurations for the paper's
+// four data types (images, audio, 3D shapes, genomic microarrays) live in
+// datatypes.go.
+//
+// Basic use:
+//
+//	sys, err := ferret.Open(ferret.Config{
+//	    Dir:    "/var/lib/myferret",
+//	    Sketch: ferret.SketchParams{N: 96, Min: mins, Max: maxs},
+//	}, nil)
+//	id, err := sys.Ingest(obj, ferret.Attrs{"note": "a dog"})
+//	results, err := sys.Query(queryObj, ferret.QueryOptions{K: 10})
+package ferret
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"ferret/internal/acquire"
+	"ferret/internal/attr"
+	"ferret/internal/core"
+	"ferret/internal/evaltool"
+	"ferret/internal/object"
+	"ferret/internal/protocol"
+	"ferret/internal/server"
+	"ferret/internal/sketch"
+	"ferret/internal/vector"
+	"ferret/internal/webui"
+)
+
+// Core data model (paper §2).
+type (
+	// Object is the generic multi-feature data object: a set of weighted
+	// feature vectors.
+	Object = object.Object
+	// Segment is one weighted feature vector of an object.
+	Segment = object.Segment
+	// ID identifies an ingested object.
+	ID = object.ID
+	// Attrs are the keyword attributes / annotations of an object.
+	Attrs = attr.Attrs
+	// AttrQuery is an attribute-based search request.
+	AttrQuery = attr.Query
+)
+
+// Engine configuration and query types (paper §3–§4).
+type (
+	// Config parameterizes a search system; see core.Config.
+	Config = core.Config
+	// SketchParams configures sketch construction (paper Algorithms 1–2).
+	SketchParams = sketch.Params
+	// FilterParams tunes the filtering unit.
+	FilterParams = core.FilterParams
+	// QueryOptions controls one similarity query.
+	QueryOptions = core.QueryOptions
+	// Result is one ranked answer.
+	Result = core.Result
+	// Mode selects the search approach.
+	Mode = core.Mode
+	// SegmentDistance is the plug-in segment distance function type.
+	SegmentDistance = vector.Func
+	// Report aggregates an evaluation run.
+	Report = evaltool.Report
+)
+
+// Search modes (paper §6.3.3).
+const (
+	Filtering          = core.Filtering
+	BruteForceOriginal = core.BruteForceOriginal
+	BruteForceSketch   = core.BruteForceSketch
+)
+
+// ParseMode resolves a mode name ("filtering", "bruteforce", "sketch").
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// NewObject builds a multi-segment object from parallel weights/vectors.
+func NewObject(key string, weights []float32, vecs [][]float32) (Object, error) {
+	return object.New(key, weights, vecs)
+}
+
+// SingleVector builds a one-segment object (3D shapes, genes).
+func SingleVector(key string, vec []float32) Object { return object.Single(key, vec) }
+
+// Extractor is the plug-in segmentation and feature extraction interface
+// (the paper's seg_extract_func): it converts a data file into an Object.
+type Extractor interface {
+	Extract(path string) (Object, error)
+}
+
+// ExtractorFunc adapts a function to the Extractor interface.
+type ExtractorFunc func(path string) (Object, error)
+
+// Extract calls f.
+func (f ExtractorFunc) Extract(path string) (Object, error) { return f(path) }
+
+// System is a running similarity search system: the core engine plus the
+// plug-in extractor, with constructors for the surrounding infrastructure
+// (server, web UI, acquisition, evaluation).
+type System struct {
+	engine    *core.Engine
+	extractor Extractor
+}
+
+// Open opens or creates a search system. extractor may be nil for systems
+// fed programmatically (Ingest) rather than from files.
+func Open(cfg Config, extractor Extractor) (*System, error) {
+	engine, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: engine, extractor: extractor}, nil
+}
+
+// Close releases the system and its metadata store.
+func (s *System) Close() error { return s.engine.Close() }
+
+// Engine exposes the core similarity search engine.
+func (s *System) Engine() *core.Engine { return s.engine }
+
+// Count returns the number of ingested objects.
+func (s *System) Count() int { return s.engine.Count() }
+
+// Ingest adds one extracted object with attributes.
+func (s *System) Ingest(o Object, a Attrs) (ID, error) { return s.engine.Ingest(o, a) }
+
+// IngestFile extracts and ingests a data file through the plug-in.
+func (s *System) IngestFile(path string, a Attrs) (ID, error) {
+	if s.extractor == nil {
+		return 0, fmt.Errorf("ferret: no extractor plugged in")
+	}
+	o, err := s.extractor.Extract(path)
+	if err != nil {
+		return 0, err
+	}
+	if o.Key == "" {
+		o.Key = path
+	}
+	return s.engine.Ingest(o, a)
+}
+
+// Query runs a similarity search with an extracted query object.
+func (s *System) Query(q Object, opt QueryOptions) ([]Result, error) {
+	return s.engine.Query(q, opt)
+}
+
+// QueryFile extracts a file and uses it as the query object.
+func (s *System) QueryFile(path string, opt QueryOptions) ([]Result, error) {
+	if s.extractor == nil {
+		return nil, fmt.Errorf("ferret: no extractor plugged in")
+	}
+	o, err := s.extractor.Extract(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Query(o, opt)
+}
+
+// QueryByKey uses an already-ingested object as the query.
+func (s *System) QueryByKey(key string, opt QueryOptions) ([]Result, error) {
+	id, ok := s.engine.Meta().LookupKey(key)
+	if !ok {
+		return nil, fmt.Errorf("ferret: unknown object key %q", key)
+	}
+	return s.engine.QueryByID(id, opt)
+}
+
+// KeyOf resolves an ID to its external key.
+func (s *System) KeyOf(id ID) string { return s.engine.Meta().Key(id) }
+
+// LookupKey resolves an external key to its ID.
+func (s *System) LookupKey(key string) (ID, bool) { return s.engine.Meta().LookupKey(key) }
+
+// SearchAttrs runs an attribute-based search (bootstrap or refinement,
+// paper §4.1.2).
+func (s *System) SearchAttrs(q AttrQuery) []ID { return s.engine.Attrs().Search(q) }
+
+// AttrsOf returns the stored attributes of an object.
+func (s *System) AttrsOf(id ID) (Attrs, bool) { return s.engine.Attrs().Get(id) }
+
+// Checkpoint forces a durable metadata snapshot.
+func (s *System) Checkpoint() error { return s.engine.Meta().Checkpoint() }
+
+// Serve runs the command-line query protocol server on l until closed.
+func (s *System) Serve(l net.Listener) error {
+	return s.server().Serve(l)
+}
+
+// ListenAndServe runs the protocol server on a TCP address.
+func (s *System) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+func (s *System) server() *server.Server {
+	srv := &server.Server{Engine: s.engine, DefaultK: 10}
+	if s.extractor != nil {
+		srv.Extract = s.extractor.Extract
+	}
+	return srv
+}
+
+// WebHandler returns the customizable web interface (paper §4.3) bound
+// directly to this system (no TCP hop). present customizes per-result
+// presentation and may be nil.
+func (s *System) WebHandler(title string, present webui.Presenter) http.Handler {
+	return webui.Handler(&localBackend{s}, title, present)
+}
+
+// NewScanner builds a data acquisition scanner over dir wired to this
+// system (paper §4.3). exts filters extensions (ex. ".png"); empty accepts
+// all files.
+func (s *System) NewScanner(dir string, exts []string) *acquire.Scanner {
+	return &acquire.Scanner{
+		Dir:        dir,
+		Extensions: exts,
+		Extract: func(path string) (Object, error) {
+			if s.extractor == nil {
+				return Object{}, fmt.Errorf("ferret: no extractor plugged in")
+			}
+			return s.extractor.Extract(path)
+		},
+		Exists: func(key string) bool {
+			_, ok := s.engine.Meta().LookupKey(key)
+			return ok
+		},
+		Ingest: func(o Object, a Attrs) error {
+			_, err := s.engine.Ingest(o, a)
+			return err
+		},
+	}
+}
+
+// Evaluate drives the performance evaluation tool over ground-truth
+// similarity sets (lists of object keys) and reports quality and latency.
+func (s *System) Evaluate(sets [][]string, opt QueryOptions) (Report, error) {
+	r := &evaltool.Runner{Engine: s.engine, Options: opt}
+	return r.Run(sets)
+}
+
+// localBackend adapts the engine to the web UI's Backend without a TCP
+// connection (useful for single-process deployments and tests; remote
+// deployments use protocol.Dial instead).
+type localBackend struct{ s *System }
+
+func (b *localBackend) Count() (int, error) { return b.s.Count(), nil }
+
+func (b *localBackend) Query(key string, p protocol.QueryParams) ([]protocol.Result, error) {
+	mode, err := core.ParseMode(p.Mode)
+	if err != nil {
+		return nil, err
+	}
+	opt := QueryOptions{K: p.K, Mode: mode}
+	if len(p.Keywords) > 0 || len(p.Attrs) > 0 {
+		opt.Restrict = map[ID]bool{}
+		for _, id := range b.s.SearchAttrs(AttrQuery{Keywords: p.Keywords, Equal: p.Attrs}) {
+			opt.Restrict[id] = true
+		}
+	}
+	results, err := b.s.QueryByKey(key, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]protocol.Result, len(results))
+	for i, r := range results {
+		out[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
+	}
+	return out, nil
+}
+
+func (b *localBackend) Search(keywords []string, attrs map[string]string) ([]protocol.Result, error) {
+	ids := b.s.SearchAttrs(AttrQuery{Keywords: keywords, Equal: attrs})
+	out := make([]protocol.Result, len(ids))
+	for i, id := range ids {
+		out[i] = protocol.Result{Key: b.s.KeyOf(id)}
+	}
+	return out, nil
+}
+
+func (b *localBackend) Info(key string) (map[string]string, error) {
+	id, ok := b.s.LookupKey(key)
+	if !ok {
+		return nil, fmt.Errorf("ferret: unknown object key %q", key)
+	}
+	pairs := map[string]string{"key": key}
+	if a, ok := b.s.AttrsOf(id); ok {
+		for k, v := range a {
+			pairs["attr:"+k] = v
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,320 @@
+package ferret
+
+import (
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ferret/internal/audiofeat"
+	"ferret/internal/protocol"
+	"ferret/internal/sketch"
+)
+
+// vecConfig is a minimal 4-d unit-cube config for API tests.
+func vecConfig(dir string) Config {
+	min := make([]float32, 4)
+	max := []float32{1, 1, 1, 1}
+	return Config{Dir: dir, Sketch: SketchParams{N: 128, K: 1, Min: min, Max: max, Seed: 11}}
+}
+
+func vec(a, b, c, d float32) []float32 { return []float32{a, b, c, d} }
+
+func openSystem(t *testing.T, cfg Config, ex Extractor) *System {
+	t.Helper()
+	sys, err := Open(cfg, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys
+}
+
+func TestSystemRoundTrip(t *testing.T) {
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	keys := []string{"red", "red2", "blue"}
+	vecs := [][]float32{vec(0.9, 0.1, 0.1, 0), vec(0.88, 0.12, 0.1, 0), vec(0.1, 0.1, 0.9, 0)}
+	for i, k := range keys {
+		if _, err := sys.Ingest(SingleVector(k, vecs[i]), Attrs{"name": k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Count() != 3 {
+		t.Fatalf("count %d", sys.Count())
+	}
+	results, err := sys.QueryByKey("red", QueryOptions{Mode: BruteForceOriginal, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Key != "red" || results[1].Key != "red2" {
+		t.Fatalf("results %+v", results)
+	}
+	// Attribute search bootstraps.
+	ids := sys.SearchAttrs(AttrQuery{Keywords: []string{"blue"}})
+	if len(ids) != 1 || sys.KeyOf(ids[0]) != "blue" {
+		t.Fatalf("attr search %v", ids)
+	}
+	a, ok := sys.AttrsOf(ids[0])
+	if !ok || a["name"] != "blue" {
+		t.Fatalf("attrs %v", a)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewObjectAndParseMode(t *testing.T) {
+	o, err := NewObject("k", []float32{1, 1}, [][]float32{{1, 2}, {3, 4}})
+	if err != nil || len(o.Segments) != 2 {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]Mode{
+		"": Filtering, "bruteforce": BruteForceOriginal, "sketch": BruteForceSketch,
+	} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMode("x"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestFileIngestWithoutExtractor(t *testing.T) {
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	if _, err := sys.IngestFile("x", nil); err == nil {
+		t.Fatal("IngestFile without extractor accepted")
+	}
+	if _, err := sys.QueryFile("x", QueryOptions{}); err == nil {
+		t.Fatal("QueryFile without extractor accepted")
+	}
+}
+
+func TestServeProtocol(t *testing.T) {
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	sys.Ingest(SingleVector("only", vec(0.5, 0.5, 0.5, 0.5)), nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go sys.Serve(l)
+	client, err := protocol.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	n, err := client.Count()
+	if err != nil || n != 1 {
+		t.Fatalf("count over protocol: %d %v", n, err)
+	}
+	results, err := client.Query("only", protocol.QueryParams{K: 1, Mode: "sketch"})
+	if err != nil || len(results) != 1 || results[0].Key != "only" {
+		t.Fatalf("query over protocol: %+v %v", results, err)
+	}
+}
+
+func TestWebHandlerLocalBackend(t *testing.T) {
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	sys.Ingest(SingleVector("dog.jpg", vec(0.9, 0, 0, 0)), Attrs{"note": "dog beach"})
+	sys.Ingest(SingleVector("dog2.jpg", vec(0.85, 0, 0, 0)), Attrs{"note": "dog park"})
+	h := sys.WebHandler("Ferret Test", nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=dog", nil))
+	if !strings.Contains(rec.Body.String(), "dog.jpg") {
+		t.Fatalf("keyword search: %s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/similar?key=dog.jpg&mode=bruteforce&k=2", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "dog2.jpg") {
+		t.Fatalf("similarity search: %s", body)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/info?key=dog.jpg", nil))
+	if !strings.Contains(rec.Body.String(), "dog beach") {
+		t.Fatal("info page missing attributes")
+	}
+}
+
+func TestScannerIntegration(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "incoming")
+	os.MkdirAll(dataDir, 0o755)
+	// A trivial extractor that parses "a b c d" float files.
+	ex := ExtractorFunc(func(path string) (Object, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return Object{}, err
+		}
+		var a, b, c, d float32
+		if _, err := fmt.Sscan(string(data), &a, &b, &c, &d); err != nil {
+			return Object{}, err
+		}
+		return SingleVector("", vec(a, b, c, d)), nil
+	})
+	sys := openSystem(t, vecConfig(filepath.Join(dir, "db")), ex)
+	os.WriteFile(filepath.Join(dataDir, "one.vec"), []byte("0.1 0.2 0.3 0.4"), 0o644)
+	os.WriteFile(filepath.Join(dataDir, "two.vec"), []byte("0.9 0.8 0.7 0.6"), 0o644)
+
+	sc := sys.NewScanner(dataDir, []string{".vec"})
+	added, err := sc.ScanOnce()
+	if err != nil || added != 2 {
+		t.Fatalf("scan: %d %v", added, err)
+	}
+	if _, ok := sys.LookupKey("one.vec"); !ok {
+		t.Fatal("scanned file not ingested under relative key")
+	}
+	// Rescan adds nothing.
+	if added, _ := sc.ScanOnce(); added != 0 {
+		t.Fatalf("rescan added %d", added)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	for c := 0; c < 3; c++ {
+		for m := 0; m < 3; m++ {
+			v := vec(float32(c)*0.3+float32(m)*0.005, 0.5, 0.5, 0.5)
+			sys.Ingest(SingleVector(fmt.Sprintf("c%d/m%d", c, m), v), nil)
+		}
+	}
+	sets := [][]string{
+		{"c0/m0", "c0/m1", "c0/m2"},
+		{"c1/m0", "c1/m1", "c1/m2"},
+		{"c2/m0", "c2/m1", "c2/m2"},
+	}
+	rep, err := sys.Evaluate(sets, QueryOptions{Mode: BruteForceOriginal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 3 || rep.AvgPrecision < 0.99 {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestImagePipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Generate a tiny VARY benchmark, write the images as PNG files, and
+	// run the whole stack: file → extractor → engine → evaluation.
+	bench, err := GenVARY(VARYOptions{Sets: 2, SetSize: 3, Distractors: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := openSystem(t, ImageConfig(filepath.Join(dir, "db")), ImageExtractor())
+	if _, err := sys.IngestBenchmark(bench); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Evaluate(bench.Sets, QueryOptions{Mode: BruteForceOriginal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 2 {
+		t.Fatalf("report %s", rep)
+	}
+	if rep.AvgPrecision < 0.3 {
+		t.Fatalf("image quality too low: %s", rep)
+	}
+}
+
+func TestImageFileExtractor(t *testing.T) {
+	dir := t.TempDir()
+	bench, err := GenVARY(VARYOptions{Sets: 1, SetSize: 2, Distractors: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bench
+	// Write a PNG through the plug-in raster and read it back through the
+	// extractor.
+	sys := openSystem(t, ImageConfig(filepath.Join(dir, "db")), ImageExtractor())
+	img := filepath.Join(dir, "img.png")
+	writeTestPNG(t, img)
+	id, err := sys.IngestFile(img, Attrs{"note": "generated"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.KeyOf(id) != img {
+		t.Fatalf("key %q", sys.KeyOf(id))
+	}
+	results, err := sys.QueryFile(img, QueryOptions{Mode: BruteForceOriginal, K: 1})
+	if err != nil || len(results) != 1 || results[0].Distance > 1e-6 {
+		t.Fatalf("self query: %+v %v", results, err)
+	}
+}
+
+func writeTestPNG(t *testing.T, path string) {
+	t.Helper()
+	// Reuse the synthetic generator's image type via the benchmark: render
+	// a deterministic two-tone image directly.
+	im := testImage()
+	if err := im.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAudioConfigSketchDims(t *testing.T) {
+	cfg := AudioConfig(t.TempDir())
+	if len(cfg.Sketch.Min) != audiofeat.FeatureDim || cfg.Sketch.N != 600 {
+		t.Fatalf("audio sketch params: N=%d dim=%d", cfg.Sketch.N, len(cfg.Sketch.Min))
+	}
+	b, err := sketch.NewBuilder(cfg.Sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim() != 192 {
+		t.Fatal("builder dim")
+	}
+}
+
+func TestShapeConfigAndExtractor(t *testing.T) {
+	dir := t.TempDir()
+	off := filepath.Join(dir, "tetra.off")
+	os.WriteFile(off, []byte("OFF\n4 4 0\n1 1 1\n1 -1 -1\n-1 1 -1\n-1 -1 1\n3 0 1 2\n3 0 3 1\n3 0 2 3\n3 1 3 2\n"), 0o644)
+	sys := openSystem(t, ShapeConfig(filepath.Join(dir, "db")), ShapeExtractor())
+	if _, err := sys.IngestFile(off, nil); err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.QueryFile(off, QueryOptions{Mode: BruteForceSketch, K: 1})
+	if err != nil || len(results) != 1 {
+		t.Fatalf("%+v %v", results, err)
+	}
+}
+
+func TestGenomicPipeline(t *testing.T) {
+	m, bench, err := GenMicroarray(MicroarrayOptions{Clusters: 3, PerCluster: 4, Distractors: 10, Conditions: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := m.Bounds()
+	cfg, err := GenomicConfig(t.TempDir(), min, max, "pearson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := openSystem(t, cfg, nil)
+	if added, err := sys.IngestMatrix(m, Attrs{"collection": "synthetic"}); err != nil || added != len(m.Genes) {
+		t.Fatalf("ingest: %d %v", added, err)
+	}
+	rep, err := sys.Evaluate(bench.Sets, QueryOptions{Mode: BruteForceOriginal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgPrecision < 0.7 {
+		t.Fatalf("genomic quality: %s", rep)
+	}
+	if _, err := GenomicConfig(t.TempDir(), min, max, "bogus"); err == nil {
+		t.Fatal("bad distance accepted")
+	}
+}
+
+func TestRelaxedDurability(t *testing.T) {
+	cfg := RelaxedDurability(vecConfig(t.TempDir()))
+	sys := openSystem(t, cfg, nil)
+	if _, err := sys.Ingest(SingleVector("x", vec(0, 0, 0, 0)), nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ferret
+
+go 1.22

@@ -1,0 +1,90 @@
+package ferret
+
+// Integration test of the paper's full deployment shape: a search server
+// process (core engine + plug-ins behind the command-line protocol), a
+// remote protocol client, and the web interface driven through that client
+// — all over real TCP.
+
+import (
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ferret/internal/protocol"
+	"ferret/internal/webui"
+)
+
+func TestFullDeploymentChain(t *testing.T) {
+	// 1. The search system with a small clustered dataset.
+	sys := openSystem(t, vecConfig(t.TempDir()), nil)
+	for c := 0; c < 3; c++ {
+		for m := 0; m < 3; m++ {
+			v := vec(float32(c)*0.4, 0.5, float32(m)*0.01, 0.2)
+			key := fmt.Sprintf("cluster%d/item%d", c, m)
+			if _, err := sys.Ingest(SingleVector(key, v), Attrs{"cluster": fmt.Sprintf("cluster%d", c)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// 2. The protocol server on a real TCP socket.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go sys.Serve(l)
+
+	// 3. A remote client (what scripts and the evaluation tool use).
+	client, err := protocol.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if n, err := client.Count(); err != nil || n != 9 {
+		t.Fatalf("count over TCP: %d %v", n, err)
+	}
+
+	// 4. The web interface backed by the protocol client (the paper's
+	// stand-alone web server shape), exercised over HTTP.
+	h := webui.Handler(client, "Integration", nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=cluster1", nil))
+	body := rec.Body.String()
+	for m := 0; m < 3; m++ {
+		if !strings.Contains(body, fmt.Sprintf("cluster1/item%d", m)) {
+			t.Fatalf("attribute search over full chain missing item %d:\n%s", m, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/similar?key=cluster2/item0&mode=bruteforce&k=3", nil))
+	body = rec.Body.String()
+	if !strings.Contains(body, "cluster2/item1") || !strings.Contains(body, "cluster2/item2") {
+		t.Fatalf("similarity over full chain:\n%s", body)
+	}
+	if strings.Contains(body, "cluster0/") {
+		t.Fatal("similarity over full chain leaked another cluster into top-3")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/info?key=cluster2/item0", nil))
+	if !strings.Contains(rec.Body.String(), "cluster2") {
+		t.Fatal("info over full chain missing attributes")
+	}
+
+	// 5. Mutations through the protocol are visible to the web layer.
+	if err := client.Delete("cluster0/item0"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := client.Count(); n != 8 {
+		t.Fatalf("count after protocol delete: %d", n)
+	}
+	stats, err := client.Stats()
+	if err != nil || stats["deleted"] != "1" {
+		t.Fatalf("stats after delete: %v %v", stats, err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package attr implements the Ferret toolkit's attribute-based search
+// engine (paper §4.1.2): keyword attributes and user-defined annotations
+// stored in their own tables of the shared kvstore, with an inverted index
+// for keyword lookup.
+//
+// Attribute search is used to "bootstrap" similarity search (find seed
+// objects by keyword) or to refine one (restrict the similarity scan to
+// objects matching the attribute query).
+package attr
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+	"unicode"
+
+	"ferret/internal/kvstore"
+	"ferret/internal/object"
+)
+
+// Table names within the kvstore.
+const (
+	tableForward  = "attr:fwd" // id → encoded attribute map
+	tableKeywords = "attr:kw"  // keyword \x00 id → nil (posting list)
+)
+
+// Engine is the attribute search component. It shares the kvstore with the
+// metadata manager so attribute writes join object-ingest transactions.
+type Engine struct {
+	kv *kvstore.Store
+}
+
+// New builds an attribute engine over kv.
+func New(kv *kvstore.Store) *Engine { return &Engine{kv: kv} }
+
+// Attrs is a set of named annotations for one object, e.g.
+// {"collection": "Corel", "note": "dog on a beach"}. Every key and every
+// whitespace-separated word of every value is indexed as a keyword.
+type Attrs map[string]string
+
+// postingKey builds the inverted-index key keyword \x00 big-endian-id.
+func postingKey(keyword string, id object.ID) []byte {
+	k := make([]byte, len(keyword)+1+8)
+	copy(k, keyword)
+	k[len(keyword)] = 0
+	binary.BigEndian.PutUint64(k[len(keyword)+1:], uint64(id))
+	return k
+}
+
+// Keywords returns the normalized keyword set of an attribute map: every
+// attribute name and every word of every value, lower-cased. Words are
+// split on any non-alphanumeric rune, so a path value like
+// "vary/set00/img00.png" indexes as {vary, set00, img00, png}.
+func Keywords(a Attrs) []string {
+	set := map[string]bool{}
+	split := func(s string) {
+		for _, w := range strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+		}) {
+			set[w] = true
+		}
+	}
+	for k, v := range a {
+		split(k)
+		split(v)
+	}
+	words := make([]string, 0, len(set))
+	for w := range set {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return words
+}
+
+// Set writes the attributes of id inside txn, replacing any previous
+// attributes (old postings for removed keywords are deleted). Pass the
+// transaction used for object ingest to keep object + attributes atomic.
+func (e *Engine) Set(txn *kvstore.Txn, id object.ID, a Attrs) {
+	// Remove stale postings from a previous attribute set.
+	if old, ok := e.Get(id); ok {
+		for _, w := range Keywords(old) {
+			txn.Delete(tableKeywords, postingKey(w, id))
+		}
+	}
+	txn.Put(tableForward, idKey(id), encodeAttrs(a))
+	for _, w := range Keywords(a) {
+		txn.Put(tableKeywords, postingKey(w, id), nil)
+	}
+}
+
+// Delete removes all attribute state of id inside txn.
+func (e *Engine) Delete(txn *kvstore.Txn, id object.ID) {
+	if old, ok := e.Get(id); ok {
+		for _, w := range Keywords(old) {
+			txn.Delete(tableKeywords, postingKey(w, id))
+		}
+	}
+	txn.Delete(tableForward, idKey(id))
+}
+
+// Get returns the stored attributes of id.
+func (e *Engine) Get(id object.ID) (Attrs, bool) {
+	v, ok := e.kv.Get(tableForward, idKey(id))
+	if !ok {
+		return nil, false
+	}
+	return decodeAttrs(v), true
+}
+
+// Query is an attribute-search request: all keywords must match (AND), and
+// every exact attribute equality must hold. An empty query matches nothing.
+type Query struct {
+	// Keywords that must all appear among the object's indexed keywords.
+	Keywords []string
+	// Equal lists attribute name → exact required value.
+	Equal map[string]string
+}
+
+// Search returns the IDs matching q in ascending ID order. It intersects
+// keyword posting lists (cheapest first) and then verifies exact-equality
+// constraints against the forward table.
+func (e *Engine) Search(q Query) []object.ID {
+	keywords := append([]string(nil), q.Keywords...)
+	for i := range keywords {
+		keywords[i] = strings.ToLower(keywords[i])
+	}
+	// Equality constraints imply their value words as keywords, narrowing
+	// the posting intersection before the exact check.
+	for k, v := range q.Equal {
+		keywords = append(keywords, Keywords(Attrs{k: v})...)
+	}
+	if len(keywords) == 0 {
+		return nil
+	}
+	sort.Strings(keywords)
+	keywords = dedup(keywords)
+
+	ids := e.posting(keywords[0])
+	for _, w := range keywords[1:] {
+		if len(ids) == 0 {
+			return nil
+		}
+		ids = intersect(ids, e.posting(w))
+	}
+	if len(q.Equal) == 0 {
+		return ids
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		a, ok := e.Get(id)
+		if !ok {
+			continue
+		}
+		match := true
+		for k, v := range q.Equal {
+			if a[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// posting returns the sorted ID list for one keyword.
+func (e *Engine) posting(keyword string) []object.ID {
+	prefix := append([]byte(keyword), 0)
+	end := append([]byte(keyword), 1)
+	var ids []object.ID
+	e.kv.Scan(tableKeywords, prefix, end, func(k, v []byte) bool {
+		if len(k) == len(prefix)+8 {
+			ids = append(ids, object.ID(binary.BigEndian.Uint64(k[len(prefix):])))
+		}
+		return true
+	})
+	return ids
+}
+
+func intersect(a, b []object.ID) []object.ID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func idKey(id object.ID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+// encodeAttrs layout: count(uint32) | count×(klen uint16 | k | vlen uint32 | v),
+// keys sorted for deterministic output.
+func encodeAttrs(a Attrs) []byte {
+	keys := make([]string, 0, len(a))
+	size := 4
+	for k := range a {
+		keys = append(keys, k)
+		size += 2 + len(k) + 4 + len(a[k])
+	}
+	sort.Strings(keys)
+	buf := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(len(keys)))
+	off := 4
+	for _, k := range keys {
+		le.PutUint16(buf[off:], uint16(len(k)))
+		off += 2
+		off += copy(buf[off:], k)
+		le.PutUint32(buf[off:], uint32(len(a[k])))
+		off += 4
+		off += copy(buf[off:], a[k])
+	}
+	return buf
+}
+
+func decodeAttrs(data []byte) Attrs {
+	if len(data) < 4 {
+		return Attrs{}
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(data[0:]))
+	a := make(Attrs, count)
+	off := 4
+	for i := 0; i < count; i++ {
+		if off+2 > len(data) {
+			break
+		}
+		klen := int(le.Uint16(data[off:]))
+		off += 2
+		if off+klen+4 > len(data) {
+			break
+		}
+		k := string(data[off : off+klen])
+		off += klen
+		vlen := int(le.Uint32(data[off:]))
+		off += 4
+		if off+vlen > len(data) {
+			break
+		}
+		a[k] = string(data[off : off+vlen])
+		off += vlen
+	}
+	return a
+}

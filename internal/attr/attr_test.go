@@ -1,0 +1,168 @@
+package attr
+
+import (
+	"reflect"
+	"testing"
+
+	"ferret/internal/kvstore"
+	"ferret/internal/object"
+)
+
+func openEngine(t *testing.T) (*Engine, *kvstore.Store) {
+	t.Helper()
+	kv, err := kvstore.Open(kvstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	return New(kv), kv
+}
+
+func set(t *testing.T, e *Engine, kv *kvstore.Store, id object.ID, a Attrs) {
+	t.Helper()
+	txn := kv.Begin()
+	e.Set(txn, id, a)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	got := Keywords(Attrs{"Collection": "Corel", "note": "Dog on  a Beach"})
+	want := []string{"a", "beach", "collection", "corel", "dog", "note", "on"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keywords = %v, want %v", got, want)
+	}
+	if len(Keywords(Attrs{})) != 0 {
+		t.Fatal("empty attrs produced keywords")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"type": "image", "note": "sunny dog"})
+	a, ok := e.Get(1)
+	if !ok || a["type"] != "image" || a["note"] != "sunny dog" {
+		t.Fatalf("Get = %v %v", a, ok)
+	}
+	if _, ok := e.Get(99); ok {
+		t.Fatal("missing id found")
+	}
+}
+
+func TestSearchSingleKeyword(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"note": "dog beach"})
+	set(t, e, kv, 2, Attrs{"note": "cat sofa"})
+	set(t, e, kv, 3, Attrs{"note": "dog park"})
+	got := e.Search(Query{Keywords: []string{"dog"}})
+	want := []object.ID{1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Search(dog) = %v, want %v", got, want)
+	}
+}
+
+func TestSearchKeywordAND(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"note": "dog beach"})
+	set(t, e, kv, 2, Attrs{"note": "dog park"})
+	set(t, e, kv, 3, Attrs{"note": "beach sunset"})
+	got := e.Search(Query{Keywords: []string{"dog", "beach"}})
+	if !reflect.DeepEqual(got, []object.ID{1}) {
+		t.Fatalf("Search(dog AND beach) = %v", got)
+	}
+	if got := e.Search(Query{Keywords: []string{"dog", "sunset"}}); len(got) != 0 {
+		t.Fatalf("impossible AND returned %v", got)
+	}
+}
+
+func TestSearchCaseInsensitive(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"note": "Golden Retriever"})
+	if got := e.Search(Query{Keywords: []string{"GOLDEN"}}); len(got) != 1 {
+		t.Fatalf("case-insensitive search = %v", got)
+	}
+}
+
+func TestSearchEqualConstraint(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"collection": "Corel", "note": "dog"})
+	set(t, e, kv, 2, Attrs{"collection": "Web", "note": "dog"})
+	got := e.Search(Query{Keywords: []string{"dog"}, Equal: map[string]string{"collection": "Corel"}})
+	if !reflect.DeepEqual(got, []object.ID{1}) {
+		t.Fatalf("Search = %v", got)
+	}
+	// Equal-only queries work without explicit keywords.
+	got = e.Search(Query{Equal: map[string]string{"collection": "Web"}})
+	if !reflect.DeepEqual(got, []object.ID{2}) {
+		t.Fatalf("equal-only search = %v", got)
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"note": "x"})
+	if got := e.Search(Query{}); got != nil {
+		t.Fatalf("empty query = %v, want nil", got)
+	}
+}
+
+func TestUpdateRemovesStalePostings(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"note": "dog"})
+	set(t, e, kv, 1, Attrs{"note": "cat"})
+	if got := e.Search(Query{Keywords: []string{"dog"}}); len(got) != 0 {
+		t.Fatalf("stale posting survived update: %v", got)
+	}
+	if got := e.Search(Query{Keywords: []string{"cat"}}); len(got) != 1 {
+		t.Fatalf("new posting missing: %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"note": "dog"})
+	txn := kv.Begin()
+	e.Delete(txn, 1)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Get(1); ok {
+		t.Fatal("attrs survived delete")
+	}
+	if got := e.Search(Query{Keywords: []string{"dog"}}); len(got) != 0 {
+		t.Fatalf("posting survived delete: %v", got)
+	}
+}
+
+func TestPostingOrderIsAscending(t *testing.T) {
+	e, kv := openEngine(t)
+	for _, id := range []object.ID{5, 1, 3, 2, 4} {
+		set(t, e, kv, id, Attrs{"note": "same"})
+	}
+	got := e.Search(Query{Keywords: []string{"same"}})
+	want := []object.ID{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("posting order = %v", got)
+	}
+}
+
+func TestKeywordPrefixIsolation(t *testing.T) {
+	// "dog" must not match postings for "dogs".
+	e, kv := openEngine(t)
+	set(t, e, kv, 1, Attrs{"note": "dogs"})
+	if got := e.Search(Query{Keywords: []string{"dog"}}); len(got) != 0 {
+		t.Fatalf("prefix leak: %v", got)
+	}
+}
+
+func TestAttrsEncodingRoundTrip(t *testing.T) {
+	a := Attrs{"k1": "v1", "empty": "", "long": string(make([]byte, 300))}
+	got := decodeAttrs(encodeAttrs(a))
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("round trip: %v", got)
+	}
+	if len(decodeAttrs(nil)) != 0 {
+		t.Fatal("nil decoding not empty")
+	}
+}

@@ -1,0 +1,240 @@
+// Package audiofeat is the audio plug-in for the Ferret toolkit (paper
+// §5.2): utterance-level segmentation of speech signals by pause detection,
+// word-level sub-segmentation, and MFCC feature extraction.
+//
+// Segmentation follows the paper: the signal is examined over 20 ms
+// windows, computing RMS energy and zero crossings; ten or more consecutive
+// low-energy windows mark an utterance boundary unless the zero-crossing
+// count is high (unvoiced consonants). Each word segment is then described
+// by a 192-dimensional feature vector: a 512-sample sliding window with
+// variable stride yields 32 windows per segment, and the first 6 MFCC
+// parameters of each window are concatenated (6 × 32 = 192). Segment
+// weights are proportional to segment length.
+package audiofeat
+
+import (
+	"errors"
+
+	"ferret/internal/dsp"
+	"ferret/internal/object"
+)
+
+// FeatureDim is the dimensionality of a word-segment feature vector.
+const FeatureDim = NumWindows * NumMFCC
+
+// Parameters of the paper's audio pipeline.
+const (
+	NumWindows = 32  // sliding windows per word segment
+	NumMFCC    = 6   // MFCC parameters per window
+	WindowSize = 512 // samples per sliding window
+)
+
+// Segmenter detects utterance and word boundaries in a speech signal.
+type Segmenter struct {
+	// SampleRate of the input signal (Hz). Default 16000 (TIMIT's rate).
+	SampleRate int
+	// SilenceRMS is the energy threshold below which a 20 ms window counts
+	// as silence. Default 0.01.
+	SilenceRMS float64
+	// MinSilentWindows is the run of silent windows marking an utterance
+	// boundary. Default 10 (the paper's value: 200 ms).
+	MinSilentWindows int
+	// MaxZeroCrossings disqualifies a low-energy window as silence when
+	// its zero-crossing count is at or above it (unvoiced consonants).
+	// Default 60.
+	MaxZeroCrossings int
+	// MinWordGapWindows is the run of silent windows splitting words
+	// inside an utterance. Default 2 (40 ms).
+	MinWordGapWindows int
+}
+
+func (s Segmenter) withDefaults() Segmenter {
+	if s.SampleRate <= 0 {
+		s.SampleRate = 16000
+	}
+	if s.SilenceRMS <= 0 {
+		s.SilenceRMS = 0.01
+	}
+	if s.MinSilentWindows <= 0 {
+		s.MinSilentWindows = 10
+	}
+	if s.MaxZeroCrossings <= 0 {
+		s.MaxZeroCrossings = 60
+	}
+	if s.MinWordGapWindows <= 0 {
+		s.MinWordGapWindows = 2
+	}
+	return s
+}
+
+// Span is a half-open sample range [Start, End).
+type Span struct{ Start, End int }
+
+func (sp Span) len() int { return sp.End - sp.Start }
+
+// Utterances splits a signal into utterance-level data objects at pauses of
+// MinSilentWindows or more silent 20 ms windows.
+func (s Segmenter) Utterances(samples []float64) []Span {
+	return s.split(samples, s.withDefaults().MinSilentWindows)
+}
+
+// Words splits one utterance into word-level segments at shorter pauses.
+func (s Segmenter) Words(samples []float64) []Span {
+	return s.split(samples, s.withDefaults().MinWordGapWindows)
+}
+
+// split partitions samples into voiced spans separated by at least minRun
+// consecutive silent windows.
+func (s Segmenter) split(samples []float64, minRun int) []Span {
+	p := s.withDefaults()
+	win := p.SampleRate / 50 // 20 ms
+	if win <= 0 {
+		win = 320
+	}
+	numWin := (len(samples) + win - 1) / win
+	silent := make([]bool, numWin)
+	for w := 0; w < numWin; w++ {
+		lo, hi := w*win, (w+1)*win
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		frame := samples[lo:hi]
+		// A window is silence when energy is low and there are not many
+		// zero crossings (which would indicate an unvoiced consonant).
+		// The zero-crossing exception only applies to windows with
+		// non-negligible energy: an unvoiced consonant is quiet but not
+		// silent, whereas the noise floor crosses zero constantly.
+		rms := dsp.RMS(frame)
+		lowEnergy := rms < p.SilenceRMS
+		consonant := dsp.ZeroCrossings(frame) >= p.MaxZeroCrossings && rms >= p.SilenceRMS*0.25
+		silent[w] = lowEnergy && !consonant
+	}
+	var spans []Span
+	inVoice := false
+	voiceStart := 0
+	run := 0
+	for w := 0; w < numWin; w++ {
+		if silent[w] {
+			run++
+			if inVoice && run >= minRun {
+				end := (w - run + 1) * win
+				if end > voiceStart {
+					spans = append(spans, Span{voiceStart, end})
+				}
+				inVoice = false
+			}
+			continue
+		}
+		if !inVoice {
+			inVoice = true
+			voiceStart = w * win
+		}
+		run = 0
+	}
+	if inVoice {
+		end := len(samples)
+		// Trim the trailing silent run, if any.
+		if run > 0 {
+			end = (numWin - run) * win
+		}
+		if end > voiceStart {
+			spans = append(spans, Span{voiceStart, end})
+		}
+	}
+	return spans
+}
+
+// Extractor converts utterance waveforms into Ferret objects: one segment
+// per word with a 192-d MFCC feature vector and a length-proportional
+// weight.
+type Extractor struct {
+	seg  Segmenter
+	mfcc *dsp.MFCCExtractor
+}
+
+// NewExtractor builds an audio extractor for the given segmenter settings.
+func NewExtractor(seg Segmenter) *Extractor {
+	seg = seg.withDefaults()
+	return &Extractor{
+		seg:  seg,
+		mfcc: dsp.NewMFCCExtractor(WindowSize, seg.SampleRate, NumMFCC),
+	}
+}
+
+// WordFeature computes the 192-d feature vector of one word segment: 32
+// sliding windows of 512 samples with stride chosen to cover the segment,
+// 6 MFCCs each.
+func (e *Extractor) WordFeature(word []float64) []float32 {
+	vec := make([]float32, 0, FeatureDim)
+	stride := 1
+	if len(word) > WindowSize {
+		stride = (len(word) - WindowSize) / (NumWindows - 1)
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	for w := 0; w < NumWindows; w++ {
+		start := w * stride
+		if start > len(word) {
+			start = len(word)
+		}
+		end := start + WindowSize
+		if end > len(word) {
+			end = len(word)
+		}
+		coeffs := e.mfcc.Coeffs(word[start:end])
+		for _, c := range coeffs {
+			vec = append(vec, float32(c))
+		}
+	}
+	return vec
+}
+
+// Extract converts one utterance into a Ferret object: word segments with
+// MFCC features, weights proportional to word length (paper §5.2).
+func (e *Extractor) Extract(key string, utterance []float64) (object.Object, error) {
+	words := e.seg.Words(utterance)
+	if len(words) == 0 {
+		return object.Object{}, errors.New("audiofeat: no voiced segments in utterance")
+	}
+	weights := make([]float32, len(words))
+	vecs := make([][]float32, len(words))
+	for i, w := range words {
+		weights[i] = float32(w.len())
+		vecs[i] = e.WordFeature(utterance[w.Start:w.End])
+	}
+	return object.New(key, weights, vecs)
+}
+
+// FeatureBounds returns conservative [min, max] bounds per dimension for
+// sketch construction over MFCC features. MFCCs of normalized signals stay
+// well within ±magnitude; values outside are clamped by the sketch unit.
+func FeatureBounds(magnitude float32) (min, max []float32) {
+	min = make([]float32, FeatureDim)
+	max = make([]float32, FeatureDim)
+	for i := range min {
+		min[i] = -magnitude
+		max[i] = magnitude
+	}
+	return min, max
+}
+
+// DefaultFeatureBounds returns per-coefficient bounds matched to the MFCC
+// pipeline on normalized (±1 full-scale) speech: the energy coefficient c₀
+// of voiced word windows sits around [-25, 5] and the higher cepstral
+// coefficients within ±15. Tight bounds matter for sketch quality — the
+// random thresholds of Algorithm 1 are drawn inside them, so empty range
+// wastes sketch bits. Out-of-range values are still handled (the
+// comparison bits simply saturate).
+func DefaultFeatureBounds() (min, max []float32) {
+	min = make([]float32, FeatureDim)
+	max = make([]float32, FeatureDim)
+	for i := range min {
+		if i%NumMFCC == 0 { // c0 of each window
+			min[i], max[i] = -25, 5
+		} else {
+			min[i], max[i] = -15, 15
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,180 @@
+package audiofeat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const rate = 16000
+
+// tone renders a sinusoid of the given duration.
+func tone(hz float64, seconds float64) []float64 {
+	n := int(seconds * rate)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.3 * math.Sin(2*math.Pi*hz*float64(i)/rate)
+	}
+	return out
+}
+
+// silence renders near-silence (tiny noise floor).
+func silence(seconds float64, rng *rand.Rand) []float64 {
+	n := int(seconds * rate)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 0.001
+	}
+	return out
+}
+
+func concat(parts ...[]float64) []float64 {
+	var out []float64
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func TestUtteranceSegmentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Two utterances separated by a 300 ms pause (≥ 10 silent 20 ms
+	// windows), each utterance 400 ms of voiced signal.
+	signal := concat(
+		tone(440, 0.4),
+		silence(0.3, rng),
+		tone(880, 0.4),
+	)
+	seg := Segmenter{SampleRate: rate}
+	utts := seg.Utterances(signal)
+	if len(utts) != 2 {
+		t.Fatalf("found %d utterances, want 2", len(utts))
+	}
+	// Spans must be roughly 400 ms each.
+	for i, u := range utts {
+		dur := float64(u.End-u.Start) / rate
+		if dur < 0.3 || dur > 0.5 {
+			t.Errorf("utterance %d duration %.3fs", i, dur)
+		}
+	}
+}
+
+func TestShortPauseDoesNotSplitUtterance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// A 100 ms pause (5 windows) is below the 10-window threshold.
+	signal := concat(tone(440, 0.3), silence(0.1, rng), tone(660, 0.3))
+	seg := Segmenter{SampleRate: rate}
+	if utts := seg.Utterances(signal); len(utts) != 1 {
+		t.Fatalf("found %d utterances, want 1", len(utts))
+	}
+	// But Words (2-window gaps) splits there.
+	if words := seg.Words(signal); len(words) != 2 {
+		t.Fatalf("found %d words, want 2", len(words))
+	}
+}
+
+func TestSilenceOnlySignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seg := Segmenter{SampleRate: rate}
+	if utts := seg.Utterances(silence(1.0, rng)); len(utts) != 0 {
+		t.Fatalf("silence produced %d utterances", len(utts))
+	}
+}
+
+func TestEmptySignal(t *testing.T) {
+	seg := Segmenter{SampleRate: rate}
+	if utts := seg.Utterances(nil); len(utts) != 0 {
+		t.Fatalf("empty signal produced %d utterances", len(utts))
+	}
+}
+
+func TestWordFeatureDimension(t *testing.T) {
+	e := NewExtractor(Segmenter{SampleRate: rate})
+	v := e.WordFeature(tone(500, 0.2))
+	if len(v) != FeatureDim {
+		t.Fatalf("feature dim %d, want %d", len(v), FeatureDim)
+	}
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatal("non-finite feature value")
+		}
+	}
+	// A very short word still produces a full-size vector.
+	short := e.WordFeature(tone(500, 0.01))
+	if len(short) != FeatureDim {
+		t.Fatalf("short word dim %d", len(short))
+	}
+}
+
+func TestExtractBuildsWeightedObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Three words: 200 ms, 200 ms, 400 ms → last weight ≈ 2× the others.
+	utterance := concat(
+		tone(400, 0.2), silence(0.06, rng),
+		tone(800, 0.2), silence(0.06, rng),
+		tone(1200, 0.4),
+	)
+	e := NewExtractor(Segmenter{SampleRate: rate})
+	o, err := e.Extract("utt", utterance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Segments) != 3 {
+		t.Fatalf("got %d word segments, want 3", len(o.Segments))
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := o.Segments
+	ratio := float64(w[2].Weight) / float64(w[0].Weight)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("long word weight ratio %.2f, want ≈2", ratio)
+	}
+}
+
+func TestExtractErrorsOnSilence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewExtractor(Segmenter{SampleRate: rate})
+	if _, err := e.Extract("s", silence(0.5, rng)); err == nil {
+		t.Fatal("silence extracted successfully")
+	}
+}
+
+// TestSameWordsDifferentSpeakerStayClose: the property the audio search
+// system relies on — MFCC features of the same word at slightly shifted
+// pitch stay closer than features of a different word.
+func TestSameWordsDifferentSpeakerStayClose(t *testing.T) {
+	e := NewExtractor(Segmenter{SampleRate: rate})
+	mix := func(f1, f2 float64, dur float64) []float64 {
+		n := int(dur * rate)
+		out := make([]float64, n)
+		for i := range out {
+			tt := float64(i) / rate
+			out[i] = 0.25*math.Sin(2*math.Pi*f1*tt) + 0.15*math.Sin(2*math.Pi*f2*tt)
+		}
+		return out
+	}
+	wordA := e.WordFeature(mix(400, 1400, 0.2))
+	wordA2 := e.WordFeature(mix(420, 1470, 0.2)) // same word, +5% formants
+	wordB := e.WordFeature(mix(700, 2600, 0.2))  // different word
+	l1 := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			s += math.Abs(float64(a[i]) - float64(b[i]))
+		}
+		return s
+	}
+	if dSame, dDiff := l1(wordA, wordA2), l1(wordA, wordB); dSame >= dDiff {
+		t.Errorf("same word dist %.1f >= different word dist %.1f", dSame, dDiff)
+	}
+}
+
+func TestFeatureBounds(t *testing.T) {
+	min, max := FeatureBounds(25)
+	if len(min) != FeatureDim || len(max) != FeatureDim {
+		t.Fatal("bounds dimension wrong")
+	}
+	if min[0] != -25 || max[0] != 25 {
+		t.Fatalf("bounds = [%g, %g]", min[0], max[0])
+	}
+}

@@ -1,0 +1,130 @@
+package audiofeat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Minimal RIFF/WAVE support for mono 16-bit PCM — enough to move synthetic
+// speech between the data-acquisition directory and the audio plug-in.
+
+// WriteWAV encodes samples (in [-1, 1]) as mono 16-bit PCM at the given
+// sample rate.
+func WriteWAV(w io.Writer, samples []float64, sampleRate int) error {
+	dataLen := len(samples) * 2
+	var hdr [44]byte
+	le := binary.LittleEndian
+	copy(hdr[0:], "RIFF")
+	le.PutUint32(hdr[4:], uint32(36+dataLen))
+	copy(hdr[8:], "WAVE")
+	copy(hdr[12:], "fmt ")
+	le.PutUint32(hdr[16:], 16)
+	le.PutUint16(hdr[20:], 1) // PCM
+	le.PutUint16(hdr[22:], 1) // mono
+	le.PutUint32(hdr[24:], uint32(sampleRate))
+	le.PutUint32(hdr[28:], uint32(sampleRate*2))
+	le.PutUint16(hdr[32:], 2)
+	le.PutUint16(hdr[34:], 16)
+	copy(hdr[36:], "data")
+	le.PutUint32(hdr[40:], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, dataLen)
+	for i, s := range samples {
+		v := int16(math.Max(-1, math.Min(1, s)) * 32767)
+		le.PutUint16(buf[i*2:], uint16(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV decodes a mono 16-bit PCM WAV file, returning the samples in
+// [-1, 1] and the sample rate.
+func ReadWAV(r io.Reader) ([]float64, int, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return nil, 0, errors.New("audiofeat: not a RIFF/WAVE file")
+	}
+	le := binary.LittleEndian
+	sampleRate := 0
+	channels := 0
+	bits := 0
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			return nil, 0, fmt.Errorf("audiofeat: reading chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := int(le.Uint32(chunk[4:]))
+		if size > 1<<28 {
+			return nil, 0, fmt.Errorf("audiofeat: implausible %s chunk of %d bytes", id, size)
+		}
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, err
+			}
+			if len(body) < 16 {
+				return nil, 0, errors.New("audiofeat: short fmt chunk")
+			}
+			if format := le.Uint16(body[0:]); format != 1 {
+				return nil, 0, fmt.Errorf("audiofeat: unsupported WAV format %d (want PCM)", format)
+			}
+			channels = int(le.Uint16(body[2:]))
+			sampleRate = int(le.Uint32(body[4:]))
+			bits = int(le.Uint16(body[14:]))
+		case "data":
+			if sampleRate == 0 {
+				return nil, 0, errors.New("audiofeat: data chunk before fmt chunk")
+			}
+			if channels != 1 || bits != 16 {
+				return nil, 0, fmt.Errorf("audiofeat: unsupported WAV layout (%d ch, %d bit)", channels, bits)
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, err
+			}
+			samples := make([]float64, size/2)
+			for i := range samples {
+				samples[i] = float64(int16(le.Uint16(body[i*2:]))) / 32767
+			}
+			return samples, sampleRate, nil
+		default:
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+}
+
+// ReadWAVFile loads a WAV file from disk.
+func ReadWAVFile(path string) ([]float64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadWAV(f)
+}
+
+// WriteWAVFile saves samples to a WAV file.
+func WriteWAVFile(path string, samples []float64, sampleRate int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteWAV(f, samples, sampleRate); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

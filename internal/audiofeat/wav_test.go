@@ -1,0 +1,113 @@
+package audiofeat
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = 0.5 * math.Sin(float64(i)*0.05)
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, samples, 16000); err != nil {
+		t.Fatal(err)
+	}
+	got, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 16000 || len(got) != len(samples) {
+		t.Fatalf("rate %d, %d samples", rate, len(got))
+	}
+	for i := range samples {
+		if math.Abs(got[i]-samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %g vs %g", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestWAVClipsOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{2.0, -2.0}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] < 0.99 || got[1] > -0.99 {
+		t.Fatalf("clipping failed: %v", got)
+	}
+}
+
+func TestWAVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wav")
+	samples := []float64{0, 0.25, -0.25, 0.5}
+	if err := WriteWAVFile(path, samples, 44100); err != nil {
+		t.Fatal(err)
+	}
+	got, rate, err := ReadWAVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 44100 || len(got) != 4 {
+		t.Fatalf("rate %d len %d", rate, len(got))
+	}
+	if _, _, err := ReadWAVFile(filepath.Join(t.TempDir(), "missing.wav")); err == nil {
+		t.Fatal("missing file read")
+	}
+}
+
+func TestReadWAVSkipsUnknownChunks(t *testing.T) {
+	// Build a WAV with a LIST chunk between fmt and data.
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{0.1, 0.2}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Splice a "LIST" chunk of 4 bytes before "data" (offset 36).
+	spliced := append([]byte{}, raw[:36]...)
+	spliced = append(spliced, 'L', 'I', 'S', 'T', 4, 0, 0, 0, 'i', 'n', 'f', 'o')
+	spliced = append(spliced, raw[36:]...)
+	got, rate, err := ReadWAV(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 || len(got) != 2 {
+		t.Fatalf("rate %d len %d", rate, len(got))
+	}
+}
+
+func TestReadWAVErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"not riff":  []byte("NOTRIFFxxWAVE"),
+		"truncated": []byte("RIFF\x00\x00\x00\x00WAVE"),
+	}
+	for name, data := range cases {
+		if _, _, err := ReadWAV(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Stereo is rejected.
+	var buf bytes.Buffer
+	WriteWAV(&buf, []float64{0.1}, 8000)
+	raw := buf.Bytes()
+	raw[22] = 2 // channels
+	if _, _, err := ReadWAV(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "layout") {
+		t.Errorf("stereo accepted: %v", err)
+	}
+	// Non-PCM format code is rejected.
+	buf.Reset()
+	WriteWAV(&buf, []float64{0.1}, 8000)
+	raw = buf.Bytes()
+	raw[20] = 3 // IEEE float
+	if _, _, err := ReadWAV(bytes.NewReader(raw)); err == nil {
+		t.Error("non-PCM accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package baseline
+
+import (
+	"testing"
+
+	"ferret/internal/imagefeat"
+	"ferret/internal/object"
+)
+
+func flat(w, h int, c imagefeat.RGB) *imagefeat.Image {
+	im := imagefeat.NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = c
+	}
+	return im
+}
+
+func TestGlobalExtract(t *testing.T) {
+	im := flat(30, 30, imagefeat.RGB{R: 0.5, G: 0.25, B: 1})
+	o, err := GlobalImageExtractor{}.Extract("img", im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Segments) != 1 || len(o.Segments[0].Vec) != GlobalFeatureDim {
+		t.Fatalf("global object: %d segments, dim %d", len(o.Segments), len(o.Segments[0].Vec))
+	}
+	v := o.Segments[0].Vec
+	if v[0] != 0.5 || v[3] != 0.25 || v[6] != 1 {
+		t.Fatalf("means: %v", v[:9])
+	}
+	// Uniform image: zero stddev and skew.
+	if v[1] != 0 || v[2] != 0 {
+		t.Fatalf("moments of uniform image: %v", v[:3])
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a, _ := GlobalImageExtractor{}.Extract("a", flat(10, 10, imagefeat.RGB{R: 1}))
+	b, _ := GlobalImageExtractor{}.Extract("b", flat(10, 10, imagefeat.RGB{R: 1}))
+	c, _ := GlobalImageExtractor{}.Extract("c", flat(10, 10, imagefeat.RGB{B: 1}))
+	if d := Distance(a, b); d > 1e-6 {
+		t.Fatalf("identical images distance %g", d)
+	}
+	if d := Distance(a, c); d <= 0 {
+		t.Fatalf("different images distance %g", d)
+	}
+}
+
+func TestSHDDistance(t *testing.T) {
+	a := object.Single("a", []float32{0, 0, 3})
+	b := object.Single("b", []float32{0, 4, 0})
+	if d := SHDDistance(a, b); d != 5 {
+		t.Fatalf("SHD distance %g, want 5", d)
+	}
+}

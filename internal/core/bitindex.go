@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+
+	"ferret/internal/sketch"
+)
+
+// The paper's filtering unit streams through every segment sketch
+// (§4.1.1); its future work (§8) calls for "improved indexing data
+// structures for similarity search". bitIndex is such a structure: a
+// bit-sampling index in the locality-sensitive-hashing family. B bit
+// positions of the sketch are sampled once; every segment is bucketed by
+// its B-bit key, and a query probes all buckets whose keys lie within a
+// small Hamming radius of its own key. Near segments (few differing sketch
+// bits overall) land in probed buckets with high probability, so the
+// filter inspects a small fraction of the dataset instead of all of it —
+// at a tunable recall cost, measured by the ablation experiments.
+
+// IndexParams configures the optional segment index.
+type IndexParams struct {
+	// Enable turns the index on for the filtering mode.
+	Enable bool
+	// Bits is the number of sampled sketch bit positions (≤ 24 keeps the
+	// probe enumeration cheap). 0 means 16.
+	Bits int
+	// Radius is the probe Hamming radius over the sampled bits. 0 means 2.
+	Radius int
+}
+
+func (p IndexParams) withDefaults() IndexParams {
+	if p.Bits <= 0 {
+		p.Bits = 16
+	}
+	if p.Bits > 24 {
+		p.Bits = 24
+	}
+	if p.Radius <= 0 {
+		p.Radius = 2
+	}
+	if p.Radius > p.Bits {
+		p.Radius = p.Bits
+	}
+	return p
+}
+
+// segRef addresses one segment of one in-memory entry.
+type segRef struct {
+	entry int32
+	seg   int32
+}
+
+type bitIndex struct {
+	positions []int // sampled bit positions within the N-bit sketch
+	radius    int
+	buckets   map[uint32][]segRef
+}
+
+// newBitIndex samples p.Bits distinct positions of an n-bit sketch space.
+func newBitIndex(n int, p IndexParams) *bitIndex {
+	p = p.withDefaults()
+	if p.Bits > n {
+		p.Bits = n
+	}
+	rng := rand.New(rand.NewSource(0x5EC7)) // fixed: index must be rebuildable
+	positions := rng.Perm(n)[:p.Bits]
+	return &bitIndex{
+		positions: positions,
+		radius:    p.Radius,
+		buckets:   make(map[uint32][]segRef),
+	}
+}
+
+// key extracts the sampled bits of a sketch.
+func (ix *bitIndex) key(s sketch.Sketch) uint32 {
+	var k uint32
+	for i, pos := range ix.positions {
+		if s.Bit(pos) {
+			k |= 1 << uint(i)
+		}
+	}
+	return k
+}
+
+// add registers one segment sketch.
+func (ix *bitIndex) add(entry, seg int, s sketch.Sketch) {
+	k := ix.key(s)
+	ix.buckets[k] = append(ix.buckets[k], segRef{entry: int32(entry), seg: int32(seg)})
+}
+
+// probe visits every segment in buckets within the probe radius of the
+// query sketch's key.
+func (ix *bitIndex) probe(qs sketch.Sketch, visit func(ref segRef)) {
+	base := ix.key(qs)
+	ix.enumerate(base, 0, 0, ix.radius, visit)
+}
+
+// enumerate recursively flips up to remaining bits of key starting at
+// position from, visiting each resulting bucket exactly once.
+func (ix *bitIndex) enumerate(key uint32, from, flipped, radius int, visit func(ref segRef)) {
+	for _, ref := range ix.buckets[key] {
+		visit(ref)
+	}
+	if flipped == radius {
+		return
+	}
+	for b := from; b < len(ix.positions); b++ {
+		ix.enumerate(key^(1<<uint(b)), b+1, flipped+1, radius, visit)
+	}
+}
+
+// size returns the number of indexed segments.
+func (ix *bitIndex) size() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}

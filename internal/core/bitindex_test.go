@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+)
+
+func TestIndexParamsDefaults(t *testing.T) {
+	p := IndexParams{}.withDefaults()
+	if p.Bits != 16 || p.Radius != 2 {
+		t.Fatalf("defaults %+v", p)
+	}
+	p = IndexParams{Bits: 100, Radius: 99}.withDefaults()
+	if p.Bits != 24 || p.Radius > p.Bits {
+		t.Fatalf("clamping %+v", p)
+	}
+}
+
+func TestBitIndexKeyAndBuckets(t *testing.T) {
+	ix := newBitIndex(256, IndexParams{Bits: 8, Radius: 1})
+	s := make(sketch.Sketch, sketch.Words(256))
+	for i := range s {
+		s[i] = ^uint64(0) // all ones
+	}
+	if k := ix.key(s); k != 0xFF {
+		t.Fatalf("key of all-ones sketch = %x", k)
+	}
+	ix.add(3, 1, s)
+	if ix.size() != 1 {
+		t.Fatalf("size %d", ix.size())
+	}
+	found := 0
+	ix.probe(s, func(ref segRef) {
+		if ref.entry == 3 && ref.seg == 1 {
+			found++
+		}
+	})
+	if found != 1 {
+		t.Fatalf("exact probe found %d", found)
+	}
+	// A sketch differing in exactly one sampled bit is found at radius 1.
+	s2 := append(sketch.Sketch(nil), s...)
+	s2[ix.positions[4]/64] ^= 1 << (ix.positions[4] % 64)
+	found = 0
+	ix.probe(s2, func(ref segRef) { found++ })
+	if found != 1 {
+		t.Fatalf("radius-1 probe found %d", found)
+	}
+}
+
+func TestProbeEnumerationCount(t *testing.T) {
+	// With B bits and radius 2, distinct probed buckets = 1 + B + B(B−1)/2.
+	ix := newBitIndex(128, IndexParams{Bits: 10, Radius: 2})
+	// Register one segment in every possible bucket key to count probes.
+	s := make(sketch.Sketch, sketch.Words(128))
+	for k := uint32(0); k < 1<<10; k++ {
+		ix.buckets[k] = []segRef{{entry: int32(k)}}
+	}
+	seen := map[int32]bool{}
+	ix.probe(s, func(ref segRef) {
+		if seen[ref.entry] {
+			t.Fatalf("bucket %d probed twice", ref.entry)
+		}
+		seen[ref.entry] = true
+	})
+	want := 1 + 10 + 10*9/2
+	if len(seen) != want {
+		t.Fatalf("probed %d buckets, want %d", len(seen), want)
+	}
+}
+
+// TestIndexedFilteringFindsClusters: with the index enabled, filtering
+// still retrieves the query's cluster.
+func TestIndexedFilteringFindsClusters(t *testing.T) {
+	const d, nseg = 8, 3
+	cfg := testConfig(t.TempDir(), d)
+	cfg.Index = IndexParams{Enable: true, Bits: 12, Radius: 2}
+	e := openEngine(t, cfg)
+	ids := ingestClusters(t, e, 8, 5, d, nseg)
+
+	rng := rand.New(rand.NewSource(31))
+	hits, total := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		q := clusterObject("q", trial, d, nseg, 0.01, rng)
+		results, err := e.Query(q, QueryOptions{Mode: Filtering, K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[object.ID]bool{}
+		for _, id := range ids[trial] {
+			want[id] = true
+		}
+		for _, r := range results {
+			total++
+			if want[r.ID] {
+				hits++
+			}
+		}
+	}
+	if total == 0 || float64(hits)/float64(total) < 0.8 {
+		t.Fatalf("indexed filtering recall %d/%d", hits, total)
+	}
+}
+
+// TestIndexSurvivesReopen: the index is rebuilt from persisted sketches.
+func TestIndexSurvivesReopen(t *testing.T) {
+	const d = 6
+	dir := t.TempDir()
+	cfg := testConfig(dir, d)
+	cfg.Index = IndexParams{Enable: true}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestClusters(t, e, 3, 3, d, 2)
+	if e.index.size() != 3*3*2 {
+		t.Fatalf("index size %d", e.index.size())
+	}
+	e.Close()
+
+	e2 := openEngine(t, cfg)
+	if e2.index == nil || e2.index.size() != 3*3*2 {
+		t.Fatalf("reopened index size %v", e2.index)
+	}
+	q := clusterObject("q", 1, d, 2, 0.01, rand.New(rand.NewSource(7)))
+	if _, err := e2.Query(q, QueryOptions{Mode: Filtering, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

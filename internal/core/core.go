@@ -1,0 +1,900 @@
+// Package core implements the Ferret toolkit's core similarity search
+// engine (paper §4.1.1): the data-input pipeline (sketch construction and
+// metadata persistence) and the query pipeline (filtering and similarity
+// ranking) over the generic weighted multi-segment object representation.
+//
+// The engine supports the three search approaches evaluated in §6.3.3:
+//
+//   - BruteForceOriginal — object distance against every object, using the
+//     original feature vectors.
+//   - BruteForceSketch — object distance against every object, with segment
+//     distances estimated from sketches (Hamming distance).
+//   - Filtering — a fast sketch scan builds a small candidate set, which is
+//     then ranked with the accurate object distance.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"ferret/internal/attr"
+	"ferret/internal/emd"
+	"ferret/internal/kvstore"
+	"ferret/internal/metastore"
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+	"ferret/internal/vector"
+)
+
+// Mode selects one of the three search approaches.
+type Mode int
+
+const (
+	// Filtering is the default two-phase approach: sketch filter + rank.
+	Filtering Mode = iota
+	// BruteForceOriginal ranks every object with the accurate object
+	// distance on the original feature vectors.
+	BruteForceOriginal
+	// BruteForceSketch ranks every object with segment distances estimated
+	// from sketches.
+	BruteForceSketch
+)
+
+// ParseMode resolves the protocol-level mode names ("filtering"/"filter",
+// "bruteforce"/"original", "sketch"/"bruteforcesketch"; "" = Filtering).
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "filtering", "filter":
+		return Filtering, nil
+	case "bruteforce", "original", "bruteforceoriginal":
+		return BruteForceOriginal, nil
+	case "sketch", "bruteforcesketch":
+		return BruteForceSketch, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mode %q", s)
+	}
+}
+
+func (m Mode) String() string {
+	switch m {
+	case Filtering:
+		return "Filtering"
+	case BruteForceOriginal:
+		return "BruteForceOriginal"
+	case BruteForceSketch:
+		return "BruteForceSketch"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// FilterParams tunes the filtering unit (paper §4.1.1, §5: "number of query
+// segments to use in filtering, number of filtered candidates to get for
+// each query segment").
+type FilterParams struct {
+	// QuerySegments is r: how many of the query's highest-weight segments
+	// drive the filter. 0 means min(4, #segments).
+	QuerySegments int
+	// NearestPerSegment is k: how many nearest dataset segments each query
+	// segment contributes to the candidate set. 0 means 10× the requested
+	// result count.
+	NearestPerSegment int
+	// MaxHammingFrac is the loosest acceptable Hamming distance, as a
+	// fraction of the sketch size, for a zero-weight query segment.
+	// 0 means 0.45 (just below the 0.5 uncorrelated point).
+	MaxHammingFrac float64
+	// WeightTighten makes the threshold a decreasing function of the query
+	// segment weight w(Qᵢ): threshold(w) = MaxHammingFrac·(1−WeightTighten·w).
+	// 0 means 0.3; high-weight query segments demand closer matches.
+	WeightTighten float64
+	// ExactDistance filters by computing the user-supplied segment
+	// distance function directly against all feature-vector metadata
+	// instead of comparing sketches — the paper's alternative filtering
+	// path (§4.1.1). Slower per segment but exact; unavailable in
+	// sketch-only databases. MaxDistance bounds acceptance when positive.
+	ExactDistance bool
+	// MaxDistance is the segment-distance acceptance threshold for the
+	// exact filtering path (0 = unbounded: the k-nearest cut alone).
+	MaxDistance float64
+}
+
+func (p FilterParams) withDefaults(nseg, resultK int) FilterParams {
+	if p.QuerySegments <= 0 {
+		p.QuerySegments = 4
+	}
+	if p.QuerySegments > nseg {
+		p.QuerySegments = nseg
+	}
+	if p.NearestPerSegment <= 0 {
+		p.NearestPerSegment = 10 * resultK
+		if p.NearestPerSegment < 32 {
+			p.NearestPerSegment = 32
+		}
+	}
+	if p.MaxHammingFrac <= 0 {
+		// Just below the 0.5 uncorrelated point: the k-nearest heap (not
+		// the threshold) is the main candidate bound, so a loose default
+		// keeps recall high for queries whose neighbors are genuinely far.
+		p.MaxHammingFrac = 0.49
+	}
+	if p.WeightTighten <= 0 {
+		p.WeightTighten = 0.2
+	}
+	return p
+}
+
+// Config parameterizes an Engine — the plug-in distance functions and the
+// sketching/filtering/ranking parameters from paper §5.
+type Config struct {
+	// Dir is the metadata directory.
+	Dir string
+	// Store configures the underlying kvstore (durability policy etc.).
+	Store kvstore.Options
+	// Sketch configures sketch construction for this data type's feature
+	// space (N, K, min/max/weights per dimension).
+	Sketch sketch.Params
+	// SegmentDistance is the plug-in seg_distance; nil means ℓ₁.
+	SegmentDistance vector.Func
+	// ObjectDistance is the plug-in obj_distance; nil means EMD with
+	// SegmentDistance as the ground distance and RankThreshold applied.
+	ObjectDistance func(a, b object.Object) float64
+	// RankThreshold, when positive, caps segment distances inside the
+	// default EMD object distance (thresholded EMD, paper §5.1). It is
+	// also applied, rescaled, to sketch-estimated distances.
+	RankThreshold float64
+	// SqrtWeights enables the square-root segment weighting of the
+	// improved EMD [27] in the default object distance.
+	SqrtWeights bool
+	// SketchOnly keeps sketches as the only internal data structures
+	// (paper §4.1.1): feature vectors are not persisted and ranking uses
+	// sketch-estimated distances in every mode.
+	SketchOnly bool
+	// Filter tunes the filtering unit.
+	Filter FilterParams
+	// Parallelism splits query scans (brute force and filtering) across
+	// this many goroutines. 0 or 1 scans serially; negative uses
+	// GOMAXPROCS.
+	Parallelism int
+	// Index optionally accelerates the filtering unit with a bit-sampling
+	// segment index instead of the full sketch scan (see bitindex.go) —
+	// faster on large datasets at a tunable recall cost.
+	Index IndexParams
+	// LowMemory keeps only sketches resident: the ranking unit fetches
+	// candidate feature vectors from the metadata store on demand instead
+	// of caching every vector in RAM — the paper's large-dataset regime,
+	// where sketches are "an order of magnitude smaller than the feature
+	// vector metadata". BruteForceOriginal degrades to per-object store
+	// reads in this mode; Filtering only reads the (small) candidate set.
+	LowMemory bool
+}
+
+// Result is one ranked search answer.
+type Result struct {
+	ID       object.ID
+	Key      string
+	Distance float64
+}
+
+// QueryOptions controls one similarity query.
+type QueryOptions struct {
+	// Mode selects the search approach; default Filtering.
+	Mode Mode
+	// K is the number of results to return; 0 means 10.
+	K int
+	// Filter overrides the engine's filter parameters when any field is
+	// set.
+	Filter FilterParams
+	// Restrict, when non-nil, limits the search to this ID set — the hook
+	// used to combine attribute-based search with similarity search
+	// (paper §4.1.2).
+	Restrict map[object.ID]bool
+}
+
+// sketchEntry is the in-memory sketch database record for one object: the
+// structure the filtering unit streams through.
+type sketchEntry struct {
+	id       object.ID
+	key      string
+	weights  []float32
+	sketches []sketch.Sketch
+	// dead marks a deleted object (tombstone): scans skip it and the next
+	// Open compacts it away, since the metadata is already gone.
+	dead bool
+}
+
+// Engine is the core similarity search engine. It is safe for concurrent
+// queries; ingest is serialized internally.
+type Engine struct {
+	cfg     Config
+	meta    *metastore.Store
+	attrs   *attr.Engine
+	builder *sketch.Builder
+
+	objDist func(a, b object.Object) float64
+	segDist vector.Func
+
+	mu      sync.RWMutex
+	entries []sketchEntry   // in-memory sketch database, ID order
+	objects []object.Object // in-memory feature vectors (unless SketchOnly)
+	index   *bitIndex       // optional filtering accelerator
+	deleted int             // live tombstone count
+}
+
+// Open opens or creates an engine. On reopen, the persisted sketch builder
+// is restored so new sketches stay compatible with stored ones; the
+// in-memory sketch database (and feature-vector cache) is rebuilt from the
+// metadata store.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("core: Dir is required")
+	}
+	meta, err := metastore.Open(cfg.Dir, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, meta: meta, attrs: attr.New(meta.KV())}
+
+	e.segDist = cfg.SegmentDistance
+	if e.segDist == nil {
+		e.segDist = vector.L1
+	}
+	e.objDist = cfg.ObjectDistance
+	if e.objDist == nil {
+		e.objDist = emd.ObjectDistance(emd.Options{
+			Ground:      e.segDist,
+			Threshold:   cfg.RankThreshold,
+			SqrtWeights: cfg.SqrtWeights,
+		})
+	}
+
+	b, ok, err := meta.LoadBuilder()
+	if err != nil {
+		meta.Close()
+		return nil, err
+	}
+	if ok {
+		e.builder = b
+	} else {
+		b, err := sketch.NewBuilder(cfg.Sketch)
+		if err != nil {
+			meta.Close()
+			return nil, fmt.Errorf("core: sketch params: %w", err)
+		}
+		if err := meta.SaveBuilder(b); err != nil {
+			meta.Close()
+			return nil, err
+		}
+		e.builder = b
+	}
+
+	meta.ForEachSketchSet(func(id object.ID, set *metastore.SketchSet) bool {
+		e.entries = append(e.entries, sketchEntry{id: id, weights: set.Weights, sketches: set.Sketches})
+		return true
+	})
+	for i := range e.entries {
+		e.entries[i].key = meta.Key(e.entries[i].id)
+	}
+	if !cfg.SketchOnly && !cfg.LowMemory {
+		meta.ForEachObject(func(o object.Object) bool {
+			e.objects = append(e.objects, o)
+			return true
+		})
+		// The ranking unit indexes objects by sketch-entry position, so the
+		// two caches must be exactly parallel.
+		if len(e.objects) != len(e.entries) {
+			meta.Close()
+			return nil, fmt.Errorf("core: %d feature-vector records but %d sketch records (corrupt store?)",
+				len(e.objects), len(e.entries))
+		}
+		for i := range e.objects {
+			if e.objects[i].ID != e.entries[i].id {
+				meta.Close()
+				return nil, fmt.Errorf("core: object/sketch record mismatch at position %d", i)
+			}
+		}
+	}
+	if cfg.Index.Enable {
+		e.index = newBitIndex(e.builder.N(), cfg.Index)
+		for idx := range e.entries {
+			for si, sk := range e.entries[idx].sketches {
+				e.index.add(idx, si, sk)
+			}
+		}
+	}
+	return e, nil
+}
+
+// Close releases the engine and its metadata store.
+func (e *Engine) Close() error { return e.meta.Close() }
+
+// Meta exposes the metadata manager.
+func (e *Engine) Meta() *metastore.Store { return e.meta }
+
+// Attrs exposes the attribute search engine sharing this engine's store.
+func (e *Engine) Attrs() *attr.Engine { return e.attrs }
+
+// Builder exposes the engine's sketch builder (useful for diagnostics).
+func (e *Engine) Builder() *sketch.Builder { return e.builder }
+
+// Count returns the number of live (non-deleted) objects.
+func (e *Engine) Count() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.entries) - e.deleted
+}
+
+// Stats summarizes the engine's in-memory state.
+type Stats struct {
+	// Objects is the number of live objects.
+	Objects int
+	// Deleted is the number of tombstoned entries awaiting compaction.
+	Deleted int
+	// Segments is the number of live segment sketches.
+	Segments int
+	// SketchBits is the sketch size per segment.
+	SketchBits int
+	// SketchBytes is the total in-memory sketch storage.
+	SketchBytes int
+	// IndexedSegments is the bit-sampling index population (0 when the
+	// index is disabled).
+	IndexedSegments int
+}
+
+// Stat reports engine statistics.
+func (e *Engine) Stat() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := Stats{
+		Objects:    len(e.entries) - e.deleted,
+		Deleted:    e.deleted,
+		SketchBits: e.builder.N(),
+	}
+	words := sketch.Words(e.builder.N())
+	for i := range e.entries {
+		if e.entries[i].dead {
+			continue
+		}
+		st.Segments += len(e.entries[i].sketches)
+	}
+	st.SketchBytes = st.Segments * words * 8
+	if e.index != nil {
+		st.IndexedSegments = e.index.size()
+	}
+	return st
+}
+
+// Compact rebuilds the in-memory caches without tombstones and, when
+// enabled, rebuilds the bit-sampling index. Queries are blocked for the
+// duration. (Reopening the engine has the same effect, since deleted
+// metadata is already gone from the store.)
+func (e *Engine) Compact() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted == 0 {
+		return
+	}
+	cached := !e.cfg.SketchOnly && !e.cfg.LowMemory
+	liveEntries := make([]sketchEntry, 0, len(e.entries)-e.deleted)
+	var liveObjects []object.Object
+	if cached {
+		liveObjects = make([]object.Object, 0, len(e.entries)-e.deleted)
+	}
+	for i := range e.entries {
+		if e.entries[i].dead {
+			continue
+		}
+		liveEntries = append(liveEntries, e.entries[i])
+		if cached {
+			liveObjects = append(liveObjects, e.objects[i])
+		}
+	}
+	e.entries = liveEntries
+	e.objects = liveObjects
+	e.deleted = 0
+	if e.index != nil {
+		e.index = newBitIndex(e.builder.N(), e.cfg.Index)
+		for idx := range e.entries {
+			for si, sk := range e.entries[idx].sketches {
+				e.index.add(idx, si, sk)
+			}
+		}
+	}
+}
+
+// Delete removes an object: its metadata is deleted transactionally and
+// its in-memory entry is tombstoned (skipped by all scans). Tombstones are
+// compacted away by Compact or on the next Open.
+func (e *Engine) Delete(id object.ID) error {
+	if err := e.meta.DeleteObject(id, func(txn *kvstore.Txn, id object.ID) {
+		e.attrs.Delete(txn, id)
+	}); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.entries {
+		if e.entries[i].id == id && !e.entries[i].dead {
+			e.entries[i].dead = true
+			e.deleted++
+			break
+		}
+	}
+	return nil
+}
+
+// Ingest adds one object: sketches are constructed for every segment and
+// all metadata (feature vectors unless SketchOnly, sketches, key mapping,
+// attributes) is committed in a single transaction.
+func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
+	if err := o.Validate(); err != nil {
+		return 0, fmt.Errorf("core: invalid object %q: %w", o.Key, err)
+	}
+	if o.Dim() != e.builder.Dim() {
+		return 0, fmt.Errorf("core: object %q has dimension %d, engine expects %d", o.Key, o.Dim(), e.builder.Dim())
+	}
+	set := &metastore.SketchSet{
+		Weights:  make([]float32, len(o.Segments)),
+		Sketches: make([]sketch.Sketch, len(o.Segments)),
+	}
+	for i, seg := range o.Segments {
+		set.Weights[i] = seg.Weight
+		set.Sketches[i] = e.builder.Build(seg.Vec)
+	}
+	var extra func(txn *kvstore.Txn, id object.ID)
+	if len(attrs) > 0 {
+		extra = func(txn *kvstore.Txn, id object.ID) { e.attrs.Set(txn, id, attrs) }
+	}
+	id, err := e.meta.AddObject(o, set, e.cfg.SketchOnly, extra)
+	if err != nil {
+		return 0, err
+	}
+	o.ID = id
+	e.mu.Lock()
+	e.entries = append(e.entries, sketchEntry{id: id, key: o.Key, weights: set.Weights, sketches: set.Sketches})
+	if e.index != nil {
+		idx := len(e.entries) - 1
+		for si, sk := range set.Sketches {
+			e.index.add(idx, si, sk)
+		}
+	}
+	if !e.cfg.SketchOnly && !e.cfg.LowMemory {
+		e.objects = append(e.objects, o)
+	}
+	e.mu.Unlock()
+	return id, nil
+}
+
+// QueryByID runs a similarity query using an already-ingested object as the
+// query object. In SketchOnly databases only sketch modes are meaningful.
+func (e *Engine) QueryByID(id object.ID, opt QueryOptions) ([]Result, error) {
+	if o, ok := e.meta.GetObject(id); ok {
+		return e.Query(o, opt)
+	}
+	// Sketch-only store: synthesize a query from the stored sketch set.
+	set, ok := e.meta.GetSketchSet(id)
+	if !ok {
+		return nil, fmt.Errorf("core: no object with id %d", id)
+	}
+	return e.querySketchSet(set, opt)
+}
+
+// Query runs a similarity search for the query object q (typically the
+// output of the plug-in segmentation and feature extraction unit applied to
+// the query data).
+func (e *Engine) Query(q object.Object, opt QueryOptions) ([]Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid query object: %w", err)
+	}
+	if q.Dim() != e.builder.Dim() {
+		return nil, fmt.Errorf("core: query dimension %d, engine expects %d", q.Dim(), e.builder.Dim())
+	}
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	qset := e.buildSketchSet(q)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	switch opt.Mode {
+	case BruteForceOriginal:
+		if e.cfg.SketchOnly {
+			return nil, errors.New("core: BruteForceOriginal unavailable in sketch-only mode")
+		}
+		return e.rankAll(q, opt), nil
+	case BruteForceSketch:
+		return e.rankAllSketch(qset, opt), nil
+	case Filtering:
+		cands, err := e.filter(&q, qset, opt)
+		if err != nil {
+			return nil, err
+		}
+		if e.cfg.SketchOnly {
+			return e.rankSketchCandidates(qset, cands, opt), nil
+		}
+		return e.rankCandidates(q, cands, opt), nil
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", opt.Mode)
+	}
+}
+
+// querySketchSet is QueryByID's sketch-only path: the stored sketches stand
+// in for the query's.
+func (e *Engine) querySketchSet(qset *metastore.SketchSet, opt QueryOptions) ([]Result, error) {
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	switch opt.Mode {
+	case BruteForceSketch:
+		return e.rankAllSketch(qset, opt), nil
+	case Filtering:
+		cands, err := e.filter(nil, qset, opt)
+		if err != nil {
+			return nil, err
+		}
+		return e.rankSketchCandidates(qset, cands, opt), nil
+	default:
+		return nil, errors.New("core: only sketch modes are available for sketch-only queries")
+	}
+}
+
+func (e *Engine) buildSketchSet(q object.Object) *metastore.SketchSet {
+	set := &metastore.SketchSet{
+		Weights:  make([]float32, len(q.Segments)),
+		Sketches: make([]sketch.Sketch, len(q.Segments)),
+	}
+	for i, seg := range q.Segments {
+		set.Weights[i] = seg.Weight
+		set.Sketches[i] = e.builder.Build(seg.Vec)
+	}
+	return set
+}
+
+// rankAll is BruteForceOriginal: the accurate object distance against every
+// (non-restricted) object, sharded across the configured parallelism. In
+// LowMemory mode each feature-vector record is fetched from the metadata
+// store as the scan reaches it.
+func (e *Engine) rankAll(q object.Object, opt QueryOptions) []Result {
+	if e.cfg.LowMemory {
+		return e.rankParallel(len(e.entries), opt, func(i int) (Result, bool) {
+			ent := &e.entries[i]
+			if ent.dead {
+				return Result{}, false
+			}
+			if opt.Restrict != nil && !opt.Restrict[ent.id] {
+				return Result{}, false
+			}
+			o, ok := e.meta.GetObject(ent.id)
+			if !ok {
+				return Result{}, false
+			}
+			return Result{ID: ent.id, Key: ent.key, Distance: e.objDist(q, o)}, true
+		})
+	}
+	return e.rankParallel(len(e.objects), opt, func(i int) (Result, bool) {
+		o := &e.objects[i]
+		if e.entries[i].dead {
+			return Result{}, false
+		}
+		if opt.Restrict != nil && !opt.Restrict[o.ID] {
+			return Result{}, false
+		}
+		return Result{ID: o.ID, Key: o.Key, Distance: e.objDist(q, *o)}, true
+	})
+}
+
+// rankAllSketch is BruteForceSketch: sketch-estimated object distance
+// against every object.
+func (e *Engine) rankAllSketch(qset *metastore.SketchSet, opt QueryOptions) []Result {
+	return e.rankParallel(len(e.entries), opt, func(i int) (Result, bool) {
+		ent := &e.entries[i]
+		if ent.dead {
+			return Result{}, false
+		}
+		if opt.Restrict != nil && !opt.Restrict[ent.id] {
+			return Result{}, false
+		}
+		return Result{ID: ent.id, Key: ent.key, Distance: e.sketchObjectDistance(qset, ent)}, true
+	})
+}
+
+// filter implements the filtering unit: for each of the r highest-weight
+// query segments, stream through all dataset segment sketches (or, on the
+// exact path, all feature vectors) and keep the k nearest within a
+// weight-dependent threshold; the union of the owning objects is the
+// candidate set (as entry indices). q may be nil for sketch-only queries.
+func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOptions) ([]int, error) {
+	p := opt.Filter
+	if p == (FilterParams{}) {
+		p = e.cfg.Filter
+	}
+	p = p.withDefaults(len(qset.Sketches), opt.K)
+	if p.ExactDistance {
+		return e.filterExact(q, p, opt)
+	}
+
+	// Pick the r highest-weight query segments.
+	order := make([]int, len(qset.Sketches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qset.Weights[order[a]] > qset.Weights[order[b]] })
+	order = order[:p.QuerySegments]
+
+	candidates := make(map[int]struct{})
+	n := e.builder.N()
+	workers := e.workers()
+	for _, qi := range order {
+		w := float64(qset.Weights[qi])
+		frac := p.MaxHammingFrac * (1 - p.WeightTighten*w)
+		maxHam := int(frac * float64(n))
+		qsk := qset.Sketches[qi]
+
+		// With the bit-sampling index enabled, probe its buckets instead
+		// of streaming through every segment sketch.
+		if e.index != nil {
+			heap := newSegHeap(p.NearestPerSegment)
+			e.index.probe(qsk, func(ref segRef) {
+				ent := &e.entries[ref.entry]
+				if ent.dead {
+					return
+				}
+				if opt.Restrict != nil && !opt.Restrict[ent.id] {
+					return
+				}
+				h := sketch.Hamming(qsk, ent.sketches[ref.seg])
+				if h <= maxHam && h < heap.worst() {
+					heap.push(int(ref.entry), h)
+				}
+			})
+			for _, idx := range heap.items() {
+				candidates[idx] = struct{}{}
+			}
+			continue
+		}
+
+		// k-nearest dataset segments within maxHam, tracked in bounded
+		// max-heaps (one per scan shard) keyed by Hamming distance; each
+		// heap's root tightens its shard's bound as the scan proceeds.
+		heaps := make([]*segHeap, workers)
+		parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
+			heap := newSegHeap(p.NearestPerSegment)
+			for idx := lo; idx < hi; idx++ {
+				ent := &e.entries[idx]
+				if ent.dead {
+					continue
+				}
+				if opt.Restrict != nil && !opt.Restrict[ent.id] {
+					continue
+				}
+				bound := maxHam
+				if w := heap.worst(); w <= bound {
+					bound = w - 1
+				}
+				for si := range ent.sketches {
+					h := sketch.Hamming(qsk, ent.sketches[si])
+					if h <= bound {
+						heap.push(idx, h)
+						if w := heap.worst(); w <= maxHam && w-1 < bound {
+							bound = w - 1
+						}
+					}
+				}
+			}
+			heaps[shard] = heap
+		})
+		merged := heaps[0]
+		if workers > 1 {
+			merged = newSegHeap(p.NearestPerSegment)
+			for _, h := range heaps {
+				if h == nil {
+					continue
+				}
+				for i := range h.entry {
+					if h.ham[i] < merged.worst() {
+						merged.push(h.entry[i], h.ham[i])
+					}
+				}
+			}
+		}
+		for _, idx := range merged.items() {
+			candidates[idx] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(candidates))
+	for idx := range candidates {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// filterExact is the filtering unit's exact path: the user-supplied segment
+// distance function is computed directly against all feature-vector
+// metadata (paper §4.1.1's alternative to the sketch comparison).
+func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions) ([]int, error) {
+	if q == nil || e.cfg.SketchOnly {
+		return nil, errors.New("core: exact-distance filtering requires stored feature vectors")
+	}
+	getObject := func(i int) (object.Object, bool) {
+		if e.cfg.LowMemory {
+			return e.meta.GetObject(e.entries[i].id)
+		}
+		return e.objects[i], true
+	}
+
+	// Pick the r highest-weight query segments.
+	order := make([]int, len(q.Segments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return q.Segments[order[a]].Weight > q.Segments[order[b]].Weight })
+	order = order[:p.QuerySegments]
+
+	candidates := make(map[int]struct{})
+	for _, qi := range order {
+		qvec := q.Segments[qi].Vec
+		// Weight-dependent threshold, as on the sketch path.
+		maxDist := math.Inf(1)
+		if p.MaxDistance > 0 {
+			maxDist = p.MaxDistance * (1 - p.WeightTighten*float64(q.Segments[qi].Weight))
+		}
+		var kept []scoredIdx
+		worst := math.Inf(1)
+		for idx := range e.entries {
+			if e.entries[idx].dead {
+				continue
+			}
+			if opt.Restrict != nil && !opt.Restrict[e.entries[idx].id] {
+				continue
+			}
+			o, ok := getObject(idx)
+			if !ok {
+				continue
+			}
+			best := math.Inf(1)
+			for si := range o.Segments {
+				if d := e.segDist(qvec, o.Segments[si].Vec); d < best {
+					best = d
+				}
+			}
+			if best > maxDist || (len(kept) >= p.NearestPerSegment && best >= worst) {
+				continue
+			}
+			kept = append(kept, scoredIdx{idx, best})
+			if len(kept) > 4*p.NearestPerSegment {
+				kept = trimScored(kept, p.NearestPerSegment)
+				worst = kept[len(kept)-1].dist
+			}
+		}
+		kept = trimScored(kept, p.NearestPerSegment)
+		for _, s := range kept {
+			candidates[s.idx] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(candidates))
+	for idx := range candidates {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// scoredIdx pairs an entry index with an exact segment distance.
+type scoredIdx struct {
+	idx  int
+	dist float64
+}
+
+// trimScored keeps the k smallest-distance entries (sorted ascending).
+func trimScored(s []scoredIdx, k int) []scoredIdx {
+	sort.Slice(s, func(i, j int) bool { return s[i].dist < s[j].dist })
+	if len(s) > k {
+		s = s[:k]
+	}
+	return s
+}
+
+// rankCandidates ranks the candidate entries with the accurate object
+// distance (the ranking unit). In LowMemory mode only the candidates'
+// feature-vector records are read from the metadata store — the payoff of
+// the filter-then-rank design for datasets that do not fit in RAM.
+func (e *Engine) rankCandidates(q object.Object, cands []int, opt QueryOptions) []Result {
+	top := newTopK(opt.K)
+	for _, idx := range cands {
+		if e.cfg.LowMemory {
+			ent := &e.entries[idx]
+			o, ok := e.meta.GetObject(ent.id)
+			if !ok {
+				continue
+			}
+			top.push(Result{ID: ent.id, Key: ent.key, Distance: e.objDist(q, o)})
+			continue
+		}
+		o := &e.objects[idx]
+		top.push(Result{ID: o.ID, Key: o.Key, Distance: e.objDist(q, *o)})
+	}
+	return top.sorted()
+}
+
+// rankSketchCandidates ranks candidates with the sketch-estimated object
+// distance (sketch-only databases).
+func (e *Engine) rankSketchCandidates(qset *metastore.SketchSet, cands []int, opt QueryOptions) []Result {
+	top := newTopK(opt.K)
+	for _, idx := range cands {
+		ent := &e.entries[idx]
+		d := e.sketchObjectDistance(qset, ent)
+		top.push(Result{ID: ent.id, Key: ent.key, Distance: d})
+	}
+	return top.sorted()
+}
+
+// sketchObjectDistance estimates the object distance from sketches alone:
+// the EMD over the segment weights with a ground cost matrix of
+// sketch-estimated ℓ₁ distances. Single-segment objects reduce to one
+// estimated segment distance.
+func (e *Engine) sketchObjectDistance(qset *metastore.SketchSet, ent *sketchEntry) float64 {
+	m, n := len(qset.Sketches), len(ent.sketches)
+	if m == 0 || n == 0 {
+		return infinity
+	}
+	if m == 1 && n == 1 {
+		return e.estimate(qset.Sketches[0], ent.sketches[0])
+	}
+	supply := make([]float64, m)
+	for i, w := range qset.Weights {
+		supply[i] = float64(w)
+	}
+	demand := make([]float64, n)
+	for j, w := range ent.weights {
+		demand[j] = float64(w)
+	}
+	normalize(supply)
+	normalize(demand)
+	cost := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			cost[i][j] = e.estimate(qset.Sketches[i], ent.sketches[j])
+		}
+	}
+	val, _, err := emd.Solve(supply, demand, cost)
+	if err != nil {
+		return infinity
+	}
+	return val
+}
+
+// estimate converts a Hamming distance into an estimated segment distance,
+// applying the rank threshold when configured.
+func (e *Engine) estimate(a, b sketch.Sketch) float64 {
+	d := e.builder.EstimateL1(sketch.Hamming(a, b))
+	if t := e.cfg.RankThreshold; t > 0 && d > t {
+		d = t
+	}
+	return d
+}
+
+const infinity = 1e300
+
+func normalize(w []float64) {
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= total
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ferret/internal/object"
+)
+
+func TestDeleteRemovesFromResults(t *testing.T) {
+	const d = 6
+	e := openEngine(t, testConfig(t.TempDir(), d))
+	ids := ingestClusters(t, e, 3, 4, d, 2)
+	victim := ids[1][0]
+
+	if err := e.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 11 {
+		t.Fatalf("Count = %d", e.Count())
+	}
+	st := e.Stat()
+	if st.Objects != 11 || st.Deleted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The deleted object never appears again, in any mode.
+	q := clusterObject("q", 1, d, 2, 0.01, rand.New(rand.NewSource(3)))
+	for _, mode := range []Mode{BruteForceOriginal, BruteForceSketch, Filtering} {
+		results, err := e.Query(q, QueryOptions{Mode: mode, K: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.ID == victim {
+				t.Fatalf("%v: deleted object returned", mode)
+			}
+		}
+	}
+	// Metadata is gone.
+	if _, ok := e.Meta().GetObject(victim); ok {
+		t.Fatal("metadata survived delete")
+	}
+	// Its key can be re-ingested.
+	key := "c01-m00"
+	o := clusterObject(key, 1, d, 2, 0.01, rand.New(rand.NewSource(4)))
+	if _, err := e.Ingest(o, nil); err != nil {
+		t.Fatalf("re-ingest: %v", err)
+	}
+}
+
+func TestDeleteWithIndex(t *testing.T) {
+	const d = 6
+	cfg := testConfig(t.TempDir(), d)
+	cfg.Index = IndexParams{Enable: true, Bits: 10, Radius: 2}
+	e := openEngine(t, cfg)
+	ids := ingestClusters(t, e, 3, 4, d, 2)
+	victim := ids[0][0]
+	if err := e.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	q := clusterObject("q", 0, d, 2, 0.01, rand.New(rand.NewSource(5)))
+	results, err := e.Query(q, QueryOptions{Mode: Filtering, K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.ID == victim {
+			t.Fatal("deleted object returned through index probe")
+		}
+	}
+}
+
+func TestDeleteCompactedOnReopen(t *testing.T) {
+	const d = 6
+	dir := t.TempDir()
+	cfg := testConfig(dir, d)
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ingestClusters(t, e, 2, 3, d, 2)
+	if err := e.Delete(ids[0][1]); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stat(); st.Deleted != 1 {
+		t.Fatalf("pre-reopen stats %+v", st)
+	}
+	e.Close()
+
+	e2 := openEngine(t, cfg)
+	st := e2.Stat()
+	if st.Objects != 5 || st.Deleted != 0 {
+		t.Fatalf("post-reopen stats %+v", st)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	const d = 6
+	cfg := testConfig(t.TempDir(), d)
+	cfg.Index = IndexParams{Enable: true, Bits: 8, Radius: 1}
+	e := openEngine(t, cfg)
+	ids := ingestClusters(t, e, 3, 4, d, 2)
+	for _, id := range ids[0] {
+		if err := e.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stat(); st.Deleted != 4 {
+		t.Fatalf("pre-compact %+v", st)
+	}
+	e.Compact()
+	st := e.Stat()
+	if st.Deleted != 0 || st.Objects != 8 {
+		t.Fatalf("post-compact %+v", st)
+	}
+	if st.IndexedSegments != 8*2 {
+		t.Fatalf("index not rebuilt: %+v", st)
+	}
+	// Queries still work and exclude the deleted cluster.
+	q := clusterObject("q", 0, d, 2, 0.01, rand.New(rand.NewSource(8)))
+	results, err := e.Query(q, QueryOptions{Mode: BruteForceOriginal, K: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("%d results after compact", len(results))
+	}
+	// Compacting a clean engine is a no-op.
+	e.Compact()
+	if st := e.Stat(); st.Objects != 8 {
+		t.Fatalf("second compact changed state: %+v", st)
+	}
+}
+
+func TestDeleteUnknownID(t *testing.T) {
+	const d = 4
+	e := openEngine(t, testConfig(t.TempDir(), d))
+	// Deleting a never-ingested ID is a no-op commit (metastore tolerates
+	// missing rows); Count must be unaffected.
+	if err := e.Delete(object.ID(999)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 {
+		t.Fatalf("Count = %d", e.Count())
+	}
+}
+
+func TestStatSegments(t *testing.T) {
+	const d = 4
+	e := openEngine(t, testConfig(t.TempDir(), d))
+	ingestClusters(t, e, 2, 2, d, 3)
+	st := e.Stat()
+	if st.Segments != 2*2*3 {
+		t.Fatalf("segments %d", st.Segments)
+	}
+	if st.SketchBits != 256 || st.SketchBytes != st.Segments*4*8 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import "sort"
+
+// topK keeps the K smallest-distance results seen so far in a bounded
+// max-heap (the root is the current worst kept result).
+type topK struct {
+	k     int
+	items []Result
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, items: make([]Result, 0, k)}
+}
+
+func (t *topK) push(r Result) {
+	if len(t.items) < t.k {
+		t.items = append(t.items, r)
+		t.up(len(t.items) - 1)
+		return
+	}
+	if r.Distance >= t.items[0].Distance {
+		return
+	}
+	t.items[0] = r
+	t.down(0)
+}
+
+func (t *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.items[parent].Distance >= t.items[i].Distance {
+			break
+		}
+		t.items[parent], t.items[i] = t.items[i], t.items[parent]
+		i = parent
+	}
+}
+
+func (t *topK) down(i int) {
+	n := len(t.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.items[l].Distance > t.items[largest].Distance {
+			largest = l
+		}
+		if r < n && t.items[r].Distance > t.items[largest].Distance {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.items[i], t.items[largest] = t.items[largest], t.items[i]
+		i = largest
+	}
+}
+
+// sorted returns the kept results in ascending distance order (ties broken
+// by ID for determinism).
+func (t *topK) sorted() []Result {
+	out := append([]Result(nil), t.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// segHeap keeps the k nearest dataset segments for one query segment: a
+// bounded max-heap on Hamming distance. Once full, its root (the worst kept
+// distance) tightens the acceptance bound, so scans over large datasets
+// reject most segments with a single comparison.
+type segHeap struct {
+	k     int
+	entry []int // owning entry index per slot
+	ham   []int // hamming distance per slot; slot 0 is the max
+}
+
+func newSegHeap(k int) *segHeap {
+	return &segHeap{k: k, entry: make([]int, 0, k), ham: make([]int, 0, k)}
+}
+
+// worst returns the current rejection bound: pushes with a distance at or
+// above it cannot enter a full heap.
+func (h *segHeap) worst() int {
+	if len(h.ham) < h.k {
+		return int(^uint(0) >> 1) // max int: heap not yet full
+	}
+	return h.ham[0]
+}
+
+// push offers one (entry, hamming) pair.
+func (h *segHeap) push(entry, hamming int) {
+	if len(h.ham) < h.k {
+		h.entry = append(h.entry, entry)
+		h.ham = append(h.ham, hamming)
+		// Sift up.
+		i := len(h.ham) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if h.ham[parent] >= h.ham[i] {
+				break
+			}
+			h.ham[parent], h.ham[i] = h.ham[i], h.ham[parent]
+			h.entry[parent], h.entry[i] = h.entry[i], h.entry[parent]
+			i = parent
+		}
+		return
+	}
+	if hamming >= h.ham[0] {
+		return
+	}
+	h.ham[0] = hamming
+	h.entry[0] = entry
+	// Sift down.
+	i, n := 0, len(h.ham)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.ham[l] > h.ham[largest] {
+			largest = l
+		}
+		if r < n && h.ham[r] > h.ham[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.ham[i], h.ham[largest] = h.ham[largest], h.ham[i]
+		h.entry[i], h.entry[largest] = h.entry[largest], h.entry[i]
+		i = largest
+	}
+}
+
+// items returns the kept entry indices (duplicates possible when one object
+// owns several near segments; the caller's candidate-set union dedups).
+func (h *segHeap) items() []int {
+	return h.entry
+}

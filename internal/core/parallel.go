@@ -1,0 +1,85 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The engine's scans — brute-force ranking and the filtering unit's sketch
+// streaming — are embarrassingly parallel over the dataset. When
+// Config.Parallelism requests it, scans are partitioned into contiguous
+// shards, each processed by one goroutine with its own bounded heap, and
+// the per-shard results are merged. Results are identical to the serial
+// scan up to ties.
+
+// workers resolves the configured parallelism.
+func (e *Engine) workers() int {
+	p := e.cfg.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// parallelScan invokes process(shardIndex, lo, hi) over [0, n) split into
+// contiguous shards, one goroutine each.
+func parallelScan(n, workers int, process func(shard, lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		process(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	shard := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			process(shard, lo, hi)
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+}
+
+// rankParallel runs a distance function over the (restricted) index range
+// across workers, keeping the global top K.
+func (e *Engine) rankParallel(n int, opt QueryOptions, distance func(idx int) (Result, bool)) []Result {
+	workers := e.workers()
+	if workers <= 1 {
+		top := newTopK(opt.K)
+		for i := 0; i < n; i++ {
+			if r, ok := distance(i); ok {
+				top.push(r)
+			}
+		}
+		return top.sorted()
+	}
+	tops := make([]*topK, workers)
+	parallelScan(n, workers, func(shard, lo, hi int) {
+		top := newTopK(opt.K)
+		for i := lo; i < hi; i++ {
+			if r, ok := distance(i); ok {
+				top.push(r)
+			}
+		}
+		tops[shard] = top
+	})
+	merged := newTopK(opt.K)
+	for _, t := range tops {
+		if t == nil {
+			continue
+		}
+		for _, r := range t.items {
+			merged.push(r)
+		}
+	}
+	return merged.sorted()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelMatchesSerial: the sharded scans must return the same result
+// sets as the serial ones in every mode.
+func TestParallelMatchesSerial(t *testing.T) {
+	const d, nseg = 8, 3
+	serialCfg := testConfig(t.TempDir(), d)
+	serial := openEngine(t, serialCfg)
+	parallelCfg := testConfig(t.TempDir(), d)
+	parallelCfg.Parallelism = 4
+	parallel := openEngine(t, parallelCfg)
+
+	ingestClusters(t, serial, 8, 6, d, nseg)
+	ingestClusters(t, parallel, 8, 6, d, nseg)
+
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		q := clusterObject("q", trial, d, nseg, 0.01, rng)
+		for _, mode := range []Mode{BruteForceOriginal, BruteForceSketch, Filtering} {
+			rs, err := serial.Query(q, QueryOptions{Mode: mode, K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := parallel.Query(q, QueryOptions{Mode: mode, K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != len(rp) {
+				t.Fatalf("%v: %d vs %d results", mode, len(rs), len(rp))
+			}
+			for i := range rs {
+				// Allow tie reordering but demand identical distances.
+				if rs[i].Distance != rp[i].Distance {
+					t.Fatalf("%v trial %d rank %d: serial %v parallel %v", mode, trial, i, rs[i], rp[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	e := &Engine{cfg: Config{Parallelism: 0}}
+	if e.workers() != 1 {
+		t.Fatalf("default workers %d", e.workers())
+	}
+	e.cfg.Parallelism = 3
+	if e.workers() != 3 {
+		t.Fatal("explicit parallelism ignored")
+	}
+	e.cfg.Parallelism = -1
+	if e.workers() < 1 {
+		t.Fatal("GOMAXPROCS resolution failed")
+	}
+}
+
+func TestParallelScanCoversRange(t *testing.T) {
+	seen := make([]int, 100)
+	parallelScan(100, 7, func(shard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
+	}
+	// Small n falls back to one shard.
+	calls := 0
+	parallelScan(3, 8, func(shard, lo, hi int) {
+		calls++
+		if lo != 0 || hi != 3 {
+			t.Fatalf("fallback shard [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("%d calls", calls)
+	}
+	// Zero n is a no-op for workers > 1 and a single empty call otherwise.
+	parallelScan(0, 4, func(shard, lo, hi int) {
+		if lo != hi {
+			t.Fatal("non-empty range for n=0")
+		}
+	})
+}

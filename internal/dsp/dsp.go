@@ -1,0 +1,239 @@
+// Package dsp provides the signal-processing substrate for the audio
+// plugin (paper §5.2): FFT, windowing, mel filterbanks, DCT and MFCC
+// extraction. It replaces the Marsyas library the paper used for feature
+// extraction.
+package dsp
+
+import (
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic("dsp: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplxExp(step * float64(k))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+func cmplxExp(theta float64) complex128 {
+	s, c := math.Sincos(theta)
+	return complex(c, s)
+}
+
+// PowerSpectrum returns |X_k|² for k = 0..n/2 of the FFT of the real signal
+// frame (len must be a power of two).
+func PowerSpectrum(frame []float64) []float64 {
+	n := len(frame)
+	buf := make([]complex128, n)
+	for i, v := range frame {
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	out := make([]float64, n/2+1)
+	for k := range out {
+		re, im := real(buf[k]), imag(buf[k])
+		out[k] = re*re + im*im
+	}
+	return out
+}
+
+// HammingWindow returns the n-point Hamming window.
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// hzToMel converts a frequency to the mel scale (HTK formula).
+func hzToMel(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// melToHz is the inverse of hzToMel.
+func melToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// MelBank is a triangular mel filterbank over an FFT power spectrum.
+type MelBank struct {
+	filters [][]float64 // filters[f][k]: weight of spectrum bin k in filter f
+}
+
+// NewMelBank builds numFilters triangular filters spanning [lowHz, highHz]
+// for frames of fftSize samples at the given sample rate.
+func NewMelBank(numFilters, fftSize, sampleRate int, lowHz, highHz float64) *MelBank {
+	if highHz <= 0 || highHz > float64(sampleRate)/2 {
+		highHz = float64(sampleRate) / 2
+	}
+	nBins := fftSize/2 + 1
+	lowMel, highMel := hzToMel(lowHz), hzToMel(highHz)
+	// numFilters+2 equally spaced mel points define the triangle corners.
+	points := make([]int, numFilters+2)
+	for i := range points {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(numFilters+1)
+		hz := melToHz(mel)
+		bin := int(math.Floor(float64(fftSize+1) * hz / float64(sampleRate)))
+		if bin > nBins-1 {
+			bin = nBins - 1
+		}
+		points[i] = bin
+	}
+	mb := &MelBank{filters: make([][]float64, numFilters)}
+	for f := 0; f < numFilters; f++ {
+		filt := make([]float64, nBins)
+		left, center, right := points[f], points[f+1], points[f+2]
+		for k := left; k < center; k++ {
+			if center > left {
+				filt[k] = float64(k-left) / float64(center-left)
+			}
+		}
+		for k := center; k <= right && k < nBins; k++ {
+			if right > center {
+				filt[k] = float64(right-k) / float64(right-center)
+			} else if k == center {
+				filt[k] = 1
+			}
+		}
+		mb.filters[f] = filt
+	}
+	return mb
+}
+
+// Apply returns the log filterbank energies of a power spectrum.
+func (mb *MelBank) Apply(power []float64) []float64 {
+	out := make([]float64, len(mb.filters))
+	for f, filt := range mb.filters {
+		var e float64
+		n := len(power)
+		if len(filt) < n {
+			n = len(filt)
+		}
+		for k := 0; k < n; k++ {
+			e += filt[k] * power[k]
+		}
+		// Floor keeps log finite for silent frames.
+		if e < 1e-12 {
+			e = 1e-12
+		}
+		out[f] = math.Log(e)
+	}
+	return out
+}
+
+// DCT2 returns the orthonormal DCT-II of x.
+func DCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		scale := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1 / float64(n))
+		}
+		out[k] = s * scale
+	}
+	return out
+}
+
+// MFCCExtractor computes mel-frequency cepstral coefficients for
+// fixed-size frames.
+type MFCCExtractor struct {
+	frameSize int
+	numCoeffs int
+	window    []float64
+	bank      *MelBank
+	numMel    int
+}
+
+// NewMFCCExtractor builds an extractor yielding numCoeffs coefficients per
+// frame of frameSize samples (a power of two) at the given sample rate.
+func NewMFCCExtractor(frameSize, sampleRate, numCoeffs int) *MFCCExtractor {
+	const numMel = 26
+	return &MFCCExtractor{
+		frameSize: frameSize,
+		numCoeffs: numCoeffs,
+		window:    HammingWindow(frameSize),
+		bank:      NewMelBank(numMel, frameSize, sampleRate, 0, 0),
+		numMel:    numMel,
+	}
+}
+
+// FrameSize returns the number of samples per frame.
+func (m *MFCCExtractor) FrameSize() int { return m.frameSize }
+
+// Coeffs computes the first numCoeffs MFCCs of one frame. Frames shorter
+// than FrameSize are zero-padded.
+func (m *MFCCExtractor) Coeffs(frame []float64) []float64 {
+	buf := make([]float64, m.frameSize)
+	n := copy(buf, frame)
+	_ = n
+	for i := range buf {
+		buf[i] *= m.window[i]
+	}
+	power := PowerSpectrum(buf)
+	logMel := m.bank.Apply(power)
+	ceps := DCT2(logMel)
+	out := make([]float64, m.numCoeffs)
+	copy(out, ceps[:min(m.numCoeffs, len(ceps))])
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RMS returns the root-mean-square energy of a window of samples.
+func RMS(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range samples {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(samples)))
+}
+
+// ZeroCrossings counts sign changes in a window of samples.
+func ZeroCrossings(samples []float64) int {
+	n := 0
+	for i := 1; i < len(samples); i++ {
+		if (samples[i-1] >= 0) != (samples[i] >= 0) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,270 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSinusoid(t *testing.T) {
+	// A pure sinusoid at bin 5 concentrates energy there.
+	const n = 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*5*float64(i)/n), 0)
+	}
+	FFT(x)
+	for k := 0; k <= n/2; k++ {
+		mag := cmplx.Abs(x[k])
+		if k == 5 {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Fatalf("bin 5 magnitude %g, want %g", mag, float64(n)/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("bin %d magnitude %g, want 0", k, mag)
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			angle := -2 * math.Pi * float64(k) * float64(i) / n
+			want[k] += x[i] * cmplx.Exp(complex(0, angle))
+		}
+	}
+	FFT(x)
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(x[k]-want[k]) > 1e-9 {
+			t.Fatalf("bin %d: FFT %v, DFT %v", k, x[k], want[k])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestPowerSpectrumParseval(t *testing.T) {
+	// Parseval: Σ|x|² = (1/N)Σ|X|². PowerSpectrum returns only k ≤ N/2, so
+	// reconstruct the full sum using conjugate symmetry for real input.
+	rng := rand.New(rand.NewSource(2))
+	const n = 128
+	frame := make([]float64, n)
+	var timeEnergy float64
+	for i := range frame {
+		frame[i] = rng.NormFloat64()
+		timeEnergy += frame[i] * frame[i]
+	}
+	ps := PowerSpectrum(frame)
+	freqEnergy := ps[0] + ps[n/2]
+	for k := 1; k < n/2; k++ {
+		freqEnergy += 2 * ps[k]
+	}
+	freqEnergy /= n
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: time %g freq %g", timeEnergy, freqEnergy)
+	}
+}
+
+func TestHammingWindow(t *testing.T) {
+	w := HammingWindow(64)
+	if math.Abs(w[0]-0.08) > 1e-9 || math.Abs(w[63]-0.08) > 1e-9 {
+		t.Fatalf("endpoints %g %g, want 0.08", w[0], w[63])
+	}
+	// Symmetric, peak in the middle.
+	for i := 0; i < 32; i++ {
+		if math.Abs(w[i]-w[63-i]) > 1e-12 {
+			t.Fatal("window asymmetric")
+		}
+	}
+	if w[31] < 0.99 {
+		t.Fatalf("mid value %g", w[31])
+	}
+	if HammingWindow(1)[0] != 1 {
+		t.Fatal("single-point window != 1")
+	}
+}
+
+func TestMelScaleRoundTrip(t *testing.T) {
+	for _, hz := range []float64{0, 100, 1000, 4000, 8000} {
+		if got := melToHz(hzToMel(hz)); math.Abs(got-hz) > 1e-6*(1+hz) {
+			t.Fatalf("round trip %g → %g", hz, got)
+		}
+	}
+	// Mel scale is monotone.
+	if hzToMel(1000) >= hzToMel(2000) {
+		t.Fatal("mel not monotone")
+	}
+}
+
+func TestMelBankRespondsToFrequency(t *testing.T) {
+	const fftSize, rate = 512, 16000
+	mb := NewMelBank(26, fftSize, rate, 0, 0)
+	tone := func(hz float64) []float64 {
+		frame := make([]float64, fftSize)
+		for i := range frame {
+			frame[i] = math.Sin(2 * math.Pi * hz * float64(i) / rate)
+		}
+		return mb.Apply(PowerSpectrum(frame))
+	}
+	low := tone(300)
+	high := tone(4000)
+	// The peak filter index must move up with frequency.
+	argmax := func(v []float64) int {
+		best := 0
+		for i, x := range v {
+			if x > v[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	if argmax(low) >= argmax(high) {
+		t.Fatalf("mel peak did not move: low %d high %d", argmax(low), argmax(high))
+	}
+}
+
+func TestMelBankSilence(t *testing.T) {
+	mb := NewMelBank(26, 512, 16000, 0, 0)
+	out := mb.Apply(make([]float64, 257))
+	for _, v := range out {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatal("non-finite energy for silence")
+		}
+	}
+}
+
+func TestDCT2Orthonormal(t *testing.T) {
+	// DCT-II of a constant vector concentrates in coefficient 0 with norm
+	// preservation.
+	x := []float64{1, 1, 1, 1}
+	y := DCT2(x)
+	if math.Abs(y[0]-2) > 1e-12 { // sqrt(1/4)·4 = 2
+		t.Fatalf("DC coefficient %g, want 2", y[0])
+	}
+	for k := 1; k < 4; k++ {
+		if math.Abs(y[k]) > 1e-12 {
+			t.Fatalf("coefficient %d = %g, want 0", k, y[k])
+		}
+	}
+	// Energy preservation for random input (orthonormal transform).
+	rng := rand.New(rand.NewSource(3))
+	v := make([]float64, 16)
+	var ein float64
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		ein += v[i] * v[i]
+	}
+	w := DCT2(v)
+	var eout float64
+	for _, c := range w {
+		eout += c * c
+	}
+	if math.Abs(ein-eout) > 1e-9*ein {
+		t.Fatalf("energy %g → %g", ein, eout)
+	}
+}
+
+func TestMFCCDistinguishesTones(t *testing.T) {
+	ex := NewMFCCExtractor(512, 16000, 6)
+	tone := func(hz float64) []float64 {
+		frame := make([]float64, 512)
+		for i := range frame {
+			frame[i] = math.Sin(2 * math.Pi * hz * float64(i) / 16000)
+		}
+		return frame
+	}
+	a := ex.Coeffs(tone(400))
+	a2 := ex.Coeffs(tone(400))
+	b := ex.Coeffs(tone(3000))
+	var same, diff float64
+	for i := range a {
+		same += math.Abs(a[i] - a2[i])
+		diff += math.Abs(a[i] - b[i])
+	}
+	if same > 1e-9 {
+		t.Fatalf("identical tones differ: %g", same)
+	}
+	if diff < 1 {
+		t.Fatalf("different tones too close: %g", diff)
+	}
+	if len(a) != 6 {
+		t.Fatalf("got %d coefficients", len(a))
+	}
+}
+
+func TestMFCCShortFrameZeroPadded(t *testing.T) {
+	ex := NewMFCCExtractor(512, 16000, 6)
+	out := ex.Coeffs([]float64{0.5, -0.5})
+	for _, c := range out {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatal("non-finite MFCC for short frame")
+		}
+	}
+}
+
+func TestRMSAndZeroCrossings(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Fatal("RMS(nil) != 0")
+	}
+	if got := RMS([]float64{3, 4, 0, 0}); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("RMS = %g, want 2.5", got)
+	}
+	if got := ZeroCrossings([]float64{1, -1, 1, -1}); got != 3 {
+		t.Fatalf("ZeroCrossings = %d, want 3", got)
+	}
+	if got := ZeroCrossings([]float64{1, 2, 3}); got != 0 {
+		t.Fatalf("ZeroCrossings = %d, want 0", got)
+	}
+}
+
+func BenchmarkFFT512(b *testing.B) {
+	x := make([]complex128, 512)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+	}
+	buf := make([]complex128, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
+func BenchmarkMFCCFrame(b *testing.B) {
+	ex := NewMFCCExtractor(512, 16000, 6)
+	frame := make([]float64, 512)
+	for i := range frame {
+		frame[i] = math.Sin(float64(i) * 0.1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.Coeffs(frame)
+	}
+}

@@ -1,0 +1,401 @@
+// Package emd implements the Earth Mover's Distance, the Ferret toolkit's
+// built-in default object distance function (paper §4.2.2).
+//
+// Given two distributions represented by weighted sets of feature vectors
+// and a ground distance between vectors, EMD is the minimal total work
+// (flow × ground distance) needed to transform one distribution into the
+// other. The core is an exact transportation-problem solver: a
+// northwest-corner initial basic solution refined by the MODI (u-v) method,
+// the same family of algorithm as Rubner's reference implementation.
+//
+// The package also provides the improved EMD variants from the paper's
+// image study [27]: ground-distance thresholding (to limit the effect of
+// outlier segments) and square-root segment weighting.
+package emd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ferret/internal/object"
+	"ferret/internal/vector"
+)
+
+// epsilon is the tolerance used when comparing flows and reduced costs.
+const epsilon = 1e-9
+
+// maxPivots caps simplex iterations as a defensive bound against degenerate
+// cycling; it is far beyond what the toolkit's segment counts (≤ ~64) need.
+const maxPivots = 100000
+
+// Solve computes the optimal transportation plan between supply and demand,
+// returning the minimal total cost Σ fᵢⱼ·costᵢⱼ and the flow matrix.
+//
+// Supplies and demands must be non-negative and have (approximately) equal
+// totals; cost must be a len(supply) × len(demand) matrix. The returned flow
+// satisfies the marginal constraints Σⱼ fᵢⱼ = supplyᵢ and Σᵢ fᵢⱼ = demandⱼ.
+func Solve(supply, demand []float64, cost [][]float64) (float64, [][]float64, error) {
+	m, n := len(supply), len(demand)
+	if m == 0 || n == 0 {
+		return 0, nil, errors.New("emd: empty supply or demand")
+	}
+	if len(cost) != m {
+		return 0, nil, fmt.Errorf("emd: cost has %d rows, want %d", len(cost), m)
+	}
+	var sSum, dSum float64
+	for _, s := range supply {
+		if s < 0 || math.IsNaN(s) {
+			return 0, nil, errors.New("emd: negative or NaN supply")
+		}
+		sSum += s
+	}
+	for _, d := range demand {
+		if d < 0 || math.IsNaN(d) {
+			return 0, nil, errors.New("emd: negative or NaN demand")
+		}
+		dSum += d
+	}
+	if sSum <= 0 || dSum <= 0 {
+		return 0, nil, errors.New("emd: zero total supply or demand")
+	}
+	if math.Abs(sSum-dSum) > 1e-4*math.Max(sSum, dSum) {
+		return 0, nil, fmt.Errorf("emd: unbalanced problem (supply %g, demand %g)", sSum, dSum)
+	}
+	for i := range cost {
+		if len(cost[i]) != n {
+			return 0, nil, fmt.Errorf("emd: cost row %d has %d cols, want %d", i, len(cost[i]), n)
+		}
+	}
+
+	st := newState(supply, demand, cost)
+	st.northwestCorner()
+	if err := st.optimize(); err != nil {
+		return 0, nil, err
+	}
+	return st.value(), st.flow, nil
+}
+
+// state holds one transportation-simplex tableau.
+type state struct {
+	m, n  int
+	cost  [][]float64
+	flow  [][]float64
+	basic [][]bool
+	// a and b are working copies of supply/demand, rescaled so both totals
+	// match exactly (removes float drift between the two sides).
+	a, b []float64
+}
+
+func newState(supply, demand []float64, cost [][]float64) *state {
+	m, n := len(supply), len(demand)
+	st := &state{m: m, n: n, cost: cost}
+	st.flow = make([][]float64, m)
+	st.basic = make([][]bool, m)
+	for i := 0; i < m; i++ {
+		st.flow[i] = make([]float64, n)
+		st.basic[i] = make([]bool, n)
+	}
+	var sSum, dSum float64
+	for _, s := range supply {
+		sSum += s
+	}
+	for _, d := range demand {
+		dSum += d
+	}
+	st.a = make([]float64, m)
+	st.b = make([]float64, n)
+	copy(st.a, supply)
+	scale := sSum / dSum
+	for j, d := range demand {
+		st.b[j] = d * scale
+	}
+	return st
+}
+
+// northwestCorner builds the initial basic feasible solution with exactly
+// m+n−1 basic cells (degenerate zero-flow cells included).
+func (st *state) northwestCorner() {
+	a := append([]float64(nil), st.a...)
+	b := append([]float64(nil), st.b...)
+	i, j := 0, 0
+	for step := 0; step < st.m+st.n-1; step++ {
+		q := math.Min(a[i], b[j])
+		st.flow[i][j] = q
+		st.basic[i][j] = true
+		a[i] -= q
+		b[j] -= q
+		switch {
+		case i == st.m-1:
+			j++
+		case j == st.n-1:
+			i++
+		case a[i] <= b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// optimize runs MODI pivots until no cell has negative reduced cost.
+func (st *state) optimize() error {
+	u := make([]float64, st.m)
+	v := make([]float64, st.n)
+	for pivot := 0; pivot < maxPivots; pivot++ {
+		if err := st.duals(u, v); err != nil {
+			return err
+		}
+		ei, ej, red := -1, -1, -epsilon
+		for i := 0; i < st.m; i++ {
+			for j := 0; j < st.n; j++ {
+				if st.basic[i][j] {
+					continue
+				}
+				r := st.cost[i][j] - u[i] - v[j]
+				if r < red {
+					red, ei, ej = r, i, j
+				}
+			}
+		}
+		if ei < 0 {
+			return nil // optimal
+		}
+		loop := st.findLoop(ei, ej)
+		if loop == nil {
+			return errors.New("emd: internal error: no pivot loop found")
+		}
+		// δ is the minimum flow at odd positions of the loop (the cells
+		// that lose flow).
+		delta := math.Inf(1)
+		leave := -1
+		for p := 1; p < len(loop); p += 2 {
+			c := loop[p]
+			if f := st.flow[c[0]][c[1]]; f < delta {
+				delta = f
+				leave = p
+			}
+		}
+		for p, c := range loop {
+			if p%2 == 0 {
+				st.flow[c[0]][c[1]] += delta
+			} else {
+				st.flow[c[0]][c[1]] -= delta
+			}
+		}
+		lc := loop[leave]
+		st.basic[lc[0]][lc[1]] = false
+		st.flow[lc[0]][lc[1]] = 0
+		st.basic[ei][ej] = true
+	}
+	return errors.New("emd: pivot limit exceeded (degenerate cycling?)")
+}
+
+// duals solves u[i] + v[j] = cost[i][j] over the basic cells by propagating
+// from u[0] = 0 across the basis spanning tree.
+func (st *state) duals(u, v []float64) error {
+	uSet := make([]bool, st.m)
+	vSet := make([]bool, st.n)
+	u[0] = 0
+	uSet[0] = true
+	remaining := st.m + st.n - 1
+	for remaining > 0 {
+		progressed := false
+		for i := 0; i < st.m; i++ {
+			for j := 0; j < st.n; j++ {
+				if !st.basic[i][j] {
+					continue
+				}
+				switch {
+				case uSet[i] && !vSet[j]:
+					v[j] = st.cost[i][j] - u[i]
+					vSet[j] = true
+					progressed = true
+					remaining--
+				case vSet[j] && !uSet[i]:
+					u[i] = st.cost[i][j] - v[j]
+					uSet[i] = true
+					progressed = true
+					remaining--
+				}
+			}
+		}
+		if !progressed {
+			return errors.New("emd: internal error: basis graph disconnected")
+		}
+	}
+	return nil
+}
+
+// findLoop returns the unique alternating row/column cycle through the
+// entering cell (ei, ej) and basic cells, starting with the entering cell.
+// Even positions gain flow, odd positions lose flow. In a valid
+// stepping-stone loop each row and column hosts either zero or exactly two
+// loop cells, so the search marks rows and columns as used; the loop closes
+// when a row move returns to the entering column ej.
+func (st *state) findLoop(ei, ej int) [][2]int {
+	path := [][2]int{{ei, ej}}
+	usedRow := make([]bool, st.m)
+	usedCol := make([]bool, st.n)
+	usedRow[ei] = true
+
+	var dfs func(alongRow bool) bool
+	dfs = func(alongRow bool) bool {
+		cur := path[len(path)-1]
+		if alongRow {
+			for j := 0; j < st.n; j++ {
+				if j == cur[1] || !st.basic[cur[0]][j] {
+					continue
+				}
+				if j == ej {
+					// Closing row move: the final cell shares column ej
+					// with the entering cell, completing an even-length
+					// alternating cycle.
+					if len(path) >= 3 {
+						path = append(path, [2]int{cur[0], j})
+						return true
+					}
+					continue
+				}
+				if usedCol[j] {
+					continue
+				}
+				usedCol[j] = true
+				path = append(path, [2]int{cur[0], j})
+				if dfs(false) {
+					return true
+				}
+				path = path[:len(path)-1]
+				usedCol[j] = false
+			}
+			return false
+		}
+		for i := 0; i < st.m; i++ {
+			if i == cur[0] || usedRow[i] || !st.basic[i][cur[1]] {
+				continue
+			}
+			usedRow[i] = true
+			path = append(path, [2]int{i, cur[1]})
+			if dfs(true) {
+				return true
+			}
+			path = path[:len(path)-1]
+			usedRow[i] = false
+		}
+		return false
+	}
+	if dfs(true) {
+		return path
+	}
+	return nil
+}
+
+func (st *state) value() float64 {
+	var total float64
+	for i := 0; i < st.m; i++ {
+		for j := 0; j < st.n; j++ {
+			if st.flow[i][j] > 0 {
+				total += st.flow[i][j] * st.cost[i][j]
+			}
+		}
+	}
+	return total
+}
+
+// Options configures the object-level EMD distance.
+type Options struct {
+	// Ground is the segment (ground) distance; nil means vector.L1.
+	Ground vector.Func
+	// Threshold, when positive, caps each ground distance before the flow
+	// computation (the paper's thresholded EMD, §5.1).
+	Threshold float64
+	// SqrtWeights, when true, replaces each segment weight w by √w
+	// (renormalized) before matching — the square-root weighting from the
+	// improved EMD of [27].
+	SqrtWeights bool
+}
+
+// Distance computes the EMD between two objects under the given options.
+// Object weights are normalized internally, so both sides always balance.
+// It returns an error only for structurally invalid inputs (no segments or
+// dimension mismatch).
+func Distance(x, y object.Object, opt Options) (float64, error) {
+	if len(x.Segments) == 0 || len(y.Segments) == 0 {
+		return 0, errors.New("emd: object with no segments")
+	}
+	if x.Dim() != y.Dim() {
+		return 0, fmt.Errorf("emd: dimension mismatch (%d vs %d)", x.Dim(), y.Dim())
+	}
+	ground := opt.Ground
+	if ground == nil {
+		ground = vector.L1
+	}
+	m, n := len(x.Segments), len(y.Segments)
+
+	// Fast path: single-segment objects (3D shape, genomic) reduce to the
+	// ground distance itself.
+	if m == 1 && n == 1 {
+		d := ground(x.Segments[0].Vec, y.Segments[0].Vec)
+		if opt.Threshold > 0 && d > opt.Threshold {
+			d = opt.Threshold
+		}
+		return d, nil
+	}
+
+	supply := weights(x, opt.SqrtWeights)
+	demand := weights(y, opt.SqrtWeights)
+	cost := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d := ground(x.Segments[i].Vec, y.Segments[j].Vec)
+			if opt.Threshold > 0 && d > opt.Threshold {
+				d = opt.Threshold
+			}
+			cost[i][j] = d
+		}
+	}
+	val, _, err := Solve(supply, demand, cost)
+	return val, err
+}
+
+// weights extracts normalized (optionally square-rooted) segment weights.
+func weights(o object.Object, sqrt bool) []float64 {
+	w := make([]float64, len(o.Segments))
+	var total float64
+	for i, s := range o.Segments {
+		v := float64(s.Weight)
+		if v < 0 {
+			v = 0
+		}
+		if sqrt {
+			v = math.Sqrt(v)
+		}
+		w[i] = v
+		total += v
+	}
+	if total <= 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// ObjectDistance returns an object distance function (the paper's
+// obj_distance) closing over the given options, for plugging into the
+// similarity ranking unit.
+func ObjectDistance(opt Options) func(a, b object.Object) float64 {
+	return func(a, b object.Object) float64 {
+		d, err := Distance(a, b, opt)
+		if err != nil {
+			// Invalid pairings rank last rather than aborting a query.
+			return math.Inf(1)
+		}
+		return d
+	}
+}

@@ -1,0 +1,99 @@
+package evaltool
+
+import (
+	"fmt"
+	"time"
+
+	"ferret/internal/metrics"
+	"ferret/internal/object"
+	"ferret/internal/protocol"
+)
+
+// RemoteRunner drives the benchmark through the command-line query
+// interface of a running server — the paper's deployment of the
+// performance evaluation tool (§4.1.4, §4.3), which lets parameters be
+// swept by scripts without restarting the server.
+type RemoteRunner struct {
+	// Client is the protocol connection to the server.
+	Client *protocol.Client
+	// Params are applied to every query; K is raised per set so the
+	// second-tier metric is measurable.
+	Params protocol.QueryParams
+	// DatasetSize is the default rank for missed gold objects; 0 asks the
+	// server via COUNT.
+	DatasetSize int
+}
+
+// Run evaluates similarity sets of object keys against the remote server.
+// The first member of each set is the query; results are matched by key.
+func (r *RemoteRunner) Run(sets [][]string) (Report, error) {
+	rep := Report{DatasetSize: r.DatasetSize}
+	if rep.DatasetSize == 0 {
+		n, err := r.Client.Count()
+		if err != nil {
+			return rep, fmt.Errorf("evaltool: COUNT: %w", err)
+		}
+		rep.DatasetSize = n
+	}
+	// Keys get stable synthetic IDs so the metrics package (which ranks by
+	// object.ID) can score key-level results.
+	idOf := map[string]object.ID{}
+	intern := func(key string) object.ID {
+		if id, ok := idOf[key]; ok {
+			return id
+		}
+		id := object.ID(len(idOf) + 1)
+		idOf[key] = id
+		return id
+	}
+
+	for _, set := range sets {
+		if len(set) < 2 {
+			rep.Skipped++
+			continue
+		}
+		ids := make([]object.ID, len(set))
+		for i, key := range set {
+			ids[i] = intern(key)
+		}
+		gold := metrics.NewGoldSet(ids...)
+		queryKey := set[0]
+		queryID := ids[0]
+
+		params := r.Params
+		if need := 2*(len(set)-1) + 1; params.K < need {
+			params.K = need
+		}
+		start := time.Now()
+		results, err := r.Client.Query(queryKey, params)
+		if err != nil {
+			if _, ok := err.(*protocol.ServerError); ok {
+				rep.Skipped++ // e.g. the key is not in the database
+				continue
+			}
+			return rep, fmt.Errorf("evaltool: QUERY %s: %w", queryKey, err)
+		}
+		lat := time.Since(start)
+		rep.TotalQueryTime += lat
+		rep.latencies = append(rep.latencies, lat)
+
+		ranked := make([]object.ID, 0, len(results))
+		for _, res := range results {
+			if res.Key == queryKey {
+				continue
+			}
+			ranked = append(ranked, intern(res.Key))
+		}
+		rep.Add(
+			metrics.AveragePrecision(queryID, gold, ranked, rep.DatasetSize),
+			metrics.FirstTier(queryID, gold, ranked),
+			metrics.SecondTier(queryID, gold, ranked),
+		)
+	}
+	if rep.Queries > 0 {
+		rep.AvgQueryTime = rep.TotalQueryTime / time.Duration(rep.Queries)
+		rep.P50QueryTime = rep.percentile(0.50)
+		rep.P95QueryTime = rep.percentile(0.95)
+	}
+	return rep, nil
+}

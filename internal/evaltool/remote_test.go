@@ -1,0 +1,65 @@
+package evaltool
+
+import (
+	"net"
+	"testing"
+
+	"ferret/internal/core"
+	"ferret/internal/protocol"
+	"ferret/internal/server"
+)
+
+func TestRemoteRunner(t *testing.T) {
+	engine, sets := buildEngine(t)
+	srv := &server.Server{Engine: engine, DefaultK: 10}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	client, err := protocol.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	r := &RemoteRunner{Client: client, Params: protocol.QueryParams{Mode: "bruteforce"}}
+	rep, err := r.Run(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 5 {
+		t.Fatalf("ran %d queries", rep.Queries)
+	}
+	if rep.AvgPrecision < 0.95 {
+		t.Fatalf("remote quality %s", rep)
+	}
+	if rep.DatasetSize != 20 {
+		t.Fatalf("dataset size %d", rep.DatasetSize)
+	}
+	if rep.P95QueryTime <= 0 {
+		t.Fatal("no latency percentiles")
+	}
+
+	// The remote report must agree with the in-process runner.
+	local := &Runner{Engine: engine, Options: core.QueryOptions{Mode: core.BruteForceOriginal}}
+	lrep, err := local.Run(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.AvgPrecision != rep.AvgPrecision {
+		t.Fatalf("remote %.3f vs local %.3f avg precision", rep.AvgPrecision, lrep.AvgPrecision)
+	}
+
+	// Unknown keys are skipped, not fatal.
+	rep, err = r.Run([][]string{{"ghost1", "ghost2"}})
+	if err != nil || rep.Skipped != 1 {
+		t.Fatalf("ghost set: %v skipped=%d", err, rep.Skipped)
+	}
+	// Singleton sets skipped too.
+	rep, _ = r.Run([][]string{{"only"}})
+	if rep.Skipped != 1 {
+		t.Fatalf("singleton skipped=%d", rep.Skipped)
+	}
+}

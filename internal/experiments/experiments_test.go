@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ferret/internal/synth"
+)
+
+// tiny is a minimal scale so the full experiment suite runs in seconds
+// under go test.
+func tiny() Scale {
+	return Scale{
+		Name:            "tiny",
+		VARY:            synth.VARYOptions{Sets: 4, SetSize: 3, Distractors: 15, Seed: 101, WithBaseline: true},
+		TIMIT:           synth.TIMITOptions{Sets: 3, Speakers: 3, Distractors: 6, Seed: 102},
+		PSB:             synth.PSBOptions{Classes: 3, PerClass: 3, Seed: 103},
+		MixedImageN:     300,
+		AudioN:          200,
+		MixedShapeN:     400,
+		SpeedQueries:    2,
+		SweepFractions:  []float64{0.5, 1.0},
+		ImageSketchBits: []int{32, 96},
+		AudioSketchBits: []int{128, 600},
+		ShapeSketchBits: []int{128, 800},
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "small", "medium", "paper"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("galactic"); ok {
+		t.Error("unknown scale resolved")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5 (Ferret×3 + 2 baselines)", len(rows))
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Method] = r
+		if r.AvgPrecision < 0 || r.AvgPrecision > 1 {
+			t.Errorf("%s %s: precision %g", r.Dataset, r.Method, r.AvgPrecision)
+		}
+	}
+	// Metadata sizes and ratios match the paper's structure.
+	ferretImage := byKey["VARY Image/Ferret"]
+	if ferretImage.FVBits != 448 || ferretImage.SketchBits != 96 {
+		t.Errorf("image sizes: %+v", ferretImage)
+	}
+	ferretAudio := byKey["TIMIT Audio/Ferret"]
+	if ferretAudio.FVBits != 6144 || ferretAudio.SketchBits != 600 {
+		t.Errorf("audio sizes: %+v", ferretAudio)
+	}
+	ferretShape := byKey["PSB 3D Shape/Ferret"]
+	if ferretShape.FVBits != 544*32 || ferretShape.SketchBits != 800 {
+		t.Errorf("shape sizes: %+v", ferretShape)
+	}
+	// Headline relationship: region-based Ferret beats the global baseline
+	// on the image benchmark.
+	if ferretImage.AvgPrecision <= byKey["VARY Image/SIMPLIcity-like"].AvgPrecision {
+		t.Errorf("Ferret (%.3f) did not beat the global baseline (%.3f)",
+			ferretImage.AvgPrecision, byKey["VARY Image/SIMPLIcity-like"].AvgPrecision)
+	}
+	// SHD (exact distances) should be at least as good as sketched Ferret
+	// on shapes, and close.
+	shd := byKey["PSB 3D Shape/SHD"]
+	if ferretShape.AvgPrecision < shd.AvgPrecision-0.25 {
+		t.Errorf("sketched shape search (%.3f) too far below SHD (%.3f)",
+			ferretShape.AvgPrecision, shd.AvgPrecision)
+	}
+
+	var buf bytes.Buffer
+	FprintTable1(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"Ferret", "SIMPLIcity-like", "SHD", "4.7:1", "n/a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Benchmark != "Mixed image" || rows[2].Benchmark != "Mixed 3D shape" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// Segment statistics match the paper's structure.
+	if rows[0].AvgSegments < 8 || rows[0].AvgSegments > 13 {
+		t.Errorf("image avg segments %.1f", rows[0].AvgSegments)
+	}
+	if rows[2].AvgSegments != 1 {
+		t.Errorf("shape avg segments %.1f", rows[2].AvgSegments)
+	}
+	for _, r := range rows {
+		if r.AvgSearchSec <= 0 {
+			t.Errorf("%s: no time measured", r.Benchmark)
+		}
+	}
+	var buf bytes.Buffer
+	FprintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Mixed image") {
+		t.Error("table output malformed")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	series, err := Figure7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d panels", len(series))
+	}
+	for _, s := range series {
+		if len(s.Bits) != 2 || len(s.AvgPrecision) != 2 {
+			t.Fatalf("%s: %d points", s.Dataset, len(s.Bits))
+		}
+		if s.OriginalPrecision <= 0 {
+			t.Errorf("%s: original precision %g", s.Dataset, s.OriginalPrecision)
+		}
+		// The big sketch should be at least as good as the small one, up
+		// to noise.
+		if s.AvgPrecision[1] < s.AvgPrecision[0]-0.15 {
+			t.Errorf("%s: quality decreased with sketch size: %v", s.Dataset, s.AvgPrecision)
+		}
+	}
+	var buf bytes.Buffer
+	FprintFigure7(&buf, series)
+	if !strings.Contains(buf.String(), "sketch(bits)") {
+		t.Error("figure output malformed")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	panels, err := Figure8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 3 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	for _, p := range panels {
+		if len(p.Points) != 2*3 {
+			t.Fatalf("%s: %d points", p.Dataset, len(p.Points))
+		}
+		for _, pt := range p.Points {
+			if pt.Seconds <= 0 {
+				t.Errorf("%s: zero time at n=%d mode=%v", p.Dataset, pt.N, pt.Mode)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	FprintFigure8(&buf, panels)
+	if !strings.Contains(buf.String(), "Filtering") {
+		t.Error("figure output malformed")
+	}
+}
+
+func TestKnees(t *testing.T) {
+	s := Fig7Series{
+		Bits:              []int{32, 64, 96, 128},
+		AvgPrecision:      []float64{0.3, 0.55, 0.62, 0.64},
+		OriginalPrecision: 0.64,
+	}
+	low, high := s.Knees()
+	if low != 64 || high != 128 {
+		t.Fatalf("knees = %d, %d", low, high)
+	}
+}

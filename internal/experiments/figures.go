@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ferret/internal/core"
+	"ferret/internal/synth"
+)
+
+// Fig7Series is one panel of Figure 7: average precision as a function of
+// sketch size for one data type, with the original-feature-vector quality
+// as the reference line.
+type Fig7Series struct {
+	Dataset           string
+	Bits              []int
+	AvgPrecision      []float64
+	OriginalPrecision float64 // the solid line in the paper's plots
+	FVBits            int
+}
+
+// Knees locates the low and high knee points of the series using the
+// paper's informal definition: below the low knee quality degrades quickly;
+// above the high knee it stops improving. The low knee is the smallest
+// size within 85% of the original quality; the high knee the smallest size
+// within 97%.
+func (s Fig7Series) Knees() (low, high int) {
+	for i, b := range s.Bits {
+		if low == 0 && s.AvgPrecision[i] >= 0.85*s.OriginalPrecision {
+			low = b
+		}
+		if high == 0 && s.AvgPrecision[i] >= 0.97*s.OriginalPrecision {
+			high = b
+			break
+		}
+	}
+	return low, high
+}
+
+// Figure7 reproduces the sketch-size sweep: for each data type, the quality
+// benchmark is evaluated with sketches of each size (filtering off, i.e.
+// BruteForceSketch) and once with the original feature vectors
+// (BruteForceOriginal — the solid line).
+func Figure7(scale Scale) ([]Fig7Series, error) {
+	type panel struct {
+		dt    dataType
+		bits  []int
+		bench *synth.Benchmark
+	}
+	vary, err := synth.VARY(scale.VARY)
+	if err != nil {
+		return nil, err
+	}
+	timit, err := synth.TIMIT(scale.TIMIT)
+	if err != nil {
+		return nil, err
+	}
+	psb, err := synth.PSB(scale.PSB)
+	if err != nil {
+		return nil, err
+	}
+	panels := []panel{
+		{imageType(), scale.ImageSketchBits, vary},
+		{audioType(), scale.AudioSketchBits, timit},
+		{shapeType(), scale.ShapeSketchBits, psb},
+	}
+
+	var out []Fig7Series
+	for _, p := range panels {
+		series := Fig7Series{Dataset: p.dt.name, FVBits: featureBits(p.dt.dim)}
+		// Reference: original feature vectors.
+		e, cleanup, err := buildEngine(p.dt, p.dt.sketchBits, p.bench.Objects, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := quality(e, p.bench.Sets, core.BruteForceOriginal)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		series.OriginalPrecision = rep.AvgPrecision
+
+		for _, bits := range p.bits {
+			e, cleanup, err := buildEngine(p.dt, bits, p.bench.Objects, nil)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := quality(e, p.bench.Sets, core.BruteForceSketch)
+			cleanup()
+			if err != nil {
+				return nil, err
+			}
+			series.Bits = append(series.Bits, bits)
+			series.AvgPrecision = append(series.AvgPrecision, rep.AvgPrecision)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// FprintFigure7 renders the sweep as one block per panel.
+func FprintFigure7(w io.Writer, series []Fig7Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "# %s (original feature vectors: avg precision %.3f at %d bits/vector)\n",
+			s.Dataset, s.OriginalPrecision, s.FVBits)
+		fmt.Fprintf(w, "%12s %12s %14s\n", "sketch(bits)", "avg_prec", "vs_original")
+		for i := range s.Bits {
+			rel := 0.0
+			if s.OriginalPrecision > 0 {
+				rel = s.AvgPrecision[i] / s.OriginalPrecision
+			}
+			fmt.Fprintf(w, "%12d %12.3f %13.1f%%\n", s.Bits[i], s.AvgPrecision[i], rel*100)
+		}
+		low, high := s.Knees()
+		if low > 0 && high > 0 {
+			fmt.Fprintf(w, "# knees: low=%d bits (ratio %.0f:1), high=%d bits (ratio %.0f:1)\n",
+				low, float64(s.FVBits)/float64(low), high, float64(s.FVBits)/float64(high))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig8Point is one measurement of Figure 8: query time at a dataset size
+// under one search mode.
+type Fig8Point struct {
+	N       int
+	Mode    core.Mode
+	Seconds float64
+}
+
+// Fig8Panel is one panel of Figure 8 (one dataset, all modes and sizes).
+type Fig8Panel struct {
+	Dataset string
+	Points  []Fig8Point
+}
+
+// Figure8 reproduces the query-performance comparison: average query time
+// as a function of dataset size for BruteForceOriginal, BruteForceSketch
+// and Filtering, on the three speed datasets. The engine is grown
+// incrementally so each dataset is generated and sketched once.
+func Figure8(scale Scale) ([]Fig8Panel, error) {
+	modes := []core.Mode{core.BruteForceOriginal, core.BruteForceSketch, core.Filtering}
+	var out []Fig8Panel
+	for _, ds := range speedDatasets(scale) {
+		objs := ds.gen(ds.n, 301)
+		queries := ds.gen(scale.SpeedQueries, 909)
+		e, cleanup, err := buildEngine(ds.dt, ds.dt.sketchBits, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig8Panel{Dataset: speedRowName(ds.dt)}
+		ingested := 0
+		for _, frac := range scale.SweepFractions {
+			target := int(frac * float64(ds.n))
+			for ; ingested < target && ingested < len(objs); ingested++ {
+				if _, err := e.Ingest(objs[ingested], nil); err != nil {
+					cleanup()
+					return nil, err
+				}
+			}
+			for _, mode := range modes {
+				sec, err := avgQuerySeconds(e, queries, mode, 20)
+				if err != nil {
+					cleanup()
+					return nil, err
+				}
+				panel.Points = append(panel.Points, Fig8Point{N: ingested, Mode: mode, Seconds: sec})
+			}
+		}
+		cleanup()
+		out = append(out, panel)
+	}
+	return out, nil
+}
+
+// FprintFigure8 renders each panel as size × mode columns.
+func FprintFigure8(w io.Writer, panels []Fig8Panel) {
+	for _, p := range panels {
+		fmt.Fprintf(w, "# %s: avg query seconds by dataset size\n", p.Dataset)
+		fmt.Fprintf(w, "%10s %22s %22s %22s\n", "objects", "BruteForceOriginal", "BruteForceSketch", "Filtering")
+		// Group points by N preserving order.
+		byN := map[int]map[core.Mode]float64{}
+		var order []int
+		for _, pt := range p.Points {
+			if byN[pt.N] == nil {
+				byN[pt.N] = map[core.Mode]float64{}
+				order = append(order, pt.N)
+			}
+			byN[pt.N][pt.Mode] = pt.Seconds
+		}
+		for _, n := range order {
+			m := byN[n]
+			fmt.Fprintf(w, "%10d %22.5f %22.5f %22.5f\n",
+				n, m[core.BruteForceOriginal], m[core.BruteForceSketch], m[core.Filtering])
+		}
+		fmt.Fprintln(w)
+	}
+}

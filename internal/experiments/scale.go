@@ -1,0 +1,108 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6) against the synthetic stand-in datasets:
+//
+//   - Table 1  — search quality + metadata sizes (VARY / TIMIT / PSB, with
+//     the SIMPLIcity-like and SHD baselines)
+//   - Table 2  — search speed with sketching and filtering on
+//   - Figure 7 — average precision vs sketch size, per data type
+//   - Figure 8 — query time vs dataset size for the three search modes
+//
+// The same code drives the root benchmark harness (bench_test.go) and the
+// ferret-bench command. Scales control dataset sizes: the paper's absolute
+// numbers came from its authors' testbed and datasets, so the reproduction
+// targets the paper's *shape* — who wins, by what rough factor, and where
+// the curves bend.
+package experiments
+
+import "ferret/internal/synth"
+
+// Scale sizes every experiment.
+type Scale struct {
+	Name string
+
+	// Quality benchmarks (Table 1, Figure 7).
+	VARY  synth.VARYOptions
+	TIMIT synth.TIMITOptions
+	PSB   synth.PSBOptions
+
+	// Speed datasets (Table 2, Figure 8): object counts.
+	MixedImageN int
+	AudioN      int
+	MixedShapeN int
+
+	// SpeedQueries per measurement point.
+	SpeedQueries int
+
+	// Figure 8 sweep: dataset sizes as fractions of the Ns above.
+	SweepFractions []float64
+
+	// Figure 7 sketch-size sweeps (bits) per data type.
+	ImageSketchBits []int
+	AudioSketchBits []int
+	ShapeSketchBits []int
+}
+
+// Small is the test/bench scale: runs in seconds.
+func Small() Scale {
+	return Scale{
+		Name:            "small",
+		VARY:            synth.VARYOptions{Sets: 8, SetSize: 4, Distractors: 60, Seed: 101, WithBaseline: true},
+		TIMIT:           synth.TIMITOptions{Sets: 6, Speakers: 4, Distractors: 20, Seed: 102},
+		PSB:             synth.PSBOptions{Classes: 5, PerClass: 4, Seed: 103},
+		MixedImageN:     2000,
+		AudioN:          1500,
+		MixedShapeN:     4000,
+		SpeedQueries:    5,
+		SweepFractions:  []float64{0.25, 0.5, 0.75, 1.0},
+		ImageSketchBits: []int{32, 64, 96, 128, 256},
+		AudioSketchBits: []int{64, 128, 250, 600, 1024},
+		ShapeSketchBits: []int{64, 200, 400, 800, 1600},
+	}
+}
+
+// Medium is the ferret-bench default: minutes.
+func Medium() Scale {
+	return Scale{
+		Name:            "medium",
+		VARY:            synth.VARYOptions{Sets: 32, SetSize: 5, Distractors: 500, ConfusersPerSet: 15, Seed: 101, WithBaseline: true},
+		TIMIT:           synth.TIMITOptions{Sets: 25, Speakers: 7, Distractors: 120, Seed: 102},
+		PSB:             synth.PSBOptions{Classes: 15, PerClass: 6, Seed: 103},
+		MixedImageN:     20000,
+		AudioN:          6300,
+		MixedShapeN:     40000,
+		SpeedQueries:    10,
+		SweepFractions:  []float64{0.125, 0.25, 0.5, 0.75, 1.0},
+		ImageSketchBits: []int{16, 32, 48, 64, 80, 96, 128, 192, 256, 448},
+		AudioSketchBits: []int{32, 64, 125, 250, 400, 600, 1024, 2048},
+		ShapeSketchBits: []int{32, 64, 128, 200, 400, 600, 800, 1600, 3200},
+	}
+}
+
+// Paper approaches the paper's dataset sizes (slow: tens of minutes to
+// hours depending on hardware).
+func Paper() Scale {
+	s := Medium()
+	s.Name = "paper"
+	s.VARY = synth.VARYOptions{Sets: 32, SetSize: 5, Distractors: 9840, ConfusersPerSet: 15, Seed: 101, WithBaseline: true}
+	s.TIMIT = synth.TIMITOptions{Sets: 150, Speakers: 7, Distractors: 500, Seed: 102}
+	s.PSB = synth.PSBOptions{Classes: 92, PerClass: 10, Seed: 103}
+	s.MixedImageN = 660000
+	s.AudioN = 6300
+	s.MixedShapeN = 40000
+	s.SpeedQueries = 10
+	return s
+}
+
+// ByName resolves a scale name.
+func ByName(name string) (Scale, bool) {
+	switch name {
+	case "", "small":
+		return Small(), true
+	case "medium":
+		return Medium(), true
+	case "paper", "full":
+		return Paper(), true
+	default:
+		return Scale{}, false
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ferret/internal/baseline"
+	"ferret/internal/core"
+	"ferret/internal/sketch"
+	"ferret/internal/synth"
+	"ferret/internal/vector"
+)
+
+// Table1Row is one row of the paper's Table 1: search quality and metadata
+// sizes on the search-quality benchmark suite.
+type Table1Row struct {
+	Dataset      string
+	Method       string
+	AvgPrecision float64
+	FirstTier    float64
+	SecondTier   float64
+	FVBits       int
+	SketchBits   int // 0 for baselines without sketches
+}
+
+// Ratio returns the feature-vector to sketch size ratio ("n/a" handled by
+// the printer).
+func (r Table1Row) Ratio() float64 {
+	if r.SketchBits == 0 {
+		return 0
+	}
+	return float64(r.FVBits) / float64(r.SketchBits)
+}
+
+// Table1 reproduces the search-quality table: Ferret (sketch-based search
+// at the paper's sketch sizes) on VARY, TIMIT and PSB, the SIMPLIcity-like
+// global-feature baseline on VARY, and SHD (exact ℓ₂ on full descriptors)
+// on PSB.
+func Table1(scale Scale) ([]Table1Row, error) {
+	var rows []Table1Row
+
+	// --- VARY image benchmark: Ferret vs global-feature baseline. ---
+	vary, err := synth.VARY(scale.VARY)
+	if err != nil {
+		return nil, err
+	}
+	dt := imageType()
+	e, cleanup, err := buildEngine(dt, dt.sketchBits, vary.Objects, vary.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := quality(e, benchSets(vary), core.BruteForceSketch)
+	cleanup()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Dataset: dt.name, Method: "Ferret",
+		AvgPrecision: rep.AvgPrecision, FirstTier: rep.AvgFirstTier, SecondTier: rep.AvgSecondTier,
+		FVBits: featureBits(dt.dim), SketchBits: dt.sketchBits,
+	})
+
+	if len(vary.Baseline) > 0 {
+		rep, err := baselineQuality(vary)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Dataset: dt.name, Method: "SIMPLIcity-like",
+			AvgPrecision: rep.AvgPrecision, FirstTier: rep.AvgFirstTier, SecondTier: rep.AvgSecondTier,
+			FVBits: featureBits(baseline.GlobalFeatureDim),
+		})
+	}
+
+	// --- TIMIT audio benchmark: Ferret only (as in the paper). ---
+	timit, err := synth.TIMIT(scale.TIMIT)
+	if err != nil {
+		return nil, err
+	}
+	at := audioType()
+	e, cleanup, err = buildEngine(at, at.sketchBits, timit.Objects, timit.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err = quality(e, benchSets(timit), core.BruteForceSketch)
+	cleanup()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Dataset: at.name, Method: "Ferret",
+		AvgPrecision: rep.AvgPrecision, FirstTier: rep.AvgFirstTier, SecondTier: rep.AvgSecondTier,
+		FVBits: featureBits(at.dim), SketchBits: at.sketchBits,
+	})
+
+	// --- PSB shape benchmark: Ferret vs SHD (exact ℓ₂). ---
+	psb, err := synth.PSB(scale.PSB)
+	if err != nil {
+		return nil, err
+	}
+	st := shapeType()
+	e, cleanup, err = buildEngine(st, st.sketchBits, psb.Objects, psb.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err = quality(e, benchSets(psb), core.BruteForceSketch)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Dataset: st.name, Method: "Ferret",
+		AvgPrecision: rep.AvgPrecision, FirstTier: rep.AvgFirstTier, SecondTier: rep.AvgSecondTier,
+		FVBits: featureBits(st.dim), SketchBits: st.sketchBits,
+	})
+	// SHD baseline reuses the same engine's stored descriptors with an
+	// exact ℓ₂ brute-force ranking.
+	shdRep, err := shdQuality(psb)
+	cleanup()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Dataset: st.name, Method: "SHD",
+		AvgPrecision: shdRep.AvgPrecision, FirstTier: shdRep.AvgFirstTier, SecondTier: shdRep.AvgSecondTier,
+		FVBits: featureBits(st.dim),
+	})
+	return rows, nil
+}
+
+// baselineQuality evaluates the global-feature image baseline: a fresh
+// engine over the baseline objects with the baseline's ℓ₁ object distance
+// (EMD on single-segment objects reduces to the segment distance), queried
+// brute-force on the original vectors.
+func baselineQuality(vary *synth.Benchmark) (rep report, err error) {
+	dim := baseline.GlobalFeatureDim
+	min := make([]float32, dim)
+	max := make([]float32, dim)
+	for i := range max {
+		max[i] = 1
+	}
+	cfg := core.Config{
+		Sketch:          sketch.Params{N: 64, K: 1, Min: min, Max: max, Seed: 204},
+		SegmentDistance: vector.L1,
+	}
+	e, cleanup, err := tempEngine(cfg)
+	if err != nil {
+		return rep, err
+	}
+	defer cleanup()
+	for i := range vary.Baseline {
+		if _, err := e.Ingest(vary.Baseline[i], nil); err != nil {
+			return rep, err
+		}
+	}
+	r, err := quality(e, vary.Sets, core.BruteForceOriginal)
+	if err != nil {
+		return rep, err
+	}
+	return report{r.AvgPrecision, r.AvgFirstTier, r.AvgSecondTier}, nil
+}
+
+// shdQuality evaluates the SHD baseline: exact ℓ₂ on the full descriptors.
+func shdQuality(psb *synth.Benchmark) (rep report, err error) {
+	st := shapeType()
+	cfg := core.Config{
+		Sketch:          st.sketchCfg(64),
+		SegmentDistance: vector.L2,
+	}
+	e, cleanup, err := tempEngine(cfg)
+	if err != nil {
+		return rep, err
+	}
+	defer cleanup()
+	for i := range psb.Objects {
+		if _, err := e.Ingest(psb.Objects[i], nil); err != nil {
+			return rep, err
+		}
+	}
+	r, err := quality(e, psb.Sets, core.BruteForceOriginal)
+	if err != nil {
+		return rep, err
+	}
+	return report{r.AvgPrecision, r.AvgFirstTier, r.AvgSecondTier}, nil
+}
+
+// report is the quality triple used by the baseline helpers.
+type report struct {
+	AvgPrecision, AvgFirstTier, AvgSecondTier float64
+}
+
+// FprintTable1 renders rows in the paper's layout.
+func FprintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-14s %-16s %9s %8s %8s %10s %11s %7s\n",
+		"Dataset", "Method", "AvgPrec", "1stTier", "2ndTier", "FV(bits)", "Sketch(bits)", "Ratio")
+	for _, r := range rows {
+		sk, ratio := "n/a", "n/a"
+		if r.SketchBits > 0 {
+			sk = fmt.Sprintf("%d", r.SketchBits)
+			ratio = fmt.Sprintf("%.1f:1", r.Ratio())
+		}
+		fmt.Fprintf(w, "%-14s %-16s %9.2f %8.2f %8.2f %10d %11s %7s\n",
+			r.Dataset, r.Method, r.AvgPrecision, r.FirstTier, r.SecondTier, r.FVBits, sk, ratio)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ferret/internal/core"
+	"ferret/internal/object"
+	"ferret/internal/synth"
+)
+
+// Table2Row is one row of the paper's Table 2: search speed with sketching
+// and filtering on.
+type Table2Row struct {
+	Benchmark    string
+	Objects      int
+	AvgSegments  float64
+	AvgSearchSec float64
+}
+
+// speedDataset couples a feature-level object generator with its engine
+// parameters for the speed experiments.
+type speedDataset struct {
+	dt  dataType
+	n   int
+	gen func(n int, seed int64) []object.Object
+}
+
+func speedDatasets(scale Scale) []speedDataset {
+	return []speedDataset{
+		{dt: imageType(), n: scale.MixedImageN, gen: synth.MixedImageObjects},
+		{dt: mixedAudioType(), n: scale.AudioN, gen: synth.MixedAudioObjects},
+		{dt: mixedShapeType(), n: scale.MixedShapeN, gen: synth.MixedShapeObjects},
+	}
+}
+
+// speedRowName maps the dataset to the paper's Table 2 naming.
+func speedRowName(dt dataType) string {
+	switch dt.name {
+	case "VARY Image":
+		return "Mixed image"
+	case "TIMIT Audio":
+		return "TIMIT Audio"
+	default:
+		return dt.name
+	}
+}
+
+// Table2 reproduces the search-speed table: average query time with the
+// sketching and filtering mechanism turned on, per benchmark dataset.
+func Table2(scale Scale) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, ds := range speedDatasets(scale) {
+		objs := ds.gen(ds.n, 301)
+		queries := ds.gen(scale.SpeedQueries, 909)
+		e, cleanup, err := buildEngine(ds.dt, ds.dt.sketchBits, objs, nil)
+		if err != nil {
+			return nil, err
+		}
+		sec, err := avgQuerySeconds(e, queries, core.Filtering, 20)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Benchmark:    speedRowName(ds.dt),
+			Objects:      ds.n,
+			AvgSegments:  synth.AvgSegments(objs),
+			AvgSearchSec: sec,
+		})
+	}
+	return rows, nil
+}
+
+// FprintTable2 renders rows in the paper's layout.
+func FprintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "%-16s %10s %14s %16s\n", "Benchmark", "Objects", "AvgSegs/Obj", "AvgSearch(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %10d %14.1f %16.4f\n", r.Benchmark, r.Objects, r.AvgSegments, r.AvgSearchSec)
+	}
+}

@@ -1,0 +1,148 @@
+// Package genomic is the gene-expression plug-in for the Ferret toolkit
+// (paper §5.4): microarray matrices whose rows (genes) become
+// single-segment data objects, with Pearson, Spearman or ℓ₁ distances
+// between expression profiles.
+package genomic
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ferret/internal/object"
+	"ferret/internal/vector"
+)
+
+// Matrix is a gene-expression microarray: Data[i][j] is the expression
+// level of gene i in experiment/condition j.
+type Matrix struct {
+	Genes      []string
+	Conditions []string
+	Data       [][]float32
+}
+
+// Validate checks that the matrix is rectangular and labeled consistently.
+func (m *Matrix) Validate() error {
+	if len(m.Genes) != len(m.Data) {
+		return fmt.Errorf("genomic: %d gene labels for %d rows", len(m.Genes), len(m.Data))
+	}
+	for i, row := range m.Data {
+		if len(row) != len(m.Conditions) {
+			return fmt.Errorf("genomic: row %d has %d values, want %d", i, len(row), len(m.Conditions))
+		}
+	}
+	return nil
+}
+
+// RowObject converts gene i into a Ferret object: the expression profile is
+// used directly as the (single) feature vector, as in the paper —
+// segmentation is just slicing the matrix row by row.
+func (m *Matrix) RowObject(i int) object.Object {
+	return object.Single(m.Genes[i], m.Data[i])
+}
+
+// DistanceByName resolves the three distance functions the paper's genomics
+// group experimented with: "pearson", "spearman" and "l1".
+func DistanceByName(name string) (vector.Func, error) {
+	switch strings.ToLower(name) {
+	case "pearson":
+		return vector.Pearson, nil
+	case "spearman":
+		return vector.Spearman, nil
+	case "l1":
+		return vector.L1, nil
+	default:
+		return nil, fmt.Errorf("genomic: unknown distance %q", name)
+	}
+}
+
+// ParseTSV reads a matrix in tab-separated form: a header line
+// "gene<TAB>cond1<TAB>cond2..." followed by one row per gene.
+func ParseTSV(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("genomic: empty input")
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) < 2 {
+		return nil, errors.New("genomic: header has no conditions")
+	}
+	m := &Matrix{Conditions: header[1:]}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("genomic: row %d has %d fields, want %d", len(m.Genes)+1, len(fields), len(header))
+		}
+		row := make([]float32, len(fields)-1)
+		for j, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return nil, fmt.Errorf("genomic: row %q col %d: %w", fields[0], j, err)
+			}
+			row[j] = float32(v)
+		}
+		m.Genes = append(m.Genes, fields[0])
+		m.Data = append(m.Data, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, m.Validate()
+}
+
+// WriteTSV writes the matrix in the format ParseTSV reads.
+func WriteTSV(w io.Writer, m *Matrix) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "gene\t%s\n", strings.Join(m.Conditions, "\t"))
+	for i, g := range m.Genes {
+		bw.WriteString(g)
+		for _, v := range m.Data[i] {
+			fmt.Fprintf(bw, "\t%g", v)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Bounds returns the per-condition min/max over all genes, for sketch
+// construction.
+func (m *Matrix) Bounds() (min, max []float32) {
+	n := len(m.Conditions)
+	min = make([]float32, n)
+	max = make([]float32, n)
+	for j := 0; j < n; j++ {
+		min[j], max[j] = 1e30, -1e30
+	}
+	for _, row := range m.Data {
+		for j, v := range row {
+			if v < min[j] {
+				min[j] = v
+			}
+			if v > max[j] {
+				max[j] = v
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		if min[j] > max[j] {
+			min[j], max[j] = 0, 1
+		} else if min[j] == max[j] {
+			max[j] = min[j] + 1
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,115 @@
+package genomic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Matrix {
+	return &Matrix{
+		Genes:      []string{"YJL190C", "YBL087C"},
+		Conditions: []string{"c1", "c2", "c3"},
+		Data:       [][]float32{{1, 2, 3}, {-1, 0.5, 2.25}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sample()
+	bad.Genes = bad.Genes[:1]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	ragged := sample()
+	ragged.Data[1] = ragged.Data[1][:2]
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestRowObject(t *testing.T) {
+	m := sample()
+	o := m.RowObject(0)
+	if o.Key != "YJL190C" || len(o.Segments) != 1 {
+		t.Fatalf("row object: %+v", o)
+	}
+	if o.Segments[0].Vec[2] != 3 {
+		t.Fatal("expression values wrong")
+	}
+}
+
+func TestDistanceByName(t *testing.T) {
+	for _, name := range []string{"pearson", "Spearman", "L1"} {
+		f, err := DistanceByName(name)
+		if err != nil || f == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := DistanceByName("cosmic"); err == nil {
+		t.Fatal("unknown distance accepted")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	m := sample()
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Genes) != 2 || len(got.Conditions) != 3 {
+		t.Fatalf("shape: %dx%d", len(got.Genes), len(got.Conditions))
+	}
+	if got.Genes[1] != "YBL087C" || got.Data[1][2] != 2.25 {
+		t.Fatal("values changed in round trip")
+	}
+}
+
+func TestParseTSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"gene\n",                       // no conditions
+		"gene\tc1\nG1\t1\t2\n",         // extra field
+		"gene\tc1\tc2\nG1\t1\n",        // missing field
+		"gene\tc1\nG1\tnot-a-number\n", // bad value
+	}
+	for i, src := range cases {
+		if _, err := ParseTSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseTSVSkipsBlankLines(t *testing.T) {
+	src := "gene\tc1\tc2\nG1\t1\t2\n\nG2\t3\t4\n"
+	m, err := ParseTSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Genes) != 2 {
+		t.Fatalf("parsed %d genes", len(m.Genes))
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := sample()
+	min, max := m.Bounds()
+	if min[0] != -1 || max[0] != 1 {
+		t.Fatalf("col 0 bounds [%g, %g]", min[0], max[0])
+	}
+	if min[2] != 2.25 || max[2] != 3 {
+		t.Fatalf("col 2 bounds [%g, %g]", min[2], max[2])
+	}
+	// Constant columns get a widened range.
+	c := &Matrix{Genes: []string{"g"}, Conditions: []string{"c"}, Data: [][]float32{{5}}}
+	cmin, cmax := c.Bounds()
+	if cmin[0] != 5 || cmax[0] <= cmin[0] {
+		t.Fatalf("constant col bounds [%g, %g]", cmin[0], cmax[0])
+	}
+}

@@ -1,0 +1,174 @@
+package imagefeat
+
+import (
+	"math"
+	"testing"
+)
+
+// twoTone builds an image whose left half is color a and right half color b.
+func twoTone(w, h int, a, b RGB) *Image {
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x < w/2 {
+				im.Set(x, y, a)
+			} else {
+				im.Set(x, y, b)
+			}
+		}
+	}
+	return im
+}
+
+func TestSegmentTwoRegions(t *testing.T) {
+	im := twoTone(32, 32, RGB{1, 0, 0}, RGB{0, 0, 1})
+	regions, labels := Segmenter{}.Segment(im)
+	if len(regions) != 2 {
+		t.Fatalf("found %d regions, want 2", len(regions))
+	}
+	if labels[0] == labels[31] {
+		t.Fatal("left and right halves share a label")
+	}
+	total := 0
+	for _, r := range regions {
+		total += r.Pixels
+	}
+	if total != 32*32 {
+		t.Fatalf("region pixels sum to %d", total)
+	}
+}
+
+func TestSegmentUniformImage(t *testing.T) {
+	im := twoTone(16, 16, RGB{0.5, 0.5, 0.5}, RGB{0.5, 0.5, 0.5})
+	regions, _ := Segmenter{}.Segment(im)
+	if len(regions) != 1 {
+		t.Fatalf("uniform image produced %d regions", len(regions))
+	}
+	r := regions[0]
+	if r.MinX != 0 || r.MinY != 0 || r.MaxX != 15 || r.MaxY != 15 {
+		t.Fatalf("bbox %d,%d–%d,%d", r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	if math.Abs(r.Mean[0]-0.5) > 1e-6 || r.Std[0] > 1e-6 {
+		t.Fatalf("moments: mean %g std %g", r.Mean[0], r.Std[0])
+	}
+}
+
+func TestSmallRegionsMerged(t *testing.T) {
+	// A couple of isolated off-color pixels must be merged away.
+	im := twoTone(32, 32, RGB{0.2, 0.8, 0.2}, RGB{0.2, 0.8, 0.2})
+	im.Set(5, 5, RGB{1, 1, 1})
+	im.Set(20, 20, RGB{0, 0, 0})
+	regions, _ := Segmenter{}.Segment(im)
+	if len(regions) != 1 {
+		t.Fatalf("speckled image produced %d regions, want 1 after merging", len(regions))
+	}
+}
+
+func TestMaxRegionsCap(t *testing.T) {
+	// A 32-stripe image collapses to MaxRegions regions.
+	im := NewImage(64, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 64; x++ {
+			v := float32(x/2) / 32
+			im.Set(x, y, RGB{v, 1 - v, float32((x / 2) % 2)})
+		}
+	}
+	s := Segmenter{MaxRegions: 4, Tolerance: 0.05, MinRegionFrac: 0.0001}
+	regions, _ := s.Segment(im)
+	if len(regions) > 4 {
+		t.Fatalf("cap not enforced: %d regions", len(regions))
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	im := twoTone(32, 32, RGB{1, 0, 0}, RGB{0, 0, 1})
+	regions, _ := Segmenter{}.Segment(im)
+	for _, r := range regions {
+		v := Feature(im, &r)
+		if len(v) != FeatureDim {
+			t.Fatalf("feature dim %d", len(v))
+		}
+		// Bbox for a half image: w=16, h=32 → aspect 16/48 = 1/3.
+		if math.Abs(float64(v[9])-1.0/3) > 1e-3 {
+			t.Errorf("aspect = %g, want 1/3", v[9])
+		}
+		// Bbox covers half the image.
+		if math.Abs(float64(v[10])-0.5) > 1e-3 {
+			t.Errorf("bbox size = %g, want 0.5", v[10])
+		}
+		// Region fills its bbox entirely.
+		if math.Abs(float64(v[11])-1) > 1e-3 {
+			t.Errorf("area ratio = %g, want 1", v[11])
+		}
+	}
+}
+
+func TestFeatureBoundsContainRealFeatures(t *testing.T) {
+	min, max := FeatureBounds()
+	if len(min) != FeatureDim || len(max) != FeatureDim {
+		t.Fatal("bounds dimension")
+	}
+	im := twoTone(32, 32, RGB{0.9, 0.1, 0.4}, RGB{0.1, 0.9, 0.6})
+	regions, _ := Segmenter{}.Segment(im)
+	for _, r := range regions {
+		v := Feature(im, &r)
+		for d, x := range v {
+			if x < min[d]-1e-6 || x > max[d]+1e-6 {
+				t.Errorf("feature dim %d = %g outside [%g, %g]", d, x, min[d], max[d])
+			}
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	im := twoTone(32, 32, RGB{1, 0, 0}, RGB{0, 0, 1})
+	var e Extractor
+	o, err := e.Extract("img", im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Segments) != 2 {
+		t.Fatalf("%d segments", len(o.Segments))
+	}
+	// Equal-size regions get equal √size weights.
+	if math.Abs(float64(o.Segments[0].Weight)-0.5) > 1e-3 {
+		t.Errorf("weight = %g, want 0.5", o.Segments[0].Weight)
+	}
+}
+
+func TestExtractEmptyImage(t *testing.T) {
+	var e Extractor
+	if _, err := e.Extract("x", nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if _, err := e.Extract("x", &Image{}); err == nil {
+		t.Fatal("zero-size image accepted")
+	}
+}
+
+func TestSimilarImagesCloserThanDifferent(t *testing.T) {
+	// The core retrieval property at feature level: a re-render with small
+	// noise stays closer (per matched region) than a different scene.
+	base := twoTone(32, 32, RGB{1, 0, 0}, RGB{0, 0, 1})
+	near := twoTone(32, 32, RGB{0.95, 0.05, 0}, RGB{0.02, 0, 0.97})
+	far := twoTone(32, 32, RGB{0, 1, 0}, RGB{1, 1, 0})
+	var e Extractor
+	ob, _ := e.Extract("b", base)
+	on, _ := e.Extract("n", near)
+	of, _ := e.Extract("f", far)
+	l1 := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			s += math.Abs(float64(a[i]) - float64(b[i]))
+		}
+		return s
+	}
+	dNear := l1(ob.Segments[0].Vec, on.Segments[0].Vec)
+	dFar := l1(ob.Segments[0].Vec, of.Segments[0].Vec)
+	if dNear >= dFar {
+		t.Errorf("near %g >= far %g", dNear, dFar)
+	}
+}

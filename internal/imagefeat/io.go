@@ -1,0 +1,159 @@
+package imagefeat
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FromStdImage converts a decoded standard-library image into the plug-in's
+// raster representation.
+func FromStdImage(src image.Image) *Image {
+	b := src.Bounds()
+	im := NewImage(b.Dx(), b.Dy())
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, bb, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			im.Set(x, y, RGB{
+				R: float32(r) / 65535,
+				G: float32(g) / 65535,
+				B: float32(bb) / 65535,
+			})
+		}
+	}
+	return im
+}
+
+// ToStdImage converts the raster into a standard-library RGBA image.
+func (im *Image) ToStdImage() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			p := im.At(x, y)
+			out.Set(x, y, color.RGBA{
+				R: uint8(clampByte(p.R)),
+				G: uint8(clampByte(p.G)),
+				B: uint8(clampByte(p.B)),
+				A: 255,
+			})
+		}
+	}
+	return out
+}
+
+func clampByte(v float32) int {
+	x := int(v*255 + 0.5)
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return x
+}
+
+// WritePNG encodes the image as PNG.
+func (im *Image) WritePNG(w io.Writer) error {
+	return png.Encode(w, im.ToStdImage())
+}
+
+// ReadFile loads an image file by extension: .png (stdlib decoder) or .ppm
+// (binary P6).
+func ReadFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".png":
+		src, err := png.Decode(bufio.NewReader(f))
+		if err != nil {
+			return nil, fmt.Errorf("imagefeat: decoding %s: %w", path, err)
+		}
+		return FromStdImage(src), nil
+	case ".ppm":
+		return ReadPPM(bufio.NewReader(f))
+	default:
+		return nil, fmt.Errorf("imagefeat: unsupported image format %q", filepath.Ext(path))
+	}
+}
+
+// WriteFile saves the image by extension (.png or .ppm).
+func (im *Image) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".png":
+		if err := im.WritePNG(w); err != nil {
+			return err
+		}
+	case ".ppm":
+		if err := im.WritePPM(w); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("imagefeat: unsupported image format %q", filepath.Ext(path))
+	}
+	return w.Flush()
+}
+
+// WritePPM encodes the image as a binary (P6) PPM.
+func (im *Image) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	row := make([]byte, im.W*3)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			p := im.At(x, y)
+			row[x*3] = byte(clampByte(p.R))
+			row[x*3+1] = byte(clampByte(p.G))
+			row[x*3+2] = byte(clampByte(p.B))
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPPM decodes a binary (P6) PPM image.
+func ReadPPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxVal); err != nil {
+		return nil, fmt.Errorf("imagefeat: PPM header: %w", err)
+	}
+	if magic != "P6" || w <= 0 || h <= 0 || maxVal != 255 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("imagefeat: unsupported PPM header %s %dx%d max %d", magic, w, h, maxVal)
+	}
+	// Exactly one whitespace byte separates the header from pixel data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	im := NewImage(w, h)
+	buf := make([]byte, w*h*3)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("imagefeat: PPM pixels: %w", err)
+	}
+	for i := 0; i < w*h; i++ {
+		im.Pix[i] = RGB{
+			R: float32(buf[i*3]) / 255,
+			G: float32(buf[i*3+1]) / 255,
+			B: float32(buf[i*3+2]) / 255,
+		}
+	}
+	return im, nil
+}

@@ -1,0 +1,137 @@
+package imagefeat
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func gradient(w, h int) *Image {
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, RGB{
+				R: float32(x) / float32(w),
+				G: float32(y) / float32(h),
+				B: 0.25,
+			})
+		}
+	}
+	return im
+}
+
+func maxPixelDiff(a, b *Image) float64 {
+	var m float64
+	for i := range a.Pix {
+		m = math.Max(m, math.Abs(float64(a.Pix[i].R-b.Pix[i].R)))
+		m = math.Max(m, math.Abs(float64(a.Pix[i].G-b.Pix[i].G)))
+		m = math.Max(m, math.Abs(float64(a.Pix[i].B-b.Pix[i].B)))
+	}
+	return m
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	im := gradient(17, 9)
+	var buf bytes.Buffer
+	if err := im.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 17 || got.H != 9 {
+		t.Fatalf("size %dx%d", got.W, got.H)
+	}
+	if d := maxPixelDiff(im, got); d > 1.0/254 {
+		t.Fatalf("max pixel diff %g", d)
+	}
+}
+
+func TestReadPPMErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("P5\n2 2\n255\n"),   // wrong magic
+		[]byte("P6\n2 2\n65535\n"), // unsupported depth
+		[]byte("P6\n2 2\n255\nxx"), // truncated pixels
+		[]byte("P6\n-1 2\n255\n"),  // negative size
+	}
+	for i, data := range cases {
+		if _, err := ReadPPM(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPNGFileRoundTrip(t *testing.T) {
+	im := gradient(20, 12)
+	path := filepath.Join(t.TempDir(), "g.png")
+	if err := im.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 20 || got.H != 12 {
+		t.Fatalf("size %dx%d", got.W, got.H)
+	}
+	if d := maxPixelDiff(im, got); d > 1.0/254 {
+		t.Fatalf("max pixel diff %g", d)
+	}
+}
+
+func TestPPMFileRoundTrip(t *testing.T) {
+	im := gradient(8, 8)
+	path := filepath.Join(t.TempDir(), "g.ppm")
+	if err := im.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxPixelDiff(im, got); d > 1.0/254 {
+		t.Fatalf("max pixel diff %g", d)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.png")); err == nil {
+		t.Fatal("missing file read")
+	}
+	path := filepath.Join(t.TempDir(), "x.gif")
+	im := gradient(4, 4)
+	if err := im.WriteFile(path); err == nil {
+		t.Fatal("unsupported write format accepted")
+	}
+	_ = path
+}
+
+func TestStdImageConversion(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 3, 2))
+	src.Set(1, 1, color.RGBA{R: 255, G: 128, B: 0, A: 255})
+	im := FromStdImage(src)
+	if im.W != 3 || im.H != 2 {
+		t.Fatalf("size %dx%d", im.W, im.H)
+	}
+	p := im.At(1, 1)
+	if p.R < 0.99 || math.Abs(float64(p.G)-128.0/255) > 0.01 || p.B != 0 {
+		t.Fatalf("pixel %v", p)
+	}
+	back := im.ToStdImage()
+	r, g, b, _ := back.At(1, 1).RGBA()
+	if r>>8 != 255 || (g>>8) < 126 || (g>>8) > 130 || b>>8 != 0 {
+		t.Fatalf("round trip pixel %d %d %d", r>>8, g>>8, b>>8)
+	}
+	// Non-zero-origin bounds are normalized.
+	shifted := image.NewRGBA(image.Rect(5, 5, 8, 7))
+	shifted.Set(5, 5, color.RGBA{R: 255, A: 255})
+	im2 := FromStdImage(shifted)
+	if im2.W != 3 || im2.H != 2 || im2.At(0, 0).R < 0.99 {
+		t.Fatalf("shifted bounds mishandled: %dx%d %v", im2.W, im2.H, im2.At(0, 0))
+	}
+}

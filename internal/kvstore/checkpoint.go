@@ -1,0 +1,206 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A checkpoint is a full snapshot of every table, written atomically
+// (temp file + fsync + rename) so that at any instant exactly one valid
+// checkpoint exists on disk. Format:
+//
+//	header  := magic(uint32) | version(uint32) | txnID(uint64) | numTables(uint32)
+//	table   := nameLen(uint16) | name | count(uint64) | entries...
+//	entry   := keyLen(uint32) | key | valLen(uint32) | val
+//	trailer := crc32(uint32 over everything before it)
+//
+// Recovery loads the checkpoint (verifying the CRC), then replays the WAL
+// on top; because puts and deletes are idempotent and the WAL is replayed
+// in order, a WAL that overlaps the checkpoint is harmless.
+
+const (
+	checkpointMagic   = uint32(0xFE44E7C9)
+	checkpointVersion = uint32(1)
+)
+
+// writeCheckpoint snapshots tables (a name → btree map) into dir.
+func writeCheckpoint(dir string, txnID uint64, tables map[string]*btree) error {
+	tmp := filepath.Join(dir, "checkpoint.tmp")
+	final := filepath.Join(dir, "checkpoint.db")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<16)
+
+	var hdr [20]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], checkpointMagic)
+	le.PutUint32(hdr[4:], checkpointVersion)
+	le.PutUint64(hdr[8:], txnID)
+	le.PutUint32(hdr[16:], uint32(len(tables)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var scratch [10]byte
+	for _, name := range names {
+		t := tables[name]
+		le.PutUint16(scratch[0:], uint16(len(name)))
+		if _, err := w.Write(scratch[:2]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.WriteString(name); err != nil {
+			f.Close()
+			return err
+		}
+		le.PutUint64(scratch[0:], uint64(t.Len()))
+		if _, err := w.Write(scratch[:8]); err != nil {
+			f.Close()
+			return err
+		}
+		var werr error
+		t.AscendRange(nil, nil, func(k, v []byte) bool {
+			le.PutUint32(scratch[0:], uint32(len(k)))
+			if _, werr = w.Write(scratch[:4]); werr != nil {
+				return false
+			}
+			if _, werr = w.Write(k); werr != nil {
+				return false
+			}
+			le.PutUint32(scratch[0:], uint32(len(v)))
+			if _, werr = w.Write(scratch[:4]); werr != nil {
+				return false
+			}
+			_, werr = w.Write(v)
+			return werr == nil
+		})
+		if werr != nil {
+			f.Close()
+			return werr
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	// Trailer CRC covers everything written so far.
+	var trailer [4]byte
+	le.PutUint32(trailer[0:], crc.Sum32())
+	if _, err := f.Write(trailer[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadCheckpoint reads a checkpoint into a fresh table map. A missing file
+// yields an empty map; a corrupt file is an error (the store refuses to
+// open rather than silently serving bad data).
+func loadCheckpoint(dir string) (map[string]*btree, uint64, error) {
+	path := filepath.Join(dir, "checkpoint.db")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]*btree{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < 24 {
+		return nil, 0, errors.New("kvstore: checkpoint too short")
+	}
+	le := binary.LittleEndian
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != le.Uint32(trailer) {
+		return nil, 0, errors.New("kvstore: checkpoint CRC mismatch")
+	}
+	if le.Uint32(body[0:]) != checkpointMagic {
+		return nil, 0, errors.New("kvstore: bad checkpoint magic")
+	}
+	if v := le.Uint32(body[4:]); v != checkpointVersion {
+		return nil, 0, fmt.Errorf("kvstore: unsupported checkpoint version %d", v)
+	}
+	txnID := le.Uint64(body[8:])
+	numTables := int(le.Uint32(body[16:]))
+	if numTables > 1<<20 {
+		return nil, 0, errors.New("kvstore: implausible checkpoint table count")
+	}
+	tables := make(map[string]*btree, numTables)
+	off := 20
+	for ti := 0; ti < numTables; ti++ {
+		if off+2 > len(body) {
+			return nil, 0, errors.New("kvstore: truncated checkpoint table header")
+		}
+		nlen := int(le.Uint16(body[off:]))
+		off += 2
+		if off+nlen+8 > len(body) {
+			return nil, 0, errors.New("kvstore: truncated checkpoint table name")
+		}
+		name := string(body[off : off+nlen])
+		off += nlen
+		count := int(le.Uint64(body[off:]))
+		off += 8
+		t := newBtree()
+		for i := 0; i < count; i++ {
+			if off+4 > len(body) {
+				return nil, 0, errors.New("kvstore: truncated checkpoint entry")
+			}
+			klen := int(le.Uint32(body[off:]))
+			off += 4
+			if off+klen+4 > len(body) {
+				return nil, 0, errors.New("kvstore: truncated checkpoint key")
+			}
+			k := append([]byte(nil), body[off:off+klen]...)
+			off += klen
+			vlen := int(le.Uint32(body[off:]))
+			off += 4
+			if off+vlen > len(body) {
+				return nil, 0, errors.New("kvstore: truncated checkpoint value")
+			}
+			v := append([]byte(nil), body[off:off+vlen]...)
+			off += vlen
+			t.Put(k, v)
+		}
+		tables[name] = t
+	}
+	if off != len(body) {
+		return nil, 0, errors.New("kvstore: trailing bytes in checkpoint")
+	}
+	return tables, txnID, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,248 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead log is a sequence of self-delimiting records, one per
+// committed transaction:
+//
+//	record  := length(uint32) | crc32(uint32 of payload) | payload
+//	payload := txnID(uint64) | numOps(uint32) | op...
+//	op      := kind(byte) | tableLen(uint16) | table |
+//	           keyLen(uint32) | key | [valLen(uint32) | val]   (puts only)
+//
+// A record is the atomic unit of recovery: replay applies only records
+// whose length and CRC check out, and stops at the first record that does
+// not (a torn tail from a crash). This yields the paper's §4.1.3 semantics:
+// after a crash the metadata is consistent (no half-applied transactions),
+// while updates since the last log sync may be lost.
+
+const (
+	opPut    = byte(1)
+	opDelete = byte(2)
+)
+
+// walOp is one mutation inside a transaction record.
+type walOp struct {
+	kind  byte
+	table string
+	key   []byte
+	val   []byte
+}
+
+// walRecord is one committed transaction.
+type walRecord struct {
+	txnID uint64
+	ops   []walOp
+}
+
+func (r *walRecord) encode() []byte {
+	size := 12
+	for _, op := range r.ops {
+		size += 1 + 2 + len(op.table) + 4 + len(op.key)
+		if op.kind == opPut {
+			size += 4 + len(op.val)
+		}
+	}
+	buf := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], r.txnID)
+	le.PutUint32(buf[8:], uint32(len(r.ops)))
+	off := 12
+	for _, op := range r.ops {
+		buf[off] = op.kind
+		off++
+		le.PutUint16(buf[off:], uint16(len(op.table)))
+		off += 2
+		off += copy(buf[off:], op.table)
+		le.PutUint32(buf[off:], uint32(len(op.key)))
+		off += 4
+		off += copy(buf[off:], op.key)
+		if op.kind == opPut {
+			le.PutUint32(buf[off:], uint32(len(op.val)))
+			off += 4
+			off += copy(buf[off:], op.val)
+		}
+	}
+	return buf
+}
+
+func decodeWALRecord(payload []byte) (*walRecord, error) {
+	le := binary.LittleEndian
+	if len(payload) < 12 {
+		return nil, errors.New("kvstore: short wal payload")
+	}
+	r := &walRecord{txnID: le.Uint64(payload[0:])}
+	n := int(le.Uint32(payload[8:]))
+	off := 12
+	for i := 0; i < n; i++ {
+		if off+3 > len(payload) {
+			return nil, errors.New("kvstore: truncated wal op header")
+		}
+		kind := payload[off]
+		off++
+		tlen := int(le.Uint16(payload[off:]))
+		off += 2
+		if off+tlen+4 > len(payload) {
+			return nil, errors.New("kvstore: truncated wal table name")
+		}
+		table := string(payload[off : off+tlen])
+		off += tlen
+		klen := int(le.Uint32(payload[off:]))
+		off += 4
+		if off+klen > len(payload) {
+			return nil, errors.New("kvstore: truncated wal key")
+		}
+		key := append([]byte(nil), payload[off:off+klen]...)
+		off += klen
+		op := walOp{kind: kind, table: table, key: key}
+		switch kind {
+		case opPut:
+			if off+4 > len(payload) {
+				return nil, errors.New("kvstore: truncated wal value length")
+			}
+			vlen := int(le.Uint32(payload[off:]))
+			off += 4
+			if off+vlen > len(payload) {
+				return nil, errors.New("kvstore: truncated wal value")
+			}
+			op.val = append([]byte(nil), payload[off:off+vlen]...)
+			off += vlen
+		case opDelete:
+		default:
+			return nil, fmt.Errorf("kvstore: unknown wal op kind %d", kind)
+		}
+		r.ops = append(r.ops, op)
+	}
+	if off != len(payload) {
+		return nil, errors.New("kvstore: trailing bytes in wal payload")
+	}
+	return r, nil
+}
+
+// wal appends transaction records to a log file.
+type wal struct {
+	f   *os.File
+	buf *bufio.Writer
+	// size is the current byte length of the log, used for the checkpoint
+	// threshold.
+	size int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, buf: bufio.NewWriterSize(f, 1<<16), size: st.Size()}, nil
+}
+
+// append writes a record to the log buffer (not yet durable).
+func (w *wal) append(r *walRecord) error {
+	payload := r.encode()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(payload); err != nil {
+		return err
+	}
+	w.size += int64(len(hdr) + len(payload))
+	return nil
+}
+
+// flush pushes buffered records to the OS.
+func (w *wal) flush() error { return w.buf.Flush() }
+
+// sync makes all appended records durable.
+func (w *wal) sync() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// reset truncates the log after a checkpoint has made its contents durable
+// elsewhere.
+func (w *wal) reset() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = 0
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL reads records from path and calls apply for each intact record,
+// in order. It stops silently at the first torn or corrupt record (the
+// crash-truncated tail) and returns the number of applied records and the
+// highest transaction ID seen.
+func replayWAL(path string, apply func(*walRecord)) (applied int, maxTxn uint64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	rd := bufio.NewReaderSize(f, 1<<16)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			return applied, maxTxn, nil // clean EOF or torn header: stop
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if length > 1<<30 {
+			return applied, maxTxn, nil // corrupt length: stop
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			return applied, maxTxn, nil // torn payload: stop
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return applied, maxTxn, nil // corrupt payload: stop
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return applied, maxTxn, nil // structurally invalid: stop
+		}
+		apply(rec)
+		applied++
+		if rec.txnID > maxTxn {
+			maxTxn = rec.txnID
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package metastore is the Ferret toolkit's metadata manager (paper
+// §4.1.3). It provides transaction-protected, crash-consistent storage for
+// feature vectors, segment sketches, the mapping between data objects and
+// file objects, and the persisted sketch-construction state, all in named
+// tables of the embedded kvstore.
+//
+// All updates belonging to one object are committed in a single
+// transaction, so after a crash an object is either fully present or fully
+// absent — never half-ingested.
+package metastore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ferret/internal/kvstore"
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+)
+
+// Table names within the kvstore.
+const (
+	tableObjects  = "meta:objects"  // id → object.Marshal()
+	tableKeys     = "meta:keys"     // key string → id
+	tableNames    = "meta:names"    // id → key string
+	tableSketches = "meta:sketches" // id → SketchSet encoding
+	tableConfig   = "meta:config"   // "builder" → sketch.Builder, "nextid" → uint64
+)
+
+// SketchSet is the compact per-object record used by the filtering and
+// sketch-ranking paths: the segment weights plus one sketch per segment.
+// It is an order of magnitude smaller than the feature-vector record.
+type SketchSet struct {
+	Weights  []float32
+	Sketches []sketch.Sketch
+}
+
+// Store is the metadata manager. It is safe for concurrent use.
+type Store struct {
+	kv *kvstore.Store
+
+	mu     sync.Mutex
+	nextID object.ID
+}
+
+// Open opens (or creates) the metadata store in dir. Crash recovery is
+// inherited from the kvstore: the state observed is the last checkpoint
+// plus all intact log records.
+func Open(dir string, opts kvstore.Options) (*Store, error) {
+	opts.Dir = dir
+	kv, err := kvstore.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{kv: kv, nextID: 1}
+	if v, ok := kv.Get(tableConfig, []byte("nextid")); ok && len(v) == 8 {
+		s.nextID = object.ID(binary.BigEndian.Uint64(v))
+	}
+	// The persisted counter can lag the true maximum when concurrent
+	// ingest transactions committed their counter records out of order;
+	// repair it from the highest assigned ID so IDs are never reissued.
+	var maxID object.ID
+	kv.Scan(tableNames, nil, nil, func(k, v []byte) bool {
+		if len(k) == 8 {
+			maxID = parseID(k) // ascending scan: the last hit is the max
+		}
+		return true
+	})
+	if maxID >= s.nextID {
+		s.nextID = maxID + 1
+	}
+	return s, nil
+}
+
+// Close flushes and closes the underlying store.
+func (s *Store) Close() error { return s.kv.Close() }
+
+// Checkpoint forces a durable snapshot (see kvstore.Store.Checkpoint).
+func (s *Store) Checkpoint() error { return s.kv.Checkpoint() }
+
+// KV exposes the underlying kvstore so sibling components (the attribute
+// search engine) can join the same transactions.
+func (s *Store) KV() *kvstore.Store { return s.kv }
+
+func idKey(id object.ID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+func parseID(b []byte) object.ID {
+	return object.ID(binary.BigEndian.Uint64(b))
+}
+
+// AddObject ingests one object: it allocates an ID, stores the
+// feature-vector record (unless sketchOnly), the sketch set, and the
+// key↔id mapping, all in one transaction. Extra may add more writes (e.g.
+// attribute postings) to the same transaction; it may be nil.
+//
+// Re-adding an existing key is an error: data acquisition deduplicates by
+// key before calling AddObject.
+func (s *Store) AddObject(o object.Object, set *SketchSet, sketchOnly bool, extra func(txn *kvstore.Txn, id object.ID)) (object.ID, error) {
+	if o.Key == "" {
+		return 0, errors.New("metastore: object key is empty")
+	}
+	if _, exists := s.kv.Get(tableKeys, []byte(o.Key)); exists {
+		return 0, fmt.Errorf("metastore: key %q already present", o.Key)
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	next := s.nextID
+	s.mu.Unlock()
+
+	txn := s.kv.Begin()
+	ik := idKey(id)
+	if !sketchOnly {
+		txn.Put(tableObjects, ik, encodeObjectRecord(&o))
+	}
+	if set != nil {
+		txn.Put(tableSketches, ik, marshalSketchSet(set))
+	}
+	txn.Put(tableKeys, []byte(o.Key), ik)
+	txn.Put(tableNames, ik, []byte(o.Key))
+	txn.Put(tableConfig, []byte("nextid"), idKey(next))
+	if extra != nil {
+		extra(txn, id)
+	}
+	if err := txn.Commit(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// GetObject returns the stored feature-vector record for id. In sketch-only
+// databases this reports false for every object.
+func (s *Store) GetObject(id object.ID) (object.Object, bool) {
+	v, ok := s.kv.Get(tableObjects, idKey(id))
+	if !ok {
+		return object.Object{}, false
+	}
+	o, err := decodeObjectRecord(v)
+	if err != nil {
+		return object.Object{}, false
+	}
+	o.ID = id
+	return o, true
+}
+
+// encodeObjectRecord stores the external key alongside the segment data so
+// streaming scans can populate Object.Key without extra lookups:
+// keyLen(uint16) | key | object.Marshal().
+func encodeObjectRecord(o *object.Object) []byte {
+	seg := o.Marshal()
+	buf := make([]byte, 2+len(o.Key)+len(seg))
+	binary.LittleEndian.PutUint16(buf[0:], uint16(len(o.Key)))
+	copy(buf[2:], o.Key)
+	copy(buf[2+len(o.Key):], seg)
+	return buf
+}
+
+func decodeObjectRecord(data []byte) (object.Object, error) {
+	if len(data) < 2 {
+		return object.Object{}, errors.New("metastore: short object record")
+	}
+	klen := int(binary.LittleEndian.Uint16(data[0:]))
+	if 2+klen > len(data) {
+		return object.Object{}, errors.New("metastore: truncated object key")
+	}
+	o, err := object.Unmarshal(data[2+klen:])
+	if err != nil {
+		return object.Object{}, err
+	}
+	o.Key = string(data[2 : 2+klen])
+	return o, nil
+}
+
+// GetSketchSet returns the sketch record for id.
+func (s *Store) GetSketchSet(id object.ID) (*SketchSet, bool) {
+	v, ok := s.kv.Get(tableSketches, idKey(id))
+	if !ok {
+		return nil, false
+	}
+	set, err := unmarshalSketchSet(v)
+	if err != nil {
+		return nil, false
+	}
+	return set, true
+}
+
+// LookupKey resolves an external key to its object ID.
+func (s *Store) LookupKey(key string) (object.ID, bool) {
+	v, ok := s.kv.Get(tableKeys, []byte(key))
+	if !ok || len(v) != 8 {
+		return 0, false
+	}
+	return parseID(v), true
+}
+
+// Key returns the external key of id ("" if unknown).
+func (s *Store) Key(id object.ID) string {
+	v, _ := s.kv.Get(tableNames, idKey(id))
+	return string(v)
+}
+
+// Count returns the number of ingested objects.
+func (s *Store) Count() int { return s.kv.Len(tableNames) }
+
+// ForEachObject streams all feature-vector records in ID order. The object
+// passed to fn is freshly decoded and owned by the callee. fn returns false
+// to stop.
+func (s *Store) ForEachObject(fn func(o object.Object) bool) {
+	s.kv.Scan(tableObjects, nil, nil, func(k, v []byte) bool {
+		o, err := decodeObjectRecord(v)
+		if err != nil {
+			return true // skip undecodable records rather than abort the scan
+		}
+		o.ID = parseID(k)
+		return fn(o)
+	})
+}
+
+// ForEachSketchSet streams all sketch records in ID order.
+func (s *Store) ForEachSketchSet(fn func(id object.ID, set *SketchSet) bool) {
+	s.kv.Scan(tableSketches, nil, nil, func(k, v []byte) bool {
+		set, err := unmarshalSketchSet(v)
+		if err != nil {
+			return true
+		}
+		return fn(parseID(k), set)
+	})
+}
+
+// DeleteObject removes all metadata of id in one transaction. Extra may
+// remove associated records (attribute postings) in the same transaction.
+func (s *Store) DeleteObject(id object.ID, extra func(txn *kvstore.Txn, id object.ID)) error {
+	key := s.Key(id)
+	txn := s.kv.Begin()
+	ik := idKey(id)
+	txn.Delete(tableObjects, ik)
+	txn.Delete(tableSketches, ik)
+	txn.Delete(tableNames, ik)
+	if key != "" {
+		txn.Delete(tableKeys, []byte(key))
+	}
+	if extra != nil {
+		extra(txn, id)
+	}
+	return txn.Commit()
+}
+
+// SaveBuilder persists the sketch-construction state so the database keeps
+// producing compatible sketches after restart.
+func (s *Store) SaveBuilder(b *sketch.Builder) error {
+	enc, err := b.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return s.kv.Put(tableConfig, []byte("builder"), enc)
+}
+
+// LoadBuilder restores a previously saved sketch builder, reporting whether
+// one was present.
+func (s *Store) LoadBuilder() (*sketch.Builder, bool, error) {
+	v, ok := s.kv.Get(tableConfig, []byte("builder"))
+	if !ok {
+		return nil, false, nil
+	}
+	var b sketch.Builder
+	if err := b.UnmarshalBinary(v); err != nil {
+		return nil, false, err
+	}
+	return &b, true, nil
+}
+
+// SetConfig stores an arbitrary configuration blob under name.
+func (s *Store) SetConfig(name string, value []byte) error {
+	return s.kv.Put(tableConfig, []byte("user:"+name), value)
+}
+
+// GetConfig fetches a configuration blob stored with SetConfig.
+func (s *Store) GetConfig(name string) ([]byte, bool) {
+	return s.kv.Get(tableConfig, []byte("user:"+name))
+}
+
+// marshalSketchSet layout: count(uint32) | words(uint32) |
+// count×(weight float32) | count×words×uint64.
+func marshalSketchSet(set *SketchSet) []byte {
+	count := len(set.Sketches)
+	words := 0
+	if count > 0 {
+		words = len(set.Sketches[0])
+	}
+	buf := make([]byte, 8+4*count+8*count*words)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(count))
+	le.PutUint32(buf[4:], uint32(words))
+	off := 8
+	for i := 0; i < count; i++ {
+		var w float32
+		if i < len(set.Weights) {
+			w = set.Weights[i]
+		}
+		le.PutUint32(buf[off:], floatBits(w))
+		off += 4
+	}
+	for _, sk := range set.Sketches {
+		if len(sk) != words {
+			panic("metastore: ragged sketch set")
+		}
+		for _, word := range sk {
+			le.PutUint64(buf[off:], word)
+			off += 8
+		}
+	}
+	return buf
+}
+
+func unmarshalSketchSet(data []byte) (*SketchSet, error) {
+	if len(data) < 8 {
+		return nil, errors.New("metastore: short sketch set")
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(data[0:]))
+	words := int(le.Uint32(data[4:]))
+	if count > 1<<24 || words > 1<<20 {
+		return nil, errors.New("metastore: implausible sketch set counts")
+	}
+	want := 8 + 4*count + 8*count*words
+	if count < 0 || words < 0 || len(data) != want {
+		return nil, fmt.Errorf("metastore: sketch set is %d bytes, want %d", len(data), want)
+	}
+	set := &SketchSet{
+		Weights:  make([]float32, count),
+		Sketches: make([]sketch.Sketch, count),
+	}
+	off := 8
+	for i := 0; i < count; i++ {
+		set.Weights[i] = floatFromBits(le.Uint32(data[off:]))
+		off += 4
+	}
+	for i := 0; i < count; i++ {
+		sk := make(sketch.Sketch, words)
+		for w := 0; w < words; w++ {
+			sk[w] = le.Uint64(data[off:])
+			off += 8
+		}
+		set.Sketches[i] = sk
+	}
+	return set, nil
+}

@@ -1,0 +1,313 @@
+package metastore
+
+import (
+	"fmt"
+	"testing"
+
+	"ferret/internal/kvstore"
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+)
+
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testBuilder(t *testing.T) *sketch.Builder {
+	t.Helper()
+	b, err := sketch.NewBuilder(sketch.Params{
+		N: 64, K: 1,
+		Min: []float32{0, 0, 0}, Max: []float32{1, 1, 1},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func makeObj(key string, nseg int) object.Object {
+	w := make([]float32, nseg)
+	vs := make([][]float32, nseg)
+	for i := 0; i < nseg; i++ {
+		w[i] = 1
+		vs[i] = []float32{float32(i) * 0.1, 0.5, 0.9}
+	}
+	o, err := object.New(key, w, vs)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func sketchSet(b *sketch.Builder, o object.Object) *SketchSet {
+	set := &SketchSet{}
+	for _, seg := range o.Segments {
+		set.Weights = append(set.Weights, seg.Weight)
+		set.Sketches = append(set.Sketches, b.Build(seg.Vec))
+	}
+	return set
+}
+
+func TestAddAndGetObject(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	b := testBuilder(t)
+	o := makeObj("img/dog.jpg", 3)
+	id, err := s.AddObject(o, sketchSet(b, o), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero ID")
+	}
+	got, ok := s.GetObject(id)
+	if !ok {
+		t.Fatal("object not found")
+	}
+	if got.Key != "img/dog.jpg" || len(got.Segments) != 3 || got.ID != id {
+		t.Fatalf("got %+v", got)
+	}
+	set, ok := s.GetSketchSet(id)
+	if !ok || len(set.Sketches) != 3 || len(set.Weights) != 3 {
+		t.Fatalf("sketch set: %+v %v", set, ok)
+	}
+	if lid, ok := s.LookupKey("img/dog.jpg"); !ok || lid != id {
+		t.Fatalf("LookupKey = %d %v", lid, ok)
+	}
+	if s.Key(id) != "img/dog.jpg" {
+		t.Fatalf("Key = %q", s.Key(id))
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestAddObjectDuplicateKey(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	o := makeObj("same", 1)
+	if _, err := s.AddObject(o, nil, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddObject(o, nil, false, nil); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+func TestAddObjectEmptyKey(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	o := makeObj("", 1)
+	if _, err := s.AddObject(o, nil, false, nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestSketchOnlyMode(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	b := testBuilder(t)
+	o := makeObj("audio/x.wav", 2)
+	id, err := s.AddObject(o, sketchSet(b, o), true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetObject(id); ok {
+		t.Fatal("sketch-only mode stored feature vectors")
+	}
+	if _, ok := s.GetSketchSet(id); !ok {
+		t.Fatal("sketch set missing")
+	}
+}
+
+func TestIDsPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	id1, _ := s.AddObject(makeObj("a", 1), nil, false, nil)
+	id2, _ := s.AddObject(makeObj("b", 1), nil, false, nil)
+	s.Close()
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	id3, err := s2.AddObject(makeObj("c", 1), nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 <= id2 || id2 <= id1 {
+		t.Fatalf("IDs not monotone across reopen: %d %d %d", id1, id2, id3)
+	}
+	if s2.Count() != 3 {
+		t.Fatalf("Count = %d", s2.Count())
+	}
+}
+
+func TestForEachObjectOrderAndStop(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.AddObject(makeObj(fmt.Sprintf("k%d", i), 1), nil, false, nil)
+	}
+	var ids []object.ID
+	s.ForEachObject(func(o object.Object) bool {
+		ids = append(ids, o.ID)
+		return len(ids) < 5
+	})
+	if len(ids) != 5 {
+		t.Fatalf("visited %d, want 5", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("IDs not ascending")
+		}
+	}
+}
+
+func TestForEachSketchSet(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	b := testBuilder(t)
+	for i := 0; i < 5; i++ {
+		o := makeObj(fmt.Sprintf("k%d", i), 2)
+		s.AddObject(o, sketchSet(b, o), false, nil)
+	}
+	n := 0
+	s.ForEachSketchSet(func(id object.ID, set *SketchSet) bool {
+		if len(set.Sketches) != 2 {
+			t.Fatalf("id %d: %d sketches", id, len(set.Sketches))
+		}
+		n++
+		return true
+	})
+	if n != 5 {
+		t.Fatalf("visited %d sketch sets", n)
+	}
+}
+
+func TestDeleteObject(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	b := testBuilder(t)
+	o := makeObj("gone", 2)
+	id, _ := s.AddObject(o, sketchSet(b, o), false, nil)
+	if err := s.DeleteObject(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetObject(id); ok {
+		t.Fatal("object survived delete")
+	}
+	if _, ok := s.GetSketchSet(id); ok {
+		t.Fatal("sketch set survived delete")
+	}
+	if _, ok := s.LookupKey("gone"); ok {
+		t.Fatal("key mapping survived delete")
+	}
+	// Key can be re-ingested after deletion.
+	if _, err := s.AddObject(makeObj("gone", 1), nil, false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	b := testBuilder(t)
+	if err := s.SaveBuilder(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	got, ok, err := s2.LoadBuilder()
+	if err != nil || !ok {
+		t.Fatalf("LoadBuilder: %v %v", ok, err)
+	}
+	v := []float32{0.3, 0.6, 0.9}
+	if sketch.Hamming(b.Build(v), got.Build(v)) != 0 {
+		t.Fatal("restored builder produces different sketches")
+	}
+}
+
+func TestLoadBuilderAbsent(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	if _, ok, err := s.LoadBuilder(); ok || err != nil {
+		t.Fatalf("LoadBuilder on empty store: %v %v", ok, err)
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	if err := s.SetConfig("mode", []byte("filtering")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.GetConfig("mode")
+	if !ok || string(v) != "filtering" {
+		t.Fatalf("GetConfig = %q %v", v, ok)
+	}
+	if _, ok := s.GetConfig("absent"); ok {
+		t.Fatal("absent config found")
+	}
+}
+
+func TestSketchSetRoundTrip(t *testing.T) {
+	set := &SketchSet{
+		Weights:  []float32{0.25, 0.75},
+		Sketches: []sketch.Sketch{{0xdeadbeef, 1}, {42, 0}},
+	}
+	got, err := unmarshalSketchSet(marshalSketchSet(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sketches) != 2 || got.Weights[1] != 0.75 || got.Sketches[0][0] != 0xdeadbeef {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Empty set round-trips too.
+	empty, err := unmarshalSketchSet(marshalSketchSet(&SketchSet{}))
+	if err != nil || len(empty.Sketches) != 0 {
+		t.Fatalf("empty set: %+v %v", empty, err)
+	}
+	if _, err := unmarshalSketchSet([]byte{1, 2}); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+	if _, err := unmarshalSketchSet(append(marshalSketchSet(set), 9)); err == nil {
+		t.Fatal("oversized encoding accepted")
+	}
+}
+
+func TestCrashConsistentIngest(t *testing.T) {
+	// The per-object transaction must keep key↔id↔sketch tables aligned
+	// after recovery.
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	b := testBuilder(t)
+	for i := 0; i < 20; i++ {
+		o := makeObj(fmt.Sprintf("obj%02d", i), 2)
+		if _, err := s.AddObject(o, sketchSet(b, o), false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	if s2.Count() != 20 {
+		t.Fatalf("Count = %d", s2.Count())
+	}
+	s2.ForEachObject(func(o object.Object) bool {
+		if _, ok := s2.GetSketchSet(o.ID); !ok {
+			t.Errorf("object %d has no sketch set", o.ID)
+		}
+		if id, ok := s2.LookupKey(o.Key); !ok || id != o.ID {
+			t.Errorf("key mapping broken for %q", o.Key)
+		}
+		return true
+	})
+}

@@ -1,0 +1,118 @@
+// Package metrics implements the search-quality metrics used in the paper's
+// evaluation (§6.2): first-tier, second-tier, and average precision, all
+// defined against a "gold standard" similarity set.
+//
+// Conventions match the paper: for a query drawn from a similarity set Q,
+// the relevant targets are the other |Q|−1 members; search results must not
+// include the query object itself (the evaluation tool strips it).
+package metrics
+
+import "ferret/internal/object"
+
+// GoldSet is an unordered set of object IDs considered mutually similar.
+type GoldSet map[object.ID]bool
+
+// NewGoldSet builds a GoldSet from IDs.
+func NewGoldSet(ids ...object.ID) GoldSet {
+	g := make(GoldSet, len(ids))
+	for _, id := range ids {
+		g[id] = true
+	}
+	return g
+}
+
+// targets returns the number of relevant targets for a query from gold:
+// |Q|−1 if the query is a member, |Q| otherwise.
+func (g GoldSet) targets(query object.ID) int {
+	k := len(g)
+	if g[query] {
+		k--
+	}
+	return k
+}
+
+// FirstTier returns the fraction of the query's similarity set (excluding
+// the query itself) found within the top k = |Q|−1 results.
+func FirstTier(query object.ID, gold GoldSet, results []object.ID) float64 {
+	return tier(query, gold, results, 1)
+}
+
+// SecondTier is like FirstTier with k = 2·(|Q|−1): twice as many results are
+// inspected, so it is the less stringent recall measure.
+func SecondTier(query object.ID, gold GoldSet, results []object.ID) float64 {
+	return tier(query, gold, results, 2)
+}
+
+func tier(query object.ID, gold GoldSet, results []object.ID, mult int) float64 {
+	k := gold.targets(query)
+	if k <= 0 {
+		return 0
+	}
+	top := mult * k
+	if top > len(results) {
+		top = len(results)
+	}
+	found := 0
+	for _, id := range results[:top] {
+		if id != query && gold[id] {
+			found++
+		}
+	}
+	return float64(found) / float64(k)
+}
+
+// AveragePrecision implements the paper's definition: with k = |Q|−1
+// relevant targets, let rank_i be the (1-based) rank of the i-th retrieved
+// relevant object in the result ordering; relevant objects absent from the
+// results take the default rank datasetSize. The score is
+//
+//	(1/k) · Σ_{i=1..k} i / rank_i
+//
+// which is 1 for a perfect ranking.
+func AveragePrecision(query object.ID, gold GoldSet, results []object.ID, datasetSize int) float64 {
+	k := gold.targets(query)
+	if k <= 0 {
+		return 0
+	}
+	var sum float64
+	hits := 0
+	for pos, id := range results {
+		if id == query || !gold[id] {
+			continue
+		}
+		hits++
+		sum += float64(hits) / float64(pos+1)
+		if hits == k {
+			break
+		}
+	}
+	// Relevant objects never retrieved get the default rank datasetSize.
+	if datasetSize < len(results) {
+		datasetSize = len(results) + 1
+	}
+	for i := hits + 1; i <= k; i++ {
+		sum += float64(i) / float64(datasetSize)
+	}
+	return sum / float64(k)
+}
+
+// QualityStats aggregates per-query metric values.
+type QualityStats struct {
+	Queries        int
+	AvgPrecision   float64
+	AvgFirstTier   float64
+	AvgSecondTier  float64
+	sumPrec, sumFT float64
+	sumST          float64
+}
+
+// Add accumulates one query's scores.
+func (q *QualityStats) Add(prec, firstTier, secondTier float64) {
+	q.Queries++
+	q.sumPrec += prec
+	q.sumFT += firstTier
+	q.sumST += secondTier
+	q.AvgPrecision = q.sumPrec / float64(q.Queries)
+	q.AvgFirstTier = q.sumFT / float64(q.Queries)
+	q.AvgSecondTier = q.sumST / float64(q.Queries)
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ferret/internal/object"
+)
+
+// The tests below include the worked examples from paper §6.2.
+
+func TestFirstTierPaperExample(t *testing.T) {
+	// Q = {q1, q2, q3}, query q1, top-2 results {r1, q2} → 50%.
+	gold := NewGoldSet(1, 2, 3)
+	results := []object.ID{100, 2, 3, 101}
+	if got := FirstTier(1, gold, results); got != 0.5 {
+		t.Errorf("first tier = %g, want 0.5", got)
+	}
+}
+
+func TestSecondTierPaperExample(t *testing.T) {
+	// Q = {q1, q2, q3}, query q1, top-4 results {r1, q2, q3, r4} → 100%.
+	gold := NewGoldSet(1, 2, 3)
+	results := []object.ID{100, 2, 3, 101}
+	if got := SecondTier(1, gold, results); got != 1.0 {
+		t.Errorf("second tier = %g, want 1.0", got)
+	}
+}
+
+func TestAveragePrecisionPaperExample(t *testing.T) {
+	// Results r1, q2, q3, r4 → AP = 1/2 · (1/2 + 2/3) = 0.583…
+	gold := NewGoldSet(1, 2, 3)
+	results := []object.ID{100, 2, 3, 101}
+	got := AveragePrecision(1, gold, results, 10000)
+	want := 0.5 * (0.5 + 2.0/3.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("average precision = %g, want %g", got, want)
+	}
+}
+
+func TestPerfectRanking(t *testing.T) {
+	gold := NewGoldSet(1, 2, 3, 4)
+	results := []object.ID{2, 3, 4, 99, 98}
+	if got := FirstTier(1, gold, results); got != 1 {
+		t.Errorf("first tier = %g", got)
+	}
+	if got := SecondTier(1, gold, results); got != 1 {
+		t.Errorf("second tier = %g", got)
+	}
+	if got := AveragePrecision(1, gold, results, 100); got != 1 {
+		t.Errorf("avg precision = %g", got)
+	}
+}
+
+func TestQueryExcludedFromResults(t *testing.T) {
+	// If the query itself appears in results it must not count as a hit.
+	gold := NewGoldSet(1, 2)
+	results := []object.ID{1, 2}
+	if got := FirstTier(1, gold, results); got != 0 {
+		t.Errorf("first tier counted the query itself: %g", got)
+	}
+	// Second tier looks at 2·k = 2 results, finds q2 at rank 2.
+	if got := SecondTier(1, gold, results); got != 1 {
+		t.Errorf("second tier = %g, want 1", got)
+	}
+}
+
+func TestMissingObjectsGetDefaultRank(t *testing.T) {
+	gold := NewGoldSet(1, 2, 3)
+	// Only q2 retrieved (rank 1); q3 missing → rank = dataset size 1000.
+	results := []object.ID{2}
+	got := AveragePrecision(1, gold, results, 1000)
+	want := 0.5 * (1.0/1.0 + 2.0/1000.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("avg precision = %g, want %g", got, want)
+	}
+}
+
+func TestEmptyGold(t *testing.T) {
+	gold := NewGoldSet(1)
+	if got := FirstTier(1, gold, []object.ID{2, 3}); got != 0 {
+		t.Errorf("first tier for singleton gold = %g", got)
+	}
+	if got := AveragePrecision(1, gold, nil, 10); got != 0 {
+		t.Errorf("avg precision for singleton gold = %g", got)
+	}
+}
+
+func TestQueryNotMemberOfGold(t *testing.T) {
+	// When the query is not in the gold set, all |Q| members are targets.
+	gold := NewGoldSet(2, 3)
+	results := []object.ID{2, 3}
+	if got := FirstTier(99, gold, results); got != 1 {
+		t.Errorf("first tier = %g, want 1", got)
+	}
+}
+
+func TestShortResultList(t *testing.T) {
+	gold := NewGoldSet(1, 2, 3, 4, 5)
+	// k = 4 but only 2 results returned.
+	results := []object.ID{2, 99}
+	if got := FirstTier(1, gold, results); got != 0.25 {
+		t.Errorf("first tier = %g, want 0.25", got)
+	}
+}
+
+func TestDefaultRankClampedToResults(t *testing.T) {
+	// datasetSize smaller than the result list must not inflate scores.
+	gold := NewGoldSet(1, 2, 3)
+	results := []object.ID{9, 8, 7, 6, 5}
+	got := AveragePrecision(1, gold, results, 2)
+	if got <= 0 || got >= 1 {
+		// Both misses land at rank len(results)+1 = 6.
+		want := 0.5 * (1.0/6.0 + 2.0/6.0)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("avg precision = %g, want %g", got, want)
+		}
+	}
+}
+
+func TestQualityStats(t *testing.T) {
+	var s QualityStats
+	s.Add(1.0, 0.5, 0.75)
+	s.Add(0.0, 0.5, 0.25)
+	if s.Queries != 2 {
+		t.Fatalf("Queries = %d", s.Queries)
+	}
+	if s.AvgPrecision != 0.5 || s.AvgFirstTier != 0.5 || s.AvgSecondTier != 0.5 {
+		t.Errorf("aggregates: %+v", s)
+	}
+}
+
+// TestTierMonotone: second tier is never below first tier for any results.
+func TestTierMonotone(t *testing.T) {
+	gold := NewGoldSet(1, 2, 3, 4)
+	cases := [][]object.ID{
+		{2, 9, 3, 9, 9, 4},
+		{9, 9, 9, 2, 3, 4},
+		{2, 3, 4},
+		{},
+	}
+	for _, results := range cases {
+		ft := FirstTier(1, gold, results)
+		st := SecondTier(1, gold, results)
+		if st < ft {
+			t.Errorf("results %v: second tier %g < first tier %g", results, st, ft)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Client is a command-line-protocol client used by the query tool, the web
+// interface and the performance evaluation tool. It is safe for concurrent
+// use (requests are serialized on the single connection).
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	rd   *bufio.Reader
+}
+
+// Dial connects to a Ferret server at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{conn: conn, rd: bufio.NewReader(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads the raw response lines.
+func (c *Client) roundTrip(req Request) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := io.WriteString(c.conn, FormatRequest(req)+"\n"); err != nil {
+		return nil, err
+	}
+	return ReadResponse(c.rd)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Cmd: CmdPing})
+	return err
+}
+
+// Count returns the number of objects in the server's database.
+func (c *Client) Count() (int, error) {
+	lines, err := c.roundTrip(Request{Cmd: CmdCount})
+	if err != nil {
+		return 0, err
+	}
+	if len(lines) != 1 {
+		return 0, fmt.Errorf("protocol: COUNT returned %d lines", len(lines))
+	}
+	return strconv.Atoi(strings.TrimPrefix(lines[0], "count="))
+}
+
+// QueryParams carries the tunable query parameters of the command-line
+// interface: result count, search mode, filter settings and attribute
+// restrictions.
+type QueryParams struct {
+	// K is the number of results (server default when 0).
+	K int
+	// Mode is "filtering", "bruteforce" or "sketch" ("" = filtering).
+	Mode string
+	// Keywords restricts the similarity search to objects matching all
+	// keywords (attribute + similarity combination, paper §4.1.2).
+	Keywords []string
+	// Attrs restricts to exact attribute matches.
+	Attrs map[string]string
+	// SegWeights optionally scales the query object's segment weights (the
+	// "adjusted weights for feature vectors" of §4.1.4); factor i applies
+	// to segment i.
+	SegWeights []float64
+}
+
+func (p QueryParams) fill(args map[string]string) {
+	if p.K > 0 {
+		args["k"] = strconv.Itoa(p.K)
+	}
+	if p.Mode != "" {
+		args["mode"] = p.Mode
+	}
+	if len(p.Keywords) > 0 {
+		args["keywords"] = strings.Join(p.Keywords, ",")
+	}
+	for k, v := range p.Attrs {
+		args["attr:"+k] = v
+	}
+	if len(p.SegWeights) > 0 {
+		parts := make([]string, len(p.SegWeights))
+		for i, w := range p.SegWeights {
+			parts[i] = strconv.FormatFloat(w, 'g', -1, 64)
+		}
+		args["segweights"] = strings.Join(parts, ",")
+	}
+}
+
+// Query runs a similarity query using an already-ingested object.
+func (c *Client) Query(key string, p QueryParams) ([]Result, error) {
+	args := map[string]string{"key": key}
+	p.fill(args)
+	return c.results(Request{Cmd: CmdQuery, Args: args})
+}
+
+// QueryFile runs a similarity query on a data file the server extracts with
+// its plug-in.
+func (c *Client) QueryFile(path string, p QueryParams) ([]Result, error) {
+	args := map[string]string{"path": path}
+	p.fill(args)
+	return c.results(Request{Cmd: CmdQueryFile, Args: args})
+}
+
+// AddFile ingests a data file through the server's plug-in extractor,
+// attaching the given attributes.
+func (c *Client) AddFile(path string, attrs map[string]string) error {
+	args := map[string]string{"path": path}
+	for k, v := range attrs {
+		args["attr:"+k] = v
+	}
+	_, err := c.roundTrip(Request{Cmd: CmdAddFile, Args: args})
+	return err
+}
+
+// Search runs an attribute-based search; results carry distance 0.
+func (c *Client) Search(keywords []string, attrs map[string]string) ([]Result, error) {
+	args := map[string]string{}
+	if len(keywords) > 0 {
+		args["keywords"] = strings.Join(keywords, ",")
+	}
+	for k, v := range attrs {
+		args["attr:"+k] = v
+	}
+	return c.results(Request{Cmd: CmdSearch, Args: args})
+}
+
+// Info returns the stored attributes of an object.
+func (c *Client) Info(key string) (map[string]string, error) {
+	lines, err := c.roundTrip(Request{Cmd: CmdInfo, Args: map[string]string{"key": key}})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(lines))
+	for _, line := range lines {
+		eq := strings.IndexByte(line, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("protocol: malformed INFO line %q", line)
+		}
+		name := line[:eq]
+		val := line[eq+1:]
+		if strings.HasPrefix(val, `"`) {
+			if unq, err := strconv.Unquote(val); err == nil {
+				val = unq
+			}
+		}
+		out[name] = val
+	}
+	return out, nil
+}
+
+// Stats returns the server engine's statistics as name → value pairs.
+func (c *Client) Stats() (map[string]string, error) {
+	lines, err := c.roundTrip(Request{Cmd: CmdStats})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(lines))
+	for _, line := range lines {
+		eq := strings.IndexByte(line, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("protocol: malformed STATS line %q", line)
+		}
+		out[line[:eq]] = line[eq+1:]
+	}
+	return out, nil
+}
+
+// Delete removes an object by key.
+func (c *Client) Delete(key string) error {
+	_, err := c.roundTrip(Request{Cmd: CmdDelete, Args: map[string]string{"key": key}})
+	return err
+}
+
+func (c *Client) results(req Request) ([]Result, error) {
+	lines, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(lines))
+	for _, line := range lines {
+		r, err := ParseResultLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+// Package protocol implements the Ferret toolkit's command-line query
+// interface (paper §4.1.4): a line-oriented text protocol that lets web
+// clients, scripts and the performance evaluation tool talk to a running
+// search server and experiment with query parameters without restarting it.
+//
+// Requests are single lines:
+//
+//	COMMAND key=value key="quoted value" ...
+//
+// Responses are either
+//
+//	OK <n>
+//	<n result lines: "<key> <distance>" or "<name>=<quoted value>">
+//
+// or
+//
+//	ERR <quoted message>
+package protocol
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Request is one parsed command line.
+type Request struct {
+	Cmd  string
+	Args map[string]string
+}
+
+// Commands understood by the server.
+const (
+	CmdPing      = "PING"      // liveness check
+	CmdCount     = "COUNT"     // number of ingested objects
+	CmdQuery     = "QUERY"     // similarity query by existing object key
+	CmdQueryFile = "QUERYFILE" // similarity query by extracting a file
+	CmdAddFile   = "ADDFILE"   // ingest a file through the plug-in extractor
+	CmdSearch    = "SEARCH"    // attribute-based search
+	CmdInfo      = "INFO"      // attributes of one object
+	CmdStats     = "STATS"     // engine statistics
+	CmdDelete    = "DELETE"    // remove an object by key
+)
+
+// ParseRequest parses a command line. Values may be bare (no spaces) or
+// Go-quoted.
+func ParseRequest(line string) (Request, error) {
+	fields, err := splitQuoted(line)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(fields) == 0 {
+		return Request{}, errors.New("protocol: empty request")
+	}
+	req := Request{Cmd: strings.ToUpper(fields[0]), Args: map[string]string{}}
+	for _, f := range fields[1:] {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return Request{}, fmt.Errorf("protocol: malformed argument %q", f)
+		}
+		req.Args[f[:eq]] = f[eq+1:]
+	}
+	return req, nil
+}
+
+// splitQuoted splits on spaces, honoring Go-style double quotes within
+// tokens (e.g. path="a b.jpg").
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	n := len(line)
+	for i < n {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		var tok strings.Builder
+		for i < n && line[i] != ' ' && line[i] != '\t' {
+			if line[i] == '"' {
+				// Consume a quoted section.
+				j := i + 1
+				for j < n {
+					if line[j] == '\\' {
+						j += 2
+						continue
+					}
+					if line[j] == '"' {
+						break
+					}
+					j++
+				}
+				if j >= n {
+					return nil, errors.New("protocol: unterminated quote")
+				}
+				unq, err := strconv.Unquote(line[i : j+1])
+				if err != nil {
+					return nil, fmt.Errorf("protocol: bad quoting: %w", err)
+				}
+				tok.WriteString(unq)
+				i = j + 1
+				continue
+			}
+			tok.WriteByte(line[i])
+			i++
+		}
+		out = append(out, tok.String())
+	}
+	return out, nil
+}
+
+// FormatRequest renders a request as a protocol line (arguments sorted for
+// determinism, values quoted when needed).
+func FormatRequest(req Request) string {
+	var sb strings.Builder
+	sb.WriteString(strings.ToUpper(req.Cmd))
+	keys := make([]string, 0, len(req.Args))
+	for k := range req.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteByte(' ')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(maybeQuote(req.Args[k]))
+	}
+	return sb.String()
+}
+
+func maybeQuote(v string) string {
+	if v == "" || strings.ContainsAny(v, " \t\"\\\n") {
+		return strconv.Quote(v)
+	}
+	return v
+}
+
+// Result is one line of a similarity or attribute search response.
+type Result struct {
+	Key      string
+	Distance float64
+}
+
+// WriteResults writes a successful response with result lines.
+func WriteResults(w io.Writer, results []Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "OK %d\n", len(results))
+	for _, r := range results {
+		fmt.Fprintf(bw, "%s %g\n", maybeQuote(r.Key), r.Distance)
+	}
+	return bw.Flush()
+}
+
+// WritePairs writes a successful response of name=value lines (INFO).
+func WritePairs(w io.Writer, pairs map[string]string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "OK %d\n", len(pairs))
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "%s=%s\n", k, maybeQuote(pairs[k]))
+	}
+	return bw.Flush()
+}
+
+// WriteError writes an error response.
+func WriteError(w io.Writer, err error) error {
+	_, werr := fmt.Fprintf(w, "ERR %s\n", strconv.Quote(err.Error()))
+	return werr
+}
+
+// ReadResponse reads a response: the raw payload lines of an OK response,
+// or an error carrying the server's message.
+func ReadResponse(r *bufio.Reader) ([]string, error) {
+	head, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	head = strings.TrimRight(head, "\r\n")
+	switch {
+	case strings.HasPrefix(head, "OK "):
+		n, err := strconv.Atoi(strings.TrimPrefix(head, "OK "))
+		if err != nil || n < 0 || n > 10_000_000 {
+			return nil, fmt.Errorf("protocol: bad OK count %q", head)
+		}
+		lines := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return nil, fmt.Errorf("protocol: truncated response: %w", err)
+			}
+			lines = append(lines, strings.TrimRight(line, "\r\n"))
+		}
+		return lines, nil
+	case strings.HasPrefix(head, "ERR "):
+		msg, err := strconv.Unquote(strings.TrimPrefix(head, "ERR "))
+		if err != nil {
+			msg = strings.TrimPrefix(head, "ERR ")
+		}
+		return nil, &ServerError{Msg: msg}
+	default:
+		return nil, fmt.Errorf("protocol: unexpected response line %q", head)
+	}
+}
+
+// ServerError is an error reported by the remote server (as opposed to a
+// transport failure).
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// ParseResultLine parses one "<key> <distance>" response line.
+func ParseResultLine(line string) (Result, error) {
+	fields, err := splitQuoted(line)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(fields) != 2 {
+		return Result{}, fmt.Errorf("protocol: malformed result line %q", line)
+	}
+	d, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("protocol: bad distance in %q: %w", line, err)
+	}
+	return Result{Key: fields[0], Distance: d}, nil
+}

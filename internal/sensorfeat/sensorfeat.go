@@ -1,0 +1,232 @@
+// Package sensorfeat is a sensor-data plug-in for the Ferret toolkit,
+// implementing the paper's §8 plan to "expand the usage of [the] Ferret
+// toolkit to include video and other sensor data": multivariate time
+// series are segmented into overlapping windows, each described by
+// per-channel statistics, with weights proportional to the window's
+// activity so that eventful stretches dominate the match.
+package sensorfeat
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"ferret/internal/object"
+)
+
+// FeaturesPerChannel is the number of statistics extracted per channel per
+// window: mean, standard deviation, min, max, and mean absolute first
+// difference (roughness).
+const FeaturesPerChannel = 5
+
+// Series is a multivariate time series: Data[t][c] is channel c at sample
+// t.
+type Series struct {
+	Channels []string
+	Data     [][]float32
+}
+
+// Validate checks that the series is rectangular and non-empty.
+func (s *Series) Validate() error {
+	if len(s.Channels) == 0 {
+		return errors.New("sensorfeat: no channels")
+	}
+	if len(s.Data) == 0 {
+		return errors.New("sensorfeat: no samples")
+	}
+	for t, row := range s.Data {
+		if len(row) != len(s.Channels) {
+			return fmt.Errorf("sensorfeat: sample %d has %d channels, want %d", t, len(row), len(s.Channels))
+		}
+	}
+	return nil
+}
+
+// Segmenter slices a series into overlapping windows.
+type Segmenter struct {
+	// Window is the segment length in samples. Default 64.
+	Window int
+	// Stride between window starts. Default Window/2 (50% overlap).
+	Stride int
+}
+
+func (sg Segmenter) withDefaults() Segmenter {
+	if sg.Window <= 0 {
+		sg.Window = 64
+	}
+	if sg.Stride <= 0 {
+		sg.Stride = sg.Window / 2
+		if sg.Stride == 0 {
+			sg.Stride = 1
+		}
+	}
+	return sg
+}
+
+// Windows returns the [start, end) sample ranges of the segments. A series
+// shorter than one window yields a single whole-series segment.
+func (sg Segmenter) Windows(samples int) [][2]int {
+	p := sg.withDefaults()
+	if samples <= p.Window {
+		return [][2]int{{0, samples}}
+	}
+	var out [][2]int
+	for start := 0; start+p.Window <= samples; start += p.Stride {
+		out = append(out, [2]int{start, start + p.Window})
+	}
+	// Cover a trailing remainder with one final window.
+	if last := out[len(out)-1]; last[1] < samples {
+		out = append(out, [2]int{samples - p.Window, samples})
+	}
+	return out
+}
+
+// windowFeature computes the FeaturesPerChannel×channels vector of one
+// window, returning also the window's total variance (its activity).
+func windowFeature(s *Series, start, end int) ([]float32, float64) {
+	c := len(s.Channels)
+	vec := make([]float32, 0, FeaturesPerChannel*c)
+	var activity float64
+	n := float64(end - start)
+	for ch := 0; ch < c; ch++ {
+		var sum, sq float64
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		var diff float64
+		for t := start; t < end; t++ {
+			v := float64(s.Data[t][ch])
+			sum += v
+			sq += v * v
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			if t > start {
+				diff += math.Abs(v - float64(s.Data[t-1][ch]))
+			}
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		roughness := 0.0
+		if n > 1 {
+			roughness = diff / (n - 1)
+		}
+		vec = append(vec,
+			float32(mean),
+			float32(math.Sqrt(variance)),
+			float32(minV),
+			float32(maxV),
+			float32(roughness),
+		)
+		activity += variance
+	}
+	return vec, activity
+}
+
+// Extractor converts series into Ferret objects.
+type Extractor struct {
+	Seg Segmenter
+}
+
+// Extract segments the series into windows and weights each window by its
+// activity (total variance across channels), so flat stretches contribute
+// little to the object distance.
+func (e *Extractor) Extract(key string, s *Series) (object.Object, error) {
+	if err := s.Validate(); err != nil {
+		return object.Object{}, err
+	}
+	wins := e.Seg.Windows(len(s.Data))
+	weights := make([]float32, len(wins))
+	vecs := make([][]float32, len(wins))
+	for i, w := range wins {
+		vec, activity := windowFeature(s, w[0], w[1])
+		vecs[i] = vec
+		// A small floor keeps all-flat series valid (uniform weights).
+		weights[i] = float32(activity) + 1e-6
+	}
+	return object.New(key, weights, vecs)
+}
+
+// Bounds returns per-dimension [min, max] feature bounds for sketch
+// construction, derived from per-channel value ranges [lo, hi]: means,
+// minima and maxima stay within the channel range; standard deviation
+// within half the range; roughness within the full range.
+func Bounds(lo, hi []float32) (min, max []float32) {
+	c := len(lo)
+	min = make([]float32, FeaturesPerChannel*c)
+	max = make([]float32, FeaturesPerChannel*c)
+	for ch := 0; ch < c; ch++ {
+		span := hi[ch] - lo[ch]
+		base := ch * FeaturesPerChannel
+		min[base+0], max[base+0] = lo[ch], hi[ch] // mean
+		min[base+1], max[base+1] = 0, span/2      // std
+		min[base+2], max[base+2] = lo[ch], hi[ch] // min
+		min[base+3], max[base+3] = lo[ch], hi[ch] // max
+		min[base+4], max[base+4] = 0, span        // roughness
+	}
+	return min, max
+}
+
+// ParseCSV reads a series: a header "ch1,ch2,..." then one comma-separated
+// sample row per line.
+func ParseCSV(r io.Reader) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("sensorfeat: empty input")
+	}
+	s := &Series{Channels: strings.Split(strings.TrimSpace(sc.Text()), ",")}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(s.Channels) {
+			return nil, fmt.Errorf("sensorfeat: row %d has %d values, want %d", len(s.Data)+1, len(fields), len(s.Channels))
+		}
+		row := make([]float32, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+			if err != nil {
+				return nil, fmt.Errorf("sensorfeat: row %d col %d: %w", len(s.Data)+1, i, err)
+			}
+			row[i] = float32(v)
+		}
+		s.Data = append(s.Data, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, s.Validate()
+}
+
+// WriteCSV writes the series in the format ParseCSV reads.
+func WriteCSV(w io.Writer, s *Series) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, strings.Join(s.Channels, ","))
+	for _, row := range s.Data {
+		for i, v := range row {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%g", v)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

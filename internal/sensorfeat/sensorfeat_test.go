@@ -1,0 +1,200 @@
+package sensorfeat
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func sine(channels, samples int, freq float64) *Series {
+	s := &Series{Data: make([][]float32, samples)}
+	for c := 0; c < channels; c++ {
+		s.Channels = append(s.Channels, "ch")
+	}
+	for t := 0; t < samples; t++ {
+		row := make([]float32, channels)
+		for c := 0; c < channels; c++ {
+			row[c] = float32(math.Sin(2 * math.Pi * freq * float64(t+c*7)))
+		}
+		s.Data[t] = row
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Series{}).Validate(); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	s := sine(2, 10, 0.1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Data[3] = s.Data[3][:1]
+	if err := s.Validate(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	sg := Segmenter{Window: 10, Stride: 5}
+	wins := sg.Windows(25)
+	// 0-10, 5-15, 10-20, 15-25: the trailing remainder is covered.
+	if len(wins) != 4 || wins[3] != [2]int{15, 25} {
+		t.Fatalf("windows %v", wins)
+	}
+	// Short series: one whole-series window.
+	if wins := sg.Windows(7); len(wins) != 1 || wins[0] != [2]int{0, 7} {
+		t.Fatalf("short windows %v", wins)
+	}
+	// Defaults resolve.
+	d := Segmenter{}.withDefaults()
+	if d.Window != 64 || d.Stride != 32 {
+		t.Fatalf("defaults %+v", d)
+	}
+}
+
+func TestWindowFeature(t *testing.T) {
+	// A constant series: zero std/roughness, mean = min = max = value.
+	s := &Series{Channels: []string{"a"}, Data: make([][]float32, 16)}
+	for t2 := range s.Data {
+		s.Data[t2] = []float32{2.5}
+	}
+	vec, activity := windowFeature(s, 0, 16)
+	if len(vec) != FeaturesPerChannel {
+		t.Fatalf("dim %d", len(vec))
+	}
+	if vec[0] != 2.5 || vec[1] != 0 || vec[2] != 2.5 || vec[3] != 2.5 || vec[4] != 0 {
+		t.Fatalf("features %v", vec)
+	}
+	if activity != 0 {
+		t.Fatalf("activity %g", activity)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	var e Extractor
+	s := sine(3, 200, 0.05)
+	o, err := e.Extract("rec", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Dim() != 3*FeaturesPerChannel {
+		t.Fatalf("dim %d", o.Dim())
+	}
+	if len(o.Segments) < 3 {
+		t.Fatalf("%d segments", len(o.Segments))
+	}
+	if _, err := e.Extract("bad", &Series{}); err == nil {
+		t.Fatal("invalid series extracted")
+	}
+}
+
+// TestActiveWindowsWeighMore: a series that is flat then oscillating must
+// put most weight on the oscillating windows.
+func TestActiveWindowsWeighMore(t *testing.T) {
+	s := &Series{Channels: []string{"a"}, Data: make([][]float32, 256)}
+	for t2 := 0; t2 < 256; t2++ {
+		v := float32(0)
+		if t2 >= 128 {
+			v = float32(math.Sin(float64(t2) * 0.5))
+		}
+		s.Data[t2] = []float32{v}
+	}
+	e := Extractor{Seg: Segmenter{Window: 64, Stride: 64}}
+	o, err := e.Extract("x", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Segments) != 4 {
+		t.Fatalf("%d segments", len(o.Segments))
+	}
+	flat := o.Segments[0].Weight + o.Segments[1].Weight
+	active := o.Segments[2].Weight + o.Segments[3].Weight
+	if active < 100*flat {
+		t.Fatalf("active weight %g not dominating flat %g", active, flat)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	min, max := Bounds([]float32{-1, 0}, []float32{1, 4})
+	if len(min) != 2*FeaturesPerChannel {
+		t.Fatalf("dim %d", len(min))
+	}
+	if min[0] != -1 || max[0] != 1 || max[1] != 1 { // ch0 mean, std
+		t.Fatalf("ch0 bounds %v %v", min[:5], max[:5])
+	}
+	if min[5] != 0 || max[5] != 4 || max[9] != 4 { // ch1 mean, roughness
+		t.Fatalf("ch1 bounds %v %v", min[5:], max[5:])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := sine(2, 20, 0.1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 20 || len(got.Channels) != 2 {
+		t.Fatalf("shape %dx%d", len(got.Data), len(got.Channels))
+	}
+	for t2 := range got.Data {
+		for c := range got.Data[t2] {
+			if math.Abs(float64(got.Data[t2][c]-s.Data[t2][c])) > 1e-5 {
+				t.Fatalf("value changed at %d,%d", t2, c)
+			}
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b\n1\n",        // missing value
+		"a\nnot-number\n", // bad value
+		"a\n",             // no samples
+	}
+	for i, src := range cases {
+		if _, err := ParseCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestSameSignalCloseDifferentFar at the feature level.
+func TestSignalSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	noisy := func(freq float64) *Series {
+		s := sine(2, 256, freq)
+		for t2 := range s.Data {
+			for c := range s.Data[t2] {
+				s.Data[t2][c] += float32(rng.NormFloat64() * 0.05)
+			}
+		}
+		return s
+	}
+	var e Extractor
+	a, _ := e.Extract("a", noisy(0.05))
+	a2, _ := e.Extract("a2", noisy(0.05))
+	b, _ := e.Extract("b", noisy(0.21))
+	l1 := func(x, y []float32) float64 {
+		var s float64
+		for i := range x {
+			s += math.Abs(float64(x[i]) - float64(y[i]))
+		}
+		return s
+	}
+	dSame := l1(a.Segments[0].Vec, a2.Segments[0].Vec)
+	dDiff := l1(a.Segments[0].Vec, b.Segments[0].Vec)
+	if dSame >= dDiff {
+		t.Fatalf("same-frequency distance %g >= different %g", dSame, dDiff)
+	}
+}

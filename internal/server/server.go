@@ -1,0 +1,328 @@
+// Package server runs the Ferret toolkit's command-line query interface
+// (paper §4.1.4) over TCP: one goroutine per connection, one request line
+// per response. The core components and the data-type specific algorithm
+// implementations are linked into this single concurrent program, while
+// clients (web interface, scripts, evaluation tools) connect remotely.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ferret/internal/attr"
+	"ferret/internal/core"
+	"ferret/internal/object"
+	"ferret/internal/protocol"
+)
+
+// ExtractFunc is the plug-in segmentation and feature extraction entry
+// point (the paper's seg_extract_func): it converts a data file into a
+// Ferret object.
+type ExtractFunc func(path string) (object.Object, error)
+
+// Server dispatches protocol requests against a core engine.
+type Server struct {
+	Engine *core.Engine
+	// Extract handles QUERYFILE and ADDFILE; nil disables them.
+	Extract ExtractFunc
+	// DefaultK is the result count when the client does not pass k.
+	DefaultK int
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// Serve accepts connections on l until Close is called. It always returns
+// a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and closes all active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		req, err := protocol.ParseRequest(line)
+		if err != nil {
+			if protocol.WriteError(conn, err) != nil {
+				return
+			}
+			continue
+		}
+		if err := s.dispatch(conn, req); err != nil {
+			return // transport error: drop the connection
+		}
+	}
+}
+
+// dispatch handles one request, writing exactly one response. The returned
+// error is a transport error; request-level failures become ERR responses.
+func (s *Server) dispatch(conn net.Conn, req protocol.Request) error {
+	switch req.Cmd {
+	case protocol.CmdPing:
+		return protocol.WriteResults(conn, nil)
+
+	case protocol.CmdCount:
+		return protocol.WritePairs(conn, map[string]string{"count": strconv.Itoa(s.Engine.Count())})
+
+	case protocol.CmdQuery:
+		key := req.Args["key"]
+		id, ok := s.Engine.Meta().LookupKey(key)
+		if !ok {
+			return protocol.WriteError(conn, fmt.Errorf("unknown object key %q", key))
+		}
+		opt, err := s.queryOptions(req)
+		if err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		var results []core.Result
+		if sw := req.Args["segweights"]; sw != "" {
+			// Adjusted feature-vector weights (paper §4.1.4): rebuild the
+			// query object with scaled segment weights.
+			o, ok := s.Engine.Meta().GetObject(id)
+			if !ok {
+				return protocol.WriteError(conn, errors.New("segweights requires stored feature vectors"))
+			}
+			if err := reweight(&o, sw); err != nil {
+				return protocol.WriteError(conn, err)
+			}
+			results, err = s.Engine.Query(o, opt)
+		} else {
+			results, err = s.Engine.QueryByID(id, opt)
+		}
+		if err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		return writeCoreResults(conn, results)
+
+	case protocol.CmdQueryFile:
+		if s.Extract == nil {
+			return protocol.WriteError(conn, errors.New("no extractor plugged in"))
+		}
+		o, err := s.Extract(req.Args["path"])
+		if err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		if sw := req.Args["segweights"]; sw != "" {
+			if err := reweight(&o, sw); err != nil {
+				return protocol.WriteError(conn, err)
+			}
+		}
+		opt, err := s.queryOptions(req)
+		if err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		results, err := s.Engine.Query(o, opt)
+		if err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		return writeCoreResults(conn, results)
+
+	case protocol.CmdAddFile:
+		if s.Extract == nil {
+			return protocol.WriteError(conn, errors.New("no extractor plugged in"))
+		}
+		o, err := s.Extract(req.Args["path"])
+		if err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		attrs := attrArgs(req)
+		if _, err := s.Engine.Ingest(o, attrs); err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		return protocol.WriteResults(conn, nil)
+
+	case protocol.CmdSearch:
+		q := attr.Query{Equal: attrArgs(req)}
+		if kw := req.Args["keywords"]; kw != "" {
+			q.Keywords = strings.Split(kw, ",")
+		}
+		if len(q.Keywords) == 0 && len(q.Equal) == 0 {
+			return protocol.WriteError(conn, errors.New("SEARCH needs keywords or attributes"))
+		}
+		ids := s.Engine.Attrs().Search(q)
+		out := make([]protocol.Result, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, protocol.Result{Key: s.Engine.Meta().Key(id)})
+		}
+		return protocol.WriteResults(conn, out)
+
+	case protocol.CmdStats:
+		st := s.Engine.Stat()
+		return protocol.WritePairs(conn, map[string]string{
+			"objects":          strconv.Itoa(st.Objects),
+			"deleted":          strconv.Itoa(st.Deleted),
+			"segments":         strconv.Itoa(st.Segments),
+			"sketch_bits":      strconv.Itoa(st.SketchBits),
+			"sketch_bytes":     strconv.Itoa(st.SketchBytes),
+			"indexed_segments": strconv.Itoa(st.IndexedSegments),
+		})
+
+	case protocol.CmdDelete:
+		id, ok := s.Engine.Meta().LookupKey(req.Args["key"])
+		if !ok {
+			return protocol.WriteError(conn, fmt.Errorf("unknown object key %q", req.Args["key"]))
+		}
+		if err := s.Engine.Delete(id); err != nil {
+			return protocol.WriteError(conn, err)
+		}
+		return protocol.WriteResults(conn, nil)
+
+	case protocol.CmdInfo:
+		id, ok := s.Engine.Meta().LookupKey(req.Args["key"])
+		if !ok {
+			return protocol.WriteError(conn, fmt.Errorf("unknown object key %q", req.Args["key"]))
+		}
+		attrs, _ := s.Engine.Attrs().Get(id)
+		pairs := map[string]string{"key": req.Args["key"], "id": strconv.FormatUint(uint64(id), 10)}
+		for k, v := range attrs {
+			pairs["attr:"+k] = v
+		}
+		return protocol.WritePairs(conn, pairs)
+
+	default:
+		return protocol.WriteError(conn, fmt.Errorf("unknown command %q", req.Cmd))
+	}
+}
+
+// queryOptions translates protocol arguments into engine query options,
+// resolving the attribute restriction into an ID set.
+func (s *Server) queryOptions(req protocol.Request) (core.QueryOptions, error) {
+	opt := core.QueryOptions{K: s.DefaultK}
+	if v := req.Args["k"]; v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			return opt, fmt.Errorf("bad k %q", v)
+		}
+		opt.K = k
+	}
+	switch strings.ToLower(req.Args["mode"]) {
+	case "", "filtering", "filter":
+		opt.Mode = core.Filtering
+	case "bruteforce", "original":
+		opt.Mode = core.BruteForceOriginal
+	case "sketch", "bruteforcesketch":
+		opt.Mode = core.BruteForceSketch
+	default:
+		return opt, fmt.Errorf("unknown mode %q", req.Args["mode"])
+	}
+	// Attribute restriction: run the attribute search first and restrict
+	// the similarity scan to its matches (paper §4.1.2).
+	q := attr.Query{Equal: attrArgs(req)}
+	if kw := req.Args["keywords"]; kw != "" {
+		q.Keywords = strings.Split(kw, ",")
+	}
+	if len(q.Keywords) > 0 || len(q.Equal) > 0 {
+		opt.Restrict = map[object.ID]bool{}
+		for _, id := range s.Engine.Attrs().Search(q) {
+			opt.Restrict[id] = true
+		}
+	}
+	return opt, nil
+}
+
+// reweight scales the query object's segment weights by the comma-separated
+// factors in spec (the command-line interface's "adjusted weights for
+// feature vectors", §4.1.4). Fewer factors than segments scale a prefix;
+// weights are renormalized afterwards.
+func reweight(o *object.Object, spec string) error {
+	factors := strings.Split(spec, ",")
+	if len(factors) > len(o.Segments) {
+		return fmt.Errorf("segweights has %d factors for %d segments", len(factors), len(o.Segments))
+	}
+	for i, f := range factors {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad segment weight factor %q", f)
+		}
+		o.Segments[i].Weight *= float32(v)
+	}
+	o.NormalizeWeights()
+	if err := o.Validate(); err != nil {
+		return fmt.Errorf("adjusted weights produce invalid object: %v", err)
+	}
+	return nil
+}
+
+// attrArgs extracts attr:<name>=<value> arguments.
+func attrArgs(req protocol.Request) attr.Attrs {
+	var out attr.Attrs
+	for k, v := range req.Args {
+		if name, ok := strings.CutPrefix(k, "attr:"); ok {
+			if out == nil {
+				out = attr.Attrs{}
+			}
+			out[name] = v
+		}
+	}
+	return out
+}
+
+func writeCoreResults(conn net.Conn, results []core.Result) error {
+	out := make([]protocol.Result, len(results))
+	for i, r := range results {
+		out[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
+	}
+	return protocol.WriteResults(conn, out)
+}

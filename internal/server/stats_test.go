@@ -1,0 +1,40 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"ferret/internal/protocol"
+)
+
+func TestStatsCommand(t *testing.T) {
+	client, engine := startServer(t, nil)
+	pairs, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs["objects"] != "12" {
+		t.Fatalf("objects = %q", pairs["objects"])
+	}
+	if pairs["segments"] != "12" { // single-segment test objects
+		t.Fatalf("segments = %q", pairs["segments"])
+	}
+	_ = engine
+}
+
+func TestDeleteCommand(t *testing.T) {
+	client, engine := startServer(t, nil)
+	if err := client.Delete("c0/m0"); err != nil {
+		t.Fatal(err)
+	}
+	if engine.Count() != 11 {
+		t.Fatalf("count after delete = %d", engine.Count())
+	}
+	// Deleted object no longer resolvable as a query seed.
+	if _, err := client.Query("c0/m0", protocol.QueryParams{K: 1}); err == nil {
+		t.Fatal("deleted key still queryable")
+	}
+	if err := client.Delete("c0/m0"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("double delete: %v", err)
+	}
+}

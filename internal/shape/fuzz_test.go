@@ -1,0 +1,37 @@
+package shape
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseOFFNeverPanics feeds structured garbage into the parser: every
+// input must yield a value or an error, never a panic.
+func TestParseOFFNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tokens := []string{"OFF", "3", "-1", "999999999", "0.5", "1e300", "nan", "#x", "\n", " ", "abc"}
+	for trial := 0; trial < 2000; trial++ {
+		var sb strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		m, err := ParseOFF(strings.NewReader(sb.String()))
+		if err == nil && m != nil {
+			// A successfully parsed mesh must be internally consistent.
+			for _, f := range m.Faces {
+				for _, idx := range f {
+					if idx < 0 || idx >= len(m.Verts) {
+						t.Fatalf("parsed mesh with dangling index on input %q", sb.String())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package shape is the 3D shape plug-in for the Ferret toolkit (paper
+// §5.3): Object File Format (OFF) mesh I/O, pose normalization, 64³
+// voxelization into 32 concentric spherical shells, and the
+// rotation-invariant Spherical Harmonic Descriptor (SHD) — a 32 × 17 =
+// 544-dimensional feature vector per model.
+package shape
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Mesh is a polygonal surface: vertices and faces (vertex index lists).
+type Mesh struct {
+	Verts [][3]float64
+	Faces [][]int
+}
+
+// ParseOFF reads a mesh in Object File Format. Comments (#) and blank
+// lines are skipped; polygon faces are kept as-is (Triangles() fans them).
+func ParseOFF(r io.Reader) (*Mesh, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+
+	fields, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("shape: reading OFF header: %w", err)
+	}
+	// The header may be "OFF" alone or "OFF nv nf ne" on one line.
+	if strings.ToUpper(fields[0]) != "OFF" {
+		return nil, errors.New("shape: missing OFF magic")
+	}
+	counts := fields[1:]
+	if len(counts) == 0 {
+		counts, err = next()
+		if err != nil {
+			return nil, fmt.Errorf("shape: reading OFF counts: %w", err)
+		}
+	}
+	if len(counts) < 2 {
+		return nil, errors.New("shape: malformed OFF counts")
+	}
+	nv, err := strconv.Atoi(counts[0])
+	if err != nil {
+		return nil, fmt.Errorf("shape: vertex count: %w", err)
+	}
+	nf, err := strconv.Atoi(counts[1])
+	if err != nil {
+		return nil, fmt.Errorf("shape: face count: %w", err)
+	}
+	if nv < 0 || nf < 0 || nv > 20_000_000 || nf > 20_000_000 {
+		return nil, errors.New("shape: implausible OFF counts")
+	}
+
+	// Preallocation is capped: a malformed header must not commit memory
+	// the actual data cannot back (vertices and faces are appended as the
+	// lines actually arrive).
+	const preallocCap = 1 << 16
+	m := &Mesh{
+		Verts: make([][3]float64, 0, minInt(nv, preallocCap)),
+		Faces: make([][]int, 0, minInt(nf, preallocCap)),
+	}
+	for i := 0; i < nv; i++ {
+		fields, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("shape: vertex %d: %w", i, err)
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("shape: vertex %d has %d coordinates", i, len(fields))
+		}
+		var vert [3]float64
+		for c := 0; c < 3; c++ {
+			v, err := strconv.ParseFloat(fields[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("shape: vertex %d coord %d: %w", i, c, err)
+			}
+			vert[c] = v
+		}
+		m.Verts = append(m.Verts, vert)
+	}
+	for i := 0; i < nf; i++ {
+		fields, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("shape: face %d: %w", i, err)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n < 3 || len(fields) < 1+n {
+			return nil, fmt.Errorf("shape: face %d malformed", i)
+		}
+		face := make([]int, n)
+		for k := 0; k < n; k++ {
+			idx, err := strconv.Atoi(fields[1+k])
+			if err != nil || idx < 0 || idx >= nv {
+				return nil, fmt.Errorf("shape: face %d vertex index %q invalid", i, fields[1+k])
+			}
+			face[k] = idx
+		}
+		m.Faces = append(m.Faces, face)
+	}
+	return m, nil
+}
+
+// WriteOFF writes the mesh in Object File Format.
+func WriteOFF(w io.Writer, m *Mesh) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "OFF\n%d %d 0\n", len(m.Verts), len(m.Faces))
+	for _, v := range m.Verts {
+		fmt.Fprintf(bw, "%g %g %g\n", v[0], v[1], v[2])
+	}
+	for _, f := range m.Faces {
+		fmt.Fprintf(bw, "%d", len(f))
+		for _, idx := range f {
+			fmt.Fprintf(bw, " %d", idx)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Triangles fans every polygonal face into triangles and returns the
+// triangle list as vertex index triples.
+func (m *Mesh) Triangles() [][3]int {
+	var tris [][3]int
+	for _, f := range m.Faces {
+		for k := 2; k < len(f); k++ {
+			tris = append(tris, [3]int{f[0], f[k-1], f[k]})
+		}
+	}
+	return tris
+}

@@ -1,0 +1,364 @@
+package shape
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tetra returns a regular-ish tetrahedron mesh.
+func tetra() *Mesh {
+	return &Mesh{
+		Verts: [][3]float64{{1, 1, 1}, {1, -1, -1}, {-1, 1, -1}, {-1, -1, 1}},
+		Faces: [][]int{{0, 1, 2}, {0, 3, 1}, {0, 2, 3}, {1, 3, 2}},
+	}
+}
+
+// uvSphere builds a UV sphere for descriptor tests.
+func uvSphere(radius float64, slices, stacks int) *Mesh {
+	m := &Mesh{}
+	for st := 0; st <= stacks; st++ {
+		theta := math.Pi * float64(st) / float64(stacks)
+		for sl := 0; sl < slices; sl++ {
+			phi := 2 * math.Pi * float64(sl) / float64(slices)
+			m.Verts = append(m.Verts, [3]float64{
+				radius * math.Sin(theta) * math.Cos(phi),
+				radius * math.Cos(theta),
+				radius * math.Sin(theta) * math.Sin(phi),
+			})
+		}
+	}
+	at := func(st, sl int) int { return st*slices + sl%slices }
+	for st := 0; st < stacks; st++ {
+		for sl := 0; sl < slices; sl++ {
+			m.Faces = append(m.Faces, []int{at(st, sl), at(st+1, sl), at(st+1, sl+1), at(st, sl+1)})
+		}
+	}
+	return m
+}
+
+func TestParseOFFBasic(t *testing.T) {
+	src := `OFF
+# a tetrahedron
+4 4 6
+1 1 1
+1 -1 -1
+-1 1 -1
+-1 -1 1
+3 0 1 2
+3 0 3 1
+3 0 2 3
+3 1 3 2
+`
+	m, err := ParseOFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Verts) != 4 || len(m.Faces) != 4 {
+		t.Fatalf("parsed %d verts %d faces", len(m.Verts), len(m.Faces))
+	}
+	if m.Verts[3] != [3]float64{-1, -1, 1} {
+		t.Fatalf("vertex 3 = %v", m.Verts[3])
+	}
+}
+
+func TestParseOFFHeaderOnOneLine(t *testing.T) {
+	src := "OFF 3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n"
+	m, err := ParseOFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Verts) != 3 || len(m.Faces) != 1 {
+		t.Fatal("single-line header parse failed")
+	}
+}
+
+func TestParseOFFErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"NOTOFF\n3 1 0\n",
+		"OFF\n3 1 0\n0 0 0\n1 0\n0 1 0\n3 0 1 2\n",   // short vertex
+		"OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n", // bad index
+		"OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n2 0 1\n",   // degenerate face
+		"OFF\n3 1 0\n0 0 0\n",                        // truncated
+	}
+	for i, src := range cases {
+		if _, err := ParseOFF(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	m := tetra()
+	var buf bytes.Buffer
+	if err := WriteOFF(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseOFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Verts) != 4 || len(got.Faces) != 4 {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range got.Verts {
+		if got.Verts[i] != m.Verts[i] {
+			t.Fatalf("vertex %d changed", i)
+		}
+	}
+}
+
+func TestTrianglesFansPolygons(t *testing.T) {
+	m := &Mesh{
+		Verts: make([][3]float64, 5),
+		Faces: [][]int{{0, 1, 2, 3, 4}},
+	}
+	tris := m.Triangles()
+	if len(tris) != 3 {
+		t.Fatalf("pentagon fanned into %d triangles", len(tris))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	m := tetra()
+	// Shift and scale arbitrarily; Normalize must undo it.
+	for i := range m.Verts {
+		for k := 0; k < 3; k++ {
+			m.Verts[i][k] = m.Verts[i][k]*7 + 100
+		}
+	}
+	if err := Normalize(m); err != nil {
+		t.Fatal(err)
+	}
+	// Area-weighted triangle-centroid mean distance must be 0.5.
+	tris := m.Triangles()
+	var total, dist float64
+	for _, tr := range tris {
+		a, b, c := m.Verts[tr[0]], m.Verts[tr[1]], m.Verts[tr[2]]
+		area := triArea(a, b, c)
+		var p [3]float64
+		for k := 0; k < 3; k++ {
+			p[k] = (a[k] + b[k] + c[k]) / 3
+		}
+		dist += area * math.Sqrt(p[0]*p[0]+p[1]*p[1]+p[2]*p[2])
+		total += area
+	}
+	if got := dist / total; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("mean centroid distance %g, want 0.5", got)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	if err := Normalize(&Mesh{Verts: [][3]float64{{0, 0, 0}}}); err == nil {
+		t.Fatal("no-face mesh accepted")
+	}
+	flat := &Mesh{
+		Verts: [][3]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}},
+		Faces: [][]int{{0, 1, 2}},
+	}
+	if err := Normalize(flat); err == nil {
+		t.Fatal("zero-area mesh accepted")
+	}
+}
+
+func TestVoxelizeSphereShellLocality(t *testing.T) {
+	m := uvSphere(1, 24, 24)
+	if err := Normalize(m); err != nil {
+		t.Fatal(err)
+	}
+	grid := Voxelize(m)
+	// All occupied voxels of a sphere lie in a thin radial band.
+	voxel := 2.0 / GridSize
+	minR, maxR := math.Inf(1), 0.0
+	count := 0
+	for z := 0; z < GridSize; z++ {
+		for y := 0; y < GridSize; y++ {
+			for x := 0; x < GridSize; x++ {
+				if !grid[(z*GridSize+y)*GridSize+x] {
+					continue
+				}
+				count++
+				px := (float64(x)+0.5)*voxel - 1
+				py := (float64(y)+0.5)*voxel - 1
+				pz := (float64(z)+0.5)*voxel - 1
+				r := math.Sqrt(px*px + py*py + pz*pz)
+				minR = math.Min(minR, r)
+				maxR = math.Max(maxR, r)
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no voxels")
+	}
+	if maxR-minR > 0.15 {
+		t.Fatalf("sphere voxels span radius [%g, %g]", minR, maxR)
+	}
+}
+
+func TestDescriptorDimension(t *testing.T) {
+	d, err := Descriptor(tetra())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != DescriptorDim {
+		t.Fatalf("descriptor dim %d, want %d", len(d), DescriptorDim)
+	}
+	for i, v := range d {
+		if v < 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("dim %d = %g", i, v)
+		}
+	}
+}
+
+// TestDescriptorRotationInvariance is the SHD's defining property
+// (paper §5.3): rotating a model must not change its descriptor (up to
+// voxelization noise).
+func TestDescriptorRotationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := uvSphere(1, 20, 20)
+	// Squash it so it is not rotation-symmetric itself.
+	for i := range base.Verts {
+		base.Verts[i][1] *= 0.5
+		base.Verts[i][0] *= 1.3
+	}
+	d1, err := Descriptor(cloneMesh(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := cloneMesh(base)
+	rotateMesh(rot, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+	d2, err := Descriptor(rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := relL1(d1, d2)
+	if rel > 0.25 {
+		t.Fatalf("rotation changed descriptor by %.1f%%", rel*100)
+	}
+	// Sanity: a genuinely different shape differs much more.
+	d3, err := Descriptor(tetra())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other := relL1(d1, d3); other < 2*rel {
+		t.Fatalf("different shape (%.3f) not well separated from rotation noise (%.3f)", other, rel)
+	}
+}
+
+// TestDescriptorScaleInvariance: normalization makes the descriptor
+// insensitive to uniform scaling.
+func TestDescriptorScaleInvariance(t *testing.T) {
+	a := uvSphere(1, 20, 20)
+	b := uvSphere(5, 20, 20)
+	da, err := Descriptor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Descriptor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := relL1(da, db); rel > 0.05 {
+		t.Fatalf("scaling changed descriptor by %.1f%%", rel*100)
+	}
+}
+
+func TestDistinctShapesDistinctDescriptors(t *testing.T) {
+	ds, err := Descriptor(uvSphere(1, 20, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := Descriptor(tetra())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relL1(ds, dt) < 0.2 {
+		t.Fatal("sphere and tetrahedron descriptors too similar")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	o, err := Extract("model.off", tetra())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Segments) != 1 || o.Segments[0].Weight != 1 {
+		t.Fatalf("shape object: %+v", o)
+	}
+	if len(o.Segments[0].Vec) != DescriptorDim {
+		t.Fatal("wrong descriptor dim")
+	}
+	min, max := FeatureBounds()
+	for d, v := range o.Segments[0].Vec {
+		if v < min[d] || v > max[d] {
+			t.Errorf("descriptor dim %d = %g outside bounds", d, v)
+		}
+	}
+}
+
+func relL1(a, b []float32) float64 {
+	var diff, norm float64
+	for i := range a {
+		diff += math.Abs(float64(a[i]) - float64(b[i]))
+		norm += math.Abs(float64(a[i])) + math.Abs(float64(b[i]))
+	}
+	if norm == 0 {
+		return 0
+	}
+	return 2 * diff / norm
+}
+
+func cloneMesh(m *Mesh) *Mesh {
+	c := &Mesh{Verts: append([][3]float64(nil), m.Verts...)}
+	for _, f := range m.Faces {
+		c.Faces = append(c.Faces, append([]int(nil), f...))
+	}
+	return c
+}
+
+func rotateMesh(m *Mesh, ax, ay, az float64) {
+	sinx, cosx := math.Sincos(ax)
+	siny, cosy := math.Sincos(ay)
+	sinz, cosz := math.Sincos(az)
+	for i := range m.Verts {
+		x, y, z := m.Verts[i][0], m.Verts[i][1], m.Verts[i][2]
+		y, z = y*cosx-z*sinx, y*sinx+z*cosx
+		x, z = x*cosy+z*siny, -x*siny+z*cosy
+		x, y = x*cosz-y*sinz, x*sinz+y*cosz
+		m.Verts[i] = [3]float64{x, y, z}
+	}
+}
+
+func TestLegendreKnownValues(t *testing.T) {
+	var p [MaxDegree + 1][MaxDegree + 1]float64
+	x := 0.3
+	legendreAll(x, &p)
+	if math.Abs(p[0][0]-1) > 1e-12 {
+		t.Fatal("P00")
+	}
+	if math.Abs(p[1][0]-x) > 1e-12 {
+		t.Fatal("P10")
+	}
+	if want := 0.5 * (3*x*x - 1); math.Abs(p[2][0]-want) > 1e-12 {
+		t.Fatalf("P20 = %g, want %g", p[2][0], want)
+	}
+	if want := -math.Sqrt(1 - x*x); math.Abs(p[1][1]-want) > 1e-12 {
+		t.Fatalf("P11 = %g, want %g", p[1][1], want)
+	}
+	if want := 3 * (1 - x*x); math.Abs(p[2][2]-want) > 1e-12 {
+		t.Fatalf("P22 = %g, want %g", p[2][2], want)
+	}
+}
+
+func BenchmarkDescriptor(b *testing.B) {
+	m := uvSphere(1, 16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Descriptor(cloneMesh(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package shape
+
+import (
+	"errors"
+	"math"
+
+	"ferret/internal/object"
+)
+
+// Descriptor geometry (paper §5.3): models are placed on a 64³ axial grid
+// and decomposed by 32 concentric spherical shells; values within each
+// shell are represented by their spherical harmonic coefficients up to
+// order 16, scaled by the square root of the shell area. Comparing only
+// same-shell coefficients lets all shells be concatenated into one
+// 32 × 17 = 544-dimensional rotation-invariant shape descriptor.
+const (
+	GridSize      = 64
+	Shells        = 32
+	MaxDegree     = 16
+	DescriptorDim = Shells * (MaxDegree + 1) // 544
+)
+
+// Normalize translates the mesh's area-weighted surface centroid to the
+// origin and scales it so the mean surface-point distance from the origin
+// is 0.5 (points beyond radius 1 land in the outermost shell). It returns
+// an error for degenerate meshes.
+func Normalize(m *Mesh) error {
+	tris := m.Triangles()
+	if len(tris) == 0 {
+		return errors.New("shape: mesh has no faces")
+	}
+	var totalArea float64
+	var centroid [3]float64
+	for _, t := range tris {
+		a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+		area := triArea(a, b, c)
+		totalArea += area
+		for k := 0; k < 3; k++ {
+			centroid[k] += area * (a[k] + b[k] + c[k]) / 3
+		}
+	}
+	if totalArea <= 0 {
+		return errors.New("shape: mesh has zero surface area")
+	}
+	for k := 0; k < 3; k++ {
+		centroid[k] /= totalArea
+	}
+	// Mean distance of triangle centroids from the new origin, weighted by
+	// area.
+	var meanDist float64
+	for _, t := range tris {
+		a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+		area := triArea(a, b, c)
+		var p [3]float64
+		for k := 0; k < 3; k++ {
+			p[k] = (a[k]+b[k]+c[k])/3 - centroid[k]
+		}
+		meanDist += area * math.Sqrt(p[0]*p[0]+p[1]*p[1]+p[2]*p[2])
+	}
+	meanDist /= totalArea
+	if meanDist <= 0 {
+		return errors.New("shape: degenerate mesh (all points coincide)")
+	}
+	scale := 0.5 / meanDist
+	for i := range m.Verts {
+		for k := 0; k < 3; k++ {
+			m.Verts[i][k] = (m.Verts[i][k] - centroid[k]) * scale
+		}
+	}
+	return nil
+}
+
+func triArea(a, b, c [3]float64) float64 {
+	var u, v [3]float64
+	for k := 0; k < 3; k++ {
+		u[k] = b[k] - a[k]
+		v[k] = c[k] - a[k]
+	}
+	cx := u[1]*v[2] - u[2]*v[1]
+	cy := u[2]*v[0] - u[0]*v[2]
+	cz := u[0]*v[1] - u[1]*v[0]
+	return 0.5 * math.Sqrt(cx*cx+cy*cy+cz*cz)
+}
+
+// Voxelize rasterizes the normalized mesh surface into a GridSize³ boolean
+// occupancy grid spanning [-1, 1]³ by sampling points over each triangle.
+func Voxelize(m *Mesh) []bool {
+	grid := make([]bool, GridSize*GridSize*GridSize)
+	voxel := 2.0 / GridSize
+	mark := func(p [3]float64) {
+		var idx [3]int
+		for k := 0; k < 3; k++ {
+			v := int((p[k] + 1) / voxel)
+			if v < 0 {
+				v = 0
+			}
+			if v >= GridSize {
+				v = GridSize - 1
+			}
+			idx[k] = v
+		}
+		grid[(idx[2]*GridSize+idx[1])*GridSize+idx[0]] = true
+	}
+	for _, t := range m.Triangles() {
+		a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+		// Sample density: a couple of samples per voxel edge length.
+		area := triArea(a, b, c)
+		edge := maxEdge(a, b, c)
+		steps := int(math.Ceil(edge/voxel)) * 2
+		if steps < 1 {
+			steps = 1
+		}
+		if steps > 256 {
+			steps = 256
+		}
+		_ = area
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps-i; j++ {
+				u := float64(i) / float64(steps)
+				v := float64(j) / float64(steps)
+				w := 1 - u - v
+				var p [3]float64
+				for k := 0; k < 3; k++ {
+					p[k] = u*a[k] + v*b[k] + w*c[k]
+				}
+				mark(p)
+			}
+		}
+	}
+	return grid
+}
+
+// shTable precomputes normalization constants K(l, m) for the real
+// spherical harmonics up to MaxDegree.
+var shNorm = func() [MaxDegree + 1][MaxDegree + 1]float64 {
+	var k [MaxDegree + 1][MaxDegree + 1]float64
+	for l := 0; l <= MaxDegree; l++ {
+		for m := 0; m <= l; m++ {
+			// K = sqrt((2l+1)/(4π) · (l−m)!/(l+m)!)
+			ratio := 1.0
+			for i := l - m + 1; i <= l+m; i++ {
+				ratio /= float64(i)
+			}
+			k[l][m] = math.Sqrt((2*float64(l) + 1) / (4 * math.Pi) * ratio)
+		}
+	}
+	return k
+}()
+
+// legendreAll fills p[l][m] with the associated Legendre values P_l^m(x)
+// for 0 ≤ m ≤ l ≤ MaxDegree using the standard recurrences.
+func legendreAll(x float64, p *[MaxDegree + 1][MaxDegree + 1]float64) {
+	somx2 := math.Sqrt((1 - x) * (1 + x))
+	p[0][0] = 1
+	for m := 0; m < MaxDegree; m++ {
+		// P_{m+1}^{m+1} = −(2m+1)·sqrt(1−x²)·P_m^m
+		p[m+1][m+1] = -(2*float64(m) + 1) * somx2 * p[m][m]
+		// P_{m+1}^m = x·(2m+1)·P_m^m
+		p[m+1][m] = x * (2*float64(m) + 1) * p[m][m]
+	}
+	for m := 0; m <= MaxDegree; m++ {
+		for l := m + 2; l <= MaxDegree; l++ {
+			p[l][m] = (x*(2*float64(l)-1)*p[l-1][m] - (float64(l+m)-1)*p[l-2][m]) / float64(l-m)
+		}
+	}
+}
+
+// Descriptor computes the 544-d SHD of a normalized mesh: it voxelizes the
+// surface, bins occupied voxels into 32 radial shells, accumulates real
+// spherical-harmonic coefficients per shell, and stores the
+// rotation-invariant per-degree amplitudes ‖f_l‖ scaled by the square root
+// of the shell area.
+func Descriptor(m *Mesh) ([]float32, error) {
+	if err := Normalize(m); err != nil {
+		return nil, err
+	}
+	grid := Voxelize(m)
+	return descriptorFromGrid(grid), nil
+}
+
+// Sphere sampling resolution per shell: the indicator function is sampled
+// on a thetaSteps × phiSteps grid of each concentric sphere, the approach
+// of the original SHD work. Sampling on spheres (rather than binning
+// voxels) keeps the decomposition stable under rotation.
+const (
+	thetaSteps = 64
+	phiSteps   = 64
+)
+
+func descriptorFromGrid(grid []bool) []float32 {
+	// Dilate the occupancy once (6-neighborhood) so the thin rasterized
+	// surface reliably intersects the sampling spheres.
+	dil := dilate(grid)
+
+	// Precompute the φ trigonometric table: cos(mφ), sin(mφ).
+	var cosTab, sinTab [phiSteps][MaxDegree + 1]float64
+	for pi := 0; pi < phiSteps; pi++ {
+		phi := (float64(pi) + 0.5) * 2 * math.Pi / phiSteps
+		for m := 0; m <= MaxDegree; m++ {
+			sinTab[pi][m], cosTab[pi][m] = math.Sincos(float64(m) * phi)
+		}
+	}
+	dOmega := (math.Pi / thetaSteps) * (2 * math.Pi / phiSteps)
+
+	occupied := func(px, py, pz float64) bool {
+		x := int((px + 1) * GridSize / 2)
+		y := int((py + 1) * GridSize / 2)
+		z := int((pz + 1) * GridSize / 2)
+		if x < 0 || y < 0 || z < 0 || x >= GridSize || y >= GridSize || z >= GridSize {
+			return false
+		}
+		return dil[(z*GridSize+y)*GridSize+x]
+	}
+
+	desc := make([]float32, 0, DescriptorDim)
+	var plm [MaxDegree + 1][MaxDegree + 1]float64
+	var coef [MaxDegree + 1][2*MaxDegree + 1]float64
+	for s := 0; s < Shells; s++ {
+		r := (float64(s) + 0.5) / Shells
+		for l := range coef {
+			for m := range coef[l] {
+				coef[l][m] = 0
+			}
+		}
+		for ti := 0; ti < thetaSteps; ti++ {
+			theta := (float64(ti) + 0.5) * math.Pi / thetaSteps
+			sinTheta, cosTheta := math.Sincos(theta)
+			legendreAll(cosTheta, &plm)
+			for pi := 0; pi < phiSteps; pi++ {
+				if !occupied(r*sinTheta*cosTab[pi][1], r*sinTheta*sinTab[pi][1], r*cosTheta) {
+					continue
+				}
+				w := sinTheta * dOmega
+				for l := 0; l <= MaxDegree; l++ {
+					coef[l][0] += w * shNorm[l][0] * plm[l][0]
+					for mm := 1; mm <= l; mm++ {
+						k := w * math.Sqrt2 * shNorm[l][mm] * plm[l][mm]
+						coef[l][2*mm-1] += k * cosTab[pi][mm]
+						coef[l][2*mm] += k * sinTab[pi][mm]
+					}
+				}
+			}
+		}
+		// Shell area scaling: amplitude × sqrt(area) with area ∝ r².
+		for l := 0; l <= MaxDegree; l++ {
+			var power float64
+			for mm := 0; mm <= 2*l; mm++ {
+				power += coef[l][mm] * coef[l][mm]
+			}
+			desc = append(desc, float32(math.Sqrt(power)*r))
+		}
+	}
+	return desc
+}
+
+// dilate thickens the occupancy grid by one voxel in the 6-neighborhood.
+func dilate(grid []bool) []bool {
+	out := make([]bool, len(grid))
+	idx := func(x, y, z int) int { return (z*GridSize+y)*GridSize + x }
+	for z := 0; z < GridSize; z++ {
+		for y := 0; y < GridSize; y++ {
+			for x := 0; x < GridSize; x++ {
+				if !grid[idx(x, y, z)] {
+					continue
+				}
+				out[idx(x, y, z)] = true
+				if x > 0 {
+					out[idx(x-1, y, z)] = true
+				}
+				if x < GridSize-1 {
+					out[idx(x+1, y, z)] = true
+				}
+				if y > 0 {
+					out[idx(x, y-1, z)] = true
+				}
+				if y < GridSize-1 {
+					out[idx(x, y+1, z)] = true
+				}
+				if z > 0 {
+					out[idx(x, y, z-1)] = true
+				}
+				if z < GridSize-1 {
+					out[idx(x, y, z+1)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Extract converts an OFF mesh into a single-segment Ferret object holding
+// its 544-d SHD (each 3D model has exactly one feature vector, paper §5.3).
+func Extract(key string, m *Mesh) (object.Object, error) {
+	d, err := Descriptor(m)
+	if err != nil {
+		return object.Object{}, err
+	}
+	return object.Single(key, d), nil
+}
+
+// FeatureBounds returns per-dimension [min, max] bounds for sketch
+// construction over SHDs. Amplitudes are non-negative and bounded by the
+// fully occupied shell: ‖Y₀₀‖·4π·r ≈ 3.55.
+func FeatureBounds() (min, max []float32) {
+	min = make([]float32, DescriptorDim)
+	max = make([]float32, DescriptorDim)
+	for i := range max {
+		max[i] = 4
+	}
+	return min, max
+}
+
+func maxEdge(a, b, c [3]float64) float64 {
+	d := func(p, q [3]float64) float64 {
+		dx, dy, dz := p[0]-q[0], p[1]-q[1], p[2]-q[2]
+		return math.Sqrt(dx*dx + dy*dy + dz*dz)
+	}
+	return math.Max(d(a, b), math.Max(d(b, c), d(c, a)))
+}

@@ -1,0 +1,148 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"ferret/internal/audiofeat"
+	"ferret/internal/genomic"
+	"ferret/internal/shape"
+)
+
+// File-writing variants of the benchmark generators: they materialize the
+// raw data (PNG images, WAV recordings, OFF models, TSV matrices) under a
+// directory, for exercising the full acquisition → extraction → ingest
+// pipeline. Returned similarity sets reference the written files by their
+// path relative to dir (the key the directory scanner assigns).
+
+// WriteVARYFiles renders the synthetic VARY benchmark as PNG files under
+// dir and returns the ground-truth similarity sets of relative paths.
+func WriteVARYFiles(dir string, opts VARYOptions) ([][]string, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var sets [][]string
+	write := func(rel string, sc scene) error {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		im := sc.Render(opts.Width, opts.Height, 0.25, rng)
+		return im.WriteFile(path)
+	}
+	for set := 0; set < opts.Sets; set++ {
+		tmpl := randomScene(rng)
+		var keys []string
+		for m := 0; m < opts.SetSize; m++ {
+			rel := fmt.Sprintf("vary/set%02d/img%02d.png", set, m)
+			if err := write(rel, tmpl); err != nil {
+				return nil, err
+			}
+			keys = append(keys, rel)
+		}
+		sets = append(sets, keys)
+		for c := 0; c < opts.ConfusersPerSet; c++ {
+			rel := fmt.Sprintf("vary/confuser%02d/img%02d.png", set, c)
+			if err := write(rel, tmpl.confuse(rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for d := 0; d < opts.Distractors; d++ {
+		rel := fmt.Sprintf("vary/misc/img%05d.png", d)
+		if err := write(rel, randomScene(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return sets, nil
+}
+
+// WriteTIMITFiles synthesizes the audio benchmark as WAV files under dir.
+func WriteTIMITFiles(dir string, opts TIMITOptions) ([][]string, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vocab := 200
+	var sets [][]string
+	write := func(rel string, s sentence) error {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		wave := s.Synthesize(randomSpeaker(rng), opts.SampleRate, rng)
+		return audiofeat.WriteWAVFile(path, wave, opts.SampleRate)
+	}
+	for set := 0; set < opts.Sets; set++ {
+		tmpl := randomSentence(rng, vocab)
+		var keys []string
+		for spk := 0; spk < opts.Speakers; spk++ {
+			rel := fmt.Sprintf("timit/s%03d/spk%d.wav", set, spk)
+			if err := write(rel, tmpl); err != nil {
+				return nil, err
+			}
+			keys = append(keys, rel)
+		}
+		sets = append(sets, keys)
+	}
+	for d := 0; d < opts.Distractors; d++ {
+		rel := fmt.Sprintf("timit/misc/sent%05d.wav", d)
+		if err := write(rel, randomSentence(rng, vocab)); err != nil {
+			return nil, err
+		}
+	}
+	return sets, nil
+}
+
+// WritePSBFiles generates the shape benchmark as OFF files under dir.
+func WritePSBFiles(dir string, opts PSBOptions) ([][]string, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var sets [][]string
+	for c := 0; c < opts.Classes; c++ {
+		spec := classFor(c)
+		var keys []string
+		for m := 0; m < opts.PerClass; m++ {
+			rel := fmt.Sprintf("psb/class%02d/model%02d.off", c, m)
+			path := filepath.Join(dir, rel)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return nil, err
+			}
+			mesh := buildMesh(spec, 0.15, rng)
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			if err := shape.WriteOFF(f, mesh); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			keys = append(keys, rel)
+		}
+		sets = append(sets, keys)
+	}
+	return sets, nil
+}
+
+// WriteMicroarrayFile writes a synthetic expression matrix as TSV and
+// returns the similarity sets of gene names.
+func WriteMicroarrayFile(path string, opts MicroarrayOptions) ([][]string, error) {
+	m, b, err := Microarray(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := genomic.WriteTSV(f, m); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return b.Sets, f.Close()
+}

@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ferret/internal/audiofeat"
+	"ferret/internal/genomic"
+	"ferret/internal/imagefeat"
+	"ferret/internal/shape"
+)
+
+func TestWriteVARYFiles(t *testing.T) {
+	dir := t.TempDir()
+	sets, err := WriteVARYFiles(dir, VARYOptions{Sets: 2, SetSize: 2, Distractors: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("%d sets", len(sets))
+	}
+	// Every referenced file exists and decodes through the image plug-in.
+	for _, set := range sets {
+		for _, rel := range set {
+			im, err := imagefeat.ReadFile(filepath.Join(dir, rel))
+			if err != nil {
+				t.Fatalf("%s: %v", rel, err)
+			}
+			var ex imagefeat.Extractor
+			if _, err := ex.Extract(rel, im); err != nil {
+				t.Fatalf("extracting %s: %v", rel, err)
+			}
+		}
+	}
+	// Confusers and distractors were written too.
+	if _, err := os.Stat(filepath.Join(dir, "vary/confuser00/img00.png")); err != nil {
+		t.Error("confuser missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "vary/misc/img00000.png")); err != nil {
+		t.Error("distractor missing")
+	}
+}
+
+func TestWriteTIMITFiles(t *testing.T) {
+	dir := t.TempDir()
+	sets, err := WriteTIMITFiles(dir, TIMITOptions{Sets: 2, Speakers: 2, Distractors: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || len(sets[0]) != 2 {
+		t.Fatalf("sets %v", sets)
+	}
+	samples, rate, err := audiofeat.ReadWAVFile(filepath.Join(dir, sets[0][0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 16000 || len(samples) < 16000/2 {
+		t.Fatalf("rate %d, %d samples", rate, len(samples))
+	}
+	// The written audio passes through the word segmenter.
+	ex := audiofeat.NewExtractor(audiofeat.Segmenter{SampleRate: rate})
+	o, err := ex.Extract("x", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Segments) < 2 {
+		t.Fatalf("only %d word segments", len(o.Segments))
+	}
+}
+
+func TestWritePSBFiles(t *testing.T) {
+	dir := t.TempDir()
+	sets, err := WritePSBFiles(dir, PSBOptions{Classes: 2, PerClass: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("%d sets", len(sets))
+	}
+	f, err := os.Open(filepath.Join(dir, sets[1][0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := shape.ParseOFF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Verts) == 0 || len(m.Faces) == 0 {
+		t.Fatal("empty mesh")
+	}
+	if _, err := shape.Extract("x", m); err != nil {
+		t.Fatalf("descriptor: %v", err)
+	}
+}
+
+func TestWriteMicroarrayFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "genes", "expr.tsv")
+	sets, err := WriteMicroarrayFile(path, MicroarrayOptions{Clusters: 2, PerCluster: 3, Distractors: 4, Conditions: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || len(sets[0]) != 3 {
+		t.Fatalf("sets %v", sets)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := genomic.ParseTSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Genes) != 2*3+4 || len(m.Conditions) != 10 {
+		t.Fatalf("matrix %dx%d", len(m.Genes), len(m.Conditions))
+	}
+	// Set keys are gene names present in the matrix.
+	names := map[string]bool{}
+	for _, g := range m.Genes {
+		names[g] = true
+	}
+	for _, set := range sets {
+		for _, g := range set {
+			if !names[g] {
+				t.Fatalf("set references unknown gene %q", g)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"ferret/internal/attr"
+	"ferret/internal/sensorfeat"
+)
+
+// SensorOptions scales the synthetic sensor-data benchmark: recordings of
+// "activity patterns" (think accelerometer traces of walking, running,
+// machine vibration modes) where recordings of the same pattern form a
+// similarity set.
+type SensorOptions struct {
+	// Sets is the number of activity patterns. Default 6.
+	Sets int
+	// SetSize is the number of recordings per pattern. Default 5.
+	SetSize int
+	// Distractors is the number of unrelated random-walk recordings.
+	// Default 40.
+	Distractors int
+	// Channels per recording. Default 3 (a 3-axis sensor).
+	Channels int
+	// Samples per recording. Default 512.
+	Samples int
+	// Seed makes the benchmark reproducible.
+	Seed int64
+}
+
+func (o SensorOptions) withDefaults() SensorOptions {
+	if o.Sets <= 0 {
+		o.Sets = 6
+	}
+	if o.SetSize <= 0 {
+		o.SetSize = 5
+	}
+	if o.Distractors < 0 {
+		o.Distractors = 0
+	} else if o.Distractors == 0 {
+		o.Distractors = 40
+	}
+	if o.Channels <= 0 {
+		o.Channels = 3
+	}
+	if o.Samples <= 0 {
+		o.Samples = 512
+	}
+	return o
+}
+
+// activityPattern fixes per-channel oscillation parameters for one class.
+type activityPattern struct {
+	freq, amp, bias []float64
+}
+
+func patternFor(p, channels int) activityPattern {
+	rng := rand.New(rand.NewSource(int64(p)*104729 + 31))
+	a := activityPattern{
+		freq: make([]float64, channels),
+		amp:  make([]float64, channels),
+		bias: make([]float64, channels),
+	}
+	for c := 0; c < channels; c++ {
+		a.freq[c] = 0.02 + 0.2*rng.Float64()
+		a.amp[c] = 0.3 + 0.7*rng.Float64()
+		a.bias[c] = rng.NormFloat64() * 0.5
+	}
+	return a
+}
+
+// record synthesizes one recording of the pattern: phase offsets, slight
+// frequency/amplitude drift and noise distinguish recordings of the same
+// activity.
+func (a activityPattern) record(samples int, rng *rand.Rand) *sensorfeat.Series {
+	channels := len(a.freq)
+	s := &sensorfeat.Series{Data: make([][]float32, samples)}
+	for c := 0; c < channels; c++ {
+		s.Channels = append(s.Channels, fmt.Sprintf("ch%d", c))
+	}
+	phase := make([]float64, channels)
+	fdrift := make([]float64, channels)
+	adrift := make([]float64, channels)
+	for c := range phase {
+		phase[c] = rng.Float64() * 2 * math.Pi
+		fdrift[c] = 1 + rng.NormFloat64()*0.03
+		adrift[c] = 1 + rng.NormFloat64()*0.08
+	}
+	for t := 0; t < samples; t++ {
+		row := make([]float32, channels)
+		for c := 0; c < channels; c++ {
+			v := a.bias[c] +
+				a.amp[c]*adrift[c]*math.Sin(2*math.Pi*a.freq[c]*fdrift[c]*float64(t)+phase[c]) +
+				rng.NormFloat64()*0.05
+			row[c] = float32(v)
+		}
+		s.Data[t] = row
+	}
+	return s
+}
+
+// randomWalk synthesizes an unrelated distractor recording.
+func randomWalk(channels, samples int, rng *rand.Rand) *sensorfeat.Series {
+	s := &sensorfeat.Series{Data: make([][]float32, samples)}
+	for c := 0; c < channels; c++ {
+		s.Channels = append(s.Channels, fmt.Sprintf("ch%d", c))
+	}
+	state := make([]float64, channels)
+	for t := 0; t < samples; t++ {
+		row := make([]float32, channels)
+		for c := 0; c < channels; c++ {
+			state[c] += rng.NormFloat64() * 0.1
+			// Soft clamp keeps the walk within sketchable bounds.
+			state[c] = math.Max(-2.5, math.Min(2.5, state[c]))
+			row[c] = float32(state[c] + rng.NormFloat64()*0.05)
+		}
+		s.Data[t] = row
+	}
+	return s
+}
+
+// Sensors generates the sensor benchmark through the real sensor plug-in.
+func Sensors(opts SensorOptions) (*Benchmark, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ex := &sensorfeat.Extractor{}
+	b := &Benchmark{}
+
+	add := func(key, setName string, s *sensorfeat.Series) error {
+		o, err := ex.Extract(key, s)
+		if err != nil {
+			return fmt.Errorf("synth: sensors %s: %w", key, err)
+		}
+		b.Objects = append(b.Objects, o)
+		b.Attrs = append(b.Attrs, attr.Attrs{"collection": "sensors", "set": setName})
+		return nil
+	}
+	for set := 0; set < opts.Sets; set++ {
+		pattern := patternFor(set, opts.Channels)
+		var keys []string
+		for m := 0; m < opts.SetSize; m++ {
+			key := fmt.Sprintf("sensors/p%02d/rec%02d.csv", set, m)
+			if err := add(key, fmt.Sprintf("p%02d", set), pattern.record(opts.Samples, rng)); err != nil {
+				return nil, err
+			}
+			keys = append(keys, key)
+		}
+		b.Sets = append(b.Sets, keys)
+	}
+	for d := 0; d < opts.Distractors; d++ {
+		key := fmt.Sprintf("sensors/misc/rec%05d.csv", d)
+		if err := add(key, "none", randomWalk(opts.Channels, opts.Samples, rng)); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// WriteSensorFiles materializes the sensor benchmark as CSV recordings
+// under dir and returns the similarity sets of relative paths.
+func WriteSensorFiles(dir string, opts SensorOptions) ([][]string, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var sets [][]string
+	write := func(rel string, s *sensorfeat.Series) error {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := sensorfeat.WriteCSV(f, s); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	for set := 0; set < opts.Sets; set++ {
+		pattern := patternFor(set, opts.Channels)
+		var keys []string
+		for m := 0; m < opts.SetSize; m++ {
+			rel := fmt.Sprintf("sensors/p%02d/rec%02d.csv", set, m)
+			if err := write(rel, pattern.record(opts.Samples, rng)); err != nil {
+				return nil, err
+			}
+			keys = append(keys, rel)
+		}
+		sets = append(sets, keys)
+	}
+	for d := 0; d < opts.Distractors; d++ {
+		rel := fmt.Sprintf("sensors/misc/rec%05d.csv", d)
+		if err := write(rel, randomWalk(opts.Channels, opts.Samples, rng)); err != nil {
+			return nil, err
+		}
+	}
+	return sets, nil
+}
+
+// SensorBounds returns the sketchable feature bounds matching the
+// generator's value range (signals stay within roughly ±3).
+func SensorBounds(channels int) (min, max []float32) {
+	lo := make([]float32, channels)
+	hi := make([]float32, channels)
+	for c := range lo {
+		lo[c], hi[c] = -3, 3
+	}
+	return sensorfeat.Bounds(lo, hi)
+}

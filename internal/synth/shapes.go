@@ -1,0 +1,240 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ferret/internal/attr"
+	"ferret/internal/shape"
+)
+
+// PSBOptions scales the synthetic Princeton Shape Benchmark. The paper's
+// PSB test set has 907 models in 92 classes; the defaults are test-sized.
+type PSBOptions struct {
+	// Classes is the number of shape classes. Default 6 (paper: 92).
+	Classes int
+	// PerClass is the number of models per class. Default 5.
+	PerClass int
+	// Seed makes the benchmark reproducible.
+	Seed int64
+}
+
+func (o PSBOptions) withDefaults() PSBOptions {
+	if o.Classes <= 0 {
+		o.Classes = 6
+	}
+	if o.PerClass <= 0 {
+		o.PerClass = 5
+	}
+	return o
+}
+
+// shapeFamily enumerates the parametric mesh generators.
+const numFamilies = 5
+
+// classSpec fixes a class: a family plus its base parameters. Members of
+// the class jitter the parameters, add vertex noise, and apply a random
+// rotation (exercising the descriptor's rotation invariance).
+type classSpec struct {
+	family int
+	p      [4]float64
+}
+
+func classFor(c int) classSpec {
+	rng := rand.New(rand.NewSource(int64(c)*9176323 + 5))
+	return classSpec{
+		family: c % numFamilies,
+		p: [4]float64{
+			0.5 + rng.Float64(),
+			0.3 + rng.Float64(),
+			0.2 + 0.6*rng.Float64(),
+			0.5 + rng.Float64(),
+		},
+	}
+}
+
+// buildMesh instantiates a class member with parameter jitter.
+func buildMesh(spec classSpec, jitter float64, rng *rand.Rand) *shape.Mesh {
+	j := func(v float64) float64 { return v * (1 + (rng.Float64()-0.5)*jitter) }
+	var m *shape.Mesh
+	switch spec.family {
+	case 0:
+		m = SphereMesh(j(spec.p[0]), 1+j(spec.p[1]), 16, 16)
+	case 1:
+		m = BoxMesh(j(spec.p[0]), j(spec.p[1]), j(spec.p[2]))
+	case 2:
+		m = TorusMesh(j(spec.p[0]), j(spec.p[2])*0.5, 16, 12)
+	case 3:
+		m = ConeMesh(j(spec.p[0]), j(spec.p[3]), 20)
+	default:
+		// Composite: box body + spherical head, a crude "figure".
+		body := BoxMesh(j(spec.p[0]), j(spec.p[1])*1.5, j(spec.p[2]))
+		head := SphereMesh(j(spec.p[2])*0.6, 1, 12, 12)
+		Translate(head, 0, j(spec.p[1])*1.2, 0)
+		m = MergeMeshes(body, head)
+	}
+	// Vertex noise + random rotation.
+	for i := range m.Verts {
+		for k := 0; k < 3; k++ {
+			m.Verts[i][k] += rng.NormFloat64() * 0.01
+		}
+	}
+	Rotate(m, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+	return m
+}
+
+// PSB generates the synthetic shape benchmark: classes of deformed,
+// randomly rotated parametric meshes, each converted to its 544-d SHD
+// through the real shape plug-in.
+func PSB(opts PSBOptions) (*Benchmark, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	b := &Benchmark{}
+	for c := 0; c < opts.Classes; c++ {
+		spec := classFor(c)
+		var keys []string
+		for m := 0; m < opts.PerClass; m++ {
+			key := fmt.Sprintf("psb/class%02d/model%02d.off", c, m)
+			mesh := buildMesh(spec, 0.15, rng)
+			o, err := shape.Extract(key, mesh)
+			if err != nil {
+				return nil, fmt.Errorf("synth: PSB class %d model %d: %w", c, m, err)
+			}
+			b.Objects = append(b.Objects, o)
+			b.Attrs = append(b.Attrs, attr.Attrs{"collection": "psb", "class": fmt.Sprintf("class%02d", c)})
+			keys = append(keys, key)
+		}
+		b.Sets = append(b.Sets, keys)
+	}
+	return b, nil
+}
+
+// SphereMesh builds a UV sphere of the given radius; squash elongates the
+// Y axis (an ellipsoid for squash ≠ 1).
+func SphereMesh(radius, squash float64, slices, stacks int) *shape.Mesh {
+	m := &shape.Mesh{}
+	for st := 0; st <= stacks; st++ {
+		theta := math.Pi * float64(st) / float64(stacks)
+		for sl := 0; sl < slices; sl++ {
+			phi := 2 * math.Pi * float64(sl) / float64(slices)
+			m.Verts = append(m.Verts, [3]float64{
+				radius * math.Sin(theta) * math.Cos(phi),
+				radius * squash * math.Cos(theta),
+				radius * math.Sin(theta) * math.Sin(phi),
+			})
+		}
+	}
+	at := func(st, sl int) int { return st*slices + sl%slices }
+	for st := 0; st < stacks; st++ {
+		for sl := 0; sl < slices; sl++ {
+			m.Faces = append(m.Faces,
+				[]int{at(st, sl), at(st+1, sl), at(st+1, sl+1)},
+				[]int{at(st, sl), at(st+1, sl+1), at(st, sl+1)},
+			)
+		}
+	}
+	return m
+}
+
+// BoxMesh builds an axis-aligned box with half-extents (hx, hy, hz).
+func BoxMesh(hx, hy, hz float64) *shape.Mesh {
+	m := &shape.Mesh{}
+	for _, sx := range []float64{-1, 1} {
+		for _, sy := range []float64{-1, 1} {
+			for _, sz := range []float64{-1, 1} {
+				m.Verts = append(m.Verts, [3]float64{sx * hx, sy * hy, sz * hz})
+			}
+		}
+	}
+	quads := [][4]int{
+		{0, 1, 3, 2}, {4, 6, 7, 5}, // x faces
+		{0, 4, 5, 1}, {2, 3, 7, 6}, // y faces
+		{0, 2, 6, 4}, {1, 5, 7, 3}, // z faces
+	}
+	for _, q := range quads {
+		m.Faces = append(m.Faces, []int{q[0], q[1], q[2], q[3]})
+	}
+	return m
+}
+
+// TorusMesh builds a torus with ring radius R and tube radius r.
+func TorusMesh(R, r float64, ringSeg, tubeSeg int) *shape.Mesh {
+	m := &shape.Mesh{}
+	for i := 0; i < ringSeg; i++ {
+		u := 2 * math.Pi * float64(i) / float64(ringSeg)
+		for j := 0; j < tubeSeg; j++ {
+			v := 2 * math.Pi * float64(j) / float64(tubeSeg)
+			m.Verts = append(m.Verts, [3]float64{
+				(R + r*math.Cos(v)) * math.Cos(u),
+				r * math.Sin(v),
+				(R + r*math.Cos(v)) * math.Sin(u),
+			})
+		}
+	}
+	at := func(i, j int) int { return (i%ringSeg)*tubeSeg + j%tubeSeg }
+	for i := 0; i < ringSeg; i++ {
+		for j := 0; j < tubeSeg; j++ {
+			m.Faces = append(m.Faces, []int{at(i, j), at(i+1, j), at(i+1, j+1), at(i, j+1)})
+		}
+	}
+	return m
+}
+
+// ConeMesh builds a cone of the given base radius and height.
+func ConeMesh(radius, height float64, slices int) *shape.Mesh {
+	m := &shape.Mesh{Verts: [][3]float64{{0, height, 0}, {0, 0, 0}}}
+	for i := 0; i < slices; i++ {
+		a := 2 * math.Pi * float64(i) / float64(slices)
+		m.Verts = append(m.Verts, [3]float64{radius * math.Cos(a), 0, radius * math.Sin(a)})
+	}
+	for i := 0; i < slices; i++ {
+		b0 := 2 + i
+		b1 := 2 + (i+1)%slices
+		m.Faces = append(m.Faces, []int{0, b0, b1}, []int{1, b1, b0})
+	}
+	return m
+}
+
+// Translate shifts all vertices of m by (dx, dy, dz).
+func Translate(m *shape.Mesh, dx, dy, dz float64) {
+	for i := range m.Verts {
+		m.Verts[i][0] += dx
+		m.Verts[i][1] += dy
+		m.Verts[i][2] += dz
+	}
+}
+
+// Rotate applies intrinsic rotations about X, Y, Z by the given angles.
+func Rotate(m *shape.Mesh, ax, ay, az float64) {
+	sinx, cosx := math.Sincos(ax)
+	siny, cosy := math.Sincos(ay)
+	sinz, cosz := math.Sincos(az)
+	for i := range m.Verts {
+		x, y, z := m.Verts[i][0], m.Verts[i][1], m.Verts[i][2]
+		// X axis.
+		y, z = y*cosx-z*sinx, y*sinx+z*cosx
+		// Y axis.
+		x, z = x*cosy+z*siny, -x*siny+z*cosy
+		// Z axis.
+		x, y = x*cosz-y*sinz, x*sinz+y*cosz
+		m.Verts[i] = [3]float64{x, y, z}
+	}
+}
+
+// MergeMeshes concatenates meshes into one.
+func MergeMeshes(meshes ...*shape.Mesh) *shape.Mesh {
+	out := &shape.Mesh{}
+	for _, m := range meshes {
+		base := len(out.Verts)
+		out.Verts = append(out.Verts, m.Verts...)
+		for _, f := range m.Faces {
+			nf := make([]int, len(f))
+			for i, idx := range f {
+				nf[i] = idx + base
+			}
+			out.Faces = append(out.Faces, nf)
+		}
+	}
+	return out
+}

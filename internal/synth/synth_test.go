@@ -1,0 +1,303 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"ferret/internal/emd"
+	"ferret/internal/object"
+	"ferret/internal/vector"
+)
+
+// keyIndex maps object keys to indices.
+func keyIndex(b *Benchmark) map[string]int {
+	m := make(map[string]int, len(b.Objects))
+	for i := range b.Objects {
+		m[b.Objects[i].Key] = i
+	}
+	return m
+}
+
+// checkBenchmark verifies structural invariants shared by all generators:
+// unique keys, valid objects, sets referencing existing keys, attrs
+// parallel to objects.
+func checkBenchmark(t *testing.T, b *Benchmark, wantSets, wantSetSize int) {
+	t.Helper()
+	idx := keyIndex(b)
+	if len(idx) != len(b.Objects) {
+		t.Fatalf("duplicate keys: %d unique of %d", len(idx), len(b.Objects))
+	}
+	if len(b.Attrs) != len(b.Objects) {
+		t.Fatalf("attrs %d, objects %d", len(b.Attrs), len(b.Objects))
+	}
+	for i := range b.Objects {
+		if err := b.Objects[i].Validate(); err != nil {
+			t.Fatalf("object %s: %v", b.Objects[i].Key, err)
+		}
+	}
+	if len(b.Sets) != wantSets {
+		t.Fatalf("%d sets, want %d", len(b.Sets), wantSets)
+	}
+	for si, set := range b.Sets {
+		if len(set) != wantSetSize {
+			t.Fatalf("set %d has %d members, want %d", si, len(set), wantSetSize)
+		}
+		for _, key := range set {
+			if _, ok := idx[key]; !ok {
+				t.Fatalf("set %d references unknown key %q", si, key)
+			}
+		}
+	}
+}
+
+// intraVsInterEMD checks the ground-truth property every quality experiment
+// needs: within-set EMD distances are smaller on average than between-set
+// distances.
+func intraVsInterEMD(t *testing.T, b *Benchmark, ground vector.Func) (intra, inter float64) {
+	t.Helper()
+	idx := keyIndex(b)
+	opt := emd.Options{Ground: ground}
+	var intraSum, interSum float64
+	var intraN, interN int
+	for si := 0; si < len(b.Sets) && si < 4; si++ {
+		a := b.Objects[idx[b.Sets[si][0]]]
+		bo := b.Objects[idx[b.Sets[si][1]]]
+		d, err := emd.Distance(a, bo, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		intraSum += d
+		intraN++
+		other := (si + 1) % len(b.Sets)
+		c := b.Objects[idx[b.Sets[other][0]]]
+		d2, err := emd.Distance(a, c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interSum += d2
+		interN++
+	}
+	return intraSum / float64(intraN), interSum / float64(interN)
+}
+
+func TestVARY(t *testing.T) {
+	b, err := VARY(VARYOptions{Sets: 4, SetSize: 3, Distractors: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBenchmark(t, b, 4, 3)
+	// Sets×SetSize members + one confuser per member (default) + distractors.
+	if len(b.Objects) != 4*3+4*3+10 {
+		t.Fatalf("%d objects", len(b.Objects))
+	}
+	intra, inter := intraVsInterEMD(t, b, vector.L1)
+	if intra >= inter {
+		t.Errorf("VARY: intra-set EMD %.3f >= inter-set %.3f", intra, inter)
+	}
+}
+
+func TestVARYDeterministic(t *testing.T) {
+	b1, _ := VARY(VARYOptions{Sets: 2, SetSize: 2, Distractors: 2, Seed: 7})
+	b2, _ := VARY(VARYOptions{Sets: 2, SetSize: 2, Distractors: 2, Seed: 7})
+	if len(b1.Objects) != len(b2.Objects) {
+		t.Fatal("sizes differ")
+	}
+	for i := range b1.Objects {
+		a, b := b1.Objects[i], b2.Objects[i]
+		if a.Key != b.Key || len(a.Segments) != len(b.Segments) {
+			t.Fatalf("object %d differs", i)
+		}
+		for s := range a.Segments {
+			for d := range a.Segments[s].Vec {
+				if a.Segments[s].Vec[d] != b.Segments[s].Vec[d] {
+					t.Fatalf("object %d segment %d differs", i, s)
+				}
+			}
+		}
+	}
+}
+
+func TestTIMIT(t *testing.T) {
+	b, err := TIMIT(TIMITOptions{Sets: 3, Speakers: 3, Distractors: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBenchmark(t, b, 3, 3)
+	if len(b.Objects) != 3*3+4 {
+		t.Fatalf("%d objects", len(b.Objects))
+	}
+	// Word features are 192-d.
+	if b.Objects[0].Dim() != 192 {
+		t.Fatalf("dim %d", b.Objects[0].Dim())
+	}
+	intra, inter := intraVsInterEMD(t, b, vector.L1)
+	if intra >= inter {
+		t.Errorf("TIMIT: intra-set EMD %.3f >= inter-set %.3f", intra, inter)
+	}
+}
+
+func TestPSB(t *testing.T) {
+	b, err := PSB(PSBOptions{Classes: 3, PerClass: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBenchmark(t, b, 3, 3)
+	if b.Objects[0].Dim() != 544 {
+		t.Fatalf("dim %d", b.Objects[0].Dim())
+	}
+	// Shape objects are single-segment.
+	for i := range b.Objects {
+		if len(b.Objects[i].Segments) != 1 {
+			t.Fatalf("object %d has %d segments", i, len(b.Objects[i].Segments))
+		}
+	}
+	intra, inter := intraVsInterEMD(t, b, vector.L1)
+	if intra >= inter {
+		t.Errorf("PSB: intra-class distance %.3f >= inter-class %.3f", intra, inter)
+	}
+}
+
+func TestMixedImageObjects(t *testing.T) {
+	objs := MixedImageObjects(200, 1)
+	if len(objs) != 200 {
+		t.Fatalf("%d objects", len(objs))
+	}
+	avg := AvgSegments(objs)
+	if avg < 9 || avg < 0 || avg > 13 {
+		t.Errorf("avg segments %.1f, want ≈10.8", avg)
+	}
+	for i := range objs {
+		if err := objs[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if objs[i].Dim() != 14 {
+			t.Fatal("dim != 14")
+		}
+	}
+	// Deterministic for a seed.
+	again := MixedImageObjects(200, 1)
+	if again[7].Segments[0].Vec[3] != objs[7].Segments[0].Vec[3] {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestMixedShapeObjects(t *testing.T) {
+	objs := MixedShapeObjects(50, 2)
+	if len(objs) != 50 {
+		t.Fatalf("%d objects", len(objs))
+	}
+	if got := AvgSegments(objs); got != 1 {
+		t.Fatalf("avg segments %g, want 1", got)
+	}
+	if objs[0].Dim() != 544 {
+		t.Fatal("dim != 544")
+	}
+}
+
+func TestMixedAudioObjects(t *testing.T) {
+	objs := MixedAudioObjects(100, 3)
+	avg := AvgSegments(objs)
+	if avg < 7 || avg > 10.5 {
+		t.Errorf("avg segments %.1f, want ≈8.6", avg)
+	}
+	if objs[0].Dim() != 192 {
+		t.Fatal("dim != 192")
+	}
+}
+
+func TestSensors(t *testing.T) {
+	b, err := Sensors(SensorOptions{Sets: 3, SetSize: 3, Distractors: 6, Channels: 2, Samples: 256, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBenchmark(t, b, 3, 3)
+	if len(b.Objects) != 3*3+6 {
+		t.Fatalf("%d objects", len(b.Objects))
+	}
+	if b.Objects[0].Dim() != 2*5 {
+		t.Fatalf("dim %d", b.Objects[0].Dim())
+	}
+	intra, inter := intraVsInterEMD(t, b, vector.L1)
+	if intra >= inter {
+		t.Errorf("sensors: intra-set EMD %.3f >= inter-set %.3f", intra, inter)
+	}
+	// Generated signals stay within the advertised ±3 channel bounds'
+	// feature space.
+	min, max := SensorBounds(2)
+	if len(min) != 10 || len(max) != 10 {
+		t.Fatalf("bounds dim %d", len(min))
+	}
+}
+
+func TestVideos(t *testing.T) {
+	b, err := Videos(VideoOptions{Sets: 2, SetSize: 3, Distractors: 4, ShotsPerVideo: 3, FramesPerShot: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBenchmark(t, b, 2, 3)
+	if len(b.Objects) != 2*3+4 {
+		t.Fatalf("%d objects", len(b.Objects))
+	}
+	if b.Objects[0].Dim() != 12 {
+		t.Fatalf("dim %d", b.Objects[0].Dim())
+	}
+	// Shot detection should find roughly ShotsPerVideo segments.
+	for i := range b.Objects {
+		if n := len(b.Objects[i].Segments); n < 2 || n > 5 {
+			t.Errorf("object %s has %d shots", b.Objects[i].Key, n)
+		}
+	}
+	intra, inter := intraVsInterEMD(t, b, vector.L1)
+	if intra >= inter {
+		t.Errorf("videos: intra-set EMD %.3f >= inter-set %.3f", intra, inter)
+	}
+}
+
+func TestMicroarray(t *testing.T) {
+	m, b, err := Microarray(MicroarrayOptions{Clusters: 3, PerCluster: 4, Distractors: 10, Conditions: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Genes) != 3*4+10 {
+		t.Fatalf("%d genes", len(m.Genes))
+	}
+	checkBenchmark(t, b, 3, 4)
+	// Pearson distance within a cluster beats between clusters even with
+	// per-gene scale/shift (that is the point of using correlation).
+	idx := keyIndex(b)
+	g0 := b.Objects[idx[b.Sets[0][0]]].Segments[0].Vec
+	g1 := b.Objects[idx[b.Sets[0][1]]].Segments[0].Vec
+	h0 := b.Objects[idx[b.Sets[1][0]]].Segments[0].Vec
+	intra := vectorPearson(g0, g1)
+	inter := vectorPearson(g0, h0)
+	if intra >= inter {
+		t.Errorf("intra-cluster Pearson distance %.3f >= inter %.3f", intra, inter)
+	}
+}
+
+func vectorPearson(a, b []float32) float64 {
+	return vector.Pearson(a, b)
+}
+
+func TestAvgSegmentsEmpty(t *testing.T) {
+	if AvgSegments(nil) != 0 {
+		t.Fatal("AvgSegments(nil) != 0")
+	}
+	if AvgSegments([]object.Object{object.Single("a", []float32{1})}) != 1 {
+		t.Fatal("single-segment average != 1")
+	}
+}
+
+func TestVARYSegmentCountsReasonable(t *testing.T) {
+	b, err := VARY(VARYOptions{Sets: 2, SetSize: 2, Distractors: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := AvgSegments(b.Objects)
+	if avg < 2 || avg > 17 {
+		t.Errorf("avg segments per image %.1f", avg)
+	}
+	if math.IsNaN(avg) {
+		t.Fatal("NaN average")
+	}
+}

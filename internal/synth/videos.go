@@ -1,0 +1,128 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ferret/internal/attr"
+	"ferret/internal/imagefeat"
+	"ferret/internal/videofeat"
+)
+
+// VideoOptions scales the synthetic video benchmark: "programs" are
+// sequences of scenes (shots); recordings of the same program — re-shot
+// with jitter and possibly re-ordered — form similarity sets, exercising
+// the EMD's order invariance on shot sets.
+type VideoOptions struct {
+	// Sets is the number of programs. Default 4.
+	Sets int
+	// SetSize is the number of cuts per program. Default 4.
+	SetSize int
+	// Distractors is the number of unrelated videos. Default 20.
+	Distractors int
+	// ShotsPerVideo is the number of scenes per program. Default 4.
+	ShotsPerVideo int
+	// FramesPerShot is the number of frames per shot. Default 6.
+	FramesPerShot int
+	// Width and Height of frames. Default 32×32.
+	Width, Height int
+	// Seed makes the benchmark reproducible.
+	Seed int64
+}
+
+func (o VideoOptions) withDefaults() VideoOptions {
+	if o.Sets <= 0 {
+		o.Sets = 4
+	}
+	if o.SetSize <= 0 {
+		o.SetSize = 4
+	}
+	if o.Distractors < 0 {
+		o.Distractors = 0
+	} else if o.Distractors == 0 {
+		o.Distractors = 20
+	}
+	if o.ShotsPerVideo <= 0 {
+		o.ShotsPerVideo = 4
+	}
+	if o.FramesPerShot <= 0 {
+		o.FramesPerShot = 6
+	}
+	if o.Width <= 0 {
+		o.Width = 32
+	}
+	if o.Height <= 0 {
+		o.Height = 32
+	}
+	return o
+}
+
+// renderProgram renders one cut of a program: each scene template is
+// rendered FramesPerShot times with small per-frame jitter (camera noise),
+// optionally with the scene order shuffled (a re-edit).
+func renderProgram(scenes []scene, opts VideoOptions, shuffle bool, rng *rand.Rand) []*imagefeat.Image {
+	order := make([]int, len(scenes))
+	for i := range order {
+		order[i] = i
+	}
+	if shuffle {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	var frames []*imagefeat.Image
+	for _, si := range order {
+		for f := 0; f < opts.FramesPerShot; f++ {
+			// Small jitter within a shot (consecutive frames nearly
+			// identical), so shot detection finds the cuts.
+			frames = append(frames, scenes[si].Render(opts.Width, opts.Height, 0.03, rng))
+		}
+	}
+	return frames
+}
+
+// Videos generates the synthetic video benchmark through the real video
+// plug-in. Half of each set's members are re-edits (shuffled shot order),
+// which only an order-invariant object distance matches.
+func Videos(opts VideoOptions) (*Benchmark, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ex := &videofeat.Extractor{}
+	b := &Benchmark{}
+
+	add := func(key, setName string, frames []*imagefeat.Image) error {
+		o, err := ex.ExtractFrames(key, frames)
+		if err != nil {
+			return fmt.Errorf("synth: videos %s: %w", key, err)
+		}
+		b.Objects = append(b.Objects, o)
+		b.Attrs = append(b.Attrs, attr.Attrs{"collection": "videos", "set": setName})
+		return nil
+	}
+
+	for set := 0; set < opts.Sets; set++ {
+		scenes := make([]scene, opts.ShotsPerVideo)
+		for i := range scenes {
+			scenes[i] = randomScene(rng)
+		}
+		var keys []string
+		for m := 0; m < opts.SetSize; m++ {
+			key := fmt.Sprintf("videos/prog%02d/cut%02d", set, m)
+			shuffle := m%2 == 1 // every other member is a re-edit
+			if err := add(key, fmt.Sprintf("prog%02d", set), renderProgram(scenes, opts, shuffle, rng)); err != nil {
+				return nil, err
+			}
+			keys = append(keys, key)
+		}
+		b.Sets = append(b.Sets, keys)
+	}
+	for d := 0; d < opts.Distractors; d++ {
+		scenes := make([]scene, opts.ShotsPerVideo)
+		for i := range scenes {
+			scenes[i] = randomScene(rng)
+		}
+		key := fmt.Sprintf("videos/misc/vid%05d", d)
+		if err := add(key, "none", renderProgram(scenes, opts, false, rng)); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,205 @@
+// Package vector provides the distance functions used as segment distance
+// functions in the Ferret toolkit (paper §2, §5): the ℓ_p norms, a weighted
+// ℓ₁ distance, and the correlation distances used by the genomic plugin.
+//
+// All functions take []float32 feature vectors (the toolkit's native
+// representation) and compute in float64 for accuracy. Vectors passed to any
+// distance must have equal length; mismatched lengths panic, since that is a
+// programming error in a plug-in, not a data error.
+package vector
+
+import (
+	"math"
+	"sort"
+)
+
+// Func is the segment distance function type: the distance between two
+// feature vectors in D-dimensional space (the paper's seg_distance).
+type Func func(a, b []float32) float64
+
+func checkLen(a, b []float32) {
+	if len(a) != len(b) {
+		panic("vector: dimension mismatch")
+	}
+}
+
+// L1 returns the ℓ₁ (Manhattan) distance Σ|aᵢ−bᵢ|.
+func L1(a, b []float32) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// L2 returns the ℓ₂ (Euclidean) distance sqrt(Σ(aᵢ−bᵢ)²).
+func L2(a, b []float32) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Lp returns the ℓ_p distance (Σ|aᵢ−bᵢ|^p)^(1/p) for p ≥ 1.
+func Lp(p float64) Func {
+	if p < 1 {
+		panic("vector: Lp requires p >= 1")
+	}
+	return func(a, b []float32) float64 {
+		checkLen(a, b)
+		var s float64
+		for i := range a {
+			d := math.Abs(float64(a[i]) - float64(b[i]))
+			s += math.Pow(d, p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// LInf returns the ℓ∞ (Chebyshev) distance max|aᵢ−bᵢ|.
+func LInf(a, b []float32) float64 {
+	checkLen(a, b)
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// WeightedL1 returns a weighted ℓ₁ distance Σ wᵢ·|aᵢ−bᵢ|, the segment
+// distance used by the image search system (paper §5.1). The weight slice
+// length must match the vectors.
+func WeightedL1(w []float32) Func {
+	return func(a, b []float32) float64 {
+		checkLen(a, b)
+		if len(w) != len(a) {
+			panic("vector: weight dimension mismatch")
+		}
+		var s float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			if d < 0 {
+				d = -d
+			}
+			s += float64(w[i]) * d
+		}
+		return s
+	}
+}
+
+// Pearson returns the Pearson correlation distance 1 − r(a, b), where r is
+// the sample Pearson correlation coefficient. Constant vectors (zero
+// variance) are treated as uncorrelated with everything: distance 1.
+// Used by the genomic plugin (paper §5.4).
+func Pearson(a, b []float32) float64 {
+	checkLen(a, b)
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var sa, sb float64
+	for i := range a {
+		sa += float64(a[i])
+		sb += float64(b[i])
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da := float64(a[i]) - ma
+		db := float64(b[i]) - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 1
+	}
+	r := cov / math.Sqrt(va*vb)
+	// Clamp against rounding drift so the distance stays in [0, 2].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return 1 - r
+}
+
+// Spearman returns the Spearman rank correlation distance 1 − ρ(a, b):
+// Pearson correlation computed on the ranks of the values, with average
+// ranks for ties. Used by the genomic plugin (paper §5.4).
+func Spearman(a, b []float32) float64 {
+	checkLen(a, b)
+	ra := ranks(a)
+	rb := ranks(b)
+	return Pearson(ra, rb)
+}
+
+// ranks returns the fractional ranks of v (1-based, ties averaged).
+func ranks(v []float32) []float32 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	r := make([]float32, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float32(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Cosine returns the cosine distance 1 − (a·b)/(‖a‖‖b‖). Zero vectors have
+// distance 1 from everything.
+func Cosine(a, b []float32) float64 {
+	checkLen(a, b)
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := dot / math.Sqrt(na*nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// Thresholded wraps a distance function, capping its value at t. Paper §5.1
+// thresholds segment distances before the EMD computation to reduce the
+// impact of outlier segments.
+func Thresholded(f Func, t float64) Func {
+	return func(a, b []float32) float64 {
+		d := f(a, b)
+		if d > t {
+			return t
+		}
+		return d
+	}
+}

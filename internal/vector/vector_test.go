@@ -1,0 +1,190 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestL1(t *testing.T) {
+	if got := L1([]float32{1, 2, 3}, []float32{4, 0, 3}); got != 5 {
+		t.Errorf("L1 = %g, want 5", got)
+	}
+	if got := L1([]float32{}, []float32{}); got != 0 {
+		t.Errorf("L1 of empty = %g, want 0", got)
+	}
+}
+
+func TestL2(t *testing.T) {
+	if got := L2([]float32{0, 0}, []float32{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("L2 = %g, want 5", got)
+	}
+}
+
+func TestLpMatchesL1L2(t *testing.T) {
+	a := []float32{1, -2, 3.5, 0}
+	b := []float32{-1, 2, 0.5, 4}
+	if got, want := Lp(1)(a, b), L1(a, b); !almostEqual(got, want, 1e-9) {
+		t.Errorf("Lp(1) = %g, L1 = %g", got, want)
+	}
+	if got, want := Lp(2)(a, b), L2(a, b); !almostEqual(got, want, 1e-9) {
+		t.Errorf("Lp(2) = %g, L2 = %g", got, want)
+	}
+}
+
+func TestLpRejectsSubOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lp(0.5) did not panic")
+		}
+	}()
+	Lp(0.5)
+}
+
+func TestLInf(t *testing.T) {
+	if got := LInf([]float32{1, 5, 2}, []float32{2, 1, 2}); got != 4 {
+		t.Errorf("LInf = %g, want 4", got)
+	}
+}
+
+func TestWeightedL1(t *testing.T) {
+	f := WeightedL1([]float32{1, 0, 2})
+	if got := f([]float32{1, 1, 1}, []float32{0, 5, 2}); got != 3 {
+		t.Errorf("WeightedL1 = %g, want 3", got)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	L1([]float32{1}, []float32{1, 2})
+}
+
+func TestPearson(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	if got := Pearson(a, a); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Pearson(a,a) = %g, want 0", got)
+	}
+	// Perfect negative correlation → distance 2.
+	b := []float32{4, 3, 2, 1}
+	if got := Pearson(a, b); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Pearson(a, reversed) = %g, want 2", got)
+	}
+	// Affine transform preserves correlation.
+	c := []float32{3, 5, 7, 9}
+	if got := Pearson(a, c); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("Pearson(a, 2a+1) = %g, want 0", got)
+	}
+	// Constant vector: distance 1 by convention.
+	if got := Pearson(a, []float32{5, 5, 5, 5}); got != 1 {
+		t.Errorf("Pearson(a, const) = %g, want 1", got)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	// Any monotone transform has ρ = 1.
+	b := []float32{1, 4, 9, 16, 25}
+	if got := Spearman(a, b); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("Spearman(a, a²) = %g, want 0", got)
+	}
+	rev := []float32{5, 4, 3, 2, 1}
+	if got := Spearman(a, rev); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("Spearman(a, rev) = %g, want 2", got)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := ranks([]float32{10, 20, 20, 30})
+	want := []float32{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	if got := Cosine(a, []float32{0, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Cosine(orthogonal) = %g, want 1", got)
+	}
+	if got := Cosine(a, []float32{5, 0}); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Cosine(parallel) = %g, want 0", got)
+	}
+	if got := Cosine(a, []float32{0, 0}); got != 1 {
+		t.Errorf("Cosine(zero) = %g, want 1", got)
+	}
+}
+
+func TestThresholded(t *testing.T) {
+	f := Thresholded(L1, 2.5)
+	if got := f([]float32{0}, []float32{1}); got != 1 {
+		t.Errorf("below threshold changed: %g", got)
+	}
+	if got := f([]float32{0}, []float32{10}); got != 2.5 {
+		t.Errorf("above threshold = %g, want 2.5", got)
+	}
+}
+
+// randVecPair yields same-length random vectors for property tests.
+func randVecPair(rng *rand.Rand) (a, b, c []float32) {
+	n := rng.Intn(16) + 1
+	a = make([]float32, n)
+	b = make([]float32, n)
+	c = make([]float32, n)
+	for i := 0; i < n; i++ {
+		a[i] = float32(rng.NormFloat64() * 10)
+		b[i] = float32(rng.NormFloat64() * 10)
+		c[i] = float32(rng.NormFloat64() * 10)
+	}
+	return
+}
+
+// TestMetricAxioms checks non-negativity, symmetry, identity and the
+// triangle inequality for the ℓ_p family on random vectors.
+func TestMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	funcs := map[string]Func{"L1": L1, "L2": L2, "Lp1.5": Lp(1.5), "LInf": LInf}
+	for name, f := range funcs {
+		for trial := 0; trial < 300; trial++ {
+			a, b, c := randVecPair(rng)
+			dab, dba := f(a, b), f(b, a)
+			if dab < 0 {
+				t.Fatalf("%s: negative distance", name)
+			}
+			if !almostEqual(dab, dba, 1e-9) {
+				t.Fatalf("%s: asymmetric: %g vs %g", name, dab, dba)
+			}
+			if d := f(a, a); !almostEqual(d, 0, 1e-9) {
+				t.Fatalf("%s: d(a,a) = %g", name, d)
+			}
+			if dac, dcb := f(a, c), f(c, b); dab > dac+dcb+1e-6*(1+dab) {
+				t.Fatalf("%s: triangle violated: %g > %g + %g", name, dab, dac, dcb)
+			}
+		}
+	}
+}
+
+// TestCorrelationDistanceRange: Pearson and Spearman distances stay in [0, 2].
+func TestCorrelationDistanceRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, _ := randVecPair(rng)
+		for _, d := range []float64{Pearson(a, b), Spearman(a, b)} {
+			if d < 0 || d > 2 || math.IsNaN(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package videofeat
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ferret/internal/emd"
+	"ferret/internal/imagefeat"
+)
+
+// flatFrame builds a uniform-color frame.
+func flatFrame(w, h int, c imagefeat.RGB) *imagefeat.Image {
+	im := imagefeat.NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = c
+	}
+	return im
+}
+
+// sequence builds nShots shots of framesEach nearly identical frames with
+// strongly different colors between shots.
+func sequence(nShots, framesEach int) []*imagefeat.Image {
+	colors := []imagefeat.RGB{
+		{R: 1, G: 0, B: 0}, {R: 0, G: 0, B: 1}, {R: 0, G: 1, B: 0},
+		{R: 1, G: 1, B: 0}, {R: 1, G: 0, B: 1},
+	}
+	var frames []*imagefeat.Image
+	for s := 0; s < nShots; s++ {
+		c := colors[s%len(colors)]
+		for f := 0; f < framesEach; f++ {
+			// Tiny per-frame wobble, below the cut threshold.
+			frames = append(frames, flatFrame(16, 16, imagefeat.RGB{
+				R: c.R * (1 - 0.01*float32(f%2)),
+				G: c.G,
+				B: c.B,
+			}))
+		}
+	}
+	return frames
+}
+
+func TestShotDetection(t *testing.T) {
+	frames := sequence(3, 5)
+	shots := Segmenter{}.Shots(frames)
+	if len(shots) != 3 {
+		t.Fatalf("detected %d shots, want 3: %v", len(shots), shots)
+	}
+	for i, s := range shots {
+		if s[1]-s[0] != 5 {
+			t.Errorf("shot %d spans %v", i, s)
+		}
+	}
+	// One continuous shot stays one shot.
+	if shots := (Segmenter{}).Shots(sequence(1, 8)); len(shots) != 1 {
+		t.Fatalf("continuous video split into %d shots", len(shots))
+	}
+	if shots := (Segmenter{}).Shots(nil); shots != nil {
+		t.Fatal("empty video produced shots")
+	}
+}
+
+func TestShortShotsMerged(t *testing.T) {
+	// A one-frame flash between two long shots merges away.
+	var frames []*imagefeat.Image
+	for i := 0; i < 5; i++ {
+		frames = append(frames, flatFrame(8, 8, imagefeat.RGB{R: 1}))
+	}
+	frames = append(frames, flatFrame(8, 8, imagefeat.RGB{G: 1})) // flash
+	for i := 0; i < 5; i++ {
+		frames = append(frames, flatFrame(8, 8, imagefeat.RGB{B: 1}))
+	}
+	shots := Segmenter{MinShotFrames: 2}.Shots(frames)
+	for _, s := range shots {
+		if s[1]-s[0] < 2 {
+			t.Fatalf("short shot survived: %v", shots)
+		}
+	}
+}
+
+func TestExtractFrames(t *testing.T) {
+	var e Extractor
+	o, err := e.ExtractFrames("vid", sequence(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Segments) != 4 || o.Dim() != FeatureDim {
+		t.Fatalf("%d segments, dim %d", len(o.Segments), o.Dim())
+	}
+	// Equal-length shots share weights.
+	if math.Abs(float64(o.Segments[0].Weight)-0.25) > 1e-3 {
+		t.Errorf("weight %g", o.Segments[0].Weight)
+	}
+	if _, err := e.ExtractFrames("empty", nil); err == nil {
+		t.Fatal("empty video extracted")
+	}
+}
+
+func TestFeatureBoundsContainFeatures(t *testing.T) {
+	var e Extractor
+	o, _ := e.ExtractFrames("vid", sequence(3, 4))
+	min, max := FeatureBounds()
+	for _, seg := range o.Segments {
+		for d, v := range seg.Vec {
+			if v < min[d]-1e-6 || v > max[d]+1e-6 {
+				t.Errorf("dim %d = %g outside [%g, %g]", d, v, min[d], max[d])
+			}
+		}
+	}
+}
+
+func TestLoadFramesFromDirectory(t *testing.T) {
+	dir := t.TempDir()
+	// Write three frames out of name order to verify sorting.
+	for _, name := range []string{"frame002.png", "frame000.png", "frame001.png"} {
+		im := flatFrame(8, 8, imagefeat.RGB{R: float32(name[7]-'0') * 0.3})
+		if err := im.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+	frames, err := LoadFrames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	// Sorted order: red intensity 0, 0.3, 0.6.
+	if frames[0].Pix[0].R >= frames[1].Pix[0].R || frames[1].Pix[0].R >= frames[2].Pix[0].R {
+		t.Fatal("frames not in name order")
+	}
+	var e Extractor
+	if _, err := e.Extract(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrames(t.TempDir()); err == nil {
+		t.Fatal("empty directory loaded")
+	}
+	if _, err := LoadFrames(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing directory loaded")
+	}
+}
+
+// TestReorderedShotsStayClose: the motivation for EMD on shots — a re-edit
+// with shuffled shot order must stay closer to the original than an
+// unrelated video. (Shot-midpoint features differ under reordering, so the
+// distance is small but not zero.)
+func TestReorderedShotsStayClose(t *testing.T) {
+	a := sequence(4, 5)
+	// Reorder shots: move the first shot to the end.
+	reordered := append(append([]*imagefeat.Image{}, a[5:]...), a[:5]...)
+	other := func() []*imagefeat.Image {
+		var f []*imagefeat.Image
+		grays := []imagefeat.RGB{{R: 0.3, G: 0.3, B: 0.3}, {R: 0.7, G: 0.7, B: 0.7}}
+		for s := 0; s < 4; s++ {
+			for i := 0; i < 5; i++ {
+				f = append(f, flatFrame(16, 16, grays[s%2]))
+			}
+		}
+		return f
+	}()
+	var e Extractor
+	oa, _ := e.ExtractFrames("a", a)
+	ob, _ := e.ExtractFrames("b", reordered)
+	oc, _ := e.ExtractFrames("c", other)
+	dNear, err := emd.Distance(oa, ob, emd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, err := emd.Distance(oa, oc, emd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dNear >= dFar {
+		t.Fatalf("re-edit distance %g >= unrelated %g", dNear, dFar)
+	}
+}

@@ -1,0 +1,228 @@
+// Package webui is the Ferret toolkit's customizable web interface (paper
+// §4.3): a small stand-alone web server that talks to the Ferret search
+// server through the command-line query interface. The typical flow matches
+// the paper's: bootstrap with an attribute (keyword) search, then issue
+// similarity queries from a result ("find similar").
+//
+// The application-specific presentation is isolated in the Presenter hook,
+// so a new data type only customizes how one result row is rendered.
+package webui
+
+import (
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ferret/internal/protocol"
+)
+
+// Backend is the slice of the command-line-protocol client the UI needs;
+// *protocol.Client implements it.
+type Backend interface {
+	Count() (int, error)
+	Query(key string, p protocol.QueryParams) ([]protocol.Result, error)
+	Search(keywords []string, attrs map[string]string) ([]protocol.Result, error)
+	Info(key string) (map[string]string, error)
+}
+
+// Presenter customizes the per-row presentation for a data type: it returns
+// extra HTML shown next to a result (e.g. a thumbnail, a waveform link, a
+// gene annotation link). Nil renders keys only.
+type Presenter func(key string) template.HTML
+
+// Handler builds the web UI's HTTP handler.
+func Handler(b Backend, title string, present Presenter) http.Handler {
+	ui := &ui{backend: b, title: title, present: present}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", ui.home)
+	mux.HandleFunc("/search", ui.search)
+	mux.HandleFunc("/similar", ui.similar)
+	mux.HandleFunc("/info", ui.info)
+	return mux
+}
+
+type ui struct {
+	backend Backend
+	title   string
+	present Presenter
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 0.3em 0.8em; }
+.err { color: #b00; }
+</style></head>
+<body>
+<h1>{{.Title}}</h1>
+<p>{{.Count}} objects indexed.</p>
+<form action="/search" method="get">
+  Keyword search: <input name="q" value="{{.Query}}">
+  <input type="submit" value="Search">
+</form>
+<form action="/similar" method="get">
+  Similar to key: <input name="key" value="{{.Key}}">
+  k: <input name="k" value="{{.K}}" size="3">
+  mode: <select name="mode">
+    <option value="filtering">filtering</option>
+    <option value="bruteforce">bruteforce</option>
+    <option value="sketch">sketch</option>
+  </select>
+  <input type="submit" value="Find similar">
+</form>
+{{if .Error}}<p class="err">{{.Error}}</p>{{end}}
+{{if .Results}}
+<h2>{{.Heading}}</h2>
+<table><tr><th>#</th><th>key</th><th>distance</th><th></th><th></th></tr>
+{{range .Results}}
+<tr><td>{{.Rank}}</td><td>{{.Key}}</td><td>{{printf "%.4f" .Distance}}</td>
+<td><a href="/similar?key={{.KeyEscaped}}">similar</a>
+    <a href="/info?key={{.KeyEscaped}}">info</a></td>
+<td>{{.Extra}}</td></tr>
+{{end}}
+</table>
+{{end}}
+{{if .Pairs}}
+<h2>{{.Heading}}</h2>
+<table>{{range .Pairs}}<tr><td>{{.Name}}</td><td>{{.Value}}</td></tr>{{end}}</table>
+{{end}}
+</body></html>`))
+
+type row struct {
+	Rank       int
+	Key        string
+	KeyEscaped string
+	Distance   float64
+	Extra      template.HTML
+}
+
+type pair struct{ Name, Value string }
+
+type pageData struct {
+	Title   string
+	Count   int
+	Query   string
+	Key     string
+	K       int
+	Heading string
+	Error   string
+	Results []row
+	Pairs   []pair
+}
+
+func (u *ui) page(w http.ResponseWriter, d pageData) {
+	d.Title = u.title
+	if d.K == 0 {
+		d.K = 10
+	}
+	if n, err := u.backend.Count(); err == nil {
+		d.Count = n
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTmpl.Execute(w, d); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (u *ui) rows(results []protocol.Result) []row {
+	out := make([]row, len(results))
+	for i, r := range results {
+		out[i] = row{
+			Rank:       i + 1,
+			Key:        r.Key,
+			KeyEscaped: strings.ReplaceAll(r.Key, "&", "%26"),
+			Distance:   r.Distance,
+		}
+		if u.present != nil {
+			out[i].Extra = u.present(r.Key)
+		}
+	}
+	return out
+}
+
+func (u *ui) home(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	u.page(w, pageData{})
+}
+
+// search handles attribute-based (keyword) queries — the bootstrap step.
+func (u *ui) search(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	d := pageData{Query: q}
+	if q == "" {
+		d.Error = "enter one or more keywords"
+		u.page(w, d)
+		return
+	}
+	results, err := u.backend.Search(strings.Fields(q), nil)
+	if err != nil {
+		d.Error = err.Error()
+		u.page(w, d)
+		return
+	}
+	d.Heading = "Attribute search results for " + strconv.Quote(q)
+	d.Results = u.rows(results)
+	u.page(w, d)
+}
+
+// similar handles content-based similarity queries.
+func (u *ui) similar(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	d := pageData{Key: key}
+	if key == "" {
+		d.Error = "enter an object key (use keyword search to find one)"
+		u.page(w, d)
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	if k <= 0 {
+		k = 10
+	}
+	d.K = k
+	params := protocol.QueryParams{K: k, Mode: r.URL.Query().Get("mode")}
+	results, err := u.backend.Query(key, params)
+	if err != nil {
+		d.Error = err.Error()
+		u.page(w, d)
+		return
+	}
+	d.Heading = "Objects similar to " + strconv.Quote(key)
+	d.Results = u.rows(results)
+	u.page(w, d)
+}
+
+// info shows the stored attributes of one object.
+func (u *ui) info(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	d := pageData{Key: key}
+	pairs, err := u.backend.Info(key)
+	if err != nil {
+		d.Error = err.Error()
+		u.page(w, d)
+		return
+	}
+	d.Heading = "Attributes of " + strconv.Quote(key)
+	for _, name := range sortedKeys(pairs) {
+		d.Pairs = append(d.Pairs, pair{Name: name, Value: pairs[name]})
+	}
+	u.page(w, d)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

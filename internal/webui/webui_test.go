@@ -1,0 +1,151 @@
+package webui
+
+import (
+	"errors"
+	"fmt"
+	"html/template"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ferret/internal/protocol"
+)
+
+// fakeBackend implements Backend in-memory.
+type fakeBackend struct {
+	count int
+	objs  map[string][]protocol.Result // query key → results
+	attrs map[string]map[string]string
+	kw    map[string][]protocol.Result
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		count: 3,
+		objs: map[string][]protocol.Result{
+			"dog1.jpg": {{Key: "dog1.jpg", Distance: 0}, {Key: "dog2.jpg", Distance: 0.4}},
+		},
+		attrs: map[string]map[string]string{
+			"dog1.jpg": {"attr:note": "a dog", "key": "dog1.jpg"},
+		},
+		kw: map[string][]protocol.Result{
+			"dog": {{Key: "dog1.jpg"}, {Key: "dog2.jpg"}},
+		},
+	}
+}
+
+func (f *fakeBackend) Count() (int, error) { return f.count, nil }
+
+func (f *fakeBackend) Query(key string, p protocol.QueryParams) ([]protocol.Result, error) {
+	r, ok := f.objs[key]
+	if !ok {
+		return nil, errors.New("unknown object key")
+	}
+	return r, nil
+}
+
+func (f *fakeBackend) Search(keywords []string, attrs map[string]string) ([]protocol.Result, error) {
+	if len(keywords) == 0 {
+		return nil, errors.New("no keywords")
+	}
+	return f.kw[keywords[0]], nil
+}
+
+func (f *fakeBackend) Info(key string) (map[string]string, error) {
+	a, ok := f.attrs[key]
+	if !ok {
+		return nil, errors.New("unknown object key")
+	}
+	return a, nil
+}
+
+func get(t *testing.T, b Backend, present Presenter, url string) (int, string) {
+	t.Helper()
+	h := Handler(b, "Test Ferret", present)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestHomePage(t *testing.T) {
+	code, body := get(t, newFakeBackend(), nil, "/")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"Test Ferret", "3 objects indexed", "Keyword search", "Find similar"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("home page missing %q", want)
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	code, _ := get(t, newFakeBackend(), nil, "/bogus")
+	if code != 404 {
+		t.Fatalf("status %d", code)
+	}
+}
+
+func TestKeywordSearch(t *testing.T) {
+	code, body := get(t, newFakeBackend(), nil, "/search?q=dog")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "dog1.jpg") || !strings.Contains(body, "dog2.jpg") {
+		t.Fatalf("results missing: %s", body)
+	}
+	// Result rows link to similarity search (the bootstrap flow).
+	if !strings.Contains(body, "/similar?key=dog1.jpg") {
+		t.Error("no similar link")
+	}
+}
+
+func TestSearchWithoutQuery(t *testing.T) {
+	_, body := get(t, newFakeBackend(), nil, "/search?q=")
+	if !strings.Contains(body, "enter one or more keywords") {
+		t.Error("missing prompt for empty query")
+	}
+}
+
+func TestSimilarQuery(t *testing.T) {
+	code, body := get(t, newFakeBackend(), nil, "/similar?key=dog1.jpg&k=5&mode=filtering")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "0.4000") {
+		t.Errorf("distance not rendered: %s", body)
+	}
+}
+
+func TestSimilarUnknownKeyShowsError(t *testing.T) {
+	_, body := get(t, newFakeBackend(), nil, "/similar?key=nope")
+	if !strings.Contains(body, "unknown object key") {
+		t.Error("backend error not surfaced")
+	}
+}
+
+func TestInfoPage(t *testing.T) {
+	_, body := get(t, newFakeBackend(), nil, "/info?key=dog1.jpg")
+	if !strings.Contains(body, "a dog") {
+		t.Errorf("attributes missing: %s", body)
+	}
+}
+
+func TestPresenterHook(t *testing.T) {
+	present := func(key string) template.HTML {
+		return template.HTML(fmt.Sprintf("<img src=\"/thumb/%s\">", key))
+	}
+	_, body := get(t, newFakeBackend(), present, "/search?q=dog")
+	if !strings.Contains(body, `<img src="/thumb/dog1.jpg">`) {
+		t.Error("presenter output missing")
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	b := newFakeBackend()
+	b.kw["<script>"] = []protocol.Result{{Key: "<script>alert(1)</script>"}}
+	_, body := get(t, b, nil, "/search?q=%3Cscript%3E")
+	if strings.Contains(body, "<script>alert(1)</script>") {
+		t.Fatal("unescaped HTML in output")
+	}
+}

@@ -1,0 +1,68 @@
+package ferret
+
+import (
+	"ferret/internal/synth"
+)
+
+// Synthetic benchmark generation (re-exported from the internal generators)
+// — the stand-ins for the paper's proprietary evaluation datasets, used by
+// the examples, the benchmark harness and the data-generation tool. See
+// DESIGN.md for the substitution rationale.
+
+type (
+	// SynthBenchmark is a generated dataset with ground-truth similarity
+	// sets.
+	SynthBenchmark = synth.Benchmark
+	// VARYOptions scales the synthetic VARY image benchmark.
+	VARYOptions = synth.VARYOptions
+	// TIMITOptions scales the synthetic TIMIT audio benchmark.
+	TIMITOptions = synth.TIMITOptions
+	// PSBOptions scales the synthetic Princeton Shape Benchmark.
+	PSBOptions = synth.PSBOptions
+	// MicroarrayOptions scales the synthetic gene-expression benchmark.
+	MicroarrayOptions = synth.MicroarrayOptions
+	// SensorOptions scales the synthetic sensor-data benchmark.
+	SensorOptions = synth.SensorOptions
+	// VideoOptions scales the synthetic video benchmark.
+	VideoOptions = synth.VideoOptions
+)
+
+// GenVARY generates the synthetic VARY image benchmark.
+func GenVARY(opts VARYOptions) (*SynthBenchmark, error) { return synth.VARY(opts) }
+
+// GenTIMIT generates the synthetic TIMIT audio benchmark.
+func GenTIMIT(opts TIMITOptions) (*SynthBenchmark, error) { return synth.TIMIT(opts) }
+
+// GenPSB generates the synthetic shape benchmark.
+func GenPSB(opts PSBOptions) (*SynthBenchmark, error) { return synth.PSB(opts) }
+
+// GenMicroarray generates a synthetic gene-expression matrix with
+// cluster ground truth.
+func GenMicroarray(opts MicroarrayOptions) (*Matrix, *SynthBenchmark, error) {
+	return synth.Microarray(opts)
+}
+
+// GenSensors generates the synthetic sensor-data benchmark. Its signals
+// stay within ±3 per channel, so SensorConfig with those channel bounds
+// matches.
+func GenSensors(opts SensorOptions) (*SynthBenchmark, error) { return synth.Sensors(opts) }
+
+// GenVideos generates the synthetic video benchmark (programs of shots,
+// with re-edited cuts in each similarity set).
+func GenVideos(opts VideoOptions) (*SynthBenchmark, error) { return synth.Videos(opts) }
+
+// IngestBenchmark loads every object of a generated benchmark into the
+// system, attaching the generator's attributes. It returns the number of
+// objects added.
+func (s *System) IngestBenchmark(b *SynthBenchmark) (int, error) {
+	for i := range b.Objects {
+		var a Attrs
+		if i < len(b.Attrs) {
+			a = b.Attrs[i]
+		}
+		if _, err := s.Ingest(b.Objects[i], a); err != nil {
+			return i, err
+		}
+	}
+	return len(b.Objects), nil
+}

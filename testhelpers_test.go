@@ -1,0 +1,19 @@
+package ferret
+
+import "ferret/internal/imagefeat"
+
+// testImage renders a deterministic two-region raster for file-pipeline
+// tests.
+func testImage() *imagefeat.Image {
+	im := imagefeat.NewImage(48, 48)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if x < im.W/2 {
+				im.Set(x, y, imagefeat.RGB{R: 0.9, G: 0.2, B: 0.1})
+			} else {
+				im.Set(x, y, imagefeat.RGB{R: 0.1, G: 0.3, B: 0.9})
+			}
+		}
+	}
+	return im
+}
