@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages (telemetry hot paths, parallel
+# query scans, the TCP server and the transactional store).
+race:
+	$(GO) test -race ./internal/telemetry ./internal/core ./internal/server ./internal/kvstore
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+clean:
+	rm -rf bin
+	$(GO) clean ./...

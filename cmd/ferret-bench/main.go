@@ -6,9 +6,13 @@
 //	ferret-bench -exp figure7           # avg precision vs sketch size
 //	ferret-bench -exp figure8           # query time vs dataset size
 //	ferret-bench -exp all -scale medium
+//	ferret-bench -exp table2 -json results.json   # machine-readable summary
 //
 // Scales: small (seconds), medium (minutes, default), paper (approaches
 // the paper's dataset sizes; slow).
+//
+// -json writes every experiment's rows — including per-phase latency
+// percentiles and throughput — as one JSON document ("-" = stdout).
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, figure7, figure8, ablations or all")
 	scaleName := flag.String("scale", "medium", "dataset scale: small, medium or paper")
+	jsonPath := flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	scale, ok := experiments.ByName(*scaleName)
@@ -31,75 +36,96 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(name string, f func() error) {
-		fmt.Printf("=== %s (scale %s) ===\n", name, scale.Name)
+	summary := &experiments.Summary{Scale: scale.Name}
+	run := func(name, title string, f func() (any, error)) {
+		fmt.Printf("=== %s (scale %s) ===\n", title, scale.Name)
 		start := time.Now()
-		if err := f(); err != nil {
+		rows, err := f()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ferret-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		summary.Add(name, elapsed, rows)
+		fmt.Printf("--- %s done in %v ---\n\n", title, elapsed.Round(time.Millisecond))
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 	if want("table1") {
 		ran = true
-		run("Table 1: search quality", func() error {
+		run("table1", "Table 1: search quality", func() (any, error) {
 			rows, err := experiments.Table1(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.FprintTable1(os.Stdout, rows)
-			return nil
+			return rows, nil
 		})
 	}
 	if want("table2") {
 		ran = true
-		run("Table 2: search speed", func() error {
+		run("table2", "Table 2: search speed", func() (any, error) {
 			rows, err := experiments.Table2(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.FprintTable2(os.Stdout, rows)
-			return nil
+			return rows, nil
 		})
 	}
 	if want("figure7") {
 		ran = true
-		run("Figure 7: precision vs sketch size", func() error {
+		run("figure7", "Figure 7: precision vs sketch size", func() (any, error) {
 			series, err := experiments.Figure7(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.FprintFigure7(os.Stdout, series)
-			return nil
+			return series, nil
 		})
 	}
 	if want("figure8") {
 		ran = true
-		run("Figure 8: query time vs dataset size", func() error {
+		run("figure8", "Figure 8: query time vs dataset size", func() (any, error) {
 			panels, err := experiments.Figure8(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.FprintFigure8(os.Stdout, panels)
-			return nil
+			return panels, nil
 		})
 	}
 	if want("ablations") {
 		ran = true
-		run("Ablations: design-choice studies", func() error {
+		run("ablations", "Ablations: design-choice studies", func() (any, error) {
 			rows, err := experiments.Ablations(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.FprintAblations(os.Stdout, rows)
-			return nil
+			return rows, nil
 		})
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "ferret-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ferret-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := summary.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ferret-bench: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

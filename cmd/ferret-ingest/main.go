@@ -11,12 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"ferret"
 	"ferret/internal/evaltool"
+	"ferret/internal/telemetry"
 )
 
 func main() {
@@ -29,63 +29,74 @@ func main() {
 		distance = flag.String("distance", "pearson", "genomic distance")
 		evalFile = flag.String("eval", "", "benchmark file to evaluate after ingest")
 		mode     = flag.String("mode", "filtering", "evaluation search mode")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level).With("ferret-ingest")
+
 	cfg, extractor, exts, err := systemFor(*dtype, *dir, *rate, *matrix, *distance)
 	if err != nil {
-		log.Fatalf("ferret-ingest: %v", err)
+		logger.Fatal("configuration failed", "err", err)
 	}
+	cfg.Store.Logger = logger.With("kvstore")
 	sys, err := ferret.Open(ferret.RelaxedDurability(cfg), extractor)
 	if err != nil {
-		log.Fatalf("ferret-ingest: %v", err)
+		logger.Fatal("opening system failed", "dir", *dir, "err", err)
 	}
 	defer sys.Close()
 
 	if *dtype == "genomic" && *matrix != "" {
 		m, err := ferret.ParseMatrixTSV(*matrix)
 		if err != nil {
-			log.Fatalf("ferret-ingest: %v", err)
+			logger.Fatal("parsing matrix failed", "path", *matrix, "err", err)
 		}
 		added, err := sys.IngestMatrix(m, nil)
 		if err != nil {
-			log.Fatalf("ferret-ingest: matrix: %v", err)
+			logger.Fatal("matrix ingest failed", "path", *matrix, "err", err)
 		}
 		fmt.Printf("ingested %d genes\n", added)
 	} else if *data != "" {
 		sc := sys.NewScanner(*data, exts)
-		sc.OnError = func(path string, err error) { log.Printf("skip %s: %v", path, err) }
+		sc.OnError = func(path string, err error) {
+			logger.Warn("skipping file", "path", path, "err", err)
+		}
 		start := time.Now()
 		added, err := sc.ScanOnce()
 		if err != nil {
-			log.Fatalf("ferret-ingest: scan: %v", err)
+			logger.Fatal("scan failed", "dir", *data, "err", err)
 		}
 		fmt.Printf("ingested %d objects in %v (database now holds %d)\n",
 			added, time.Since(start).Round(time.Millisecond), sys.Count())
 	} else {
-		log.Fatal("ferret-ingest: nothing to do (pass -data or -matrix)")
+		logger.Fatal("nothing to do (pass -data or -matrix)")
 	}
 	if err := sys.Checkpoint(); err != nil {
-		log.Fatalf("ferret-ingest: checkpoint: %v", err)
+		logger.Fatal("checkpoint failed", "err", err)
 	}
 
 	if *evalFile != "" {
 		f, err := os.Open(*evalFile)
 		if err != nil {
-			log.Fatalf("ferret-ingest: %v", err)
+			logger.Fatal("opening benchmark failed", "path", *evalFile, "err", err)
 		}
 		sets, err := evaltool.ParseBenchmark(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("ferret-ingest: %v", err)
+			logger.Fatal("parsing benchmark failed", "path", *evalFile, "err", err)
 		}
 		m, err := ferret.ParseMode(*mode)
 		if err != nil {
-			log.Fatalf("ferret-ingest: %v", err)
+			logger.Fatal("bad mode", "mode", *mode, "err", err)
 		}
 		rep, err := sys.Evaluate(sets, ferret.QueryOptions{Mode: m})
 		if err != nil {
-			log.Fatalf("ferret-ingest: evaluate: %v", err)
+			logger.Fatal("evaluation failed", "err", err)
 		}
 		fmt.Println(rep)
 	}

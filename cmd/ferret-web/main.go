@@ -4,36 +4,61 @@
 // the search server are separate programs.
 //
 //	ferret-web -addr :8080 -server 127.0.0.1:7070 -title "Image search"
+//
+// -debug-addr serves this process's own observability endpoint (/metrics
+// with HTTP request counts and latency, /debug/vars, /debug/pprof/).
 package main
 
 import (
 	"flag"
-	"log"
 	"net/http"
+	"os"
 
 	"ferret/internal/protocol"
+	"ferret/internal/telemetry"
 	"ferret/internal/webui"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		server = flag.String("server", "127.0.0.1:7070", "ferretd protocol address")
-		title  = flag.String("title", "Ferret similarity search", "page title")
+		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		server    = flag.String("server", "127.0.0.1:7070", "ferretd protocol address")
+		title     = flag.String("title", "Ferret similarity search", "page title")
+		debugAddr = flag.String("debug-addr", "", "observability listen address (empty = disabled)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level).With("ferret-web")
+
 	client, err := protocol.Dial(*server)
 	if err != nil {
-		log.Fatalf("ferret-web: connecting to %s: %v", *server, err)
+		logger.Fatal("connecting to backend failed", "server", *server, "err", err)
 	}
 	defer client.Close()
 	if err := client.Ping(); err != nil {
-		log.Fatalf("ferret-web: ping %s: %v", *server, err)
+		logger.Fatal("backend ping failed", "server", *server, "err", err)
 	}
 
-	log.Printf("serving web interface on http://%s/ (backend %s)", *addr, *server)
-	if err := http.ListenAndServe(*addr, webui.Handler(client, *title, nil)); err != nil {
-		log.Fatalf("ferret-web: %v", err)
+	reg := telemetry.NewRegistry()
+	handler := telemetry.InstrumentHTTP(reg, "webui", webui.Handler(client, *title, nil))
+
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("observability endpoint", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, telemetry.DebugHandler(reg)); err != nil {
+				logger.Error("debug endpoint failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+	}
+
+	logger.Info("web interface serving", "url", "http://"+*addr+"/", "backend", *server)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		logger.Fatal("serve failed", "err", err)
 	}
 }

@@ -8,6 +8,10 @@
 //
 // Data types: image (.png/.ppm), audio (.wav mono 16-bit PCM), shape
 // (.off), genomic (-matrix expression.tsv, ingested at startup).
+//
+// Observability: -debug-addr serves Prometheus metrics at /metrics, expvar
+// JSON at /debug/vars and runtime profiles at /debug/pprof/ on a private
+// listener; logs are structured key=value lines on stderr (-log-level).
 package main
 
 import (
@@ -15,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"html/template"
-	"log"
 	"net"
 	"net/http"
 	"net/url"
@@ -25,68 +28,97 @@ import (
 	"time"
 
 	"ferret"
+	"ferret/internal/telemetry"
 )
 
 func main() {
 	var (
-		dir      = flag.String("dir", "./ferret-db", "metadata directory")
-		dtype    = flag.String("type", "image", "data type: image, audio, shape or genomic")
-		addr     = flag.String("addr", "127.0.0.1:7070", "protocol listen address")
-		webAddr  = flag.String("web", "", "web interface listen address (empty = disabled)")
-		scanDir  = flag.String("scan", "", "data acquisition directory (empty = disabled)")
-		scanIntv = flag.Duration("scan-interval", 10*time.Second, "acquisition scan interval")
-		rate     = flag.Int("rate", 16000, "audio sample rate (type=audio)")
-		matrix   = flag.String("matrix", "", "microarray TSV to ingest at startup (type=genomic)")
-		distance = flag.String("distance", "pearson", "genomic distance: pearson, spearman or l1")
-		relaxed  = flag.Bool("relaxed-durability", false, "periodic fsync instead of per-commit (paper §4.1.3)")
+		dir       = flag.String("dir", "./ferret-db", "metadata directory")
+		dtype     = flag.String("type", "image", "data type: image, audio, shape or genomic")
+		addr      = flag.String("addr", "127.0.0.1:7070", "protocol listen address")
+		webAddr   = flag.String("web", "", "web interface listen address (empty = disabled)")
+		debugAddr = flag.String("debug-addr", "", "observability listen address for /metrics, /debug/vars, /debug/pprof/ (empty = disabled)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		scanDir   = flag.String("scan", "", "data acquisition directory (empty = disabled)")
+		scanIntv  = flag.Duration("scan-interval", 10*time.Second, "acquisition scan interval")
+		rate      = flag.Int("rate", 16000, "audio sample rate (type=audio)")
+		matrix    = flag.String("matrix", "", "microarray TSV to ingest at startup (type=genomic)")
+		distance  = flag.String("distance", "pearson", "genomic distance: pearson, spearman or l1")
+		relaxed   = flag.Bool("relaxed-durability", false, "periodic fsync instead of per-commit (paper §4.1.3)")
 	)
 	flag.Parse()
 
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level).With("ferretd")
+
 	cfg, extractor, exts, m, err := buildSystem(*dtype, *dir, *rate, *matrix, *distance)
 	if err != nil {
-		log.Fatalf("ferretd: %v", err)
+		logger.Fatal("configuration failed", "err", err)
 	}
 	if *relaxed {
 		cfg = ferret.RelaxedDurability(cfg)
 	}
+	cfg.Store.Logger = logger.With("kvstore")
 	sys, err := ferret.Open(cfg, extractor)
 	if err != nil {
-		log.Fatalf("ferretd: opening system: %v", err)
+		logger.Fatal("opening system failed", "dir", *dir, "err", err)
 	}
 	defer sys.Close()
+	sys.SetLogger(logger)
 
 	if m != nil {
 		added, err := ingestMatrixOnce(sys, m)
 		if err != nil {
-			log.Fatalf("ferretd: ingesting matrix: %v", err)
+			logger.Fatal("ingesting matrix failed", "path", *matrix, "err", err)
 		}
 		if added > 0 {
-			log.Printf("ingested %d genes from %s", added, *matrix)
+			logger.Info("ingested matrix", "genes", added, "path", *matrix)
 		}
 	}
-	log.Printf("database %s holds %d objects", *dir, sys.Count())
+	logger.Info("database opened", "dir", *dir, "type", *dtype, "objects", sys.Count())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("observability endpoint", "addr", *debugAddr,
+				"paths", "/metrics /debug/vars /debug/pprof/")
+			srv := &http.Server{Addr: *debugAddr, Handler: sys.DebugHandler()}
+			go func() {
+				<-ctx.Done()
+				srv.Close()
+			}()
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug endpoint failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+	}
+
 	if *scanDir != "" {
 		sc := sys.NewScanner(*scanDir, exts)
 		sc.Interval = *scanIntv
-		sc.OnError = func(path string, err error) { log.Printf("acquire %s: %v", path, err) }
+		sc.OnError = func(path string, err error) {
+			logger.Warn("acquisition error", "path", path, "err", err)
+		}
 		ch := sc.Run(ctx)
 		go func() {
 			for added := range ch {
 				if added > 0 {
-					log.Printf("acquired %d new objects from %s", added, *scanDir)
+					logger.Info("acquired objects", "added", added, "dir", *scanDir)
 				}
 			}
 		}()
-		log.Printf("scanning %s every %v", *scanDir, *scanIntv)
+		logger.Info("acquisition scanning", "dir", *scanDir, "interval", *scanIntv)
 	}
 
 	if *webAddr != "" {
 		go func() {
-			log.Printf("web interface on http://%s/", *webAddr)
+			logger.Info("web interface serving", "url", "http://"+*webAddr+"/")
 			handler := webHandler(sys, *dtype, *scanDir)
 			srv := &http.Server{Addr: *webAddr, Handler: handler}
 			go func() {
@@ -94,24 +126,24 @@ func main() {
 				srv.Close()
 			}()
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("web: %v", err)
+				logger.Error("web interface failed", "err", err)
 			}
 		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("ferretd: listen: %v", err)
+		logger.Fatal("listen failed", "addr", *addr, "err", err)
 	}
 	go func() {
 		<-ctx.Done()
 		l.Close()
 	}()
-	log.Printf("serving query protocol on %s", *addr)
+	logger.Info("query protocol serving", "addr", *addr)
 	if err := sys.Serve(l); err != nil && ctx.Err() == nil {
-		log.Fatalf("ferretd: serve: %v", err)
+		logger.Fatal("serve failed", "err", err)
 	}
-	log.Printf("shutting down")
+	logger.Info("shutting down")
 }
 
 // webHandler assembles the web UI with a data-type specific presenter

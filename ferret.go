@@ -43,6 +43,7 @@ import (
 	"ferret/internal/protocol"
 	"ferret/internal/server"
 	"ferret/internal/sketch"
+	"ferret/internal/telemetry"
 	"ferret/internal/vector"
 	"ferret/internal/webui"
 )
@@ -118,6 +119,7 @@ func (f ExtractorFunc) Extract(path string) (Object, error) { return f(path) }
 type System struct {
 	engine    *core.Engine
 	extractor Extractor
+	logger    *telemetry.Logger
 }
 
 // Open opens or creates a search system. extractor may be nil for systems
@@ -199,6 +201,22 @@ func (s *System) AttrsOf(id ID) (Attrs, bool) { return s.engine.Attrs().Get(id) 
 // Checkpoint forces a durable metadata snapshot.
 func (s *System) Checkpoint() error { return s.engine.Meta().Checkpoint() }
 
+// Telemetry returns the system's metric registry (per-stage query latency
+// histograms, pipeline counters, serving-layer metrics).
+func (s *System) Telemetry() *telemetry.Registry { return s.engine.Telemetry() }
+
+// SetLogger attaches a structured logger; the protocol server logs
+// connection lifecycle events through it. A nil logger (the default)
+// discards them.
+func (s *System) SetLogger(l *telemetry.Logger) { s.logger = l }
+
+// DebugHandler returns the observability HTTP handler for this system:
+// Prometheus text at /metrics, expvar JSON at /debug/vars and runtime
+// profiles at /debug/pprof/. Mount it on a private listener.
+func (s *System) DebugHandler() http.Handler {
+	return telemetry.DebugHandler(s.engine.Telemetry())
+}
+
 // Serve runs the command-line query protocol server on l until closed.
 func (s *System) Serve(l net.Listener) error {
 	return s.server().Serve(l)
@@ -214,7 +232,7 @@ func (s *System) ListenAndServe(addr string) error {
 }
 
 func (s *System) server() *server.Server {
-	srv := &server.Server{Engine: s.engine, DefaultK: 10}
+	srv := &server.Server{Engine: s.engine, DefaultK: 10, Logger: s.logger.With("server")}
 	if s.extractor != nil {
 		srv.Extract = s.extractor.Extract
 	}

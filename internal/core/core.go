@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ferret/internal/attr"
 	"ferret/internal/emd"
@@ -27,6 +28,7 @@ import (
 	"ferret/internal/metastore"
 	"ferret/internal/object"
 	"ferret/internal/sketch"
+	"ferret/internal/telemetry"
 	"ferret/internal/vector"
 )
 
@@ -170,6 +172,11 @@ type Config struct {
 	// vector metadata". BruteForceOriginal degrades to per-object store
 	// reads in this mode; Filtering only reads the (small) candidate set.
 	LowMemory bool
+	// Telemetry is the metric registry the engine records into. nil gives
+	// the engine a private registry (reachable via Engine.Telemetry);
+	// passing one in lets the engine share a registry with the serving
+	// layer so one /metrics endpoint covers the whole process.
+	Telemetry *telemetry.Registry
 }
 
 // Result is one ranked search answer.
@@ -216,6 +223,7 @@ type Engine struct {
 
 	objDist func(a, b object.Object) float64
 	segDist vector.Func
+	met     *engineMetrics
 
 	mu      sync.RWMutex
 	entries []sketchEntry   // in-memory sketch database, ID order
@@ -236,7 +244,7 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, meta: meta, attrs: attr.New(meta.KV())}
+	e := &Engine{cfg: cfg, meta: meta, attrs: attr.New(meta.KV()), met: newEngineMetrics(cfg.Telemetry)}
 
 	e.segDist = cfg.SegmentDistance
 	if e.segDist == nil {
@@ -305,6 +313,15 @@ func Open(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	segments := 0
+	for i := range e.entries {
+		segments += len(e.entries[i].sketches)
+	}
+	e.met.objects.Set(int64(len(e.entries)))
+	e.met.segments.Set(int64(segments))
+	if e.index != nil {
+		e.met.indexedSegments.Set(int64(e.index.size()))
+	}
 	return e, nil
 }
 
@@ -320,11 +337,11 @@ func (e *Engine) Attrs() *attr.Engine { return e.attrs }
 // Builder exposes the engine's sketch builder (useful for diagnostics).
 func (e *Engine) Builder() *sketch.Builder { return e.builder }
 
-// Count returns the number of live (non-deleted) objects.
+// Count returns the number of live (non-deleted) objects. It reads a
+// telemetry gauge maintained under the engine lock, so it never blocks
+// behind a scan.
 func (e *Engine) Count() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.entries) - e.deleted
+	return int(e.met.objects.Value())
 }
 
 // Stats summarizes the engine's in-memory state.
@@ -344,27 +361,21 @@ type Stats struct {
 	IndexedSegments int
 }
 
-// Stat reports engine statistics.
+// Stat reports engine statistics. The counts come from telemetry gauges
+// maintained incrementally under the engine lock by Ingest/Delete/Compact,
+// so Stat is a handful of atomic loads instead of a full scan of the sketch
+// database under lock — it stays cheap no matter how large the database or
+// how contended the engine.
 func (e *Engine) Stat() Stats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	st := Stats{
-		Objects:    len(e.entries) - e.deleted,
-		Deleted:    e.deleted,
-		SketchBits: e.builder.N(),
+	segments := int(e.met.segments.Value())
+	return Stats{
+		Objects:         int(e.met.objects.Value()),
+		Deleted:         int(e.met.deleted.Value()),
+		Segments:        segments,
+		SketchBits:      e.builder.N(),
+		SketchBytes:     e.sketchBytesOf(segments),
+		IndexedSegments: int(e.met.indexedSegments.Value()),
 	}
-	words := sketch.Words(e.builder.N())
-	for i := range e.entries {
-		if e.entries[i].dead {
-			continue
-		}
-		st.Segments += len(e.entries[i].sketches)
-	}
-	st.SketchBytes = st.Segments * words * 8
-	if e.index != nil {
-		st.IndexedSegments = e.index.size()
-	}
-	return st
 }
 
 // Compact rebuilds the in-memory caches without tombstones and, when
@@ -402,7 +413,10 @@ func (e *Engine) Compact() {
 				e.index.add(idx, si, sk)
 			}
 		}
+		e.met.indexedSegments.Set(int64(e.index.size()))
 	}
+	e.met.deleted.Set(0)
+	e.met.compacts.Inc()
 }
 
 // Delete removes an object: its metadata is deleted transactionally and
@@ -420,6 +434,10 @@ func (e *Engine) Delete(id object.ID) error {
 		if e.entries[i].id == id && !e.entries[i].dead {
 			e.entries[i].dead = true
 			e.deleted++
+			e.met.deletes.Inc()
+			e.met.objects.Add(-1)
+			e.met.deleted.Add(1)
+			e.met.segments.Add(-int64(len(e.entries[i].sketches)))
 			break
 		}
 	}
@@ -430,6 +448,7 @@ func (e *Engine) Delete(id object.ID) error {
 // all metadata (feature vectors unless SketchOnly, sketches, key mapping,
 // attributes) is committed in a single transaction.
 func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
+	start := time.Now()
 	if err := o.Validate(); err != nil {
 		return 0, fmt.Errorf("core: invalid object %q: %w", o.Key, err)
 	}
@@ -464,7 +483,14 @@ func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
 	if !e.cfg.SketchOnly && !e.cfg.LowMemory {
 		e.objects = append(e.objects, o)
 	}
+	e.met.objects.Add(1)
+	e.met.segments.Add(int64(len(set.Sketches)))
+	if e.index != nil {
+		e.met.indexedSegments.Set(int64(e.index.size()))
+	}
 	e.mu.Unlock()
+	e.met.ingests.Inc()
+	e.met.ingestTime.ObserveSince(start)
 	return id, nil
 }
 
@@ -484,42 +510,67 @@ func (e *Engine) QueryByID(id object.ID, opt QueryOptions) ([]Result, error) {
 
 // Query runs a similarity search for the query object q (typically the
 // output of the plug-in segmentation and feature extraction unit applied to
-// the query data).
+// the query data). Stage timings (sketch build, filter, rank) and pipeline
+// counters are recorded in the engine's telemetry registry.
 func (e *Engine) Query(q object.Object, opt QueryOptions) ([]Result, error) {
 	if err := q.Validate(); err != nil {
+		e.met.queryErrors.Inc()
 		return nil, fmt.Errorf("core: invalid query object: %w", err)
 	}
 	if q.Dim() != e.builder.Dim() {
+		e.met.queryErrors.Inc()
 		return nil, fmt.Errorf("core: query dimension %d, engine expects %d", q.Dim(), e.builder.Dim())
 	}
 	if opt.K <= 0 {
 		opt.K = 10
 	}
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
+	start := time.Now()
 	qset := e.buildSketchSet(q)
+	e.met.stageSketch.ObserveSince(start)
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
+	var results []Result
+	var err error
 	switch opt.Mode {
 	case BruteForceOriginal:
 		if e.cfg.SketchOnly {
-			return nil, errors.New("core: BruteForceOriginal unavailable in sketch-only mode")
+			err = errors.New("core: BruteForceOriginal unavailable in sketch-only mode")
+			break
 		}
-		return e.rankAll(q, opt), nil
+		tr := time.Now()
+		results = e.rankAll(q, opt)
+		e.met.stageRank.ObserveSince(tr)
 	case BruteForceSketch:
-		return e.rankAllSketch(qset, opt), nil
+		tr := time.Now()
+		results = e.rankAllSketch(qset, opt)
+		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
-		cands, err := e.filter(&q, qset, opt)
+		var cands []int
+		cands, err = e.filter(&q, qset, opt)
 		if err != nil {
-			return nil, err
+			break
 		}
+		tr := time.Now()
 		if e.cfg.SketchOnly {
-			return e.rankSketchCandidates(qset, cands, opt), nil
+			results = e.rankSketchCandidates(qset, cands, opt)
+		} else {
+			results = e.rankCandidates(q, cands, opt)
 		}
-		return e.rankCandidates(q, cands, opt), nil
+		e.met.stageRank.ObserveSince(tr)
 	default:
-		return nil, fmt.Errorf("core: unknown mode %d", opt.Mode)
+		err = fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}
+	if err != nil {
+		e.met.queryErrors.Inc()
+		return nil, err
+	}
+	e.met.queries.Inc()
+	e.met.queryTime.ObserveSince(start)
+	return results, nil
 }
 
 // querySketchSet is QueryByID's sketch-only path: the stored sketches stand
@@ -528,20 +579,37 @@ func (e *Engine) querySketchSet(qset *metastore.SketchSet, opt QueryOptions) ([]
 	if opt.K <= 0 {
 		opt.K = 10
 	}
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
+	start := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	var results []Result
+	var err error
 	switch opt.Mode {
 	case BruteForceSketch:
-		return e.rankAllSketch(qset, opt), nil
+		tr := time.Now()
+		results = e.rankAllSketch(qset, opt)
+		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
-		cands, err := e.filter(nil, qset, opt)
+		var cands []int
+		cands, err = e.filter(nil, qset, opt)
 		if err != nil {
-			return nil, err
+			break
 		}
-		return e.rankSketchCandidates(qset, cands, opt), nil
+		tr := time.Now()
+		results = e.rankSketchCandidates(qset, cands, opt)
+		e.met.stageRank.ObserveSince(tr)
 	default:
-		return nil, errors.New("core: only sketch modes are available for sketch-only queries")
+		err = errors.New("core: only sketch modes are available for sketch-only queries")
 	}
+	if err != nil {
+		e.met.queryErrors.Inc()
+		return nil, err
+	}
+	e.met.queries.Inc()
+	e.met.queryTime.ObserveSince(start)
+	return results, nil
 }
 
 func (e *Engine) buildSketchSet(q object.Object) *metastore.SketchSet {
@@ -618,6 +686,8 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 	if p.ExactDistance {
 		return e.filterExact(q, p, opt)
 	}
+	stageStart := time.Now()
+	scanned := 0
 
 	// Pick the r highest-weight query segments.
 	order := make([]int, len(qset.Sketches))
@@ -648,6 +718,7 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 				if opt.Restrict != nil && !opt.Restrict[ent.id] {
 					return
 				}
+				scanned++
 				h := sketch.Hamming(qsk, ent.sketches[ref.seg])
 				if h <= maxHam && h < heap.worst() {
 					heap.push(int(ref.entry), h)
@@ -662,7 +733,10 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 		// k-nearest dataset segments within maxHam, tracked in bounded
 		// max-heaps (one per scan shard) keyed by Hamming distance; each
 		// heap's root tightens its shard's bound as the scan proceeds.
+		// Scan counts accumulate in shard locals (disjoint slice slots)
+		// and publish to the shared counter once per stage.
 		heaps := make([]*segHeap, workers)
+		shardScans := make([]int, workers)
 		parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
 			heap := newSegHeap(p.NearestPerSegment)
 			for idx := lo; idx < hi; idx++ {
@@ -673,6 +747,7 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 				if opt.Restrict != nil && !opt.Restrict[ent.id] {
 					continue
 				}
+				shardScans[shard]++
 				bound := maxHam
 				if w := heap.worst(); w <= bound {
 					bound = w - 1
@@ -689,6 +764,9 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 			}
 			heaps[shard] = heap
 		})
+		for _, n := range shardScans {
+			scanned += n
+		}
 		merged := heaps[0]
 		if workers > 1 {
 			merged = newSegHeap(p.NearestPerSegment)
@@ -712,6 +790,9 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 		out = append(out, idx)
 	}
 	sort.Ints(out)
+	e.met.scanned.Add(scanned)
+	e.met.candidates.Add(len(out))
+	e.met.stageFilter.ObserveSince(stageStart)
 	return out, nil
 }
 
@@ -722,6 +803,8 @@ func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions)
 	if q == nil || e.cfg.SketchOnly {
 		return nil, errors.New("core: exact-distance filtering requires stored feature vectors")
 	}
+	stageStart := time.Now()
+	scanned := 0
 	getObject := func(i int) (object.Object, bool) {
 		if e.cfg.LowMemory {
 			return e.meta.GetObject(e.entries[i].id)
@@ -758,6 +841,7 @@ func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions)
 			if !ok {
 				continue
 			}
+			scanned++
 			best := math.Inf(1)
 			for si := range o.Segments {
 				if d := e.segDist(qvec, o.Segments[si].Vec); d < best {
@@ -783,6 +867,9 @@ func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions)
 		out = append(out, idx)
 	}
 	sort.Ints(out)
+	e.met.scanned.Add(scanned)
+	e.met.candidates.Add(len(out))
+	e.met.stageExact.ObserveSince(stageStart)
 	return out, nil
 }
 
@@ -807,6 +894,7 @@ func trimScored(s []scoredIdx, k int) []scoredIdx {
 // the filter-then-rank design for datasets that do not fit in RAM.
 func (e *Engine) rankCandidates(q object.Object, cands []int, opt QueryOptions) []Result {
 	top := newTopK(opt.K)
+	evals := 0
 	for _, idx := range cands {
 		if e.cfg.LowMemory {
 			ent := &e.entries[idx]
@@ -814,12 +902,16 @@ func (e *Engine) rankCandidates(q object.Object, cands []int, opt QueryOptions) 
 			if !ok {
 				continue
 			}
+			evals++
 			top.push(Result{ID: ent.id, Key: ent.key, Distance: e.objDist(q, o)})
 			continue
 		}
 		o := &e.objects[idx]
+		evals++
 		top.push(Result{ID: o.ID, Key: o.Key, Distance: e.objDist(q, *o)})
 	}
+	e.met.emdEvals.Add(evals)
+	e.met.heapTrims.Add(top.trims)
 	return top.sorted()
 }
 
@@ -832,6 +924,8 @@ func (e *Engine) rankSketchCandidates(qset *metastore.SketchSet, cands []int, op
 		d := e.sketchObjectDistance(qset, ent)
 		top.push(Result{ID: ent.id, Key: ent.key, Distance: d})
 	}
+	e.met.emdEvals.Add(len(cands))
+	e.met.heapTrims.Add(top.trims)
 	return top.sorted()
 }
 

@@ -3,10 +3,13 @@ package core
 import "sort"
 
 // topK keeps the K smallest-distance results seen so far in a bounded
-// max-heap (the root is the current worst kept result).
+// max-heap (the root is the current worst kept result). trims counts
+// evictions of the worst kept result by a better one — the ranking unit
+// publishes it to the ferret_rank_heap_trims_total telemetry counter.
 type topK struct {
 	k     int
 	items []Result
+	trims int
 }
 
 func newTopK(k int) *topK {
@@ -23,6 +26,7 @@ func (t *topK) push(r Result) {
 		return
 	}
 	t.items[0] = r
+	t.trims++
 	t.down(0)
 }
 

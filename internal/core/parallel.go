@@ -55,31 +55,44 @@ func (e *Engine) rankParallel(n int, opt QueryOptions, distance func(idx int) (R
 	workers := e.workers()
 	if workers <= 1 {
 		top := newTopK(opt.K)
+		evals := 0
 		for i := 0; i < n; i++ {
 			if r, ok := distance(i); ok {
+				evals++
 				top.push(r)
 			}
 		}
+		e.met.emdEvals.Add(evals)
+		e.met.heapTrims.Add(top.trims)
 		return top.sorted()
 	}
+	// Shard-local eval counts (disjoint slice slots, published once after
+	// the barrier) keep the hot loop free of shared atomics.
 	tops := make([]*topK, workers)
+	evals := make([]int, workers)
 	parallelScan(n, workers, func(shard, lo, hi int) {
 		top := newTopK(opt.K)
 		for i := lo; i < hi; i++ {
 			if r, ok := distance(i); ok {
+				evals[shard]++
 				top.push(r)
 			}
 		}
 		tops[shard] = top
 	})
 	merged := newTopK(opt.K)
-	for _, t := range tops {
+	totalEvals, trims := 0, 0
+	for shard, t := range tops {
+		totalEvals += evals[shard]
 		if t == nil {
 			continue
 		}
+		trims += t.trims
 		for _, r := range t.items {
 			merged.push(r)
 		}
 	}
+	e.met.emdEvals.Add(totalEvals)
+	e.met.heapTrims.Add(trims)
 	return merged.sorted()
 }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"ferret/internal/sketch"
+	"ferret/internal/telemetry"
+)
+
+// Query pipeline stage labels, as exposed in
+// ferret_query_stage_seconds{stage="..."}. The stages mirror the paper's
+// query pipeline (§4.1.1): sketch construction for the query object, the
+// filtering unit (sketch scan or the exact-distance alternative), and the
+// ranking unit.
+const (
+	StageSketch      = "sketch"
+	StageFilter      = "filter"
+	StageExactFilter = "exact_filter"
+	StageRank        = "rank"
+)
+
+// engineMetrics are the engine's handles into its telemetry registry. All
+// hot-path updates are atomic increments; scan loops accumulate into shard
+// locals and publish once per stage, so the parallel query paths in
+// parallel.go never contend on a shared cache line per object.
+type engineMetrics struct {
+	reg *telemetry.Registry
+
+	// Operation counters.
+	queries     *telemetry.Counter // ferret_query_total
+	queryErrors *telemetry.Counter // ferret_query_errors_total
+	ingests     *telemetry.Counter // ferret_ingest_total
+	deletes     *telemetry.Counter // ferret_delete_total
+	compacts    *telemetry.Counter // ferret_compact_total
+
+	// Pipeline counters (per-stage attribution of work done).
+	scanned    *telemetry.Counter // ferret_filter_objects_scanned_total
+	candidates *telemetry.Counter // ferret_filter_candidates_total
+	emdEvals   *telemetry.Counter // ferret_rank_distance_evals_total
+	heapTrims  *telemetry.Counter // ferret_rank_heap_trims_total
+
+	// State gauges — maintained incrementally under e.mu so Stat() never
+	// has to walk the sketch database.
+	objects         *telemetry.Gauge // ferret_objects
+	deleted         *telemetry.Gauge // ferret_deleted_objects
+	segments        *telemetry.Gauge // ferret_segments
+	indexedSegments *telemetry.Gauge // ferret_indexed_segments
+	inflight        *telemetry.Gauge // ferret_inflight_queries
+
+	// Latency histograms.
+	queryTime   *telemetry.Histogram // ferret_query_seconds
+	ingestTime  *telemetry.Histogram // ferret_ingest_seconds
+	stageSketch *telemetry.Histogram // ferret_query_stage_seconds{stage="sketch"}
+	stageFilter *telemetry.Histogram // ferret_query_stage_seconds{stage="filter"}
+	stageExact  *telemetry.Histogram // ferret_query_stage_seconds{stage="exact_filter"}
+	stageRank   *telemetry.Histogram // ferret_query_stage_seconds{stage="rank"}
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	stageHist := func(stage string) *telemetry.Histogram {
+		return reg.Histogram("ferret_query_stage_seconds",
+			"Per-stage query pipeline latency in seconds.", nil, "stage", stage)
+	}
+	return &engineMetrics{
+		reg: reg,
+
+		queries:     reg.Counter("ferret_query_total", "Similarity queries served."),
+		queryErrors: reg.Counter("ferret_query_errors_total", "Similarity queries that failed."),
+		ingests:     reg.Counter("ferret_ingest_total", "Objects ingested."),
+		deletes:     reg.Counter("ferret_delete_total", "Objects deleted."),
+		compacts:    reg.Counter("ferret_compact_total", "Tombstone compactions run."),
+
+		scanned:    reg.Counter("ferret_filter_objects_scanned_total", "Live objects visited by the filtering unit."),
+		candidates: reg.Counter("ferret_filter_candidates_total", "Candidate objects surviving the filter stage."),
+		emdEvals:   reg.Counter("ferret_rank_distance_evals_total", "Object-distance (EMD) evaluations in the ranking unit."),
+		heapTrims:  reg.Counter("ferret_rank_heap_trims_total", "Top-K heap evictions while ranking."),
+
+		objects:         reg.Gauge("ferret_objects", "Live (non-deleted) objects."),
+		deleted:         reg.Gauge("ferret_deleted_objects", "Tombstoned objects awaiting compaction."),
+		segments:        reg.Gauge("ferret_segments", "Live segment sketches."),
+		indexedSegments: reg.Gauge("ferret_indexed_segments", "Segments in the bit-sampling index."),
+		inflight:        reg.Gauge("ferret_inflight_queries", "Queries currently executing."),
+
+		queryTime:   reg.Histogram("ferret_query_seconds", "End-to-end query latency in seconds.", nil),
+		ingestTime:  reg.Histogram("ferret_ingest_seconds", "Ingest latency in seconds.", nil),
+		stageSketch: stageHist(StageSketch),
+		stageFilter: stageHist(StageFilter),
+		stageExact:  stageHist(StageExactFilter),
+		stageRank:   stageHist(StageRank),
+	}
+}
+
+// stage returns the histogram for one pipeline stage label.
+func (m *engineMetrics) stage(name string) *telemetry.Histogram {
+	switch name {
+	case StageSketch:
+		return m.stageSketch
+	case StageFilter:
+		return m.stageFilter
+	case StageExactFilter:
+		return m.stageExact
+	default:
+		return m.stageRank
+	}
+}
+
+// Telemetry exposes the engine's metric registry, the feed for the server's
+// STATS/TELEMETRY commands and the binaries' /metrics endpoints.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.met.reg }
+
+// sketchBytesOf converts a live-segment count into in-memory sketch bytes.
+func (e *Engine) sketchBytesOf(segments int) int {
+	return segments * sketch.Words(e.builder.N()) * 8
+}

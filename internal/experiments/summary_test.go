@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSummarizeLatencies(t *testing.T) {
+	secs := make([]float64, 100)
+	for i := range secs {
+		secs[i] = float64(i+1) / 1000 // 1ms .. 100ms
+	}
+	s := summarizeLatencies(secs)
+	if s.Queries != 100 {
+		t.Fatalf("queries = %d", s.Queries)
+	}
+	if s.P50Sec != 0.050 {
+		t.Errorf("p50 = %g, want 0.050", s.P50Sec)
+	}
+	if s.P90Sec != 0.090 {
+		t.Errorf("p90 = %g, want 0.090", s.P90Sec)
+	}
+	if s.P99Sec != 0.099 {
+		t.Errorf("p99 = %g, want 0.099", s.P99Sec)
+	}
+	if s.MeanSec < 0.0504 || s.MeanSec > 0.0506 {
+		t.Errorf("mean = %g", s.MeanSec)
+	}
+	if s.QPS <= 0 {
+		t.Errorf("qps = %g", s.QPS)
+	}
+	if got := summarizeLatencies(nil); got != (LatencySummary{}) {
+		t.Errorf("empty input: %+v", got)
+	}
+}
+
+func TestSummaryWriteJSON(t *testing.T) {
+	s := &Summary{Scale: "small"}
+	s.Add("table2", 1500*time.Millisecond, []Table2Row{{
+		Benchmark:    "Mixed image",
+		Objects:      10,
+		AvgSegments:  9.5,
+		AvgSearchSec: 0.004,
+		Latency:      LatencySummary{Queries: 5, MeanSec: 0.004, P50Sec: 0.003, P90Sec: 0.006, P99Sec: 0.006, QPS: 250},
+	}})
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Scale   string `json:"scale"`
+		Results []struct {
+			Name       string  `json:"name"`
+			ElapsedSec float64 `json:"elapsed_sec"`
+			Rows       []struct {
+				Benchmark string `json:"benchmark"`
+				Latency   struct {
+					P99Sec float64 `json:"p99_sec"`
+					QPS    float64 `json:"qps"`
+				} `json:"latency"`
+			} `json:"rows"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Scale != "small" || len(decoded.Results) != 1 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+	r := decoded.Results[0]
+	if r.Name != "table2" || r.ElapsedSec != 1.5 {
+		t.Fatalf("result: %+v", r)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].Benchmark != "Mixed image" {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	if r.Rows[0].Latency.P99Sec != 0.006 || r.Rows[0].Latency.QPS != 250 {
+		t.Fatalf("latency: %+v", r.Rows[0].Latency)
+	}
+}

@@ -10,12 +10,13 @@ import (
 )
 
 // Table2Row is one row of the paper's Table 2: search speed with sketching
-// and filtering on.
+// and filtering on, extended with the per-query latency distribution.
 type Table2Row struct {
-	Benchmark    string
-	Objects      int
-	AvgSegments  float64
-	AvgSearchSec float64
+	Benchmark    string         `json:"benchmark"`
+	Objects      int            `json:"objects"`
+	AvgSegments  float64        `json:"avg_segments"`
+	AvgSearchSec float64        `json:"avg_search_sec"`
+	Latency      LatencySummary `json:"latency"`
 }
 
 // speedDataset couples a feature-level object generator with its engine
@@ -57,7 +58,7 @@ func Table2(scale Scale) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		sec, err := avgQuerySeconds(e, queries, core.Filtering, 20)
+		lat, err := measureQueries(e, queries, core.Filtering, 20)
 		cleanup()
 		if err != nil {
 			return nil, err
@@ -66,7 +67,8 @@ func Table2(scale Scale) ([]Table2Row, error) {
 			Benchmark:    speedRowName(ds.dt),
 			Objects:      ds.n,
 			AvgSegments:  synth.AvgSegments(objs),
-			AvgSearchSec: sec,
+			AvgSearchSec: lat.MeanSec,
+			Latency:      lat,
 		})
 	}
 	return rows, nil
@@ -74,8 +76,11 @@ func Table2(scale Scale) ([]Table2Row, error) {
 
 // FprintTable2 renders rows in the paper's layout.
 func FprintTable2(w io.Writer, rows []Table2Row) {
-	fmt.Fprintf(w, "%-16s %10s %14s %16s\n", "Benchmark", "Objects", "AvgSegs/Obj", "AvgSearch(s)")
+	fmt.Fprintf(w, "%-16s %10s %14s %16s %12s %12s %10s\n",
+		"Benchmark", "Objects", "AvgSegs/Obj", "AvgSearch(s)", "p50(s)", "p99(s)", "QPS")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-16s %10d %14.1f %16.4f\n", r.Benchmark, r.Objects, r.AvgSegments, r.AvgSearchSec)
+		fmt.Fprintf(w, "%-16s %10d %14.1f %16.4f %12.4f %12.4f %10.1f\n",
+			r.Benchmark, r.Objects, r.AvgSegments, r.AvgSearchSec,
+			r.Latency.P50Sec, r.Latency.P99Sec, r.Latency.QPS)
 	}
 }

@@ -151,14 +151,11 @@ func avgQuerySeconds(e *core.Engine, queries []object.Object, mode core.Mode, k 
 	if len(queries) == 0 {
 		return 0, fmt.Errorf("experiments: no query objects")
 	}
-	start := time.Now()
-	for i := range queries {
-		opt := core.QueryOptions{Mode: mode, K: k, Filter: speedFilter}
-		if _, err := e.Query(queries[i], opt); err != nil {
-			return 0, err
-		}
+	sum, err := measureQueries(e, queries, mode, k)
+	if err != nil {
+		return 0, err
 	}
-	return time.Since(start).Seconds() / float64(len(queries)), nil
+	return sum.MeanSec, nil
 }
 
 // featureBits is the per-feature-vector metadata size in bits (32-bit

@@ -20,6 +20,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"ferret/internal/telemetry"
 )
 
 // SyncPolicy selects when committed transactions are made durable.
@@ -46,6 +48,9 @@ type Options struct {
 	// past this size; 0 means 64 MiB. Checkpoints can also be requested
 	// explicitly with Store.Checkpoint.
 	CheckpointBytes int64
+	// Logger, when set, logs recovery and checkpoint events (a nil logger
+	// discards them).
+	Logger *telemetry.Logger
 }
 
 // Store is an open database. All methods are safe for concurrent use;
@@ -94,11 +99,17 @@ func Open(opts Options) (*Store, error) {
 		closed: make(chan struct{}),
 	}
 	walPath := filepath.Join(opts.Dir, "wal.log")
-	_, maxTxn, err := replayWAL(walPath, s.applyRecord)
+	applied, maxTxn, err := replayWAL(walPath, s.applyRecord)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: replaying wal: %w", err)
 	}
 	s.nextTxn = max64(ckptTxn, maxTxn) + 1
+	opts.Logger.Info("store recovered",
+		"dir", opts.Dir,
+		"checkpoint_txn", ckptTxn,
+		"wal_records", applied,
+		"next_txn", s.nextTxn,
+		"tables", len(tables))
 	s.log, err = openWAL(walPath)
 	if err != nil {
 		return nil, err
@@ -260,19 +271,30 @@ func (s *Store) Stat() StoreStats {
 
 // Checkpoint writes a durable snapshot of all tables and truncates the WAL.
 func (s *Store) Checkpoint() error {
+	start := time.Now()
 	// Serialize with commits so the snapshot matches a WAL prefix.
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if err := s.log.sync(); err != nil {
 		return err
 	}
+	walBytes := s.log.size
 	s.mu.RLock()
 	err := writeCheckpoint(s.dir, s.nextTxn, s.tables)
 	s.mu.RUnlock()
 	if err != nil {
+		s.opts.Logger.Error("checkpoint failed", "dir", s.dir, "err", err.Error())
 		return err
 	}
-	return s.log.reset()
+	if err := s.log.reset(); err != nil {
+		return err
+	}
+	s.opts.Logger.Info("checkpoint written",
+		"dir", s.dir,
+		"wal_bytes_truncated", walBytes,
+		"next_txn", s.nextTxn,
+		"elapsed", time.Since(start).String())
+	return nil
 }
 
 // Txn is a write transaction: a buffered batch of puts and deletes applied

@@ -184,6 +184,25 @@ func (c *Client) Stats() (map[string]string, error) {
 	return out, nil
 }
 
+// Telemetry returns the server's runtime telemetry — every registered
+// counter, gauge and histogram summary (count/sum/p50/p90/p99) as flat
+// name → value pairs.
+func (c *Client) Telemetry() (map[string]string, error) {
+	lines, err := c.roundTrip(Request{Cmd: CmdTelemetry})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(lines))
+	for _, line := range lines {
+		eq := strings.IndexByte(line, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("protocol: malformed TELEMETRY line %q", line)
+		}
+		out[line[:eq]] = line[eq+1:]
+	}
+	return out, nil
+}
+
 // Delete removes an object by key.
 func (c *Client) Delete(key string) error {
 	_, err := c.roundTrip(Request{Cmd: CmdDelete, Args: map[string]string{"key": key}})

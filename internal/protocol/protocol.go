@@ -43,6 +43,7 @@ const (
 	CmdSearch    = "SEARCH"    // attribute-based search
 	CmdInfo      = "INFO"      // attributes of one object
 	CmdStats     = "STATS"     // engine statistics
+	CmdTelemetry = "TELEMETRY" // runtime telemetry: counters, gauges, latency percentiles
 	CmdDelete    = "DELETE"    // remove an object by key
 )
 

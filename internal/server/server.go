@@ -9,15 +9,18 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ferret/internal/attr"
 	"ferret/internal/core"
 	"ferret/internal/object"
 	"ferret/internal/protocol"
+	"ferret/internal/telemetry"
 )
 
 // ExtractFunc is the plug-in segmentation and feature extraction entry
@@ -32,12 +35,85 @@ type Server struct {
 	Extract ExtractFunc
 	// DefaultK is the result count when the client does not pass k.
 	DefaultK int
+	// Telemetry is the registry the server records request metrics into.
+	// nil uses the engine's registry, so one /metrics endpoint covers both
+	// the serving layer and the query pipeline.
+	Telemetry *telemetry.Registry
+	// Logger, when set, logs connection lifecycle events.
+	Logger *telemetry.Logger
+
+	metOnce sync.Once
+	met     *serverMetrics
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+}
+
+// serverMetrics are the serving layer's telemetry handles: per-command
+// request counters, transport byte counters, error counts, and gauges for
+// in-flight work.
+type serverMetrics struct {
+	reg          *telemetry.Registry
+	requests     map[string]*telemetry.Counter // ferret_server_requests_total{cmd=...}
+	unknown      *telemetry.Counter            // ferret_server_unknown_requests_total
+	errors       *telemetry.Counter            // ferret_server_errors_total
+	bytesRead    *telemetry.Counter            // ferret_server_read_bytes_total
+	bytesWritten *telemetry.Counter            // ferret_server_written_bytes_total
+	inflight     *telemetry.Gauge              // ferret_server_inflight_requests
+	conns        *telemetry.Gauge              // ferret_server_connections
+	connsTotal   *telemetry.Counter            // ferret_server_connections_total
+	latency      *telemetry.Histogram          // ferret_server_request_seconds
+}
+
+// metrics lazily resolves the registry (Telemetry field, else the engine's)
+// and registers the serving-layer metrics exactly once per Server.
+func (s *Server) metrics() *serverMetrics {
+	s.metOnce.Do(func() {
+		reg := s.Telemetry
+		if reg == nil && s.Engine != nil {
+			reg = s.Engine.Telemetry()
+		}
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		m := &serverMetrics{
+			reg:          reg,
+			requests:     make(map[string]*telemetry.Counter),
+			unknown:      reg.Counter("ferret_server_unknown_requests_total", "Requests with an unrecognized command."),
+			errors:       reg.Counter("ferret_server_errors_total", "Requests answered with an ERR response."),
+			bytesRead:    reg.Counter("ferret_server_read_bytes_total", "Protocol bytes read from clients."),
+			bytesWritten: reg.Counter("ferret_server_written_bytes_total", "Protocol bytes written to clients."),
+			inflight:     reg.Gauge("ferret_server_inflight_requests", "Requests currently being dispatched."),
+			conns:        reg.Gauge("ferret_server_connections", "Open client connections."),
+			connsTotal:   reg.Counter("ferret_server_connections_total", "Client connections accepted."),
+			latency:      reg.Histogram("ferret_server_request_seconds", "Protocol request latency in seconds.", nil),
+		}
+		for _, cmd := range []string{
+			protocol.CmdPing, protocol.CmdCount, protocol.CmdQuery,
+			protocol.CmdQueryFile, protocol.CmdAddFile, protocol.CmdSearch,
+			protocol.CmdInfo, protocol.CmdStats, protocol.CmdTelemetry,
+			protocol.CmdDelete,
+		} {
+			m.requests[cmd] = reg.Counter("ferret_server_requests_total", "Protocol requests dispatched, by command.", "cmd", cmd)
+		}
+		s.met = m
+	})
+	return s.met
+}
+
+// countingWriter publishes everything written through it to a byte counter.
+type countingWriter struct {
+	w io.Writer
+	c *telemetry.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(n)
+	return n, err
 }
 
 // Serve accepts connections on l until Close is called. It always returns
@@ -90,51 +166,80 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleConn(conn net.Conn) {
+	met := s.metrics()
+	met.conns.Add(1)
+	met.connsTotal.Inc()
+	s.Logger.Debug("connection opened", "remote", conn.RemoteAddr().String())
 	defer func() {
 		conn.Close()
+		met.conns.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	w := countingWriter{w: conn, c: met.bytesWritten}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	for sc.Scan() {
+		met.bytesRead.Add(len(sc.Bytes()) + 1) // +1 for the newline
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		req, err := protocol.ParseRequest(line)
 		if err != nil {
-			if protocol.WriteError(conn, err) != nil {
+			if s.writeErr(w, err) != nil {
 				return
 			}
 			continue
 		}
-		if err := s.dispatch(conn, req); err != nil {
+		if err := s.dispatch(w, req); err != nil {
 			return // transport error: drop the connection
 		}
 	}
 }
 
+// writeErr answers a request-level failure with an ERR response, counting
+// it in the serving-layer error counter.
+func (s *Server) writeErr(w io.Writer, err error) error {
+	s.metrics().errors.Inc()
+	return protocol.WriteError(w, err)
+}
+
 // dispatch handles one request, writing exactly one response. The returned
 // error is a transport error; request-level failures become ERR responses.
-func (s *Server) dispatch(conn net.Conn, req protocol.Request) error {
+// Every request is counted by command, gauged while in flight, and timed
+// into the server latency histogram.
+func (s *Server) dispatch(w io.Writer, req protocol.Request) error {
+	met := s.metrics()
+	if c, ok := met.requests[req.Cmd]; ok {
+		c.Inc()
+	} else {
+		met.unknown.Inc()
+	}
+	met.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		met.inflight.Add(-1)
+		met.latency.ObserveSince(start)
+	}()
+
 	switch req.Cmd {
 	case protocol.CmdPing:
-		return protocol.WriteResults(conn, nil)
+		return protocol.WriteResults(w, nil)
 
 	case protocol.CmdCount:
-		return protocol.WritePairs(conn, map[string]string{"count": strconv.Itoa(s.Engine.Count())})
+		return protocol.WritePairs(w, map[string]string{"count": strconv.Itoa(s.Engine.Count())})
 
 	case protocol.CmdQuery:
 		key := req.Args["key"]
 		id, ok := s.Engine.Meta().LookupKey(key)
 		if !ok {
-			return protocol.WriteError(conn, fmt.Errorf("unknown object key %q", key))
+			return s.writeErr(w, fmt.Errorf("unknown object key %q", key))
 		}
 		opt, err := s.queryOptions(req)
 		if err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
 		var results []core.Result
 		if sw := req.Args["segweights"]; sw != "" {
@@ -142,56 +247,56 @@ func (s *Server) dispatch(conn net.Conn, req protocol.Request) error {
 			// query object with scaled segment weights.
 			o, ok := s.Engine.Meta().GetObject(id)
 			if !ok {
-				return protocol.WriteError(conn, errors.New("segweights requires stored feature vectors"))
+				return s.writeErr(w, errors.New("segweights requires stored feature vectors"))
 			}
 			if err := reweight(&o, sw); err != nil {
-				return protocol.WriteError(conn, err)
+				return s.writeErr(w, err)
 			}
 			results, err = s.Engine.Query(o, opt)
 		} else {
 			results, err = s.Engine.QueryByID(id, opt)
 		}
 		if err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
-		return writeCoreResults(conn, results)
+		return writeCoreResults(w, results)
 
 	case protocol.CmdQueryFile:
 		if s.Extract == nil {
-			return protocol.WriteError(conn, errors.New("no extractor plugged in"))
+			return s.writeErr(w, errors.New("no extractor plugged in"))
 		}
 		o, err := s.Extract(req.Args["path"])
 		if err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
 		if sw := req.Args["segweights"]; sw != "" {
 			if err := reweight(&o, sw); err != nil {
-				return protocol.WriteError(conn, err)
+				return s.writeErr(w, err)
 			}
 		}
 		opt, err := s.queryOptions(req)
 		if err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
 		results, err := s.Engine.Query(o, opt)
 		if err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
-		return writeCoreResults(conn, results)
+		return writeCoreResults(w, results)
 
 	case protocol.CmdAddFile:
 		if s.Extract == nil {
-			return protocol.WriteError(conn, errors.New("no extractor plugged in"))
+			return s.writeErr(w, errors.New("no extractor plugged in"))
 		}
 		o, err := s.Extract(req.Args["path"])
 		if err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
 		attrs := attrArgs(req)
 		if _, err := s.Engine.Ingest(o, attrs); err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
-		return protocol.WriteResults(conn, nil)
+		return protocol.WriteResults(w, nil)
 
 	case protocol.CmdSearch:
 		q := attr.Query{Equal: attrArgs(req)}
@@ -199,51 +304,89 @@ func (s *Server) dispatch(conn net.Conn, req protocol.Request) error {
 			q.Keywords = strings.Split(kw, ",")
 		}
 		if len(q.Keywords) == 0 && len(q.Equal) == 0 {
-			return protocol.WriteError(conn, errors.New("SEARCH needs keywords or attributes"))
+			return s.writeErr(w, errors.New("SEARCH needs keywords or attributes"))
 		}
 		ids := s.Engine.Attrs().Search(q)
 		out := make([]protocol.Result, 0, len(ids))
 		for _, id := range ids {
 			out = append(out, protocol.Result{Key: s.Engine.Meta().Key(id)})
 		}
-		return protocol.WriteResults(conn, out)
+		return protocol.WriteResults(w, out)
 
 	case protocol.CmdStats:
 		st := s.Engine.Stat()
-		return protocol.WritePairs(conn, map[string]string{
+		pairs := map[string]string{
 			"objects":          strconv.Itoa(st.Objects),
 			"deleted":          strconv.Itoa(st.Deleted),
 			"segments":         strconv.Itoa(st.Segments),
 			"sketch_bits":      strconv.Itoa(st.SketchBits),
 			"sketch_bytes":     strconv.Itoa(st.SketchBytes),
 			"indexed_segments": strconv.Itoa(st.IndexedSegments),
-		})
+		}
+		// Telemetry extension: headline pipeline counters and latency
+		// percentiles ride along with the structural statistics.
+		reg := s.Engine.Telemetry()
+		for flat, name := range map[string]string{
+			"queries_total":      "ferret_query_total",
+			"query_errors_total": "ferret_query_errors_total",
+			"ingests_total":      "ferret_ingest_total",
+			"deletes_total":      "ferret_delete_total",
+			"inflight_queries":   "ferret_inflight_queries",
+			"candidates_total":   "ferret_filter_candidates_total",
+			"query_p50_seconds":  "ferret_query_seconds_p50",
+			"query_p99_seconds":  "ferret_query_seconds_p99",
+		} {
+			pairs[flat] = formatMetric(reg.Value(name))
+		}
+		return protocol.WritePairs(w, pairs)
+
+	case protocol.CmdTelemetry:
+		// Full telemetry dump: every registered series as flat name=value
+		// pairs, covering both the query pipeline and the serving layer.
+		pairs := map[string]string{}
+		regs := []*telemetry.Registry{met.reg}
+		if er := s.Engine.Telemetry(); er != met.reg {
+			regs = append(regs, er)
+		}
+		for _, reg := range regs {
+			reg.Each(func(name string, v float64) { pairs[name] = formatMetric(v) })
+		}
+		return protocol.WritePairs(w, pairs)
 
 	case protocol.CmdDelete:
 		id, ok := s.Engine.Meta().LookupKey(req.Args["key"])
 		if !ok {
-			return protocol.WriteError(conn, fmt.Errorf("unknown object key %q", req.Args["key"]))
+			return s.writeErr(w, fmt.Errorf("unknown object key %q", req.Args["key"]))
 		}
 		if err := s.Engine.Delete(id); err != nil {
-			return protocol.WriteError(conn, err)
+			return s.writeErr(w, err)
 		}
-		return protocol.WriteResults(conn, nil)
+		return protocol.WriteResults(w, nil)
 
 	case protocol.CmdInfo:
 		id, ok := s.Engine.Meta().LookupKey(req.Args["key"])
 		if !ok {
-			return protocol.WriteError(conn, fmt.Errorf("unknown object key %q", req.Args["key"]))
+			return s.writeErr(w, fmt.Errorf("unknown object key %q", req.Args["key"]))
 		}
 		attrs, _ := s.Engine.Attrs().Get(id)
 		pairs := map[string]string{"key": req.Args["key"], "id": strconv.FormatUint(uint64(id), 10)}
 		for k, v := range attrs {
 			pairs["attr:"+k] = v
 		}
-		return protocol.WritePairs(conn, pairs)
+		return protocol.WritePairs(w, pairs)
 
 	default:
-		return protocol.WriteError(conn, fmt.Errorf("unknown command %q", req.Cmd))
+		return s.writeErr(w, fmt.Errorf("unknown command %q", req.Cmd))
 	}
+}
+
+// formatMetric renders a telemetry value for a protocol response: integers
+// without a decimal point, fractional values in compact float form.
+func formatMetric(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // queryOptions translates protocol arguments into engine query options,
@@ -319,10 +462,10 @@ func attrArgs(req protocol.Request) attr.Attrs {
 	return out
 }
 
-func writeCoreResults(conn net.Conn, results []core.Result) error {
+func writeCoreResults(w io.Writer, results []core.Result) error {
 	out := make([]protocol.Result, len(results))
 	for i, r := range results {
 		out[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
 	}
-	return protocol.WriteResults(conn, out)
+	return protocol.WriteResults(w, out)
 }

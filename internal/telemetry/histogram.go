@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefTimeBuckets are the default latency bucket upper bounds, in seconds:
+// 1µs to 10s on a 1-2.5-5 grid — wide enough to separate a sketch scan
+// (microseconds per object) from an EMD ranking pass (milliseconds) and a
+// cold metadata fetch (tens of milliseconds and up).
+var DefTimeBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation:
+// each Observe is one atomic bucket increment, one atomic count increment
+// and one CAS loop for the sum. Bucket bounds are immutable after creation,
+// so readers never race with layout changes.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; implicit +Inf after
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds; nil or empty uses DefTimeBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefTimeBuckets
+	}
+	cp := append([]float64(nil), bounds...)
+	sort.Float64s(cp)
+	return &Histogram{bounds: cp, counts: make([]atomic.Uint64, len(cp)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Concurrent observations during the copy may make Count differ from the
+// bucket total by a few in-flight observations; quantile extraction uses
+// the bucket total so it is always internally consistent.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending (excluding +Inf)
+	Counts []uint64  // per-bucket counts; last entry is the +Inf bucket
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket containing the target rank. Values in the overflow
+// bucket report the largest finite bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range s.Counts {
+		if float64(cum)+float64(c) < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i == len(s.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		frac := (rank - float64(cum)) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates the q-quantile of the live histogram.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }

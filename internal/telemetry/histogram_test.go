@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1} // (-inf,1], (1,2], (2,4], (4,+inf)
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1, 10})
+	// 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %g, want in (0, 0.01]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %g, want in (0.1, 1]", p99)
+	}
+	// Overflow-bucket quantile reports the largest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	if q := h2.Quantile(0.5); q != 1 {
+		t.Fatalf("overflow quantile = %g, want 1", q)
+	}
+	// Empty histogram.
+	if q := NewHistogram(nil).Quantile(0.9); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveSince(time.Now().Add(-5 * time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 0.004 || s > 5 {
+		t.Fatalf("sum = %g, want around 5ms", s)
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	const workers, ops = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*ops {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.5*workers*ops; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %g, want %g (CAS accumulation lost updates)", got, want)
+	}
+}

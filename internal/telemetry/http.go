@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DebugHandler serves the observability surface for one or more registries:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/debug/vars    expvar-style JSON: the process's published expvars
+//	               (cmdline, memstats) plus every registered metric as a
+//	               flat name
+//	/debug/pprof/  the net/http/pprof profiling endpoints
+//
+// Binaries mount it on an opt-in -debug-addr listener so production traffic
+// ports never expose profiling.
+func DebugHandler(regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			if reg == nil {
+				continue
+			}
+			if err := reg.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{")
+		first := true
+		emit := func(name, jsonValue string) {
+			if !first {
+				fmt.Fprintf(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%s: %s", strconv.Quote(name), jsonValue)
+		}
+		expvar.Do(func(kv expvar.KeyValue) { emit(kv.Key, kv.Value.String()) })
+		for _, reg := range regs {
+			if reg == nil {
+				continue
+			}
+			reg.Each(func(name string, v float64) { emit(name, formatJSONNumber(v)) })
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// formatJSONNumber renders a float as a valid JSON number (no Inf/NaN).
+func formatJSONNumber(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	switch s {
+	case "+Inf", "-Inf", "Inf", "NaN":
+		return "0"
+	}
+	return s
+}
+
+// statusWriter captures the response code written by a wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// InstrumentHTTP wraps an HTTP handler with request count, error count,
+// in-flight gauge and latency histogram metrics, labelled by handler name.
+func InstrumentHTTP(reg *Registry, name string, h http.Handler) http.Handler {
+	requests := reg.Counter("ferret_http_requests_total", "HTTP requests served.", "handler", name)
+	errors := reg.Counter("ferret_http_errors_total", "HTTP responses with status >= 500.", "handler", name)
+	inflight := reg.Gauge("ferret_http_inflight_requests", "HTTP requests currently being served.", "handler", name)
+	latency := reg.Histogram("ferret_http_request_seconds", "HTTP request latency in seconds.", nil, "handler", name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		inflight.Add(-1)
+		requests.Inc()
+		if sw.status >= 500 {
+			errors.Inc()
+		}
+		latency.ObserveSince(start)
+	})
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugHandlerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ferret_things_total", "Things.").Add(9)
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "ferret_things_total 9") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+}
+
+func TestDebugHandlerVarsIsJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("ferret_live", "Live.").Set(3)
+	h := reg.Histogram("ferret_lat_seconds", "Latency.", nil)
+	h.Observe(0.01)
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var decoded map[string]any
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("vars not valid JSON: %v\n%s", err, body)
+	}
+	if decoded["ferret_live"] != 3.0 {
+		t.Fatalf("ferret_live = %v", decoded["ferret_live"])
+	}
+	if decoded["ferret_lat_seconds_count"] != 1.0 {
+		t.Fatalf("histogram count = %v", decoded["ferret_lat_seconds_count"])
+	}
+	// expvar's standard vars ride along.
+	if _, ok := decoded["memstats"]; !ok {
+		t.Fatal("memstats missing from /debug/vars")
+	}
+}
+
+func TestDebugHandlerPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+func TestInstrumentHTTP(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHTTP(reg, "web", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(500)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, path := range []string{"/", "/", "/boom"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := reg.Value("ferret_http_requests_total_web"); got != 3 {
+		t.Fatalf("requests = %g", got)
+	}
+	if got := reg.Value("ferret_http_errors_total_web"); got != 1 {
+		t.Fatalf("errors = %g", got)
+	}
+	if got := reg.Value("ferret_http_inflight_requests_web"); got != 0 {
+		t.Fatalf("inflight = %g", got)
+	}
+}

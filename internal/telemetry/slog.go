@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel resolves a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "", "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+	}
+}
+
+// Logger is a structured, leveled key=value logger (stdlib only). One line
+// per event:
+//
+//	ts=2026-08-05T10:30:00.123Z level=info component=ferretd msg="serving" addr=:7070
+//
+// Loggers derived with With share the sink, mutex and level, so a process
+// configures the level once and every component follows. A nil *Logger is
+// valid and discards everything, letting library code log unconditionally.
+type Logger struct {
+	mu        *sync.Mutex
+	w         io.Writer
+	level     *atomic.Int32
+	component string
+	now       func() time.Time // injectable for tests
+}
+
+// NewLogger creates a logger writing to w at the given minimum level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{mu: &sync.Mutex{}, w: w, level: &atomic.Int32{}, now: time.Now}
+	l.level.Store(int32(level))
+	return l
+}
+
+// With returns a logger tagged with a component name, sharing this logger's
+// sink and level.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	cp := *l
+	if cp.component != "" {
+		cp.component += "/" + component
+	} else {
+		cp.component = component
+	}
+	return &cp
+}
+
+// SetLevel changes the minimum level for this logger and all derived ones.
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.level.Store(int32(level))
+	}
+}
+
+// Enabled reports whether events at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.level.Load()
+}
+
+// Debug logs at debug level; kv are alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+// Fatal logs at error level and exits the process — the structured
+// replacement for log.Fatalf in the binaries.
+func (l *Logger) Fatal(msg string, kv ...any) {
+	if l == nil {
+		fmt.Fprintf(os.Stderr, "fatal: %s\n", msg)
+	} else {
+		l.log(LevelError, msg, kv)
+	}
+	os.Exit(1)
+}
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString("ts=")
+	sb.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	sb.WriteString(" level=")
+	sb.WriteString(level.String())
+	if l.component != "" {
+		sb.WriteString(" component=")
+		sb.WriteString(logValue(l.component))
+	}
+	sb.WriteString(" msg=")
+	sb.WriteString(logValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		sb.WriteByte(' ')
+		sb.WriteString(fmt.Sprint(kv[i]))
+		sb.WriteByte('=')
+		sb.WriteString(logValue(formatAny(kv[i+1])))
+	}
+	if len(kv)%2 != 0 {
+		sb.WriteString(" !MISSING=")
+		sb.WriteString(logValue(formatAny(kv[len(kv)-1])))
+	}
+	sb.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, sb.String())
+	l.mu.Unlock()
+}
+
+func formatAny(v any) string {
+	switch t := v.(type) {
+	case error:
+		return t.Error()
+	case time.Duration:
+		return t.String()
+	case string:
+		return t
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// logValue quotes a value when it contains characters that would break the
+// key=value framing.
+func logValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\"=\n\\") {
+		return strconv.Quote(s)
+	}
+	return s
+}

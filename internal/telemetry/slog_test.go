@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testLogger(buf *bytes.Buffer, level Level) *Logger {
+	l := NewLogger(buf, level)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 10, 30, 0, 123e6, time.UTC) }
+	return l
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := testLogger(&buf, LevelInfo).With("kvstore")
+	l.Info("wal replayed", "records", 12, "path", "/tmp/a b/wal.log", "err", errors.New("boom=1"))
+	got := buf.String()
+	want := `ts=2026-08-05T10:30:00.123Z level=info component=kvstore msg="wal replayed" records=12 path="/tmp/a b/wal.log" err="boom=1"` + "\n"
+	if got != want {
+		t.Fatalf("log line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := testLogger(&buf, LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	out := buf.String()
+	if strings.Contains(out, "nope") {
+		t.Fatalf("suppressed levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Fatalf("missing enabled levels: %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("SetLevel did not take effect")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v") // must not panic
+	if l.With("sub") != nil {
+		t.Fatal("nil logger With must stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger must be disabled")
+	}
+}
+
+func TestLoggerOddKeyValues(t *testing.T) {
+	var buf bytes.Buffer
+	testLogger(&buf, LevelInfo).Info("odd", "lonely")
+	if !strings.Contains(buf.String(), "!MISSING=lonely") {
+		t.Fatalf("odd kv not flagged: %q", buf.String())
+	}
+}
+
+func TestLoggerConcurrentLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	l := testLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := l.With("worker")
+			for i := 0; i < 200; i++ {
+				sub.Info("tick", "w", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("interleaved/corrupt line %q", line)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "": LevelInfo, "Info": LevelInfo, "WARN": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level must error")
+	}
+}

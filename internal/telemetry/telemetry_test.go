@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ferret_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // clamped: counters never decrease
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := reg.Gauge("ferret_test_gauge", "test gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("ferret_dup_total", "dup")
+	b := reg.Counter("ferret_dup_total", "dup")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	l1 := reg.Counter("ferret_labelled_total", "dup", "stage", "filter")
+	l2 := reg.Counter("ferret_labelled_total", "dup", "stage", "rank")
+	if l1 == l2 {
+		t.Fatal("distinct label values must be distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("ferret_dup_total", "now a gauge")
+}
+
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	// Satellite: goroutine-hammering under -race. 16 goroutines × 1000 ops
+	// against a shared counter, gauge and histogram.
+	reg := NewRegistry()
+	c := reg.Counter("ferret_race_total", "race")
+	g := reg.Gauge("ferret_race_gauge", "race")
+	h := reg.Histogram("ferret_race_seconds", "race", nil)
+	const workers, ops = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) * 1e-5)
+				if i%100 == 0 {
+					// Concurrent readers must be race-free too.
+					_ = h.Snapshot().Quantile(0.5)
+					reg.Each(func(string, float64) {})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*ops {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*ops)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*ops {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*ops)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ferret_events_total", "Events.", "kind", "a").Add(3)
+	reg.Counter("ferret_events_total", "Events.", "kind", "b").Add(4)
+	reg.Gauge("ferret_live", "Live objects.").Set(12)
+	h := reg.Histogram("ferret_lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ferret_events_total counter",
+		`ferret_events_total{kind="a"} 3`,
+		`ferret_events_total{kind="b"} 4`,
+		"# TYPE ferret_live gauge",
+		"ferret_live 12",
+		"# TYPE ferret_lat_seconds histogram",
+		`ferret_lat_seconds_bucket{le="0.01"} 1`,
+		`ferret_lat_seconds_bucket{le="0.1"} 2`,
+		`ferret_lat_seconds_bucket{le="1"} 2`,
+		`ferret_lat_seconds_bucket{le="+Inf"} 3`,
+		"ferret_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per base name even with multiple label sets.
+	if strings.Count(out, "# TYPE ferret_events_total counter") != 1 {
+		t.Fatalf("TYPE repeated:\n%s", out)
+	}
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestEachFlattensLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ferret_stage_total", "x", "stage", "filter").Add(2)
+	h := reg.Histogram("ferret_stage_seconds", "x", nil, "stage", "rank")
+	h.Observe(0.25)
+	got := map[string]float64{}
+	reg.Each(func(name string, v float64) { got[name] = v })
+	if got["ferret_stage_total_filter"] != 2 {
+		t.Fatalf("flat counter missing: %v", got)
+	}
+	if got["ferret_stage_seconds_rank_count"] != 1 {
+		t.Fatalf("flat histogram count missing: %v", got)
+	}
+	if got["ferret_stage_seconds_rank_p50"] <= 0 {
+		t.Fatalf("p50 not positive: %v", got)
+	}
+	if reg.Value("ferret_stage_total_filter") != 2 {
+		t.Fatal("Value lookup failed")
+	}
+}
