@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check bench bench-json check-bench clean
+
+# Benchmark artifact plumbing. bench-json measures the filter/kernel/pipeline
+# microbenchmarks plus a medium-scale ferret-bench run and merges them into
+# $(BENCH_OUT); check-bench re-measures the microbenchmarks and fails if the
+# gated filter-scan benchmark regressed >20% ns/op vs the committed artifact.
+BENCH_OUT  ?= BENCH_2.json
+BENCH_TMP  ?= /tmp/ferret-bench
+BENCH_PKGS  = ./internal/core ./internal/sketch
+BENCH_RE    = FilterScan|Hamming|QueryPipeline
 
 all: check
 
@@ -22,6 +31,19 @@ check: build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x
+
+bench-json:
+	mkdir -p $(BENCH_TMP)
+	$(GO) test $(BENCH_PKGS) -run '^$$' -bench '$(BENCH_RE)' -benchmem | tee $(BENCH_TMP)/micro.txt
+	$(GO) run ./cmd/ferret-bench -exp table2 -scale medium -json $(BENCH_TMP)/pipeline.json
+	$(GO) run ./cmd/ferret-benchcmp -merge -micro $(BENCH_TMP)/micro.txt \
+		-pipeline $(BENCH_TMP)/pipeline.json -out $(BENCH_OUT)
+
+check-bench:
+	mkdir -p $(BENCH_TMP)
+	$(GO) test $(BENCH_PKGS) -run '^$$' -bench '$(BENCH_RE)' -benchmem > $(BENCH_TMP)/micro.txt
+	$(GO) run ./cmd/ferret-benchcmp -merge -micro $(BENCH_TMP)/micro.txt -out $(BENCH_TMP)/new.json
+	$(GO) run ./cmd/ferret-benchcmp -baseline $(BENCH_OUT) -new $(BENCH_TMP)/new.json
 
 clean:
 	rm -rf bin

@@ -1,0 +1,243 @@
+// Command ferret-benchcmp merges and compares Ferret benchmark artifacts.
+//
+// Merge mode combines `go test -bench` text output (microbenchmarks) with a
+// ferret-bench -json summary (pipeline runs) into one committed artifact:
+//
+//	go test ./internal/... -bench 'FilterScan|Hamming|QueryPipeline' -benchmem > micro.txt
+//	ferret-bench -exp table2 -json pipeline.json
+//	ferret-benchcmp -merge -micro micro.txt -pipeline pipeline.json -out BENCH_2.json
+//
+// Compare mode guards against performance regressions: it re-reads two
+// merged artifacts and fails (exit 1) when a gated microbenchmark's ns/op
+// regressed beyond the threshold versus the committed baseline:
+//
+//	ferret-benchcmp -baseline BENCH_2.json -new current.json
+//
+// The gate covers the filter-scan benchmarks (names matching
+// "FilterScanArena"); other shared benchmarks are reported informationally.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Micro is one microbenchmark's aggregated result. Repeated runs (-count)
+// average into one entry.
+type Micro struct {
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Artifact is the merged benchmark document (BENCH_N.json).
+type Artifact struct {
+	Micro    map[string]*Micro `json:"micro"`
+	Pipeline json.RawMessage   `json:"pipeline,omitempty"`
+}
+
+// parseBenchText extracts benchmark result lines from `go test -bench`
+// output. Lines look like:
+//
+//	BenchmarkFilterScanArena  \t 18266 \t 141062 ns/op \t 0 B/op \t 0 allocs/op
+//
+// possibly with extra custom metrics ("23.00 emd_evals/op") and a -<procs>
+// name suffix under GOMAXPROCS>1.
+func parseBenchText(path string) (map[string]*Micro, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sums := make(map[string]*Micro)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := sums[name]
+		if m == nil {
+			m = &Micro{Extra: map[string]float64{}}
+			sums[name] = m
+		}
+		counts[name]++
+		m.Runs++
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q in %q", path, fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsPerOp += v
+			case "B/op":
+				m.BytesPerOp += v
+			case "allocs/op":
+				m.AllocsPerOp += v
+			default:
+				m.Extra[unit] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, m := range sums {
+		n := float64(counts[name])
+		m.NsPerOp /= n
+		m.BytesPerOp /= n
+		m.AllocsPerOp /= n
+		for k := range m.Extra {
+			m.Extra[k] /= n
+		}
+		if len(m.Extra) == 0 {
+			m.Extra = nil
+		}
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return sums, nil
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+func merge(microPath, pipelinePath, outPath string) error {
+	micro, err := parseBenchText(microPath)
+	if err != nil {
+		return err
+	}
+	art := &Artifact{Micro: micro}
+	if pipelinePath != "" {
+		data, err := os.ReadFile(pipelinePath)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(data) {
+			return fmt.Errorf("%s: not valid JSON", pipelinePath)
+		}
+		art.Pipeline = json.RawMessage(data)
+	}
+	out := os.Stdout
+	if outPath != "" && outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(art)
+}
+
+// compare reports per-benchmark deltas and returns an error when a gated
+// benchmark regressed beyond threshold (fractional, e.g. 0.20).
+func compare(basePath, newPath, gate string, threshold float64) error {
+	base, err := readArtifact(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readArtifact(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Micro))
+	for name := range base.Micro {
+		if _, ok := cur.Micro[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common microbenchmarks between %s and %s", basePath, newPath)
+	}
+	var failures []string
+	gatedSeen := false
+	for _, name := range names {
+		b, n := base.Micro[name], cur.Micro[name]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (n.NsPerOp - b.NsPerOp) / b.NsPerOp
+		gated := strings.Contains(name, gate)
+		mark := " "
+		if gated {
+			gatedSeen = true
+			mark = "*"
+		}
+		fmt.Printf("%s %-36s %12.0f → %12.0f ns/op  %+6.1f%%\n", mark, name, b.NsPerOp, n.NsPerOp, delta*100)
+		if gated && delta > threshold {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed %.1f%% (%.0f → %.0f ns/op, threshold %.0f%%)",
+					name, delta*100, b.NsPerOp, n.NsPerOp, threshold*100))
+		}
+	}
+	if !gatedSeen {
+		return fmt.Errorf("no benchmark matching %q found in both artifacts", gate)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("benchmarks within threshold")
+	return nil
+}
+
+func main() {
+	mergeMode := flag.Bool("merge", false, "merge -micro/-pipeline into -out")
+	micro := flag.String("micro", "", "go test -bench text output (merge mode)")
+	pipeline := flag.String("pipeline", "", "ferret-bench -json output (merge mode, optional)")
+	out := flag.String("out", "-", "merged artifact path (merge mode)")
+	baseline := flag.String("baseline", "", "committed baseline artifact (compare mode)")
+	newPath := flag.String("new", "", "freshly measured artifact (compare mode)")
+	gate := flag.String("gate", "FilterScanArena", "substring naming the gated benchmark(s)")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *mergeMode:
+		if *micro == "" {
+			err = fmt.Errorf("-merge requires -micro")
+		} else {
+			err = merge(*micro, *pipeline, *out)
+		}
+	case *baseline != "" && *newPath != "":
+		err = compare(*baseline, *newPath, *gate, *threshold)
+	default:
+		err = fmt.Errorf("use -merge -micro FILE [-pipeline FILE] -out FILE, or -baseline FILE -new FILE")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ferret-benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ferret/internal/object"
+)
+
+// ingestVaried loads n objects with varying segment counts and returns them
+// (IDs filled in) so tests can cross-check arena rows against the builder.
+func ingestVaried(t testing.TB, e *Engine, n, d int) []object.Object {
+	return ingestVariedKeys(t, e, "v", n, d)
+}
+
+func ingestVariedKeys(t testing.TB, e *Engine, prefix string, n, d int) []object.Object {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	objs := make([]object.Object, n)
+	for i := 0; i < n; i++ {
+		o := clusterObject(fmt.Sprintf("%s%03d", prefix, i), i%7, d, 1+i%5, 0.02, rng)
+		id, err := e.Ingest(o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.ID = id
+		objs[i] = o
+	}
+	return objs
+}
+
+// checkArenaAgainstObjects verifies that every live entry's arena rows hold
+// exactly the sketches and weights the builder produces for its object.
+func checkArenaAgainstObjects(t *testing.T, e *Engine, byID map[object.ID]object.Object) {
+	t.Helper()
+	if err := e.arena.checkInvariants(len(e.entries)); err != nil {
+		t.Fatal(err)
+	}
+	for idx := range e.entries {
+		ent := &e.entries[idx]
+		if ent.dead {
+			continue
+		}
+		o, ok := byID[ent.id]
+		if !ok {
+			t.Fatalf("entry %d: unexpected id %d", idx, ent.id)
+		}
+		lo, hi := e.arena.rowsOf(idx)
+		if hi-lo != len(o.Segments) {
+			t.Fatalf("entry %d: %d arena rows for %d segments", idx, hi-lo, len(o.Segments))
+		}
+		for s, seg := range o.Segments {
+			if e.arena.weight[lo+s] != seg.Weight {
+				t.Fatalf("entry %d row %d: weight %g, want %g", idx, lo+s, e.arena.weight[lo+s], seg.Weight)
+			}
+			want := e.builder.Build(seg.Vec)
+			got := e.arena.at(lo + s)
+			for w := range want {
+				if got[w] != want[w] {
+					t.Fatalf("entry %d row %d: sketch word %d mismatch", idx, lo+s, w)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaIntegrityAcrossMutations drives the arena through the full
+// mutation protocol — Ingest, Delete (tombstones), Compact — and checks the
+// word arena, the offset table and the bit-sampling index stay consistent
+// with the live entries at every step.
+func TestArenaIntegrityAcrossMutations(t *testing.T) {
+	const d = 10
+	cfg := testConfig(t.TempDir(), d)
+	cfg.Index = IndexParams{Enable: true, Bits: 12, Radius: 2}
+	e := openEngine(t, cfg)
+
+	objs := ingestVaried(t, e, 40, d)
+	byID := make(map[object.ID]object.Object, len(objs))
+	totalSegs := 0
+	for _, o := range objs {
+		byID[o.ID] = o
+		totalSegs += len(o.Segments)
+	}
+	checkArenaAgainstObjects(t, e, byID)
+	if e.arena.rows() != totalSegs {
+		t.Fatalf("arena rows %d, want %d", e.arena.rows(), totalSegs)
+	}
+	if e.index.size() != totalSegs {
+		t.Fatalf("index size %d, want %d", e.index.size(), totalSegs)
+	}
+
+	// Tombstone every third object: the arena keeps the rows (the dead flag
+	// hides them) and its geometry must be untouched.
+	liveSegs := totalSegs
+	for i := 0; i < len(objs); i += 3 {
+		if err := e.Delete(objs[i].ID); err != nil {
+			t.Fatal(err)
+		}
+		liveSegs -= len(objs[i].Segments)
+		delete(byID, objs[i].ID)
+	}
+	checkArenaAgainstObjects(t, e, byID)
+	if e.arena.rows() != totalSegs {
+		t.Fatalf("arena rows changed to %d on tombstoning, want %d", e.arena.rows(), totalSegs)
+	}
+	if got := int(e.met.segments.Value()); got != liveSegs {
+		t.Fatalf("segments gauge %d, want %d", got, liveSegs)
+	}
+
+	// Deleted objects must not appear in query results while tombstoned.
+	rng := rand.New(rand.NewSource(9))
+	q := clusterObject("q", 0, d, 3, 0.02, rng)
+	res, err := e.Query(q, QueryOptions{K: len(objs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if _, ok := byID[r.ID]; !ok {
+			t.Fatalf("query returned deleted object %d", r.ID)
+		}
+	}
+
+	// Compact drops the tombstoned rows; everything must stay consistent
+	// and the bit-sampling index must be rebuilt to exactly the live rows.
+	e.Compact()
+	checkArenaAgainstObjects(t, e, byID)
+	if e.arena.rows() != liveSegs {
+		t.Fatalf("arena rows %d after compact, want %d", e.arena.rows(), liveSegs)
+	}
+	if e.index.size() != liveSegs {
+		t.Fatalf("index size %d after compact, want %d", e.index.size(), liveSegs)
+	}
+	if len(e.entries) != len(byID) {
+		t.Fatalf("%d entries after compact, want %d", len(e.entries), len(byID))
+	}
+
+	// Ingest after compact appends cleanly.
+	more := ingestVariedKeys(t, e, "m", 5, d)
+	for _, o := range more {
+		byID[o.ID] = o
+	}
+	checkArenaAgainstObjects(t, e, byID)
+
+	// A reopened engine rebuilds the same arena from the metadata store.
+	res, err = e.Query(q, QueryOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e2 := openEngine(t, cfg)
+	checkArenaAgainstObjects(t, e2, byID)
+	res2, err := e2.Query(q, QueryOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(res2) {
+		t.Fatalf("reopened engine returned %d results, want %d", len(res2), len(res))
+	}
+	for i := range res {
+		if res[i].ID != res2[i].ID || res[i].Distance != res2[i].Distance {
+			t.Fatalf("result %d diverged across reopen: %+v vs %+v", i, res[i], res2[i])
+		}
+	}
+}
+
+// TestQueryConcurrentWithIngestCompact exercises the engine lock protocol
+// under the race detector: queries run concurrently with ingest, delete and
+// compaction, and must only ever observe consistent arena state.
+func TestQueryConcurrentWithIngestCompact(t *testing.T) {
+	const d = 8
+	cfg := testConfig(t.TempDir(), d)
+	cfg.Parallelism = 2
+	e := openEngine(t, cfg)
+	objs := ingestVaried(t, e, 30, d)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := clusterObject(fmt.Sprintf("q%d-%d", g, i), i%7, d, 2, 0.02, rng)
+				if _, err := e.Query(q, QueryOptions{K: 5}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	rng := rand.New(rand.NewSource(200))
+	for i := 0; i < 30; i++ {
+		o := clusterObject(fmt.Sprintf("w%03d", i), i%7, d, 1+i%4, 0.02, rng)
+		if _, err := e.Ingest(o, nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 && i/5 < len(objs) {
+			if err := e.Delete(objs[i/5].ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%10 == 9 {
+			e.Compact()
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	e.mu.RLock()
+	err := e.arena.checkInvariants(len(e.entries))
+	e.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// queryAll runs the same queries against an engine and returns the results
+// plus the engine's total object-distance evaluation and prune counts.
+func queryAll(t *testing.T, e *Engine, queries []object.Object, k int) ([][]Result, int, int) {
+	t.Helper()
+	all := make([][]Result, len(queries))
+	for i, q := range queries {
+		res, err := e.Query(q, QueryOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all[i] = res
+	}
+	reg := e.Telemetry()
+	return all, int(reg.Value("ferret_rank_distance_evals_total")),
+		int(reg.Value("ferret_rank_emd_pruned_total"))
+}
+
+// TestPruningPreservesResults is the tentpole's correctness contract: with
+// pruning on, Filtering-mode results must be identical (IDs and distances)
+// to the unpruned pipeline — only the evaluation counts may differ.
+func TestPruningPreservesResults(t *testing.T) {
+	for _, sketchOnly := range []bool{false, true} {
+		name := "emd"
+		if sketchOnly {
+			name = "sketch-only"
+		}
+		t.Run(name, func(t *testing.T) {
+			const d = 10
+			mk := func(disable bool) *Engine {
+				cfg := testConfig(t.TempDir(), d)
+				cfg.SketchOnly = sketchOnly
+				cfg.Prune.Disable = disable
+				e := openEngine(t, cfg)
+				ingestVaried(t, e, 120, d)
+				return e
+			}
+			pruned, unpruned := mk(false), mk(true)
+
+			rng := rand.New(rand.NewSource(33))
+			queries := make([]object.Object, 15)
+			for i := range queries {
+				queries[i] = clusterObject(fmt.Sprintf("q%02d", i), i%7, d, 1+i%4, 0.02, rng)
+			}
+			resP, evalsP, prunedCount := queryAll(t, pruned, queries, 8)
+			resU, evalsU, _ := queryAll(t, unpruned, queries, 8)
+
+			for qi := range queries {
+				if len(resP[qi]) != len(resU[qi]) {
+					t.Fatalf("query %d: %d pruned results vs %d unpruned", qi, len(resP[qi]), len(resU[qi]))
+				}
+				for i := range resP[qi] {
+					if resP[qi][i].ID != resU[qi][i].ID || resP[qi][i].Distance != resU[qi][i].Distance {
+						t.Fatalf("query %d result %d diverged: pruned %+v, unpruned %+v",
+							qi, i, resP[qi][i], resU[qi][i])
+					}
+				}
+			}
+			if prunedCount <= 0 {
+				t.Fatalf("prune counter %d: lower-bound prune never fired", prunedCount)
+			}
+			if evalsP >= evalsU {
+				t.Fatalf("pruned pipeline did %d evals, unpruned %d: pruning saved nothing", evalsP, evalsU)
+			}
+			t.Logf("%s: evals %d → %d (pruned %d)", name, evalsU, evalsP, prunedCount)
+		})
+	}
+}
+
+// TestDedupSingleEvalPerCandidate guards the candidate-set dedup: however
+// many query segments (or index probe buckets) reach an object, the ranking
+// unit must evaluate it exactly once.
+func TestDedupSingleEvalPerCandidate(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		name := "scan"
+		if indexed {
+			name = "bitindex"
+		}
+		t.Run(name, func(t *testing.T) {
+			const d = 10
+			cfg := testConfig(t.TempDir(), d)
+			cfg.Prune.Disable = true // count raw per-candidate evaluations
+			if indexed {
+				cfg.Index = IndexParams{Enable: true, Bits: 10, Radius: 3}
+			}
+			e := openEngine(t, cfg)
+			ingestClusters(t, e, 5, 10, d, 3)
+
+			// Four identical query segments: every query segment nominates
+			// the same nearest dataset segments, so without dedup the same
+			// candidates would be ranked four times.
+			rng := rand.New(rand.NewSource(44))
+			base := clusterObject("q", 2, d, 1, 0.02, rng)
+			vec := base.Segments[0].Vec
+			q, err := object.New("q4", []float32{1, 1, 1, 1}, [][]float32{vec, vec, vec, vec})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			reg := e.Telemetry()
+			before := int(reg.Value("ferret_rank_distance_evals_total"))
+			beforeCand := int(reg.Value("ferret_filter_candidates_total"))
+			if _, err := e.Query(q, QueryOptions{K: 5, Filter: FilterParams{QuerySegments: 4, NearestPerSegment: 20}}); err != nil {
+				t.Fatal(err)
+			}
+			evals := int(reg.Value("ferret_rank_distance_evals_total")) - before
+			cands := int(reg.Value("ferret_filter_candidates_total")) - beforeCand
+			if cands == 0 {
+				t.Fatal("filter produced no candidates")
+			}
+			if evals != cands {
+				t.Fatalf("%d evaluations for %d distinct candidates: dedup broken", evals, cands)
+			}
+			if cands > e.Count() {
+				t.Fatalf("%d candidates exceed %d live objects: candidate set not deduplicated", cands, e.Count())
+			}
+		})
+	}
+}
+
+// TestFilterPathAllocs pins the zero-allocation property of the filter scan:
+// with pooled scratch, a steady-state filter pass over the arena performs no
+// heap allocations.
+func TestFilterPathAllocs(t *testing.T) {
+	const d = 10
+	e := openEngine(t, testConfig(t.TempDir(), d))
+	ingestClusters(t, e, 5, 40, d, 3)
+
+	rng := rand.New(rand.NewSource(55))
+	q := clusterObject("q", 3, d, 3, 0.02, rng)
+	qset := e.buildSketchSet(q)
+	opt := QueryOptions{K: 10}
+	sc := getScratch()
+	defer putScratch(sc)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.filter(&q, qset, opt, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("filter scan allocates %.1f objects per query, want 0", allocs)
+	}
+}

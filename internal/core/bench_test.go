@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ferret/internal/metastore"
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+)
+
+// The FilterScan pair measures the tentpole: the arena filter scan against a
+// faithful replica of the pre-arena filtering unit (slice-of-slices sketch
+// storage, per-call sketch.Hamming, map-based candidate union). Both run the
+// same workload — image-style 96-bit sketches, where per-segment call and
+// pointer-chasing overhead (not memory bandwidth) dominates the scan. The
+// committed BENCH_2.json tracks their ratio; `make check-bench` fails on
+// regression.
+
+const (
+	benchDim     = 14
+	benchObjects = 5000
+	benchSegs    = 4
+	benchBits    = 96
+)
+
+func benchEngine(b *testing.B, tune func(*Config)) (*Engine, object.Object, *metastore.SketchSet) {
+	b.Helper()
+	min := make([]float32, benchDim)
+	max := make([]float32, benchDim)
+	for i := range max {
+		max[i] = 1
+	}
+	cfg := Config{
+		Dir:    b.TempDir(),
+		Sketch: sketch.Params{N: benchBits, K: 1, Min: min, Max: max, Seed: 80},
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < benchObjects; i++ {
+		o := clusterObject(fmt.Sprintf("b%05d", i), i%64, benchDim, benchSegs, 0.02, rng)
+		if _, err := e.Ingest(o, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := clusterObject("q", 11, benchDim, benchSegs, 0.02, rng)
+	return e, q, e.buildSketchSet(q)
+}
+
+func benchFilterOpts() QueryOptions {
+	// Mirror the experiments harness's speed-run filter shape.
+	return QueryOptions{K: 10, Filter: FilterParams{QuerySegments: 3, NearestPerSegment: 50}}
+}
+
+func BenchmarkFilterScanArena(b *testing.B) {
+	e, q, qset := benchEngine(b, nil)
+	opt := benchFilterOpts()
+	sc := getScratch()
+	defer putScratch(sc)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.filter(&q, qset, opt, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// legacyEntry is the pre-arena per-object sketch record: one independently
+// allocated sketch slice per segment.
+type legacyEntry struct {
+	id       object.ID
+	sketches []sketch.Sketch
+}
+
+// legacyFilter replicates the pre-arena filtering unit over slice-of-slices
+// entries: sort.Slice segment ordering, a fresh heap per query segment,
+// per-call sketch.Hamming on each segment sketch, and a map candidate union.
+func legacyFilter(entries []legacyEntry, qset *metastore.SketchSet, nBits int, p FilterParams) []int {
+	order := make([]int, len(qset.Sketches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qset.Weights[order[a]] > qset.Weights[order[b]] })
+	order = order[:p.QuerySegments]
+
+	candidates := make(map[int]struct{})
+	for _, qi := range order {
+		w := float64(qset.Weights[qi])
+		frac := p.MaxHammingFrac * (1 - p.WeightTighten*w)
+		maxHam := int(frac * float64(nBits))
+		qsk := qset.Sketches[qi]
+		heap := newSegHeap(p.NearestPerSegment)
+		for idx := range entries {
+			ent := &entries[idx]
+			bound := maxHam
+			if w := heap.worst(); w <= bound {
+				bound = w - 1
+			}
+			for si := range ent.sketches {
+				h := sketch.Hamming(qsk, ent.sketches[si])
+				if h <= bound {
+					heap.push(idx, h)
+					if w := heap.worst(); w <= maxHam && w-1 < bound {
+						bound = w - 1
+					}
+				}
+			}
+		}
+		for _, idx := range heap.items() {
+			candidates[idx] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(candidates))
+	for idx := range candidates {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func BenchmarkFilterScanLegacy(b *testing.B) {
+	e, _, qset := benchEngine(b, nil)
+	// Rebuild the old layout from the arena, allocating each sketch
+	// separately with interleaved decoy allocations so the slices scatter
+	// across the heap the way incremental ingest scattered them.
+	var decoys [][]byte
+	entries := make([]legacyEntry, len(e.entries))
+	for idx := range e.entries {
+		lo, hi := e.arena.rowsOf(idx)
+		sks := make([]sketch.Sketch, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			sk := make(sketch.Sketch, e.arena.wps)
+			copy(sk, e.arena.at(r))
+			sks = append(sks, sk)
+			decoys = append(decoys, make([]byte, 64))
+		}
+		entries[idx] = legacyEntry{id: e.entries[idx].id, sketches: sks}
+	}
+	_ = decoys
+	p := benchFilterOpts().Filter.withDefaults(len(qset.Sketches), 10)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := legacyFilter(entries, qset, benchBits, p); len(got) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// The QueryPipeline pair measures end-to-end Filtering-mode queries with the
+// sketch lower-bound EMD prune on (default) and off.
+
+func benchPipeline(b *testing.B, disablePrune bool) {
+	e, q, _ := benchEngine(b, func(cfg *Config) {
+		cfg.RankThreshold = 2
+		cfg.Prune.Disable = disablePrune
+	})
+	opt := benchFilterOpts()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reg := e.Telemetry()
+	b.ReportMetric(reg.Value("ferret_rank_distance_evals_total")/float64(b.N), "emd_evals/op")
+	b.ReportMetric(reg.Value("ferret_rank_emd_pruned_total")/float64(b.N), "emd_pruned/op")
+}
+
+func BenchmarkQueryPipelinePruned(b *testing.B)   { benchPipeline(b, false) }
+func BenchmarkQueryPipelineUnpruned(b *testing.B) { benchPipeline(b, true) }

@@ -16,8 +16,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -104,6 +102,31 @@ type FilterParams struct {
 	MaxDistance float64
 }
 
+// PruneParams tunes the ranking unit's sketch lower-bound pruning: before
+// an EMD evaluation, a lower bound on the candidate's object distance is
+// estimated from the already-resident sketches (see DESIGN.md), and
+// candidates whose bound exceeds the current top-K kth distance are skipped
+// without touching their feature vectors.
+type PruneParams struct {
+	// Disable turns rank-stage pruning off (every candidate gets a full
+	// object-distance evaluation, as in the unpruned pipeline).
+	Disable bool
+	// Margin scales the sketch-estimated lower bound before it is compared
+	// to the kth distance: a candidate is pruned only when Margin·LB
+	// exceeds it. Values below 1 absorb sketch estimation noise; 0 means
+	// 0.85. Disable also turns off the (result-preserving) exact-cost early
+	// abandon inside the EMD solve, so Disable gives a clean unpruned
+	// pipeline for A/B comparison of evaluation counts.
+	Margin float64
+}
+
+func (p PruneParams) margin() float64 {
+	if p.Margin <= 0 {
+		return 0.85
+	}
+	return p.Margin
+}
+
 func (p FilterParams) withDefaults(nseg, resultK int) FilterParams {
 	if p.QuerySegments <= 0 {
 		p.QuerySegments = 4
@@ -157,6 +180,9 @@ type Config struct {
 	SketchOnly bool
 	// Filter tunes the filtering unit.
 	Filter FilterParams
+	// Prune tunes the ranking unit's sketch lower-bound EMD pruning. Only
+	// effective with the built-in EMD object distance (ObjectDistance nil).
+	Prune PruneParams
 	// Parallelism splits query scans (brute force and filtering) across
 	// this many goroutines. 0 or 1 scans serially; negative uses
 	// GOMAXPROCS.
@@ -201,15 +227,15 @@ type QueryOptions struct {
 	Restrict map[object.ID]bool
 }
 
-// sketchEntry is the in-memory sketch database record for one object: the
-// structure the filtering unit streams through.
+// sketchEntry is the per-object record of the in-memory sketch database.
+// The sketch words and segment weights themselves live in the engine's flat
+// sketchArena (see arena.go); the entry only carries identity.
 type sketchEntry struct {
-	id       object.ID
-	key      string
-	weights  []float32
-	sketches []sketch.Sketch
+	id  object.ID
+	key string
 	// dead marks a deleted object (tombstone): scans skip it and the next
-	// Open compacts it away, since the metadata is already gone.
+	// Open or Compact rebuilds the arena without it, since the metadata is
+	// already gone.
 	dead bool
 }
 
@@ -222,11 +248,16 @@ type Engine struct {
 	builder *sketch.Builder
 
 	objDist func(a, b object.Object) float64
-	segDist vector.Func
-	met     *engineMetrics
+	// objDistBounded is objDist's early-abandon form (non-nil only for the
+	// built-in EMD distance): it may stop once a lower bound over the
+	// exact ground costs proves the distance exceeds the bound.
+	objDistBounded func(a, b object.Object, bound float64) (float64, bool)
+	segDist        vector.Func
+	met            *engineMetrics
 
 	mu      sync.RWMutex
-	entries []sketchEntry   // in-memory sketch database, ID order
+	entries []sketchEntry   // per-object records, ID order
+	arena   *sketchArena    // flat sketch storage, rows parallel to entries
 	objects []object.Object // in-memory feature vectors (unless SketchOnly)
 	index   *bitIndex       // optional filtering accelerator
 	deleted int             // live tombstone count
@@ -252,11 +283,13 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.objDist = cfg.ObjectDistance
 	if e.objDist == nil {
-		e.objDist = emd.ObjectDistance(emd.Options{
+		emdOpts := emd.Options{
 			Ground:      e.segDist,
 			Threshold:   cfg.RankThreshold,
 			SqrtWeights: cfg.SqrtWeights,
-		})
+		}
+		e.objDist = emd.ObjectDistance(emdOpts)
+		e.objDistBounded = emd.BoundedObjectDistance(emdOpts)
 	}
 
 	b, ok, err := meta.LoadBuilder()
@@ -279,8 +312,10 @@ func Open(cfg Config) (*Engine, error) {
 		e.builder = b
 	}
 
+	e.arena = newArena(sketch.Words(e.builder.N()))
 	meta.ForEachSketchSet(func(id object.ID, set *metastore.SketchSet) bool {
-		e.entries = append(e.entries, sketchEntry{id: id, weights: set.Weights, sketches: set.Sketches})
+		e.entries = append(e.entries, sketchEntry{id: id})
+		e.arena.appendEntry(set.Weights, set.Sketches)
 		return true
 	})
 	for i := range e.entries {
@@ -307,18 +342,10 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if cfg.Index.Enable {
 		e.index = newBitIndex(e.builder.N(), cfg.Index)
-		for idx := range e.entries {
-			for si, sk := range e.entries[idx].sketches {
-				e.index.add(idx, si, sk)
-			}
-		}
-	}
-	segments := 0
-	for i := range e.entries {
-		segments += len(e.entries[i].sketches)
+		e.indexArena()
 	}
 	e.met.objects.Set(int64(len(e.entries)))
-	e.met.segments.Set(int64(segments))
+	e.met.segments.Set(int64(e.arena.rows()))
 	if e.index != nil {
 		e.met.indexedSegments.Set(int64(e.index.size()))
 	}
@@ -378,8 +405,22 @@ func (e *Engine) Stat() Stats {
 	}
 }
 
-// Compact rebuilds the in-memory caches without tombstones and, when
-// enabled, rebuilds the bit-sampling index. Queries are blocked for the
+// indexArena (re)populates the bit-sampling index from the arena. Caller
+// holds the write lock (or is inside Open, before the engine is shared).
+func (e *Engine) indexArena() {
+	for idx := range e.entries {
+		if e.entries[idx].dead {
+			continue
+		}
+		lo, hi := e.arena.rowsOf(idx)
+		for row := lo; row < hi; row++ {
+			e.index.add(idx, row-lo, e.arena.at(row))
+		}
+	}
+}
+
+// Compact rebuilds the arena, the per-object records and, when enabled, the
+// bit-sampling index without tombstones. Queries are blocked for the
 // duration. (Reopening the engine has the same effect, since deleted
 // metadata is already gone from the store.)
 func (e *Engine) Compact() {
@@ -388,6 +429,9 @@ func (e *Engine) Compact() {
 	if e.deleted == 0 {
 		return
 	}
+	// The arena must be compacted against the *old* entry numbering before
+	// the entry slice itself is filtered.
+	e.arena = e.arena.compact(func(idx int) bool { return e.entries[idx].dead })
 	cached := !e.cfg.SketchOnly && !e.cfg.LowMemory
 	liveEntries := make([]sketchEntry, 0, len(e.entries)-e.deleted)
 	var liveObjects []object.Object
@@ -408,14 +452,11 @@ func (e *Engine) Compact() {
 	e.deleted = 0
 	if e.index != nil {
 		e.index = newBitIndex(e.builder.N(), e.cfg.Index)
-		for idx := range e.entries {
-			for si, sk := range e.entries[idx].sketches {
-				e.index.add(idx, si, sk)
-			}
-		}
+		e.indexArena()
 		e.met.indexedSegments.Set(int64(e.index.size()))
 	}
 	e.met.deleted.Set(0)
+	e.met.segments.Set(int64(e.arena.rows()))
 	e.met.compacts.Inc()
 }
 
@@ -437,7 +478,7 @@ func (e *Engine) Delete(id object.ID) error {
 			e.met.deletes.Inc()
 			e.met.objects.Add(-1)
 			e.met.deleted.Add(1)
-			e.met.segments.Add(-int64(len(e.entries[i].sketches)))
+			e.met.segments.Add(-int64(e.arena.nsegOf(i)))
 			break
 		}
 	}
@@ -473,7 +514,8 @@ func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
 	}
 	o.ID = id
 	e.mu.Lock()
-	e.entries = append(e.entries, sketchEntry{id: id, key: o.Key, weights: set.Weights, sketches: set.Sketches})
+	e.entries = append(e.entries, sketchEntry{id: id, key: o.Key})
+	e.arena.appendEntry(set.Weights, set.Sketches)
 	if e.index != nil {
 		idx := len(e.entries) - 1
 		for si, sk := range set.Sketches {
@@ -549,18 +591,21 @@ func (e *Engine) Query(q object.Object, opt QueryOptions) ([]Result, error) {
 		results = e.rankAllSketch(qset, opt)
 		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
+		sc := getScratch()
 		var cands []int
-		cands, err = e.filter(&q, qset, opt)
+		cands, err = e.filter(&q, qset, opt, sc)
 		if err != nil {
+			putScratch(sc)
 			break
 		}
 		tr := time.Now()
 		if e.cfg.SketchOnly {
-			results = e.rankSketchCandidates(qset, cands, opt)
+			results = e.rankSketchCandidates(qset, cands, opt, sc)
 		} else {
-			results = e.rankCandidates(q, cands, opt)
+			results = e.rankCandidates(q, qset, cands, opt, sc)
 		}
 		e.met.stageRank.ObserveSince(tr)
+		putScratch(sc)
 	default:
 		err = fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}
@@ -592,14 +637,17 @@ func (e *Engine) querySketchSet(qset *metastore.SketchSet, opt QueryOptions) ([]
 		results = e.rankAllSketch(qset, opt)
 		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
+		sc := getScratch()
 		var cands []int
-		cands, err = e.filter(nil, qset, opt)
+		cands, err = e.filter(nil, qset, opt, sc)
 		if err != nil {
+			putScratch(sc)
 			break
 		}
 		tr := time.Now()
-		results = e.rankSketchCandidates(qset, cands, opt)
+		results = e.rankSketchCandidates(qset, cands, opt, sc)
 		e.met.stageRank.ObserveSince(tr)
+		putScratch(sc)
 	default:
 		err = errors.New("core: only sketch modes are available for sketch-only queries")
 	}
@@ -668,311 +716,8 @@ func (e *Engine) rankAllSketch(qset *metastore.SketchSet, opt QueryOptions) []Re
 		if opt.Restrict != nil && !opt.Restrict[ent.id] {
 			return Result{}, false
 		}
-		return Result{ID: ent.id, Key: ent.key, Distance: e.sketchObjectDistance(qset, ent)}, true
+		return Result{ID: ent.id, Key: ent.key, Distance: e.sketchObjectDistanceAt(qset, i)}, true
 	})
-}
-
-// filter implements the filtering unit: for each of the r highest-weight
-// query segments, stream through all dataset segment sketches (or, on the
-// exact path, all feature vectors) and keep the k nearest within a
-// weight-dependent threshold; the union of the owning objects is the
-// candidate set (as entry indices). q may be nil for sketch-only queries.
-func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOptions) ([]int, error) {
-	p := opt.Filter
-	if p == (FilterParams{}) {
-		p = e.cfg.Filter
-	}
-	p = p.withDefaults(len(qset.Sketches), opt.K)
-	if p.ExactDistance {
-		return e.filterExact(q, p, opt)
-	}
-	stageStart := time.Now()
-	scanned := 0
-
-	// Pick the r highest-weight query segments.
-	order := make([]int, len(qset.Sketches))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return qset.Weights[order[a]] > qset.Weights[order[b]] })
-	order = order[:p.QuerySegments]
-
-	candidates := make(map[int]struct{})
-	n := e.builder.N()
-	workers := e.workers()
-	for _, qi := range order {
-		w := float64(qset.Weights[qi])
-		frac := p.MaxHammingFrac * (1 - p.WeightTighten*w)
-		maxHam := int(frac * float64(n))
-		qsk := qset.Sketches[qi]
-
-		// With the bit-sampling index enabled, probe its buckets instead
-		// of streaming through every segment sketch.
-		if e.index != nil {
-			heap := newSegHeap(p.NearestPerSegment)
-			e.index.probe(qsk, func(ref segRef) {
-				ent := &e.entries[ref.entry]
-				if ent.dead {
-					return
-				}
-				if opt.Restrict != nil && !opt.Restrict[ent.id] {
-					return
-				}
-				scanned++
-				h := sketch.Hamming(qsk, ent.sketches[ref.seg])
-				if h <= maxHam && h < heap.worst() {
-					heap.push(int(ref.entry), h)
-				}
-			})
-			for _, idx := range heap.items() {
-				candidates[idx] = struct{}{}
-			}
-			continue
-		}
-
-		// k-nearest dataset segments within maxHam, tracked in bounded
-		// max-heaps (one per scan shard) keyed by Hamming distance; each
-		// heap's root tightens its shard's bound as the scan proceeds.
-		// Scan counts accumulate in shard locals (disjoint slice slots)
-		// and publish to the shared counter once per stage.
-		heaps := make([]*segHeap, workers)
-		shardScans := make([]int, workers)
-		parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
-			heap := newSegHeap(p.NearestPerSegment)
-			for idx := lo; idx < hi; idx++ {
-				ent := &e.entries[idx]
-				if ent.dead {
-					continue
-				}
-				if opt.Restrict != nil && !opt.Restrict[ent.id] {
-					continue
-				}
-				shardScans[shard]++
-				bound := maxHam
-				if w := heap.worst(); w <= bound {
-					bound = w - 1
-				}
-				for si := range ent.sketches {
-					h := sketch.Hamming(qsk, ent.sketches[si])
-					if h <= bound {
-						heap.push(idx, h)
-						if w := heap.worst(); w <= maxHam && w-1 < bound {
-							bound = w - 1
-						}
-					}
-				}
-			}
-			heaps[shard] = heap
-		})
-		for _, n := range shardScans {
-			scanned += n
-		}
-		merged := heaps[0]
-		if workers > 1 {
-			merged = newSegHeap(p.NearestPerSegment)
-			for _, h := range heaps {
-				if h == nil {
-					continue
-				}
-				for i := range h.entry {
-					if h.ham[i] < merged.worst() {
-						merged.push(h.entry[i], h.ham[i])
-					}
-				}
-			}
-		}
-		for _, idx := range merged.items() {
-			candidates[idx] = struct{}{}
-		}
-	}
-	out := make([]int, 0, len(candidates))
-	for idx := range candidates {
-		out = append(out, idx)
-	}
-	sort.Ints(out)
-	e.met.scanned.Add(scanned)
-	e.met.candidates.Add(len(out))
-	e.met.stageFilter.ObserveSince(stageStart)
-	return out, nil
-}
-
-// filterExact is the filtering unit's exact path: the user-supplied segment
-// distance function is computed directly against all feature-vector
-// metadata (paper §4.1.1's alternative to the sketch comparison).
-func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions) ([]int, error) {
-	if q == nil || e.cfg.SketchOnly {
-		return nil, errors.New("core: exact-distance filtering requires stored feature vectors")
-	}
-	stageStart := time.Now()
-	scanned := 0
-	getObject := func(i int) (object.Object, bool) {
-		if e.cfg.LowMemory {
-			return e.meta.GetObject(e.entries[i].id)
-		}
-		return e.objects[i], true
-	}
-
-	// Pick the r highest-weight query segments.
-	order := make([]int, len(q.Segments))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return q.Segments[order[a]].Weight > q.Segments[order[b]].Weight })
-	order = order[:p.QuerySegments]
-
-	candidates := make(map[int]struct{})
-	for _, qi := range order {
-		qvec := q.Segments[qi].Vec
-		// Weight-dependent threshold, as on the sketch path.
-		maxDist := math.Inf(1)
-		if p.MaxDistance > 0 {
-			maxDist = p.MaxDistance * (1 - p.WeightTighten*float64(q.Segments[qi].Weight))
-		}
-		var kept []scoredIdx
-		worst := math.Inf(1)
-		for idx := range e.entries {
-			if e.entries[idx].dead {
-				continue
-			}
-			if opt.Restrict != nil && !opt.Restrict[e.entries[idx].id] {
-				continue
-			}
-			o, ok := getObject(idx)
-			if !ok {
-				continue
-			}
-			scanned++
-			best := math.Inf(1)
-			for si := range o.Segments {
-				if d := e.segDist(qvec, o.Segments[si].Vec); d < best {
-					best = d
-				}
-			}
-			if best > maxDist || (len(kept) >= p.NearestPerSegment && best >= worst) {
-				continue
-			}
-			kept = append(kept, scoredIdx{idx, best})
-			if len(kept) > 4*p.NearestPerSegment {
-				kept = trimScored(kept, p.NearestPerSegment)
-				worst = kept[len(kept)-1].dist
-			}
-		}
-		kept = trimScored(kept, p.NearestPerSegment)
-		for _, s := range kept {
-			candidates[s.idx] = struct{}{}
-		}
-	}
-	out := make([]int, 0, len(candidates))
-	for idx := range candidates {
-		out = append(out, idx)
-	}
-	sort.Ints(out)
-	e.met.scanned.Add(scanned)
-	e.met.candidates.Add(len(out))
-	e.met.stageExact.ObserveSince(stageStart)
-	return out, nil
-}
-
-// scoredIdx pairs an entry index with an exact segment distance.
-type scoredIdx struct {
-	idx  int
-	dist float64
-}
-
-// trimScored keeps the k smallest-distance entries (sorted ascending).
-func trimScored(s []scoredIdx, k int) []scoredIdx {
-	sort.Slice(s, func(i, j int) bool { return s[i].dist < s[j].dist })
-	if len(s) > k {
-		s = s[:k]
-	}
-	return s
-}
-
-// rankCandidates ranks the candidate entries with the accurate object
-// distance (the ranking unit). In LowMemory mode only the candidates'
-// feature-vector records are read from the metadata store — the payoff of
-// the filter-then-rank design for datasets that do not fit in RAM.
-func (e *Engine) rankCandidates(q object.Object, cands []int, opt QueryOptions) []Result {
-	top := newTopK(opt.K)
-	evals := 0
-	for _, idx := range cands {
-		if e.cfg.LowMemory {
-			ent := &e.entries[idx]
-			o, ok := e.meta.GetObject(ent.id)
-			if !ok {
-				continue
-			}
-			evals++
-			top.push(Result{ID: ent.id, Key: ent.key, Distance: e.objDist(q, o)})
-			continue
-		}
-		o := &e.objects[idx]
-		evals++
-		top.push(Result{ID: o.ID, Key: o.Key, Distance: e.objDist(q, *o)})
-	}
-	e.met.emdEvals.Add(evals)
-	e.met.heapTrims.Add(top.trims)
-	return top.sorted()
-}
-
-// rankSketchCandidates ranks candidates with the sketch-estimated object
-// distance (sketch-only databases).
-func (e *Engine) rankSketchCandidates(qset *metastore.SketchSet, cands []int, opt QueryOptions) []Result {
-	top := newTopK(opt.K)
-	for _, idx := range cands {
-		ent := &e.entries[idx]
-		d := e.sketchObjectDistance(qset, ent)
-		top.push(Result{ID: ent.id, Key: ent.key, Distance: d})
-	}
-	e.met.emdEvals.Add(len(cands))
-	e.met.heapTrims.Add(top.trims)
-	return top.sorted()
-}
-
-// sketchObjectDistance estimates the object distance from sketches alone:
-// the EMD over the segment weights with a ground cost matrix of
-// sketch-estimated ℓ₁ distances. Single-segment objects reduce to one
-// estimated segment distance.
-func (e *Engine) sketchObjectDistance(qset *metastore.SketchSet, ent *sketchEntry) float64 {
-	m, n := len(qset.Sketches), len(ent.sketches)
-	if m == 0 || n == 0 {
-		return infinity
-	}
-	if m == 1 && n == 1 {
-		return e.estimate(qset.Sketches[0], ent.sketches[0])
-	}
-	supply := make([]float64, m)
-	for i, w := range qset.Weights {
-		supply[i] = float64(w)
-	}
-	demand := make([]float64, n)
-	for j, w := range ent.weights {
-		demand[j] = float64(w)
-	}
-	normalize(supply)
-	normalize(demand)
-	cost := make([][]float64, m)
-	for i := 0; i < m; i++ {
-		cost[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			cost[i][j] = e.estimate(qset.Sketches[i], ent.sketches[j])
-		}
-	}
-	val, _, err := emd.Solve(supply, demand, cost)
-	if err != nil {
-		return infinity
-	}
-	return val
-}
-
-// estimate converts a Hamming distance into an estimated segment distance,
-// applying the rank threshold when configured.
-func (e *Engine) estimate(a, b sketch.Sketch) float64 {
-	d := e.builder.EstimateL1(sketch.Hamming(a, b))
-	if t := e.cfg.RankThreshold; t > 0 && d > t {
-		d = t
-	}
-	return d
 }
 
 const infinity = 1e300

@@ -60,9 +60,7 @@ func TestSketchDistancePreservesEMDOrdering(t *testing.T) {
 			oset.Weights = append(oset.Weights, seg.Weight)
 			oset.Sketches = append(oset.Sketches, e.builder.Build(seg.Vec))
 		}
-		ent := &sketchEntry{weights: oset.Weights, sketches: oset.Sketches}
-		pairs[i] = pair{exact: exact, est: e.sketchObjectDistance(oset, ent)}
-		_ = qset
+		pairs[i] = pair{exact: exact, est: e.sketchObjectDistanceSet(qset, oset)}
 	}
 	concordant, discordant := 0, 0
 	for i := 0; i < n; i++ {
@@ -90,8 +88,7 @@ func TestSketchObjectDistanceSelfZero(t *testing.T) {
 	rng := rand.New(rand.NewSource(62))
 	o := clusterObject("o", 1, d, 3, 0.01, rng)
 	set := e.buildSketchSet(o)
-	ent := &sketchEntry{weights: set.Weights, sketches: set.Sketches}
-	if got := e.sketchObjectDistance(set, ent); got > 1e-9 {
+	if got := e.sketchObjectDistanceSet(set, set); got > 1e-9 {
 		t.Fatalf("self distance %g", got)
 	}
 }

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"ferret/internal/metastore"
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+)
+
+// queryScratch pools the filtering and ranking units' per-query scratch
+// state — segment ordering, candidate lists, bounded heaps, batch distance
+// blocks and lower-bound tables — so repeated queries allocate nothing on
+// the filter path (verified by TestFilterPathAllocs).
+type queryScratch struct {
+	order []int      // query segments by descending weight
+	cands []int      // candidate entry indices (union over query segments)
+	heaps []*segHeap // per-shard k-nearest heaps + one merge slot
+	scans []int      // per-shard scan counts
+	hits  []int32    // block-relative row indices selected by the scan kernel
+	dist  []int32    // Hamming distances of the selected rows
+
+	// Ranking-unit scratch (sketch lower-bound pruning).
+	lbs    []lbCand
+	colMin []float64
+	qw     []float64
+	ow     []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getScratch() *queryScratch   { return scratchPool.Get().(*queryScratch) }
+func putScratch(sc *queryScratch) { scratchPool.Put(sc) }
+
+// heap returns the i-th pooled segment heap reset to capacity k. Shard
+// heaps must be claimed before goroutines fan out (the slice may grow).
+func (sc *queryScratch) heap(i, k int) *segHeap {
+	for len(sc.heaps) <= i {
+		sc.heaps = append(sc.heaps, newSegHeap(k))
+	}
+	sc.heaps[i].reset(k)
+	return sc.heaps[i]
+}
+
+// batchRows is the filter scan's block size: big enough to amortize the
+// select kernel call, small enough that the k-nearest bound re-tightens
+// frequently and the hit buffers stay in L1.
+const batchRows = 512
+
+// selectBlocks returns the pooled hit-index and distance blocks for the
+// select kernel.
+func (sc *queryScratch) selectBlocks() ([]int32, []int32) {
+	if cap(sc.hits) < batchRows {
+		sc.hits = make([]int32, batchRows)
+		sc.dist = make([]int32, batchRows)
+	}
+	return sc.hits[:batchRows], sc.dist[:batchRows]
+}
+
+// resizeF64 grows (or shrinks) a pooled float64 slice to length n.
+func resizeF64(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// filter implements the filtering unit: for each of the r highest-weight
+// query segments, stream through all dataset segment sketches (or, on the
+// exact path, all feature vectors) and keep the k nearest within a
+// weight-dependent threshold; the deduplicated union of the owning objects
+// is the candidate set (as sorted entry indices). q may be nil for
+// sketch-only queries. The sketch scan runs over the flat arena: the fast
+// path (no tombstones, no restriction) sweeps rows word-wise with the
+// batch Hamming kernel; the slow path walks entries to honor tombstones
+// and Restrict sets.
+func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOptions, sc *queryScratch) ([]int, error) {
+	p := opt.Filter
+	if p == (FilterParams{}) {
+		p = e.cfg.Filter
+	}
+	p = p.withDefaults(len(qset.Sketches), opt.K)
+	if p.ExactDistance {
+		return e.filterExact(q, p, opt)
+	}
+	stageStart := time.Now()
+	scanned := 0
+
+	// Pick the r highest-weight query segments. Insertion sort: segment
+	// counts are small and it is deterministic and allocation-free.
+	order := sc.order[:0]
+	for i := range qset.Sketches {
+		order = append(order, i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && qset.Weights[order[j]] > qset.Weights[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sc.order = order
+	order = order[:p.QuerySegments]
+
+	cands := sc.cands[:0]
+	n := e.builder.N()
+	workers := e.workers()
+	for _, qi := range order {
+		w := float64(qset.Weights[qi])
+		frac := p.MaxHammingFrac * (1 - p.WeightTighten*w)
+		maxHam := int(frac * float64(n))
+		qsk := qset.Sketches[qi]
+
+		// With the bit-sampling index enabled, probe its buckets instead
+		// of streaming the arena.
+		if e.index != nil {
+			a := e.arena
+			heap := sc.heap(0, p.NearestPerSegment)
+			e.index.probe(qsk, func(ref segRef) {
+				ent := &e.entries[ref.entry]
+				if ent.dead {
+					return
+				}
+				if opt.Restrict != nil && !opt.Restrict[ent.id] {
+					return
+				}
+				scanned++
+				row := int(a.start[ref.entry]) + int(ref.seg)
+				h := sketch.HammingAt(qsk, a.words, row*a.wps)
+				if h <= maxHam && h < heap.worst() {
+					heap.push(int(ref.entry), h)
+				}
+			})
+			cands = append(cands, heap.items()...)
+			continue
+		}
+
+		merged, segScanned := e.scanSketches(qsk, maxHam, p.NearestPerSegment, workers, opt, sc)
+		scanned += segScanned
+		cands = append(cands, merged.items()...)
+	}
+
+	// Dedup the candidate union: one ranking evaluation per distinct
+	// object, no matter how many query segments (or index probe buckets)
+	// reached it.
+	slices.Sort(cands)
+	cands = slices.Compact(cands)
+	sc.cands = cands
+	e.met.scanned.Add(scanned)
+	e.met.candidates.Add(len(cands))
+	e.met.stageFilter.ObserveSince(stageStart)
+	return cands, nil
+}
+
+// scanSketches streams the arena for one query segment and returns the
+// k-nearest heap plus the number of objects scanned. Results are identical
+// to the pre-arena slice-of-slices scan up to ties.
+func (e *Engine) scanSketches(qsk sketch.Sketch, maxHam, k, workers int, opt QueryOptions, sc *queryScratch) (*segHeap, int) {
+	a := e.arena
+	fast := opt.Restrict == nil && e.deleted == 0
+	if workers <= 1 {
+		heap := sc.heap(0, k)
+		if fast {
+			hits, dist := sc.selectBlocks()
+			e.scanArenaRows(qsk, maxHam, heap, hits, dist, 0, a.rows())
+			return heap, len(e.entries)
+		}
+		return heap, e.scanEntryRange(qsk, maxHam, heap, opt, 0, len(e.entries))
+	}
+
+	// Parallel scan: claim all shard heaps (and the merge slot) before the
+	// goroutines fan out, then shard the arena rows (fast path) or the
+	// entry range (slow path).
+	for s := 0; s <= workers; s++ {
+		sc.heap(s, k)
+	}
+	if cap(sc.scans) < workers {
+		sc.scans = make([]int, workers)
+	}
+	scans := sc.scans[:workers]
+	for i := range scans {
+		scans[i] = 0
+	}
+	scanned := 0
+	if fast {
+		parallelScan(a.rows(), workers, func(shard, lo, hi int) {
+			var hits, dist [batchRows]int32
+			e.scanArenaRows(qsk, maxHam, sc.heaps[shard], hits[:], dist[:], lo, hi)
+		})
+		scanned = len(e.entries)
+	} else {
+		parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
+			scans[shard] = e.scanEntryRange(qsk, maxHam, sc.heaps[shard], opt, lo, hi)
+		})
+		for _, n := range scans {
+			scanned += n
+		}
+	}
+	merged := sc.heaps[workers]
+	for s := 0; s < workers; s++ {
+		h := sc.heaps[s]
+		for i := range h.entry {
+			if h.ham[i] < merged.worst() {
+				merged.push(h.entry[i], h.ham[i])
+			}
+		}
+	}
+	return merged, scanned
+}
+
+// scanArenaRows is the filter scan's fast path over arena rows [lo, hi):
+// blocks of rows go through the fused select kernel under the block-entry
+// bound, then the (few) selected rows replay the exact heap logic, so the
+// result is identical to a row-by-row scan while misses never leave the
+// kernel. Valid only when every row belongs to a live, unrestricted entry.
+func (e *Engine) scanArenaRows(qsk sketch.Sketch, maxHam int, heap *segHeap, hits, dist []int32, lo, hi int) {
+	a := e.arena
+	for base := lo; base < hi; base += batchRows {
+		nb := hi - base
+		if nb > batchRows {
+			nb = batchRows
+		}
+		bound := int32(maxHam)
+		if w := heap.worst(); w <= int(bound) {
+			bound = int32(w) - 1
+		}
+		if bound < 0 {
+			continue // full heap of exact matches: nothing can enter
+		}
+		// The kernel prefilters with the block-entry bound; the bound can
+		// only tighten mid-block, so the selected rows are a superset of
+		// the acceptable ones and the replay below decides exactly as a
+		// row-by-row scan would.
+		n := sketch.HammingSelect(qsk, a.words, base*a.wps, nb, bound, hits, dist)
+		for k := 0; k < n; k++ {
+			if h := dist[k]; h <= bound {
+				heap.push(int(a.entry[base+int(hits[k])]), int(h))
+				if w := heap.worst(); w <= maxHam && int32(w)-1 < bound {
+					bound = int32(w) - 1
+				}
+			}
+		}
+	}
+}
+
+// scanEntryRange is the tombstone/Restrict-aware path over entries
+// [lo, hi), reading sketch rows from the arena. Returns the number of
+// objects scanned.
+func (e *Engine) scanEntryRange(qsk sketch.Sketch, maxHam int, heap *segHeap, opt QueryOptions, lo, hi int) int {
+	a := e.arena
+	scanned := 0
+	for idx := lo; idx < hi; idx++ {
+		ent := &e.entries[idx]
+		if ent.dead {
+			continue
+		}
+		if opt.Restrict != nil && !opt.Restrict[ent.id] {
+			continue
+		}
+		scanned++
+		rlo, rhi := a.rowsOf(idx)
+		bound := maxHam
+		if w := heap.worst(); w <= bound {
+			bound = w - 1
+		}
+		for row := rlo; row < rhi; row++ {
+			h := sketch.HammingAt(qsk, a.words, row*a.wps)
+			if h <= bound {
+				heap.push(idx, h)
+				if w := heap.worst(); w <= maxHam && w-1 < bound {
+					bound = w - 1
+				}
+			}
+		}
+	}
+	return scanned
+}
+
+// filterExact is the filtering unit's exact path: the user-supplied segment
+// distance function is computed directly against all feature-vector
+// metadata (paper §4.1.1's alternative to the sketch comparison).
+func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions) ([]int, error) {
+	if q == nil || e.cfg.SketchOnly {
+		return nil, errors.New("core: exact-distance filtering requires stored feature vectors")
+	}
+	stageStart := time.Now()
+	scanned := 0
+	getObject := func(i int) (object.Object, bool) {
+		if e.cfg.LowMemory {
+			return e.meta.GetObject(e.entries[i].id)
+		}
+		return e.objects[i], true
+	}
+
+	// Pick the r highest-weight query segments.
+	order := make([]int, len(q.Segments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return q.Segments[order[a]].Weight > q.Segments[order[b]].Weight })
+	order = order[:p.QuerySegments]
+
+	candidates := make(map[int]struct{})
+	for _, qi := range order {
+		qvec := q.Segments[qi].Vec
+		// Weight-dependent threshold, as on the sketch path.
+		maxDist := math.Inf(1)
+		if p.MaxDistance > 0 {
+			maxDist = p.MaxDistance * (1 - p.WeightTighten*float64(q.Segments[qi].Weight))
+		}
+		var kept []scoredIdx
+		worst := math.Inf(1)
+		for idx := range e.entries {
+			if e.entries[idx].dead {
+				continue
+			}
+			if opt.Restrict != nil && !opt.Restrict[e.entries[idx].id] {
+				continue
+			}
+			o, ok := getObject(idx)
+			if !ok {
+				continue
+			}
+			scanned++
+			best := math.Inf(1)
+			for si := range o.Segments {
+				if d := e.segDist(qvec, o.Segments[si].Vec); d < best {
+					best = d
+				}
+			}
+			if best > maxDist || (len(kept) >= p.NearestPerSegment && best >= worst) {
+				continue
+			}
+			kept = append(kept, scoredIdx{idx, best})
+			if len(kept) > 4*p.NearestPerSegment {
+				kept = trimScored(kept, p.NearestPerSegment)
+				worst = kept[len(kept)-1].dist
+			}
+		}
+		kept = trimScored(kept, p.NearestPerSegment)
+		for _, s := range kept {
+			candidates[s.idx] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(candidates))
+	for idx := range candidates {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	e.met.scanned.Add(scanned)
+	e.met.candidates.Add(len(out))
+	e.met.stageExact.ObserveSince(stageStart)
+	return out, nil
+}
+
+// scoredIdx pairs an entry index with an exact segment distance.
+type scoredIdx struct {
+	idx  int
+	dist float64
+}
+
+// trimScored keeps the k smallest-distance entries (sorted ascending).
+func trimScored(s []scoredIdx, k int) []scoredIdx {
+	sort.Slice(s, func(i, j int) bool { return s[i].dist < s[j].dist })
+	if len(s) > k {
+		s = s[:k]
+	}
+	return s
+}

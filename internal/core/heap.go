@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // topK keeps the K smallest-distance results seen so far in a bounded
 // max-heap (the root is the current worst kept result). trims counts
@@ -60,6 +63,18 @@ func (t *topK) down(i int) {
 	}
 }
 
+// full reports whether the heap holds K results.
+func (t *topK) full() bool { return len(t.items) >= t.k }
+
+// bound returns the ranking unit's prune/abandon bound — the current kth
+// distance, or +Inf until the heap is full.
+func (t *topK) bound() float64 {
+	if len(t.items) < t.k {
+		return math.Inf(1)
+	}
+	return t.items[0].Distance
+}
+
 // sorted returns the kept results in ascending distance order (ties broken
 // by ID for determinism).
 func (t *topK) sorted() []Result {
@@ -85,6 +100,14 @@ type segHeap struct {
 
 func newSegHeap(k int) *segHeap {
 	return &segHeap{k: k, entry: make([]int, 0, k), ham: make([]int, 0, k)}
+}
+
+// reset prepares a pooled heap for reuse with capacity k, keeping its
+// backing arrays.
+func (h *segHeap) reset(k int) {
+	h.k = k
+	h.entry = h.entry[:0]
+	h.ham = h.ham[:0]
 }
 
 // worst returns the current rejection bound: pushes with a distance at or

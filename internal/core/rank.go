@@ -1,0 +1,344 @@
+package core
+
+import (
+	"math"
+	"slices"
+
+	"ferret/internal/emd"
+	"ferret/internal/metastore"
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+)
+
+// lbCand pairs a candidate entry index with its sketch-estimated
+// object-distance lower bound.
+type lbCand struct {
+	idx int
+	lb  float64
+}
+
+// sortLBCands orders candidates by ascending lower bound (ties by entry
+// index, for determinism).
+func sortLBCands(lbs []lbCand) {
+	slices.SortFunc(lbs, func(a, b lbCand) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
+			return 1
+		}
+		return 0
+	})
+}
+
+// rankCandidates is the ranking unit for Filtering mode: the accurate
+// object distance over the candidate set, kept in a top-K heap.
+//
+// When the engine uses the built-in EMD object distance, two pruning tiers
+// cut evaluations without changing the ranked results (up to ties):
+//
+//  1. Sketch lower bound: each candidate's object distance is
+//     lower-bounded from the already-resident sketches (no feature-vector
+//     access), candidates are ranked by ascending bound, and once
+//     Margin·LB of the next candidate exceeds the kth-best distance the
+//     remaining tail is skipped (ferret_rank_emd_pruned_total).
+//  2. Exact-cost early abandon: each surviving EMD evaluation first checks
+//     an exact lower bound over its ground cost matrix and abandons the
+//     solve when the candidate provably cannot enter the top K
+//     (ferret_rank_emd_abandoned_total). This tier never changes results.
+func (e *Engine) rankCandidates(q object.Object, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) []Result {
+	top := newTopK(opt.K)
+	evals, abandoned := 0, 0
+
+	eval := func(idx int, bound float64) {
+		ent := &e.entries[idx]
+		var o object.Object
+		if e.cfg.LowMemory {
+			var ok bool
+			o, ok = e.meta.GetObject(ent.id)
+			if !ok {
+				return
+			}
+		} else {
+			o = e.objects[idx]
+		}
+		if e.objDistBounded != nil && !math.IsInf(bound, 1) {
+			d, exact := e.objDistBounded(q, o, bound)
+			if !exact {
+				abandoned++
+				return
+			}
+			evals++
+			top.push(Result{ID: ent.id, Key: ent.key, Distance: d})
+			return
+		}
+		evals++
+		top.push(Result{ID: ent.id, Key: ent.key, Distance: e.objDist(q, o)})
+	}
+
+	if e.pruneEnabled(qset) {
+		lbs := e.lowerBounds(qset, cands, e.cfg.SqrtWeights, sc)
+		margin := e.cfg.Prune.margin()
+		pruned := 0
+		for i := range lbs {
+			if top.full() && lbs[i].lb*margin > top.bound() {
+				pruned += len(lbs) - i
+				break
+			}
+			eval(lbs[i].idx, top.bound())
+		}
+		e.met.emdPruned.Add(pruned)
+	} else {
+		for _, idx := range cands {
+			eval(idx, math.Inf(1))
+		}
+	}
+	e.met.emdEvals.Add(evals)
+	e.met.emdAbandoned.Add(abandoned)
+	e.met.heapTrims.Add(top.trims)
+	return top.sorted()
+}
+
+// rankSketchCandidates ranks candidates with the sketch-estimated object
+// distance (sketch-only databases). Here the lower bound and the ranking
+// distance are derived from the same estimated cost matrix, so the bound is
+// exact (no margin) and pruning provably cannot change the results.
+func (e *Engine) rankSketchCandidates(qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) []Result {
+	top := newTopK(opt.K)
+	evals := 0
+	if !e.cfg.Prune.Disable && len(qset.Sketches) > 0 {
+		lbs := e.lowerBounds(qset, cands, false, sc)
+		pruned := 0
+		for i := range lbs {
+			if top.full() && lbs[i].lb > top.bound() {
+				pruned += len(lbs) - i
+				break
+			}
+			idx := lbs[i].idx
+			ent := &e.entries[idx]
+			evals++
+			top.push(Result{ID: ent.id, Key: ent.key, Distance: e.sketchObjectDistanceAt(qset, idx)})
+		}
+		e.met.emdPruned.Add(pruned)
+	} else {
+		for _, idx := range cands {
+			ent := &e.entries[idx]
+			evals++
+			top.push(Result{ID: ent.id, Key: ent.key, Distance: e.sketchObjectDistanceAt(qset, idx)})
+		}
+	}
+	e.met.emdEvals.Add(evals)
+	e.met.heapTrims.Add(top.trims)
+	return top.sorted()
+}
+
+// pruneEnabled reports whether sketch lower-bound pruning applies: it needs
+// the built-in EMD object distance (the bound is a bound on EMD, not on an
+// arbitrary plug-in) and query sketches to bound with.
+func (e *Engine) pruneEnabled(qset *metastore.SketchSet) bool {
+	return !e.cfg.Prune.Disable && e.objDistBounded != nil &&
+		qset != nil && len(qset.Sketches) > 0
+}
+
+// lowerBounds computes each candidate's sketch-estimated object-distance
+// lower bound into pooled scratch and returns them sorted ascending, so the
+// ranking loop meets its likely-nearest candidates first and the prune
+// bound tightens as early as possible.
+func (e *Engine) lowerBounds(qset *metastore.SketchSet, cands []int, sqrtW bool, sc *queryScratch) []lbCand {
+	qw := normalizedWeights(&sc.qw, qset.Weights, sqrtW)
+	lbs := sc.lbs[:0]
+	for _, idx := range cands {
+		lbs = append(lbs, lbCand{idx, e.sketchLowerBound(qset, qw, idx, sqrtW, sc)})
+	}
+	sc.lbs = lbs
+	sortLBCands(lbs)
+	return lbs
+}
+
+// sketchLowerBound lower-bounds the EMD between the query's sketch set and
+// entry idx using only arena-resident sketches: the ground costs are the
+// sketch-estimated segment distances and the bound is the larger of the two
+// independent one-sided minimizations (every unit of supply pays at least
+// its cheapest row cost; symmetrically for demand) — the same inequality as
+// emd.LowerBound, over estimated rather than exact costs.
+func (e *Engine) sketchLowerBound(qset *metastore.SketchSet, qw []float64, idx int, sqrtW bool, sc *queryScratch) float64 {
+	a := e.arena
+	lo, hi := a.rowsOf(idx)
+	m, n := len(qset.Sketches), hi-lo
+	if m == 0 || n == 0 {
+		return infinity
+	}
+	if m == 1 && n == 1 {
+		return e.estimateAt(qset.Sketches[0], lo)
+	}
+	colMin := resizeF64(&sc.colMin, n)
+	for j := range colMin {
+		colMin[j] = math.Inf(1)
+	}
+	var lbSupply float64
+	for i, qsk := range qset.Sketches {
+		rowMin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			d := e.estimateAt(qsk, lo+j)
+			if d < rowMin {
+				rowMin = d
+			}
+			if d < colMin[j] {
+				colMin[j] = d
+			}
+		}
+		lbSupply += qw[i] * rowMin
+	}
+	ow := resizeF64(&sc.ow, n)
+	var total float64
+	for j := 0; j < n; j++ {
+		w := float64(a.weight[lo+j])
+		if w < 0 {
+			w = 0
+		}
+		if sqrtW {
+			w = math.Sqrt(w)
+		}
+		ow[j] = w
+		total += w
+	}
+	var lbDemand float64
+	if total > 0 {
+		for j := range ow {
+			lbDemand += ow[j] / total * colMin[j]
+		}
+	} else {
+		for j := range ow {
+			lbDemand += colMin[j] / float64(n)
+		}
+	}
+	if lbDemand > lbSupply {
+		return lbDemand
+	}
+	return lbSupply
+}
+
+// normalizedWeights normalizes float32 segment weights into pooled scratch,
+// mirroring the default EMD's weight handling (clamp negatives, optional
+// square root, normalize to mass 1; zero total falls back to uniform).
+func normalizedWeights(dst *[]float64, w []float32, sqrtW bool) []float64 {
+	out := resizeF64(dst, len(w))
+	var total float64
+	for i, f := range w {
+		v := float64(f)
+		if v < 0 {
+			v = 0
+		}
+		if sqrtW {
+			v = math.Sqrt(v)
+		}
+		out[i] = v
+		total += v
+	}
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// sketchObjectDistanceAt estimates the object distance between the query
+// sketch set and entry idx from sketches alone: the EMD over the segment
+// weights with a ground cost matrix of sketch-estimated ℓ₁ distances.
+// Single-segment pairs reduce to one estimated segment distance.
+func (e *Engine) sketchObjectDistanceAt(qset *metastore.SketchSet, idx int) float64 {
+	a := e.arena
+	lo, hi := a.rowsOf(idx)
+	m, n := len(qset.Sketches), hi-lo
+	if m == 0 || n == 0 {
+		return infinity
+	}
+	if m == 1 && n == 1 {
+		return e.estimateAt(qset.Sketches[0], lo)
+	}
+	supply := make([]float64, m)
+	for i, w := range qset.Weights {
+		supply[i] = float64(w)
+	}
+	demand := make([]float64, n)
+	for j := 0; j < n; j++ {
+		demand[j] = float64(a.weight[lo+j])
+	}
+	normalize(supply)
+	normalize(demand)
+	cost := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			cost[i][j] = e.estimateAt(qset.Sketches[i], lo+j)
+		}
+	}
+	val, _, err := emd.Solve(supply, demand, cost)
+	if err != nil {
+		return infinity
+	}
+	return val
+}
+
+// sketchObjectDistanceSet is sketchObjectDistanceAt over two free-standing
+// sketch sets (no arena entry) — used by diagnostics and tests.
+func (e *Engine) sketchObjectDistanceSet(qset, oset *metastore.SketchSet) float64 {
+	m, n := len(qset.Sketches), len(oset.Sketches)
+	if m == 0 || n == 0 {
+		return infinity
+	}
+	if m == 1 && n == 1 {
+		return e.estimateSketches(qset.Sketches[0], oset.Sketches[0])
+	}
+	supply := make([]float64, m)
+	for i, w := range qset.Weights {
+		supply[i] = float64(w)
+	}
+	demand := make([]float64, n)
+	for j, w := range oset.Weights {
+		demand[j] = float64(w)
+	}
+	normalize(supply)
+	normalize(demand)
+	cost := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			cost[i][j] = e.estimateSketches(qset.Sketches[i], oset.Sketches[j])
+		}
+	}
+	val, _, err := emd.Solve(supply, demand, cost)
+	if err != nil {
+		return infinity
+	}
+	return val
+}
+
+// estimateAt converts the Hamming distance between a query sketch and arena
+// row into an estimated segment distance, applying the rank threshold when
+// configured.
+func (e *Engine) estimateAt(q sketch.Sketch, row int) float64 {
+	d := e.builder.EstimateL1(sketch.HammingAt(q, e.arena.words, row*e.arena.wps))
+	if t := e.cfg.RankThreshold; t > 0 && d > t {
+		d = t
+	}
+	return d
+}
+
+// estimateSketches is estimateAt for two free-standing sketches.
+func (e *Engine) estimateSketches(a, b sketch.Sketch) float64 {
+	d := e.builder.EstimateL1(sketch.Hamming(a, b))
+	if t := e.cfg.RankThreshold; t > 0 && d > t {
+		d = t
+	}
+	return d
+}

@@ -32,10 +32,12 @@ type engineMetrics struct {
 	compacts    *telemetry.Counter // ferret_compact_total
 
 	// Pipeline counters (per-stage attribution of work done).
-	scanned    *telemetry.Counter // ferret_filter_objects_scanned_total
-	candidates *telemetry.Counter // ferret_filter_candidates_total
-	emdEvals   *telemetry.Counter // ferret_rank_distance_evals_total
-	heapTrims  *telemetry.Counter // ferret_rank_heap_trims_total
+	scanned      *telemetry.Counter // ferret_filter_objects_scanned_total
+	candidates   *telemetry.Counter // ferret_filter_candidates_total
+	emdEvals     *telemetry.Counter // ferret_rank_distance_evals_total
+	emdPruned    *telemetry.Counter // ferret_rank_emd_pruned_total
+	emdAbandoned *telemetry.Counter // ferret_rank_emd_abandoned_total
+	heapTrims    *telemetry.Counter // ferret_rank_heap_trims_total
 
 	// State gauges — maintained incrementally under e.mu so Stat() never
 	// has to walk the sketch database.
@@ -74,7 +76,11 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		scanned:    reg.Counter("ferret_filter_objects_scanned_total", "Live objects visited by the filtering unit."),
 		candidates: reg.Counter("ferret_filter_candidates_total", "Candidate objects surviving the filter stage."),
 		emdEvals:   reg.Counter("ferret_rank_distance_evals_total", "Object-distance (EMD) evaluations in the ranking unit."),
-		heapTrims:  reg.Counter("ferret_rank_heap_trims_total", "Top-K heap evictions while ranking."),
+		emdPruned: reg.Counter("ferret_rank_emd_pruned_total",
+			"Candidates skipped by the sketch lower-bound prune (no object-distance evaluation)."),
+		emdAbandoned: reg.Counter("ferret_rank_emd_abandoned_total",
+			"EMD evaluations abandoned early by the exact-cost lower bound."),
+		heapTrims: reg.Counter("ferret_rank_heap_trims_total", "Top-K heap evictions while ranking."),
 
 		objects:         reg.Gauge("ferret_objects", "Live (non-deleted) objects."),
 		deleted:         reg.Gauge("ferret_deleted_objects", "Tombstoned objects awaiting compaction."),

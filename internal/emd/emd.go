@@ -359,6 +359,90 @@ func Distance(x, y object.Object, opt Options) (float64, error) {
 	return val, err
 }
 
+// LowerBound returns the independent-minimization lower bound on the
+// transportation optimum for the given (normalized, balanced) marginals and
+// cost matrix: every unit of supply must pay at least its cheapest edge, and
+// symmetrically for demand, so
+//
+//	LB = max( Σᵢ supplyᵢ·minⱼ costᵢⱼ , Σⱼ demandⱼ·minᵢ costᵢⱼ ) ≤ EMD.
+//
+// It is exact for 1×n and m×1 problems and costs O(m·n) — no simplex.
+func LowerBound(supply, demand []float64, cost [][]float64) float64 {
+	var lbS float64
+	for i, s := range supply {
+		row := cost[i]
+		min := math.Inf(1)
+		for _, c := range row {
+			if c < min {
+				min = c
+			}
+		}
+		lbS += s * min
+	}
+	var lbD float64
+	for j, d := range demand {
+		min := math.Inf(1)
+		for i := range cost {
+			if c := cost[i][j]; c < min {
+				min = c
+			}
+		}
+		lbD += d * min
+	}
+	if lbD > lbS {
+		return lbD
+	}
+	return lbS
+}
+
+// DistanceBounded is Distance with an early-abandon hook for top-K search:
+// when the independent-minimization lower bound over the exact ground costs
+// already exceeds bound, the simplex is skipped and (lb, false, nil) is
+// returned. Since lb ≤ EMD, an abandoned candidate's true distance also
+// exceeds bound, so a ranking unit that drops results above bound gets
+// byte-identical answers whether or not abandonment fired. A negative or
+// +Inf bound disables abandonment.
+func DistanceBounded(x, y object.Object, opt Options, bound float64) (float64, bool, error) {
+	if len(x.Segments) == 0 || len(y.Segments) == 0 {
+		return 0, false, errors.New("emd: object with no segments")
+	}
+	if x.Dim() != y.Dim() {
+		return 0, false, fmt.Errorf("emd: dimension mismatch (%d vs %d)", x.Dim(), y.Dim())
+	}
+	ground := opt.Ground
+	if ground == nil {
+		ground = vector.L1
+	}
+	m, n := len(x.Segments), len(y.Segments)
+	if m == 1 && n == 1 {
+		d := ground(x.Segments[0].Vec, y.Segments[0].Vec)
+		if opt.Threshold > 0 && d > opt.Threshold {
+			d = opt.Threshold
+		}
+		return d, true, nil
+	}
+	supply := weights(x, opt.SqrtWeights)
+	demand := weights(y, opt.SqrtWeights)
+	cost := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d := ground(x.Segments[i].Vec, y.Segments[j].Vec)
+			if opt.Threshold > 0 && d > opt.Threshold {
+				d = opt.Threshold
+			}
+			cost[i][j] = d
+		}
+	}
+	if !math.IsInf(bound, 1) && bound >= 0 {
+		if lb := LowerBound(supply, demand, cost); lb > bound {
+			return lb, false, nil
+		}
+	}
+	val, _, err := Solve(supply, demand, cost)
+	return val, true, err
+}
+
 // weights extracts normalized (optionally square-rooted) segment weights.
 func weights(o object.Object, sqrt bool) []float64 {
 	w := make([]float64, len(o.Segments))
@@ -397,5 +481,18 @@ func ObjectDistance(opt Options) func(a, b object.Object) float64 {
 			return math.Inf(1)
 		}
 		return d
+	}
+}
+
+// BoundedObjectDistance is ObjectDistance's early-abandon form: the second
+// result reports whether the returned value is the exact distance (true) or
+// a lower bound that already exceeded bound (false).
+func BoundedObjectDistance(opt Options) func(a, b object.Object, bound float64) (float64, bool) {
+	return func(a, b object.Object, bound float64) (float64, bool) {
+		d, exact, err := DistanceBounded(a, b, opt, bound)
+		if err != nil {
+			return math.Inf(1), true
+		}
+		return d, exact
 	}
 }

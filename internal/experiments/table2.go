@@ -10,13 +10,21 @@ import (
 )
 
 // Table2Row is one row of the paper's Table 2: search speed with sketching
-// and filtering on, extended with the per-query latency distribution.
+// and filtering on, extended with the per-query latency distribution and
+// the ranking unit's work counters. EMDEvals counts full object-distance
+// evaluations over the measured queries; EMDPruned and EMDAbandoned count
+// candidates skipped by the sketch lower bound and solves cut short by the
+// exact-cost bound — pruning changes these counters, never the ranked
+// results.
 type Table2Row struct {
 	Benchmark    string         `json:"benchmark"`
 	Objects      int            `json:"objects"`
 	AvgSegments  float64        `json:"avg_segments"`
 	AvgSearchSec float64        `json:"avg_search_sec"`
 	Latency      LatencySummary `json:"latency"`
+	EMDEvals     int64          `json:"emd_evals"`
+	EMDPruned    int64          `json:"emd_pruned"`
+	EMDAbandoned int64          `json:"emd_abandoned"`
 }
 
 // speedDataset couples a feature-level object generator with its engine
@@ -58,7 +66,14 @@ func Table2(scale Scale) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		reg := e.Telemetry()
+		evals0 := reg.Value("ferret_rank_distance_evals_total")
+		pruned0 := reg.Value("ferret_rank_emd_pruned_total")
+		abandoned0 := reg.Value("ferret_rank_emd_abandoned_total")
 		lat, err := measureQueries(e, queries, core.Filtering, 20)
+		evals := int64(reg.Value("ferret_rank_distance_evals_total") - evals0)
+		pruned := int64(reg.Value("ferret_rank_emd_pruned_total") - pruned0)
+		abandoned := int64(reg.Value("ferret_rank_emd_abandoned_total") - abandoned0)
 		cleanup()
 		if err != nil {
 			return nil, err
@@ -69,6 +84,9 @@ func Table2(scale Scale) ([]Table2Row, error) {
 			AvgSegments:  synth.AvgSegments(objs),
 			AvgSearchSec: lat.MeanSec,
 			Latency:      lat,
+			EMDEvals:     evals,
+			EMDPruned:    pruned,
+			EMDAbandoned: abandoned,
 		})
 	}
 	return rows, nil
@@ -76,11 +94,11 @@ func Table2(scale Scale) ([]Table2Row, error) {
 
 // FprintTable2 renders rows in the paper's layout.
 func FprintTable2(w io.Writer, rows []Table2Row) {
-	fmt.Fprintf(w, "%-16s %10s %14s %16s %12s %12s %10s\n",
-		"Benchmark", "Objects", "AvgSegs/Obj", "AvgSearch(s)", "p50(s)", "p99(s)", "QPS")
+	fmt.Fprintf(w, "%-16s %10s %14s %16s %12s %12s %10s %10s %10s\n",
+		"Benchmark", "Objects", "AvgSegs/Obj", "AvgSearch(s)", "p50(s)", "p99(s)", "QPS", "EMDEvals", "EMDPruned")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-16s %10d %14.1f %16.4f %12.4f %12.4f %10.1f\n",
+		fmt.Fprintf(w, "%-16s %10d %14.1f %16.4f %12.4f %12.4f %10.1f %10d %10d\n",
 			r.Benchmark, r.Objects, r.AvgSegments, r.AvgSearchSec,
-			r.Latency.P50Sec, r.Latency.P99Sec, r.Latency.QPS)
+			r.Latency.P50Sec, r.Latency.P99Sec, r.Latency.QPS, r.EMDEvals, r.EMDPruned)
 	}
 }

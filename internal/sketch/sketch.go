@@ -63,6 +63,136 @@ func Hamming(a, b Sketch) int {
 // Bit reports bit n of the sketch.
 func (s Sketch) Bit(n int) bool { return s[n/64]&(1<<(n%64)) != 0 }
 
+// HammingAt returns the Hamming distance between q and the equal-length
+// sketch stored at word offset off inside a flat sketch arena. The bounds
+// check is hoisted to a single sub-slice operation, so the popcount loop
+// runs with no per-word checks and no per-sketch slice-header loads — the
+// kernel the arena-backed filter scan is built on.
+func HammingAt(q Sketch, arena []uint64, off int) int {
+	w := arena[off : off+len(q)]
+	var h int
+	for i, qw := range q {
+		h += bits.OnesCount64(qw ^ w[i])
+	}
+	return h
+}
+
+// HammingBatch computes the Hamming distances between q and count
+// consecutive sketches packed back to back (stride len(q) words) in a flat
+// arena starting at word offset off, writing the distances to dst[:count].
+// Small word counts — the common sketch sizes — get unrolled inner loops.
+func HammingBatch(q Sketch, arena []uint64, off, count int, dst []int32) {
+	wps := len(q)
+	if count == 0 {
+		return
+	}
+	w := arena[off : off+count*wps]
+	dst = dst[:count]
+	switch wps {
+	case 1:
+		q0 := q[0]
+		for i := range dst {
+			dst[i] = int32(bits.OnesCount64(q0 ^ w[i]))
+		}
+	case 2:
+		q0, q1 := q[0], q[1]
+		for i := range dst {
+			j := 2 * i
+			dst[i] = int32(bits.OnesCount64(q0^w[j]) + bits.OnesCount64(q1^w[j+1]))
+		}
+	case 4:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		for i := range dst {
+			j := 4 * i
+			dst[i] = int32(bits.OnesCount64(q0^w[j]) + bits.OnesCount64(q1^w[j+1]) +
+				bits.OnesCount64(q2^w[j+2]) + bits.OnesCount64(q3^w[j+3]))
+		}
+	default:
+		for i := range dst {
+			row := w[i*wps : i*wps+wps]
+			var h int
+			for k, qw := range q {
+				h += bits.OnesCount64(qw ^ row[k])
+			}
+			dst[i] = int32(h)
+		}
+	}
+}
+
+// HammingSelect is the filter scan's fused kernel: it computes the Hamming
+// distance between q and count consecutive sketches starting at word offset
+// off, and records only the rows at or under bound — the block-relative row
+// index into idx[n] and the distance into dist[n] — returning the hit count
+// n. Misses (the overwhelming majority once the scan's k-nearest bound
+// tightens) cost one compare and no stores, which is what lets the scan
+// approach the raw XOR+popcount throughput of the arena sweep. idx and dist
+// must each hold at least count values.
+func HammingSelect(q Sketch, arena []uint64, off, count int, bound int32, idx, dist []int32) int {
+	wps := len(q)
+	if count == 0 {
+		return 0
+	}
+	w := arena[off : off+count*wps]
+	idx = idx[:count]
+	dist = dist[:count]
+	n := 0
+	switch wps {
+	case 1:
+		q0 := q[0]
+		for i := 0; i < count; i++ {
+			if h := int32(bits.OnesCount64(q0 ^ w[i])); h <= bound {
+				idx[n], dist[n] = int32(i), h
+				n++
+			}
+		}
+	case 2:
+		q0, q1 := q[0], q[1]
+		i, j := 0, 0
+		// Two rows per iteration: halves the loop bookkeeping, and the two
+		// row sums are independent dependency chains.
+		for ; j+3 < len(w); i, j = i+2, j+4 {
+			h0 := int32(bits.OnesCount64(q0^w[j]) + bits.OnesCount64(q1^w[j+1]))
+			h1 := int32(bits.OnesCount64(q0^w[j+2]) + bits.OnesCount64(q1^w[j+3]))
+			if h0 <= bound {
+				idx[n], dist[n] = int32(i), h0
+				n++
+			}
+			if h1 <= bound {
+				idx[n], dist[n] = int32(i+1), h1
+				n++
+			}
+		}
+		for ; j+1 < len(w); i, j = i+1, j+2 {
+			if h := int32(bits.OnesCount64(q0^w[j]) + bits.OnesCount64(q1^w[j+1])); h <= bound {
+				idx[n], dist[n] = int32(i), h
+				n++
+			}
+		}
+	case 4:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		for i, j := 0, 0; j+3 < len(w); i, j = i+1, j+4 {
+			if h := int32(bits.OnesCount64(q0^w[j]) + bits.OnesCount64(q1^w[j+1]) +
+				bits.OnesCount64(q2^w[j+2]) + bits.OnesCount64(q3^w[j+3])); h <= bound {
+				idx[n], dist[n] = int32(i), h
+				n++
+			}
+		}
+	default:
+		for i := 0; i < count; i++ {
+			row := w[i*wps : i*wps+wps]
+			var h int32
+			for k, qw := range q {
+				h += int32(bits.OnesCount64(qw ^ row[k]))
+			}
+			if h <= bound {
+				idx[n], dist[n] = int32(i), h
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Builder holds the N×K random (i, t) pairs generated by Algorithm 1 and
 // converts feature vectors to sketches via Algorithm 2. A Builder is
 // immutable after construction and safe for concurrent use.
@@ -244,6 +374,11 @@ func (b *Builder) EstimateL1(h int) float64 {
 	frac := float64(h) / float64(b.n)
 	if frac >= 0.5 {
 		frac = 0.5 - 1e-9
+	}
+	if b.k == 1 {
+		// (1−(1−2q)^K)/2 inverts to q = frac for K = 1; skipping math.Pow
+		// matters on estimator-heavy paths (rank pruning, BruteForceSketch).
+		return frac * b.z
 	}
 	inner := 1 - 2*frac // (1−2q)^K
 	q := (1 - math.Pow(inner, 1/float64(b.k))) / 2
