@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-json check-bench clean
+.PHONY: all build test race race-fast vet lint check ci bench bench-json check-bench clean
 
 # Benchmark artifact plumbing. bench-json measures the filter/kernel/pipeline
 # microbenchmarks plus a medium-scale ferret-bench run and merges them into
@@ -19,15 +19,28 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-heavy packages (telemetry hot paths, parallel
-# query scans, the TCP server and the transactional store).
 race:
+	$(GO) test -race ./...
+
+# Quick race pass over just the concurrency-heavy packages (telemetry hot
+# paths, parallel query scans, the TCP server and the transactional store)
+# for tight edit-compile loops; `make race` covers the whole tree.
+race-fast:
 	$(GO) test -race ./internal/telemetry ./internal/core ./internal/server ./internal/kvstore
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# Project-specific static analysis: layering, atomicfield, poolescape,
+# floatcmp and errclose (see internal/lint). Zero diagnostics is the bar.
+lint:
+	$(GO) run ./cmd/ferret-lint ./...
+
+check: build vet lint test race
+
+# The full pre-merge gate: everything in check plus the benchmark
+# regression guard against the committed artifact.
+ci: check check-bench
 
 bench:
 	$(GO) test -bench . -benchtime 1x

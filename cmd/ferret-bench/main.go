@@ -114,18 +114,27 @@ func main() {
 
 	if *jsonPath != "" {
 		out := os.Stdout
+		var f *os.File
 		if *jsonPath != "-" {
-			f, err := os.Create(*jsonPath)
+			var err error
+			f, err = os.Create(*jsonPath)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ferret-bench: %v\n", err)
 				os.Exit(1)
 			}
-			defer f.Close()
 			out = f
 		}
 		if err := summary.WriteJSON(out); err != nil {
 			fmt.Fprintf(os.Stderr, "ferret-bench: writing JSON: %v\n", err)
 			os.Exit(1)
+		}
+		// Close is the artifact's durability boundary: a failed close means
+		// the JSON the benchmark gate would read may be truncated.
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ferret-bench: closing %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
 		}
 	}
 }

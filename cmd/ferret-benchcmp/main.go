@@ -147,17 +147,25 @@ func merge(microPath, pipelinePath, outPath string) error {
 		art.Pipeline = json.RawMessage(data)
 	}
 	out := os.Stdout
+	var f *os.File
 	if outPath != "" && outPath != "-" {
-		f, err := os.Create(outPath)
+		f, err = os.Create(outPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		out = f
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(art)
+	if err := enc.Encode(art); err != nil {
+		return err
+	}
+	// The merged artifact is the regression gate's baseline; surface a
+	// failed close instead of silently committing a truncated file.
+	if f != nil {
+		return f.Close()
+	}
+	return nil
 }
 
 // compare reports per-benchmark deltas and returns an error when a gated

@@ -1,0 +1,110 @@
+// Command ferret-lint runs ferret's project-specific static-analysis suite:
+// five analyzers (layering, atomicfield, poolescape, floatcmp, errclose)
+// enforcing the concurrency, pooling and layering invariants that go vet
+// cannot see. It is built purely on the standard library's go/parser,
+// go/ast and go/types.
+//
+// Usage:
+//
+//	ferret-lint [-checks list] [-list] [-debug] [dir | ./...]
+//
+// The argument is the module root (or any directory inside it; "./..." is
+// accepted and means "the module containing the current directory"). The
+// exit status is 1 when diagnostics were reported, 2 on usage or load
+// errors. Diagnostics can be suppressed per line with
+//
+//	//lint:ignore <check>[,<check>] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ferret/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "all", "comma-separated checks to run (layering,atomicfield,poolescape,floatcmp,errclose) or \"all\"")
+	list := flag.Bool("list", false, "list available checks and exit")
+	debug := flag.Bool("debug", false, "print tolerated type-check errors (stub stdlib references) to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ferret-lint [-checks list] [-list] [-debug] [dir | ./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ferret-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = strings.TrimSuffix(flag.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, string(filepath.Separator))
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ferret-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ferret-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if *debug {
+		for _, p := range pkgs {
+			for _, te := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "ferret-lint: debug: %s: %v\n", p.ImportPath, te)
+			}
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ferret-lint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

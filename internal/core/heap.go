@@ -80,8 +80,11 @@ func (t *topK) bound() float64 {
 func (t *topK) sorted() []Result {
 	out := append([]Result(nil), t.items...)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
+		if out[i].Distance < out[j].Distance {
+			return true
+		}
+		if out[i].Distance > out[j].Distance {
+			return false
 		}
 		return out[i].ID < out[j].ID
 	})

@@ -140,7 +140,7 @@ func (m *Matrix) Bounds() (min, max []float32) {
 	for j := 0; j < n; j++ {
 		if min[j] > max[j] {
 			min[j], max[j] = 0, 1
-		} else if min[j] == max[j] {
+		} else if min[j] == max[j] { //lint:ignore floatcmp a degenerate range is exact equality of copied values, widened to avoid /0
 			max[j] = min[j] + 1
 		}
 	}

@@ -85,13 +85,19 @@ func ReadFile(path string) (*Image, error) {
 	}
 }
 
-// WriteFile saves the image by extension (.png or .ppm).
-func (im *Image) WriteFile(path string) error {
+// WriteFile saves the image by extension (.png or .ppm). The file's Close
+// error is propagated: it is the last chance to learn that buffered image
+// data never reached the kernel.
+func (im *Image) WriteFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriter(f)
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".png":

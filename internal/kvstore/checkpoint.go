@@ -195,12 +195,18 @@ func loadCheckpoint(dir string) (map[string]*btree, uint64, error) {
 	return tables, txnID, nil
 }
 
-// syncDir fsyncs a directory so a rename within it is durable.
+// syncDir fsyncs a directory so a rename within it is durable. Both the
+// Sync and the Close error are propagated: this is the last step of the
+// checkpoint commit, and a discarded error here could report a failed
+// rename flush as a committed checkpoint.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	syncErr := d.Sync()
+	if closeErr := d.Close(); syncErr == nil {
+		syncErr = closeErr
+	}
+	return syncErr
 }

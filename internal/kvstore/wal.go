@@ -216,7 +216,14 @@ func replayWAL(path string, apply func(*walRecord)) (applied int, maxTxn uint64,
 	if err != nil {
 		return 0, 0, err
 	}
-	defer f.Close()
+	// Close errors are surfaced (when nothing worse happened) rather than
+	// discarded: replay decides the store's recovered state, so even a
+	// read-path descriptor failure is worth knowing about.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	rd := bufio.NewReaderSize(f, 1<<16)
 	var hdr [8]byte
 	for {

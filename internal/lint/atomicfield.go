@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer enforces atomics-only access to counter fields, the
+// invariant behind the telemetry layer's lock-free hot path:
+//
+//   - A struct field declared with a sync/atomic value type (atomic.Uint64,
+//     atomic.Int64, ...) may only be used as the receiver of a method call
+//     (c.v.Add(1)) or have its address taken (&c.v, to share the handle).
+//     Plain reads, writes, or copies of the field are reported: they bypass
+//     the atomic API and race with concurrent updaters. (Pointer-typed
+//     fields like *atomic.Int32 are exempt — copying the pointer is safe.)
+//
+//   - A plain integer field annotated with a "ferret:atomic" comment may
+//     only appear as &x.f in a direct argument to a sync/atomic function
+//     (atomic.AddUint64(&x.f, 1)). Any other access is reported.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "atomic-tagged struct fields must only be accessed via sync/atomic",
+	Run:  runAtomicField,
+}
+
+const atomicTag = "ferret:atomic"
+
+func runAtomicField(pass *Pass) {
+	pkg := pass.Pkg
+	// Pass 1: collect the field objects subject to the rule. Detection is
+	// syntactic (alias-aware selector on a sync/atomic import) so it works
+	// even though the standard library is stubbed during type-checking.
+	atomicTyped := map[types.Object]bool{} // fields of type atomic.T
+	tagged := map[types.Object]bool{}      // fields carrying a ferret:atomic comment
+	for _, f := range pkg.Files {
+		imports := importMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				isAtomic := false
+				if _, ok := isPkgSelector(field.Type, imports, "sync/atomic"); ok {
+					isAtomic = true
+				}
+				isTagged := commentHas(field.Doc, atomicTag) || commentHas(field.Comment, atomicTag)
+				if !isAtomic && !isTagged {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						if isAtomic {
+							atomicTyped[obj] = true
+						}
+						if isTagged {
+							tagged[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicTyped) == 0 && len(tagged) == 0 {
+		return
+	}
+
+	// Pass 2: check every selector that resolves to one of those fields.
+	for _, f := range pkg.Files {
+		imports := importMap(f)
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := objOf(pkg.Info, sel.Sel)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case atomicTyped[obj]:
+				if !atomicTypedOK(sel, stack) {
+					pass.Reportf(sel.Pos(),
+						"field %s has a sync/atomic type; access it only through its atomic methods (Load/Store/Add/CompareAndSwap) or by taking its address",
+						exprString(sel))
+				}
+			case tagged[obj]:
+				if !taggedOK(sel, stack, imports) {
+					pass.Reportf(sel.Pos(),
+						"field %s is tagged %s; access it only as &%s inside a sync/atomic call",
+						exprString(sel), atomicTag, exprString(sel))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicTypedOK reports whether an atomic-typed field selection appears in an
+// allowed context: as the receiver of a method call, or under a unary &.
+func atomicTypedOK(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := unwrapParens(stack)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.Add(...): the grandparent call must use p as its Fun.
+		if p.X != sel {
+			return true // sel is the Sel side of an outer selector; not a field read
+		}
+		if gp := grandParent(stack); gp != nil {
+			if call, ok := gp.(*ast.CallExpr); ok && call.Fun == p {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return p.Op.String() == "&"
+	}
+	return false
+}
+
+// taggedOK reports whether a ferret:atomic plain-field selection appears as
+// &x.f directly inside a call to a sync/atomic function.
+func taggedOK(sel *ast.SelectorExpr, stack []ast.Node, imports map[string]string) bool {
+	parent := unwrapParens(stack)
+	un, ok := parent.(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return false
+	}
+	gp := grandParent(stack)
+	call, ok := gp.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, ok := isPkgSelector(call.Fun, imports, "sync/atomic")
+	return ok && ast.IsExported(name) // any exported atomic.Fn
+}
+
+// unwrapParens returns the nearest non-paren ancestor.
+func unwrapParens(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); !ok {
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// grandParent returns the nearest ancestor above the direct (non-paren)
+// parent.
+func grandParent(stack []ast.Node) ast.Node {
+	skipped := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		if !skipped {
+			skipped = true
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// commentHas reports whether any comment in the group contains the marker.
+func commentHas(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrCloseAnalyzer guards the durability path: for a writable file, the
+// error from Close (and Sync/Flush) is the final word on whether buffered
+// data reached the kernel — discarding it via a bare defer can report a
+// failed flush as a committed write (the kvstore WAL/checkpoint rule).
+//
+// Within each function the analyzer marks a value as write-involved when it
+// is
+//
+//   - assigned from os.Create,
+//   - assigned from os.OpenFile with O_WRONLY/O_RDWR/O_APPEND in its flags,
+//   - assigned from bufio.NewWriter/NewWriterSize, or
+//   - the receiver of a Write/WriteString/WriteByte/ReadFrom/Sync/Flush/
+//     Truncate call anywhere in the function,
+//
+// and then reports every bare `defer v.Close()`, `defer v.Sync()` or
+// `defer v.Flush()` on such a value. The fix is a named-return closure
+// (`defer func() { if cerr := f.Close(); err == nil { err = cerr } }()`)
+// or an explicit checked call before returning. Read-only files may keep
+// the idiomatic bare defer.
+var ErrCloseAnalyzer = &Analyzer{
+	Name: "errclose",
+	Doc:  "Close/Sync/Flush errors on writable files must be checked, not discarded by a bare defer",
+	Run:  runErrClose,
+}
+
+// writerMethods mark a receiver as write-involved.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"ReadFrom": true, "Sync": true, "Flush": true, "Truncate": true,
+}
+
+// deferredChecked are the error-returning finalizers whose result a bare
+// defer discards.
+var deferredChecked = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+func runErrClose(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		imports := importMap(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrClose(pass, fd, imports)
+		}
+	}
+}
+
+func checkErrClose(pass *Pass, fd *ast.FuncDecl, imports map[string]string) {
+	// Pass 1: collect write-involved values, keyed by rendered expression
+	// so chains like w.buf are tracked alongside plain identifiers.
+	writable := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !writerSource(rhs, imports) {
+					continue
+				}
+				// os.Create returns (f, err): the file is Lhs[i] on a 1:1
+				// assign, Lhs[0] on the common `f, err :=` form.
+				idx := i
+				if len(st.Lhs) != len(st.Rhs) {
+					idx = 0
+				}
+				if idx < len(st.Lhs) {
+					writable[exprString(st.Lhs[idx])] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+				writable[exprString(sel.X)] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+
+	// Pass 2: flag bare defers of Close/Sync/Flush on write-involved values.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+		if !ok || !deferredChecked[sel.Sel.Name] {
+			return true
+		}
+		if writable[exprString(sel.X)] {
+			pass.Reportf(def.Pos(),
+				"%s error discarded by bare defer on writable %s; a failed flush would be reported as success — check the error (named-return closure or explicit call)",
+				sel.Sel.Name, exprString(sel.X))
+		}
+		return true
+	})
+}
+
+// writerSource reports whether a call expression produces a writable file or
+// buffered writer: os.Create, os.OpenFile with write flags, bufio.NewWriter*.
+func writerSource(e ast.Expr, imports map[string]string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if name, ok := isPkgSelector(call.Fun, imports, "os"); ok {
+		switch name {
+		case "Create":
+			return true
+		case "OpenFile":
+			return len(call.Args) >= 2 && hasWriteFlag(call.Args[1])
+		}
+		return false
+	}
+	if name, ok := isPkgSelector(call.Fun, imports, "bufio"); ok {
+		return strings.HasPrefix(name, "NewWriter")
+	}
+	return false
+}
+
+// hasWriteFlag reports whether a flags expression mentions a write-mode
+// constant (syntactic: the expression renders with O_WRONLY/O_RDWR/O_APPEND).
+func hasWriteFlag(flags ast.Expr) bool {
+	s := exprString(flags)
+	return strings.Contains(s, "O_WRONLY") || strings.Contains(s, "O_RDWR") || strings.Contains(s, "O_APPEND")
+}

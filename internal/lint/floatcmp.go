@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer forbids == and != on floating-point values. Distances,
+// EMD costs and segment weights are floats throughout the pipeline, and
+// exact equality on them silently breaks the filter/rank semantics (a
+// re-computed distance rarely bit-matches a cached one). Allowed idioms:
+//
+//   - math.Trunc(x) == x (and its mirror), the blessed integerness test;
+//   - x == x / x != x on the identical expression, the NaN test;
+//   - comparisons where both operands are compile-time constants.
+//
+// Anything else needs an explicit //lint:ignore floatcmp <reason>.
+// Test files are outside the loaded file set, so they are exempt by
+// construction.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no ==/!= on float32/float64 values outside blessed idioms",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		imports := importMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xv := typeAndConst(pkg, be.X)
+			yt, yv := typeAndConst(pkg, be.Y)
+			if !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			if xv && yv {
+				return true // constant fold: compile-time comparison
+			}
+			if exprString(be.X) == exprString(be.Y) {
+				return true // x != x NaN idiom
+			}
+			if truncIdiom(be.X, be.Y, imports) || truncIdiom(be.Y, be.X, imports) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison on %s; use an epsilon, the math.Trunc integerness idiom, or //lint:ignore floatcmp with a reason",
+				be.Op, exprString(be.X))
+			return true
+		})
+	}
+}
+
+// typeAndConst resolves an expression's type and whether it is a constant.
+func typeAndConst(pkg *Package, e ast.Expr) (types.Type, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return nil, false
+	}
+	return tv.Type, tv.Value != nil
+}
+
+// isFloat reports whether t (or its underlying type) is a floating-point
+// type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// truncIdiom matches math.Trunc(e) compared against e itself.
+func truncIdiom(call, other ast.Expr, imports map[string]string) bool {
+	c, ok := ast.Unparen(call).(*ast.CallExpr)
+	if !ok || len(c.Args) != 1 {
+		return false
+	}
+	name, ok := isPkgSelector(c.Fun, imports, "math")
+	if !ok || name != "Trunc" {
+		return false
+	}
+	return exprString(c.Args[0]) == exprString(other)
+}

@@ -1,0 +1,113 @@
+package lint
+
+import "strings"
+
+// LayeringAnalyzer enforces the repository's import DAG. The rules are
+// written against module-relative package paths so the fixture module
+// exercises exactly the production rules:
+//
+//   - Leaf packages (internal/vector, internal/sketch, internal/object,
+//     internal/protocol, internal/telemetry, internal/dsp) import nothing
+//     else from the module. The sketch and vector kernels in particular must
+//     stay dependency-free so they can be reused and benchmarked in
+//     isolation.
+//   - internal/core (the engine) never imports the serving layer
+//     (internal/server, internal/protocol, internal/webui), the evaluation
+//     harnesses (internal/evaltool, internal/experiments), or the public
+//     facade (the module root).
+//   - No internal package imports the module root: the facade sits strictly
+//     above internal/.
+//   - cmd/* binaries reach the engine only through public packages: the
+//     module root facade plus the tooling layers (telemetry, protocol,
+//     webui, evaltool, synth, experiments). Importing internal/core,
+//     internal/server, internal/kvstore, ... directly from a binary is a
+//     layering violation.
+var LayeringAnalyzer = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the vector/sketch -> core -> server -> cmd import DAG",
+	Run:  runLayering,
+}
+
+// leafPackages may not import anything module-internal.
+var leafPackages = map[string]bool{
+	"internal/vector":    true,
+	"internal/sketch":    true,
+	"internal/object":    true,
+	"internal/protocol":  true,
+	"internal/telemetry": true,
+	"internal/dsp":       true,
+}
+
+// coreForbidden are module-relative paths internal/core may not import.
+var coreForbidden = map[string]bool{
+	"internal/server":      true,
+	"internal/protocol":    true,
+	"internal/webui":       true,
+	"internal/evaltool":    true,
+	"internal/experiments": true,
+	".":                    true,
+}
+
+// cmdAllowed are the only module-relative paths cmd/* may import.
+var cmdAllowed = map[string]bool{
+	".":                    true,
+	"internal/telemetry":   true,
+	"internal/protocol":    true,
+	"internal/webui":       true,
+	"internal/evaltool":    true,
+	"internal/synth":       true,
+	"internal/experiments": true,
+	"internal/lint":        true,
+}
+
+func runLayering(pass *Pass) {
+	pkg := pass.Pkg
+	mod := modulePathOf(pkg)
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			rel, internal := relImport(path, mod)
+			if !internal {
+				continue
+			}
+			if msg := layeringViolation(pkg.RelPath, rel); msg != "" {
+				pass.Reportf(imp.Pos(), "%s", msg)
+			}
+		}
+	}
+}
+
+// relImport resolves an import path to its module-relative form; ok is false
+// for imports outside the module.
+func relImport(path, mod string) (string, bool) {
+	if path == mod {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, mod+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// layeringViolation returns a diagnostic message when the package at from
+// (module-relative) may not import the package at to, or "".
+func layeringViolation(from, to string) string {
+	switch {
+	case leafPackages[from]:
+		return "layer violation: " + from + " is a leaf package and may not import " + describeRel(to)
+	case from == "internal/core" && coreForbidden[to]:
+		return "layer violation: internal/core (engine) may not import " + describeRel(to)
+	case strings.HasPrefix(from, "internal/") && to == ".":
+		return "layer violation: internal packages may not import the module root facade"
+	case strings.HasPrefix(from, "cmd/") && !cmdAllowed[to]:
+		return "layer violation: cmd binaries must go through the public facade, not " + describeRel(to)
+	}
+	return ""
+}
+
+func describeRel(rel string) string {
+	if rel == "." {
+		return "the module root facade"
+	}
+	return rel
+}

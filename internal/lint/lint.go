@@ -1,0 +1,189 @@
+// Package lint is ferret's project-specific static-analysis suite. It is a
+// self-contained analyzer driver on the standard library's go/parser, go/ast
+// and go/types (no golang.org/x/tools dependency, honoring the repo's
+// stdlib-only rule) with five analyzers enforcing invariants that go vet
+// cannot see:
+//
+//   - layering: the package import DAG (vector/sketch/object/protocol/
+//     telemetry/dsp are leaves, core never imports the serving layer,
+//     cmd binaries reach the engine only through the public ferret facade).
+//   - atomicfield: struct fields of sync/atomic type (or tagged
+//     ferret:atomic) are only touched through atomic operations.
+//   - poolescape: values drawn from a sync.Pool never escape through
+//     globals, foreign struct fields, channels, or exported-function
+//     returns — the contract behind the filter path's 0 allocs/op.
+//   - floatcmp: no ==/!= on floating-point values (distances, weights)
+//     outside the blessed math.Trunc integerness idiom.
+//   - errclose: Close/Sync/Flush errors on writable files must be checked,
+//     never discarded via a bare defer — the WAL/checkpoint durability rule.
+//
+// A diagnostic can be suppressed with a directive on, or on the line above,
+// the offending line:
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LayeringAnalyzer,
+		AtomicFieldAnalyzer,
+		PoolEscapeAnalyzer,
+		FloatCmpAnalyzer,
+		ErrCloseAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated checks list ("layering,floatcmp") to
+// analyzers; "all" or "" selects the whole suite.
+func ByName(list string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if list == "" || list == "all" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, applies //lint:ignore
+// directives, and returns the surviving diagnostics sorted by position.
+// Malformed directives (no reason) are reported under the "directive" check.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	dirs := map[dirKey][]string{} // file:line -> suppressed check names
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+		collectDirectives(pkg, dirs, &diags)
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !suppressed(dirs, d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// dirKey addresses one source line.
+type dirKey struct {
+	file string
+	line int
+}
+
+const directivePrefix = "//lint:ignore"
+
+// collectDirectives parses every //lint:ignore comment in the package into
+// dirs. A directive covers its own line (trailing-comment form) and the line
+// directly below it (standalone-comment form). Directives without a reason
+// are reported as "directive" diagnostics instead.
+func collectDirectives(pkg *Package, dirs map[dirKey][]string, diags *[]Diagnostic) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix))
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Check:   "directive",
+						Pos:     pos,
+						Message: `malformed //lint:ignore directive: want "//lint:ignore <check>[,<check>] <reason>" with a non-empty reason`,
+					})
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := dirKey{pos.Filename, line}
+					dirs[k] = append(dirs[k], checks...)
+				}
+			}
+		}
+	}
+}
+
+// suppressed reports whether a directive covers the diagnostic's line; check
+// lists match by name or "*". Malformed-directive reports are never
+// suppressed.
+func suppressed(dirs map[dirKey][]string, d Diagnostic) bool {
+	if d.Check == "directive" {
+		return false
+	}
+	for _, c := range dirs[dirKey{d.Pos.Filename, d.Pos.Line}] {
+		if c == d.Check || c == "*" {
+			return true
+		}
+	}
+	return false
+}

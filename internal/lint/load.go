@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader turns a module directory tree into type-checked Packages using
+// only the standard library: go/parser for syntax and go/types for semantic
+// information. Imports that resolve inside the module are type-checked for
+// real (in dependency order), so cross-package types within the repository
+// are precise. Imports outside the module (the standard library) are
+// satisfied by empty stub packages: references into them produce type errors,
+// which the loader tolerates and records, and the affected expressions get
+// invalid types. Analyzers are written to degrade conservatively when a type
+// is unknown, and to fall back on syntax (import-alias-aware selector
+// matching) where cross-module identity matters.
+
+// Package is one type-checked (possibly with tolerated errors) package.
+type Package struct {
+	// ImportPath is the full import path ("ferret/internal/core").
+	ImportPath string
+	// RelPath is the module-relative path ("internal/core", "." for the
+	// module root package). Layering rules are written against RelPath so
+	// fixtures under any module name exercise the same rules.
+	RelPath string
+	Dir     string
+	Name    string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds tolerated type-check errors (mostly references into
+	// stub standard-library packages). Kept for -debug inspection only.
+	TypeErrors []error
+}
+
+// File returns the *ast.File containing pos, or nil.
+func (p *Package) File(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Loader loads and type-checks the packages of one module.
+type Loader struct {
+	ModulePath string
+	RootDir    string
+
+	fset *token.FileSet
+	pkgs map[string]*Package // by import path, type-checked
+	stub map[string]*types.Package
+}
+
+// Load discovers, parses and type-checks every non-test package under the
+// module rooted at dir (the directory containing go.mod). Test files
+// (_test.go) are not loaded: the analyzers police production code, and the
+// floatcmp exemption for tests falls out of this naturally.
+func Load(dir string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModulePath: modPath,
+		RootDir:    root,
+		fset:       token.NewFileSet(),
+		pkgs:       make(map[string]*Package),
+		stub:       make(map[string]*types.Package),
+	}
+	parsed, err := l.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(parsed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(order))
+	for _, pkg := range order {
+		l.typeCheck(pkg)
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// parseTree walks the module and parses every package directory.
+func (l *Loader) parseTree() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(l.RootDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.RootDir {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module; stay out of it.
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		pkg, err := l.parseDir(path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil if
+// the directory holds no Go package.
+func (l *Loader) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") ||
+			strings.HasPrefix(fn, ".") || strings.HasPrefix(fn, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fn), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed packages %q and %q", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(l.RootDir, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	imp := l.ModulePath
+	if rel != "." {
+		imp = l.ModulePath + "/" + rel
+	}
+	return &Package{
+		ImportPath: imp,
+		RelPath:    rel,
+		Dir:        dir,
+		Name:       pkgName,
+		Fset:       l.fset,
+		Files:      files,
+	}, nil
+}
+
+// moduleImports lists the module-internal import paths of a parsed package.
+func moduleImports(p *Package, modPath string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if (path == modPath || strings.HasPrefix(path, modPath+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders packages so that every module-internal import of a package
+// precedes it. Imports that name no loaded package (including imports into a
+// different module that happens to share the prefix) are ignored here and
+// stubbed at type-check time.
+func topoSort(pkgs []*Package) ([]*Package, error) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var order []*Package
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(p *Package, chain []string) error
+	visit = func(p *Package, chain []string) error {
+		switch state[p.ImportPath] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("lint: import cycle: %s -> %s", strings.Join(chain, " -> "), p.ImportPath)
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range moduleImports(p, modulePathOf(p)) {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep, append(chain, p.ImportPath)); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// modulePathOf reconstructs the module path from a package's import path and
+// module-relative path.
+func modulePathOf(p *Package) string {
+	if p.RelPath == "." {
+		return p.ImportPath
+	}
+	return strings.TrimSuffix(p.ImportPath, "/"+p.RelPath)
+}
+
+// typeCheck runs go/types over one package with tolerated errors.
+func (l *Loader) typeCheck(p *Package) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:                 (*loaderImporter)(l),
+		FakeImportC:              true,
+		DisableUnusedImportCheck: true,
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	tp, _ := conf.Check(p.ImportPath, l.fset, p.Files, info)
+	p.Types = tp
+	p.Info = info
+	l.pkgs[p.ImportPath] = p
+}
+
+// loaderImporter resolves module-internal imports to their type-checked
+// packages and everything else (the standard library) to empty stubs.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	if p, ok := li.pkgs[path]; ok && p.Types != nil {
+		return p.Types, nil
+	}
+	if s, ok := li.stub[path]; ok {
+		return s, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	// go-style import names: strip major-version suffixes and dashes.
+	if strings.HasPrefix(name, "v") && len(name) > 1 && name[1] >= '0' && name[1] <= '9' {
+		// e.g. example.com/foo/v2 — fall back to the previous element.
+		if i := strings.LastIndexByte(strings.TrimSuffix(path, "/"+name), '/'); i >= 0 {
+			name = strings.TrimSuffix(path, "/"+name)[i+1:]
+		}
+	}
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		name = name[i+1:]
+	}
+	s := types.NewPackage(path, name)
+	s.MarkComplete()
+	li.stub[path] = s
+	return s, nil
+}

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscapeAnalyzer protects the hot path's 0 allocs/op contract: a value
+// drawn from a sync.Pool (directly via pool.Get(), through a package-local
+// accessor like getScratch, or received as a parameter of a pooled type)
+// must stay confined to the call tree between Get and Put. The analyzer
+// reports, per function:
+//
+//   - stores of pool-derived values into package-level variables,
+//   - stores into fields of objects that are not themselves pool-derived
+//     (writing into the pooled struct's own fields is fine),
+//   - stores into elements of non-pool-derived slices/maps,
+//   - sends of pool-derived values on channels,
+//   - returns of pool-derived values from *exported* functions or methods —
+//     pooled scratch must never cross the package's public API. Unexported
+//     helpers may hand pooled state to their in-package callers (that is the
+//     accessor pattern; the caller still owns the Put).
+//
+// Taint is tracked per function, flow-insensitively, through assignments,
+// field/index/slice projections, type assertions, and method calls on
+// pool-derived receivers that return reference types.
+var PoolEscapeAnalyzer = &Analyzer{
+	Name: "poolescape",
+	Doc:  "sync.Pool values must not escape via globals, foreign fields, channels, or exported returns",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) {
+	pkg := pass.Pkg
+
+	// Pass 1 (package-wide): find pool variables, the types their New
+	// functions and Get assertions produce, and accessor functions.
+	poolVars := map[types.Object]bool{}
+	pooledTypes := map[string]bool{} // named-type strings, e.g. "queryScratch"
+	for _, f := range pkg.Files {
+		imports := importMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			if vs.Type != nil {
+				if name, ok := isPkgSelector(vs.Type, imports, "sync"); ok && name == "Pool" {
+					markPoolVars(pkg, vs, poolVars, pooledTypes)
+				}
+			}
+			for _, v := range vs.Values {
+				if cl, ok := v.(*ast.CompositeLit); ok {
+					if name, ok := isPkgSelector(cl.Type, imports, "sync"); ok && name == "Pool" {
+						markPoolVars(pkg, vs, poolVars, pooledTypes)
+						collectNewTypes(cl, pooledTypes)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(poolVars) == 0 {
+		return
+	}
+	// Get() assertions anywhere in the package name the pooled types too.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok || ta.Type == nil {
+				return true
+			}
+			if isPoolGet(pkg, ta.X, poolVars, nil) {
+				addTypeName(ta.Type, pooledTypes)
+			}
+			return true
+		})
+	}
+
+	// Accessor functions: unexported helpers whose body directly returns a
+	// pool.Get() result. Their call sites taint, and their own direct
+	// return of the Get call is the blessed ownership hand-off.
+	accessors := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if returnsPoolGet(pkg, fd.Body, poolVars) {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					accessors[obj] = true
+				}
+			}
+		}
+	}
+
+	// Pass 2: per-function taint analysis.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolEscapes(pass, fd, poolVars, pooledTypes, accessors)
+		}
+	}
+}
+
+// markPoolVars records the declared names of a sync.Pool value spec.
+func markPoolVars(pkg *Package, vs *ast.ValueSpec, poolVars map[types.Object]bool, pooledTypes map[string]bool) {
+	for _, name := range vs.Names {
+		if obj := pkg.Info.Defs[name]; obj != nil {
+			poolVars[obj] = true
+		}
+	}
+}
+
+// collectNewTypes extracts the pooled element type from a sync.Pool
+// composite literal's New function: `New: func() any { return new(T) }` or
+// `return &T{}`.
+func collectNewTypes(cl *ast.CompositeLit, pooledTypes map[string]bool) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "New" {
+			continue
+		}
+		fl, ok := kv.Value.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" && len(x.Args) == 1 {
+					addTypeName(x.Args[0], pooledTypes)
+				}
+			case *ast.UnaryExpr:
+				if x.Op.String() == "&" {
+					if lit, ok := x.X.(*ast.CompositeLit); ok {
+						addTypeName(lit.Type, pooledTypes)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// addTypeName records the base named type of a type expression ("*T" -> T).
+func addTypeName(t ast.Expr, pooledTypes map[string]bool) {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			pooledTypes[x.Name] = true
+			return
+		case *ast.SelectorExpr:
+			pooledTypes[x.Sel.Name] = true
+			return
+		default:
+			return
+		}
+	}
+}
+
+// isPoolGet reports whether e is a call of Get on a known pool variable,
+// optionally through parens/type assertions. If accessors is non-nil, calls
+// to accessor functions count too.
+func isPoolGet(pkg *Package, e ast.Expr, poolVars map[types.Object]bool, accessors map[types.Object]bool) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return isPoolGet(pkg, x.X, poolVars, accessors)
+	case *ast.TypeAssertExpr:
+		return isPoolGet(pkg, x.X, poolVars, accessors)
+	case *ast.CallExpr:
+		switch fn := x.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fn.Sel.Name != "Get" {
+				return false
+			}
+			if id, ok := fn.X.(*ast.Ident); ok {
+				return poolVars[objOf(pkg.Info, id)]
+			}
+		case *ast.Ident:
+			if accessors != nil {
+				return accessors[objOf(pkg.Info, fn)]
+			}
+		}
+	}
+	return false
+}
+
+// returnsPoolGet reports whether a function body contains a return whose
+// expression is directly a pool Get call (the accessor pattern).
+func returnsPoolGet(pkg *Package, body *ast.BlockStmt, poolVars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if isPoolGet(pkg, res, poolVars, nil) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPoolEscapes runs the per-function taint pass and reports escapes.
+func checkPoolEscapes(pass *Pass, fd *ast.FuncDecl, poolVars map[types.Object]bool, pooledTypes map[string]bool, accessors map[types.Object]bool) {
+	pkg := pass.Pkg
+	tainted := map[types.Object]bool{}
+
+	// Seed: receiver and parameters of pooled types are pool-derived.
+	seedFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if !isPooledTypeExpr(field.Type, pooledTypes) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+	}
+	seedFields(fd.Recv)
+	seedFields(fd.Type.Params)
+
+	taintedExpr := func(e ast.Expr) bool { return isTaintedExpr(pkg, e, tainted, poolVars, accessors) }
+
+	// Propagate taint through assignments until stable (two passes cover
+	// the straight-line and single-back-edge cases that occur in practice).
+	for i := 0; i < 2; i++ {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for k := range st.Lhs {
+						if !taintedExpr(st.Rhs[k]) {
+							continue
+						}
+						if id, ok := st.Lhs[k].(*ast.Ident); ok {
+							if obj := objOf(pkg.Info, id); obj != nil && !tainted[obj] {
+								tainted[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for k, v := range st.Values {
+					if k < len(st.Names) && taintedExpr(v) {
+						if obj := pkg.Info.Defs[st.Names[k]]; obj != nil && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	exported := fd.Name.IsExported()
+
+	// Sink pass.
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			max := len(st.Rhs)
+			for k, lhs := range st.Lhs {
+				if k >= max || !taintedExpr(st.Rhs[k]) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					if obj := objOf(pkg.Info, l); obj != nil && isPackageLevel(pkg, obj) {
+						pass.Reportf(st.Pos(), "pool-derived value %s stored in package-level variable %s; it escapes the Get/Put window", exprString(st.Rhs[k]), l.Name)
+					}
+				case *ast.SelectorExpr:
+					if base := rootIdent(l.X); base == nil || !tainted[objOf(pkg.Info, base)] {
+						pass.Reportf(st.Pos(), "pool-derived value %s stored in field %s of a non-pooled object; it escapes the Get/Put window", exprString(st.Rhs[k]), exprString(l))
+					}
+				case *ast.IndexExpr:
+					if base := rootIdent(l.X); base == nil || !tainted[objOf(pkg.Info, base)] {
+						pass.Reportf(st.Pos(), "pool-derived value %s stored in element of non-pooled container %s; it escapes the Get/Put window", exprString(st.Rhs[k]), exprString(l.X))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if taintedExpr(st.Value) {
+				pass.Reportf(st.Pos(), "pool-derived value %s sent on a channel; it escapes the Get/Put window", exprString(st.Value))
+			}
+		case *ast.ReturnStmt:
+			if !exported || insideFuncLit(stack) {
+				return true
+			}
+			for _, res := range st.Results {
+				if isPoolGet(pkg, res, poolVars, accessors) {
+					continue // direct accessor hand-off
+				}
+				if taintedExpr(res) {
+					pass.Reportf(st.Pos(), "pool-derived value %s returned from exported %s; pooled scratch must not cross the package API", exprString(res), fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isTaintedExpr reports whether e evaluates to a pool-derived value given
+// the current tainted-variable set.
+func isTaintedExpr(pkg *Package, e ast.Expr, tainted map[types.Object]bool, poolVars, accessors map[types.Object]bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return tainted[objOf(pkg.Info, x)]
+	case *ast.ParenExpr:
+		return isTaintedExpr(pkg, x.X, tainted, poolVars, accessors)
+	case *ast.SelectorExpr:
+		return isTaintedExpr(pkg, x.X, tainted, poolVars, accessors)
+	case *ast.IndexExpr:
+		return isTaintedExpr(pkg, x.X, tainted, poolVars, accessors)
+	case *ast.SliceExpr:
+		return isTaintedExpr(pkg, x.X, tainted, poolVars, accessors)
+	case *ast.StarExpr:
+		return isTaintedExpr(pkg, x.X, tainted, poolVars, accessors)
+	case *ast.UnaryExpr:
+		return isTaintedExpr(pkg, x.X, tainted, poolVars, accessors)
+	case *ast.TypeAssertExpr:
+		return isTaintedExpr(pkg, x.X, tainted, poolVars, accessors)
+	case *ast.CallExpr:
+		if isPoolGet(pkg, e, poolVars, accessors) {
+			return true
+		}
+		// A method call on a pool-derived receiver returning a reference
+		// type propagates taint (sc.heap(i, k) hands out pooled storage).
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			if isTaintedExpr(pkg, sel.X, tainted, poolVars, accessors) {
+				return referenceResult(pkg, x)
+			}
+		}
+	}
+	return false
+}
+
+// referenceResult reports whether a call's result can alias pooled memory:
+// pointers, slices, maps, channels, interfaces, or unknown (stub-degraded)
+// types. Value results (int, bool, float, string, plain structs) cannot.
+func referenceResult(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return true // unknown: stay conservative
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Kind() == types.Invalid
+	default:
+		return false
+	}
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(pkg *Package, obj types.Object) bool {
+	return pkg.Types != nil && obj.Parent() == pkg.Types.Scope()
+}
+
+// isPooledTypeExpr reports whether a parameter type expression names a
+// pooled type (T or *T).
+func isPooledTypeExpr(t ast.Expr, pooledTypes map[string]bool) bool {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			return pooledTypes[x.Name]
+		case *ast.SelectorExpr:
+			return pooledTypes[x.Sel.Name]
+		default:
+			return false
+		}
+	}
+}
+
+// insideFuncLit reports whether the innermost enclosing function of the
+// current node is a function literal (whose returns are not the outer
+// function's returns).
+func insideFuncLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			return true
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+// Package counters seeds atomicfield violations: a sync/atomic-typed field
+// and a ferret:atomic-tagged plain field accessed outside the atomic API.
+package counters
+
+import "sync/atomic"
+
+// C mixes the two atomic field flavors with an exempt pointer field.
+type C struct {
+	n atomic.Uint64
+	m uint64 // ferret:atomic — updated via atomic.AddUint64 only
+	p *atomic.Int32
+}
+
+// ok exercises every allowed access form.
+func ok(c *C) int32 {
+	c.n.Add(1)
+	if c.n.Load() > 10 {
+		c.n.Store(0)
+	}
+	h := &c.n // sharing the handle is fine; the handle is still atomic
+	h.Add(2)
+	atomic.AddUint64(&c.m, 1)
+	v := atomic.LoadUint64(&c.m)
+	_ = v
+	c.p = &atomic.Int32{} // pointer-typed fields are exempt (pointer copies are safe)
+	return c.p.Load()
+}
+
+// bad exercises the forbidden forms.
+func bad(c *C) uint64 {
+	c.n = atomic.Uint64{} // want "atomicfield: field c.n has a sync/atomic type"
+	x := c.n              // want "atomicfield: field c.n has a sync/atomic type"
+	_ = x
+	c.m++      // want "atomicfield: field c.m is tagged ferret:atomic"
+	c.m = 7    // want "atomicfield: field c.m is tagged ferret:atomic"
+	return c.m // want "atomicfield: field c.m is tagged ferret:atomic"
+}

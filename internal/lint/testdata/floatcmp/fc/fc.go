@@ -1,0 +1,56 @@
+// Package fc seeds floatcmp violations and demonstrates the blessed idioms
+// plus both //lint:ignore forms and a malformed directive.
+package fc
+
+import "math"
+
+const eps = 1e-9
+
+// bad compares floats for exact equality in every forbidden shape.
+func bad(a, b float64, f float32) bool {
+	if a == b { // want "floatcmp: floating-point == comparison on a"
+		return true
+	}
+	if f != 0 { // want "floatcmp: floating-point != comparison on f"
+		return false
+	}
+	return b != a // want "floatcmp: floating-point != comparison on b"
+}
+
+// blessed exercises the idioms the analyzer accepts without a directive.
+func blessed(a, b float64) bool {
+	if math.Trunc(a) == a { // integerness test
+		return true
+	}
+	if a == math.Trunc(a) { // mirrored form
+		return true
+	}
+	if a != a { // NaN test
+		return false
+	}
+	if 1.5 == 3.0/2.0 { // both operands constant: folded at compile time
+		return true
+	}
+	return math.Abs(a-b) < eps
+}
+
+// ignored shows the standalone and trailing directive forms.
+func ignored(w float64) int {
+	n := 0
+	//lint:ignore floatcmp zero weights are assigned exactly, never computed
+	if w == 0 {
+		n++
+	}
+	if w == 1 { //lint:ignore floatcmp the sentinel weight 1 is stored verbatim
+		n++
+	}
+	return n
+}
+
+// malformed carries a directive with no reason: it suppresses nothing and is
+// itself reported.
+func malformed(a, b float64) bool {
+	//lint:ignore floatcmp
+	// want-above "directive: malformed //lint:ignore directive"
+	return a == b // want "floatcmp: floating-point == comparison on a"
+}

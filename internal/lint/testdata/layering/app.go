@@ -1,0 +1,5 @@
+// Package app is the fixture module's root facade.
+package app
+
+// Facade is the public entry point binaries are supposed to use.
+func Facade() int { return 42 }

@@ -1,0 +1,12 @@
+// Command tool checks the cmd allowlist: binaries reach the engine only
+// through the facade and the tooling layers.
+package main
+
+import (
+	_ "app"                    // the facade: allowed
+	_ "app/internal/core"      // want "layering: layer violation: cmd binaries must go through the public facade, not internal/core"
+	_ "app/internal/kvstore"   // want "layering: layer violation: cmd binaries must go through the public facade, not internal/kvstore"
+	_ "app/internal/telemetry" // tooling layer: allowed
+)
+
+func main() {}

@@ -1,0 +1,3 @@
+module app
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package attr checks the internal-packages-never-import-the-facade rule.
+package attr
+
+import _ "app" // want "layering: layer violation: internal packages may not import the module root facade"
+
+// Query is a stand-in.
+type Query struct{}

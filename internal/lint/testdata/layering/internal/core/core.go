@@ -1,0 +1,14 @@
+// Package core is the fixture engine: it may not see the serving layer or
+// the facade.
+package core
+
+import (
+	_ "app" // want "layering: layer violation: internal/core (engine) may not import the module root facade"
+
+	_ "app/internal/protocol" // want "layering: layer violation: internal/core (engine) may not import internal/protocol"
+	_ "app/internal/server"   // want "layering: layer violation: internal/core (engine) may not import internal/server"
+	_ "app/internal/sketch"   // engine -> sketch is the sanctioned direction
+)
+
+// Engine is a stand-in.
+type Engine struct{}

@@ -1,0 +1,12 @@
+// Package vector is a leaf kernel package: importing anything
+// module-internal from here is a layering violation.
+package vector
+
+import (
+	"math"
+
+	_ "app/internal/telemetry" // want "layering: layer violation: internal/vector is a leaf package"
+)
+
+// Norm is a stand-in kernel.
+func Norm(x float64) float64 { return math.Abs(x) }

@@ -1,0 +1,74 @@
+// Package pool seeds poolescape violations: pooled scratch escaping via a
+// global, a foreign struct field, a channel, and exported returns.
+package pool
+
+import "sync"
+
+// scratch is the pooled per-call state.
+type scratch struct {
+	buf []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+var leaked *scratch
+
+// get is the accessor pattern: a direct hand-off of the Get result.
+func get() *scratch  { return scratchPool.Get().(*scratch) }
+func put(s *scratch) { scratchPool.Put(s) }
+
+// confined is the sanctioned shape: get, use, put, return plain data.
+func confined() int {
+	s := get()
+	s.buf = append(s.buf[:0], 1, 2, 3)
+	n := len(s.buf)
+	put(s)
+	return n
+}
+
+// Leak returns pooled scratch across the package API.
+func Leak() *scratch {
+	s := get()
+	return s // want "poolescape: pool-derived value s returned from exported Leak"
+}
+
+// LeakSlice returns a slice aliasing pooled storage across the package API.
+func LeakSlice() []int {
+	s := get()
+	defer put(s)
+	return s.buf // want "poolescape: pool-derived value s.buf returned from exported LeakSlice"
+}
+
+// Borrow shows that parameters of pooled types are tracked too.
+func Borrow(s *scratch) []int {
+	return s.buf // want "poolescape: pool-derived value s.buf returned from exported Borrow"
+}
+
+func storeGlobal() {
+	s := get()
+	leaked = s // want "poolescape: pool-derived value s stored in package-level variable leaked"
+}
+
+// holder is not pooled, so parking scratch in it escapes the Get/Put window.
+type holder struct {
+	s   *scratch
+	buf []int
+}
+
+func (h *holder) capture() {
+	s := scratchPool.Get().(*scratch)
+	h.s = s       // want "poolescape: pool-derived value s stored in field h.s of a non-pooled object"
+	h.buf = s.buf // want "poolescape: pool-derived value s.buf stored in field h.buf of a non-pooled object"
+}
+
+func send(ch chan *scratch) {
+	s := get()
+	ch <- s // want "poolescape: pool-derived value s sent on a channel"
+}
+
+// selfStore writes into the pooled struct's own storage: allowed.
+func selfStore() {
+	s := get()
+	s.buf = make([]int, 8)
+	put(s)
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses the AST in depth-first order, calling fn with each
+// node and the stack of its ancestors (outermost first, not including n).
+// Returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// importMap maps the local name of each import in file to its import path:
+// {"atomic": "sync/atomic", "tele": "ferret/internal/telemetry"}. Dot and
+// blank imports are skipped.
+func importMap(f *ast.File) map[string]string {
+	m := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// isPkgSelector reports whether expr is a selector pkg.Name where the local
+// identifier pkg is an import of path in imports (alias-aware). It returns
+// the selected name.
+func isPkgSelector(expr ast.Expr, imports map[string]string, path string) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if imports[id.Name] != path {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// exprString renders an expression compactly for idiom matching and
+// diagnostics (go/types.ExprString).
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// objOf resolves an identifier to its object via Uses then Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// rootIdent peels parens, index, slice, star, selector and type-assertion
+// wrappers and returns the base identifier of an lvalue/chain like
+// (sc.heaps[i]).x, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -381,9 +382,12 @@ func (s *Server) dispatch(w io.Writer, req protocol.Request) error {
 }
 
 // formatMetric renders a telemetry value for a protocol response: integers
-// without a decimal point, fractional values in compact float form.
+// without a decimal point, fractional values in compact float form. The
+// integerness test is the explicit math.Trunc idiom guarded to the int64
+// range — the previous v == float64(int64(v)) form hit the spec's
+// implementation-defined behavior for conversions of out-of-range floats.
 func formatMetric(v float64) string {
-	if v == float64(int64(v)) {
+	if math.Trunc(v) == v && math.Abs(v) < 1<<62 {
 		return strconv.FormatInt(int64(v), 10)
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)

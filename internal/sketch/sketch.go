@@ -273,6 +273,7 @@ func NewBuilder(p Params) (*Builder, error) {
 		}
 		// Skip zero-probability dimensions the search may land on when
 		// adjacent cumulative values are equal.
+		//lint:ignore floatcmp zero-weight dimensions carry an exact 0 probability by construction
 		for prob[i] == 0 && i+1 < d {
 			i++
 		}

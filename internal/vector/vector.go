@@ -104,10 +104,10 @@ func WeightedL1(w []float32) Func {
 // Used by the genomic plugin (paper §5.4).
 func Pearson(a, b []float32) float64 {
 	checkLen(a, b)
-	n := float64(len(a))
-	if n == 0 {
+	if len(a) == 0 {
 		return 0
 	}
+	n := float64(len(a))
 	var sa, sb float64
 	for i := range a {
 		sa += float64(a[i])
@@ -122,6 +122,9 @@ func Pearson(a, b []float32) float64 {
 		va += da * da
 		vb += db * db
 	}
+	// A constant vector accumulates exact-zero squared deviations, so the
+	// zero-variance guard is an exact comparison by construction.
+	//lint:ignore floatcmp exact zero is the only value a constant vector's variance sum can take
 	if va == 0 || vb == 0 {
 		return 1
 	}
@@ -156,6 +159,9 @@ func ranks(v []float32) []float32 {
 	r := make([]float32, n)
 	for i := 0; i < n; {
 		j := i
+		// Tie groups are defined by bit-identical input values: ranking
+		// must give equal inputs equal ranks, so this is exact on purpose.
+		//lint:ignore floatcmp rank ties are bit-identical input values, not computed results
 		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
 			j++
 		}
@@ -179,6 +185,9 @@ func Cosine(a, b []float32) float64 {
 		na += float64(a[i]) * float64(a[i])
 		nb += float64(b[i]) * float64(b[i])
 	}
+	// Exact zero norm means the all-zero vector (sums of squares), the one
+	// input cosine distance is undefined for; no epsilon wanted here.
+	//lint:ignore floatcmp exact zero is the only value a zero vector's norm sum can take
 	if na == 0 || nb == 0 {
 		return 1
 	}

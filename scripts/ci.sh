@@ -1,0 +1,20 @@
+#!/bin/sh
+# ci.sh — the one-command pre-merge gate.
+#
+# Runs the full verification chain from a clean checkout:
+#
+#   build   go build ./...
+#   vet     go vet ./...
+#   lint    ferret-lint (layering, atomicfield, poolescape, floatcmp, errclose)
+#   test    go test ./...
+#   race    go test -race ./...
+#   bench   ferret-benchcmp regression guard vs the committed artifact
+#
+# Every step must pass; the script stops at the first failure. CI systems
+# should invoke exactly this script so the local and remote gates cannot
+# drift.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+exec make ci
