@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-fast vet lint check ci bench bench-json check-bench clean
+.PHONY: all build test race race-fast torture vet lint check ci bench bench-json check-bench clean
 
 # Benchmark artifact plumbing. bench-json measures the filter/kernel/pipeline
 # microbenchmarks plus a medium-scale ferret-bench run and merges them into
@@ -28,19 +28,27 @@ race:
 race-fast:
 	$(GO) test -race ./internal/telemetry ./internal/core ./internal/server ./internal/kvstore
 
+# The storage crash-torture suite under the race detector: every write/sync
+# boundary of a seeded workload is failed in every fault mode and recovery
+# must land on exactly a committed prefix. A failure prints the seed
+# (rerun with FERRET_TORTURE_SEED=<seed> to reproduce a single scenario).
+torture:
+	$(GO) test -race -run 'TestCrashTorture|TestFsyncPoisoningFreezesWrites|TestFreshWALSurvivesImmediatePowerCut' -v ./internal/kvstore
+
 vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: layering, atomicfield, poolescape,
-# floatcmp and errclose (see internal/lint). Zero diagnostics is the bar.
+# floatcmp, errclose and ctxfirst (see internal/lint). Zero diagnostics is
+# the bar.
 lint:
 	$(GO) run ./cmd/ferret-lint ./...
 
 check: build vet lint test race
 
-# The full pre-merge gate: everything in check plus the benchmark
-# regression guard against the committed artifact.
-ci: check check-bench
+# The full pre-merge gate: everything in check plus the crash-torture
+# suite and the benchmark regression guard against the committed artifact.
+ci: check torture check-bench
 
 bench:
 	$(GO) test -bench . -benchtime 1x

@@ -1,5 +1,6 @@
 // Command ferret-lint runs ferret's project-specific static-analysis suite:
-// five analyzers (layering, atomicfield, poolescape, floatcmp, errclose)
+// six analyzers (layering, atomicfield, poolescape, floatcmp, errclose,
+// ctxfirst)
 // enforcing the concurrency, pooling and layering invariants that go vet
 // cannot see. It is built purely on the standard library's go/parser,
 // go/ast and go/types.
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	checks := flag.String("checks", "all", "comma-separated checks to run (layering,atomicfield,poolescape,floatcmp,errclose) or \"all\"")
+	checks := flag.String("checks", "all", "comma-separated checks to run (layering,atomicfield,poolescape,floatcmp,errclose,ctxfirst) or \"all\"")
 	list := flag.Bool("list", false, "list available checks and exit")
 	debug := flag.Bool("debug", false, "print tolerated type-check errors (stub stdlib references) to stderr")
 	flag.Usage = func() {

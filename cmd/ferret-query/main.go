@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ferret/internal/evaltool"
 	"ferret/internal/protocol"
@@ -23,17 +24,19 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "ferretd protocol address")
+	timeout := flag.Duration("timeout", 30*time.Second, "dial and per-request timeout (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	client, err := protocol.Dial(*addr)
+	client, err := protocol.DialTimeout(*addr, *timeout)
 	if err != nil {
 		fatal("connecting to %s: %v", *addr, err)
 	}
 	defer client.Close()
+	client.SetTimeout(*timeout)
 
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -57,28 +60,33 @@ func main() {
 		k := fs.Int("k", 10, "number of results")
 		mode := fs.String("mode", "filtering", "filtering, bruteforce or sketch")
 		keywords := fs.String("keywords", "", "comma-separated keyword restriction")
+		budget := fs.Duration("budget", 0, "per-query time budget; an expired budget returns a degraded answer (0 = server default)")
 		attrFlags := attrValues{}
 		fs.Var(&attrFlags, "attr", "attribute restriction name=value (repeatable)")
 		fs.Parse(rest)
-		params := protocol.QueryParams{K: *k, Mode: *mode, Attrs: attrFlags.m}
+		params := protocol.QueryParams{K: *k, Mode: *mode, Attrs: attrFlags.m, Budget: *budget}
 		if *keywords != "" {
 			params.Keywords = strings.Split(*keywords, ",")
 		}
 		var results []protocol.Result
+		var meta protocol.ResponseMeta
 		var err error
 		if cmd == "query" {
 			if *key == "" {
 				fatal("query requires -key")
 			}
-			results, err = client.Query(*key, params)
+			results, meta, err = client.QueryMeta(*key, params)
 		} else {
 			if *path == "" {
 				fatal("queryfile requires -path")
 			}
-			results, err = client.QueryFile(*path, params)
+			results, meta, err = client.QueryFileMeta(*path, params)
 		}
 		if err != nil {
 			fatal("%s: %v", cmd, err)
+		}
+		if meta.Degraded {
+			fmt.Fprintln(os.Stderr, "ferret-query: degraded answer (time budget expired; tail ordered by sketch-estimated distance)")
 		}
 		printResults(results, true)
 

@@ -45,6 +45,9 @@ func main() {
 		matrix    = flag.String("matrix", "", "microarray TSV to ingest at startup (type=genomic)")
 		distance  = flag.String("distance", "pearson", "genomic distance: pearson, spearman or l1")
 		relaxed   = flag.Bool("relaxed-durability", false, "periodic fsync instead of per-commit (paper §4.1.3)")
+		budget    = flag.Duration("query-budget", 0, "per-query time budget; expired queries answer degraded (0 = unbounded)")
+		maxConns  = flag.Int("max-conns", 0, "max concurrent protocol connections; excess get a BUSY error (0 = unlimited)")
+		grace     = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -69,6 +72,7 @@ func main() {
 	}
 	defer sys.Close()
 	sys.SetLogger(logger)
+	sys.SetServerConfig(ferret.ServerConfig{QueryBudget: *budget, MaxConns: *maxConns})
 
 	if m != nil {
 		added, err := ingestMatrixOnce(sys, m)
@@ -135,13 +139,27 @@ func main() {
 	if err != nil {
 		logger.Fatal("listen failed", "addr", *addr, "err", err)
 	}
-	go func() {
-		<-ctx.Done()
-		l.Close()
-	}()
-	logger.Info("query protocol serving", "addr", *addr)
-	if err := sys.Serve(l); err != nil && ctx.Err() == nil {
-		logger.Fatal("serve failed", "err", err)
+	logger.Info("query protocol serving", "addr", *addr,
+		"query_budget", budget.String(), "max_conns", *maxConns)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- sys.ServeContext(context.Background(), l) }()
+	select {
+	case err := <-serveErr:
+		if err != nil && ctx.Err() == nil {
+			logger.Fatal("serve failed", "err", err)
+		}
+	case <-ctx.Done():
+		// SIGTERM/SIGINT: drain in-flight queries within the grace window,
+		// then abort whatever is still running.
+		logger.Info("signal received: draining connections", "grace", grace.String())
+		gctx, cancel := context.WithTimeout(context.Background(), *grace)
+		drained, aborted, err := sys.Shutdown(gctx)
+		cancel()
+		if err != nil {
+			logger.Warn("drain grace expired", "drained", drained, "aborted", aborted, "err", err)
+		} else {
+			logger.Info("connections drained", "drained", drained, "aborted", aborted)
+		}
 	}
 	logger.Info("shutting down")
 }

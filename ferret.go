@@ -31,9 +31,12 @@
 package ferret
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
+	"time"
 
 	"ferret/internal/acquire"
 	"ferret/internal/attr"
@@ -75,6 +78,9 @@ type (
 	QueryOptions = core.QueryOptions
 	// Result is one ranked answer.
 	Result = core.Result
+	// Answer is one query's outcome: ranked results plus the degradation
+	// flag set when a time budget expired mid-rank.
+	Answer = core.Answer
 	// Mode selects the search approach.
 	Mode = core.Mode
 	// SegmentDistance is the plug-in segment distance function type.
@@ -113,6 +119,21 @@ type ExtractorFunc func(path string) (Object, error)
 // Extract calls f.
 func (f ExtractorFunc) Extract(path string) (Object, error) { return f(path) }
 
+// ServerConfig tunes the protocol server's resilience policy (see
+// server.Server).
+type ServerConfig struct {
+	// QueryBudget is the per-query time budget; expired queries answer
+	// degraded instead of running on (0 = unbounded).
+	QueryBudget time.Duration
+	// MaxConns caps concurrent client connections; excess connections get
+	// one BUSY error and are closed (0 = unlimited).
+	MaxConns int
+	// ReadTimeout bounds the wait for each request line (0 = none).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write (0 = none).
+	WriteTimeout time.Duration
+}
+
 // System is a running similarity search system: the core engine plus the
 // plug-in extractor, with constructors for the surrounding infrastructure
 // (server, web UI, acquisition, evaluation).
@@ -120,6 +141,10 @@ type System struct {
 	engine    *core.Engine
 	extractor Extractor
 	logger    *telemetry.Logger
+
+	srvCfg  ServerConfig
+	srvOnce sync.Once
+	srv     *server.Server
 }
 
 // Open opens or creates a search system. extractor may be nil for systems
@@ -162,6 +187,14 @@ func (s *System) IngestFile(path string, a Attrs) (ID, error) {
 // Query runs a similarity search with an extracted query object.
 func (s *System) Query(q Object, opt QueryOptions) ([]Result, error) {
 	return s.engine.Query(q, opt)
+}
+
+// Search is Query with cancellation and graceful degradation: ctx aborts
+// the search, and opt.Budget (when positive) bounds its execution time —
+// an expired budget returns the best results so far with Answer.Degraded
+// set rather than an error.
+func (s *System) Search(ctx context.Context, q Object, opt QueryOptions) (Answer, error) {
+	return s.engine.Search(ctx, q, opt)
 }
 
 // QueryFile extracts a file and uses it as the query object.
@@ -217,9 +250,27 @@ func (s *System) DebugHandler() http.Handler {
 	return telemetry.DebugHandler(s.engine.Telemetry())
 }
 
+// SetServerConfig installs the protocol server's resilience policy. It
+// must be called before the first Serve/ServeContext.
+func (s *System) SetServerConfig(cfg ServerConfig) { s.srvCfg = cfg }
+
 // Serve runs the command-line query protocol server on l until closed.
 func (s *System) Serve(l net.Listener) error {
-	return s.server().Serve(l)
+	return s.ServeContext(context.Background(), l)
+}
+
+// ServeContext runs the protocol server on l until ctx is cancelled or
+// Shutdown is called. A cancelled ctx stops accepting; in-flight queries
+// are only aborted by Shutdown's grace expiry.
+func (s *System) ServeContext(ctx context.Context, l net.Listener) error {
+	return s.server().Serve(ctx, l)
+}
+
+// Shutdown drains the protocol server: idle connections close immediately,
+// in-flight requests get until ctx expires, and the rest are aborted. It
+// reports how many busy connections drained versus were aborted.
+func (s *System) Shutdown(ctx context.Context) (drained, aborted int, err error) {
+	return s.server().Shutdown(ctx)
 }
 
 // ListenAndServe runs the protocol server on a TCP address.
@@ -231,12 +282,25 @@ func (s *System) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
+// server memoizes the protocol server so Serve and Shutdown act on the
+// same instance.
 func (s *System) server() *server.Server {
-	srv := &server.Server{Engine: s.engine, DefaultK: 10, Logger: s.logger.With("server")}
-	if s.extractor != nil {
-		srv.Extract = s.extractor.Extract
-	}
-	return srv
+	s.srvOnce.Do(func() {
+		srv := &server.Server{
+			Engine:       s.engine,
+			DefaultK:     10,
+			QueryBudget:  s.srvCfg.QueryBudget,
+			MaxConns:     s.srvCfg.MaxConns,
+			ReadTimeout:  s.srvCfg.ReadTimeout,
+			WriteTimeout: s.srvCfg.WriteTimeout,
+			Logger:       s.logger.With("server"),
+		}
+		if s.extractor != nil {
+			srv.Extract = s.extractor.Extract
+		}
+		s.srv = srv
+	})
+	return s.srv
 }
 
 // WebHandler returns the customizable web interface (paper §4.3) bound

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -356,9 +357,10 @@ func TestFilterPathAllocs(t *testing.T) {
 	opt := QueryOptions{K: 10}
 	sc := getScratch()
 	defer putScratch(sc)
+	sc.clk.reset(context.Background(), 0)
 
 	allocs := testing.AllocsPerRun(50, func() {
-		if _, err := e.filter(&q, qset, opt, sc); err != nil {
+		if _, err := e.filter(&sc.clk, &q, qset, opt, sc); err != nil {
 			t.Fatal(err)
 		}
 	})

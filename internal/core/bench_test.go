@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -66,10 +67,11 @@ func BenchmarkFilterScanArena(b *testing.B) {
 	opt := benchFilterOpts()
 	sc := getScratch()
 	defer putScratch(sc)
+	sc.clk.reset(context.Background(), 0)
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.filter(&q, qset, opt, sc); err != nil {
+		if _, err := e.filter(&sc.clk, &q, qset, opt, sc); err != nil {
 			b.Fatal(err)
 		}
 	}

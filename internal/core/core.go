@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -225,6 +226,24 @@ type QueryOptions struct {
 	// used to combine attribute-based search with similarity search
 	// (paper §4.1.2).
 	Restrict map[object.ID]bool
+	// Budget, when positive, bounds the query's execution time. The
+	// filtering stage always completes; if the budget expires during the
+	// ranking stage, the query returns the best results ranked so far —
+	// unranked candidates fall back to ascending sketch-estimated distance
+	// — with Answer.Degraded set, instead of running on or failing.
+	// Context cancellation, by contrast, aborts the query with an error.
+	Budget time.Duration
+}
+
+// Answer is one query's outcome.
+type Answer struct {
+	// Results are the ranked matches, ascending by distance.
+	Results []Result
+	// Degraded reports that the time budget expired mid-rank: the head of
+	// Results is exactly ranked, while the tail is ordered by
+	// sketch-estimated distance (its Distance values are the sketch
+	// lower-bound estimates, not exact object distances).
+	Degraded bool
 }
 
 // sketchEntry is the per-object record of the in-memory sketch database.
@@ -271,11 +290,17 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("core: Dir is required")
 	}
+	met := newEngineMetrics(cfg.Telemetry)
+	if cfg.Store.Telemetry == nil {
+		// Surface the store's health gauges (ferret_store_poisoned) in the
+		// same registry as the engine metrics so one scrape covers both.
+		cfg.Store.Telemetry = met.reg
+	}
 	meta, err := metastore.Open(cfg.Dir, cfg.Store)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, meta: meta, attrs: attr.New(meta.KV()), met: newEngineMetrics(cfg.Telemetry)}
+	e := &Engine{cfg: cfg, meta: meta, attrs: attr.New(meta.KV()), met: met}
 
 	e.segDist = cfg.SegmentDistance
 	if e.segDist == nil {
@@ -536,32 +561,45 @@ func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
 	return id, nil
 }
 
-// QueryByID runs a similarity query using an already-ingested object as the
-// query object. In SketchOnly databases only sketch modes are meaningful.
-func (e *Engine) QueryByID(id object.ID, opt QueryOptions) ([]Result, error) {
+// SearchByID runs a similarity query using an already-ingested object as
+// the query object. In SketchOnly databases only sketch modes are
+// meaningful.
+func (e *Engine) SearchByID(ctx context.Context, id object.ID, opt QueryOptions) (Answer, error) {
 	if o, ok := e.meta.GetObject(id); ok {
-		return e.Query(o, opt)
+		return e.Search(ctx, o, opt)
 	}
 	// Sketch-only store: synthesize a query from the stored sketch set.
 	set, ok := e.meta.GetSketchSet(id)
 	if !ok {
-		return nil, fmt.Errorf("core: no object with id %d", id)
+		return Answer{}, fmt.Errorf("core: no object with id %d", id)
 	}
-	return e.querySketchSet(set, opt)
+	return e.searchSketchSet(ctx, set, opt)
 }
 
-// Query runs a similarity search for the query object q (typically the
+// QueryByID is SearchByID without external cancellation or a budget — the
+// pre-context compatibility form.
+//
+//lint:ignore ctxfirst compatibility wrapper: SearchByID is the context-aware form; this delegates immediately
+func (e *Engine) QueryByID(id object.ID, opt QueryOptions) ([]Result, error) {
+	ans, err := e.SearchByID(context.Background(), id, opt)
+	return ans.Results, err
+}
+
+// Search runs a similarity search for the query object q (typically the
 // output of the plug-in segmentation and feature extraction unit applied to
-// the query data). Stage timings (sketch build, filter, rank) and pipeline
-// counters are recorded in the engine's telemetry registry.
-func (e *Engine) Query(q object.Object, opt QueryOptions) ([]Result, error) {
+// the query data). The context cancels the search between scan blocks and
+// rank evaluations; opt.Budget bounds its execution time with graceful
+// degradation (see QueryOptions.Budget). Stage timings (sketch build,
+// filter, rank) and pipeline counters are recorded in the engine's
+// telemetry registry.
+func (e *Engine) Search(ctx context.Context, q object.Object, opt QueryOptions) (Answer, error) {
 	if err := q.Validate(); err != nil {
 		e.met.queryErrors.Inc()
-		return nil, fmt.Errorf("core: invalid query object: %w", err)
+		return Answer{}, fmt.Errorf("core: invalid query object: %w", err)
 	}
 	if q.Dim() != e.builder.Dim() {
 		e.met.queryErrors.Inc()
-		return nil, fmt.Errorf("core: query dimension %d, engine expects %d", q.Dim(), e.builder.Dim())
+		return Answer{}, fmt.Errorf("core: query dimension %d, engine expects %d", q.Dim(), e.builder.Dim())
 	}
 	if opt.K <= 0 {
 		opt.K = 10
@@ -572,10 +610,16 @@ func (e *Engine) Query(q object.Object, opt QueryOptions) ([]Result, error) {
 	qset := e.buildSketchSet(q)
 	e.met.stageSketch.ObserveSince(start)
 
+	sc := getScratch()
+	defer putScratch(sc)
+	clk := &sc.clk
+	clk.reset(ctx, opt.Budget)
+
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
 	var results []Result
+	var degraded bool
 	var err error
 	switch opt.Mode {
 	case BruteForceOriginal:
@@ -584,80 +628,104 @@ func (e *Engine) Query(q object.Object, opt QueryOptions) ([]Result, error) {
 			break
 		}
 		tr := time.Now()
-		results = e.rankAll(q, opt)
+		results = e.rankAll(clk, q, opt)
+		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
 	case BruteForceSketch:
 		tr := time.Now()
-		results = e.rankAllSketch(qset, opt)
+		results = e.rankAllSketch(clk, qset, opt)
+		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
-		sc := getScratch()
 		var cands []int
-		cands, err = e.filter(&q, qset, opt, sc)
-		if err != nil {
-			putScratch(sc)
+		cands, err = e.filter(clk, &q, qset, opt, sc)
+		if err != nil || clk.stop() {
 			break
 		}
 		tr := time.Now()
 		if e.cfg.SketchOnly {
-			results = e.rankSketchCandidates(qset, cands, opt, sc)
+			results, degraded = e.rankSketchCandidates(clk, qset, cands, opt, sc)
 		} else {
-			results = e.rankCandidates(q, qset, cands, opt, sc)
+			results, degraded = e.rankCandidates(clk, q, qset, cands, opt, sc)
 		}
 		e.met.stageRank.ObserveSince(tr)
-		putScratch(sc)
 	default:
 		err = fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}
+	if err == nil && clk.stop() {
+		err = clk.err()
+	}
 	if err != nil {
 		e.met.queryErrors.Inc()
-		return nil, err
+		//lint:ignore poolescape err is ctx.Err() or a fresh error value, not pooled scratch; only the clock handle was pool-derived
+		return Answer{}, err
+	}
+	if degraded {
+		e.met.degraded.Inc()
 	}
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(start)
-	return results, nil
+	return Answer{Results: results, Degraded: degraded}, nil
 }
 
-// querySketchSet is QueryByID's sketch-only path: the stored sketches stand
-// in for the query's.
-func (e *Engine) querySketchSet(qset *metastore.SketchSet, opt QueryOptions) ([]Result, error) {
+// Query is Search without external cancellation or a budget — the
+// pre-context compatibility form.
+//
+//lint:ignore ctxfirst compatibility wrapper: Search is the context-aware form; this delegates immediately
+func (e *Engine) Query(q object.Object, opt QueryOptions) ([]Result, error) {
+	ans, err := e.Search(context.Background(), q, opt)
+	return ans.Results, err
+}
+
+// searchSketchSet is SearchByID's sketch-only path: the stored sketches
+// stand in for the query's.
+func (e *Engine) searchSketchSet(ctx context.Context, qset *metastore.SketchSet, opt QueryOptions) (Answer, error) {
 	if opt.K <= 0 {
 		opt.K = 10
 	}
 	e.met.inflight.Add(1)
 	defer e.met.inflight.Add(-1)
 	start := time.Now()
+	sc := getScratch()
+	defer putScratch(sc)
+	clk := &sc.clk
+	clk.reset(ctx, opt.Budget)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var results []Result
+	var degraded bool
 	var err error
 	switch opt.Mode {
 	case BruteForceSketch:
 		tr := time.Now()
-		results = e.rankAllSketch(qset, opt)
+		results = e.rankAllSketch(clk, qset, opt)
+		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
-		sc := getScratch()
 		var cands []int
-		cands, err = e.filter(nil, qset, opt, sc)
-		if err != nil {
-			putScratch(sc)
+		cands, err = e.filter(clk, nil, qset, opt, sc)
+		if err != nil || clk.stop() {
 			break
 		}
 		tr := time.Now()
-		results = e.rankSketchCandidates(qset, cands, opt, sc)
+		results, degraded = e.rankSketchCandidates(clk, qset, cands, opt, sc)
 		e.met.stageRank.ObserveSince(tr)
-		putScratch(sc)
 	default:
 		err = errors.New("core: only sketch modes are available for sketch-only queries")
 	}
+	if err == nil && clk.stop() {
+		err = clk.err()
+	}
 	if err != nil {
 		e.met.queryErrors.Inc()
-		return nil, err
+		return Answer{}, err
+	}
+	if degraded {
+		e.met.degraded.Inc()
 	}
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(start)
-	return results, nil
+	return Answer{Results: results, Degraded: degraded}, nil
 }
 
 func (e *Engine) buildSketchSet(q object.Object) *metastore.SketchSet {
@@ -676,9 +744,9 @@ func (e *Engine) buildSketchSet(q object.Object) *metastore.SketchSet {
 // (non-restricted) object, sharded across the configured parallelism. In
 // LowMemory mode each feature-vector record is fetched from the metadata
 // store as the scan reaches it.
-func (e *Engine) rankAll(q object.Object, opt QueryOptions) []Result {
+func (e *Engine) rankAll(clk *queryClock, q object.Object, opt QueryOptions) []Result {
 	if e.cfg.LowMemory {
-		return e.rankParallel(len(e.entries), opt, func(i int) (Result, bool) {
+		return e.rankParallel(clk, len(e.entries), opt, func(i int) (Result, bool) {
 			ent := &e.entries[i]
 			if ent.dead {
 				return Result{}, false
@@ -693,7 +761,7 @@ func (e *Engine) rankAll(q object.Object, opt QueryOptions) []Result {
 			return Result{ID: ent.id, Key: ent.key, Distance: e.objDist(q, o)}, true
 		})
 	}
-	return e.rankParallel(len(e.objects), opt, func(i int) (Result, bool) {
+	return e.rankParallel(clk, len(e.objects), opt, func(i int) (Result, bool) {
 		o := &e.objects[i]
 		if e.entries[i].dead {
 			return Result{}, false
@@ -707,8 +775,8 @@ func (e *Engine) rankAll(q object.Object, opt QueryOptions) []Result {
 
 // rankAllSketch is BruteForceSketch: sketch-estimated object distance
 // against every object.
-func (e *Engine) rankAllSketch(qset *metastore.SketchSet, opt QueryOptions) []Result {
-	return e.rankParallel(len(e.entries), opt, func(i int) (Result, bool) {
+func (e *Engine) rankAllSketch(clk *queryClock, qset *metastore.SketchSet, opt QueryOptions) []Result {
+	return e.rankParallel(clk, len(e.entries), opt, func(i int) (Result, bool) {
 		ent := &e.entries[i]
 		if ent.dead {
 			return Result{}, false

@@ -30,6 +30,11 @@ type queryScratch struct {
 	colMin []float64
 	qw     []float64
 	ow     []float64
+
+	// clk is the query's cancellation/budget clock, pooled here so the
+	// zero-allocation filter path stays allocation-free even though scan
+	// goroutines capture a pointer to it.
+	clk queryClock
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
@@ -80,14 +85,14 @@ func resizeF64(s *[]float64, n int) []float64 {
 // path (no tombstones, no restriction) sweeps rows word-wise with the
 // batch Hamming kernel; the slow path walks entries to honor tombstones
 // and Restrict sets.
-func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOptions, sc *queryScratch) ([]int, error) {
+func (e *Engine) filter(clk *queryClock, q *object.Object, qset *metastore.SketchSet, opt QueryOptions, sc *queryScratch) ([]int, error) {
 	p := opt.Filter
 	if p == (FilterParams{}) {
 		p = e.cfg.Filter
 	}
 	p = p.withDefaults(len(qset.Sketches), opt.K)
 	if p.ExactDistance {
-		return e.filterExact(q, p, opt)
+		return e.filterExact(clk, q, p, opt)
 	}
 	stageStart := time.Now()
 	scanned := 0
@@ -110,6 +115,9 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 	n := e.builder.N()
 	workers := e.workers()
 	for _, qi := range order {
+		if clk.stop() {
+			break
+		}
 		w := float64(qset.Weights[qi])
 		frac := p.MaxHammingFrac * (1 - p.WeightTighten*w)
 		maxHam := int(frac * float64(n))
@@ -139,7 +147,7 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 			continue
 		}
 
-		merged, segScanned := e.scanSketches(qsk, maxHam, p.NearestPerSegment, workers, opt, sc)
+		merged, segScanned := e.scanSketches(clk, qsk, maxHam, p.NearestPerSegment, workers, opt, sc)
 		scanned += segScanned
 		cands = append(cands, merged.items()...)
 	}
@@ -159,17 +167,17 @@ func (e *Engine) filter(q *object.Object, qset *metastore.SketchSet, opt QueryOp
 // scanSketches streams the arena for one query segment and returns the
 // k-nearest heap plus the number of objects scanned. Results are identical
 // to the pre-arena slice-of-slices scan up to ties.
-func (e *Engine) scanSketches(qsk sketch.Sketch, maxHam, k, workers int, opt QueryOptions, sc *queryScratch) (*segHeap, int) {
+func (e *Engine) scanSketches(clk *queryClock, qsk sketch.Sketch, maxHam, k, workers int, opt QueryOptions, sc *queryScratch) (*segHeap, int) {
 	a := e.arena
 	fast := opt.Restrict == nil && e.deleted == 0
 	if workers <= 1 {
 		heap := sc.heap(0, k)
 		if fast {
 			hits, dist := sc.selectBlocks()
-			e.scanArenaRows(qsk, maxHam, heap, hits, dist, 0, a.rows())
+			e.scanArenaRows(clk, qsk, maxHam, heap, hits, dist, 0, a.rows())
 			return heap, len(e.entries)
 		}
-		return heap, e.scanEntryRange(qsk, maxHam, heap, opt, 0, len(e.entries))
+		return heap, e.scanEntryRange(clk, qsk, maxHam, heap, opt, 0, len(e.entries))
 	}
 
 	// Parallel scan: claim all shard heaps (and the merge slot) before the
@@ -189,12 +197,12 @@ func (e *Engine) scanSketches(qsk sketch.Sketch, maxHam, k, workers int, opt Que
 	if fast {
 		parallelScan(a.rows(), workers, func(shard, lo, hi int) {
 			var hits, dist [batchRows]int32
-			e.scanArenaRows(qsk, maxHam, sc.heaps[shard], hits[:], dist[:], lo, hi)
+			e.scanArenaRows(clk, qsk, maxHam, sc.heaps[shard], hits[:], dist[:], lo, hi)
 		})
 		scanned = len(e.entries)
 	} else {
 		parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
-			scans[shard] = e.scanEntryRange(qsk, maxHam, sc.heaps[shard], opt, lo, hi)
+			scans[shard] = e.scanEntryRange(clk, qsk, maxHam, sc.heaps[shard], opt, lo, hi)
 		})
 		for _, n := range scans {
 			scanned += n
@@ -217,9 +225,12 @@ func (e *Engine) scanSketches(qsk sketch.Sketch, maxHam, k, workers int, opt Que
 // bound, then the (few) selected rows replay the exact heap logic, so the
 // result is identical to a row-by-row scan while misses never leave the
 // kernel. Valid only when every row belongs to a live, unrestricted entry.
-func (e *Engine) scanArenaRows(qsk sketch.Sketch, maxHam int, heap *segHeap, hits, dist []int32, lo, hi int) {
+func (e *Engine) scanArenaRows(clk *queryClock, qsk sketch.Sketch, maxHam int, heap *segHeap, hits, dist []int32, lo, hi int) {
 	a := e.arena
 	for base := lo; base < hi; base += batchRows {
+		if clk.stop() {
+			return
+		}
 		nb := hi - base
 		if nb > batchRows {
 			nb = batchRows
@@ -250,10 +261,13 @@ func (e *Engine) scanArenaRows(qsk sketch.Sketch, maxHam int, heap *segHeap, hit
 // scanEntryRange is the tombstone/Restrict-aware path over entries
 // [lo, hi), reading sketch rows from the arena. Returns the number of
 // objects scanned.
-func (e *Engine) scanEntryRange(qsk sketch.Sketch, maxHam int, heap *segHeap, opt QueryOptions, lo, hi int) int {
+func (e *Engine) scanEntryRange(clk *queryClock, qsk sketch.Sketch, maxHam int, heap *segHeap, opt QueryOptions, lo, hi int) int {
 	a := e.arena
 	scanned := 0
 	for idx := lo; idx < hi; idx++ {
+		if (idx-lo)%scanCheckStride == 0 && clk.stop() {
+			break
+		}
 		ent := &e.entries[idx]
 		if ent.dead {
 			continue
@@ -283,7 +297,7 @@ func (e *Engine) scanEntryRange(qsk sketch.Sketch, maxHam int, heap *segHeap, op
 // filterExact is the filtering unit's exact path: the user-supplied segment
 // distance function is computed directly against all feature-vector
 // metadata (paper §4.1.1's alternative to the sketch comparison).
-func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions) ([]int, error) {
+func (e *Engine) filterExact(clk *queryClock, q *object.Object, p FilterParams, opt QueryOptions) ([]int, error) {
 	if q == nil || e.cfg.SketchOnly {
 		return nil, errors.New("core: exact-distance filtering requires stored feature vectors")
 	}
@@ -315,6 +329,9 @@ func (e *Engine) filterExact(q *object.Object, p FilterParams, opt QueryOptions)
 		var kept []scoredIdx
 		worst := math.Inf(1)
 		for idx := range e.entries {
+			if idx%rankCheckStride == 0 && clk.stop() {
+				break
+			}
 			if e.entries[idx].dead {
 				continue
 			}

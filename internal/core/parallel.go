@@ -50,13 +50,21 @@ func parallelScan(n, workers int, process func(shard, lo, hi int)) {
 }
 
 // rankParallel runs a distance function over the (restricted) index range
-// across workers, keeping the global top K.
-func (e *Engine) rankParallel(n int, opt QueryOptions, distance func(idx int) (Result, bool)) []Result {
+// across workers, keeping the global top K. The query clock is checked
+// every rankCheckStride evaluations: context cancellation aborts the scan
+// (the caller surfaces the error), budget expiry stops it early — the
+// caller reads the latched expiry (budgetHit) and marks the answer
+// degraded. Brute-force modes have no candidate tail to fall back on, so
+// degradation here means "best of the prefix scanned in time".
+func (e *Engine) rankParallel(clk *queryClock, n int, opt QueryOptions, distance func(idx int) (Result, bool)) []Result {
 	workers := e.workers()
 	if workers <= 1 {
 		top := newTopK(opt.K)
 		evals := 0
 		for i := 0; i < n; i++ {
+			if i%rankCheckStride == 0 && (clk.stop() || clk.overBudget()) {
+				break
+			}
 			if r, ok := distance(i); ok {
 				evals++
 				top.push(r)
@@ -73,6 +81,9 @@ func (e *Engine) rankParallel(n int, opt QueryOptions, distance func(idx int) (R
 	parallelScan(n, workers, func(shard, lo, hi int) {
 		top := newTopK(opt.K)
 		for i := lo; i < hi; i++ {
+			if (i-lo)%rankCheckStride == 0 && (clk.stop() || clk.overBudget()) {
+				break
+			}
 			if r, ok := distance(i); ok {
 				evals[shard]++
 				top.push(r)

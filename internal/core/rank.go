@@ -50,7 +50,14 @@ func sortLBCands(lbs []lbCand) {
 //     an exact lower bound over its ground cost matrix and abandons the
 //     solve when the candidate provably cannot enter the top K
 //     (ferret_rank_emd_abandoned_total). This tier never changes results.
-func (e *Engine) rankCandidates(q object.Object, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) []Result {
+//
+// Both ranking units also honor the query clock: context cancellation stops
+// the loop outright (the caller discards the partial answer and returns the
+// context's error), while budget expiry degrades — the evaluated head keeps
+// its exact ranking and every not-yet-evaluated candidate is appended in
+// ascending sketch-lower-bound order until K results (degradedResults).
+// The returned bool reports that degradation.
+func (e *Engine) rankCandidates(clk *queryClock, q object.Object, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) ([]Result, bool) {
 	top := newTopK(opt.K)
 	evals, abandoned := 0, 0
 
@@ -80,11 +87,25 @@ func (e *Engine) rankCandidates(q object.Object, qset *metastore.SketchSet, cand
 		top.push(Result{ID: ent.id, Key: ent.key, Distance: e.objDist(q, o)})
 	}
 
+	// rest collects the unevaluated tail (LB-ascending) when the budget
+	// expires; degradeAt < 0 means the rank ran to completion.
+	degradeAt := -1
+	var rest []lbCand
 	if e.pruneEnabled(qset) {
 		lbs := e.lowerBounds(qset, cands, e.cfg.SqrtWeights, sc)
 		margin := e.cfg.Prune.margin()
 		pruned := 0
 		for i := range lbs {
+			if clk.stop() {
+				break
+			}
+			// Every evaluation is a full EMD solve, so the budget is
+			// checked per candidate.
+			if clk.overBudget() {
+				degradeAt = i
+				rest = lbs[i:]
+				break
+			}
 			if top.full() && lbs[i].lb*margin > top.bound() {
 				pruned += len(lbs) - i
 				break
@@ -93,27 +114,65 @@ func (e *Engine) rankCandidates(q object.Object, qset *metastore.SketchSet, cand
 		}
 		e.met.emdPruned.Add(pruned)
 	} else {
-		for _, idx := range cands {
+		for i, idx := range cands {
+			if clk.stop() {
+				break
+			}
+			if clk.overBudget() {
+				degradeAt = i
+				if qset != nil && len(qset.Sketches) > 0 {
+					rest = e.lowerBounds(qset, cands[i:], e.cfg.SqrtWeights, sc)
+				}
+				break
+			}
 			eval(idx, math.Inf(1))
 		}
 	}
 	e.met.emdEvals.Add(evals)
 	e.met.emdAbandoned.Add(abandoned)
 	e.met.heapTrims.Add(top.trims)
-	return top.sorted()
+	if degradeAt >= 0 {
+		return e.degradedResults(top, rest, opt.K), true
+	}
+	return top.sorted(), false
+}
+
+// degradedResults assembles a budget-expired answer: the exactly ranked
+// results so far, then unranked candidates in ascending sketch-lower-bound
+// order (Distance carries the sketch estimate) until K results.
+func (e *Engine) degradedResults(top *topK, rest []lbCand, k int) []Result {
+	res := top.sorted()
+	for _, c := range rest {
+		if len(res) >= k {
+			break
+		}
+		ent := &e.entries[c.idx]
+		res = append(res, Result{ID: ent.id, Key: ent.key, Distance: c.lb})
+	}
+	return res
 }
 
 // rankSketchCandidates ranks candidates with the sketch-estimated object
 // distance (sketch-only databases). Here the lower bound and the ranking
 // distance are derived from the same estimated cost matrix, so the bound is
 // exact (no margin) and pruning provably cannot change the results.
-func (e *Engine) rankSketchCandidates(qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) []Result {
+func (e *Engine) rankSketchCandidates(clk *queryClock, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) ([]Result, bool) {
 	top := newTopK(opt.K)
 	evals := 0
+	degradeAt := -1
+	var rest []lbCand
 	if !e.cfg.Prune.Disable && len(qset.Sketches) > 0 {
 		lbs := e.lowerBounds(qset, cands, false, sc)
 		pruned := 0
 		for i := range lbs {
+			if clk.stop() {
+				break
+			}
+			if clk.overBudget() {
+				degradeAt = i
+				rest = lbs[i:]
+				break
+			}
 			if top.full() && lbs[i].lb > top.bound() {
 				pruned += len(lbs) - i
 				break
@@ -125,7 +184,17 @@ func (e *Engine) rankSketchCandidates(qset *metastore.SketchSet, cands []int, op
 		}
 		e.met.emdPruned.Add(pruned)
 	} else {
-		for _, idx := range cands {
+		for i, idx := range cands {
+			if clk.stop() {
+				break
+			}
+			if clk.overBudget() {
+				degradeAt = i
+				if len(qset.Sketches) > 0 {
+					rest = e.lowerBounds(qset, cands[i:], false, sc)
+				}
+				break
+			}
 			ent := &e.entries[idx]
 			evals++
 			top.push(Result{ID: ent.id, Key: ent.key, Distance: e.sketchObjectDistanceAt(qset, idx)})
@@ -133,7 +202,10 @@ func (e *Engine) rankSketchCandidates(qset *metastore.SketchSet, cands []int, op
 	}
 	e.met.emdEvals.Add(evals)
 	e.met.heapTrims.Add(top.trims)
-	return top.sorted()
+	if degradeAt >= 0 {
+		return e.degradedResults(top, rest, opt.K), true
+	}
+	return top.sorted(), false
 }
 
 // pruneEnabled reports whether sketch lower-bound pruning applies: it needs

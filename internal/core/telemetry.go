@@ -27,6 +27,7 @@ type engineMetrics struct {
 	// Operation counters.
 	queries     *telemetry.Counter // ferret_query_total
 	queryErrors *telemetry.Counter // ferret_query_errors_total
+	degraded    *telemetry.Counter // ferret_queries_degraded_total
 	ingests     *telemetry.Counter // ferret_ingest_total
 	deletes     *telemetry.Counter // ferret_delete_total
 	compacts    *telemetry.Counter // ferret_compact_total
@@ -69,9 +70,11 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 
 		queries:     reg.Counter("ferret_query_total", "Similarity queries served."),
 		queryErrors: reg.Counter("ferret_query_errors_total", "Similarity queries that failed."),
-		ingests:     reg.Counter("ferret_ingest_total", "Objects ingested."),
-		deletes:     reg.Counter("ferret_delete_total", "Objects deleted."),
-		compacts:    reg.Counter("ferret_compact_total", "Tombstone compactions run."),
+		degraded: reg.Counter("ferret_queries_degraded_total",
+			"Queries whose time budget expired mid-rank and returned sketch-order results."),
+		ingests:  reg.Counter("ferret_ingest_total", "Objects ingested."),
+		deletes:  reg.Counter("ferret_delete_total", "Objects deleted."),
+		compacts: reg.Counter("ferret_compact_total", "Tombstone compactions run."),
 
 		scanned:    reg.Counter("ferret_filter_objects_scanned_total", "Live objects visited by the filtering unit."),
 		candidates: reg.Counter("ferret_filter_candidates_total", "Candidate objects surviving the filter stage."),

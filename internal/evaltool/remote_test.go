@@ -1,6 +1,7 @@
 package evaltool
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestRemoteRunner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	t.Cleanup(func() { srv.Close() })
 	client, err := protocol.Dial(l.Addr().String())
 	if err != nil {

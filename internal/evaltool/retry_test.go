@@ -1,0 +1,173 @@
+package evaltool
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ferret/internal/protocol"
+)
+
+func TestTransientErrClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"busy shed", &protocol.ServerError{Msg: "BUSY: server at connection limit, retry later"}, true},
+		{"other server error", &protocol.ServerError{Msg: "unknown object key"}, false},
+		{"eof", io.EOF, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true},
+		{"closed conn", net.ErrClosed, true},
+		{"refused", syscall.ECONNREFUSED, true},
+		{"reset", syscall.ECONNRESET, true},
+		{"timeout", &net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}, true},
+		{"plain error", errors.New("malformed result line"), false},
+	}
+	for _, c := range cases {
+		if got := transientErr(c.err); got != c.want {
+			t.Errorf("%s: transientErr = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := 50 * time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		full := base << attempt
+		if full > 2*time.Second || full <= 0 {
+			full = 2 * time.Second
+		}
+		for i := 0; i < 100; i++ {
+			d := backoffDelay(attempt, base, rng)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+// shedServer accepts connections, answering the first shedFirst with one
+// BUSY error (then closing, as the real server's limit shed does) and
+// speaking a minimal COUNT/PING protocol on the rest.
+func shedServer(t *testing.T, shedFirst int) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var mu sync.Mutex
+	accepted := 0
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			accepted++
+			n := accepted
+			mu.Unlock()
+			if n <= shedFirst {
+				protocol.WriteError(conn, errors.New("BUSY: server at connection limit, retry later"))
+				conn.Close()
+				continue
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					if strings.HasPrefix(sc.Text(), "COUNT") {
+						io.WriteString(c, "OK 1\ncount=20\n")
+					} else {
+						io.WriteString(c, "OK 0\n")
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestRetryRedialsThroughBusy walks the whole recovery path: the first two
+// connections are shed with BUSY, each retry backs off and redials, and
+// the third connection serves the request.
+func TestRetryRedialsThroughBusy(t *testing.T) {
+	addr := shedServer(t, 2)
+	client, err := protocol.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	dials := 0
+	r := &RemoteRunner{
+		Client:      client,
+		BackoffBase: time.Millisecond,
+		sleep:       func(d time.Duration) { slept = append(slept, d) },
+		Redial:      func() (*protocol.Client, error) { dials++; return protocol.Dial(addr) },
+	}
+	defer r.Client.Close()
+	n, err := r.count()
+	if err != nil {
+		t.Fatalf("count after sheds: %v", err)
+	}
+	if n != 20 {
+		t.Fatalf("count = %d, want 20", n)
+	}
+	if len(slept) != 2 || dials != 2 {
+		t.Fatalf("slept %d times, redialed %d times; want 2/2", len(slept), dials)
+	}
+}
+
+// TestRetryExhaustsOnPersistentBusy asserts the retry budget is finite: a
+// server that always sheds eventually surfaces the BUSY error.
+func TestRetryExhaustsOnPersistentBusy(t *testing.T) {
+	addr := shedServer(t, 1<<30)
+	client, err := protocol.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slept := 0
+	r := &RemoteRunner{
+		Client:      client,
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		sleep:       func(time.Duration) { slept++ },
+		Redial:      func() (*protocol.Client, error) { return protocol.Dial(addr) },
+	}
+	defer r.Client.Close()
+	_, err = r.count()
+	if err == nil {
+		t.Fatal("count succeeded against an always-shedding server")
+	}
+	if !transientErr(err) {
+		t.Fatalf("exhausted error %v is not the transient BUSY", err)
+	}
+	if slept != 2 {
+		t.Fatalf("slept %d times, want Retries=2", slept)
+	}
+}
+
+// TestRetrySkipsDeterministicErrors asserts non-transient failures are not
+// retried at all.
+func TestRetrySkipsDeterministicErrors(t *testing.T) {
+	calls := 0
+	r := &RemoteRunner{sleep: func(time.Duration) { t.Fatal("slept on a deterministic error") }}
+	err := r.retry(func() error {
+		calls++
+		return &protocol.ServerError{Msg: "unknown object key \"ghost\""}
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the error after exactly 1 call", err, calls)
+	}
+}

@@ -31,10 +31,10 @@ const (
 )
 
 // writeCheckpoint snapshots tables (a name → btree map) into dir.
-func writeCheckpoint(dir string, txnID uint64, tables map[string]*btree) error {
+func writeCheckpoint(fs fsys, dir string, txnID uint64, tables map[string]*btree) error {
 	tmp := filepath.Join(dir, "checkpoint.tmp")
 	final := filepath.Join(dir, "checkpoint.db")
-	f, err := os.Create(tmp)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -114,19 +114,19 @@ func writeCheckpoint(dir string, txnID uint64, tables map[string]*btree) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := fs.Rename(tmp, final); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fs, dir)
 }
 
 // loadCheckpoint reads a checkpoint into a fresh table map. A missing file
 // yields an empty map; a corrupt file is an error (the store refuses to
 // open rather than silently serving bad data).
-func loadCheckpoint(dir string) (map[string]*btree, uint64, error) {
+func loadCheckpoint(fs fsys, dir string) (map[string]*btree, uint64, error) {
 	path := filepath.Join(dir, "checkpoint.db")
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+	data, err := fs.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
 		return map[string]*btree{}, 0, nil
 	}
 	if err != nil {
@@ -199,8 +199,8 @@ func loadCheckpoint(dir string) (map[string]*btree, uint64, error) {
 // Sync and the Close error are propagated: this is the last step of the
 // checkpoint commit, and a discarded error here could report a failed
 // rename flush as a committed checkpoint.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fs fsys, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return err
 	}

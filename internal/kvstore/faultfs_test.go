@@ -1,0 +1,496 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// This file implements memFS, a fault-injecting in-memory fsys for the
+// crash-torture tests. It models the split a real filesystem has between
+// the page cache and durable storage:
+//
+//   - each inode carries data (the page-cache view every read sees) and
+//     durable (what survives a power cut);
+//   - file Sync commits data → durable for that inode;
+//   - name → inode bindings (creates and renames) become durable only when
+//     the *directory* is synced, matching the strict POSIX model where a
+//     fully fsynced file can still vanish if its directory entry was never
+//     flushed;
+//   - a power cut (crashNow) replaces every inode's durable content with a
+//     plausible writeback outcome: nothing flushed, everything flushed, or
+//     a torn prefix of the unsynced delta, chosen by the scenario's seeded
+//     RNG.
+//
+// Every write boundary — Write, Sync, Truncate, Rename, directory Sync —
+// advances an operation counter; a scenario arms exactly one (counter,
+// mode) pair, so the torture driver can enumerate every boundary of a
+// workload and fault each one in every mode.
+
+// faultMode selects what happens at the armed operation.
+type faultMode int
+
+const (
+	// faultErr fails the operation with errInjected; the process keeps
+	// running (the store is expected to poison itself where durability is
+	// now unknowable).
+	faultErr faultMode = iota
+	// faultShortErr applies a strict prefix of a write and then fails —
+	// a torn write with the error surfaced. Non-write operations treat it
+	// as faultErr.
+	faultShortErr
+	// faultCrash is a power cut before the operation takes effect.
+	faultCrash
+	// faultCrashAfter is a power cut after the operation takes effect
+	// (and, where the operation implies durability — Sync, journaled
+	// Rename — after that durability too).
+	faultCrashAfter
+)
+
+var tortureModes = []faultMode{faultErr, faultShortErr, faultCrash, faultCrashAfter}
+
+func (m faultMode) String() string {
+	switch m {
+	case faultErr:
+		return "err"
+	case faultShortErr:
+		return "short-write-err"
+	case faultCrash:
+		return "crash-before"
+	case faultCrashAfter:
+		return "crash-after"
+	}
+	return "unknown"
+}
+
+var (
+	errInjected = errors.New("faultfs: injected I/O error")
+	errCrashed  = errors.New("faultfs: power cut")
+)
+
+// fsInode is one file: data is the page-cache view, durable is what a power
+// cut preserves.
+type fsInode struct {
+	data    []byte
+	durable []byte
+}
+
+// memFS is the fault-injecting fsys.
+type memFS struct {
+	mu      sync.Mutex
+	names   map[string]*fsInode // page-cache namespace
+	durable map[string]*fsInode // namespace as of the last directory sync
+	dirs    map[string]bool
+	rng     *rand.Rand
+
+	ops     int // write-boundary operations seen so far
+	failAt  int // operation index to fault at; -1 never faults
+	mode    faultMode
+	crashed bool
+}
+
+func newMemFS(seed int64) *memFS {
+	return &memFS{
+		names:   map[string]*fsInode{},
+		durable: map[string]*fsInode{},
+		dirs:    map[string]bool{},
+		rng:     rand.New(rand.NewSource(seed)),
+		failAt:  -1,
+	}
+}
+
+// arm schedules a fault at write-boundary operation index at.
+func (m *memFS) arm(at int, mode faultMode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAt = at
+	m.mode = mode
+}
+
+// opCount returns how many write-boundary operations have run.
+func (m *memFS) opCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// isCrashed reports whether a simulated power cut has happened.
+func (m *memFS) isCrashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// step advances the operation counter and reports whether this operation
+// must fault (callers hold m.mu).
+func (m *memFS) step() (faultMode, bool) {
+	idx := m.ops
+	m.ops++
+	if idx == m.failAt {
+		return m.mode, true
+	}
+	return 0, false
+}
+
+// crashNow simulates a power cut from outside a faulting operation.
+func (m *memFS) crashNow() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.crashed {
+		m.crashNowLocked()
+	}
+}
+
+func (m *memFS) crashNowLocked() {
+	m.crashed = true
+	seen := map[*fsInode]bool{}
+	for _, n := range m.names {
+		if !seen[n] {
+			seen[n] = true
+			n.durable = m.tearLocked(n)
+		}
+	}
+	for _, n := range m.durable {
+		if !seen[n] {
+			seen[n] = true
+			n.durable = m.tearLocked(n)
+		}
+	}
+}
+
+// tearLocked picks what the kernel managed to write back before the power
+// cut: the last synced content, the full page cache, or a torn state in
+// between.
+func (m *memFS) tearLocked(n *fsInode) []byte {
+	if bytes.Equal(n.data, n.durable) {
+		return n.durable
+	}
+	if len(n.data) > len(n.durable) && bytes.HasPrefix(n.data, n.durable) {
+		// Append-only delta: any prefix of it may have been written back.
+		extra := m.rng.Intn(len(n.data) - len(n.durable) + 1)
+		return append([]byte(nil), n.data[:len(n.durable)+extra]...)
+	}
+	// Rewrite or truncate delta: nothing, everything, or a prefix tear.
+	switch m.rng.Intn(3) {
+	case 0:
+		return n.durable
+	case 1:
+		return append([]byte(nil), n.data...)
+	default:
+		return append([]byte(nil), n.data[:m.rng.Intn(len(n.data)+1)]...)
+	}
+}
+
+// reboot returns a crashed filesystem to service holding exactly the
+// durable state, with fault injection disarmed (recovery must succeed).
+func (m *memFS) reboot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.failAt = -1
+	names := make(map[string]*fsInode, len(m.durable))
+	durable := make(map[string]*fsInode, len(m.durable))
+	for name, n := range m.durable {
+		fresh := &fsInode{
+			data:    append([]byte(nil), n.durable...),
+			durable: append([]byte(nil), n.durable...),
+		}
+		names[name] = fresh
+		durable[name] = fresh
+	}
+	m.names = names
+	m.durable = durable
+}
+
+func (m *memFS) MkdirAll(path string, perm os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return errCrashed
+	}
+	m.dirs[path] = true
+	return nil
+}
+
+func (m *memFS) OpenFile(name string, flag int, perm os.FileMode) (fsFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, errCrashed
+	}
+	n := m.names[name]
+	if n == nil {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		n = &fsInode{}
+		m.names[name] = n
+	} else if flag&os.O_TRUNC != 0 {
+		n.data = nil
+	}
+	return &memHandle{fs: m, node: n, name: name, appendMode: flag&os.O_APPEND != 0}, nil
+}
+
+func (m *memFS) Open(name string) (fsFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, errCrashed
+	}
+	if m.dirs[name] {
+		return &memHandle{fs: m, name: name}, nil // directory handle
+	}
+	n := m.names[name]
+	if n == nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memHandle{fs: m, node: n, name: name}, nil
+}
+
+func (m *memFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, errCrashed
+	}
+	n := m.names[name]
+	if n == nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+func (m *memFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return errCrashed
+	}
+	apply := func() {
+		n := m.names[oldpath]
+		if n == nil {
+			return
+		}
+		m.names[newpath] = n
+		delete(m.names, oldpath)
+	}
+	if mode, fault := m.step(); fault {
+		switch mode {
+		case faultErr, faultShortErr:
+			return errInjected
+		case faultCrash:
+			m.crashNowLocked()
+			return errCrashed
+		case faultCrashAfter:
+			// The rename reached the metadata journal before the cut: it is
+			// applied and durable even without the directory sync.
+			apply()
+			if n := m.names[newpath]; n != nil {
+				m.durable[newpath] = n
+				delete(m.durable, oldpath)
+			}
+			m.crashNowLocked()
+			return errCrashed
+		}
+	}
+	if m.names[oldpath] == nil {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	apply()
+	return nil
+}
+
+func (m *memFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, errCrashed
+	}
+	n := m.names[name]
+	if n == nil {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(n.data)), nil
+}
+
+// memHandle is an open file (or, with node == nil, directory) on a memFS.
+type memHandle struct {
+	fs         *memFS
+	node       *fsInode // nil for directory handles
+	name       string
+	appendMode bool
+	off        int64
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, errCrashed
+	}
+	if h.node == nil {
+		return 0, errors.New("faultfs: read on directory")
+	}
+	if h.off >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, errCrashed
+	}
+	if h.node == nil {
+		return 0, errors.New("faultfs: write on directory")
+	}
+	if mode, fault := h.fs.step(); fault {
+		switch mode {
+		case faultErr:
+			return 0, errInjected
+		case faultShortErr:
+			n := 0
+			if len(p) > 1 {
+				n = h.fs.rng.Intn(len(p)) // strictly short
+			}
+			h.writeLocked(p[:n])
+			return n, errInjected
+		case faultCrash:
+			h.fs.crashNowLocked()
+			return 0, errCrashed
+		case faultCrashAfter:
+			h.writeLocked(p)
+			h.fs.crashNowLocked()
+			return len(p), errCrashed
+		}
+	}
+	h.writeLocked(p)
+	return len(p), nil
+}
+
+func (h *memHandle) writeLocked(p []byte) {
+	if h.appendMode {
+		h.off = int64(len(h.node.data))
+	}
+	end := h.off + int64(len(p))
+	if end > int64(len(h.node.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.node.data)
+		h.node.data = grown
+	}
+	copy(h.node.data[h.off:], p)
+	h.off = end
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, errCrashed
+	}
+	switch whence {
+	case io.SeekStart:
+		h.off = offset
+	case io.SeekCurrent:
+		h.off += offset
+	case io.SeekEnd:
+		h.off = int64(len(h.node.data)) + offset
+	}
+	return h.off, nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return errCrashed
+	}
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return errCrashed
+	}
+	if mode, fault := h.fs.step(); fault {
+		switch mode {
+		case faultErr, faultShortErr:
+			return errInjected
+		case faultCrash:
+			h.fs.crashNowLocked()
+			return errCrashed
+		case faultCrashAfter:
+			h.syncLocked()
+			h.fs.crashNowLocked()
+			return errCrashed
+		}
+	}
+	h.syncLocked()
+	return nil
+}
+
+func (h *memHandle) syncLocked() {
+	if h.node == nil {
+		// Directory sync: the current name → inode bindings become durable.
+		durable := make(map[string]*fsInode, len(h.fs.names))
+		for name, n := range h.fs.names {
+			durable[name] = n
+		}
+		h.fs.durable = durable
+		return
+	}
+	h.node.durable = append([]byte(nil), h.node.data...)
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return errCrashed
+	}
+	if h.node == nil {
+		return errors.New("faultfs: truncate on directory")
+	}
+	apply := func() {
+		if size <= int64(len(h.node.data)) {
+			h.node.data = append([]byte(nil), h.node.data[:size]...)
+		} else {
+			grown := make([]byte, size)
+			copy(grown, h.node.data)
+			h.node.data = grown
+		}
+	}
+	if mode, fault := h.fs.step(); fault {
+		switch mode {
+		case faultErr, faultShortErr:
+			return errInjected
+		case faultCrash:
+			h.fs.crashNowLocked()
+			return errCrashed
+		case faultCrashAfter:
+			apply()
+			h.fs.crashNowLocked()
+			return errCrashed
+		}
+	}
+	apply()
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, errCrashed
+	}
+	return int64(len(h.node.data)), nil
+}

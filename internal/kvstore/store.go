@@ -16,13 +16,21 @@ package kvstore
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ferret/internal/telemetry"
 )
+
+// ErrPoisoned is returned by every write operation after the store has seen
+// a failed WAL sync (or another durability-barrier failure). Once an fsync
+// fails, the kernel may have dropped the dirty pages the store believed were
+// on their way to disk, so the durable log can silently diverge from the
+// in-memory tables; refusing further writes turns that silent divergence
+// into a loud, recoverable condition (close, reopen, recover).
+var ErrPoisoned = errors.New("kvstore: store poisoned by an earlier sync failure; reopen to recover")
 
 // SyncPolicy selects when committed transactions are made durable.
 type SyncPolicy int
@@ -51,6 +59,13 @@ type Options struct {
 	// Logger, when set, logs recovery and checkpoint events (a nil logger
 	// discards them).
 	Logger *telemetry.Logger
+	// Telemetry, when set, receives the store's health gauges (currently
+	// ferret_store_poisoned: 1 after a durability failure has frozen writes).
+	Telemetry *telemetry.Registry
+
+	// fs overrides the filesystem (crash-fault injection in tests); nil
+	// means the real filesystem.
+	fs fsys
 }
 
 // Store is an open database. All methods are safe for concurrent use;
@@ -58,6 +73,7 @@ type Options struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   fsys
 
 	mu     sync.RWMutex // guards tables and all btree access
 	tables map[string]*btree
@@ -65,6 +81,12 @@ type Store struct {
 	walMu   sync.Mutex // serializes log appends and checkpoints
 	log     *wal
 	nextTxn uint64
+
+	// poisonErr holds the first durability failure; once set, every write
+	// returns ErrPoisoned (reads stay available).
+	poisonErr atomic.Pointer[error]
+	// metPoisoned mirrors the poisoned state into telemetry (may be nil).
+	metPoisoned *telemetry.Gauge
 
 	closed   chan struct{}
 	syncDone sync.WaitGroup
@@ -85,21 +107,30 @@ func Open(opts Options) (*Store, error) {
 	if opts.CheckpointBytes <= 0 {
 		opts.CheckpointBytes = 64 << 20
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fs := opts.fs
+	if fs == nil {
+		fs = osFS{}
+	}
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	tables, ckptTxn, err := loadCheckpoint(opts.Dir)
+	tables, ckptTxn, err := loadCheckpoint(fs, opts.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: loading checkpoint: %w", err)
 	}
 	s := &Store{
 		dir:    opts.Dir,
 		opts:   opts,
+		fs:     fs,
 		tables: tables,
 		closed: make(chan struct{}),
 	}
+	if opts.Telemetry != nil {
+		s.metPoisoned = opts.Telemetry.Gauge("ferret_store_poisoned",
+			"1 when the store has frozen writes after a durability failure.")
+	}
 	walPath := filepath.Join(opts.Dir, "wal.log")
-	applied, maxTxn, err := replayWAL(walPath, s.applyRecord)
+	applied, maxTxn, err := replayWAL(fs, walPath, s.applyRecord)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: replaying wal: %w", err)
 	}
@@ -110,8 +141,16 @@ func Open(opts Options) (*Store, error) {
 		"wal_records", applied,
 		"next_txn", s.nextTxn,
 		"tables", len(tables))
-	s.log, err = openWAL(walPath)
+	s.log, err = openWAL(fs, walPath)
 	if err != nil {
+		return nil, err
+	}
+	// Make the WAL's directory entry durable: on a fresh database a synced
+	// log file whose *name* was never fsynced can vanish in a power cut,
+	// losing acknowledged commits (the torture test's strict rename/create
+	// model catches exactly this).
+	if err := syncDir(fs, opts.Dir); err != nil {
+		s.log.close()
 		return nil, err
 	}
 	if opts.Sync == SyncPeriodic {
@@ -138,10 +177,39 @@ func (s *Store) syncLoop() {
 			return
 		case <-tick.C:
 			s.walMu.Lock()
-			_ = s.log.sync()
+			if err := s.log.sync(); err != nil {
+				s.poison(err)
+			}
 			s.walMu.Unlock()
 		}
 	}
+}
+
+// poison freezes writes after a durability failure. The first error wins;
+// later calls are no-ops.
+func (s *Store) poison(err error) {
+	e := err
+	if !s.poisonErr.CompareAndSwap(nil, &e) {
+		return
+	}
+	if s.metPoisoned != nil {
+		s.metPoisoned.Set(1)
+	}
+	s.opts.Logger.Error("store poisoned: refusing further writes", "dir", s.dir, "err", err.Error())
+}
+
+// Poisoned reports whether the store has frozen writes after a durability
+// failure. A poisoned store still serves reads; reopening it recovers to
+// the durable state.
+func (s *Store) Poisoned() bool { return s.poisonErr.Load() != nil }
+
+// writeAllowed returns ErrPoisoned (annotated with the original failure)
+// when the store is poisoned.
+func (s *Store) writeAllowed() error {
+	if p := s.poisonErr.Load(); p != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, *p)
+	}
+	return nil
 }
 
 // applyRecord applies one WAL record to the in-memory tables (recovery and
@@ -263,8 +331,8 @@ func (s *Store) Stat() StoreStats {
 	s.walMu.Lock()
 	st.WALBytes = s.log.size
 	s.walMu.Unlock()
-	if fi, err := os.Stat(filepath.Join(s.dir, "checkpoint.db")); err == nil {
-		st.CheckpointBytes = fi.Size()
+	if size, err := s.fs.Size(filepath.Join(s.dir, "checkpoint.db")); err == nil {
+		st.CheckpointBytes = size
 	}
 	return st
 }
@@ -275,18 +343,30 @@ func (s *Store) Checkpoint() error {
 	// Serialize with commits so the snapshot matches a WAL prefix.
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
 	if err := s.log.sync(); err != nil {
+		// The WAL's durable contents are now unknown; freeze writes.
+		s.poison(err)
 		return err
 	}
 	walBytes := s.log.size
 	s.mu.RLock()
-	err := writeCheckpoint(s.dir, s.nextTxn, s.tables)
+	err := writeCheckpoint(s.fs, s.dir, s.nextTxn, s.tables)
 	s.mu.RUnlock()
 	if err != nil {
+		// A failed snapshot attempt is recoverable without poisoning: the
+		// rename never replaced the old checkpoint (or its durability is
+		// ambiguous, in which case both old and new are valid bases for the
+		// still-intact WAL), so the store keeps running on the synced log.
 		s.opts.Logger.Error("checkpoint failed", "dir", s.dir, "err", err.Error())
 		return err
 	}
 	if err := s.log.reset(); err != nil {
+		// A half-truncated log whose sync failed leaves future appends at an
+		// unknowable durable offset; freeze writes.
+		s.poison(err)
 		return err
 	}
 	s.opts.Logger.Info("checkpoint written",
@@ -369,9 +449,16 @@ func (t *Txn) Commit() error {
 	// in-memory application order always matches the WAL order (replay
 	// after a crash must converge to the same state).
 	s.walMu.Lock()
+	if err := s.writeAllowed(); err != nil {
+		s.walMu.Unlock()
+		return err
+	}
 	rec := &walRecord{txnID: s.nextTxn, ops: t.ops}
 	s.nextTxn++
 	if err := s.log.append(rec); err != nil {
+		// A short append leaves a torn record in the buffer; anything
+		// flushed after it would be garbage. Freeze writes.
+		s.poison(err)
 		s.walMu.Unlock()
 		return err
 	}
@@ -382,6 +469,9 @@ func (t *Txn) Commit() error {
 		err = s.log.flush()
 	}
 	if err != nil {
+		// The record's durable fate is unknown (failed fsync may have
+		// dropped dirty pages); freeze writes rather than diverge.
+		s.poison(err)
 		s.walMu.Unlock()
 		return err
 	}

@@ -298,7 +298,7 @@ func TestReplayIdempotentOverCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.mu.RLock()
-	err := writeCheckpoint(s.dir, s.nextTxn, s.tables)
+	err := writeCheckpoint(s.fs, s.dir, s.nextTxn, s.tables)
 	s.mu.RUnlock()
 	s.walMu.Unlock()
 	if err != nil {

@@ -129,24 +129,24 @@ func decodeWALRecord(payload []byte) (*walRecord, error) {
 
 // wal appends transaction records to a log file.
 type wal struct {
-	f   *os.File
+	f   fsFile
 	buf *bufio.Writer
 	// size is the current byte length of the log, used for the checkpoint
 	// threshold.
 	size int64
 }
 
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fs fsys, path string) (*wal, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, buf: bufio.NewWriterSize(f, 1<<16), size: st.Size()}, nil
+	return &wal{f: f, buf: bufio.NewWriterSize(f, 1<<16), size: size}, nil
 }
 
 // append writes a record to the log buffer (not yet durable).
@@ -208,9 +208,9 @@ func (w *wal) close() error {
 // in order. It stops silently at the first torn or corrupt record (the
 // crash-truncated tail) and returns the number of applied records and the
 // highest transaction ID seen.
-func replayWAL(path string, apply func(*walRecord)) (applied int, maxTxn uint64, err error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+func replayWAL(fs fsys, path string, apply func(*walRecord)) (applied int, maxTxn uint64, err error) {
+	f, err := fs.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, nil
 	}
 	if err != nil {

@@ -43,7 +43,13 @@ func runAtomicField(pass *Pass) {
 			}
 			for _, field := range st.Fields.List {
 				isAtomic := false
-				if _, ok := isPkgSelector(field.Type, imports, "sync/atomic"); ok {
+				ftype := field.Type
+				// Generic atomics (atomic.Pointer[T]) instantiate as an
+				// index expression over the selector.
+				if ix, ok := ftype.(*ast.IndexExpr); ok {
+					ftype = ix.X
+				}
+				if _, ok := isPkgSelector(ftype, imports, "sync/atomic"); ok {
 					isAtomic = true
 				}
 				isTagged := commentHas(field.Doc, atomicTag) || commentHas(field.Comment, atomicTag)

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+)
+
+// CtxFirstAnalyzer enforces the cancellation contract of the query pipeline:
+// in internal/core and internal/server, every exported function or method
+// whose name marks it as blocking work (Search*, Serve*, Query*, Shutdown*,
+// Drain*, Dial*, Wait*) must take a context.Context as its first parameter.
+// The rule is what lets a deadline or a drain propagate end to end — a
+// blocking entry point without a context is a place where shutdown hangs
+// and budgets silently stop applying. Compatibility wrappers that delegate
+// immediately to the context-aware form carry //lint:ignore ctxfirst
+// directives at the declaration.
+var CtxFirstAnalyzer = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported blocking entry points in core and server take context.Context first",
+	Run:  runCtxFirst,
+}
+
+// ctxFirstPackages are the module-relative paths the rule applies to. The
+// protocol client and the public facade are deliberately exempt: they are
+// the compatibility surface where context-free forms are part of the API.
+var ctxFirstPackages = map[string]bool{
+	"internal/core":   true,
+	"internal/server": true,
+}
+
+// blockingPrefixes mark names that perform potentially unbounded work.
+var blockingPrefixes = []string{
+	"Search", "Serve", "Query", "Shutdown", "Drain", "Dial", "Wait",
+}
+
+// isBlockingName reports whether name begins with a blocking prefix at a
+// word boundary: "ServeContext", "QueryByID" and bare "Query" match, but
+// "Searchable" does not — the prefix must end the name or be followed by a
+// new word (an upper-case letter or a digit).
+func isBlockingName(name string) bool {
+	for _, p := range blockingPrefixes {
+		rest, ok := strings.CutPrefix(name, p)
+		if !ok {
+			continue
+		}
+		if rest == "" {
+			return true
+		}
+		r := []rune(rest)[0]
+		if unicode.IsUpper(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFirst(pass *Pass) {
+	if !ctxFirstPackages[pass.Pkg.RelPath] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		imports := importMap(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || !isBlockingName(fn.Name.Name) {
+				continue
+			}
+			params := fn.Type.Params
+			if params != nil && len(params.List) > 0 {
+				if name, ok := isPkgSelector(params.List[0].Type, imports, "context"); ok && name == "Context" {
+					continue
+				}
+			}
+			kind := "function"
+			if fn.Recv != nil {
+				kind = "method"
+			}
+			pass.Reportf(fn.Name.Pos(),
+				"exported blocking %s %s must take context.Context as its first parameter",
+				kind, fn.Name.Name)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Package lint is ferret's project-specific static-analysis suite. It is a
 // self-contained analyzer driver on the standard library's go/parser, go/ast
 // and go/types (no golang.org/x/tools dependency, honoring the repo's
-// stdlib-only rule) with five analyzers enforcing invariants that go vet
+// stdlib-only rule) with six analyzers enforcing invariants that go vet
 // cannot see:
 //
 //   - layering: the package import DAG (vector/sketch/object/protocol/
@@ -16,6 +16,10 @@
 //     outside the blessed math.Trunc integerness idiom.
 //   - errclose: Close/Sync/Flush errors on writable files must be checked,
 //     never discarded via a bare defer — the WAL/checkpoint durability rule.
+//   - ctxfirst: exported blocking entry points in internal/core and
+//     internal/server (Search*, Serve*, Query*, Shutdown*, Drain*, Dial*,
+//     Wait*) take a context.Context first, so cancellation and deadlines
+//     propagate end to end.
 //
 // A diagnostic can be suppressed with a directive on, or on the line above,
 // the offending line:
@@ -74,6 +78,7 @@ func Analyzers() []*Analyzer {
 		PoolEscapeAnalyzer,
 		FloatCmpAnalyzer,
 		ErrCloseAnalyzer,
+		CtxFirstAnalyzer,
 	}
 }
 

@@ -1,0 +1,7 @@
+// Package client shows the rule's scope: outside internal/core and
+// internal/server, context-free blocking names are part of the
+// compatibility surface and are not flagged.
+package client
+
+// Dial would violate ctxfirst inside the scoped packages; here it is fine.
+func Dial(addr string) error { return nil }

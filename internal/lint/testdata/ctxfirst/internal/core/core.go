@@ -1,0 +1,29 @@
+// Package core seeds ctxfirst violations on the blocking query surface and
+// the compliant and exempt shapes around them.
+package core
+
+import "context"
+
+// Engine stands in for the real query engine.
+type Engine struct{}
+
+// Search lacks the context entirely.
+func Search(q int) error { return nil } // want "ctxfirst: exported blocking function Search must take context.Context as its first parameter"
+
+// SearchByID is compliant: the context comes first.
+func SearchByID(ctx context.Context, id int) error { return nil }
+
+// Query carries a context, but not in the first position.
+func (e *Engine) Query(q int, ctx context.Context) error { return nil } // want "ctxfirst: exported blocking method Query"
+
+// QueryByID is a sanctioned compatibility wrapper: the directive names the
+// check and gives a reason, so no diagnostic is produced.
+//
+//lint:ignore ctxfirst compatibility wrapper: delegates immediately to SearchByID
+func QueryByID(id int) error { return SearchByID(context.Background(), id) }
+
+// Queryable is exempt: the blocking prefix is not at a word boundary.
+func Queryable() bool { return true }
+
+// search is exempt: the rule polices the exported surface only.
+func search(q int) error { return nil }

@@ -1,0 +1,19 @@
+// Package server seeds ctxfirst violations on the serving layer.
+package server
+
+import "context"
+
+// Server stands in for the real protocol server.
+type Server struct{}
+
+// Serve blocks in the accept loop without a context to stop it.
+func (s *Server) Serve(l int) error { return nil } // want "ctxfirst: exported blocking method Serve must take context.Context as its first parameter"
+
+// ServeContext is the compliant form.
+func (s *Server) ServeContext(ctx context.Context, l int) error { return nil }
+
+// Shutdown is compliant: the drain grace arrives as a context deadline.
+func (s *Server) Shutdown(ctx context.Context) error { return nil }
+
+// WaitReady blocks until the server is up but cannot be cancelled.
+func WaitReady() error { return nil } // want "ctxfirst: exported blocking function WaitReady"

@@ -8,15 +8,23 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Client is a command-line-protocol client used by the query tool, the web
 // interface and the performance evaluation tool. It is safe for concurrent
 // use (requests are serialized on the single connection).
 type Client struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
-	rd   *bufio.Reader
+	mu      sync.Mutex
+	conn    io.ReadWriteCloser
+	rd      *bufio.Reader
+	timeout time.Duration
+}
+
+// deadliner is the subset of net.Conn needed for per-request deadlines;
+// non-network connections (pipes in tests) simply don't get them.
+type deadliner interface {
+	SetDeadline(t time.Time) error
 }
 
 // Dial connects to a Ferret server at addr (host:port).
@@ -28,9 +36,27 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// DialTimeout is Dial with a connection-establishment timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
 // NewClient wraps an established connection.
 func NewClient(conn io.ReadWriteCloser) *Client {
 	return &Client{conn: conn, rd: bufio.NewReader(conn)}
+}
+
+// SetTimeout bounds each subsequent request round trip (write + response
+// read). Zero (the default) means no deadline. It only takes effect on
+// connections that support deadlines (net.Conn).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 // Close closes the connection.
@@ -38,12 +64,26 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends one request and reads the raw response lines.
 func (c *Client) roundTrip(req Request) ([]string, error) {
+	lines, _, err := c.roundTripMeta(req)
+	return lines, err
+}
+
+// roundTripMeta sends one request and reads the raw response lines plus the
+// head-line flags.
+func (c *Client) roundTripMeta(req Request) ([]string, ResponseMeta, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := io.WriteString(c.conn, FormatRequest(req)+"\n"); err != nil {
-		return nil, err
+	if d, ok := c.conn.(deadliner); ok {
+		if c.timeout > 0 {
+			d.SetDeadline(time.Now().Add(c.timeout))
+		} else {
+			d.SetDeadline(time.Time{})
+		}
 	}
-	return ReadResponse(c.rd)
+	if _, err := io.WriteString(c.conn, FormatRequest(req)+"\n"); err != nil {
+		return nil, ResponseMeta{}, err
+	}
+	return ReadResponseMeta(c.rd)
 }
 
 // Ping checks liveness.
@@ -81,6 +121,10 @@ type QueryParams struct {
 	// "adjusted weights for feature vectors" of §4.1.4); factor i applies
 	// to segment i.
 	SegWeights []float64
+	// Budget, when positive, requests a per-query time budget: if it
+	// expires mid-rank the server answers with its best results so far,
+	// flagged degraded. Servers cap it at their configured maximum.
+	Budget time.Duration
 }
 
 func (p QueryParams) fill(args map[string]string) {
@@ -103,21 +147,36 @@ func (p QueryParams) fill(args map[string]string) {
 		}
 		args["segweights"] = strings.Join(parts, ",")
 	}
+	if p.Budget > 0 {
+		args["budget"] = p.Budget.String()
+	}
 }
 
 // Query runs a similarity query using an already-ingested object.
 func (c *Client) Query(key string, p QueryParams) ([]Result, error) {
+	results, _, err := c.QueryMeta(key, p)
+	return results, err
+}
+
+// QueryMeta is Query exposing the response flags (degradation).
+func (c *Client) QueryMeta(key string, p QueryParams) ([]Result, ResponseMeta, error) {
 	args := map[string]string{"key": key}
 	p.fill(args)
-	return c.results(Request{Cmd: CmdQuery, Args: args})
+	return c.resultsMeta(Request{Cmd: CmdQuery, Args: args})
 }
 
 // QueryFile runs a similarity query on a data file the server extracts with
 // its plug-in.
 func (c *Client) QueryFile(path string, p QueryParams) ([]Result, error) {
+	results, _, err := c.QueryFileMeta(path, p)
+	return results, err
+}
+
+// QueryFileMeta is QueryFile exposing the response flags (degradation).
+func (c *Client) QueryFileMeta(path string, p QueryParams) ([]Result, ResponseMeta, error) {
 	args := map[string]string{"path": path}
 	p.fill(args)
-	return c.results(Request{Cmd: CmdQueryFile, Args: args})
+	return c.resultsMeta(Request{Cmd: CmdQueryFile, Args: args})
 }
 
 // AddFile ingests a data file through the server's plug-in extractor,
@@ -210,17 +269,22 @@ func (c *Client) Delete(key string) error {
 }
 
 func (c *Client) results(req Request) ([]Result, error) {
-	lines, err := c.roundTrip(req)
+	out, _, err := c.resultsMeta(req)
+	return out, err
+}
+
+func (c *Client) resultsMeta(req Request) ([]Result, ResponseMeta, error) {
+	lines, meta, err := c.roundTripMeta(req)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	out := make([]Result, 0, len(lines))
 	for _, line := range lines {
 		r, err := ParseResultLine(line)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, meta, nil
 }

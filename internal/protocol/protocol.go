@@ -9,12 +9,17 @@
 //
 // Responses are either
 //
-//	OK <n>
+//	OK <n> [flags...]
 //	<n result lines: "<key> <distance>" or "<name>=<quoted value>">
 //
 // or
 //
 //	ERR <quoted message>
+//
+// Flags after the count annotate the whole response; the only one currently
+// defined is "degraded" (the query's time budget expired and the result tail
+// is ordered by sketch-estimated distance). Unknown flags are ignored by
+// clients, so flags are forward-compatible.
 package protocol
 
 import (
@@ -147,10 +152,32 @@ type Result struct {
 	Distance float64
 }
 
+// ResponseMeta carries the flags of an OK head line.
+type ResponseMeta struct {
+	// Degraded reports the server answered within its time budget by
+	// degrading: the head of the results is exactly ranked, the tail is in
+	// sketch-estimated-distance order.
+	Degraded bool
+}
+
+// flags renders the head-line flag tokens (leading space included).
+func (m ResponseMeta) flags() string {
+	if m.Degraded {
+		return " degraded"
+	}
+	return ""
+}
+
 // WriteResults writes a successful response with result lines.
 func WriteResults(w io.Writer, results []Result) error {
+	return WriteResultsMeta(w, results, ResponseMeta{})
+}
+
+// WriteResultsMeta writes a successful response with result lines and
+// head-line flags.
+func WriteResultsMeta(w io.Writer, results []Result, meta ResponseMeta) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "OK %d\n", len(results))
+	fmt.Fprintf(bw, "OK %d%s\n", len(results), meta.flags())
 	for _, r := range results {
 		fmt.Fprintf(bw, "%s %g\n", maybeQuote(r.Key), r.Distance)
 	}
@@ -179,36 +206,51 @@ func WriteError(w io.Writer, err error) error {
 }
 
 // ReadResponse reads a response: the raw payload lines of an OK response,
-// or an error carrying the server's message.
+// or an error carrying the server's message. Head-line flags are discarded;
+// use ReadResponseMeta to observe them.
 func ReadResponse(r *bufio.Reader) ([]string, error) {
+	lines, _, err := ReadResponseMeta(r)
+	return lines, err
+}
+
+// ReadResponseMeta reads a response along with its head-line flags. Unknown
+// flags are ignored for forward compatibility.
+func ReadResponseMeta(r *bufio.Reader) ([]string, ResponseMeta, error) {
+	var meta ResponseMeta
 	head, err := r.ReadString('\n')
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	head = strings.TrimRight(head, "\r\n")
 	switch {
 	case strings.HasPrefix(head, "OK "):
-		n, err := strconv.Atoi(strings.TrimPrefix(head, "OK "))
+		fields := strings.Fields(head)
+		n, err := strconv.Atoi(fields[1])
 		if err != nil || n < 0 || n > 10_000_000 {
-			return nil, fmt.Errorf("protocol: bad OK count %q", head)
+			return nil, meta, fmt.Errorf("protocol: bad OK count %q", head)
+		}
+		for _, f := range fields[2:] {
+			if f == "degraded" {
+				meta.Degraded = true
+			}
 		}
 		lines := make([]string, 0, n)
 		for i := 0; i < n; i++ {
 			line, err := r.ReadString('\n')
 			if err != nil {
-				return nil, fmt.Errorf("protocol: truncated response: %w", err)
+				return nil, meta, fmt.Errorf("protocol: truncated response: %w", err)
 			}
 			lines = append(lines, strings.TrimRight(line, "\r\n"))
 		}
-		return lines, nil
+		return lines, meta, nil
 	case strings.HasPrefix(head, "ERR "):
 		msg, err := strconv.Unquote(strings.TrimPrefix(head, "ERR "))
 		if err != nil {
 			msg = strings.TrimPrefix(head, "ERR ")
 		}
-		return nil, &ServerError{Msg: msg}
+		return nil, meta, &ServerError{Msg: msg}
 	default:
-		return nil, fmt.Errorf("protocol: unexpected response line %q", head)
+		return nil, meta, fmt.Errorf("protocol: unexpected response line %q", head)
 	}
 }
 

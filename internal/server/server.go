@@ -7,6 +7,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ferret/internal/attr"
@@ -36,6 +38,20 @@ type Server struct {
 	Extract ExtractFunc
 	// DefaultK is the result count when the client does not pass k.
 	DefaultK int
+	// QueryBudget, when positive, is the per-query time budget: a query
+	// whose budget expires mid-rank answers with its best results so far,
+	// flagged degraded (see core.QueryOptions.Budget). Clients may request
+	// a tighter budget per query (budget=...), never a looser one.
+	QueryBudget time.Duration
+	// MaxConns, when positive, caps concurrent client connections; excess
+	// connections are answered with a single BUSY error and closed
+	// (ferret_conns_shed_total counts them).
+	MaxConns int
+	// ReadTimeout, when positive, bounds the wait for each request line —
+	// an idle-connection timeout.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each response write.
+	WriteTimeout time.Duration
 	// Telemetry is the registry the server records request metrics into.
 	// nil uses the engine's registry, so one /metrics endpoint covers both
 	// the serving layer and the query pipeline.
@@ -46,11 +62,28 @@ type Server struct {
 	metOnce sync.Once
 	met     *serverMetrics
 
+	// draining tells connection handlers to close after the in-flight
+	// request instead of reading another (set by Shutdown).
+	draining atomic.Bool
+
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	wg       sync.WaitGroup
 	closed   bool
+	// queryCancel aborts every in-flight query's context; Shutdown fires it
+	// when the drain grace expires so handlers unwind promptly instead of
+	// finishing arbitrarily long scans against a closed connection.
+	queryCtx    context.Context
+	queryCancel context.CancelFunc
+}
+
+// connState tracks one client connection; busy is true while a request is
+// being dispatched, so Shutdown can tell in-flight work from idle
+// connections.
+type connState struct {
+	conn net.Conn
+	busy atomic.Bool
 }
 
 // serverMetrics are the serving layer's telemetry handles: per-command
@@ -66,6 +99,7 @@ type serverMetrics struct {
 	inflight     *telemetry.Gauge              // ferret_server_inflight_requests
 	conns        *telemetry.Gauge              // ferret_server_connections
 	connsTotal   *telemetry.Counter            // ferret_server_connections_total
+	shed         *telemetry.Counter            // ferret_conns_shed_total
 	latency      *telemetry.Histogram          // ferret_server_request_seconds
 }
 
@@ -90,6 +124,7 @@ func (s *Server) metrics() *serverMetrics {
 			inflight:     reg.Gauge("ferret_server_inflight_requests", "Requests currently being dispatched."),
 			conns:        reg.Gauge("ferret_server_connections", "Open client connections."),
 			connsTotal:   reg.Counter("ferret_server_connections_total", "Client connections accepted."),
+			shed:         reg.Counter("ferret_conns_shed_total", "Connections refused with BUSY at the connection limit."),
 			latency:      reg.Histogram("ferret_server_request_seconds", "Protocol request latency in seconds.", nil),
 		}
 		for _, cmd := range []string{
@@ -117,9 +152,17 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Serve accepts connections on l until Close is called. It always returns
-// a non-nil error (net.ErrClosed after Close).
-func (s *Server) Serve(l net.Listener) error {
+// errBusy is the polite shed response at the connection limit. The BUSY
+// marker is load-bearing: clients (evaltool's retry loop) treat it as
+// transient and back off instead of failing the run.
+var errBusy = errors.New("BUSY: server at connection limit, retry later")
+
+// Serve accepts connections on l until ctx is cancelled or Shutdown/Close
+// is called. It always returns a non-nil error (net.ErrClosed after a clean
+// shutdown). In-flight queries run under a context derived from ctx's
+// values but cancelled only by Shutdown's grace expiry, so a cancelled ctx
+// stops accepting without aborting work mid-drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -127,9 +170,15 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listener = l
 	if s.conns == nil {
-		s.conns = make(map[net.Conn]struct{})
+		s.conns = make(map[net.Conn]*connState)
 	}
+	if s.queryCtx == nil {
+		s.queryCtx, s.queryCancel = context.WithCancel(context.WithoutCancel(ctx))
+	}
+	qctx := s.queryCtx
 	s.mu.Unlock()
+	unwatch := context.AfterFunc(ctx, func() { l.Close() })
+	defer unwatch()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -141,32 +190,101 @@ func (s *Server) Serve(l net.Listener) error {
 			conn.Close()
 			return net.ErrClosed
 		}
-		s.conns[conn] = struct{}{}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			s.shedConn(conn)
+			continue
+		}
+		st := &connState{conn: conn}
+		s.conns[conn] = st
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
-			s.handleConn(conn)
+			s.handleConn(qctx, st)
 		}()
 	}
 }
 
-// Close stops accepting and closes all active connections.
+// shedConn answers one over-limit connection with BUSY and closes it.
+func (s *Server) shedConn(conn net.Conn) {
+	met := s.metrics()
+	met.shed.Inc()
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+	protocol.WriteError(conn, errBusy)
+	conn.Close()
+	s.Logger.Warn("connection shed: at connection limit",
+		"remote", conn.RemoteAddr().String(), "max_conns", s.MaxConns)
+}
+
+// Close stops accepting and closes all active connections immediately
+// (zero-grace Shutdown).
 func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	if s.listener != nil {
-		s.listener.Close()
-	}
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
 	return nil
 }
 
-func (s *Server) handleConn(conn net.Conn) {
+// Shutdown stops accepting and drains: idle connections close immediately,
+// while connections with a request in flight get until ctx expires to
+// finish it. On grace expiry the remaining queries' contexts are cancelled
+// and their connections closed. It reports how many busy connections
+// drained cleanly versus were aborted, and ctx's error when the grace
+// expired. Safe to call concurrently with Serve; subsequent calls are
+// no-ops.
+func (s *Server) Shutdown(ctx context.Context) (drained, aborted int, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return 0, 0, nil
+	}
+	s.closed = true
+	s.draining.Store(true)
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	var busy []*connState
+	for c, st := range s.conns {
+		if st.busy.Load() {
+			busy = append(busy, st)
+		} else {
+			// Idle: no request in flight, nothing to lose.
+			c.Close()
+		}
+	}
+	cancelQueries := s.queryCancel
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, st := range busy {
+			if st.busy.Load() {
+				aborted++
+			}
+			st.conn.Close()
+		}
+		if cancelQueries != nil {
+			cancelQueries()
+		}
+		<-done
+	}
+	drained = len(busy) - aborted
+	return drained, aborted, err
+}
+
+func (s *Server) handleConn(ctx context.Context, st *connState) {
+	conn := st.conn
 	met := s.metrics()
 	met.conns.Add(1)
 	met.connsTotal.Inc()
@@ -181,23 +299,43 @@ func (s *Server) handleConn(conn net.Conn) {
 	w := countingWriter{w: conn, c: met.bytesWritten}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	for sc.Scan() {
+	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		if !sc.Scan() {
+			return
+		}
 		met.bytesRead.Add(len(sc.Bytes()) + 1) // +1 for the newline
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		req, err := protocol.ParseRequest(line)
-		if err != nil {
-			if s.writeErr(w, err) != nil {
-				return
-			}
-			continue
+		// Busy from parse to response: Shutdown counts this connection as
+		// in-flight and gives it the drain grace.
+		st.busy.Store(true)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		if err := s.dispatch(w, req); err != nil {
+		err := s.handleLine(ctx, w, line)
+		st.busy.Store(false)
+		if err != nil {
 			return // transport error: drop the connection
 		}
+		if s.draining.Load() {
+			return // finish the drained request, then hang up
+		}
 	}
+}
+
+// handleLine parses and dispatches one request line, writing exactly one
+// response. The returned error is a transport error.
+func (s *Server) handleLine(ctx context.Context, w io.Writer, line string) error {
+	req, err := protocol.ParseRequest(line)
+	if err != nil {
+		return s.writeErr(w, err)
+	}
+	return s.dispatch(ctx, w, req)
 }
 
 // writeErr answers a request-level failure with an ERR response, counting
@@ -210,8 +348,9 @@ func (s *Server) writeErr(w io.Writer, err error) error {
 // dispatch handles one request, writing exactly one response. The returned
 // error is a transport error; request-level failures become ERR responses.
 // Every request is counted by command, gauged while in flight, and timed
-// into the server latency histogram.
-func (s *Server) dispatch(w io.Writer, req protocol.Request) error {
+// into the server latency histogram. ctx cancels in-flight queries (fired
+// by Shutdown when the drain grace expires).
+func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request) error {
 	met := s.metrics()
 	if c, ok := met.requests[req.Cmd]; ok {
 		c.Inc()
@@ -242,7 +381,7 @@ func (s *Server) dispatch(w io.Writer, req protocol.Request) error {
 		if err != nil {
 			return s.writeErr(w, err)
 		}
-		var results []core.Result
+		var ans core.Answer
 		if sw := req.Args["segweights"]; sw != "" {
 			// Adjusted feature-vector weights (paper §4.1.4): rebuild the
 			// query object with scaled segment weights.
@@ -253,14 +392,14 @@ func (s *Server) dispatch(w io.Writer, req protocol.Request) error {
 			if err := reweight(&o, sw); err != nil {
 				return s.writeErr(w, err)
 			}
-			results, err = s.Engine.Query(o, opt)
+			ans, err = s.Engine.Search(ctx, o, opt)
 		} else {
-			results, err = s.Engine.QueryByID(id, opt)
+			ans, err = s.Engine.SearchByID(ctx, id, opt)
 		}
 		if err != nil {
 			return s.writeErr(w, err)
 		}
-		return writeCoreResults(w, results)
+		return writeAnswer(w, ans)
 
 	case protocol.CmdQueryFile:
 		if s.Extract == nil {
@@ -279,11 +418,11 @@ func (s *Server) dispatch(w io.Writer, req protocol.Request) error {
 		if err != nil {
 			return s.writeErr(w, err)
 		}
-		results, err := s.Engine.Query(o, opt)
+		ans, err := s.Engine.Search(ctx, o, opt)
 		if err != nil {
 			return s.writeErr(w, err)
 		}
-		return writeCoreResults(w, results)
+		return writeAnswer(w, ans)
 
 	case protocol.CmdAddFile:
 		if s.Extract == nil {
@@ -414,6 +553,18 @@ func (s *Server) queryOptions(req protocol.Request) (core.QueryOptions, error) {
 	default:
 		return opt, fmt.Errorf("unknown mode %q", req.Args["mode"])
 	}
+	// Per-query time budget: the server's configured budget, optionally
+	// tightened (never loosened) by the client.
+	opt.Budget = s.QueryBudget
+	if v := req.Args["budget"]; v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return opt, fmt.Errorf("bad budget %q", v)
+		}
+		if s.QueryBudget <= 0 || d < s.QueryBudget {
+			opt.Budget = d
+		}
+	}
 	// Attribute restriction: run the attribute search first and restrict
 	// the similarity scan to its matches (paper §4.1.2).
 	q := attr.Query{Equal: attrArgs(req)}
@@ -466,10 +617,10 @@ func attrArgs(req protocol.Request) attr.Attrs {
 	return out
 }
 
-func writeCoreResults(w io.Writer, results []core.Result) error {
-	out := make([]protocol.Result, len(results))
-	for i, r := range results {
+func writeAnswer(w io.Writer, ans core.Answer) error {
+	out := make([]protocol.Result, len(ans.Results))
+	for i, r := range ans.Results {
 		out[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
 	}
-	return protocol.WriteResults(w, out)
+	return protocol.WriteResultsMeta(w, out, protocol.ResponseMeta{Degraded: ans.Degraded})
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -52,7 +53,7 @@ func startServer(t *testing.T, extract ExtractFunc) (*protocol.Client, *core.Eng
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	t.Cleanup(func() { srv.Close() })
 
 	client, err := protocol.Dial(l.Addr().String())
@@ -259,7 +260,7 @@ func TestAdjustedSegmentWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	t.Cleanup(func() { srv.Close() })
 	client, err := protocol.Dial(l.Addr().String())
 	if err != nil {
