@@ -3,13 +3,15 @@ GO ?= go
 .PHONY: all build test race race-fast torture vet lint check ci bench bench-json check-bench clean
 
 # Benchmark artifact plumbing. bench-json measures the filter/kernel/pipeline
-# microbenchmarks plus a medium-scale ferret-bench run and merges them into
-# $(BENCH_OUT); check-bench re-measures the microbenchmarks and fails if the
-# gated filter-scan benchmark regressed >20% ns/op vs the committed artifact.
-BENCH_OUT  ?= BENCH_2.json
+# microbenchmarks plus a medium-scale ferret-bench run (Table 2 and the
+# closed-loop serving-throughput sweep) and merges them into $(BENCH_OUT);
+# check-bench re-measures the microbenchmarks and fails if a gated benchmark
+# (filter scan, multi-query Hamming kernel, concurrent query pipeline)
+# regressed >20% ns/op vs the committed artifact.
+BENCH_OUT  ?= BENCH_5.json
 BENCH_TMP  ?= /tmp/ferret-bench
-BENCH_PKGS  = ./internal/core ./internal/sketch
-BENCH_RE    = FilterScan|Hamming|QueryPipeline
+BENCH_PKGS  = ./internal/core ./internal/sketch ./internal/vector
+BENCH_RE    = FilterScan|Hamming|QueryPipeline|L1
 
 all: check
 
@@ -56,7 +58,7 @@ bench:
 bench-json:
 	mkdir -p $(BENCH_TMP)
 	$(GO) test $(BENCH_PKGS) -run '^$$' -bench '$(BENCH_RE)' -benchmem | tee $(BENCH_TMP)/micro.txt
-	$(GO) run ./cmd/ferret-bench -exp table2 -scale medium -json $(BENCH_TMP)/pipeline.json
+	$(GO) run ./cmd/ferret-bench -exp table2,throughput -scale medium -json $(BENCH_TMP)/pipeline.json
 	$(GO) run ./cmd/ferret-benchcmp -merge -micro $(BENCH_TMP)/micro.txt \
 		-pipeline $(BENCH_TMP)/pipeline.json -out $(BENCH_OUT)
 

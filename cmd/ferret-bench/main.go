@@ -5,11 +5,16 @@
 //	ferret-bench -exp table2            # search speed (sketch + filter on)
 //	ferret-bench -exp figure7           # avg precision vs sketch size
 //	ferret-bench -exp figure8           # query time vs dataset size
+//	ferret-bench -exp throughput        # closed-loop concurrent serving QPS
 //	ferret-bench -exp all -scale medium
-//	ferret-bench -exp table2 -json results.json   # machine-readable summary
+//	ferret-bench -exp table2,throughput -json results.json
 //
 // Scales: small (seconds), medium (minutes, default), paper (approaches
-// the paper's dataset sizes; slow).
+// the paper's dataset sizes; slow). -exp accepts a comma-separated list.
+//
+// The throughput experiment drives closed-loop concurrent clients against
+// the shared-scan query scheduler; -concurrency pins a single client count
+// (default sweeps 1,2,4,8) and -batch skips the unbatched baseline arm.
 //
 // -json writes every experiment's rows — including per-phase latency
 // percentiles and throughput — as one JSON document ("-" = stdout).
@@ -19,15 +24,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ferret/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, figure7, figure8, ablations or all")
+	exp := flag.String("exp", "all", "experiments (comma-separated): table1, table2, figure7, figure8, ablations, throughput or all")
 	scaleName := flag.String("scale", "medium", "dataset scale: small, medium or paper")
 	jsonPath := flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
+	concurrency := flag.Int("concurrency", 0, "throughput: closed-loop client count (0 = sweep 1,2,4,8)")
+	batchOnly := flag.Bool("batch", false, "throughput: only the batched (shared-scan scheduler) arm")
 	flag.Parse()
 
 	scale, ok := experiments.ByName(*scaleName)
@@ -50,7 +58,14 @@ func main() {
 		fmt.Printf("--- %s done in %v ---\n\n", title, elapsed.Round(time.Millisecond))
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	want := func(name string) bool {
+		for _, e := range strings.Split(*exp, ",") {
+			if e == "all" || e == name {
+				return true
+			}
+		}
+		return false
+	}
 	ran := false
 	if want("table1") {
 		ran = true
@@ -104,6 +119,21 @@ func main() {
 				return nil, err
 			}
 			experiments.FprintAblations(os.Stdout, rows)
+			return rows, nil
+		})
+	}
+	if want("throughput") {
+		ran = true
+		run("throughput", "Serving throughput: shared-scan scheduler", func() (any, error) {
+			opts := experiments.ThroughputOptions{BatchedOnly: *batchOnly}
+			if *concurrency > 0 {
+				opts.Concurrencies = []int{*concurrency}
+			}
+			rows, err := experiments.Throughput(scale, opts)
+			if err != nil {
+				return nil, err
+			}
+			experiments.FprintThroughput(os.Stdout, rows)
 			return rows, nil
 		})
 	}

@@ -13,8 +13,9 @@
 //
 //	ferret-benchcmp -baseline BENCH_2.json -new current.json
 //
-// The gate covers the filter-scan benchmarks (names matching
-// "FilterScanArena"); other shared benchmarks are reported informationally.
+// The gate is a comma-separated list of name substrings (default covers the
+// filter scan, the multi-query Hamming kernel and the concurrent serving
+// pipeline); other shared benchmarks are reported informationally.
 package main
 
 import (
@@ -189,6 +190,7 @@ func compare(basePath, newPath, gate string, threshold float64) error {
 	if len(names) == 0 {
 		return fmt.Errorf("no common microbenchmarks between %s and %s", basePath, newPath)
 	}
+	gates := strings.Split(gate, ",")
 	var failures []string
 	gatedSeen := false
 	for _, name := range names {
@@ -197,7 +199,13 @@ func compare(basePath, newPath, gate string, threshold float64) error {
 			continue
 		}
 		delta := (n.NsPerOp - b.NsPerOp) / b.NsPerOp
-		gated := strings.Contains(name, gate)
+		gated := false
+		for _, g := range gates {
+			if g != "" && strings.Contains(name, g) {
+				gated = true
+				break
+			}
+		}
 		mark := " "
 		if gated {
 			gatedSeen = true
@@ -227,7 +235,8 @@ func main() {
 	out := flag.String("out", "-", "merged artifact path (merge mode)")
 	baseline := flag.String("baseline", "", "committed baseline artifact (compare mode)")
 	newPath := flag.String("new", "", "freshly measured artifact (compare mode)")
-	gate := flag.String("gate", "FilterScanArena", "substring naming the gated benchmark(s)")
+	gate := flag.String("gate", "FilterScanArena,HammingSelectMulti,QueryPipelineConcurrent,BenchmarkL1",
+		"comma-separated substrings naming the gated benchmark(s)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression")
 	flag.Parse()
 

@@ -5,6 +5,7 @@
 //	ferret-query -addr 127.0.0.1:7070 ping
 //	ferret-query count
 //	ferret-query query -key vary/set00/img00.png -k 10 -mode filtering
+//	ferret-query query -batch -key img00.png -key img01.png -k 5
 //	ferret-query queryfile -path ./new.png -k 5
 //	ferret-query search -keywords dog,beach
 //	ferret-query info -key vary/set00/img00.png
@@ -55,7 +56,9 @@ func main() {
 
 	case "query", "queryfile":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-		key := fs.String("key", "", "object key (query)")
+		keys := keyValues{}
+		fs.Var(&keys, "key", "object key (query; repeatable with -batch)")
+		batch := fs.Bool("batch", false, "send all -key queries as one BATCHQUERY request (query)")
 		path := fs.String("path", "", "data file (queryfile)")
 		k := fs.Int("k", 10, "number of results")
 		mode := fs.String("mode", "filtering", "filtering, bruteforce or sketch")
@@ -68,14 +71,35 @@ func main() {
 		if *keywords != "" {
 			params.Keywords = strings.Split(*keywords, ",")
 		}
+		if *batch {
+			if cmd != "query" || len(keys.v) == 0 {
+				fatal("-batch requires the query command with at least one -key")
+			}
+			items, err := client.BatchQuery(keys.v, params)
+			if err != nil {
+				fatal("batch query: %v", err)
+			}
+			for i, it := range items {
+				fmt.Printf("# %s\n", keys.v[i])
+				if it.Err != "" {
+					fmt.Printf("     error: %s\n", it.Err)
+					continue
+				}
+				if it.Meta.Degraded {
+					fmt.Fprintf(os.Stderr, "ferret-query: %s: degraded answer\n", keys.v[i])
+				}
+				printResults(it.Results, true)
+			}
+			return
+		}
 		var results []protocol.Result
 		var meta protocol.ResponseMeta
 		var err error
 		if cmd == "query" {
-			if *key == "" {
-				fatal("query requires -key")
+			if len(keys.v) != 1 {
+				fatal("query requires exactly one -key (use -batch for several)")
 			}
-			results, meta, err = client.QueryMeta(*key, params)
+			results, meta, err = client.QueryMeta(keys.v[0], params)
 		} else {
 			if *path == "" {
 				fatal("queryfile requires -path")
@@ -188,6 +212,16 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// keyValues collects repeatable -key flags.
+type keyValues struct{ v []string }
+
+func (k *keyValues) String() string { return strings.Join(k.v, ",") }
+
+func (k *keyValues) Set(s string) error {
+	k.v = append(k.v, s)
+	return nil
 }
 
 // attrValues collects repeatable -attr name=value flags.

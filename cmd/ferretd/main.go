@@ -48,6 +48,8 @@ func main() {
 		budget    = flag.Duration("query-budget", 0, "per-query time budget; expired queries answer degraded (0 = unbounded)")
 		maxConns  = flag.Int("max-conns", 0, "max concurrent protocol connections; excess get a BUSY error (0 = unlimited)")
 		grace     = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on SIGTERM/SIGINT")
+		batchWin  = flag.Duration("batch-window", 0, "coalescing window for sharing arena scans across concurrent queries (0 = disabled)")
+		batchMax  = flag.Int("batch-max", 0, "max queries per shared arena scan (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,7 @@ func main() {
 	if *relaxed {
 		cfg = ferret.RelaxedDurability(cfg)
 	}
+	cfg.Scheduler = ferret.SchedulerParams{Window: *batchWin, MaxBatch: *batchMax}
 	cfg.Store.Logger = logger.With("kvstore")
 	sys, err := ferret.Open(cfg, extractor)
 	if err != nil {

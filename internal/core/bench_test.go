@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"ferret/internal/metastore"
 	"ferret/internal/object"
@@ -183,3 +184,32 @@ func benchPipeline(b *testing.B, disablePrune bool) {
 
 func BenchmarkQueryPipelinePruned(b *testing.B)   { benchPipeline(b, false) }
 func BenchmarkQueryPipelineUnpruned(b *testing.B) { benchPipeline(b, true) }
+
+// BenchmarkQueryPipelineConcurrent drives Filtering-mode queries from eight
+// closed-loop clients through the coalescing scheduler: ns/op is the
+// amortized per-query wall time under concurrent load. Compare against
+// BenchmarkQueryPipelinePruned (the one-query-at-a-time cost) for the
+// shared-scan win; `make check-bench` gates this one against regression.
+func BenchmarkQueryPipelineConcurrent(b *testing.B) {
+	e, q, _ := benchEngine(b, func(cfg *Config) {
+		cfg.RankThreshold = 2
+		cfg.Scheduler = SchedulerParams{Window: 200 * time.Microsecond, MaxBatch: 8}
+	})
+	opt := benchFilterOpts()
+	b.SetParallelism(8) // 8 client goroutines at GOMAXPROCS=1
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Query(q, opt); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reg := e.Telemetry()
+	if n := reg.Value("ferret_batches_total"); n > 0 {
+		b.ReportMetric(reg.Value("ferret_queries_coalesced_total")/n, "coalesced/batch")
+	}
+}

@@ -188,6 +188,11 @@ type Config struct {
 	// this many goroutines. 0 or 1 scans serially; negative uses
 	// GOMAXPROCS.
 	Parallelism int
+	// Scheduler configures the shared-scan query scheduler that coalesces
+	// concurrent Search calls into batched arena passes (see scheduler.go).
+	// The zero value disables coalescing; SearchBatch still batches
+	// explicitly.
+	Scheduler SchedulerParams
 	// Index optionally accelerates the filtering unit with a bit-sampling
 	// segment index instead of the full sketch scan (see bitindex.go) —
 	// faster on large datasets at a tunable recall cost.
@@ -274,6 +279,12 @@ type Engine struct {
 	segDist        vector.Func
 	met            *engineMetrics
 
+	// pool is the persistent scan/rank worker pool (started at Open,
+	// stopped by Close); sched, when non-nil, coalesces concurrent Search
+	// calls into shared arena scans.
+	pool  *workerPool
+	sched *scheduler
+
 	mu      sync.RWMutex
 	entries []sketchEntry   // per-object records, ID order
 	arena   *sketchArena    // flat sketch storage, rows parallel to entries
@@ -308,8 +319,11 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.objDist = cfg.ObjectDistance
 	if e.objDist == nil {
+		// A nil Ground lets emd use its default ℓ₁ path, which can abandon
+		// thresholded ground distances early; e.segDist stays ℓ₁ for the
+		// exact-filter path either way, so the semantics are unchanged.
 		emdOpts := emd.Options{
-			Ground:      e.segDist,
+			Ground:      cfg.SegmentDistance,
 			Threshold:   cfg.RankThreshold,
 			SqrtWeights: cfg.SqrtWeights,
 		}
@@ -374,11 +388,31 @@ func Open(cfg Config) (*Engine, error) {
 	if e.index != nil {
 		e.met.indexedSegments.Set(int64(e.index.size()))
 	}
+	// At least two workers even on small hosts, so batch rank fan-out and
+	// the pool-utilization gauge are exercised everywhere.
+	size := e.workers()
+	if size < 2 {
+		size = 2
+	}
+	e.pool = newWorkerPool(size, e.met)
+	if cfg.Scheduler.Window > 0 {
+		e.sched = newScheduler(e, cfg.Scheduler)
+	}
 	return e, nil
 }
 
-// Close releases the engine and its metadata store.
-func (e *Engine) Close() error { return e.meta.Close() }
+// Close shuts the engine down: the scheduler stops accepting queries and
+// fails anything still queued, the worker pool drains, and the metadata
+// store is released. Safe to call more than once.
+func (e *Engine) Close() error {
+	if e.sched != nil {
+		e.sched.close()
+	}
+	if e.pool != nil {
+		e.pool.close()
+	}
+	return e.meta.Close()
+}
 
 // Meta exposes the metadata manager.
 func (e *Engine) Meta() *metastore.Store { return e.meta }
@@ -604,6 +638,17 @@ func (e *Engine) Search(ctx context.Context, q object.Object, opt QueryOptions) 
 	if opt.K <= 0 {
 		opt.K = 10
 	}
+	if e.sched != nil && e.batchable(opt) {
+		return e.sched.search(ctx, q, opt)
+	}
+	return e.searchOne(ctx, q, opt)
+}
+
+// searchOne is the serial single-query pipeline — the coalescing scheduler
+// routes around it, everything else (brute-force modes, restricted or
+// exact-distance queries, engines without a scheduler) runs through it.
+// The query object must already be validated and opt.K resolved.
+func (e *Engine) searchOne(ctx context.Context, q object.Object, opt QueryOptions) (Answer, error) {
 	e.met.inflight.Add(1)
 	defer e.met.inflight.Add(-1)
 	start := time.Now()
@@ -637,18 +682,7 @@ func (e *Engine) Search(ctx context.Context, q object.Object, opt QueryOptions) 
 		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
-		var cands []int
-		cands, err = e.filter(clk, &q, qset, opt, sc)
-		if err != nil || clk.stop() {
-			break
-		}
-		tr := time.Now()
-		if e.cfg.SketchOnly {
-			results, degraded = e.rankSketchCandidates(clk, qset, cands, opt, sc)
-		} else {
-			results, degraded = e.rankCandidates(clk, q, qset, cands, opt, sc)
-		}
-		e.met.stageRank.ObserveSince(tr)
+		results, degraded, err = e.filteringLocked(clk, &q, qset, opt, sc)
 	default:
 		err = fmt.Errorf("core: unknown mode %d", opt.Mode)
 	}
@@ -702,14 +736,7 @@ func (e *Engine) searchSketchSet(ctx context.Context, qset *metastore.SketchSet,
 		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
 	case Filtering:
-		var cands []int
-		cands, err = e.filter(clk, nil, qset, opt, sc)
-		if err != nil || clk.stop() {
-			break
-		}
-		tr := time.Now()
-		results, degraded = e.rankSketchCandidates(clk, qset, cands, opt, sc)
-		e.met.stageRank.ObserveSince(tr)
+		results, degraded, err = e.filteringLocked(clk, nil, qset, opt, sc)
 	default:
 		err = errors.New("core: only sketch modes are available for sketch-only queries")
 	}
@@ -726,6 +753,34 @@ func (e *Engine) searchSketchSet(ctx context.Context, qset *metastore.SketchSet,
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(start)
 	return Answer{Results: results, Degraded: degraded}, nil
+}
+
+// filteringLocked runs the Filtering mode's filter + rank stages for one
+// query under the engine read lock, with sc.clk already reset. q is nil for
+// sketch-set queries (rank falls back to sketch-estimated distances).
+func (e *Engine) filteringLocked(clk *queryClock, q *object.Object, qset *metastore.SketchSet, opt QueryOptions, sc *queryScratch) ([]Result, bool, error) {
+	cands, err := e.filter(clk, q, qset, opt, sc)
+	if err != nil || clk.stop() {
+		return nil, false, err
+	}
+	results, degraded := e.rankLocked(clk, q, qset, cands, opt, sc)
+	return results, degraded, nil
+}
+
+// rankLocked runs the ranking unit over a candidate set under the engine
+// read lock, timing the stage. q nil (or a sketch-only store) ranks by
+// sketch-estimated distances.
+func (e *Engine) rankLocked(clk *queryClock, q *object.Object, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) ([]Result, bool) {
+	tr := time.Now()
+	var results []Result
+	var degraded bool
+	if q == nil || e.cfg.SketchOnly {
+		results, degraded = e.rankSketchCandidates(clk, qset, cands, opt, sc)
+	} else {
+		results, degraded = e.rankCandidates(clk, *q, qset, cands, opt, sc)
+	}
+	e.met.stageRank.ObserveSince(tr)
+	return results, degraded
 }
 
 func (e *Engine) buildSketchSet(q object.Object) *metastore.SketchSet {

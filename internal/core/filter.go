@@ -195,13 +195,13 @@ func (e *Engine) scanSketches(clk *queryClock, qsk sketch.Sketch, maxHam, k, wor
 	}
 	scanned := 0
 	if fast {
-		parallelScan(a.rows(), workers, func(shard, lo, hi int) {
+		e.parallelScan(a.rows(), workers, func(shard, lo, hi int) {
 			var hits, dist [batchRows]int32
 			e.scanArenaRows(clk, qsk, maxHam, sc.heaps[shard], hits[:], dist[:], lo, hi)
 		})
 		scanned = len(e.entries)
 	} else {
-		parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
+		e.parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
 			scans[shard] = e.scanEntryRange(clk, qsk, maxHam, sc.heaps[shard], opt, lo, hi)
 		})
 		for _, n := range scans {

@@ -25,8 +25,10 @@ func (e *Engine) workers() int {
 }
 
 // parallelScan invokes process(shardIndex, lo, hi) over [0, n) split into
-// contiguous shards, one goroutine each.
-func parallelScan(n, workers int, process func(shard, lo, hi int)) {
+// contiguous shards. Shards are offered to the persistent worker pool; any
+// shard no free worker picks up runs on the calling goroutine, so the call
+// never blocks on pool capacity and always returns with every shard done.
+func (e *Engine) parallelScan(n, workers int, process func(shard, lo, hi int)) {
 	if workers <= 1 || n < 2*workers {
 		process(0, 0, n)
 		return
@@ -40,11 +42,15 @@ func parallelScan(n, workers int, process func(shard, lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
-		go func(shard, lo, hi int) {
+		s, l, h := shard, lo, hi
+		fn := func() {
 			defer wg.Done()
-			process(shard, lo, hi)
-		}(shard, lo, hi)
+			process(s, l, h)
+		}
 		shard++
+		if e.pool == nil || !e.pool.dispatch(fn) {
+			fn()
+		}
 	}
 	wg.Wait()
 }
@@ -78,7 +84,7 @@ func (e *Engine) rankParallel(clk *queryClock, n int, opt QueryOptions, distance
 	// the barrier) keep the hot loop free of shared atomics.
 	tops := make([]*topK, workers)
 	evals := make([]int, workers)
-	parallelScan(n, workers, func(shard, lo, hi int) {
+	e.parallelScan(n, workers, func(shard, lo, hi int) {
 		top := newTopK(opt.K)
 		for i := lo; i < hi; i++ {
 			if (i-lo)%rankCheckStride == 0 && (clk.stop() || clk.overBudget()) {

@@ -60,7 +60,7 @@ func TestWorkersResolution(t *testing.T) {
 
 func TestParallelScanCoversRange(t *testing.T) {
 	seen := make([]int, 100)
-	parallelScan(100, 7, func(shard, lo, hi int) {
+	(&Engine{}).parallelScan(100, 7, func(shard, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			seen[i]++
 		}
@@ -72,7 +72,7 @@ func TestParallelScanCoversRange(t *testing.T) {
 	}
 	// Small n falls back to one shard.
 	calls := 0
-	parallelScan(3, 8, func(shard, lo, hi int) {
+	(&Engine{}).parallelScan(3, 8, func(shard, lo, hi int) {
 		calls++
 		if lo != 0 || hi != 3 {
 			t.Fatalf("fallback shard [%d,%d)", lo, hi)
@@ -82,7 +82,7 @@ func TestParallelScanCoversRange(t *testing.T) {
 		t.Fatalf("%d calls", calls)
 	}
 	// Zero n is a no-op for workers > 1 and a single empty call otherwise.
-	parallelScan(0, 4, func(shard, lo, hi int) {
+	(&Engine{}).parallelScan(0, 4, func(shard, lo, hi int) {
 		if lo != hi {
 			t.Fatal("non-empty range for n=0")
 		}

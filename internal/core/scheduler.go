@@ -1,0 +1,612 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"ferret/internal/metastore"
+	"ferret/internal/object"
+	"ferret/internal/sketch"
+)
+
+// The shared-scan query scheduler. Under concurrent load each query used to
+// stream the whole arena privately, so N in-flight queries cost N full
+// passes. The scheduler coalesces eligible Search calls into batches: one
+// leader pass scans the arena once with the multi-query select kernel,
+// maintaining a private k-nearest heap per (query, query-segment) pair with
+// exactly the serial scan's bound logic, then fans the per-query ranking
+// stages out to the persistent worker pool. Every query keeps its own clock,
+// budget, and degraded-answer semantics; results are identical to serial
+// Search up to ties.
+
+// ErrEngineClosed is returned for queries still queued in the scheduler when
+// the engine shuts down, and for new queries submitted after Close.
+var ErrEngineClosed = errors.New("core: engine closed")
+
+// SchedulerParams configures the shared-scan query scheduler.
+type SchedulerParams struct {
+	// Window is the coalescing window: an eligible Search call waits up to
+	// this long for companion queries before its batch launches. 0 disables
+	// coalescing entirely (SearchBatch still batches explicitly). Under
+	// saturation the window rarely limits anything — queries that arrive
+	// while a batch runs are picked up the instant the dispatcher frees up.
+	Window time.Duration
+	// MaxBatch caps the queries per shared scan; 0 means 8. Bigger batches
+	// amortize the arena pass further but grow per-batch latency and the
+	// select kernel's working set.
+	MaxBatch int
+}
+
+func (p SchedulerParams) maxBatch() int {
+	if p.MaxBatch <= 0 {
+		return 8
+	}
+	return p.MaxBatch
+}
+
+// batchReq is one query riding through the scheduler: its inputs, its slot
+// in an explicit batch, and its outcome. done closes when the batch leader
+// has filled ans/err.
+type batchReq struct {
+	ctx   context.Context
+	q     object.Object
+	qset  *metastore.SketchSet
+	opt   QueryOptions
+	start time.Time // Search entry, for ferret_query_seconds
+	enq   time.Time // scheduler submit, for ferret_batch_queue_seconds
+	slot  int       // position in the caller's SearchBatch slice
+
+	ans  Answer
+	err  error
+	done chan struct{}
+}
+
+// scheduler owns the coalescing queue and its dispatcher goroutine. The
+// submitted/received accounting (under mu) lets close guarantee that every
+// request that passed the closed-check is either answered by a batch or
+// failed with ErrEngineClosed — no goroutine is ever left waiting on done.
+type scheduler struct {
+	e      *Engine
+	window time.Duration
+	max    int
+
+	reqs  chan *batchReq
+	stopc chan struct{}
+	donec chan struct{}
+	once  sync.Once
+	batch []*batchReq // dispatcher-owned collect buffer
+
+	mu        sync.Mutex
+	closed    bool
+	submitted int
+	received  int
+}
+
+func newScheduler(e *Engine, p SchedulerParams) *scheduler {
+	s := &scheduler{
+		e:      e,
+		window: p.Window,
+		max:    p.maxBatch(),
+		reqs:   make(chan *batchReq, 4*p.maxBatch()),
+		stopc:  make(chan struct{}),
+		donec:  make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// search is the coalesced Search path: build the query's sketches, enqueue,
+// and wait for the batch leader to answer.
+func (s *scheduler) search(ctx context.Context, q object.Object, opt QueryOptions) (Answer, error) {
+	e := s.e
+	e.met.inflight.Add(1)
+	defer e.met.inflight.Add(-1)
+	start := time.Now()
+	qset := e.buildSketchSet(q)
+	e.met.stageSketch.ObserveSince(start)
+	r := &batchReq{ctx: ctx, q: q, qset: qset, opt: opt, start: start, enq: time.Now(), done: make(chan struct{})}
+	if err := s.submit(r); err != nil {
+		e.met.queryErrors.Inc()
+		return Answer{}, err
+	}
+	<-r.done
+	return e.finishReq(r)
+}
+
+func (s *scheduler) submit(r *batchReq) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrEngineClosed
+	}
+	s.submitted++
+	s.mu.Unlock()
+	s.reqs <- r
+	return nil
+}
+
+// note records one queue receive; the dispatcher calls it for every request
+// it takes off the channel.
+func (s *scheduler) note() {
+	s.mu.Lock()
+	s.received++
+	s.mu.Unlock()
+}
+
+func (s *scheduler) run() {
+	defer close(s.donec)
+	for {
+		select {
+		case r := <-s.reqs:
+			s.note()
+			s.e.runBatch(s.collect(r))
+		case <-s.stopc:
+			s.drain()
+			return
+		}
+	}
+}
+
+// collect grows a batch around its first request: everything already queued
+// joins for free, then the coalescing window keeps the door open for
+// stragglers until the batch is full, the window expires, or the scheduler
+// stops.
+func (s *scheduler) collect(first *batchReq) []*batchReq {
+	batch := append(s.batch[:0], first)
+	for len(batch) < s.max {
+		select {
+		case r := <-s.reqs:
+			s.note()
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) < s.max && s.window > 0 {
+		timer := time.NewTimer(s.window)
+	wait:
+		for len(batch) < s.max {
+			select {
+			case r := <-s.reqs:
+				s.note()
+				batch = append(batch, r)
+			case <-timer.C:
+				break wait
+			case <-s.stopc:
+				break wait
+			}
+		}
+		timer.Stop()
+	}
+	s.batch = batch
+	return batch
+}
+
+// drain fails every request still queued (or mid-submit) with
+// ErrEngineClosed. It runs after stopc closes, so no new submits can pass
+// the closed-check; once received catches up to submitted the queue is
+// provably empty.
+func (s *scheduler) drain() {
+	for {
+		s.mu.Lock()
+		done := s.received == s.submitted
+		s.mu.Unlock()
+		if done {
+			return
+		}
+		r := <-s.reqs
+		s.note()
+		r.err = ErrEngineClosed
+		close(r.done)
+	}
+}
+
+// close rejects new submissions, stops the dispatcher, and waits until every
+// queued request has been answered or failed.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.stopc) })
+	<-s.donec
+}
+
+// batchable reports whether a query can join a shared arena scan: plain
+// Filtering-mode queries with no Restrict set, no exact-distance filtering,
+// and no bit-sampling index. Everything else keeps its private pipeline
+// through searchOne.
+func (e *Engine) batchable(opt QueryOptions) bool {
+	if opt.Mode != Filtering || opt.Restrict != nil || e.index != nil {
+		return false
+	}
+	p := opt.Filter
+	if p == (FilterParams{}) {
+		p = e.cfg.Filter
+	}
+	return !p.ExactDistance
+}
+
+// finishReq converts a completed batchReq into the Search return values,
+// recording the same per-query metrics as the serial path.
+func (e *Engine) finishReq(r *batchReq) (Answer, error) {
+	if r.err != nil {
+		e.met.queryErrors.Inc()
+		return Answer{}, r.err
+	}
+	if r.ans.Degraded {
+		e.met.degraded.Inc()
+	}
+	e.met.queries.Inc()
+	e.met.queryTime.ObserveSince(r.start)
+	return r.ans, nil
+}
+
+// SearchBatch runs several queries as one explicitly-batched unit: one
+// shared arena scan per MaxBatch-sized group, with per-query ranking fanned
+// out to the worker pool. It returns one Answer and one error slot per
+// query, parallel to queries. Queries the scheduler cannot batch (see
+// batchable) fall back to serial Search calls. Results are identical to
+// serial Search up to ties.
+func (e *Engine) SearchBatch(ctx context.Context, queries []object.Object, opt QueryOptions) ([]Answer, []error) {
+	answers := make([]Answer, len(queries))
+	errs := make([]error, len(queries))
+	if len(queries) == 0 {
+		return answers, errs
+	}
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	if !e.batchable(opt) {
+		for i := range queries {
+			answers[i], errs[i] = e.Search(ctx, queries[i], opt)
+		}
+		return answers, errs
+	}
+	e.met.inflight.Add(int64(len(queries)))
+	defer e.met.inflight.Add(-int64(len(queries)))
+	reqs := make([]*batchReq, 0, len(queries))
+	for i := range queries {
+		q := queries[i]
+		if err := q.Validate(); err != nil {
+			errs[i] = fmt.Errorf("core: invalid query object: %w", err)
+			e.met.queryErrors.Inc()
+			continue
+		}
+		if q.Dim() != e.builder.Dim() {
+			errs[i] = fmt.Errorf("core: query dimension %d, engine expects %d", q.Dim(), e.builder.Dim())
+			e.met.queryErrors.Inc()
+			continue
+		}
+		start := time.Now()
+		qset := e.buildSketchSet(q)
+		e.met.stageSketch.ObserveSince(start)
+		reqs = append(reqs, &batchReq{
+			ctx: ctx, q: q, qset: qset, opt: opt,
+			start: start, enq: time.Now(), slot: i, done: make(chan struct{}),
+		})
+	}
+	max := e.cfg.Scheduler.maxBatch()
+	for lo := 0; lo < len(reqs); lo += max {
+		hi := lo + max
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		e.runBatch(reqs[lo:hi])
+	}
+	for _, r := range reqs {
+		answers[r.slot], errs[r.slot] = e.finishReq(r)
+	}
+	return answers, errs
+}
+
+// runBatch executes one batch under the engine read lock. A batch of one
+// runs the plain serial pipeline; larger batches share a single filter scan
+// and fan ranking out to the pool. Every request's done channel is closed
+// before runBatch returns.
+func (e *Engine) runBatch(reqs []*batchReq) {
+	e.met.batches.Inc()
+	e.met.batchSize.Observe(float64(len(reqs)))
+	now := time.Now()
+	for _, r := range reqs {
+		e.met.queueWait.Observe(now.Sub(r.enq).Seconds())
+	}
+	if len(reqs) > 1 {
+		e.met.coalesced.Add(len(reqs))
+	}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(reqs) == 1 {
+		r := reqs[0]
+		sc := getScratch()
+		clk := &sc.clk
+		clk.reset(r.ctx, r.opt.Budget)
+		results, degraded, err := e.filteringLocked(clk, &r.q, r.qset, r.opt, sc)
+		if err == nil && clk.stop() {
+			err = clk.err()
+		}
+		if err == nil {
+			r.ans = Answer{Results: results, Degraded: degraded}
+		}
+		//lint:ignore poolescape clk.err() yields context/budget sentinel errors that share no memory with the pooled scratch
+		r.err = err
+		putScratch(sc)
+		close(r.done)
+		return
+	}
+	e.runSharedBatch(reqs)
+}
+
+// scanPair is one (query, query-segment) unit of a shared filter scan: the
+// pair's acceptance threshold and its private k-nearest heap.
+type scanPair struct {
+	req    int
+	maxHam int
+	heap   *segHeap
+}
+
+// batchScratch pools the shared scan's flat buffers: the packed multi-query
+// sketches, the per-pair bounds and hit blocks, and the pair bookkeeping.
+type batchScratch struct {
+	ms      sketch.MultiSketch
+	qsks    []sketch.Sketch
+	pairs   []scanPair
+	starts  []int // pairs[starts[i]:starts[i+1]] belong to request i
+	bounds  []int32
+	ns      []int32
+	idx     []int32
+	dist    []int32
+	rowd    []int32 // one row's per-pair distances (tombstone path)
+	stopped []bool  // per-request latched clock stops
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func resizeI32(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// runSharedBatch is the batch leader: one shared filter scan over the arena
+// for every (query, query-segment) pair, then per-query candidate assembly
+// and pool-parallel ranking. Caller holds the read lock.
+func (e *Engine) runSharedBatch(reqs []*batchReq) {
+	scs := make([]*queryScratch, len(reqs))
+	for i, r := range reqs {
+		//lint:ignore poolescape scs never leaves this function; every element goes back via putScratch below
+		scs[i] = getScratch()
+		scs[i].clk.reset(r.ctx, r.opt.Budget)
+	}
+	stageStart := time.Now()
+	bs := batchScratchPool.Get().(*batchScratch)
+
+	// Build the pair list with exactly filter()'s per-query segment
+	// selection: highest-weight segments first, weight-tightened Hamming
+	// thresholds, one k-nearest heap per pair.
+	n := e.builder.N()
+	pairs := bs.pairs[:0]
+	qsks := bs.qsks[:0]
+	if cap(bs.starts) < len(reqs)+1 {
+		bs.starts = make([]int, len(reqs)+1)
+	}
+	starts := bs.starts[:len(reqs)+1]
+	for i, r := range reqs {
+		starts[i] = len(pairs)
+		sc := scs[i]
+		p := r.opt.Filter
+		if p == (FilterParams{}) {
+			p = e.cfg.Filter
+		}
+		p = p.withDefaults(len(r.qset.Sketches), r.opt.K)
+		order := sc.order[:0]
+		for si := range r.qset.Sketches {
+			order = append(order, si)
+		}
+		for a := 1; a < len(order); a++ {
+			for j := a; j > 0 && r.qset.Weights[order[j]] > r.qset.Weights[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		sc.order = order
+		for j, qi := range order[:p.QuerySegments] {
+			w := float64(r.qset.Weights[qi])
+			frac := p.MaxHammingFrac * (1 - p.WeightTighten*w)
+			pairs = append(pairs, scanPair{
+				req:    i,
+				maxHam: int(frac * float64(n)),
+				heap:   sc.heap(j, p.NearestPerSegment),
+			})
+			qsks = append(qsks, r.qset.Sketches[qi])
+		}
+	}
+	starts[len(reqs)] = len(pairs)
+	bs.pairs, bs.qsks = pairs, qsks
+	bs.ms.Reset(qsks)
+
+	e.sharedScan(reqs, scs, bs)
+
+	// Per-query candidate assembly, exactly as filter() does it: heap items
+	// in segment order, then sort + compact dedup.
+	sharedDur := time.Since(stageStart).Seconds()
+	for i := range reqs {
+		sc := scs[i]
+		cands := sc.cands[:0]
+		for pi := starts[i]; pi < starts[i+1]; pi++ {
+			cands = append(cands, pairs[pi].heap.items()...)
+		}
+		slices.Sort(cands)
+		cands = slices.Compact(cands)
+		sc.cands = cands
+		// As in the serial filter, "scanned" counts live objects per query
+		// segment streamed.
+		e.met.scanned.Add((starts[i+1] - starts[i]) * (len(e.entries) - e.deleted))
+		e.met.candidates.Add(len(cands))
+		e.met.stageFilter.Observe(sharedDur)
+	}
+
+	// Rank stage: one task per query on the persistent pool; tasks that no
+	// free worker picks up run on the leader. Each task uses its query's own
+	// scratch, clock, and budget, so degradation stays per-query.
+	var wg sync.WaitGroup
+	for i := range reqs {
+		i := i
+		wg.Add(1)
+		fn := func() {
+			defer wg.Done()
+			r := reqs[i]
+			sc := scs[i]
+			clk := &sc.clk
+			if clk.stop() {
+				r.err = clk.err()
+				return
+			}
+			results, degraded := e.rankLocked(clk, &r.q, r.qset, sc.cands, r.opt, sc)
+			if clk.stop() {
+				r.err = clk.err()
+				return
+			}
+			r.ans = Answer{Results: results, Degraded: degraded}
+		}
+		if !e.pool.dispatch(fn) {
+			fn()
+		}
+	}
+	wg.Wait()
+	for i, r := range reqs {
+		putScratch(scs[i])
+		close(r.done)
+	}
+	batchScratchPool.Put(bs)
+}
+
+// sharedScan streams the arena once for all pairs. The fast path (no
+// tombstones) runs block-wise through the multi-query select kernel with
+// per-pair block-entry bounds and replays hits through the serial scan's
+// exact push/tighten logic; the tombstone path walks entries row by row with
+// the multi-query distance kernel. Either way each pair's heap ends up
+// identical to what its private scanSketches pass would have built.
+func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScratch) {
+	a := e.arena
+	pairs := bs.pairs
+	np := len(pairs)
+	bounds := resizeI32(&bs.bounds, np)
+	ns := resizeI32(&bs.ns, np)
+	if cap(bs.stopped) < len(reqs) {
+		bs.stopped = make([]bool, len(reqs))
+	}
+	stopped := bs.stopped[:len(reqs)]
+
+	if e.deleted == 0 {
+		idx := resizeI32(&bs.idx, np*batchRows)
+		dist := resizeI32(&bs.dist, np*batchRows)
+		rows := a.rows()
+		for base := 0; base < rows; base += batchRows {
+			nb := rows - base
+			if nb > batchRows {
+				nb = batchRows
+			}
+			// Per-request cancellation check once per block, as in the
+			// serial scan; a stopped request's pairs select nothing from
+			// here on (bound −1) but the scan continues for the rest.
+			active := false
+			for i := range reqs {
+				stopped[i] = scs[i].clk.stop()
+				if !stopped[i] {
+					active = true
+				}
+			}
+			if !active {
+				return
+			}
+			for pi := range pairs {
+				p := &pairs[pi]
+				if stopped[p.req] {
+					bounds[pi] = -1
+					continue
+				}
+				b := int32(p.maxHam)
+				if w := p.heap.worst(); w <= int(b) {
+					b = int32(w) - 1
+				}
+				bounds[pi] = b
+			}
+			sketch.HammingSelectMulti(&bs.ms, a.words, base*a.wps, nb, bounds, idx, dist, batchRows, ns)
+			for pi := range pairs {
+				bound := bounds[pi]
+				if bound < 0 {
+					continue
+				}
+				p := &pairs[pi]
+				hits := idx[pi*batchRows:]
+				ds := dist[pi*batchRows:]
+				for k := 0; k < int(ns[pi]); k++ {
+					if h := ds[k]; h <= bound {
+						p.heap.push(int(a.entry[base+int(hits[k])]), int(h))
+						if w := p.heap.worst(); w <= p.maxHam && int32(w)-1 < bound {
+							bound = int32(w) - 1
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+
+	// Tombstone path: walk entries, score each live row against all pairs
+	// at once, and apply the serial entry scan's per-entry bound logic.
+	rowd := resizeI32(&bs.rowd, np)
+	for i := range stopped {
+		stopped[i] = false
+	}
+	for idxE := range e.entries {
+		if idxE%scanCheckStride == 0 {
+			active := false
+			for i := range reqs {
+				stopped[i] = scs[i].clk.stop()
+				if !stopped[i] {
+					active = true
+				}
+			}
+			if !active {
+				return
+			}
+		}
+		ent := &e.entries[idxE]
+		if ent.dead {
+			continue
+		}
+		for pi := range pairs {
+			p := &pairs[pi]
+			if stopped[p.req] {
+				bounds[pi] = -1
+				continue
+			}
+			b := int32(p.maxHam)
+			if w := p.heap.worst(); w <= int(b) {
+				b = int32(w) - 1
+			}
+			bounds[pi] = b
+		}
+		rlo, rhi := a.rowsOf(idxE)
+		for row := rlo; row < rhi; row++ {
+			sketch.HammingMultiAt(&bs.ms, a.words, row*a.wps, rowd)
+			for pi := range pairs {
+				if h := rowd[pi]; h <= bounds[pi] {
+					p := &pairs[pi]
+					p.heap.push(idxE, int(h))
+					if w := p.heap.worst(); w <= p.maxHam && int32(w)-1 < bounds[pi] {
+						bounds[pi] = int32(w) - 1
+					}
+				}
+			}
+		}
+	}
+}

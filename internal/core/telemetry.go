@@ -40,6 +40,12 @@ type engineMetrics struct {
 	emdAbandoned *telemetry.Counter // ferret_rank_emd_abandoned_total
 	heapTrims    *telemetry.Counter // ferret_rank_heap_trims_total
 
+	// Batch-scheduler counters and histograms (see scheduler.go).
+	batches   *telemetry.Counter   // ferret_batches_total
+	coalesced *telemetry.Counter   // ferret_queries_coalesced_total
+	batchSize *telemetry.Histogram // ferret_batch_size
+	queueWait *telemetry.Histogram // ferret_batch_queue_seconds
+
 	// State gauges — maintained incrementally under e.mu so Stat() never
 	// has to walk the sketch database.
 	objects         *telemetry.Gauge // ferret_objects
@@ -47,6 +53,8 @@ type engineMetrics struct {
 	segments        *telemetry.Gauge // ferret_segments
 	indexedSegments *telemetry.Gauge // ferret_indexed_segments
 	inflight        *telemetry.Gauge // ferret_inflight_queries
+	poolWorkers     *telemetry.Gauge // ferret_pool_workers
+	poolBusy        *telemetry.Gauge // ferret_pool_busy_workers
 
 	// Latency histograms.
 	queryTime   *telemetry.Histogram // ferret_query_seconds
@@ -85,11 +93,21 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 			"EMD evaluations abandoned early by the exact-cost lower bound."),
 		heapTrims: reg.Counter("ferret_rank_heap_trims_total", "Top-K heap evictions while ranking."),
 
+		batches: reg.Counter("ferret_batches_total", "Shared-scan query batches executed."),
+		coalesced: reg.Counter("ferret_queries_coalesced_total",
+			"Queries answered by a shared arena scan with at least one other query."),
+		batchSize: reg.Histogram("ferret_batch_size", "Queries per shared-scan batch.",
+			[]float64{1, 2, 4, 8, 16, 32}),
+		queueWait: reg.Histogram("ferret_batch_queue_seconds",
+			"Time a query waited in the scheduler's coalescing queue.", nil),
+
 		objects:         reg.Gauge("ferret_objects", "Live (non-deleted) objects."),
 		deleted:         reg.Gauge("ferret_deleted_objects", "Tombstoned objects awaiting compaction."),
 		segments:        reg.Gauge("ferret_segments", "Live segment sketches."),
 		indexedSegments: reg.Gauge("ferret_indexed_segments", "Segments in the bit-sampling index."),
 		inflight:        reg.Gauge("ferret_inflight_queries", "Queries currently executing."),
+		poolWorkers:     reg.Gauge("ferret_pool_workers", "Persistent scan/rank pool size."),
+		poolBusy:        reg.Gauge("ferret_pool_busy_workers", "Pool workers currently running a task."),
 
 		queryTime:   reg.Histogram("ferret_query_seconds", "End-to-end query latency in seconds.", nil),
 		ingestTime:  reg.Histogram("ferret_ingest_seconds", "Ingest latency in seconds.", nil),

@@ -315,6 +315,22 @@ type Options struct {
 	SqrtWeights bool
 }
 
+// groundDist evaluates one thresholded ground distance. With the default ℓ₁
+// ground and a positive threshold, every cost is capped at the threshold
+// anyway, so the capped kernel's early exit returns the identical value while
+// skipping the tail of far-apart vectors — the dominant case in the ranking
+// unit, where most candidates sit well past the threshold.
+func groundDist(ground vector.Func, capped bool, t float64, a, b []float32) float64 {
+	if capped {
+		return vector.L1Capped(a, b, t)
+	}
+	d := ground(a, b)
+	if t > 0 && d > t {
+		d = t
+	}
+	return d
+}
+
 // Distance computes the EMD between two objects under the given options.
 // Object weights are normalized internally, so both sides always balance.
 // It returns an error only for structurally invalid inputs (no segments or
@@ -327,6 +343,7 @@ func Distance(x, y object.Object, opt Options) (float64, error) {
 		return 0, fmt.Errorf("emd: dimension mismatch (%d vs %d)", x.Dim(), y.Dim())
 	}
 	ground := opt.Ground
+	capped := ground == nil && opt.Threshold > 0
 	if ground == nil {
 		ground = vector.L1
 	}
@@ -335,11 +352,7 @@ func Distance(x, y object.Object, opt Options) (float64, error) {
 	// Fast path: single-segment objects (3D shape, genomic) reduce to the
 	// ground distance itself.
 	if m == 1 && n == 1 {
-		d := ground(x.Segments[0].Vec, y.Segments[0].Vec)
-		if opt.Threshold > 0 && d > opt.Threshold {
-			d = opt.Threshold
-		}
-		return d, nil
+		return groundDist(ground, capped, opt.Threshold, x.Segments[0].Vec, y.Segments[0].Vec), nil
 	}
 
 	supply := weights(x, opt.SqrtWeights)
@@ -348,11 +361,7 @@ func Distance(x, y object.Object, opt Options) (float64, error) {
 	for i := 0; i < m; i++ {
 		cost[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			d := ground(x.Segments[i].Vec, y.Segments[j].Vec)
-			if opt.Threshold > 0 && d > opt.Threshold {
-				d = opt.Threshold
-			}
-			cost[i][j] = d
+			cost[i][j] = groundDist(ground, capped, opt.Threshold, x.Segments[i].Vec, y.Segments[j].Vec)
 		}
 	}
 	val, _, err := Solve(supply, demand, cost)
@@ -410,16 +419,13 @@ func DistanceBounded(x, y object.Object, opt Options, bound float64) (float64, b
 		return 0, false, fmt.Errorf("emd: dimension mismatch (%d vs %d)", x.Dim(), y.Dim())
 	}
 	ground := opt.Ground
+	capped := ground == nil && opt.Threshold > 0
 	if ground == nil {
 		ground = vector.L1
 	}
 	m, n := len(x.Segments), len(y.Segments)
 	if m == 1 && n == 1 {
-		d := ground(x.Segments[0].Vec, y.Segments[0].Vec)
-		if opt.Threshold > 0 && d > opt.Threshold {
-			d = opt.Threshold
-		}
-		return d, true, nil
+		return groundDist(ground, capped, opt.Threshold, x.Segments[0].Vec, y.Segments[0].Vec), true, nil
 	}
 	supply := weights(x, opt.SqrtWeights)
 	demand := weights(y, opt.SqrtWeights)
@@ -427,11 +433,7 @@ func DistanceBounded(x, y object.Object, opt Options, bound float64) (float64, b
 	for i := 0; i < m; i++ {
 		cost[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			d := ground(x.Segments[i].Vec, y.Segments[j].Vec)
-			if opt.Threshold > 0 && d > opt.Threshold {
-				d = opt.Threshold
-			}
-			cost[i][j] = d
+			cost[i][j] = groundDist(ground, capped, opt.Threshold, x.Segments[i].Vec, y.Segments[j].Vec)
 		}
 	}
 	if !math.IsInf(bound, 1) && bound >= 0 {

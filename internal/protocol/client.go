@@ -165,6 +165,30 @@ func (c *Client) QueryMeta(key string, p QueryParams) ([]Result, ResponseMeta, e
 	return c.resultsMeta(Request{Cmd: CmdQuery, Args: args})
 }
 
+// BatchQuery runs similarity queries for several already-ingested objects as
+// one request: the server coalesces them into shared arena scans. The
+// returned slice is parallel to keys; per-query failures are reported in
+// BatchItem.Err without failing their siblings.
+func (c *Client) BatchQuery(keys []string, p QueryParams) ([]BatchItem, error) {
+	args := map[string]string{"n": strconv.Itoa(len(keys))}
+	for i, k := range keys {
+		args["key"+strconv.Itoa(i)] = k
+	}
+	p.fill(args)
+	lines, err := c.roundTrip(Request{Cmd: CmdBatchQuery, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	items, err := ParseBatch(lines)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) != len(keys) {
+		return nil, fmt.Errorf("protocol: BATCHQUERY returned %d groups for %d keys", len(items), len(keys))
+	}
+	return items, nil
+}
+
 // QueryFile runs a similarity query on a data file the server extracts with
 // its plug-in.
 func (c *Client) QueryFile(path string, p QueryParams) ([]Result, error) {

@@ -40,16 +40,17 @@ type Request struct {
 
 // Commands understood by the server.
 const (
-	CmdPing      = "PING"      // liveness check
-	CmdCount     = "COUNT"     // number of ingested objects
-	CmdQuery     = "QUERY"     // similarity query by existing object key
-	CmdQueryFile = "QUERYFILE" // similarity query by extracting a file
-	CmdAddFile   = "ADDFILE"   // ingest a file through the plug-in extractor
-	CmdSearch    = "SEARCH"    // attribute-based search
-	CmdInfo      = "INFO"      // attributes of one object
-	CmdStats     = "STATS"     // engine statistics
-	CmdTelemetry = "TELEMETRY" // runtime telemetry: counters, gauges, latency percentiles
-	CmdDelete    = "DELETE"    // remove an object by key
+	CmdPing       = "PING"       // liveness check
+	CmdCount      = "COUNT"      // number of ingested objects
+	CmdQuery      = "QUERY"      // similarity query by existing object key
+	CmdBatchQuery = "BATCHQUERY" // batched similarity queries by existing object keys
+	CmdQueryFile  = "QUERYFILE"  // similarity query by extracting a file
+	CmdAddFile    = "ADDFILE"    // ingest a file through the plug-in extractor
+	CmdSearch     = "SEARCH"     // attribute-based search
+	CmdInfo       = "INFO"       // attributes of one object
+	CmdStats      = "STATS"      // engine statistics
+	CmdTelemetry  = "TELEMETRY"  // runtime telemetry: counters, gauges, latency percentiles
+	CmdDelete     = "DELETE"     // remove an object by key
 )
 
 // ParseRequest parses a command line. Values may be bare (no spaces) or
@@ -252,6 +253,90 @@ func ReadResponseMeta(r *bufio.Reader) ([]string, ResponseMeta, error) {
 	default:
 		return nil, meta, fmt.Errorf("protocol: unexpected response line %q", head)
 	}
+}
+
+// BatchItem is one query's outcome within a BATCHQUERY response: its result
+// lines and flags, or a per-query error message. A failed query does not
+// fail its batch siblings.
+type BatchItem struct {
+	Results []Result
+	Meta    ResponseMeta
+	// Err is the server's message when this query failed; empty on success.
+	Err string
+}
+
+// WriteBatch writes a BATCHQUERY response. The payload is framed inside a
+// normal OK response so generic clients can still consume it line-counted:
+//
+//	OK <total> batch
+//	q <i> <ni> [degraded]     (group header, then ni result lines)
+//	q <i> err <quoted msg>    (failed query: header only)
+//
+// where total counts every payload line (group headers included).
+func WriteBatch(w io.Writer, items []BatchItem) error {
+	total := 0
+	for _, it := range items {
+		total += 1 + len(it.Results)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "OK %d batch\n", total)
+	for i, it := range items {
+		if it.Err != "" {
+			fmt.Fprintf(bw, "q %d err %s\n", i, strconv.Quote(it.Err))
+			continue
+		}
+		fmt.Fprintf(bw, "q %d %d%s\n", i, len(it.Results), it.Meta.flags())
+		for _, r := range it.Results {
+			fmt.Fprintf(bw, "%s %g\n", maybeQuote(r.Key), r.Distance)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseBatch reassembles the per-query groups from a BATCHQUERY response's
+// payload lines (as returned by ReadResponse).
+func ParseBatch(lines []string) ([]BatchItem, error) {
+	var items []BatchItem
+	i := 0
+	for i < len(lines) {
+		fields, err := splitQuoted(lines[i])
+		if err != nil || len(fields) < 3 || fields[0] != "q" {
+			return nil, fmt.Errorf("protocol: malformed batch group header %q", lines[i])
+		}
+		slot, err := strconv.Atoi(fields[1])
+		if err != nil || slot != len(items) {
+			return nil, fmt.Errorf("protocol: batch group %q out of order", lines[i])
+		}
+		i++
+		var it BatchItem
+		if fields[2] == "err" {
+			it.Err = strings.Join(fields[3:], " ")
+			if it.Err == "" {
+				it.Err = "unknown error"
+			}
+			items = append(items, it)
+			continue
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 || i+n > len(lines) {
+			return nil, fmt.Errorf("protocol: bad batch group count in %q", lines[i-1])
+		}
+		for _, f := range fields[3:] {
+			if f == "degraded" {
+				it.Meta.Degraded = true
+			}
+		}
+		for ; n > 0; n-- {
+			r, err := ParseResultLine(lines[i])
+			if err != nil {
+				return nil, err
+			}
+			it.Results = append(it.Results, r)
+			i++
+		}
+		items = append(items, it)
+	}
+	return items, nil
 }
 
 // ServerError is an error reported by the remote server (as opposed to a

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"ferret/internal/protocol"
+)
+
+// TestBatchQuery: a BATCHQUERY answer must match the same keys queried one
+// at a time, with per-key errors confined to their group.
+func TestBatchQuery(t *testing.T) {
+	client, _ := startServer(t, nil)
+	keys := []string{"c0/m0", "c1/m2", "no-such-key", "c2/m1"}
+	items, err := client.BatchQuery(keys, protocol.QueryParams{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(keys) {
+		t.Fatalf("%d groups for %d keys", len(items), len(keys))
+	}
+	for i, key := range keys {
+		if key == "no-such-key" {
+			if !strings.Contains(items[i].Err, "unknown object key") {
+				t.Fatalf("group %d: err %q", i, items[i].Err)
+			}
+			continue
+		}
+		if items[i].Err != "" {
+			t.Fatalf("group %d: unexpected error %q", i, items[i].Err)
+		}
+		want, err := client.Query(key, protocol.QueryParams{K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items[i].Results) != len(want) {
+			t.Fatalf("group %d: %d vs %d results", i, len(items[i].Results), len(want))
+		}
+		for r := range want {
+			if items[i].Results[r] != want[r] {
+				t.Fatalf("group %d rank %d: batch %v serial %v", i, r, items[i].Results[r], want[r])
+			}
+		}
+		if items[i].Results[0].Key != key {
+			t.Fatalf("group %d: self %q not first (%+v)", i, key, items[i].Results[0])
+		}
+	}
+}
+
+// TestBatchQueryBadArgs: malformed batch requests fail the whole request.
+func TestBatchQueryBadArgs(t *testing.T) {
+	client, _ := startServer(t, nil)
+	if _, err := client.BatchQuery(nil, protocol.QueryParams{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	// n out of range.
+	keys := make([]string, 300)
+	for i := range keys {
+		keys[i] = "c0/m0"
+	}
+	if _, err := client.BatchQuery(keys, protocol.QueryParams{}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}

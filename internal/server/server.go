@@ -129,9 +129,9 @@ func (s *Server) metrics() *serverMetrics {
 		}
 		for _, cmd := range []string{
 			protocol.CmdPing, protocol.CmdCount, protocol.CmdQuery,
-			protocol.CmdQueryFile, protocol.CmdAddFile, protocol.CmdSearch,
-			protocol.CmdInfo, protocol.CmdStats, protocol.CmdTelemetry,
-			protocol.CmdDelete,
+			protocol.CmdBatchQuery, protocol.CmdQueryFile, protocol.CmdAddFile,
+			protocol.CmdSearch, protocol.CmdInfo, protocol.CmdStats,
+			protocol.CmdTelemetry, protocol.CmdDelete,
 		} {
 			m.requests[cmd] = reg.Counter("ferret_server_requests_total", "Protocol requests dispatched, by command.", "cmd", cmd)
 		}
@@ -401,6 +401,9 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request
 		}
 		return writeAnswer(w, ans)
 
+	case protocol.CmdBatchQuery:
+		return s.dispatchBatch(ctx, w, req)
+
 	case protocol.CmdQueryFile:
 		if s.Extract == nil {
 			return s.writeErr(w, errors.New("no extractor plugged in"))
@@ -518,6 +521,75 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request
 	default:
 		return s.writeErr(w, fmt.Errorf("unknown command %q", req.Cmd))
 	}
+}
+
+// maxBatchKeys caps one BATCHQUERY request, keeping a single request line's
+// work (and its response) bounded.
+const maxBatchKeys = 256
+
+// dispatchBatch handles BATCHQUERY: n indexed keys (key0..key{n-1}) sharing
+// one set of query parameters, answered through the engine's batched search
+// so concurrent keys share arena scans. Per-key failures (unknown key,
+// missing feature vectors) are reported inside their group without failing
+// the rest of the batch.
+func (s *Server) dispatchBatch(ctx context.Context, w io.Writer, req protocol.Request) error {
+	n, err := strconv.Atoi(req.Args["n"])
+	if err != nil || n <= 0 || n > maxBatchKeys {
+		return s.writeErr(w, fmt.Errorf("bad batch size %q (1..%d)", req.Args["n"], maxBatchKeys))
+	}
+	opt, err := s.queryOptions(req)
+	if err != nil {
+		return s.writeErr(w, err)
+	}
+	items := make([]protocol.BatchItem, n)
+	queries := make([]object.Object, 0, n)
+	slots := make([]int, 0, n) // queries[j] answers items[slots[j]]
+	for i := 0; i < n; i++ {
+		key, ok := req.Args["key"+strconv.Itoa(i)]
+		if !ok {
+			return s.writeErr(w, fmt.Errorf("batch of %d is missing key%d", n, i))
+		}
+		id, ok := s.Engine.Meta().LookupKey(key)
+		if !ok {
+			items[i].Err = fmt.Sprintf("unknown object key %q", key)
+			continue
+		}
+		o, ok := s.Engine.Meta().GetObject(id)
+		if !ok {
+			// Sketch-only store: no feature vectors to batch on. Answer this
+			// key through the per-query sketch path instead.
+			ans, err := s.Engine.SearchByID(ctx, id, opt)
+			if err != nil {
+				items[i].Err = err.Error()
+				continue
+			}
+			items[i] = answerItem(ans)
+			continue
+		}
+		queries = append(queries, o)
+		slots = append(slots, i)
+	}
+	answers, errs := s.Engine.SearchBatch(ctx, queries, opt)
+	for j, slot := range slots {
+		if errs[j] != nil {
+			items[slot].Err = errs[j].Error()
+			continue
+		}
+		items[slot] = answerItem(answers[j])
+	}
+	return protocol.WriteBatch(w, items)
+}
+
+// answerItem converts one engine answer into a batch response group.
+func answerItem(ans core.Answer) protocol.BatchItem {
+	it := protocol.BatchItem{
+		Results: make([]protocol.Result, len(ans.Results)),
+		Meta:    protocol.ResponseMeta{Degraded: ans.Degraded},
+	}
+	for i, r := range ans.Results {
+		it.Results[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
+	}
+	return it
 }
 
 // formatMetric renders a telemetry value for a protocol response: integers

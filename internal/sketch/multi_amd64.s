@@ -1,0 +1,170 @@
+// AVX-512 fused multi-query select kernels. Layout contract (see multi.go):
+// queries are packed with a zero-padded stride of chunkWords(wps) words, so
+// query-side chunk loads are full and unmasked; row-side chunk loads are
+// masked to exactly wps words, so the final arena row never reads past the
+// slice. Hits are written per query q at idx[q*stride+ns[q]] in ascending
+// row order, matching the portable kernel bit for bit.
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func hammingSelectMulti1(q *uint64, nq int, w *uint64, rows, wps int,
+//	mask uint64, bounds, idx, dist *int32, stride int, ns *int32)
+//
+// Single-chunk rows (wps ≤ 8). Register plan: R8 query base, SI row cursor,
+// R9 row index, R10 stride, R11 row bytes, R12 bounds, R13 idx, R14 dist,
+// R15 ns, DI/CX inner query cursor, AX distance, BX bound then hit slot,
+// DX scratch. K1 masks the row load to wps words.
+TEXT ·hammingSelectMulti1(SB), NOSPLIT, $0-88
+	MOVQ q+0(FP), R8
+	MOVQ w+16(FP), SI
+	MOVQ wps+32(FP), R11
+	SHLQ $3, R11
+	MOVQ mask+40(FP), DX
+	KMOVW DX, K1
+	MOVQ bounds+48(FP), R12
+	MOVQ idx+56(FP), R13
+	MOVQ dist+64(FP), R14
+	MOVQ stride+72(FP), R10
+	MOVQ ns+80(FP), R15
+	XORQ R9, R9
+	CMPQ R9, rows+24(FP)
+	JGE  done1
+
+row1:
+	VMOVDQU64.Z (SI), K1, Z0
+	MOVQ R8, DI
+	XORQ CX, CX
+
+q1:
+	VPXORQ   (DI), Z0, Z2
+	VPOPCNTQ Z2, Z2
+
+	// Horizontal sum of the eight 64-bit popcounts into AX.
+	VEXTRACTI64X4 $1, Z2, Y3
+	VPADDQ        Y3, Y2, Y2
+	VEXTRACTI64X2 $1, Y2, X3
+	VPADDQ        X3, X2, X2
+	VPSRLDQ       $8, X2, X3
+	VPADDQ        X3, X2, X2
+	VMOVQ         X2, AX
+
+	MOVLQSX (R12)(CX*4), BX
+	CMPQ    AX, BX
+	JGT     skip1
+
+	// Hit: idx[q*stride+n] = row, dist[...] = h, ns[q]++.
+	MOVLQSX (R15)(CX*4), DX
+	MOVQ    CX, BX
+	IMULQ   R10, BX
+	ADDQ    DX, BX
+	MOVL    R9, (R13)(BX*4)
+	MOVL    AX, (R14)(BX*4)
+	INCQ    DX
+	MOVL    DX, (R15)(CX*4)
+
+skip1:
+	ADDQ $64, DI
+	INCQ CX
+	CMPQ CX, nq+8(FP)
+	JLT  q1
+
+	ADDQ R11, SI
+	INCQ R9
+	CMPQ R9, rows+24(FP)
+	JLT  row1
+
+done1:
+	VZEROUPPER
+	RET
+
+// func hammingSelectMulti2(q *uint64, nq int, w *uint64, rows, wps int,
+//	mask uint64, bounds, idx, dist *int32, stride int, ns *int32)
+//
+// Two-chunk rows (9 ≤ wps ≤ 16): a full first chunk and a tail chunk masked
+// to wps−8 words. Queries are packed with a 16-word stride. Same register
+// plan as hammingSelectMulti1.
+TEXT ·hammingSelectMulti2(SB), NOSPLIT, $0-88
+	MOVQ q+0(FP), R8
+	MOVQ w+16(FP), SI
+	MOVQ wps+32(FP), R11
+	SHLQ $3, R11
+	MOVL $0xFF, DX
+	KMOVW DX, K1
+	MOVQ mask+40(FP), DX
+	KMOVW DX, K2
+	MOVQ bounds+48(FP), R12
+	MOVQ idx+56(FP), R13
+	MOVQ dist+64(FP), R14
+	MOVQ stride+72(FP), R10
+	MOVQ ns+80(FP), R15
+	XORQ R9, R9
+	CMPQ R9, rows+24(FP)
+	JGE  done2
+
+row2:
+	VMOVDQU64   (SI), Z0
+	VMOVDQU64.Z 64(SI), K2, Z1
+	MOVQ R8, DI
+	XORQ CX, CX
+
+q2:
+	VPXORQ   (DI), Z0, Z2
+	VPOPCNTQ Z2, Z2
+	VPXORQ   64(DI), Z1, Z3
+	VPOPCNTQ Z3, Z3
+	VPADDQ   Z3, Z2, Z2
+
+	VEXTRACTI64X4 $1, Z2, Y3
+	VPADDQ        Y3, Y2, Y2
+	VEXTRACTI64X2 $1, Y2, X3
+	VPADDQ        X3, X2, X2
+	VPSRLDQ       $8, X2, X3
+	VPADDQ        X3, X2, X2
+	VMOVQ         X2, AX
+
+	MOVLQSX (R12)(CX*4), BX
+	CMPQ    AX, BX
+	JGT     skip2
+
+	MOVLQSX (R15)(CX*4), DX
+	MOVQ    CX, BX
+	IMULQ   R10, BX
+	ADDQ    DX, BX
+	MOVL    R9, (R13)(BX*4)
+	MOVL    AX, (R14)(BX*4)
+	INCQ    DX
+	MOVL    DX, (R15)(CX*4)
+
+skip2:
+	ADDQ $128, DI
+	INCQ CX
+	CMPQ CX, nq+8(FP)
+	JLT  q2
+
+	ADDQ R11, SI
+	INCQ R9
+	CMPQ R9, rows+24(FP)
+	JLT  row2
+
+done2:
+	VZEROUPPER
+	RET

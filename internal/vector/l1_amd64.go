@@ -1,0 +1,50 @@
+package vector
+
+// AVX-512 block kernel for the ℓ₁ distance, the ground distance of every
+// default EMD configuration and therefore the rank stage's hottest loop.
+// The scalar loop converts, subtracts, and accumulates one element at a
+// time with a loop-carried dependency on the float64 sum; the vector kernel
+// widens 8 float32 lanes to float64 per step (the conversion is exact, so
+// per-element values match the scalar path) and keeps 8 independent
+// partial sums, reduced pairwise once per 64-element block. Requires
+// AVX-512F and OS support for ZMM state, detected at startup.
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0, the OS-enabled extended-state mask.
+func xgetbv() (eax, edx uint32)
+
+// l1Block64AVX512 returns Σ|aᵢ−bᵢ| over exactly 64 elements, computed in
+// float64 with a fixed 8-lane pairwise reduction order.
+//
+//go:noescape
+func l1Block64AVX512(a, b *float32) float64
+
+func init() {
+	if detectAVX512F() {
+		l1Block64 = l1Block64AVX512
+	}
+}
+
+func detectAVX512F() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return false
+	}
+	// XCR0 must enable SSE, AVX, and the three AVX-512 state components
+	// (opmask, ZMM hi256, hi16 ZMM) or the kernel will fault on ZMM use.
+	lo, _ := xgetbv()
+	const zmmState = 0xE6
+	if lo&zmmState != zmmState {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx512f = 1 << 16 // EBX
+	return b7&avx512f != 0
+}

@@ -1,0 +1,65 @@
+// AVX-512 ℓ₁ block kernel (see l1_amd64.go). One call processes exactly 64
+// elements: eight 8-float chunks are widened to float64 (exact), subtracted,
+// made absolute with a sign mask, and accumulated into eight independent
+// float64 lanes; the lanes are reduced pairwise at the end. The reduction
+// order is fixed, so results are deterministic across runs (they differ from
+// the scalar path only in summation order).
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func l1Block64AVX512(a, b *float32) float64
+//
+// Register plan: SI/DI element pointers, Z0/Z1 widened chunks, Z2 diff,
+// Z4 lane accumulators, Z5 abs mask (sign bit cleared).
+#define L1CHUNK(off) \
+	VCVTPS2PD off(SI), Z0 \
+	VCVTPS2PD off(DI), Z1 \
+	VSUBPD    Z1, Z0, Z2  \
+	VPANDQ    Z5, Z2, Z2  \
+	VADDPD    Z2, Z4, Z4
+
+TEXT ·l1Block64AVX512(SB), NOSPLIT, $0-24
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ $0x7FFFFFFFFFFFFFFF, AX
+	VPBROADCASTQ AX, Z5
+	VPXORQ Z4, Z4, Z4
+
+	L1CHUNK(0)
+	L1CHUNK(32)
+	L1CHUNK(64)
+	L1CHUNK(96)
+	L1CHUNK(128)
+	L1CHUNK(160)
+	L1CHUNK(192)
+	L1CHUNK(224)
+
+	// Pairwise lane reduction: 8 → 4 → 2 → 1 float64.
+	VEXTRACTF64X4 $1, Z4, Y3
+	VADDPD        Y3, Y4, Y4
+	VEXTRACTF128  $1, Y4, X3
+	VADDPD        X3, X4, X4
+	VPERMILPD     $1, X4, X3
+	VADDSD        X3, X4, X4
+	VMOVSD        X4, ret+16(FP)
+	VZEROUPPER
+	RET

@@ -23,9 +23,20 @@ func checkLen(a, b []float32) {
 	}
 }
 
-// L1 returns the ℓ₁ (Manhattan) distance Σ|aᵢ−bᵢ|.
-func L1(a, b []float32) float64 {
-	checkLen(a, b)
+// l1Block64 is an optional vectorized kernel computing Σ|aᵢ−bᵢ| over
+// exactly 64 elements in float64, set at startup on CPUs with AVX-512
+// (see l1_amd64.go). Both L1 and L1Capped route whole blocks through the
+// same kernel, so the two stay bit-identical to each other regardless of
+// which path is active; the kernel's lane-parallel reduction order differs
+// from the scalar sum, so absolute results may differ from the scalar
+// build by ordinary float64 rounding.
+var l1Block64 func(a, b *float32) float64
+
+// l1Scalar64 is the scalar 64-element block used when no vector kernel is
+// available; its accumulation order matches the plain element loop.
+func l1Scalar64(a, b []float32) float64 {
+	a = a[:64]
+	b = b[:64]
 	var s float64
 	for i := range a {
 		d := float64(a[i]) - float64(b[i])
@@ -33,6 +44,61 @@ func L1(a, b []float32) float64 {
 			d = -d
 		}
 		s += d
+	}
+	return s
+}
+
+// L1 returns the ℓ₁ (Manhattan) distance Σ|aᵢ−bᵢ|.
+func L1(a, b []float32) float64 {
+	checkLen(a, b)
+	var s float64
+	i := 0
+	for ; i+64 <= len(a); i += 64 {
+		if l1Block64 != nil {
+			s += l1Block64(&a[i], &b[i])
+		} else {
+			s += l1Scalar64(a[i:], b[i:])
+		}
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// L1Capped returns min(L1(a, b), limit), abandoning the sum as soon as it
+// reaches limit. Because the partial sums are nondecreasing and accumulate in
+// the same order as L1 (both sum 64-dimension blocks through the same kernel),
+// the result is bit-identical to capping the full L1 afterwards — an early
+// exit never changes the answer, only skips work. The check runs once per
+// block so the fully-summed case stays at L1 speed. limit must be positive.
+func L1Capped(a, b []float32, limit float64) float64 {
+	checkLen(a, b)
+	var s float64
+	i := 0
+	for ; i+64 <= len(a); i += 64 {
+		if l1Block64 != nil {
+			s += l1Block64(&a[i], &b[i])
+		} else {
+			s += l1Scalar64(a[i:], b[i:])
+		}
+		if s >= limit {
+			return limit
+		}
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	if s > limit {
+		return limit
 	}
 	return s
 }

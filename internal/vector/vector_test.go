@@ -188,3 +188,89 @@ func TestCorrelationDistanceRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestL1Capped: the capped kernel must equal min(L1, limit) bit for bit,
+// across vector lengths that exercise the blocked early-exit check.
+func TestL1Capped(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 63, 64, 65, 130, 544} {
+		for trial := 0; trial < 50; trial++ {
+			a := make([]float32, n)
+			b := make([]float32, n)
+			for i := range a {
+				a[i] = rng.Float32() * 10
+				b[i] = rng.Float32() * 10
+			}
+			full := L1(a, b)
+			for _, limit := range []float64{full * 0.01, full * 0.5, full, full * 2, 1e-9} {
+				if limit <= 0 {
+					continue
+				}
+				want := full
+				if want > limit {
+					want = limit
+				}
+				if got := L1Capped(a, b, limit); got != want {
+					t.Fatalf("n=%d limit=%g: got %g want %g (full %g)", n, limit, got, want, full)
+				}
+			}
+		}
+	}
+}
+
+// TestL1BlockKernel: when a vectorized 64-element block kernel is active it
+// must agree with the scalar block to within reassociation-level rounding,
+// and L1 itself must match a plain scalar sum to the same tolerance across
+// lengths that mix full blocks and tails.
+func TestL1BlockKernel(t *testing.T) {
+	if l1Block64 == nil {
+		t.Skip("no vector kernel on this CPU; scalar path is the reference itself")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a := make([]float32, 64)
+		b := make([]float32, 64)
+		for i := range a {
+			a[i] = (rng.Float32() - 0.5) * 20
+			b[i] = (rng.Float32() - 0.5) * 20
+		}
+		got := l1Block64(&a[0], &b[0])
+		want := l1Scalar64(a, b)
+		if !almostEqual(got, want, 1e-9*math.Max(1, want)) {
+			t.Fatalf("trial %d: kernel %g, scalar %g", trial, got, want)
+		}
+	}
+	for _, n := range []int{64, 65, 127, 128, 200, 544} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32() * 10
+			b[i] = rng.Float32() * 10
+		}
+		var scalar float64
+		for i := range a {
+			scalar += math.Abs(float64(a[i]) - float64(b[i]))
+		}
+		if got := L1(a, b); !almostEqual(got, scalar, 1e-9*math.Max(1, scalar)) {
+			t.Fatalf("n=%d: L1 %g, scalar %g", n, got, scalar)
+		}
+	}
+}
+
+func BenchmarkL1(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float32, 544)
+	y := make([]float32, 544)
+	for i := range x {
+		x[i] = rng.Float32()
+		y[i] = rng.Float32()
+	}
+	b.SetBytes(int64(2 * 4 * len(x)))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += L1(x, y)
+	}
+	benchSink = sink
+}
+
+var benchSink float64
