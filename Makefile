@@ -6,9 +6,9 @@ GO ?= go
 # microbenchmarks plus a medium-scale ferret-bench run (Table 2 and the
 # closed-loop serving-throughput sweep) and merges them into $(BENCH_OUT);
 # check-bench re-measures the microbenchmarks and fails if a gated benchmark
-# (filter scan, multi-query Hamming kernel, concurrent query pipeline)
-# regressed >20% ns/op vs the committed artifact.
-BENCH_OUT  ?= BENCH_5.json
+# (filter scan, multi-query Hamming kernel, concurrent query pipeline with
+# and without trace recording) regressed >20% ns/op vs the committed artifact.
+BENCH_OUT  ?= BENCH_6.json
 BENCH_TMP  ?= /tmp/ferret-bench
 BENCH_PKGS  = ./internal/core ./internal/sketch ./internal/vector
 BENCH_RE    = FilterScan|Hamming|QueryPipeline|L1

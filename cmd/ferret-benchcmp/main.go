@@ -235,7 +235,7 @@ func main() {
 	out := flag.String("out", "-", "merged artifact path (merge mode)")
 	baseline := flag.String("baseline", "", "committed baseline artifact (compare mode)")
 	newPath := flag.String("new", "", "freshly measured artifact (compare mode)")
-	gate := flag.String("gate", "FilterScanArena,HammingSelectMulti,QueryPipelineConcurrent,BenchmarkL1",
+	gate := flag.String("gate", "FilterScanArena,HammingSelectMulti,QueryPipelineConcurrent,QueryPipelineTraced,BenchmarkL1",
 		"comma-separated substrings naming the gated benchmark(s)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression")
 	flag.Parse()

@@ -6,16 +6,23 @@
 //	ferret-query count
 //	ferret-query query -key vary/set00/img00.png -k 10 -mode filtering
 //	ferret-query query -batch -key img00.png -key img01.png -k 5
+//	ferret-query query -key img00.png -trace
 //	ferret-query queryfile -path ./new.png -k 5
 //	ferret-query search -keywords dog,beach
 //	ferret-query info -key vary/set00/img00.png
 //	ferret-query add -path ./new.png -attr note="a new dog"
+//	ferret-query traces -slow
+//
+// -trace asks the server to trace the query and prints the per-stage
+// latency breakdown under the results; traces lists the server's retained
+// traces (recent sample + slow-query log).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -64,10 +71,11 @@ func main() {
 		mode := fs.String("mode", "filtering", "filtering, bruteforce or sketch")
 		keywords := fs.String("keywords", "", "comma-separated keyword restriction")
 		budget := fs.Duration("budget", 0, "per-query time budget; an expired budget returns a degraded answer (0 = server default)")
+		traced := fs.Bool("trace", false, "trace the query and print the per-stage latency breakdown")
 		attrFlags := attrValues{}
 		fs.Var(&attrFlags, "attr", "attribute restriction name=value (repeatable)")
 		fs.Parse(rest)
-		params := protocol.QueryParams{K: *k, Mode: *mode, Attrs: attrFlags.m, Budget: *budget}
+		params := protocol.QueryParams{K: *k, Mode: *mode, Attrs: attrFlags.m, Budget: *budget, Trace: *traced}
 		if *keywords != "" {
 			params.Keywords = strings.Split(*keywords, ",")
 		}
@@ -89,6 +97,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, "ferret-query: %s: degraded answer\n", keys.v[i])
 				}
 				printResults(it.Results, true)
+				printTrace(it.Meta)
 			}
 			return
 		}
@@ -113,6 +122,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ferret-query: degraded answer (time budget expired; tail ordered by sketch-estimated distance)")
 		}
 		printResults(results, true)
+		printTrace(meta)
+
+	case "traces":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		n := fs.Int("n", 10, "traces per list")
+		slow := fs.Bool("slow", false, "slow-query log only")
+		fs.Parse(rest)
+		pairs, err := client.Traces(*n, *slow)
+		if err != nil {
+			fatal("traces: %v", err)
+		}
+		keys := make([]string, 0, len(pairs))
+		for k := range pairs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-9s %s\n", k, pairs[k])
+		}
+		if len(pairs) == 0 {
+			fmt.Println("(no retained traces)")
+		}
 
 	case "search":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -241,6 +272,33 @@ func (a *attrValues) Set(v string) error {
 	return nil
 }
 
+// printTrace renders a traced response's per-stage breakdown, e.g.
+//
+//	trace 6f1a2b3c4d5e6f70: parse 9µs → queue 310µs → scan 1.2ms → rank 400µs (total 1.9ms)
+func printTrace(meta protocol.ResponseMeta) {
+	if meta.TraceID == "" {
+		return
+	}
+	parts := make([]string, 0, len(meta.Stages))
+	total := ""
+	for _, st := range meta.Stages {
+		d := time.Duration(st.Dur).Round(time.Microsecond)
+		if st.Name == "total" {
+			total = d.String()
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", st.Name, d))
+	}
+	line := strings.Join(parts, " → ")
+	if total != "" {
+		if line != "" {
+			line += " "
+		}
+		line += "(total " + total + ")"
+	}
+	fmt.Printf("trace %s: %s\n", meta.TraceID, line)
+}
+
 func printResults(results []protocol.Result, withDistance bool) {
 	for i, r := range results {
 		if withDistance {
@@ -261,6 +319,6 @@ func fatal(format string, args ...interface{}) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ferret-query [-addr host:port] <command> [flags]
-commands: ping, count, query, queryfile, search, info, add, delete, stats, eval`)
+commands: ping, count, query, queryfile, search, info, add, delete, stats, traces, eval`)
 	os.Exit(2)
 }

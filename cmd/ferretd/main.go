@@ -10,8 +10,10 @@
 // (.off), genomic (-matrix expression.tsv, ingested at startup).
 //
 // Observability: -debug-addr serves Prometheus metrics at /metrics, expvar
-// JSON at /debug/vars and runtime profiles at /debug/pprof/ on a private
-// listener; logs are structured key=value lines on stderr (-log-level).
+// JSON at /debug/vars, runtime profiles at /debug/pprof/ and retained query
+// traces at /debug/traces on a private listener; logs are structured
+// key=value lines on stderr (-log-level). -trace-sample and -slow-query
+// tune the query tracer's head sampling and slow-query log.
 package main
 
 import (
@@ -50,6 +52,8 @@ func main() {
 		grace     = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on SIGTERM/SIGINT")
 		batchWin  = flag.Duration("batch-window", 0, "coalescing window for sharing arena scans across concurrent queries (0 = disabled)")
 		batchMax  = flag.Int("batch-max", 0, "max queries per shared arena scan (0 = default 8)")
+		traceEach = flag.Int("trace-sample", 0, "retain every Nth query trace (0 = default 64, negative = sampling off, forced/slow traces still kept)")
+		slowQuery = flag.Duration("slow-query", 0, "slow-query log threshold: traces at least this slow are always retained (0 = default 100ms, negative = off)")
 	)
 	flag.Parse()
 
@@ -68,6 +72,7 @@ func main() {
 		cfg = ferret.RelaxedDurability(cfg)
 	}
 	cfg.Scheduler = ferret.SchedulerParams{Window: *batchWin, MaxBatch: *batchMax}
+	cfg.Trace = ferret.TraceParams{SampleEvery: *traceEach, SlowThreshold: *slowQuery}
 	cfg.Store.Logger = logger.With("kvstore")
 	sys, err := ferret.Open(cfg, extractor)
 	if err != nil {
@@ -94,7 +99,7 @@ func main() {
 	if *debugAddr != "" {
 		go func() {
 			logger.Info("observability endpoint", "addr", *debugAddr,
-				"paths", "/metrics /debug/vars /debug/pprof/")
+				"paths", "/metrics /debug/vars /debug/pprof/ /debug/traces")
 			srv := &http.Server{Addr: *debugAddr, Handler: sys.DebugHandler()}
 			go func() {
 				<-ctx.Done()

@@ -47,6 +47,7 @@ import (
 	"ferret/internal/server"
 	"ferret/internal/sketch"
 	"ferret/internal/telemetry"
+	"ferret/internal/telemetry/trace"
 	"ferret/internal/vector"
 	"ferret/internal/webui"
 )
@@ -77,6 +78,10 @@ type (
 	// SchedulerParams configures the shared-scan query scheduler that
 	// coalesces concurrent searches into batched arena passes.
 	SchedulerParams = core.SchedulerParams
+	// TraceParams configures the query tracer (sampling retention and the
+	// slow-query log); the Config.Trace field. The zero value enables
+	// tracing with defaults.
+	TraceParams = trace.Params
 	// QueryOptions controls one similarity query.
 	QueryOptions = core.QueryOptions
 	// Result is one ranked answer.
@@ -254,10 +259,14 @@ func (s *System) Telemetry() *telemetry.Registry { return s.engine.Telemetry() }
 func (s *System) SetLogger(l *telemetry.Logger) { s.logger = l }
 
 // DebugHandler returns the observability HTTP handler for this system:
-// Prometheus text at /metrics, expvar JSON at /debug/vars and runtime
-// profiles at /debug/pprof/. Mount it on a private listener.
+// Prometheus text at /metrics, expvar JSON at /debug/vars, runtime profiles
+// at /debug/pprof/ and retained query traces (recent ring + slow-query log)
+// as JSON at /debug/traces. Mount it on a private listener.
 func (s *System) DebugHandler() http.Handler {
-	return telemetry.DebugHandler(s.engine.Telemetry())
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.DebugHandler(s.engine.Telemetry()))
+	mux.Handle("/debug/traces", trace.Handler(s.engine.Tracer()))
+	return mux
 }
 
 // SetServerConfig installs the protocol server's resilience policy. It

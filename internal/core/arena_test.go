@@ -367,4 +367,22 @@ func TestFilterPathAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("filter scan allocates %.1f objects per query, want 0", allocs)
 	}
+
+	// With a trace armed the property must still hold: span recording writes
+	// into the Active's fixed buffer, and overflow past MaxSpans is counted,
+	// never grown.
+	if !e.tracer.Begin(&sc.own, "test") {
+		t.Fatal("engine tracer is disabled")
+	}
+	sc.trp = &sc.own
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := e.filter(&sc.clk, &q, qset, opt, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sc.own.Finish()
+	sc.trp = nil
+	if allocs != 0 {
+		t.Fatalf("traced filter scan allocates %.1f objects per query, want 0", allocs)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"ferret/internal/metastore"
 	"ferret/internal/object"
 	"ferret/internal/sketch"
+	"ferret/internal/telemetry/trace"
 )
 
 // The FilterScan pair measures the tentpole: the arena filter scan against a
@@ -211,5 +212,34 @@ func BenchmarkQueryPipelineConcurrent(b *testing.B) {
 	reg := e.Telemetry()
 	if n := reg.Value("ferret_batches_total"); n > 0 {
 		b.ReportMetric(reg.Value("ferret_queries_coalesced_total")/n, "coalesced/batch")
+	}
+}
+
+// BenchmarkQueryPipelineTraced is BenchmarkQueryPipelineConcurrent with the
+// tracer recording every query but retaining none (head sampling and the
+// slow trigger disabled): the cost of always-on span recording alone, with
+// the retention snapshot path never taken. `make check-bench` gates it so
+// tracing stays ~free on the hot path.
+func BenchmarkQueryPipelineTraced(b *testing.B) {
+	e, q, _ := benchEngine(b, func(cfg *Config) {
+		cfg.RankThreshold = 2
+		cfg.Scheduler = SchedulerParams{Window: 200 * time.Microsecond, MaxBatch: 8}
+		cfg.Trace = trace.Params{SampleEvery: -1, SlowThreshold: -1}
+	})
+	opt := benchFilterOpts()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Query(q, opt); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if got := e.Telemetry().Value("ferret_traces_retained_total"); got != 0 {
+		b.Fatalf("%g traces retained with retention disabled", got)
 	}
 }

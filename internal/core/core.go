@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	rtrace "runtime/trace"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"ferret/internal/object"
 	"ferret/internal/sketch"
 	"ferret/internal/telemetry"
+	"ferret/internal/telemetry/trace"
 	"ferret/internal/vector"
 )
 
@@ -209,6 +211,11 @@ type Config struct {
 	// passing one in lets the engine share a registry with the serving
 	// layer so one /metrics endpoint covers the whole process.
 	Telemetry *telemetry.Registry
+	// Trace configures the engine's query tracer (see
+	// internal/telemetry/trace): head-sampled retention of per-query
+	// pipeline traces plus the always-on slow-query log. The zero value
+	// enables tracing with defaults; set Trace.Disable to turn it off.
+	Trace trace.Params
 }
 
 // Result is one ranked search answer.
@@ -238,6 +245,17 @@ type QueryOptions struct {
 	// — with Answer.Degraded set, instead of running on or failing.
 	// Context cancellation, by contrast, aborts the query with an error.
 	Budget time.Duration
+	// Trace, when non-nil, is an externally-armed recording buffer the
+	// query's pipeline spans land in — the server arms one per traced
+	// request so the trace also covers protocol parse and response write.
+	// nil lets the engine arm (and head-sample) its own. Single queries
+	// only; SearchBatch arms per-query engine traces regardless.
+	Trace *trace.Active
+	// ForceTrace forces retention of the engine-armed trace and attaches
+	// its identity and stage breakdown to the Answer — the programmatic
+	// way to trace one query (and BATCHQUERY's per-query path). Ignored
+	// when Trace is set: the caller owns retention then.
+	ForceTrace bool
 }
 
 // Answer is one query's outcome.
@@ -249,6 +267,16 @@ type Answer struct {
 	// sketch-estimated distance (its Distance values are the sketch
 	// lower-bound estimates, not exact object distances).
 	Degraded bool
+	// Trace carries the query's trace identity and per-stage breakdown
+	// when QueryOptions.ForceTrace requested it; nil otherwise.
+	Trace *TraceInfo
+}
+
+// TraceInfo is the per-answer trace handle: the retained trace's hex ID
+// (look it up via TRACE or /debug/traces) and the aggregated stage timings.
+type TraceInfo struct {
+	ID     string
+	Stages []trace.Stage
 }
 
 // sketchEntry is the per-object record of the in-memory sketch database.
@@ -278,6 +306,7 @@ type Engine struct {
 	objDistBounded func(a, b object.Object, bound float64) (float64, bool)
 	segDist        vector.Func
 	met            *engineMetrics
+	tracer         *trace.Tracer
 
 	// pool is the persistent scan/rank worker pool (started at Open,
 	// stopped by Close); sched, when non-nil, coalesces concurrent Search
@@ -312,6 +341,7 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, meta: meta, attrs: attr.New(meta.KV()), met: met}
+	e.tracer = trace.New(cfg.Trace, met.reg)
 
 	e.segDist = cfg.SegmentDistance
 	if e.segDist == nil {
@@ -651,12 +681,18 @@ func (e *Engine) Search(ctx context.Context, q object.Object, opt QueryOptions) 
 func (e *Engine) searchOne(ctx context.Context, q object.Object, opt QueryOptions) (Answer, error) {
 	e.met.inflight.Add(1)
 	defer e.met.inflight.Add(-1)
-	start := time.Now()
-	qset := e.buildSketchSet(q)
-	e.met.stageSketch.ObserveSince(start)
+	defer rtrace.StartRegion(ctx, "ferret.search").End()
 
 	sc := getScratch()
 	defer putScratch(sc)
+	sc.trp = e.armTrace(&opt, &sc.own)
+	defer sc.own.Finish() // error-path safety net; no-op after finishOwnTrace
+
+	start := time.Now()
+	qset := e.buildSketchSet(q)
+	e.met.stageSketch.ObserveSince(start)
+	sc.trp.Record(StageSketch, start, time.Since(start))
+
 	clk := &sc.clk
 	clk.reset(ctx, opt.Budget)
 
@@ -676,11 +712,13 @@ func (e *Engine) searchOne(ctx context.Context, q object.Object, opt QueryOption
 		results = e.rankAll(clk, q, opt)
 		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
+		sc.trp.Record(StageRank, tr, time.Since(tr))
 	case BruteForceSketch:
 		tr := time.Now()
 		results = e.rankAllSketch(clk, qset, opt)
 		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
+		sc.trp.Record(StageRank, tr, time.Since(tr))
 	case Filtering:
 		results, degraded, err = e.filteringLocked(clk, &q, qset, opt, sc)
 	default:
@@ -696,10 +734,40 @@ func (e *Engine) searchOne(ctx context.Context, q object.Object, opt QueryOption
 	}
 	if degraded {
 		e.met.degraded.Inc()
+		sc.trp.MarkSlow()
+		sc.trp.Root().SetAttr("degraded", 1)
 	}
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(start)
-	return Answer{Results: results, Degraded: degraded}, nil
+	ans := Answer{Results: results, Degraded: degraded}
+	finishOwnTrace(&sc.own, opt.ForceTrace, &ans)
+	return ans, nil
+}
+
+// armTrace resolves which trace buffer a query records into: the caller's
+// (QueryOptions.Trace) or the engine-armed own buffer, force-retained when
+// the query asked for its trace back. Returns nil when tracing is off.
+func (e *Engine) armTrace(opt *QueryOptions, own *trace.Active) *trace.Active {
+	if opt.Trace != nil {
+		return opt.Trace
+	}
+	if !e.tracer.Begin(own, "search") {
+		return nil
+	}
+	if opt.ForceTrace {
+		own.Force()
+	}
+	return own
+}
+
+// finishOwnTrace finishes an engine-armed trace, first attaching its
+// identity and stage breakdown to the answer when the query forced
+// retention. Safe (and a no-op) when own was never armed.
+func finishOwnTrace(own *trace.Active, force bool, ans *Answer) {
+	if force && own.Armed() {
+		ans.Trace = &TraceInfo{ID: own.ID().String(), Stages: own.Stages()}
+	}
+	own.Finish()
 }
 
 // Query is Search without external cancellation or a budget — the
@@ -719,9 +787,12 @@ func (e *Engine) searchSketchSet(ctx context.Context, qset *metastore.SketchSet,
 	}
 	e.met.inflight.Add(1)
 	defer e.met.inflight.Add(-1)
+	defer rtrace.StartRegion(ctx, "ferret.search").End()
 	start := time.Now()
 	sc := getScratch()
 	defer putScratch(sc)
+	sc.trp = e.armTrace(&opt, &sc.own)
+	defer sc.own.Finish()
 	clk := &sc.clk
 	clk.reset(ctx, opt.Budget)
 	e.mu.RLock()
@@ -735,6 +806,7 @@ func (e *Engine) searchSketchSet(ctx context.Context, qset *metastore.SketchSet,
 		results = e.rankAllSketch(clk, qset, opt)
 		degraded = clk.budgetHit()
 		e.met.stageRank.ObserveSince(tr)
+		sc.trp.Record(StageRank, tr, time.Since(tr))
 	case Filtering:
 		results, degraded, err = e.filteringLocked(clk, nil, qset, opt, sc)
 	default:
@@ -749,10 +821,14 @@ func (e *Engine) searchSketchSet(ctx context.Context, qset *metastore.SketchSet,
 	}
 	if degraded {
 		e.met.degraded.Inc()
+		sc.trp.MarkSlow()
+		sc.trp.Root().SetAttr("degraded", 1)
 	}
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(start)
-	return Answer{Results: results, Degraded: degraded}, nil
+	ans := Answer{Results: results, Degraded: degraded}
+	finishOwnTrace(&sc.own, opt.ForceTrace, &ans)
+	return ans, nil
 }
 
 // filteringLocked runs the Filtering mode's filter + rank stages for one
@@ -772,6 +848,7 @@ func (e *Engine) filteringLocked(clk *queryClock, q *object.Object, qset *metast
 // sketch-estimated distances.
 func (e *Engine) rankLocked(clk *queryClock, q *object.Object, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) ([]Result, bool) {
 	tr := time.Now()
+	sc.rankEvals, sc.rankPruned, sc.rankAbandoned = 0, 0, 0
 	var results []Result
 	var degraded bool
 	if q == nil || e.cfg.SketchOnly {
@@ -780,6 +857,10 @@ func (e *Engine) rankLocked(clk *queryClock, q *object.Object, qset *metastore.S
 		results, degraded = e.rankCandidates(clk, *q, qset, cands, opt, sc)
 	}
 	e.met.stageRank.ObserveSince(tr)
+	sc.trp.Record(StageRank, tr, time.Since(tr)).
+		SetAttr("evals", int64(sc.rankEvals)).
+		SetAttr("pruned", int64(sc.rankPruned)).
+		SetAttr("cands", int64(len(cands)))
 	return results, degraded
 }
 

@@ -11,6 +11,7 @@ import (
 	"ferret/internal/metastore"
 	"ferret/internal/object"
 	"ferret/internal/sketch"
+	"ferret/internal/telemetry/trace"
 )
 
 // queryScratch pools the filtering and ranking units' per-query scratch
@@ -35,12 +36,31 @@ type queryScratch struct {
 	// zero-allocation filter path stays allocation-free even though scan
 	// goroutines capture a pointer to it.
 	clk queryClock
+
+	// trp points at the query's active trace recording buffer — own for
+	// serial queries, the scheduler request's for batched ones, or the
+	// caller-supplied one from QueryOptions.Trace. nil (or a disarmed
+	// target) makes every recording call a no-op, so the filter path stays
+	// allocation-free either way. Cleared by putScratch.
+	trp *trace.Active
+	// own is the engine-armed trace buffer for queries whose caller did not
+	// supply one. Pooled by value with the scratch: arming it never
+	// allocates.
+	own trace.Active
+
+	// Ranking-unit statistics for the rank trace span, reset and read by
+	// rankLocked and written where the rank metrics are published.
+	rankEvals, rankPruned, rankAbandoned int
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
-func getScratch() *queryScratch   { return scratchPool.Get().(*queryScratch) }
-func putScratch(sc *queryScratch) { scratchPool.Put(sc) }
+func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
+
+func putScratch(sc *queryScratch) {
+	sc.trp = nil // never let a caller-owned trace buffer dangle in the pool
+	scratchPool.Put(sc)
+}
 
 // heap returns the i-th pooled segment heap reset to capacity k. Shard
 // heaps must be claimed before goroutines fan out (the slice may grow).
@@ -92,7 +112,11 @@ func (e *Engine) filter(clk *queryClock, q *object.Object, qset *metastore.Sketc
 	}
 	p = p.withDefaults(len(qset.Sketches), opt.K)
 	if p.ExactDistance {
-		return e.filterExact(clk, q, p, opt)
+		exStart := time.Now()
+		cands, err := e.filterExact(clk, q, p, opt)
+		sc.trp.Record(StageExactFilter, exStart, time.Since(exStart)).
+			SetAttr("candidates", int64(len(cands)))
+		return cands, err
 	}
 	stageStart := time.Now()
 	scanned := 0
@@ -161,6 +185,9 @@ func (e *Engine) filter(clk *queryClock, q *object.Object, qset *metastore.Sketc
 	e.met.scanned.Add(scanned)
 	e.met.candidates.Add(len(cands))
 	e.met.stageFilter.ObserveSince(stageStart)
+	sc.trp.Record(StageFilter, stageStart, time.Since(stageStart)).
+		SetAttr("scanned", int64(scanned)).
+		SetAttr("candidates", int64(len(cands)))
 	return cands, nil
 }
 

@@ -59,7 +59,7 @@ func sortLBCands(lbs []lbCand) {
 // The returned bool reports that degradation.
 func (e *Engine) rankCandidates(clk *queryClock, q object.Object, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) ([]Result, bool) {
 	top := newTopK(opt.K)
-	evals, abandoned := 0, 0
+	evals, abandoned, pruned := 0, 0, 0
 
 	eval := func(idx int, bound float64) {
 		ent := &e.entries[idx]
@@ -94,7 +94,6 @@ func (e *Engine) rankCandidates(clk *queryClock, q object.Object, qset *metastor
 	if e.pruneEnabled(qset) {
 		lbs := e.lowerBounds(qset, cands, e.cfg.SqrtWeights, sc)
 		margin := e.cfg.Prune.margin()
-		pruned := 0
 		for i := range lbs {
 			if clk.stop() {
 				break
@@ -131,6 +130,7 @@ func (e *Engine) rankCandidates(clk *queryClock, q object.Object, qset *metastor
 	e.met.emdEvals.Add(evals)
 	e.met.emdAbandoned.Add(abandoned)
 	e.met.heapTrims.Add(top.trims)
+	sc.rankEvals, sc.rankPruned, sc.rankAbandoned = evals, pruned, abandoned
 	if degradeAt >= 0 {
 		return e.degradedResults(top, rest, opt.K), true
 	}
@@ -158,12 +158,11 @@ func (e *Engine) degradedResults(top *topK, rest []lbCand, k int) []Result {
 // exact (no margin) and pruning provably cannot change the results.
 func (e *Engine) rankSketchCandidates(clk *queryClock, qset *metastore.SketchSet, cands []int, opt QueryOptions, sc *queryScratch) ([]Result, bool) {
 	top := newTopK(opt.K)
-	evals := 0
+	evals, pruned := 0, 0
 	degradeAt := -1
 	var rest []lbCand
 	if !e.cfg.Prune.Disable && len(qset.Sketches) > 0 {
 		lbs := e.lowerBounds(qset, cands, false, sc)
-		pruned := 0
 		for i := range lbs {
 			if clk.stop() {
 				break
@@ -202,6 +201,7 @@ func (e *Engine) rankSketchCandidates(clk *queryClock, qset *metastore.SketchSet
 	}
 	e.met.emdEvals.Add(evals)
 	e.met.heapTrims.Add(top.trims)
+	sc.rankEvals, sc.rankPruned, sc.rankAbandoned = evals, pruned, 0
 	if degradeAt >= 0 {
 		return e.degradedResults(top, rest, opt.K), true
 	}

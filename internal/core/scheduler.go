@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"slices"
 	"sync"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"ferret/internal/metastore"
 	"ferret/internal/object"
 	"ferret/internal/sketch"
+	"ferret/internal/telemetry/trace"
 )
 
 // The shared-scan query scheduler. Under concurrent load each query used to
@@ -57,8 +60,14 @@ type batchReq struct {
 	qset  *metastore.SketchSet
 	opt   QueryOptions
 	start time.Time // Search entry, for ferret_query_seconds
-	enq   time.Time // scheduler submit, for ferret_batch_queue_seconds
+	enq   time.Time // scheduler submit, for ferret_batch_queue_wait_seconds
 	slot  int       // position in the caller's SearchBatch slice
+
+	// tr is the query's trace recording buffer (own, or the caller's via
+	// QueryOptions.Trace); nil when tracing is off. own rides in the
+	// batchReq allocation itself, so arming a trace costs no extra allocs.
+	tr  *trace.Active
+	own trace.Active
 
 	ans  Answer
 	err  error
@@ -105,16 +114,24 @@ func (s *scheduler) search(ctx context.Context, q object.Object, opt QueryOption
 	e := s.e
 	e.met.inflight.Add(1)
 	defer e.met.inflight.Add(-1)
+	defer rtrace.StartRegion(ctx, "ferret.search").End()
+	r := &batchReq{ctx: ctx, q: q, opt: opt, done: make(chan struct{})}
+	r.tr = e.armTrace(&r.opt, &r.own)
 	start := time.Now()
-	qset := e.buildSketchSet(q)
+	r.start = start
+	r.qset = e.buildSketchSet(q)
 	e.met.stageSketch.ObserveSince(start)
-	r := &batchReq{ctx: ctx, q: q, qset: qset, opt: opt, start: start, enq: time.Now(), done: make(chan struct{})}
+	r.tr.Record(StageSketch, start, time.Since(start))
+	r.enq = time.Now()
 	if err := s.submit(r); err != nil {
 		e.met.queryErrors.Inc()
+		r.own.Finish()
 		return Answer{}, err
 	}
 	<-r.done
-	return e.finishReq(r)
+	ans, err := e.finishReq(r)
+	finishOwnTrace(&r.own, err == nil && r.opt.ForceTrace, &ans)
+	return ans, err
 }
 
 func (s *scheduler) submit(r *batchReq) error {
@@ -240,6 +257,10 @@ func (e *Engine) finishReq(r *batchReq) (Answer, error) {
 	}
 	if r.ans.Degraded {
 		e.met.degraded.Inc()
+		// Budget-degraded queries always land in the slow-query log, no
+		// matter how fast they finished: slowness was traded for budget.
+		r.tr.MarkSlow()
+		r.tr.Root().SetAttr("degraded", 1)
 	}
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(r.start)
@@ -282,13 +303,18 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []object.Object, opt Q
 			e.met.queryErrors.Inc()
 			continue
 		}
+		r := &batchReq{ctx: ctx, q: q, opt: opt, slot: i, done: make(chan struct{})}
+		// Each batch query records into its own engine-armed trace (one
+		// shared QueryOptions.Trace buffer cannot serve N queries).
+		r.opt.Trace = nil
+		r.tr = e.armTrace(&r.opt, &r.own)
 		start := time.Now()
-		qset := e.buildSketchSet(q)
+		r.start = start
+		r.qset = e.buildSketchSet(q)
 		e.met.stageSketch.ObserveSince(start)
-		reqs = append(reqs, &batchReq{
-			ctx: ctx, q: q, qset: qset, opt: opt,
-			start: start, enq: time.Now(), slot: i, done: make(chan struct{}),
-		})
+		r.tr.Record(StageSketch, start, time.Since(start))
+		r.enq = time.Now()
+		reqs = append(reqs, r)
 	}
 	max := e.cfg.Scheduler.maxBatch()
 	for lo := 0; lo < len(reqs); lo += max {
@@ -300,6 +326,7 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []object.Object, opt Q
 	}
 	for _, r := range reqs {
 		answers[r.slot], errs[r.slot] = e.finishReq(r)
+		finishOwnTrace(&r.own, errs[r.slot] == nil && r.opt.ForceTrace, &answers[r.slot])
 	}
 	return answers, errs
 }
@@ -314,6 +341,8 @@ func (e *Engine) runBatch(reqs []*batchReq) {
 	now := time.Now()
 	for _, r := range reqs {
 		e.met.queueWait.Observe(now.Sub(r.enq).Seconds())
+		r.tr.Record(StageQueue, r.enq, now.Sub(r.enq)).
+			SetAttr("batch", int64(len(reqs)))
 	}
 	if len(reqs) > 1 {
 		e.met.coalesced.Add(len(reqs))
@@ -324,6 +353,7 @@ func (e *Engine) runBatch(reqs []*batchReq) {
 	if len(reqs) == 1 {
 		r := reqs[0]
 		sc := getScratch()
+		sc.trp = r.tr
 		clk := &sc.clk
 		clk.reset(r.ctx, r.opt.Budget)
 		results, degraded, err := e.filteringLocked(clk, &r.q, r.qset, r.opt, sc)
@@ -384,6 +414,7 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 		//lint:ignore poolescape scs never leaves this function; every element goes back via putScratch below
 		scs[i] = getScratch()
 		scs[i].clk.reset(r.ctx, r.opt.Budget)
+		scs[i].trp = r.tr
 	}
 	stageStart := time.Now()
 	bs := batchScratchPool.Get().(*batchScratch)
@@ -431,11 +462,19 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 	bs.pairs, bs.qsks = pairs, qsks
 	bs.ms.Reset(qsks)
 
-	e.sharedScan(reqs, scs, bs)
+	// The shared scan runs under a stage pprof label and runtime/trace
+	// region so CPU profiles and execution traces slice by pipeline stage.
+	pprof.Do(reqs[0].ctx, pprof.Labels("ferret_stage", StageScan), func(ctx context.Context) {
+		defer rtrace.StartRegion(ctx, "ferret.scan").End()
+		e.sharedScan(reqs, scs, bs)
+	})
 
 	// Per-query candidate assembly, exactly as filter() does it: heap items
-	// in segment order, then sort + compact dedup.
-	sharedDur := time.Since(stageStart).Seconds()
+	// in segment order, then sort + compact dedup. Every coalesced query's
+	// trace records the one physical arena scan with the same shared span
+	// ID, so cross-trace correlation is provable from the retained traces.
+	sharedDur := time.Since(stageStart)
+	scanID := trace.NewSpanID()
 	for i := range reqs {
 		sc := scs[i]
 		cands := sc.cands[:0]
@@ -449,7 +488,10 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 		// segment streamed.
 		e.met.scanned.Add((starts[i+1] - starts[i]) * (len(e.entries) - e.deleted))
 		e.met.candidates.Add(len(cands))
-		e.met.stageFilter.Observe(sharedDur)
+		e.met.stageFilter.Observe(sharedDur.Seconds())
+		sc.trp.RecordShared(StageScan, scanID, stageStart, sharedDur).
+			SetAttr("batch", int64(len(reqs))).
+			SetAttr("candidates", int64(len(cands)))
 	}
 
 	// Rank stage: one task per query on the persistent pool; tasks that no
@@ -468,12 +510,15 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 				r.err = clk.err()
 				return
 			}
-			results, degraded := e.rankLocked(clk, &r.q, r.qset, sc.cands, r.opt, sc)
-			if clk.stop() {
-				r.err = clk.err()
-				return
-			}
-			r.ans = Answer{Results: results, Degraded: degraded}
+			pprof.Do(r.ctx, pprof.Labels("ferret_stage", StageRank), func(ctx context.Context) {
+				defer rtrace.StartRegion(ctx, "ferret.rank").End()
+				results, degraded := e.rankLocked(clk, &r.q, r.qset, sc.cands, r.opt, sc)
+				if clk.stop() {
+					r.err = clk.err()
+					return
+				}
+				r.ans = Answer{Results: results, Degraded: degraded}
+			})
 		}
 		if !e.pool.dispatch(fn) {
 			fn()

@@ -3,6 +3,7 @@ package core
 import (
 	"ferret/internal/sketch"
 	"ferret/internal/telemetry"
+	"ferret/internal/telemetry/trace"
 )
 
 // Query pipeline stage labels, as exposed in
@@ -15,6 +16,12 @@ const (
 	StageFilter      = "filter"
 	StageExactFilter = "exact_filter"
 	StageRank        = "rank"
+
+	// Trace-only span names (no stage histogram of their own): queue wait
+	// is the scheduler histogram ferret_batch_queue_wait_seconds, and the
+	// shared arena scan is observed into the filter stage histogram.
+	StageQueue = "queue"
+	StageScan  = "scan"
 )
 
 // engineMetrics are the engine's handles into its telemetry registry. All
@@ -44,7 +51,7 @@ type engineMetrics struct {
 	batches   *telemetry.Counter   // ferret_batches_total
 	coalesced *telemetry.Counter   // ferret_queries_coalesced_total
 	batchSize *telemetry.Histogram // ferret_batch_size
-	queueWait *telemetry.Histogram // ferret_batch_queue_seconds
+	queueWait *telemetry.Histogram // ferret_batch_queue_wait_seconds
 
 	// State gauges — maintained incrementally under e.mu so Stat() never
 	// has to walk the sketch database.
@@ -69,9 +76,12 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	telemetry.RegisterBuildInfo(reg)
+	// Queue waits and pipeline stages sit well under a millisecond on the
+	// batched path, so every latency histogram here uses the fine grid.
 	stageHist := func(stage string) *telemetry.Histogram {
 		return reg.Histogram("ferret_query_stage_seconds",
-			"Per-stage query pipeline latency in seconds.", nil, "stage", stage)
+			"Per-stage query pipeline latency in seconds.", telemetry.FineTimeBuckets, "stage", stage)
 	}
 	return &engineMetrics{
 		reg: reg,
@@ -98,8 +108,8 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 			"Queries answered by a shared arena scan with at least one other query."),
 		batchSize: reg.Histogram("ferret_batch_size", "Queries per shared-scan batch.",
 			[]float64{1, 2, 4, 8, 16, 32}),
-		queueWait: reg.Histogram("ferret_batch_queue_seconds",
-			"Time a query waited in the scheduler's coalescing queue.", nil),
+		queueWait: reg.Histogram("ferret_batch_queue_wait_seconds",
+			"Time a query waited in the scheduler's coalescing queue.", telemetry.FineTimeBuckets),
 
 		objects:         reg.Gauge("ferret_objects", "Live (non-deleted) objects."),
 		deleted:         reg.Gauge("ferret_deleted_objects", "Tombstoned objects awaiting compaction."),
@@ -109,7 +119,7 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		poolWorkers:     reg.Gauge("ferret_pool_workers", "Persistent scan/rank pool size."),
 		poolBusy:        reg.Gauge("ferret_pool_busy_workers", "Pool workers currently running a task."),
 
-		queryTime:   reg.Histogram("ferret_query_seconds", "End-to-end query latency in seconds.", nil),
+		queryTime:   reg.Histogram("ferret_query_seconds", "End-to-end query latency in seconds.", telemetry.FineTimeBuckets),
 		ingestTime:  reg.Histogram("ferret_ingest_seconds", "Ingest latency in seconds.", nil),
 		stageSketch: stageHist(StageSketch),
 		stageFilter: stageHist(StageFilter),
@@ -135,6 +145,10 @@ func (m *engineMetrics) stage(name string) *telemetry.Histogram {
 // Telemetry exposes the engine's metric registry, the feed for the server's
 // STATS/TELEMETRY commands and the binaries' /metrics endpoints.
 func (e *Engine) Telemetry() *telemetry.Registry { return e.met.reg }
+
+// Tracer exposes the engine's query tracer (nil when Config.Trace.Disable
+// is set) — the feed for the TRACE command and /debug/traces.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // sketchBytesOf converts a live-segment count into in-memory sketch bytes.
 func (e *Engine) sketchBytesOf(segments int) int {

@@ -3,6 +3,7 @@ package protocol
 import (
 	"bufio"
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -14,6 +15,11 @@ func TestBatchRoundTrip(t *testing.T) {
 		{Err: `no such key "x y"`},
 		{Results: []Result{{Key: "q", Distance: 3}}, Meta: ResponseMeta{Degraded: true}},
 		{}, // zero results is a valid group
+		{Results: []Result{{Key: "t", Distance: 1}}, Meta: ResponseMeta{
+			Degraded: true,
+			TraceID:  "00000000deadbeef",
+			Stages:   []StageTiming{{Name: "queue", Dur: 120000}, {Name: "scan", Dur: 910000}, {Name: "total", Dur: 1500000}},
+		}},
 	}
 	var buf bytes.Buffer
 	if err := WriteBatch(&buf, items); err != nil {
@@ -34,7 +40,7 @@ func TestBatchRoundTrip(t *testing.T) {
 		t.Fatalf("%d groups, want %d", len(got), len(items))
 	}
 	for i := range items {
-		if got[i].Err != items[i].Err || got[i].Meta != items[i].Meta || len(got[i].Results) != len(items[i].Results) {
+		if got[i].Err != items[i].Err || !reflect.DeepEqual(got[i].Meta, items[i].Meta) || len(got[i].Results) != len(items[i].Results) {
 			t.Fatalf("group %d: %+v want %+v", i, got[i], items[i])
 		}
 		for r := range items[i].Results {

@@ -125,6 +125,9 @@ type QueryParams struct {
 	// expires mid-rank the server answers with its best results so far,
 	// flagged degraded. Servers cap it at their configured maximum.
 	Budget time.Duration
+	// Trace asks the server to trace the query: the response's meta then
+	// carries the retained trace's ID and the per-stage timing breakdown.
+	Trace bool
 }
 
 func (p QueryParams) fill(args map[string]string) {
@@ -149,6 +152,9 @@ func (p QueryParams) fill(args map[string]string) {
 	}
 	if p.Budget > 0 {
 		args["budget"] = p.Budget.String()
+	}
+	if p.Trace {
+		args["trace"] = "on"
 	}
 }
 
@@ -187,6 +193,38 @@ func (c *Client) BatchQuery(keys []string, p QueryParams) ([]BatchItem, error) {
 		return nil, fmt.Errorf("protocol: BATCHQUERY returned %d groups for %d keys", len(items), len(keys))
 	}
 	return items, nil
+}
+
+// Traces fetches retained query traces, one compact rendering per line,
+// keyed recent<i>/slow<i> in newest-first order. slowOnly restricts the
+// answer to the slow-query log; n caps each list (server default when 0).
+func (c *Client) Traces(n int, slowOnly bool) (map[string]string, error) {
+	args := map[string]string{}
+	if n > 0 {
+		args["n"] = strconv.Itoa(n)
+	}
+	if slowOnly {
+		args["slow"] = "1"
+	}
+	lines, err := c.roundTrip(Request{Cmd: CmdTrace, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(lines))
+	for _, line := range lines {
+		eq := strings.IndexByte(line, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("protocol: malformed TRACE line %q", line)
+		}
+		val := line[eq+1:]
+		if strings.HasPrefix(val, `"`) {
+			if unq, err := strconv.Unquote(val); err == nil {
+				val = unq
+			}
+		}
+		out[line[:eq]] = val
+	}
+	return out, nil
 }
 
 // QueryFile runs a similarity query on a data file the server extracts with

@@ -16,10 +16,17 @@
 //
 //	ERR <quoted message>
 //
-// Flags after the count annotate the whole response; the only one currently
-// defined is "degraded" (the query's time budget expired and the result tail
-// is ordered by sketch-estimated distance). Unknown flags are ignored by
-// clients, so flags are forward-compatible.
+// Flags after the count annotate the whole response. Defined flags:
+//
+//	degraded          the query's time budget expired and the result tail
+//	                  is ordered by sketch-estimated distance
+//	trace=<id>        the 16-hex ID of the query's retained trace (QUERY
+//	                  and BATCHQUERY requests carrying a trace= argument;
+//	                  look it up with TRACE id=<id> or /debug/traces)
+//	stages=<a:ns,..>  per-stage wall-clock breakdown of a traced query:
+//	                  comma-separated name:nanoseconds pairs
+//
+// Unknown flags are ignored by clients, so flags are forward-compatible.
 package protocol
 
 import (
@@ -50,6 +57,7 @@ const (
 	CmdInfo       = "INFO"       // attributes of one object
 	CmdStats      = "STATS"      // engine statistics
 	CmdTelemetry  = "TELEMETRY"  // runtime telemetry: counters, gauges, latency percentiles
+	CmdTrace      = "TRACE"      // retained query traces: recent ring and slow-query log
 	CmdDelete     = "DELETE"     // remove an object by key
 )
 
@@ -153,20 +161,71 @@ type Result struct {
 	Distance float64
 }
 
+// StageTiming is one entry of a traced response's per-stage breakdown.
+type StageTiming struct {
+	Name string
+	// Dur is the stage's wall-clock time in nanoseconds.
+	Dur int64
+}
+
 // ResponseMeta carries the flags of an OK head line.
 type ResponseMeta struct {
 	// Degraded reports the server answered within its time budget by
 	// degrading: the head of the results is exactly ranked, the tail is in
 	// sketch-estimated-distance order.
 	Degraded bool
+	// TraceID is the retained trace's 16-hex ID when the request asked for
+	// tracing ("" otherwise).
+	TraceID string
+	// Stages is the traced query's per-stage timing breakdown.
+	Stages []StageTiming
 }
 
 // flags renders the head-line flag tokens (leading space included).
 func (m ResponseMeta) flags() string {
+	var sb strings.Builder
 	if m.Degraded {
-		return " degraded"
+		sb.WriteString(" degraded")
 	}
-	return ""
+	if m.TraceID != "" {
+		sb.WriteString(" trace=")
+		sb.WriteString(m.TraceID)
+	}
+	if len(m.Stages) > 0 {
+		sb.WriteString(" stages=")
+		for i, st := range m.Stages {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(st.Name)
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatInt(st.Dur, 10))
+		}
+	}
+	return sb.String()
+}
+
+// parseFlag folds one head-line (or batch group header) flag token into the
+// meta. Unknown tokens are ignored for forward compatibility.
+func (m *ResponseMeta) parseFlag(f string) {
+	switch {
+	case f == "degraded":
+		m.Degraded = true
+	case strings.HasPrefix(f, "trace="):
+		m.TraceID = f[len("trace="):]
+	case strings.HasPrefix(f, "stages="):
+		for _, pair := range strings.Split(f[len("stages="):], ",") {
+			colon := strings.LastIndexByte(pair, ':')
+			if colon <= 0 {
+				continue
+			}
+			ns, err := strconv.ParseInt(pair[colon+1:], 10, 64)
+			if err != nil {
+				continue
+			}
+			m.Stages = append(m.Stages, StageTiming{Name: pair[:colon], Dur: ns})
+		}
+	}
 }
 
 // WriteResults writes a successful response with result lines.
@@ -231,9 +290,7 @@ func ReadResponseMeta(r *bufio.Reader) ([]string, ResponseMeta, error) {
 			return nil, meta, fmt.Errorf("protocol: bad OK count %q", head)
 		}
 		for _, f := range fields[2:] {
-			if f == "degraded" {
-				meta.Degraded = true
-			}
+			meta.parseFlag(f)
 		}
 		lines := make([]string, 0, n)
 		for i := 0; i < n; i++ {
@@ -322,9 +379,7 @@ func ParseBatch(lines []string) ([]BatchItem, error) {
 			return nil, fmt.Errorf("protocol: bad batch group count in %q", lines[i-1])
 		}
 		for _, f := range fields[3:] {
-			if f == "degraded" {
-				it.Meta.Degraded = true
-			}
+			it.Meta.parseFlag(f)
 		}
 		for ; n > 0; n-- {
 			r, err := ParseResultLine(lines[i])

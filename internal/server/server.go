@@ -24,6 +24,7 @@ import (
 	"ferret/internal/object"
 	"ferret/internal/protocol"
 	"ferret/internal/telemetry"
+	"ferret/internal/telemetry/trace"
 )
 
 // ExtractFunc is the plug-in segmentation and feature extraction entry
@@ -80,10 +81,13 @@ type Server struct {
 
 // connState tracks one client connection; busy is true while a request is
 // being dispatched, so Shutdown can tell in-flight work from idle
-// connections.
+// connections. tr is the connection's trace recording buffer: one request is
+// in flight at a time per connection, so traced requests arm it in place and
+// tracing adds no per-request allocation to the serving layer.
 type connState struct {
 	conn net.Conn
 	busy atomic.Bool
+	tr   trace.Active
 }
 
 // serverMetrics are the serving layer's telemetry handles: per-command
@@ -131,7 +135,7 @@ func (s *Server) metrics() *serverMetrics {
 			protocol.CmdPing, protocol.CmdCount, protocol.CmdQuery,
 			protocol.CmdBatchQuery, protocol.CmdQueryFile, protocol.CmdAddFile,
 			protocol.CmdSearch, protocol.CmdInfo, protocol.CmdStats,
-			protocol.CmdTelemetry, protocol.CmdDelete,
+			protocol.CmdTelemetry, protocol.CmdDelete, protocol.CmdTrace,
 		} {
 			m.requests[cmd] = reg.Counter("ferret_server_requests_total", "Protocol requests dispatched, by command.", "cmd", cmd)
 		}
@@ -317,7 +321,7 @@ func (s *Server) handleConn(ctx context.Context, st *connState) {
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		err := s.handleLine(ctx, w, line)
+		err := s.handleLine(ctx, w, st, line)
 		st.busy.Store(false)
 		if err != nil {
 			return // transport error: drop the connection
@@ -329,13 +333,16 @@ func (s *Server) handleConn(ctx context.Context, st *connState) {
 }
 
 // handleLine parses and dispatches one request line, writing exactly one
-// response. The returned error is a transport error.
-func (s *Server) handleLine(ctx context.Context, w io.Writer, line string) error {
+// response. The returned error is a transport error. The parse timestamp is
+// taken before ParseRequest so a traced query's first span covers protocol
+// parsing.
+func (s *Server) handleLine(ctx context.Context, w io.Writer, st *connState, line string) error {
+	parseStart := time.Now()
 	req, err := protocol.ParseRequest(line)
 	if err != nil {
 		return s.writeErr(w, err)
 	}
-	return s.dispatch(ctx, w, req)
+	return s.dispatch(ctx, w, st, req, parseStart)
 }
 
 // writeErr answers a request-level failure with an ERR response, counting
@@ -350,7 +357,7 @@ func (s *Server) writeErr(w io.Writer, err error) error {
 // Every request is counted by command, gauged while in flight, and timed
 // into the server latency histogram. ctx cancels in-flight queries (fired
 // by Shutdown when the drain grace expires).
-func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request) error {
+func (s *Server) dispatch(ctx context.Context, w io.Writer, st *connState, req protocol.Request, parseStart time.Time) error {
 	met := s.metrics()
 	if c, ok := met.requests[req.Cmd]; ok {
 		c.Inc()
@@ -381,6 +388,14 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request
 		if err != nil {
 			return s.writeErr(w, err)
 		}
+		tr, err := s.armTrace(req, st, parseStart)
+		if err != nil {
+			return s.writeErr(w, err)
+		}
+		// Safety net for the error returns below; writeAnswer's Finish (after
+		// the write span) disarms the trace, making this a no-op.
+		defer tr.Finish()
+		opt.Trace = tr
 		var ans core.Answer
 		if sw := req.Args["segweights"]; sw != "" {
 			// Adjusted feature-vector weights (paper §4.1.4): rebuild the
@@ -399,7 +414,7 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request
 		if err != nil {
 			return s.writeErr(w, err)
 		}
-		return writeAnswer(w, ans)
+		return writeAnswer(w, ans, tr)
 
 	case protocol.CmdBatchQuery:
 		return s.dispatchBatch(ctx, w, req)
@@ -421,11 +436,17 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request
 		if err != nil {
 			return s.writeErr(w, err)
 		}
+		tr, err := s.armTrace(req, st, parseStart)
+		if err != nil {
+			return s.writeErr(w, err)
+		}
+		defer tr.Finish()
+		opt.Trace = tr
 		ans, err := s.Engine.Search(ctx, o, opt)
 		if err != nil {
 			return s.writeErr(w, err)
 		}
-		return writeAnswer(w, ans)
+		return writeAnswer(w, ans, tr)
 
 	case protocol.CmdAddFile:
 		if s.Extract == nil {
@@ -506,6 +527,9 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request
 		}
 		return protocol.WriteResults(w, nil)
 
+	case protocol.CmdTrace:
+		return s.dispatchTrace(w, req)
+
 	case protocol.CmdInfo:
 		id, ok := s.Engine.Meta().LookupKey(req.Args["key"])
 		if !ok {
@@ -521,6 +545,91 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, req protocol.Request
 	default:
 		return s.writeErr(w, fmt.Errorf("unknown command %q", req.Cmd))
 	}
+}
+
+// armTrace arms the connection's trace recording buffer when the request
+// asked for tracing. trace=on|1|new mints a fresh trace ID; any other value
+// is a propagated trace ID to adopt, so a caller that spans several systems
+// can stitch the query into its own trace. Traced requests are always
+// retained (forced), and the protocol parse is backfilled as the first span.
+// Returns nil with no error for untraced requests.
+func (s *Server) armTrace(req protocol.Request, st *connState, parseStart time.Time) (*trace.Active, error) {
+	v := req.Args["trace"]
+	if v == "" {
+		return nil, nil
+	}
+	tracer := s.Engine.Tracer()
+	if tracer == nil {
+		return nil, errors.New("tracing disabled on this server")
+	}
+	var id trace.TraceID
+	switch v {
+	case "on", "1", "new":
+		// Fresh ID (BeginWith allocates one for 0).
+	default:
+		pid, err := trace.ParseTraceID(v)
+		if err != nil {
+			return nil, err
+		}
+		id = pid
+	}
+	tracer.BeginWith(&st.tr, strings.ToLower(req.Cmd), id, true)
+	st.tr.Record("parse", parseStart, time.Since(parseStart))
+	return &st.tr, nil
+}
+
+// stageTimings converts aggregated trace stages to their wire form.
+func stageTimings(stages []trace.Stage) []protocol.StageTiming {
+	out := make([]protocol.StageTiming, len(stages))
+	for i, st := range stages {
+		out[i] = protocol.StageTiming{Name: st.Name, Dur: int64(st.Dur)}
+	}
+	return out
+}
+
+// dispatchTrace answers the TRACE command from the tracer's retained rings
+// as compact one-line renderings, newest first: recent<i> from the sampled
+// ring and slow<i> from the slow-query log. Args: n caps each list (default
+// 10), slow=1 restricts the answer to the slow-query log, id=<hex> looks up
+// one retained trace (key trace0).
+func (s *Server) dispatchTrace(w io.Writer, req protocol.Request) error {
+	tracer := s.Engine.Tracer()
+	if tracer == nil {
+		return s.writeErr(w, errors.New("tracing disabled on this server"))
+	}
+	if v := req.Args["id"]; v != "" {
+		id, err := trace.ParseTraceID(v)
+		if err != nil {
+			return s.writeErr(w, err)
+		}
+		tr := tracer.Find(id)
+		if tr == nil {
+			return s.writeErr(w, fmt.Errorf("trace %s not retained", id))
+		}
+		return protocol.WritePairs(w, map[string]string{"trace0": tr.Compact()})
+	}
+	n := 10
+	if v := req.Args["n"]; v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			return s.writeErr(w, fmt.Errorf("bad n %q", v))
+		}
+		n = k
+	}
+	pairs := map[string]string{}
+	add := func(prefix string, traces []*trace.Trace) {
+		for i, tr := range traces {
+			if i >= n {
+				break
+			}
+			pairs[prefix+strconv.Itoa(i)] = tr.Compact()
+		}
+	}
+	add("slow", tracer.Slow())
+	if req.Args["slow"] == "" {
+		add("recent", tracer.Recent())
+	}
+	return protocol.WritePairs(w, pairs)
 }
 
 // maxBatchKeys caps one BATCHQUERY request, keeping a single request line's
@@ -540,6 +649,16 @@ func (s *Server) dispatchBatch(ctx context.Context, w io.Writer, req protocol.Re
 	opt, err := s.queryOptions(req)
 	if err != nil {
 		return s.writeErr(w, err)
+	}
+	// Tracing a batch: each query gets its own engine-armed, force-retained
+	// trace, and its group's flags carry the trace ID and stage breakdown.
+	// All coalesced groups' scan spans share one Ref span ID — the shared
+	// arena scan they rode.
+	if req.Args["trace"] != "" {
+		if s.Engine.Tracer() == nil {
+			return s.writeErr(w, errors.New("tracing disabled on this server"))
+		}
+		opt.ForceTrace = true
 	}
 	items := make([]protocol.BatchItem, n)
 	queries := make([]object.Object, 0, n)
@@ -585,6 +704,10 @@ func answerItem(ans core.Answer) protocol.BatchItem {
 	it := protocol.BatchItem{
 		Results: make([]protocol.Result, len(ans.Results)),
 		Meta:    protocol.ResponseMeta{Degraded: ans.Degraded},
+	}
+	if ans.Trace != nil {
+		it.Meta.TraceID = ans.Trace.ID
+		it.Meta.Stages = stageTimings(ans.Trace.Stages)
 	}
 	for i, r := range ans.Results {
 		it.Results[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
@@ -689,10 +812,24 @@ func attrArgs(req protocol.Request) attr.Attrs {
 	return out
 }
 
-func writeAnswer(w io.Writer, ans core.Answer) error {
+// writeAnswer writes one query answer. For a traced request the response
+// meta carries the trace ID and the aggregated stage breakdown, the response
+// write itself is recorded as a span (visible in the retained trace, not in
+// the inline breakdown — it can't time itself into the bytes it produces),
+// and the trace is finished, applying retention.
+func writeAnswer(w io.Writer, ans core.Answer, tr *trace.Active) error {
 	out := make([]protocol.Result, len(ans.Results))
 	for i, r := range ans.Results {
 		out[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
 	}
-	return protocol.WriteResultsMeta(w, out, protocol.ResponseMeta{Degraded: ans.Degraded})
+	meta := protocol.ResponseMeta{Degraded: ans.Degraded}
+	if tr.Armed() {
+		meta.TraceID = tr.ID().String()
+		meta.Stages = stageTimings(tr.Stages())
+	}
+	ws := time.Now()
+	err := protocol.WriteResultsMeta(w, out, meta)
+	tr.Record("write", ws, time.Since(ws))
+	tr.Finish()
+	return err
 }

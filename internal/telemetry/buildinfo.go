@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// Version is the toolkit version reported by ferret_build_info. Bumped per
+// release; binaries print it with -version style flags and scrapers join on
+// it to correlate latency shifts with deploys.
+const Version = "0.6.0"
+
+// RegisterBuildInfo publishes the conventional build-identity series:
+//
+//	ferret_build_info{version="...",goversion="..."} 1
+//	ferret_start_time_seconds <unix epoch>
+//
+// Both are idempotent on a shared registry: the info gauge is constant and
+// the start time is set only once per process, so an engine reopened over
+// the same registry keeps its original start time.
+func RegisterBuildInfo(reg *Registry) {
+	reg.Gauge("ferret_build_info",
+		"Constant 1, labelled with the build's version and Go runtime.",
+		"version", Version, "goversion", runtime.Version()).Set(1)
+	start := reg.Gauge("ferret_start_time_seconds",
+		"Unix time the process registered its metrics.")
+	if start.Value() == 0 {
+		start.Set(time.Now().Unix())
+	}
+}

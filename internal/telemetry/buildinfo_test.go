@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegisterBuildInfo: the build-identity series must carry the version
+// and Go runtime as labels with a constant value of 1, and the start time
+// must be a plausible recent Unix timestamp.
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	before := time.Now().Unix()
+	RegisterBuildInfo(reg)
+
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	want := `ferret_build_info{goversion="` + runtime.Version() + `",version="` + Version + `"} 1`
+	alt := `ferret_build_info{version="` + Version + `",goversion="` + runtime.Version() + `"} 1`
+	if !strings.Contains(text, want) && !strings.Contains(text, alt) {
+		t.Fatalf("ferret_build_info with version/goversion labels missing:\n%s", text)
+	}
+
+	start := reg.Value("ferret_start_time_seconds")
+	if int64(start) < before || int64(start) > time.Now().Unix() {
+		t.Fatalf("ferret_start_time_seconds = %g, outside [%d, now]", start, before)
+	}
+}
+
+// TestRegisterBuildInfoIdempotent: re-registering on a shared registry (an
+// engine reopened in-process) must keep the original start time.
+func TestRegisterBuildInfoIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	reg.Gauge("ferret_start_time_seconds", "").Set(42)
+	RegisterBuildInfo(reg)
+	if got := reg.Value("ferret_start_time_seconds"); got != 42 {
+		t.Fatalf("start time overwritten on re-registration: %g", got)
+	}
+}

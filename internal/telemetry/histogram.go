@@ -21,6 +21,21 @@ var DefTimeBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// FineTimeBuckets resolve sub-millisecond latencies. The batched query
+// path's p99 sits under 2ms, so the default 1-2.5-5 grid collapses it into
+// two bins; this grid adds 1.5 and 4/6 steps through the µs–10ms decades
+// (where queue waits and pipeline stages live) and then coarsens to the
+// default grid above 10ms. Use for queue-wait, stage, and query histograms.
+var FineTimeBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 1.5e-5, 2.5e-5, 4e-5, 6e-5,
+	1e-4, 1.5e-4, 2.5e-4, 4e-4, 6e-4,
+	1e-3, 1.5e-3, 2.5e-3, 4e-3, 6e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
 // Histogram is a fixed-bucket histogram safe for concurrent observation:
 // each Observe is one atomic bucket increment, one atomic count increment
 // and one CAS loop for the sum. Bucket bounds are immutable after creation,

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -73,6 +74,76 @@ func TestDebugHandlerPprofIndex(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("pprof index status = %d", resp.StatusCode)
 	}
+}
+
+// TestDebugHandlerConcurrentScrape hammers the registry from writer
+// goroutines while scrapers pull /metrics and /debug/vars; run under -race
+// this is the exporter's synchronization test. Every scrape must return a
+// 200 with a parseable body regardless of concurrent updates.
+func TestDebugHandlerConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ferret_scrape_test_total", "Test counter.")
+	g := reg.Gauge("ferret_scrape_test", "Test gauge.")
+	h := reg.Histogram("ferret_scrape_test_seconds", "Test histogram.", FineTimeBuckets)
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i%1000) * 1e-6)
+				// New series appear mid-scrape too.
+				reg.Counter("ferret_scrape_dyn_total", "Dynamic.", "w", string(rune('a'+w))).Inc()
+			}
+		}(w)
+	}
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 || !strings.Contains(string(body), "ferret_scrape_test_total") {
+					t.Errorf("scrape %d: status %d", i, resp.StatusCode)
+					return
+				}
+				resp, err = http.Get(srv.URL + "/debug/vars")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ = io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var decoded map[string]any
+				if err := json.Unmarshal(body, &decoded); err != nil {
+					t.Errorf("scrape %d: vars not valid JSON under load: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
 }
 
 func TestInstrumentHTTP(t *testing.T) {
