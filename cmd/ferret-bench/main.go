@@ -6,6 +6,7 @@
 //	ferret-bench -exp figure7           # avg precision vs sketch size
 //	ferret-bench -exp figure8           # query time vs dataset size
 //	ferret-bench -exp throughput        # closed-loop concurrent serving QPS
+//	ferret-bench -exp scaling           # indexed filter vs arena scan sweep
 //	ferret-bench -exp all -scale medium
 //	ferret-bench -exp table2,throughput -json results.json
 //
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments (comma-separated): table1, table2, figure7, figure8, ablations, throughput or all")
+	exp := flag.String("exp", "all", "experiments (comma-separated): table1, table2, figure7, figure8, ablations, throughput, scaling or all")
 	scaleName := flag.String("scale", "medium", "dataset scale: small, medium or paper")
 	jsonPath := flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	concurrency := flag.Int("concurrency", 0, "throughput: closed-loop client count (0 = sweep 1,2,4,8)")
@@ -120,6 +121,17 @@ func main() {
 			}
 			experiments.FprintAblations(os.Stdout, rows)
 			return rows, nil
+		})
+	}
+	if want("scaling") {
+		ran = true
+		run("scaling", "Scaling: Hamming index vs arena scan", func() (any, error) {
+			points, err := experiments.Scaling(scale)
+			if err != nil {
+				return nil, err
+			}
+			experiments.FprintScaling(os.Stdout, points)
+			return points, nil
 		})
 	}
 	if want("throughput") {

@@ -14,8 +14,12 @@
 //	ferret-benchcmp -baseline BENCH_2.json -new current.json
 //
 // The gate is a comma-separated list of name substrings (default covers the
-// filter scan, the multi-query Hamming kernel and the concurrent serving
-// pipeline); other shared benchmarks are reported informationally.
+// filter scan, the multi-query Hamming kernel, the Hamming-index probe and
+// the concurrent serving pipeline); other shared benchmarks are reported
+// informationally. When the baseline artifact carries a scaling sweep
+// (ferret-bench -exp scaling), compare mode additionally fails if the sweep
+// shows the indexed filter losing to the arena scan at its largest corpus,
+// or any point with non-identical results.
 package main
 
 import (
@@ -52,6 +56,10 @@ type Artifact struct {
 //
 // possibly with extra custom metrics ("23.00 emd_evals/op") and a -<procs>
 // name suffix under GOMAXPROCS>1.
+//
+// Repeated lines for one benchmark (`-count=N`) collapse to the per-metric
+// minimum: background load only ever inflates a measurement, so min-of-N is
+// the noise-robust estimator for a regression gate.
 func parseBenchText(path string) (map[string]*Micro, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -59,8 +67,7 @@ func parseBenchText(path string) (map[string]*Micro, error) {
 	}
 	defer f.Close()
 
-	sums := make(map[string]*Micro)
-	counts := make(map[string]int)
+	mins := make(map[string]*Micro)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -73,12 +80,12 @@ func parseBenchText(path string) (map[string]*Micro, error) {
 				name = name[:i]
 			}
 		}
-		m := sums[name]
-		if m == nil {
+		m := mins[name]
+		first := m == nil
+		if first {
 			m = &Micro{Extra: map[string]float64{}}
-			sums[name] = m
+			mins[name] = m
 		}
-		counts[name]++
 		m.Runs++
 		// fields[1] is the iteration count; the rest are value/unit pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -88,35 +95,36 @@ func parseBenchText(path string) (map[string]*Micro, error) {
 			}
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
-				m.NsPerOp += v
+				if first || v < m.NsPerOp {
+					m.NsPerOp = v
+				}
 			case "B/op":
-				m.BytesPerOp += v
+				if first || v < m.BytesPerOp {
+					m.BytesPerOp = v
+				}
 			case "allocs/op":
-				m.AllocsPerOp += v
+				if first || v < m.AllocsPerOp {
+					m.AllocsPerOp = v
+				}
 			default:
-				m.Extra[unit] += v
+				if old, ok := m.Extra[unit]; !ok || v < old {
+					m.Extra[unit] = v
+				}
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for name, m := range sums {
-		n := float64(counts[name])
-		m.NsPerOp /= n
-		m.BytesPerOp /= n
-		m.AllocsPerOp /= n
-		for k := range m.Extra {
-			m.Extra[k] /= n
-		}
+	for _, m := range mins {
 		if len(m.Extra) == 0 {
 			m.Extra = nil
 		}
 	}
-	if len(sums) == 0 {
+	if len(mins) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
 	}
-	return sums, nil
+	return mins, nil
 }
 
 func readArtifact(path string) (*Artifact, error) {
@@ -221,11 +229,65 @@ func compare(basePath, newPath, gate string, threshold float64) error {
 	if !gatedSeen {
 		return fmt.Errorf("no benchmark matching %q found in both artifacts", gate)
 	}
+	if msg := checkScaling(base); msg != "" {
+		failures = append(failures, msg)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	fmt.Println("benchmarks within threshold")
 	return nil
+}
+
+// scalingPoint mirrors experiments.ScalingPoint's gated fields.
+type scalingPoint struct {
+	N         int     `json:"n"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// checkScaling gates the committed scaling sweep (ferret-bench -exp
+// scaling), when the baseline artifact carries one: at its largest corpus
+// the indexed filter must still beat the arena scan, with bit-identical
+// answers at every point. Returns a failure message or "".
+func checkScaling(base *Artifact) string {
+	if len(base.Pipeline) == 0 {
+		return ""
+	}
+	var summary struct {
+		Results []struct {
+			Name string          `json:"name"`
+			Rows json.RawMessage `json:"rows"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(base.Pipeline, &summary); err != nil {
+		return ""
+	}
+	for _, res := range summary.Results {
+		if res.Name != "scaling" {
+			continue
+		}
+		var points []scalingPoint
+		if err := json.Unmarshal(res.Rows, &points); err != nil || len(points) == 0 {
+			return fmt.Sprintf("scaling sweep in baseline is unreadable: %v", err)
+		}
+		last := points[0]
+		for _, pt := range points {
+			if !pt.Identical {
+				return fmt.Sprintf("scaling sweep at n=%d: indexed results diverged from the scan", pt.N)
+			}
+			if pt.N > last.N {
+				last = pt
+			}
+		}
+		fmt.Printf("* scaling sweep: index %.2fx vs scan at n=%d\n", last.Speedup, last.N)
+		if last.Speedup <= 1 {
+			return fmt.Sprintf("scaling sweep at n=%d: indexed filter no faster than the scan (%.2fx)",
+				last.N, last.Speedup)
+		}
+		return ""
+	}
+	return ""
 }
 
 func main() {
@@ -235,7 +297,7 @@ func main() {
 	out := flag.String("out", "-", "merged artifact path (merge mode)")
 	baseline := flag.String("baseline", "", "committed baseline artifact (compare mode)")
 	newPath := flag.String("new", "", "freshly measured artifact (compare mode)")
-	gate := flag.String("gate", "FilterScanArena,HammingSelectMulti,QueryPipelineConcurrent,QueryPipelineTraced,BenchmarkL1",
+	gate := flag.String("gate", "FilterScanArena,HammingSelectMulti,HammingIndexProbe,QueryPipelineConcurrent,QueryPipelineTraced,BenchmarkL1",
 		"comma-separated substrings naming the gated benchmark(s)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression")
 	flag.Parse()

@@ -96,6 +96,9 @@ func main() {
 				if it.Meta.Degraded {
 					fmt.Fprintf(os.Stderr, "ferret-query: %s: degraded answer\n", keys.v[i])
 				}
+				if it.Meta.Mode != "" {
+					fmt.Printf("     filter mode: %s\n", it.Meta.Mode)
+				}
 				printResults(it.Results, true)
 				printTrace(it.Meta)
 			}
@@ -120,6 +123,9 @@ func main() {
 		}
 		if meta.Degraded {
 			fmt.Fprintln(os.Stderr, "ferret-query: degraded answer (time budget expired; tail ordered by sketch-estimated distance)")
+		}
+		if meta.Mode != "" {
+			fmt.Printf("filter mode: %s\n", meta.Mode)
 		}
 		printResults(results, true)
 		printTrace(meta)

@@ -78,6 +78,9 @@ type (
 	// SchedulerParams configures the shared-scan query scheduler that
 	// coalesces concurrent searches into batched arena passes.
 	SchedulerParams = core.SchedulerParams
+	// HIndexParams configures the multi-table Hamming index over the
+	// sketch arena (sub-linear filtering); the Config.HIndex field.
+	HIndexParams = core.HIndexParams
 	// TraceParams configures the query tracer (sampling retention and the
 	// slow-query log); the Config.Trace field. The zero value enables
 	// tracing with defaults.

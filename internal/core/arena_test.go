@@ -69,12 +69,12 @@ func checkArenaAgainstObjects(t *testing.T, e *Engine, byID map[object.ID]object
 
 // TestArenaIntegrityAcrossMutations drives the arena through the full
 // mutation protocol — Ingest, Delete (tombstones), Compact — and checks the
-// word arena, the offset table and the bit-sampling index stay consistent
-// with the live entries at every step.
+// word arena, the offset table and the Hamming index stay consistent with
+// the live entries at every step.
 func TestArenaIntegrityAcrossMutations(t *testing.T) {
 	const d = 10
 	cfg := testConfig(t.TempDir(), d)
-	cfg.Index = IndexParams{Enable: true, Bits: 12, Radius: 2}
+	cfg.HIndex = HIndexParams{Enable: true}
 	e := openEngine(t, cfg)
 
 	objs := ingestVaried(t, e, 40, d)
@@ -88,8 +88,8 @@ func TestArenaIntegrityAcrossMutations(t *testing.T) {
 	if e.arena.rows() != totalSegs {
 		t.Fatalf("arena rows %d, want %d", e.arena.rows(), totalSegs)
 	}
-	if e.index.size() != totalSegs {
-		t.Fatalf("index size %d, want %d", e.index.size(), totalSegs)
+	if e.hindex.Rows() != totalSegs {
+		t.Fatalf("index rows %d, want %d", e.hindex.Rows(), totalSegs)
 	}
 
 	// Tombstone every third object: the arena keeps the rows (the dead flag
@@ -124,14 +124,14 @@ func TestArenaIntegrityAcrossMutations(t *testing.T) {
 	}
 
 	// Compact drops the tombstoned rows; everything must stay consistent
-	// and the bit-sampling index must be rebuilt to exactly the live rows.
+	// and the Hamming index must be remapped to exactly the live rows.
 	e.Compact()
 	checkArenaAgainstObjects(t, e, byID)
 	if e.arena.rows() != liveSegs {
 		t.Fatalf("arena rows %d after compact, want %d", e.arena.rows(), liveSegs)
 	}
-	if e.index.size() != liveSegs {
-		t.Fatalf("index size %d after compact, want %d", e.index.size(), liveSegs)
+	if e.hindex.Rows() != liveSegs {
+		t.Fatalf("index rows %d after compact, want %d", e.hindex.Rows(), liveSegs)
 	}
 	if len(e.entries) != len(byID) {
 		t.Fatalf("%d entries after compact, want %d", len(e.entries), len(byID))
@@ -299,14 +299,14 @@ func TestDedupSingleEvalPerCandidate(t *testing.T) {
 	for _, indexed := range []bool{false, true} {
 		name := "scan"
 		if indexed {
-			name = "bitindex"
+			name = "hindex"
 		}
 		t.Run(name, func(t *testing.T) {
 			const d = 10
 			cfg := testConfig(t.TempDir(), d)
 			cfg.Prune.Disable = true // count raw per-candidate evaluations
 			if indexed {
-				cfg.Index = IndexParams{Enable: true, Bits: 10, Radius: 3}
+				cfg.HIndex = HIndexParams{Enable: true}
 			}
 			e := openEngine(t, cfg)
 			ingestClusters(t, e, 5, 10, d, 3)
@@ -384,5 +384,38 @@ func TestFilterPathAllocs(t *testing.T) {
 	sc.trp = nil
 	if allocs != 0 {
 		t.Fatalf("traced filter scan allocates %.1f objects per query, want 0", allocs)
+	}
+}
+
+// TestFilterPathAllocsIndexed is the same zero-alloc contract on the
+// indexed filter path: once the probe scratch is warm, serving a segment
+// from the Hamming index (bucket descent, sort, verification) must not
+// allocate either.
+func TestFilterPathAllocsIndexed(t *testing.T) {
+	const d = 10
+	cfg := testConfig(t.TempDir(), d)
+	cfg.HIndex = HIndexParams{Enable: true}
+	e := openEngine(t, cfg)
+	ingestClusters(t, e, 30, 6, d, 3)
+
+	rng := rand.New(rand.NewSource(56))
+	q := clusterObject("q", 3, d, 3, 0.02, rng)
+	qset := e.buildSketchSet(q)
+	opt := QueryOptions{K: 10, Filter: FilterParams{NearestPerSegment: 8}}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.clk.reset(context.Background(), 0)
+
+	before := e.Telemetry().Value("ferret_hindex_probes_total")
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.filter(&sc.clk, &q, qset, opt, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("indexed filter allocates %.1f objects per query, want 0", allocs)
+	}
+	if e.Telemetry().Value("ferret_hindex_probes_total") == before {
+		t.Fatal("filter never probed the Hamming index; the alloc check tested the scan path")
 	}
 }

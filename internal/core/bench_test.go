@@ -79,6 +79,35 @@ func BenchmarkFilterScanArena(b *testing.B) {
 	}
 }
 
+// BenchmarkHammingIndexProbe measures the indexed filter path end to end —
+// bucket descent across the substring tables, candidate sort/dedup, and
+// kernel verification — on the same corpus BenchmarkFilterScanArena streams
+// in full. The tight Hamming threshold keeps the query inside the index's
+// exact radius so every probe is served by the index; the guard below fails
+// the benchmark rather than silently measuring the scan fallback.
+func BenchmarkHammingIndexProbe(b *testing.B) {
+	e, q, qset := benchEngine(b, func(cfg *Config) {
+		cfg.HIndex = HIndexParams{Enable: true, Tables: 4}
+	})
+	opt := QueryOptions{K: 10, Filter: FilterParams{QuerySegments: 3, NearestPerSegment: 50, MaxHammingFrac: 0.03}}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.clk.reset(context.Background(), 0)
+	if _, err := e.filter(&sc.clk, &q, qset, opt, sc); err != nil {
+		b.Fatal(err)
+	}
+	if mode := sc.filterMode(); mode != FilterModeIndex {
+		b.Fatalf("filter mode %q, want %q: the benchmark would measure the scan fallback", mode, FilterModeIndex)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.filter(&sc.clk, &q, qset, opt, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // legacyEntry is the pre-arena per-object sketch record: one independently
 // allocated sketch slice per segment.
 type legacyEntry struct {

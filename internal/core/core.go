@@ -24,6 +24,7 @@ import (
 
 	"ferret/internal/attr"
 	"ferret/internal/emd"
+	"ferret/internal/hindex"
 	"ferret/internal/kvstore"
 	"ferret/internal/metastore"
 	"ferret/internal/object"
@@ -195,10 +196,12 @@ type Config struct {
 	// The zero value disables coalescing; SearchBatch still batches
 	// explicitly.
 	Scheduler SchedulerParams
-	// Index optionally accelerates the filtering unit with a bit-sampling
-	// segment index instead of the full sketch scan (see bitindex.go) —
-	// faster on large datasets at a tunable recall cost.
-	Index IndexParams
+	// HIndex optionally accelerates the filtering unit with a dynamic
+	// multi-table Hamming index over the sketch arena (see internal/hindex
+	// and probe.go): sub-linear filter cost in corpus size, bit-identical
+	// to the arena scan, with a cost-model fallback to the scan when a
+	// probe cannot win.
+	HIndex HIndexParams
 	// LowMemory keeps only sketches resident: the ranking unit fetches
 	// candidate feature vectors from the metadata store on demand instead
 	// of caching every vector in RAM — the paper's large-dataset regime,
@@ -270,6 +273,10 @@ type Answer struct {
 	// Trace carries the query's trace identity and per-stage breakdown
 	// when QueryOptions.ForceTrace requested it; nil otherwise.
 	Trace *TraceInfo
+	// FilterMode reports which machinery served the filtering unit:
+	// FilterModeIndex, FilterModeScan or FilterModeMixed (empty for
+	// brute-force modes, which have no filter stage).
+	FilterMode string
 }
 
 // TraceInfo is the per-answer trace handle: the retained trace's hex ID
@@ -318,7 +325,7 @@ type Engine struct {
 	entries []sketchEntry   // per-object records, ID order
 	arena   *sketchArena    // flat sketch storage, rows parallel to entries
 	objects []object.Object // in-memory feature vectors (unless SketchOnly)
-	index   *bitIndex       // optional filtering accelerator
+	hindex  *hindex.Index   // optional multi-table Hamming index over arena rows
 	deleted int             // live tombstone count
 }
 
@@ -409,15 +416,14 @@ func Open(cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	if cfg.Index.Enable {
-		e.index = newBitIndex(e.builder.N(), cfg.Index)
+	if cfg.HIndex.Enable {
+		e.cfg.HIndex = cfg.HIndex.withDefaults()
+		e.hindex = hindex.New(e.builder.N(), e.arena.wps, e.cfg.HIndex.Tables)
 		e.indexArena()
 	}
 	e.met.objects.Set(int64(len(e.entries)))
 	e.met.segments.Set(int64(e.arena.rows()))
-	if e.index != nil {
-		e.met.indexedSegments.Set(int64(e.index.size()))
-	}
+	e.updateIndexGauges()
 	// At least two workers even on small hosts, so batch rank fan-out and
 	// the pool-utilization gauge are exercised everywhere.
 	size := e.workers()
@@ -472,9 +478,14 @@ type Stats struct {
 	SketchBits int
 	// SketchBytes is the total in-memory sketch storage.
 	SketchBytes int
-	// IndexedSegments is the bit-sampling index population (0 when the
+	// IndexedSegments is the Hamming index's row population (0 when the
 	// index is disabled).
 	IndexedSegments int
+	// HIndexTables is the Hamming index's substring table count (0 when
+	// the index is disabled).
+	HIndexTables int
+	// HIndexLoad is the mean live-slot occupancy of the index tables.
+	HIndexLoad float64
 }
 
 // Stat reports engine statistics. The counts come from telemetry gauges
@@ -491,11 +502,14 @@ func (e *Engine) Stat() Stats {
 		SketchBits:      e.builder.N(),
 		SketchBytes:     e.sketchBytesOf(segments),
 		IndexedSegments: int(e.met.indexedSegments.Value()),
+		HIndexTables:    int(e.met.hindexTables.Value()),
+		HIndexLoad:      float64(e.met.hindexLoad.Value()) / 1000,
 	}
 }
 
-// indexArena (re)populates the bit-sampling index from the arena. Caller
-// holds the write lock (or is inside Open, before the engine is shared).
+// indexArena populates a fresh Hamming index with every live entry's arena
+// rows. Caller holds the write lock (or is inside Open, before the engine
+// is shared).
 func (e *Engine) indexArena() {
 	for idx := range e.entries {
 		if e.entries[idx].dead {
@@ -503,20 +517,51 @@ func (e *Engine) indexArena() {
 		}
 		lo, hi := e.arena.rowsOf(idx)
 		for row := lo; row < hi; row++ {
-			e.index.add(idx, row-lo, e.arena.at(row))
+			e.hindex.Insert(int32(row), e.arena.words)
 		}
 	}
 }
 
-// Compact rebuilds the arena, the per-object records and, when enabled, the
-// bit-sampling index without tombstones. Queries are blocked for the
-// duration. (Reopening the engine has the same effect, since deleted
-// metadata is already gone from the store.)
+// updateIndexGauges publishes the Hamming index's population, table count
+// and load factor after a mutation; Stat() reads them lock-free.
+func (e *Engine) updateIndexGauges() {
+	if e.hindex == nil {
+		return
+	}
+	e.met.indexedSegments.Set(int64(e.hindex.Rows()))
+	e.met.hindexTables.Set(int64(e.hindex.Tables()))
+	e.met.hindexLoad.Set(int64(e.hindex.LoadFactor() * 1000))
+}
+
+// Compact rebuilds the arena and the per-object records without
+// tombstones; the Hamming index is remapped in place (row renames only —
+// deleted rows already left it at Delete time), never rebuilt. Queries are
+// blocked for the duration. (Reopening the engine has the same effect,
+// since deleted metadata is already gone from the store.)
 func (e *Engine) Compact() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.deleted == 0 {
 		return
+	}
+	// The Hamming index's row renames must be computed against the *old*
+	// arena numbering: compaction keeps live rows in order, so the new ID
+	// is a running count over live entries' row ranges.
+	var remap []int32
+	if e.hindex != nil {
+		remap = make([]int32, e.arena.rows())
+		next := int32(0)
+		for idx := range e.entries {
+			lo, hi := e.arena.rowsOf(idx)
+			for row := lo; row < hi; row++ {
+				if e.entries[idx].dead {
+					remap[row] = -1
+					continue
+				}
+				remap[row] = next
+				next++
+			}
+		}
 	}
 	// The arena must be compacted against the *old* entry numbering before
 	// the entry slice itself is filtered.
@@ -539,10 +584,9 @@ func (e *Engine) Compact() {
 	e.entries = liveEntries
 	e.objects = liveObjects
 	e.deleted = 0
-	if e.index != nil {
-		e.index = newBitIndex(e.builder.N(), e.cfg.Index)
-		e.indexArena()
-		e.met.indexedSegments.Set(int64(e.index.size()))
+	if e.hindex != nil {
+		e.hindex.Remap(remap)
+		e.updateIndexGauges()
 	}
 	e.met.deleted.Set(0)
 	e.met.segments.Set(int64(e.arena.rows()))
@@ -564,6 +608,16 @@ func (e *Engine) Delete(id object.ID) error {
 		if e.entries[i].id == id && !e.entries[i].dead {
 			e.entries[i].dead = true
 			e.deleted++
+			if e.hindex != nil {
+				// Unindex online while the tombstoned rows are still in the
+				// arena (keys are recomputed from row content), so probes
+				// never see dead rows and compaction is a pure rename.
+				lo, hi := e.arena.rowsOf(i)
+				for row := lo; row < hi; row++ {
+					e.hindex.Delete(int32(row), e.arena.words)
+				}
+				e.updateIndexGauges()
+			}
 			e.met.deletes.Inc()
 			e.met.objects.Add(-1)
 			e.met.deleted.Add(1)
@@ -605,20 +659,18 @@ func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
 	e.mu.Lock()
 	e.entries = append(e.entries, sketchEntry{id: id, key: o.Key})
 	e.arena.appendEntry(set.Weights, set.Sketches)
-	if e.index != nil {
-		idx := len(e.entries) - 1
-		for si, sk := range set.Sketches {
-			e.index.add(idx, si, sk)
+	if e.hindex != nil {
+		lo, hi := e.arena.rowsOf(len(e.entries) - 1)
+		for row := lo; row < hi; row++ {
+			e.hindex.Insert(int32(row), e.arena.words)
 		}
+		e.updateIndexGauges()
 	}
 	if !e.cfg.SketchOnly && !e.cfg.LowMemory {
 		e.objects = append(e.objects, o)
 	}
 	e.met.objects.Add(1)
 	e.met.segments.Add(int64(len(set.Sketches)))
-	if e.index != nil {
-		e.met.indexedSegments.Set(int64(e.index.size()))
-	}
 	e.mu.Unlock()
 	e.met.ingests.Inc()
 	e.met.ingestTime.ObserveSince(start)
@@ -739,7 +791,7 @@ func (e *Engine) searchOne(ctx context.Context, q object.Object, opt QueryOption
 	}
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(start)
-	ans := Answer{Results: results, Degraded: degraded}
+	ans := Answer{Results: results, Degraded: degraded, FilterMode: sc.filterMode()}
 	finishOwnTrace(&sc.own, opt.ForceTrace, &ans)
 	return ans, nil
 }
@@ -826,7 +878,7 @@ func (e *Engine) searchSketchSet(ctx context.Context, qset *metastore.SketchSet,
 	}
 	e.met.queries.Inc()
 	e.met.queryTime.ObserveSince(start)
-	ans := Answer{Results: results, Degraded: degraded}
+	ans := Answer{Results: results, Degraded: degraded, FilterMode: sc.filterMode()}
 	finishOwnTrace(&sc.own, opt.ForceTrace, &ans)
 	return ans, nil
 }

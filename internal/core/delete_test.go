@@ -51,7 +51,7 @@ func TestDeleteRemovesFromResults(t *testing.T) {
 func TestDeleteWithIndex(t *testing.T) {
 	const d = 6
 	cfg := testConfig(t.TempDir(), d)
-	cfg.Index = IndexParams{Enable: true, Bits: 10, Radius: 2}
+	cfg.HIndex = HIndexParams{Enable: true}
 	e := openEngine(t, cfg)
 	ids := ingestClusters(t, e, 3, 4, d, 2)
 	victim := ids[0][0]
@@ -97,7 +97,7 @@ func TestDeleteCompactedOnReopen(t *testing.T) {
 func TestCompact(t *testing.T) {
 	const d = 6
 	cfg := testConfig(t.TempDir(), d)
-	cfg.Index = IndexParams{Enable: true, Bits: 8, Radius: 1}
+	cfg.HIndex = HIndexParams{Enable: true}
 	e := openEngine(t, cfg)
 	ids := ingestClusters(t, e, 3, 4, d, 2)
 	for _, id := range ids[0] {
@@ -114,7 +114,7 @@ func TestCompact(t *testing.T) {
 		t.Fatalf("post-compact %+v", st)
 	}
 	if st.IndexedSegments != 8*2 {
-		t.Fatalf("index not rebuilt: %+v", st)
+		t.Fatalf("index not remapped: %+v", st)
 	}
 	// Queries still work and exclude the deleted cluster.
 	q := clusterObject("q", 0, d, 2, 0.01, rand.New(rand.NewSource(8)))

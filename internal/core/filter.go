@@ -25,6 +25,12 @@ type queryScratch struct {
 	scans []int      // per-shard scan counts
 	hits  []int32    // block-relative row indices selected by the scan kernel
 	dist  []int32    // Hamming distances of the selected rows
+	probe []int32    // candidate rows streamed out of the Hamming index
+	seen  []uint64   // per-row dedup bitmap for the index descent (kept zero)
+
+	// Filter-mode accounting for the answer's mode=index|scan flag: query
+	// segments served by a Hamming-index probe vs. by an arena scan.
+	idxSegs, scanSegs int
 
 	// Ranking-unit scratch (sketch lower-bound pruning).
 	lbs    []lbCand
@@ -55,7 +61,14 @@ type queryScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
-func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
+func getScratch() *queryScratch {
+	sc := scratchPool.Get().(*queryScratch)
+	// Zero the per-query mode accounting here, not only in filter():
+	// brute-force and sketch-only queries never run the filter stage, and a
+	// reused scratch must not leak the previous query's FilterMode.
+	sc.idxSegs, sc.scanSegs = 0, 0
+	return sc
+}
 
 func putScratch(sc *queryScratch) {
 	sc.trp = nil // never let a caller-owned trace buffer dangle in the pool
@@ -111,9 +124,11 @@ func (e *Engine) filter(clk *queryClock, q *object.Object, qset *metastore.Sketc
 		p = e.cfg.Filter
 	}
 	p = p.withDefaults(len(qset.Sketches), opt.K)
+	sc.idxSegs, sc.scanSegs = 0, 0
 	if p.ExactDistance {
 		exStart := time.Now()
 		cands, err := e.filterExact(clk, q, p, opt)
+		sc.scanSegs++
 		sc.trp.Record(StageExactFilter, exStart, time.Since(exStart)).
 			SetAttr("candidates", int64(len(cands)))
 		return cands, err
@@ -147,33 +162,23 @@ func (e *Engine) filter(clk *queryClock, q *object.Object, qset *metastore.Sketc
 		maxHam := int(frac * float64(n))
 		qsk := qset.Sketches[qi]
 
-		// With the bit-sampling index enabled, probe its buckets instead
-		// of streaming the arena.
-		if e.index != nil {
-			a := e.arena
-			heap := sc.heap(0, p.NearestPerSegment)
-			e.index.probe(qsk, func(ref segRef) {
-				ent := &e.entries[ref.entry]
-				if ent.dead {
-					return
-				}
-				if opt.Restrict != nil && !opt.Restrict[ent.id] {
-					return
-				}
-				scanned++
-				row := int(a.start[ref.entry]) + int(ref.seg)
-				h := sketch.HammingAt(qsk, a.words, row*a.wps)
-				if h <= maxHam && h < heap.worst() {
-					heap.push(int(ref.entry), h)
-				}
-			})
-			cands = append(cands, heap.items()...)
-			continue
+		// With the Hamming index enabled, probe its substring tables
+		// instead of streaming the arena — unless the cost model predicts
+		// the probe loses, or verification shows the index's exact radius
+		// cannot cover this segment's threshold (probeSegment falls back).
+		if e.hindex != nil {
+			if heap, verified, ok := e.probeSegment(clk, qsk, maxHam, p.NearestPerSegment, opt, sc); ok {
+				scanned += verified
+				cands = append(cands, heap.items()...)
+				sc.idxSegs++
+				continue
+			}
 		}
 
 		merged, segScanned := e.scanSketches(clk, qsk, maxHam, p.NearestPerSegment, workers, opt, sc)
 		scanned += segScanned
 		cands = append(cands, merged.items()...)
+		sc.scanSegs++
 	}
 
 	// Dedup the candidate union: one ranking evaluation per distinct
@@ -239,9 +244,10 @@ func (e *Engine) scanSketches(clk *queryClock, qsk sketch.Sketch, maxHam, k, wor
 	for s := 0; s < workers; s++ {
 		h := sc.heaps[s]
 		for i := range h.entry {
-			if h.ham[i] < merged.worst() {
-				merged.push(h.entry[i], h.ham[i])
-			}
+			// Unconditional: push itself applies the (hamming, entry) pair
+			// order, so ties at the merge bound resolve identically to a
+			// serial scan.
+			merged.push(h.entry[i], h.ham[i])
 		}
 	}
 	return merged, scanned
@@ -263,22 +269,21 @@ func (e *Engine) scanArenaRows(clk *queryClock, qsk sketch.Sketch, maxHam int, h
 			nb = batchRows
 		}
 		bound := int32(maxHam)
-		if w := heap.worst(); w <= int(bound) {
-			bound = int32(w) - 1
+		if w := heap.worst(); w < int(bound) {
+			bound = int32(w)
 		}
-		if bound < 0 {
-			continue // full heap of exact matches: nothing can enter
-		}
-		// The kernel prefilters with the block-entry bound; the bound can
-		// only tighten mid-block, so the selected rows are a superset of
-		// the acceptable ones and the replay below decides exactly as a
-		// row-by-row scan would.
+		// The kernel prefilters with the block-entry bound, ties included —
+		// a row at the worst kept distance can still enter by winning the
+		// (hamming, entry) tie-break in push. The bound only tightens
+		// mid-block, so the selected rows are a superset of the acceptable
+		// ones and the replay below decides exactly as a row-by-row scan
+		// would.
 		n := sketch.HammingSelect(qsk, a.words, base*a.wps, nb, bound, hits, dist)
 		for k := 0; k < n; k++ {
 			if h := dist[k]; h <= bound {
 				heap.push(int(a.entry[base+int(hits[k])]), int(h))
-				if w := heap.worst(); w <= maxHam && int32(w)-1 < bound {
-					bound = int32(w) - 1
+				if w := heap.worst(); w < int(bound) {
+					bound = int32(w)
 				}
 			}
 		}
@@ -305,15 +310,15 @@ func (e *Engine) scanEntryRange(clk *queryClock, qsk sketch.Sketch, maxHam int, 
 		scanned++
 		rlo, rhi := a.rowsOf(idx)
 		bound := maxHam
-		if w := heap.worst(); w <= bound {
-			bound = w - 1
+		if w := heap.worst(); w < bound {
+			bound = w
 		}
 		for row := rlo; row < rhi; row++ {
 			h := sketch.HammingAt(qsk, a.words, row*a.wps)
 			if h <= bound {
 				heap.push(idx, h)
-				if w := heap.worst(); w <= maxHam && w-1 < bound {
-					bound = w - 1
+				if w := heap.worst(); w < bound {
+					bound = w
 				}
 			}
 		}

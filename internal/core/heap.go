@@ -92,9 +92,18 @@ func (t *topK) sorted() []Result {
 }
 
 // segHeap keeps the k nearest dataset segments for one query segment: a
-// bounded max-heap on Hamming distance. Once full, its root (the worst kept
-// distance) tightens the acceptance bound, so scans over large datasets
-// reject most segments with a single comparison.
+// bounded max-heap ordered on the (hamming, entry) pair. Once full, its
+// root (the worst kept pair) tightens the acceptance bound, so scans over
+// large datasets reject most segments with a single comparison.
+//
+// The lexicographic pair order is a strict total order, which makes the
+// final heap content the k smallest pairs regardless of push order. That
+// order-independence is what lets the Hamming-index probe path, the serial
+// arena scan, the sharded parallel scan and the batched shared scan all
+// return bit-identical candidate sets: they visit rows in different orders
+// but converge on the same k pairs (TestIndexScanEquivalence relies on
+// this; with ties broken by arrival order instead, eviction under equal
+// distances would depend on the visit schedule).
 type segHeap struct {
 	k     int
 	entry []int // owning entry index per slot
@@ -113,13 +122,23 @@ func (h *segHeap) reset(k int) {
 	h.ham = h.ham[:0]
 }
 
-// worst returns the current rejection bound: pushes with a distance at or
-// above it cannot enter a full heap.
+// worst returns the current rejection bound: a push with a distance above
+// it cannot enter a full heap, and a push at it enters only if its entry
+// index beats the root's in the pair order. Kernel prefilters therefore
+// accept rows at distance ≤ worst() and let push settle ties.
 func (h *segHeap) worst() int {
 	if len(h.ham) < h.k {
 		return int(^uint(0) >> 1) // max int: heap not yet full
 	}
 	return h.ham[0]
+}
+
+// full reports whether the heap holds k pairs.
+func (h *segHeap) full() bool { return len(h.ham) >= h.k }
+
+// pairLess orders (ham, entry) pairs lexicographically.
+func pairLess(ham1, entry1, ham2, entry2 int) bool {
+	return ham1 < ham2 || (ham1 == ham2 && entry1 < entry2)
 }
 
 // push offers one (entry, hamming) pair.
@@ -131,7 +150,7 @@ func (h *segHeap) push(entry, hamming int) {
 		i := len(h.ham) - 1
 		for i > 0 {
 			parent := (i - 1) / 2
-			if h.ham[parent] >= h.ham[i] {
+			if !pairLess(h.ham[parent], h.entry[parent], h.ham[i], h.entry[i]) {
 				break
 			}
 			h.ham[parent], h.ham[i] = h.ham[i], h.ham[parent]
@@ -140,7 +159,7 @@ func (h *segHeap) push(entry, hamming int) {
 		}
 		return
 	}
-	if hamming >= h.ham[0] {
+	if !pairLess(hamming, entry, h.ham[0], h.entry[0]) {
 		return
 	}
 	h.ham[0] = hamming
@@ -150,10 +169,10 @@ func (h *segHeap) push(entry, hamming int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.ham[l] > h.ham[largest] {
+		if l < n && pairLess(h.ham[largest], h.entry[largest], h.ham[l], h.entry[l]) {
 			largest = l
 		}
-		if r < n && h.ham[r] > h.ham[largest] {
+		if r < n && pairLess(h.ham[largest], h.entry[largest], h.ham[r], h.entry[r]) {
 			largest = r
 		}
 		if largest == i {

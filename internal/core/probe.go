@@ -1,0 +1,302 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"ferret/internal/hindex"
+	"ferret/internal/sketch"
+	"ferret/internal/telemetry/trace"
+)
+
+// HIndexParams configures the optional multi-table Hamming index over the
+// sketch arena (see internal/hindex and DESIGN.md §12).
+type HIndexParams struct {
+	// Enable builds and maintains the index; queries probe it whenever the
+	// cost model predicts a win, falling back to the arena scan otherwise.
+	Enable bool
+	// Tables is the substring table count m: probes answer Hamming radius
+	// m−1 exactly. 0 means hindex.DefaultTables; out-of-range values are
+	// clamped to the sketch width (see hindex.ClampTables).
+	Tables int
+	// MaxCandidateFrac is the cost model's ceiling: a probe whose estimated
+	// candidate stream exceeds this fraction of the indexed rows falls back
+	// to the scan (random-access verification loses to the streaming kernel
+	// well before candidates approach the corpus). 0 means 0.25.
+	MaxCandidateFrac float64
+}
+
+func (p HIndexParams) withDefaults() HIndexParams {
+	if p.Tables <= 0 {
+		p.Tables = hindex.DefaultTables
+	}
+	if p.MaxCandidateFrac <= 0 {
+		p.MaxCandidateFrac = 0.25
+	}
+	return p
+}
+
+// probeSegment serves one query segment from the multi-table Hamming index
+// instead of the arena scan. It returns the k-nearest heap, the number of
+// rows verified (the probe's contribution to the objects-scanned metric)
+// and whether the probe succeeded; on ok=false the caller must fall back to
+// scanSketches and the heap content is meaningless.
+//
+// Correctness: the index's candidate stream is a superset of every row
+// within Hamming radius rEff = min(maxHam, Radius()) of the query
+// (pigeonhole). Candidates are verified with the same HammingAt kernel the
+// scan uses and pushed under the same (hamming, entry) pair order, with the
+// acceptance bound clamped to rEff. The result is bit-identical to the
+// arena scan's whenever the probe reports ok:
+//
+//   - rEff == maxHam: the stream covers the whole acceptance radius, so the
+//     replay sees every row the scan would have accepted.
+//   - rEff < maxHam: coverage is only guaranteed up to rEff, so the probe
+//     succeeds only if the heap fills within it — then the k global nearest
+//     all sit at distance ≤ worst ≤ rEff and were all in the stream.
+//
+// Cost model (ok=false before any verification): the estimated candidate
+// stream length (exact, from bucket populations) must stay below
+// MaxCandidateFrac of the indexed rows — beyond that the probe's random
+// row reads lose to the scan's streaming kernels — and, when rEff < maxHam,
+// must be at least k, or the heap provably cannot fill.
+func (e *Engine) probeSegment(clk *queryClock, qsk sketch.Sketch, maxHam, k int, opt QueryOptions, sc *queryScratch) (*segHeap, int, bool) {
+	ix := e.hindex
+	rEff := ix.Radius()
+	if maxHam < rEff {
+		rEff = maxHam
+	}
+	est := ix.EstimateCandidates(qsk)
+	rows := ix.Rows()
+	if float64(est) > e.cfg.HIndex.MaxCandidateFrac*float64(rows) || (rEff < maxHam && est < k) {
+		e.met.hixFallback.Inc()
+		return nil, 0, false
+	}
+
+	probeStart := time.Now()
+	seen := resizeU64(&sc.seen, (e.arena.rows()+63)/64)
+	buf := ix.AppendCandidates(sc.probe[:0], qsk, seen)
+	for _, row := range buf {
+		seen[row>>6] &^= 1 << (uint(row) & 63)
+	}
+	// Sorted candidates verify in arena order — sparse but monotone row
+	// reads instead of bucket-chain order.
+	slices.Sort(buf)
+	sc.probe = buf
+	sc.trp.Record(StageHProbe, probeStart, time.Since(probeStart)).
+		SetAttr("estimated", int64(est)).
+		SetAttr("candidates", int64(len(buf)))
+
+	verifyStart := time.Now()
+	a := e.arena
+	heap := sc.heap(0, k)
+	bound := rEff
+	for i, row := range buf {
+		if i%scanCheckStride == 0 && clk.stop() {
+			break
+		}
+		// Deleted rows never appear (Delete removes them from the index);
+		// only a caller-supplied Restrict set can exclude a candidate.
+		if opt.Restrict != nil && !opt.Restrict[e.entries[a.entry[row]].id] {
+			continue
+		}
+		h := sketch.HammingAt(qsk, a.words, int(row)*a.wps)
+		if h <= bound {
+			heap.push(int(a.entry[row]), h)
+			if w := heap.worst(); w < bound {
+				bound = w
+			}
+		}
+	}
+	e.met.hixProbes.Inc()
+	e.met.hixCandidates.Add(len(buf))
+	e.met.hixBaseline.Add(rows)
+	ok := rEff >= maxHam || heap.full()
+	sc.trp.Record(StageHVerify, verifyStart, time.Since(verifyStart)).
+		SetAttr("verified", int64(len(buf))).
+		SetAttr("kept", int64(len(heap.items())))
+	if !ok {
+		e.met.hixFallback.Inc()
+		return nil, 0, false
+	}
+	return heap, len(buf), true
+}
+
+// batchedProbe serves the index-eligible (query, query-segment) pairs of a
+// shared batch with one batched table descent, the way sharedScan batches
+// the arena pass: every eligible pair's buckets stream into one candidate
+// union, which is verified once per row with the multi-query Hamming
+// kernel. It returns the pairs the shared scan must still serve (cost-model
+// and coverage fallbacks) with their sketches, plus the union's size (the
+// probed pairs' contribution to the objects-scanned metric). Caller holds
+// the read lock.
+//
+// Pushing union rows into a pair's heap is sound even though the union
+// mixes in other pairs' bucket streams: any row within the pair's clamped
+// bound rEff is necessarily in that pair's own pigeonhole superset, so the
+// extra rows can only fail the bound check — the heap ends up exactly as a
+// private probe would leave it, and the (hamming, entry) pair order makes
+// the row visit order irrelevant.
+func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchScratch) ([]scanPair, []sketch.Sketch, int) {
+	ix := e.hindex
+	rows := ix.Rows()
+	maxFrac := e.cfg.HIndex.MaxCandidateFrac
+	radius := ix.Radius()
+	ppairs := bs.ppairs[:0]
+	pqsks := bs.pqsks[:0]
+	spairs := bs.spairs[:0]
+	sqsks := bs.sqsks[:0]
+	probe := bs.probe[:0]
+	seen := resizeU64(&bs.seen, (e.arena.rows()+63)/64)
+	defer func() {
+		bs.ppairs, bs.pqsks = ppairs, pqsks
+		bs.spairs, bs.sqsks = spairs, sqsks
+		bs.probe = probe
+	}()
+
+	probeStart := time.Now()
+	for pi := range bs.pairs {
+		p := bs.pairs[pi]
+		qsk := bs.qsks[pi]
+		rEff := radius
+		if p.maxHam < rEff {
+			rEff = p.maxHam
+		}
+		est := ix.EstimateCandidates(qsk)
+		if float64(est) > maxFrac*float64(rows) || (rEff < p.maxHam && est < p.heap.k) {
+			e.met.hixFallback.Inc()
+			spairs = append(spairs, p)
+			sqsks = append(sqsks, qsk)
+			continue
+		}
+		ppairs = append(ppairs, p)
+		pqsks = append(pqsks, qsk)
+		// The shared seen bitmap dedups the union across pairs as well as
+		// across tables: overlapping descents verify each row once.
+		probe = ix.AppendCandidates(probe, qsk, seen)
+	}
+	for _, row := range probe {
+		seen[row>>6] &^= 1 << (uint(row) & 63)
+	}
+	if len(ppairs) == 0 {
+		return spairs, sqsks, 0
+	}
+	slices.Sort(probe)
+
+	// Every probed request's trace records the one physical descent and the
+	// one verification pass with shared span IDs, mirroring the shared
+	// scan's cross-trace linking.
+	if cap(bs.probed) < len(reqs) {
+		bs.probed = make([]bool, len(reqs))
+	}
+	probed := bs.probed[:len(reqs)]
+	for i := range probed {
+		probed[i] = false
+	}
+	for pi := range ppairs {
+		probed[ppairs[pi].req] = true
+	}
+	probeDur := time.Since(probeStart)
+	probeID := trace.NewSpanID()
+	for i := range reqs {
+		if probed[i] {
+			scs[i].trp.RecordShared(StageHProbe, probeID, probeStart, probeDur).
+				SetAttr("pairs", int64(len(ppairs))).
+				SetAttr("candidates", int64(len(probe)))
+		}
+	}
+
+	verifyStart := time.Now()
+	bs.ms.Reset(pqsks)
+	a := e.arena
+	rowd := resizeI32(&bs.rowd, len(ppairs))
+	bnds := resizeI32(&bs.bounds, len(ppairs))
+	for pi := range ppairs {
+		p := &ppairs[pi]
+		b := radius
+		if p.maxHam < b {
+			b = p.maxHam
+		}
+		bnds[pi] = int32(b)
+	}
+	if cap(bs.stopped) < len(reqs) {
+		bs.stopped = make([]bool, len(reqs))
+	}
+	stopped := bs.stopped[:len(reqs)]
+	for ri, row := range probe {
+		if ri%scanCheckStride == 0 {
+			for i := range reqs {
+				stopped[i] = scs[i].clk.stop()
+			}
+			for pi := range ppairs {
+				if stopped[ppairs[pi].req] {
+					bnds[pi] = -1
+				}
+			}
+		}
+		sketch.HammingMultiAt(&bs.ms, a.words, int(row)*a.wps, rowd)
+		ent := int(a.entry[row])
+		for pi := range ppairs {
+			if h := rowd[pi]; h <= bnds[pi] {
+				p := &ppairs[pi]
+				p.heap.push(ent, int(h))
+				if w := p.heap.worst(); w < int(bnds[pi]) {
+					bnds[pi] = int32(w)
+				}
+			}
+		}
+	}
+	verifyDur := time.Since(verifyStart)
+	verifyID := trace.NewSpanID()
+	for i := range reqs {
+		if probed[i] {
+			scs[i].trp.RecordShared(StageHVerify, verifyID, verifyStart, verifyDur).
+				SetAttr("verified", int64(len(probe)))
+		}
+	}
+
+	// Per-pair success check, as in probeSegment: full coverage of the
+	// pair's threshold, or a heap filled within the index radius. Failures
+	// rejoin the shared scan with a reset heap.
+	for pi := range ppairs {
+		p := ppairs[pi]
+		rEff := radius
+		if p.maxHam < rEff {
+			rEff = p.maxHam
+		}
+		e.met.hixProbes.Inc()
+		e.met.hixCandidates.Add(len(probe))
+		e.met.hixBaseline.Add(rows)
+		if rEff >= p.maxHam || p.heap.full() {
+			scs[p.req].idxSegs++
+			continue
+		}
+		e.met.hixFallback.Inc()
+		p.heap.reset(p.heap.k)
+		spairs = append(spairs, p)
+		sqsks = append(sqsks, pqsks[pi])
+	}
+	return spairs, sqsks, len(probe)
+}
+
+// filterMode renders the scratch's per-segment accounting as the answer's
+// mode flag: which machinery served the filtering unit.
+func (sc *queryScratch) filterMode() string {
+	switch {
+	case sc.idxSegs > 0 && sc.scanSegs > 0:
+		return FilterModeMixed
+	case sc.idxSegs > 0:
+		return FilterModeIndex
+	case sc.scanSegs > 0:
+		return FilterModeScan
+	default:
+		return ""
+	}
+}
+
+// Answer.FilterMode values.
+const (
+	FilterModeIndex = "index" // every filter segment served by the Hamming index
+	FilterModeScan  = "scan"  // every filter segment served by an arena scan
+	FilterModeMixed = "mixed" // some probes fell back to the scan
+)

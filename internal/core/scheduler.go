@@ -234,11 +234,12 @@ func (s *scheduler) close() {
 }
 
 // batchable reports whether a query can join a shared arena scan: plain
-// Filtering-mode queries with no Restrict set, no exact-distance filtering,
-// and no bit-sampling index. Everything else keeps its private pipeline
-// through searchOne.
+// Filtering-mode queries with no Restrict set and no exact-distance
+// filtering. Everything else keeps its private pipeline through searchOne.
+// The Hamming index composes with batching: eligible pairs go through a
+// batched table descent and the rest share the scan (see batchedProbe).
 func (e *Engine) batchable(opt QueryOptions) bool {
-	if opt.Mode != Filtering || opt.Restrict != nil || e.index != nil {
+	if opt.Mode != Filtering || opt.Restrict != nil {
 		return false
 	}
 	p := opt.Filter
@@ -361,7 +362,7 @@ func (e *Engine) runBatch(reqs []*batchReq) {
 			err = clk.err()
 		}
 		if err == nil {
-			r.ans = Answer{Results: results, Degraded: degraded}
+			r.ans = Answer{Results: results, Degraded: degraded, FilterMode: sc.filterMode()}
 		}
 		//lint:ignore poolescape clk.err() yields context/budget sentinel errors that share no memory with the pooled scratch
 		r.err = err
@@ -393,6 +394,15 @@ type batchScratch struct {
 	dist    []int32
 	rowd    []int32 // one row's per-pair distances (tombstone path)
 	stopped []bool  // per-request latched clock stops
+
+	// Batched Hamming-index descent buffers (see batchedProbe).
+	probe  []int32         // union of candidate rows across probed pairs
+	seen   []uint64        // per-row dedup bitmap for the descent (kept zero)
+	ppairs []scanPair      // pairs served by the index this batch
+	pqsks  []sketch.Sketch // their query sketches, parallel to ppairs
+	spairs []scanPair      // pairs left for the shared scan
+	sqsks  []sketch.Sketch
+	probed []bool // per-request: had at least one index-probed pair
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -400,6 +410,17 @@ var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 func resizeI32(s *[]int32, n int) []int32 {
 	if cap(*s) < n {
 		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// resizeU64 sizes a pooled dedup bitmap. The all-zero invariant is the
+// caller's: every bit set during a descent is cleared afterwards, and a
+// grow hands out a freshly zeroed slice.
+func resizeU64(s *[]uint64, n int) []uint64 {
+	if cap(*s) < n {
+		*s = make([]uint64, n)
 	}
 	*s = (*s)[:n]
 	return *s
@@ -415,6 +436,7 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 		scs[i] = getScratch()
 		scs[i].clk.reset(r.ctx, r.opt.Budget)
 		scs[i].trp = r.tr
+		scs[i].idxSegs, scs[i].scanSegs = 0, 0
 	}
 	stageStart := time.Now()
 	bs := batchScratchPool.Get().(*batchScratch)
@@ -460,14 +482,27 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 	}
 	starts[len(reqs)] = len(pairs)
 	bs.pairs, bs.qsks = pairs, qsks
-	bs.ms.Reset(qsks)
 
-	// The shared scan runs under a stage pprof label and runtime/trace
-	// region so CPU profiles and execution traces slice by pipeline stage.
-	pprof.Do(reqs[0].ctx, pprof.Labels("ferret_stage", StageScan), func(ctx context.Context) {
-		defer rtrace.StartRegion(ctx, "ferret.scan").End()
-		e.sharedScan(reqs, scs, bs)
-	})
+	// With the Hamming index enabled, eligible pairs go through one batched
+	// table descent first; only the fallbacks (cost model, radius coverage)
+	// share the arena scan, over a correspondingly narrower kernel batch.
+	scanPairs, scanQsks, unionLen := pairs, qsks, 0
+	if e.hindex != nil {
+		scanPairs, scanQsks, unionLen = e.batchedProbe(reqs, scs, bs)
+	}
+	for pi := range scanPairs {
+		scs[scanPairs[pi].req].scanSegs++
+	}
+	if len(scanPairs) > 0 {
+		bs.ms.Reset(scanQsks)
+		// The shared scan runs under a stage pprof label and runtime/trace
+		// region so CPU profiles and execution traces slice by pipeline
+		// stage.
+		pprof.Do(reqs[0].ctx, pprof.Labels("ferret_stage", StageScan), func(ctx context.Context) {
+			defer rtrace.StartRegion(ctx, "ferret.scan").End()
+			e.sharedScan(reqs, scs, bs, scanPairs)
+		})
+	}
 
 	// Per-query candidate assembly, exactly as filter() does it: heap items
 	// in segment order, then sort + compact dedup. Every coalesced query's
@@ -484,9 +519,10 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 		slices.Sort(cands)
 		cands = slices.Compact(cands)
 		sc.cands = cands
-		// As in the serial filter, "scanned" counts live objects per query
-		// segment streamed.
-		e.met.scanned.Add((starts[i+1] - starts[i]) * (len(e.entries) - e.deleted))
+		// As in the serial filter, "scanned" counts live objects per
+		// scan-served query segment streamed, plus the verified union rows
+		// for index-served segments.
+		e.met.scanned.Add(sc.scanSegs*(len(e.entries)-e.deleted) + sc.idxSegs*unionLen)
 		e.met.candidates.Add(len(cands))
 		e.met.stageFilter.Observe(sharedDur.Seconds())
 		sc.trp.RecordShared(StageScan, scanID, stageStart, sharedDur).
@@ -517,7 +553,7 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 					r.err = clk.err()
 					return
 				}
-				r.ans = Answer{Results: results, Degraded: degraded}
+				r.ans = Answer{Results: results, Degraded: degraded, FilterMode: sc.filterMode()}
 			})
 		}
 		if !e.pool.dispatch(fn) {
@@ -532,15 +568,15 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 	batchScratchPool.Put(bs)
 }
 
-// sharedScan streams the arena once for all pairs. The fast path (no
-// tombstones) runs block-wise through the multi-query select kernel with
-// per-pair block-entry bounds and replays hits through the serial scan's
-// exact push/tighten logic; the tombstone path walks entries row by row with
-// the multi-query distance kernel. Either way each pair's heap ends up
+// sharedScan streams the arena once for the given pairs (whose sketches
+// bs.ms was Reset with, in the same order). The fast path (no tombstones)
+// runs block-wise through the multi-query select kernel with per-pair
+// block-entry bounds and replays hits through the serial scan's exact
+// push/tighten logic; the tombstone path walks entries row by row with the
+// multi-query distance kernel. Either way each pair's heap ends up
 // identical to what its private scanSketches pass would have built.
-func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScratch) {
+func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScratch, pairs []scanPair) {
 	a := e.arena
-	pairs := bs.pairs
 	np := len(pairs)
 	bounds := resizeI32(&bs.bounds, np)
 	ns := resizeI32(&bs.ns, np)
@@ -578,8 +614,8 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 					continue
 				}
 				b := int32(p.maxHam)
-				if w := p.heap.worst(); w <= int(b) {
-					b = int32(w) - 1
+				if w := p.heap.worst(); w < int(b) {
+					b = int32(w)
 				}
 				bounds[pi] = b
 			}
@@ -595,8 +631,8 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 				for k := 0; k < int(ns[pi]); k++ {
 					if h := ds[k]; h <= bound {
 						p.heap.push(int(a.entry[base+int(hits[k])]), int(h))
-						if w := p.heap.worst(); w <= p.maxHam && int32(w)-1 < bound {
-							bound = int32(w) - 1
+						if w := p.heap.worst(); w < int(bound) {
+							bound = int32(w)
 						}
 					}
 				}
@@ -635,8 +671,8 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 				continue
 			}
 			b := int32(p.maxHam)
-			if w := p.heap.worst(); w <= int(b) {
-				b = int32(w) - 1
+			if w := p.heap.worst(); w < int(b) {
+				b = int32(w)
 			}
 			bounds[pi] = b
 		}
@@ -647,8 +683,8 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 				if h := rowd[pi]; h <= bounds[pi] {
 					p := &pairs[pi]
 					p.heap.push(idxE, int(h))
-					if w := p.heap.worst(); w <= p.maxHam && int32(w)-1 < bounds[pi] {
-						bounds[pi] = int32(w) - 1
+					if w := p.heap.worst(); w < int(bounds[pi]) {
+						bounds[pi] = int32(w)
 					}
 				}
 			}

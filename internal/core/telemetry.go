@@ -19,9 +19,14 @@ const (
 
 	// Trace-only span names (no stage histogram of their own): queue wait
 	// is the scheduler histogram ferret_batch_queue_wait_seconds, and the
-	// shared arena scan is observed into the filter stage histogram.
-	StageQueue = "queue"
-	StageScan  = "scan"
+	// shared arena scan is observed into the filter stage histogram. The
+	// Hamming-index spans split an indexed filter stage into its bucket
+	// descent and its candidate verification, so /debug/traces shows
+	// probe-vs-verify time directly.
+	StageQueue   = "queue"
+	StageScan    = "scan"
+	StageHProbe  = "hindex_probe"
+	StageHVerify = "hindex_verify"
 )
 
 // engineMetrics are the engine's handles into its telemetry registry. All
@@ -47,6 +52,14 @@ type engineMetrics struct {
 	emdAbandoned *telemetry.Counter // ferret_rank_emd_abandoned_total
 	heapTrims    *telemetry.Counter // ferret_rank_heap_trims_total
 
+	// Hamming-index counters (see probe.go): candidates/baseline is the
+	// candidate-reduction ratio STATS reports — rows verified per row an
+	// unindexed scan would have streamed, over all probe attempts.
+	hixProbes     *telemetry.Counter // ferret_hindex_probes_total
+	hixCandidates *telemetry.Counter // ferret_hindex_candidates_total
+	hixFallback   *telemetry.Counter // ferret_hindex_fallback_total
+	hixBaseline   *telemetry.Counter // ferret_hindex_baseline_rows_total
+
 	// Batch-scheduler counters and histograms (see scheduler.go).
 	batches   *telemetry.Counter   // ferret_batches_total
 	coalesced *telemetry.Counter   // ferret_queries_coalesced_total
@@ -59,6 +72,8 @@ type engineMetrics struct {
 	deleted         *telemetry.Gauge // ferret_deleted_objects
 	segments        *telemetry.Gauge // ferret_segments
 	indexedSegments *telemetry.Gauge // ferret_indexed_segments
+	hindexTables    *telemetry.Gauge // ferret_hindex_tables
+	hindexLoad      *telemetry.Gauge // ferret_hindex_load_permille
 	inflight        *telemetry.Gauge // ferret_inflight_queries
 	poolWorkers     *telemetry.Gauge // ferret_pool_workers
 	poolBusy        *telemetry.Gauge // ferret_pool_busy_workers
@@ -103,6 +118,15 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 			"EMD evaluations abandoned early by the exact-cost lower bound."),
 		heapTrims: reg.Counter("ferret_rank_heap_trims_total", "Top-K heap evictions while ranking."),
 
+		hixProbes: reg.Counter("ferret_hindex_probes_total",
+			"Hamming-index probe attempts (one per query segment offered to the index)."),
+		hixCandidates: reg.Counter("ferret_hindex_candidates_total",
+			"Candidate rows streamed out of Hamming-index buckets for verification."),
+		hixFallback: reg.Counter("ferret_hindex_fallback_total",
+			"Index probes that fell back to the arena scan (cost model or radius coverage)."),
+		hixBaseline: reg.Counter("ferret_hindex_baseline_rows_total",
+			"Indexed rows an unindexed scan would have streamed for the probed segments (candidate-ratio denominator)."),
+
 		batches: reg.Counter("ferret_batches_total", "Shared-scan query batches executed."),
 		coalesced: reg.Counter("ferret_queries_coalesced_total",
 			"Queries answered by a shared arena scan with at least one other query."),
@@ -114,10 +138,13 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		objects:         reg.Gauge("ferret_objects", "Live (non-deleted) objects."),
 		deleted:         reg.Gauge("ferret_deleted_objects", "Tombstoned objects awaiting compaction."),
 		segments:        reg.Gauge("ferret_segments", "Live segment sketches."),
-		indexedSegments: reg.Gauge("ferret_indexed_segments", "Segments in the bit-sampling index."),
-		inflight:        reg.Gauge("ferret_inflight_queries", "Queries currently executing."),
-		poolWorkers:     reg.Gauge("ferret_pool_workers", "Persistent scan/rank pool size."),
-		poolBusy:        reg.Gauge("ferret_pool_busy_workers", "Pool workers currently running a task."),
+		indexedSegments: reg.Gauge("ferret_indexed_segments", "Segment rows in the multi-table Hamming index."),
+		hindexTables:    reg.Gauge("ferret_hindex_tables", "Substring tables in the Hamming index (0 = index disabled)."),
+		hindexLoad: reg.Gauge("ferret_hindex_load_permille",
+			"Mean live-slot occupancy of the Hamming index tables, in thousandths."),
+		inflight:    reg.Gauge("ferret_inflight_queries", "Queries currently executing."),
+		poolWorkers: reg.Gauge("ferret_pool_workers", "Persistent scan/rank pool size."),
+		poolBusy:    reg.Gauge("ferret_pool_busy_workers", "Pool workers currently running a task."),
 
 		queryTime:   reg.Histogram("ferret_query_seconds", "End-to-end query latency in seconds.", telemetry.FineTimeBuckets),
 		ingestTime:  reg.Histogram("ferret_ingest_seconds", "Ingest latency in seconds.", nil),

@@ -259,7 +259,7 @@ func AblationDurability(scale Scale) ([]AblationRow, error) {
 }
 
 // AblationIndex compares the filtering unit's full sketch scan against the
-// bit-sampling segment index (the §8 "improved indexing" extension):
+// multi-table Hamming index (the §8 "improved indexing" extension):
 // quality and per-query time on the VARY benchmark plus per-query time on
 // the Mixed image speed dataset.
 func AblationIndex(scale Scale) ([]AblationRow, error) {
@@ -271,15 +271,15 @@ func AblationIndex(scale Scale) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, mode := range []struct {
 		name  string
-		index core.IndexParams
+		index core.HIndexParams
 	}{
-		{"full sketch scan", core.IndexParams{}},
-		{"bit-sampling index (16 bits, r=2)", core.IndexParams{Enable: true, Bits: 16, Radius: 2}},
+		{"full sketch scan", core.HIndexParams{}},
+		{"multi-table Hamming index", core.HIndexParams{Enable: true}},
 	} {
 		cfg := core.Config{
 			Sketch:        dt.sketchCfg(dt.sketchBits),
 			RankThreshold: dt.rankThresh,
-			Index:         mode.index,
+			HIndex:        mode.index,
 		}
 		e, cleanup, err := tempEngine(cfg)
 		if err != nil {
@@ -312,12 +312,12 @@ func AblationIndex(scale Scale) ([]AblationRow, error) {
 	queries := synth.MixedImageObjects(scale.SpeedQueries, 906)
 	for _, mode := range []struct {
 		name  string
-		index core.IndexParams
+		index core.HIndexParams
 	}{
-		{"full sketch scan", core.IndexParams{}},
-		{"bit-sampling index (16 bits, r=2)", core.IndexParams{Enable: true, Bits: 16, Radius: 2}},
+		{"full sketch scan", core.HIndexParams{}},
+		{"multi-table Hamming index", core.HIndexParams{Enable: true}},
 	} {
-		cfg := core.Config{Sketch: dt.sketchCfg(dt.sketchBits), Index: mode.index}
+		cfg := core.Config{Sketch: dt.sketchCfg(dt.sketchBits), HIndex: mode.index}
 		e, cleanup, err := tempEngine(cfg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,349 @@
+package hindex
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// oracle is the reference implementation: per-table map from substring key
+// to row set.
+type oracle struct {
+	ix     *Index
+	tables []map[uint64][]int32
+}
+
+func newOracle(ix *Index) *oracle {
+	o := &oracle{ix: ix, tables: make([]map[uint64][]int32, ix.Tables())}
+	for j := range o.tables {
+		o.tables[j] = make(map[uint64][]int32)
+	}
+	return o
+}
+
+func (o *oracle) insert(row int32, words []uint64) {
+	base := int(row) * o.ix.wps
+	for j := range o.ix.tables {
+		k := o.ix.tables[j].key(words, base)
+		o.tables[j][k] = append(o.tables[j][k], row)
+	}
+}
+
+func (o *oracle) delete(row int32, words []uint64) {
+	base := int(row) * o.ix.wps
+	for j := range o.ix.tables {
+		k := o.ix.tables[j].key(words, base)
+		rows := o.tables[j][k]
+		i := slices.Index(rows, row)
+		if i < 0 {
+			continue
+		}
+		o.tables[j][k] = slices.Delete(rows, i, i+1)
+	}
+}
+
+func (o *oracle) candidates(q []uint64) []int32 {
+	var out []int32
+	for j := range o.ix.tables {
+		out = append(out, o.tables[j][o.ix.tables[j].key(q, 0)]...)
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+func sortedCandidates(ix *Index, q []uint64) []int32 {
+	seen := make([]uint64, 1<<16/64)
+	got := ix.AppendCandidates(nil, q, seen)
+	for _, row := range got {
+		seen[row>>6] &^= 1 << (uint(row) & 63)
+	}
+	for i, w := range seen {
+		if w != 0 {
+			panic(fmt.Sprintf("seen word %d not cleared: %x", i, w))
+		}
+	}
+	slices.Sort(got)
+	return got
+}
+
+func randRow(rng *rand.Rand, wps int) []uint64 {
+	w := make([]uint64, wps)
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	return w
+}
+
+// TestKeyPartition checks the substring extraction plan: the concatenated
+// per-table keys must reproduce the sketch's nbits bits exactly.
+func TestKeyPartition(t *testing.T) {
+	for _, tc := range []struct{ nbits, wps, tables int }{
+		{128, 2, 4}, {800, 13, 16}, {256, 4, 7}, {64, 1, 3}, {192, 3, 192 / 2},
+	} {
+		ix := New(tc.nbits, tc.wps, tc.tables)
+		rng := rand.New(rand.NewSource(42))
+		words := randRow(rng, tc.wps)
+		// Clear bits at and above nbits in the last word so the bit-by-bit
+		// reference below sees exactly what extraction sees.
+		if r := uint(tc.nbits % 64); r != 0 {
+			words[tc.wps-1] &= (uint64(1) << r) - 1
+		}
+		bit := 0
+		for j := range ix.tables {
+			tbl := &ix.tables[j]
+			key := tbl.key(words, 0)
+			width := 0
+			for m := tbl.mask; m != 0; m >>= 1 {
+				width++
+			}
+			for b := 0; b < width; b++ {
+				want := (words[bit/64] >> uint(bit%64)) & 1
+				if got := (key >> uint(b)) & 1; got != want {
+					t.Fatalf("nbits=%d m=%d table %d bit %d: got %d want %d",
+						tc.nbits, ix.Tables(), j, b, got, want)
+				}
+				bit++
+			}
+		}
+		if bit != tc.nbits {
+			t.Fatalf("nbits=%d m=%d: partition covers %d bits", tc.nbits, ix.Tables(), bit)
+		}
+	}
+}
+
+func TestClampTables(t *testing.T) {
+	if got := ClampTables(0, 800); got != DefaultTables {
+		t.Fatalf("default = %d", got)
+	}
+	if got := ClampTables(4, 800); got != 13 { // 800 bits need ≥13 tables for ≤64-bit keys
+		t.Fatalf("low clamp = %d", got)
+	}
+	if got := ClampTables(1000, 64); got != 32 { // ≥2 bits per substring
+		t.Fatalf("high clamp = %d", got)
+	}
+}
+
+// TestPigeonholeRecall verifies the index contract directly: every row
+// within Hamming distance Radius() of the query is a candidate.
+func TestPigeonholeRecall(t *testing.T) {
+	const nbits, wps = 256, 4
+	ix := New(nbits, wps, 8) // radius 7
+	rng := rand.New(rand.NewSource(7))
+	base := randRow(rng, wps)
+	arena := make([]uint64, 0, 64*wps)
+	var within []int32
+	for row := int32(0); row < 64; row++ {
+		w := slices.Clone(base)
+		flips := int(row) % (2 * ix.Tables()) // 0..15 bit flips; ≤7 must be found
+		for f := 0; f < flips; f++ {
+			b := rng.Intn(nbits)
+			w[b/64] ^= uint64(1) << uint(b%64)
+		}
+		if flips <= ix.Radius() {
+			within = append(within, row)
+		}
+		arena = append(arena, w...)
+		ix.Insert(row, arena)
+	}
+	got := sortedCandidates(ix, base)
+	for _, row := range within {
+		if !slices.Contains(got, row) {
+			t.Fatalf("row %d within radius %d missing from candidates %v", row, ix.Radius(), got)
+		}
+	}
+}
+
+// TestMutationFuzz drives random interleaved Insert/Delete/Remap against
+// the map oracle, with bucket sizes chosen to overflow blocks (>15 rows per
+// bucket) and rows deleted then reinserted.
+func TestMutationFuzz(t *testing.T) {
+	const nbits, wps, maxRows = 128, 2, 400
+	for _, seed := range []int64{1, 2, 3, 99} {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New(nbits, wps, 4)
+		o := newOracle(ix)
+		// Low-entropy rows: few distinct substring values, so buckets grow
+		// past one block and slots go stale and come back.
+		arena := make([]uint64, maxRows*wps)
+		live := make([]bool, maxRows)
+		rowWords := func(row int32) []uint64 { return arena }
+		nLive := 0
+		for step := 0; step < 4000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // insert a new or previously deleted row
+				row := int32(rng.Intn(maxRows))
+				if live[row] {
+					continue
+				}
+				for w := 0; w < wps; w++ {
+					arena[int(row)*wps+w] = uint64(rng.Intn(4)) << uint(rng.Intn(60))
+				}
+				ix.Insert(row, rowWords(row))
+				o.insert(row, arena)
+				live[row] = true
+				nLive++
+			case op < 8: // delete a live row
+				row := int32(rng.Intn(maxRows))
+				if !live[row] {
+					continue
+				}
+				if !ix.Delete(row, rowWords(row)) {
+					t.Fatalf("seed %d step %d: Delete(%d) reported missing", seed, step, row)
+				}
+				o.delete(row, arena)
+				live[row] = false
+				nLive--
+			case op < 9: // probe a random live row's sketch
+				row := int32(rng.Intn(maxRows))
+				if !live[row] {
+					continue
+				}
+				q := arena[int(row)*wps : int(row+1)*wps]
+				got := sortedCandidates(ix, q)
+				want := o.candidates(q)
+				if !slices.Equal(got, want) {
+					t.Fatalf("seed %d step %d: candidates(%d) = %v, oracle %v", seed, step, row, got, want)
+				}
+			default: // identity remap exercises chain rebuild + free list
+				if ix.Remap(identityMap(maxRows)) != 0 {
+					t.Fatalf("seed %d step %d: identity remap dropped rows", seed, step)
+				}
+			}
+			if ix.Rows() != nLive {
+				t.Fatalf("seed %d step %d: Rows()=%d live=%d", seed, step, ix.Rows(), nLive)
+			}
+		}
+		if ix.LoadFactor() > 0.80 {
+			t.Fatalf("seed %d: load factor %.2f exceeds rehash ceiling", seed, ix.LoadFactor())
+		}
+	}
+}
+
+func identityMap(n int) []int32 {
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = int32(i)
+	}
+	return m
+}
+
+// TestRemapCompacts simulates arena compaction: drop a subset of rows,
+// renumber survivors densely, and check the index agrees with an oracle
+// rebuilt over the renamed arena.
+func TestRemapCompacts(t *testing.T) {
+	const nbits, wps, n = 128, 2, 300
+	rng := rand.New(rand.NewSource(11))
+	ix := New(nbits, wps, 4)
+	arena := make([]uint64, 0, n*wps)
+	for row := int32(0); row < n; row++ {
+		for w := 0; w < wps; w++ {
+			arena = append(arena, uint64(rng.Intn(8))<<uint(rng.Intn(60)))
+		}
+		ix.Insert(row, arena)
+	}
+	// Tombstone a third via Delete (the engine's path), then compact: the
+	// remap table renames survivors densely in order.
+	remap := make([]int32, n)
+	var newArena []uint64
+	next := int32(0)
+	for row := int32(0); row < n; row++ {
+		if rng.Intn(3) == 0 {
+			ix.Delete(row, arena)
+			remap[row] = -1
+			continue
+		}
+		remap[row] = next
+		newArena = append(newArena, arena[int(row)*wps:int(row+1)*wps]...)
+		next++
+	}
+	if dropped := ix.Remap(remap); dropped != 0 {
+		t.Fatalf("remap dropped %d rows already deleted", dropped)
+	}
+	if ix.Rows() != int(next) {
+		t.Fatalf("Rows()=%d want %d", ix.Rows(), next)
+	}
+	// Oracle over the compacted arena.
+	ix2 := New(nbits, wps, 4)
+	o := newOracle(ix2)
+	for row := int32(0); row < next; row++ {
+		o.insert(row, newArena)
+	}
+	for row := int32(0); row < next; row++ {
+		q := newArena[int(row)*wps : int(row+1)*wps]
+		got := sortedCandidates(ix, q)
+		if want := o.candidates(q); !slices.Equal(got, want) {
+			t.Fatalf("after remap, candidates(%d) = %v, oracle %v", row, got, want)
+		}
+	}
+	// Remap may also drop rows itself (defensive path).
+	drop := make([]int32, next)
+	for i := range drop {
+		if i%2 == 0 {
+			drop[i] = -1
+		} else {
+			drop[i] = int32(i / 2)
+		}
+	}
+	before := ix.Rows()
+	want := before / 2
+	if dropped := ix.Remap(drop); dropped != before-want || ix.Rows() != want {
+		t.Fatalf("drop remap: dropped=%d rows=%d want %d", dropped, ix.Rows(), want)
+	}
+}
+
+// TestEstimateMatchesAppend checks the cost model's estimate equals the
+// actual candidate stream length (duplicates included).
+func TestEstimateMatchesAppend(t *testing.T) {
+	const nbits, wps = 192, 3
+	rng := rand.New(rand.NewSource(5))
+	ix := New(nbits, wps, 6)
+	arena := make([]uint64, 0, 200*wps)
+	for row := int32(0); row < 200; row++ {
+		for w := 0; w < wps; w++ {
+			arena = append(arena, uint64(rng.Intn(16)))
+		}
+		ix.Insert(row, arena)
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := make([]uint64, wps)
+		for w := range q {
+			q[w] = uint64(rng.Intn(16))
+		}
+		got := ix.AppendCandidates(nil, q, nil)
+		if est := ix.EstimateCandidates(q); est != len(got) {
+			t.Fatalf("estimate %d != stream %d", est, len(got))
+		}
+		deduped := sortedCandidates(ix, q)
+		raw := append([]int32(nil), got...)
+		slices.Sort(raw)
+		if !slices.Equal(slices.Compact(raw), deduped) {
+			t.Fatalf("bitmap dedup diverged from sort+compact")
+		}
+	}
+}
+
+// TestBlockReuse checks deletes return blocks to the free list rather than
+// growing the slab forever.
+func TestBlockReuse(t *testing.T) {
+	const nbits, wps = 64, 1
+	ix := New(nbits, wps, 2)
+	arena := make([]uint64, 600)
+	for row := int32(0); row < 600; row++ {
+		arena[row] = 7 // one bucket per table, 40 blocks each
+		ix.Insert(row, arena)
+	}
+	grown := len(ix.blocks)
+	for row := int32(0); row < 600; row++ {
+		ix.Delete(row, arena)
+	}
+	for row := int32(0); row < 600; row++ {
+		ix.Insert(row, arena)
+	}
+	if len(ix.blocks) != grown {
+		t.Fatalf("slab grew from %d to %d blocks across delete/reinsert", grown, len(ix.blocks))
+	}
+	if got := sortedCandidates(ix, arena[:1]); len(got) != 600 {
+		t.Fatalf("probe found %d of 600 rows", len(got))
+	}
+}

@@ -36,6 +36,7 @@ var leafPackages = map[string]bool{
 	"internal/protocol":  true,
 	"internal/telemetry": true,
 	"internal/dsp":       true,
+	"internal/hindex":    true,
 }
 
 // coreForbidden are module-relative paths internal/core may not import.

@@ -174,6 +174,10 @@ type ResponseMeta struct {
 	// degrading: the head of the results is exactly ranked, the tail is in
 	// sketch-estimated-distance order.
 	Degraded bool
+	// Mode reports which machinery served the query's filtering unit:
+	// "index" (the Hamming index), "scan" (the arena scan), "mixed" (some
+	// probes fell back), or "" (not a filtering query, or an old server).
+	Mode string
 	// TraceID is the retained trace's 16-hex ID when the request asked for
 	// tracing ("" otherwise).
 	TraceID string
@@ -186,6 +190,10 @@ func (m ResponseMeta) flags() string {
 	var sb strings.Builder
 	if m.Degraded {
 		sb.WriteString(" degraded")
+	}
+	if m.Mode != "" {
+		sb.WriteString(" mode=")
+		sb.WriteString(m.Mode)
 	}
 	if m.TraceID != "" {
 		sb.WriteString(" trace=")
@@ -211,6 +219,8 @@ func (m *ResponseMeta) parseFlag(f string) {
 	switch {
 	case f == "degraded":
 		m.Degraded = true
+	case strings.HasPrefix(f, "mode="):
+		m.Mode = f[len("mode="):]
 	case strings.HasPrefix(f, "trace="):
 		m.TraceID = f[len("trace="):]
 	case strings.HasPrefix(f, "stages="):

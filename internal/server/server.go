@@ -486,6 +486,8 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, st *connState, req p
 			"sketch_bits":      strconv.Itoa(st.SketchBits),
 			"sketch_bytes":     strconv.Itoa(st.SketchBytes),
 			"indexed_segments": strconv.Itoa(st.IndexedSegments),
+			"hindex_tables":    strconv.Itoa(st.HIndexTables),
+			"hindex_load":      strconv.FormatFloat(st.HIndexLoad, 'f', 3, 64),
 		}
 		// Telemetry extension: headline pipeline counters and latency
 		// percentiles ride along with the structural statistics.
@@ -501,6 +503,11 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, st *connState, req p
 			"query_p99_seconds":  "ferret_query_seconds_p99",
 		} {
 			pairs[flat] = formatMetric(reg.Value(name))
+		}
+		// The index's candidate-reduction ratio: rows verified per row an
+		// unindexed scan would have streamed, over all served probes.
+		if base := reg.Value("ferret_hindex_baseline_rows_total"); base > 0 {
+			pairs["hindex_candidate_ratio"] = formatMetric(reg.Value("ferret_hindex_candidates_total") / base)
 		}
 		return protocol.WritePairs(w, pairs)
 
@@ -703,7 +710,7 @@ func (s *Server) dispatchBatch(ctx context.Context, w io.Writer, req protocol.Re
 func answerItem(ans core.Answer) protocol.BatchItem {
 	it := protocol.BatchItem{
 		Results: make([]protocol.Result, len(ans.Results)),
-		Meta:    protocol.ResponseMeta{Degraded: ans.Degraded},
+		Meta:    protocol.ResponseMeta{Degraded: ans.Degraded, Mode: ans.FilterMode},
 	}
 	if ans.Trace != nil {
 		it.Meta.TraceID = ans.Trace.ID
@@ -822,7 +829,7 @@ func writeAnswer(w io.Writer, ans core.Answer, tr *trace.Active) error {
 	for i, r := range ans.Results {
 		out[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
 	}
-	meta := protocol.ResponseMeta{Degraded: ans.Degraded}
+	meta := protocol.ResponseMeta{Degraded: ans.Degraded, Mode: ans.FilterMode}
 	if tr.Armed() {
 		meta.TraceID = tr.ID().String()
 		meta.Stages = stageTimings(tr.Stages())
