@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-fast torture vet lint check ci bench bench-json check-bench clean
+.PHONY: all build test race race-fast torture vet lint lint-fast lint-test check ci bench bench-json check-bench clean
 
 # Benchmark artifact plumbing. bench-json measures the filter/kernel/pipeline
 # microbenchmarks plus a medium-scale ferret-bench run (Table 2, the
@@ -46,16 +46,30 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: layering, atomicfield, poolescape,
-# floatcmp, errclose and ctxfirst (see internal/lint). Zero diagnostics is
-# the bar.
+# floatcmp, errclose, ctxfirst plus the interprocedural lockorder, lockpath
+# and noalloc checks (see internal/lint and DESIGN.md §13). Zero diagnostics
+# is the bar.
 lint:
 	$(GO) run ./cmd/ferret-lint ./...
 
+# Edit-loop accelerator: only the analyzers whose trigger constructs appear
+# in the working diff (vs $LINT_FAST_BASE, default HEAD), timed. Full `make
+# lint` remains the merge gate.
+lint-fast:
+	./scripts/lint-fast.sh
+
+# The analyzer suite's own tests under the race detector: the module-wide
+# analyzers memoize per-function summaries on shared Program state, so their
+# tests run with -race explicitly in CI ahead of the whole-tree race pass.
+lint-test:
+	$(GO) test -race ./internal/lint
+
 check: build vet lint test race
 
-# The full pre-merge gate: everything in check plus the crash-torture
+# The full pre-merge gate: everything in check plus the analyzer suite's
+# race-mode tests, the timed changed-package lint pass, the crash-torture
 # suite and the benchmark regression guard against the committed artifact.
-ci: check torture check-bench
+ci: check lint-test lint-fast torture check-bench
 
 bench:
 	$(GO) test -bench . -benchtime 1x

@@ -1,23 +1,38 @@
 // Command ferret-lint runs ferret's project-specific static-analysis suite:
-// six analyzers (layering, atomicfield, poolescape, floatcmp, errclose,
-// ctxfirst)
-// enforcing the concurrency, pooling and layering invariants that go vet
-// cannot see. It is built purely on the standard library's go/parser,
-// go/ast and go/types.
+// nine analyzers enforcing the concurrency, locking, pooling, allocation
+// and layering invariants that go vet cannot see (run -list for the
+// catalog). It is built purely on the standard library's go/parser, go/ast
+// and go/types.
 //
 // Usage:
 //
-//	ferret-lint [-checks list] [-list] [-debug] [dir | ./...]
+//	ferret-lint [-checks list] [-list] [-json] [-debug] [dir | ./...]
 //
 // The argument is the module root (or any directory inside it; "./..." is
-// accepted and means "the module containing the current directory"). The
-// exit status is 1 when diagnostics were reported, 2 on usage or load
-// errors. Diagnostics can be suppressed per line with
+// accepted and means "the module containing the current directory").
+//
+// Exit status:
+//
+//	0  no diagnostics
+//	1  diagnostics were reported
+//	2  usage error, unknown check, or the module failed to load
+//
+// With -json each diagnostic is one JSON object per line on stdout
+// ({"check","file","line","col","message"}) for CI annotation; the human
+// format and exit statuses are unchanged otherwise.
+//
+// -debug prints tolerated type-check errors (stub stdlib references) and
+// the inferred module-wide mutex-acquisition graph (the lockorder
+// analyzer's evidence, one "A (Lock) -> B (Lock) [witness]" line per edge)
+// to stderr.
+//
+// Diagnostics can be suppressed per line with
 //
 //	//lint:ignore <check>[,<check>] <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +42,23 @@ import (
 	"ferret/internal/lint"
 )
 
+// checksHelp builds the -checks help text from the registered analyzers, so
+// it cannot go stale as the suite grows.
+func checksHelp() string {
+	names := make([]string, 0, len(lint.Analyzers()))
+	for _, a := range lint.Analyzers() {
+		names = append(names, a.Name)
+	}
+	return fmt.Sprintf("comma-separated checks to run (%s) or \"all\"", strings.Join(names, ","))
+}
+
 func main() {
-	checks := flag.String("checks", "all", "comma-separated checks to run (layering,atomicfield,poolescape,floatcmp,errclose,ctxfirst) or \"all\"")
+	checks := flag.String("checks", "all", checksHelp())
 	list := flag.Bool("list", false, "list available checks and exit")
-	debug := flag.Bool("debug", false, "print tolerated type-check errors (stub stdlib references) to stderr")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic line on stdout")
+	debug := flag.Bool("debug", false, "print tolerated type-check errors and the inferred lock-acquisition graph to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ferret-lint [-checks list] [-list] [-debug] [dir | ./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ferret-lint [-checks list] [-list] [-json] [-debug] [dir | ./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,11 +104,30 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	diags, prog := lint.RunProgram(pkgs, analyzers)
+	if *debug {
+		if dump := prog.DumpLockGraph(""); dump != "" {
+			fmt.Fprintf(os.Stderr, "ferret-lint: debug: inferred lock-acquisition graph:\n")
+			for _, line := range strings.Split(strings.TrimRight(dump, "\n"), "\n") {
+				fmt.Fprintf(os.Stderr, "  %s\n", line)
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		rel := d.Pos.Filename
 		if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
 			rel = r
+		}
+		if *jsonOut {
+			enc.Encode(struct {
+				Check   string `json:"check"`
+				File    string `json:"file"`
+				Line    int    `json:"line"`
+				Col     int    `json:"col"`
+				Message string `json:"message"`
+			}{d.Check, rel, d.Pos.Line, d.Pos.Column, d.Message})
+			continue
 		}
 		fmt.Printf("%s:%d:%d: %s (%s)\n", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
 	}

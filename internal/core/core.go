@@ -781,7 +781,6 @@ func (e *Engine) searchOne(ctx context.Context, q object.Object, opt QueryOption
 	}
 	if err != nil {
 		e.met.queryErrors.Inc()
-		//lint:ignore poolescape err is ctx.Err() or a fresh error value, not pooled scratch; only the clock handle was pool-derived
 		return Answer{}, err
 	}
 	if degraded {

@@ -258,6 +258,7 @@ func (e *Engine) scanSketches(clk *queryClock, qsk sketch.Sketch, maxHam, k, wor
 // bound, then the (few) selected rows replay the exact heap logic, so the
 // result is identical to a row-by-row scan while misses never leave the
 // kernel. Valid only when every row belongs to a live, unrestricted entry.
+//ferret:noalloc
 func (e *Engine) scanArenaRows(clk *queryClock, qsk sketch.Sketch, maxHam int, heap *segHeap, hits, dist []int32, lo, hi int) {
 	a := e.arena
 	for base := lo; base < hi; base += batchRows {
@@ -293,6 +294,7 @@ func (e *Engine) scanArenaRows(clk *queryClock, qsk sketch.Sketch, maxHam int, h
 // scanEntryRange is the tombstone/Restrict-aware path over entries
 // [lo, hi), reading sketch rows from the arena. Returns the number of
 // objects scanned.
+//ferret:noalloc
 func (e *Engine) scanEntryRange(clk *queryClock, qsk sketch.Sketch, maxHam int, heap *segHeap, opt QueryOptions, lo, hi int) int {
 	a := e.arena
 	scanned := 0

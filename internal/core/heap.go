@@ -142,6 +142,7 @@ func pairLess(ham1, entry1, ham2, entry2 int) bool {
 }
 
 // push offers one (entry, hamming) pair.
+//ferret:noalloc
 func (h *segHeap) push(entry, hamming int) {
 	if len(h.ham) < h.k {
 		h.entry = append(h.entry, entry)

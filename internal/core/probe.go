@@ -60,6 +60,7 @@ func (p HIndexParams) withDefaults() HIndexParams {
 // MaxCandidateFrac of the indexed rows — beyond that the probe's random
 // row reads lose to the scan's streaming kernels — and, when rEff < maxHam,
 // must be at least k, or the heap provably cannot fill.
+//ferret:noalloc
 func (e *Engine) probeSegment(clk *queryClock, qsk sketch.Sketch, maxHam, k int, opt QueryOptions, sc *queryScratch) (*segHeap, int, bool) {
 	ix := e.hindex
 	rEff := ix.Radius()

@@ -354,6 +354,7 @@ func (ix *Index) Delete(row int32, words []uint64) bool {
 // bitmap dedup during the descent far cheaper than sorting the raw
 // stream's cross-table duplicates away afterwards. A nil seen appends the
 // raw stream, duplicates included (the shape EstimateCandidates prices).
+//ferret:noalloc
 func (ix *Index) AppendCandidates(dst []int32, q []uint64, seen []uint64) []int32 {
 	for j := range ix.tables {
 		t := &ix.tables[j]
@@ -387,6 +388,7 @@ func (ix *Index) AppendCandidates(dst []int32, q []uint64, seen []uint64) []int3
 // substrings select — the exact number of rows an AppendCandidates descent
 // visits (cross-table duplicates included, an upper bound on the distinct
 // candidates) in O(m) slot lookups, for the caller's cost model.
+//ferret:noalloc
 func (ix *Index) EstimateCandidates(q []uint64) int {
 	est := 0
 	for j := range ix.tables {

@@ -1,7 +1,7 @@
 // Package lint is ferret's project-specific static-analysis suite. It is a
 // self-contained analyzer driver on the standard library's go/parser, go/ast
 // and go/types (no golang.org/x/tools dependency, honoring the repo's
-// stdlib-only rule) with six analyzers enforcing invariants that go vet
+// stdlib-only rule) with nine analyzers enforcing invariants that go vet
 // cannot see:
 //
 //   - layering: the package import DAG (vector/sketch/object/protocol/
@@ -11,7 +11,8 @@
 //     ferret:atomic) are only touched through atomic operations.
 //   - poolescape: values drawn from a sync.Pool never escape through
 //     globals, foreign struct fields, channels, or exported-function
-//     returns — the contract behind the filter path's 0 allocs/op.
+//     returns — the contract behind the filter path's 0 allocs/op. Pooled
+//     values are tracked through one level of intra-module calls.
 //   - floatcmp: no ==/!= on floating-point values (distances, weights)
 //     outside the blessed math.Trunc integerness idiom.
 //   - errclose: Close/Sync/Flush errors on writable files must be checked,
@@ -20,13 +21,30 @@
 //     internal/server (Search*, Serve*, Query*, Shutdown*, Drain*, Dial*,
 //     Wait*) take a context.Context first, so cancellation and deadlines
 //     propagate end to end.
+//   - lockorder: the module-wide mutex-acquisition graph, inferred from
+//     per-function summaries propagated over the call graph, must be
+//     acyclic; reacquiring a held lock (directly or through a callee) is a
+//     self-deadlock.
+//   - lockpath: every acquired lock is released on all return paths (defer
+//     recognized); double unlocks, unpaired unlocks and Lock/RLock mode
+//     mismatches are flagged.
+//   - noalloc: functions annotated //ferret:noalloc are allocation-free,
+//     transitively through resolved calls — the static complement of the
+//     runtime allocs/op tests on the filter/probe/trace hot paths.
+//
+// The last three (and poolescape) are module-wide: they run over an
+// interprocedural Program (call graph + lazily computed per-function
+// summaries, see callgraph.go and summary.go) instead of one package at a
+// time. DESIGN.md §13 describes the framework and its soundness caveats.
 //
 // A diagnostic can be suppressed with a directive on, or on the line above,
 // the offending line:
 //
 //	//lint:ignore <check>[,<check>...] <reason>
 //
-// The reason is mandatory; a directive without one is itself reported.
+// The reason is mandatory; a directive without one is itself reported, and
+// so is a directive that no longer suppresses anything (when every check it
+// names is part of the run).
 package lint
 
 import (
@@ -36,11 +54,13 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check over a single package.
+// Analyzer is one named check. Exactly one of Run (per-package) and
+// RunModule (module-wide, over the interprocedural Program) is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Diagnostic is one finding, resolved to a file position.
@@ -70,6 +90,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one module-wide analyzer run over the whole Program.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos (all packages share one FileSet).
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Prog.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -79,6 +115,9 @@ func Analyzers() []*Analyzer {
 		FloatCmpAnalyzer,
 		ErrCloseAnalyzer,
 		CtxFirstAnalyzer,
+		LockOrderAnalyzer,
+		LockPathAnalyzer,
+		NoallocAnalyzer,
 	}
 }
 
@@ -107,21 +146,64 @@ func ByName(list string) ([]*Analyzer, error) {
 
 // Run executes the analyzers over the packages, applies //lint:ignore
 // directives, and returns the surviving diagnostics sorted by position.
-// Malformed directives (no reason) are reported under the "directive" check.
+// Malformed directives (no reason) and directives that suppressed nothing
+// are reported under the "directive" check.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunProgram(pkgs, analyzers)
+	return diags
+}
+
+// RunProgram is Run, also returning the interprocedural Program built for
+// the module analyzers (for callers that want the inferred lock graph).
+func RunProgram(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *Program) {
 	var diags []Diagnostic
-	dirs := map[dirKey][]string{} // file:line -> suppressed check names
+	dirs := map[dirKey][]dirEntry{}
+	var recs []*directiveRec
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			if a.Run != nil {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			}
 		}
-		collectDirectives(pkg, dirs, &diags)
+		collectDirectives(pkg, dirs, &recs, &diags)
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Analyzer: a, Prog: prog, diags: &diags})
+		}
 	}
 	out := diags[:0]
 	for _, d := range diags {
 		if !suppressed(dirs, d) {
 			out = append(out, d)
 		}
+	}
+	// Unused-suppression audit: a directive that matched no diagnostic is
+	// stale — but only claim so when every check it names actually ran.
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	for _, rec := range recs {
+		if rec.used {
+			continue
+		}
+		eligible := true
+		for _, c := range rec.checks {
+			if c != "*" && !selected[c] {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Check:   "directive",
+			Pos:     rec.pos,
+			Message: fmt.Sprintf("unused //lint:ignore directive: no %s diagnostic here to suppress", strings.Join(rec.checks, ",")),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -136,7 +218,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return out
+	return out, prog
 }
 
 // dirKey addresses one source line.
@@ -145,13 +227,27 @@ type dirKey struct {
 	line int
 }
 
+// directiveRec is one //lint:ignore comment; used flips when any diagnostic
+// matches it.
+type directiveRec struct {
+	pos    token.Position
+	checks []string
+	used   bool
+}
+
+// dirEntry is one (check, directive) coverage claim on a line.
+type dirEntry struct {
+	check string
+	rec   *directiveRec
+}
+
 const directivePrefix = "//lint:ignore"
 
 // collectDirectives parses every //lint:ignore comment in the package into
 // dirs. A directive covers its own line (trailing-comment form) and the line
 // directly below it (standalone-comment form). Directives without a reason
 // are reported as "directive" diagnostics instead.
-func collectDirectives(pkg *Package, dirs map[dirKey][]string, diags *[]Diagnostic) {
+func collectDirectives(pkg *Package, dirs map[dirKey][]dirEntry, recs *[]*directiveRec, diags *[]Diagnostic) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -168,10 +264,13 @@ func collectDirectives(pkg *Package, dirs map[dirKey][]string, diags *[]Diagnost
 					})
 					continue
 				}
-				checks := strings.Split(fields[0], ",")
+				rec := &directiveRec{pos: pos, checks: strings.Split(fields[0], ",")}
+				*recs = append(*recs, rec)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					k := dirKey{pos.Filename, line}
-					dirs[k] = append(dirs[k], checks...)
+					for _, check := range rec.checks {
+						dirs[k] = append(dirs[k], dirEntry{check: check, rec: rec})
+					}
 				}
 			}
 		}
@@ -179,14 +278,15 @@ func collectDirectives(pkg *Package, dirs map[dirKey][]string, diags *[]Diagnost
 }
 
 // suppressed reports whether a directive covers the diagnostic's line; check
-// lists match by name or "*". Malformed-directive reports are never
-// suppressed.
-func suppressed(dirs map[dirKey][]string, d Diagnostic) bool {
+// lists match by name or "*". Matching marks the directive used. Malformed-
+// directive reports are never suppressed.
+func suppressed(dirs map[dirKey][]dirEntry, d Diagnostic) bool {
 	if d.Check == "directive" {
 		return false
 	}
-	for _, c := range dirs[dirKey{d.Pos.Filename, d.Pos.Line}] {
-		if c == d.Check || c == "*" {
+	for _, e := range dirs[dirKey{d.Pos.Filename, d.Pos.Line}] {
+		if e.check == d.Check || e.check == "*" {
+			e.rec.used = true
 			return true
 		}
 	}

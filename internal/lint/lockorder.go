@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer infers the module's global mutex-acquisition graph from
+// the per-function summaries and reports:
+//
+//   - lock-order cycles (two lock classes acquired in both orders anywhere
+//     in the module, directly or through resolved calls) — the classic
+//     ABBA deadlock;
+//   - reacquisition of a lock already held, directly or by calling a
+//     function that (transitively) acquires it — self-deadlock for Mutex
+//     and write-locks, including the RLock→Lock upgrade.
+//
+// Edges come from two sources: a lock acquired while others are held in the
+// same function body, and a resolved call made while locks are held to a
+// function whose transitive summary acquires further locks. Unresolved
+// calls (interface dispatch, function values, stdlib) contribute no edges —
+// an under-approximation; see DESIGN.md §13 for the soundness caveats.
+var LockOrderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex acquisition order must be acyclic module-wide; no reacquisition of a held lock",
+	RunModule: runLockOrder,
+}
+
+func runLockOrder(mp *ModulePass) {
+	prog := mp.Prog
+	for _, fi := range prog.sortedFuncs() {
+		facts := prog.lockSummary(fi)
+		for _, d := range facts.diags {
+			if d.kind == "lockorder" {
+				mp.Reportf(d.pos, "%s", d.msg)
+			}
+		}
+	}
+	edges, diags := prog.lockGraph()
+	for _, d := range diags {
+		mp.Reportf(d.pos, "%s", d.msg)
+	}
+
+	// Tarjan SCC over the lock classes; every edge inside a multi-node SCC
+	// is part of at least one cycle.
+	scc := sccOf(edges)
+	reported := map[[2]LockID]bool{}
+	for _, e := range edges {
+		ca, okA := scc[e.From]
+		cb, okB := scc[e.To]
+		if !okA || !okB || ca != cb {
+			continue
+		}
+		key := [2]LockID{e.From, e.To}
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		msg := fmt.Sprintf("lock-order cycle: %s (%s) acquired while holding %s (%s) [%s]",
+			e.To, e.ToMode.acquireName(), e.From, e.FromMode.acquireName(), e.Via)
+		if rev := findEdge(edges, e.To, e.From); rev != nil {
+			msg += fmt.Sprintf("; the reverse order occurs via %s — potential deadlock", rev.Via)
+			if rev.FromMode != e.ToMode || rev.ToMode != e.FromMode {
+				msg += " (inconsistent Lock/RLock ordering)"
+			}
+		} else {
+			msg += "; part of an acquisition cycle — potential deadlock"
+		}
+		mp.Reportf(e.Pos, "%s", msg)
+	}
+}
+
+// lockGraph builds (once) the module-wide acquisition-order edge set:
+// in-function edges plus held-set × transitive-callee-acquisition edges at
+// every resolved call site. It also yields the reacquire-through-call
+// diagnostics discovered during expansion.
+func (prog *Program) lockGraph() ([]*LockEdge, []lockDiag) {
+	if prog.lockEdges != nil {
+		return prog.lockEdges, prog.lockGraphDiags
+	}
+	var edges []*LockEdge
+	var diags []lockDiag
+	seen := map[[2]LockID]bool{} // first witness per ordered pair wins
+	add := func(e *LockEdge) {
+		key := [2]LockID{e.From, e.To}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		edges = append(edges, e)
+	}
+	for _, fi := range prog.sortedFuncs() {
+		facts := prog.lockSummary(fi)
+		for _, e := range facts.order {
+			add(e)
+		}
+		for _, ch := range facts.calls {
+			if ch.cs.Callee == nil || len(ch.held) == 0 {
+				continue
+			}
+			for id, wit := range prog.transAcquires(ch.cs.Callee) {
+				for _, h := range ch.held {
+					if h.cls.ID == id {
+						// Held lock reacquired inside the callee: report when
+						// a write mode is involved (R-over-R through a call
+						// is the benign shared-read pattern).
+						if h.mode == modeW || wit.Mode == modeW {
+							diags = append(diags, lockDiag{
+								pos:  ch.cs.Pos,
+								kind: "lockorder",
+								msg: fmt.Sprintf("%s held (acquired with %s at %s) across call to %s, which acquires it with %s (%s): potential self-deadlock",
+									id, h.mode.acquireName(), prog.shortPos(h.pos),
+									ch.cs.Callee.Name(), wit.Mode.acquireName(), wit.Via),
+							})
+						}
+						continue
+					}
+					add(&LockEdge{
+						From: h.cls.ID, To: id,
+						FromMode: h.mode, ToMode: wit.Mode,
+						Pos: ch.cs.Pos,
+						Via: fmt.Sprintf("%s at %s -> %s", fi.Name(), prog.shortPos(ch.cs.Pos), wit.Via),
+					})
+				}
+			}
+		}
+	}
+	SortLockEdges(edges)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	prog.lockEdges = edges
+	prog.lockGraphDiags = diags
+	if prog.lockEdges == nil {
+		prog.lockEdges = []*LockEdge{}
+	}
+	return prog.lockEdges, prog.lockGraphDiags
+}
+
+// LockGraph returns the module's inferred acquisition-order edges, sorted,
+// for the ferret-lint -debug dump.
+func (prog *Program) LockGraph() []*LockEdge {
+	edges, _ := prog.lockGraph()
+	return edges
+}
+
+// DumpLockGraph renders the acquisition graph, one "A -> B" line per edge
+// with modes and the shortest witness, optionally filtered to lock classes
+// whose ID starts with prefix (e.g. "internal/core").
+func (prog *Program) DumpLockGraph(prefix string) string {
+	var b strings.Builder
+	for _, e := range prog.LockGraph() {
+		if prefix != "" && !strings.HasPrefix(string(e.From), prefix) && !strings.HasPrefix(string(e.To), prefix) {
+			continue
+		}
+		fmt.Fprintf(&b, "%s (%s) -> %s (%s)  [%s]\n",
+			e.From, e.FromMode.acquireName(), e.To, e.ToMode.acquireName(), e.Via)
+	}
+	return b.String()
+}
+
+func findEdge(edges []*LockEdge, from, to LockID) *LockEdge {
+	for _, e := range edges {
+		if e.From == from && e.To == to {
+			return e
+		}
+	}
+	return nil
+}
+
+// sccOf runs Tarjan's algorithm and returns, for every node in a strongly
+// connected component of size > 1, its component id.
+func sccOf(edges []*LockEdge) map[LockID]int {
+	adj := map[LockID][]LockID{}
+	nodes := map[LockID]bool{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	order := make([]LockID, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	index := map[LockID]int{}
+	low := map[LockID]int{}
+	onStack := map[LockID]bool{}
+	var stack []LockID
+	out := map[LockID]int{}
+	next, comp := 0, 0
+
+	var strong func(v LockID)
+	strong = func(v LockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wn := range adj[v] {
+			if _, ok := index[wn]; !ok {
+				strong(wn)
+				if low[wn] < low[v] {
+					low[v] = low[wn]
+				}
+			} else if onStack[wn] && index[wn] < low[v] {
+				low[v] = index[wn]
+			}
+		}
+		if low[v] == index[v] {
+			var members []LockID
+			for {
+				n := len(stack) - 1
+				wn := stack[n]
+				stack = stack[:n]
+				onStack[wn] = false
+				members = append(members, wn)
+				if wn == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				for _, m := range members {
+					out[m] = comp
+				}
+				comp++
+			}
+		}
+	}
+	for _, n := range order {
+		if _, ok := index[n]; !ok {
+			strong(n)
+		}
+	}
+	return out
+}
+
+// LockPathAnalyzer reports path-sensitivity findings from the same
+// summaries: locks not released on every return path (defer recognized),
+// double unlocks (explicit-after-defer and repeat-release), Lock/RLock ↔
+// Unlock/RUnlock mode mismatches, and calls to unlock-helper functions made
+// without the lock held.
+var LockPathAnalyzer = &Analyzer{
+	Name:      "lockpath",
+	Doc:       "every acquired lock is released on all return paths; no double or unpaired unlocks",
+	RunModule: runLockPath,
+}
+
+func runLockPath(mp *ModulePass) {
+	prog := mp.Prog
+	for _, fi := range prog.sortedFuncs() {
+		facts := prog.lockSummary(fi)
+		for _, d := range facts.diags {
+			if d.kind == "lockpath" {
+				mp.Reportf(d.pos, "%s", d.msg)
+			}
+		}
+	}
+}

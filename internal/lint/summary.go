@@ -1,0 +1,679 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Per-function lock summaries, RacerD-style: each function is analyzed once
+// with an abstract held-lock set flowed through its body, producing local
+// acquisition-order edges, the set of locks it (transitively) acquires, the
+// held set at each module call site, net lock effects visible to callers,
+// and the lockpath/lockorder diagnostics that are decidable locally. The
+// lockorder and lockpath analyzers consume these summaries; computation is
+// lazy and memoized on the Program so the two share one walk per function.
+
+type lockMode uint8
+
+const (
+	modeR lockMode = iota + 1 // RLock/RUnlock
+	modeW                     // Lock/Unlock
+)
+
+func (m lockMode) acquireName() string {
+	if m == modeR {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (m lockMode) releaseName() string {
+	if m == modeR {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// heldEntry is one abstract lock in the held set.
+type heldEntry struct {
+	cls      lockClass
+	mode     lockMode
+	pos      token.Pos // acquisition site
+	deferPos token.Pos // the defer that releases it, if any
+	deferred bool      // a registered defer releases it at exit
+	certain  bool      // held on every path reaching this point
+}
+
+// lockState is the abstract state at one program point: the held set (in
+// acquisition order) plus the classes already released on this path (for
+// double-unlock detection).
+type lockState struct {
+	held       []heldEntry
+	released   map[LockID]token.Pos
+	terminated bool // return/panic/branch: no fall-through successor
+}
+
+func newLockState() *lockState {
+	return &lockState{released: map[LockID]token.Pos{}}
+}
+
+func (st *lockState) clone() *lockState {
+	out := &lockState{
+		held:       append([]heldEntry(nil), st.held...),
+		released:   make(map[LockID]token.Pos, len(st.released)),
+		terminated: st.terminated,
+	}
+	for k, v := range st.released {
+		out.released[k] = v
+	}
+	return out
+}
+
+func (st *lockState) find(id LockID) int {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].cls.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// merge joins two branch states: locks held in both stay certain only if
+// certain in both; locks held in one become maybe-held, which downstream
+// treats permissively (unlocking one is silent, returning with one is not
+// reported) — the standard tristate that kills conditional-lock false
+// positives.
+func mergeStates(a, b *lockState) *lockState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := newLockState()
+	for k, v := range a.released {
+		out.released[k] = v
+	}
+	for k, v := range b.released {
+		out.released[k] = v
+	}
+	for _, ea := range a.held {
+		if j := b.find(ea.cls.ID); j >= 0 {
+			eb := b.held[j]
+			e := ea
+			e.certain = ea.certain && eb.certain
+			e.deferred = ea.deferred || eb.deferred
+			out.held = append(out.held, e)
+		} else {
+			ea.certain = false
+			out.held = append(out.held, ea)
+		}
+	}
+	for _, eb := range b.held {
+		if a.find(eb.cls.ID) < 0 {
+			eb.certain = false
+			out.held = append(out.held, eb)
+		}
+	}
+	return out
+}
+
+// acqWitness records where (and how) a lock class is first acquired within a
+// function's transitive call tree.
+type acqWitness struct {
+	Pos  token.Pos
+	Mode lockMode
+	Via  string // "f at file.go:12" or "f -> g at file.go:34"
+}
+
+// callHeld is one resolved module call site with the held set at the call.
+type callHeld struct {
+	cs   *CallSite
+	held []heldEntry
+}
+
+// lockDiag is a summary-produced diagnostic, tagged with the analyzer that
+// owns it ("lockorder" or "lockpath").
+type lockDiag struct {
+	pos  token.Pos
+	kind string
+	msg  string
+}
+
+// lockFacts is one function's lock summary.
+type lockFacts struct {
+	acquires   map[LockID]acqWitness // every class acquired in the body
+	order      []*LockEdge           // local held-before-acquired edges
+	calls      []callHeld            // resolved call sites + held snapshots
+	netAcquire []heldEntry           // certain-held, non-deferred at every exit
+	netRelease []lockClass           // released without a local acquisition
+	diags      []lockDiag
+}
+
+var emptyLockFacts = &lockFacts{acquires: map[LockID]acqWitness{}}
+
+// lockSummary returns fi's summary, computing it on first use. Recursion
+// collapses to the empty summary (a sound under-approximation for direct
+// cycles; documented in DESIGN.md §13).
+func (prog *Program) lockSummary(fi *FuncInfo) *lockFacts {
+	if f, ok := prog.lockFacts[fi]; ok {
+		if f == nil {
+			return emptyLockFacts
+		}
+		return f
+	}
+	prog.lockFacts[fi] = nil
+	f := prog.computeLockFacts(fi)
+	prog.lockFacts[fi] = f
+	return f
+}
+
+// transAcquires returns every lock class fi acquires directly or through
+// resolved callees, with a witness chain. Memoized; recursion yields the
+// partial set.
+func (prog *Program) transAcquires(fi *FuncInfo) map[LockID]acqWitness {
+	if m, ok := prog.transAcq[fi]; ok {
+		return m
+	}
+	prog.transAcq[fi] = nil
+	facts := prog.lockSummary(fi)
+	out := make(map[LockID]acqWitness, len(facts.acquires))
+	for id, w := range facts.acquires {
+		out[id] = w
+	}
+	for _, ch := range facts.calls {
+		if ch.cs.Callee == nil {
+			continue
+		}
+		for id, w := range prog.transAcquires(ch.cs.Callee) {
+			if _, ok := out[id]; !ok {
+				out[id] = acqWitness{Pos: ch.cs.Pos, Mode: w.Mode, Via: fi.Name() + " -> " + w.Via}
+			}
+		}
+	}
+	prog.transAcq[fi] = out
+	return out
+}
+
+// sortedFuncs returns every module function in deterministic source order.
+func (prog *Program) sortedFuncs() []*FuncInfo {
+	out := make([]*FuncInfo, 0, len(prog.Funcs))
+	for _, fi := range prog.Funcs {
+		out = append(out, fi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// shortPos renders a position as "file.go:12" for witness strings.
+func (prog *Program) shortPos(pos token.Pos) string {
+	p := prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+type lockWalker struct {
+	prog  *Program
+	fi    *FuncInfo
+	facts *lockFacts
+	exits []*lockState // held states at each reachable function exit
+	// inFuncLit suppresses exit collection and net-effect recording while
+	// walking a function literal's body (its returns are not ours).
+	inFuncLit bool
+}
+
+func (prog *Program) computeLockFacts(fi *FuncInfo) *lockFacts {
+	facts := &lockFacts{acquires: map[LockID]acqWitness{}}
+	if fi.Decl.Body == nil {
+		return facts
+	}
+	w := &lockWalker{prog: prog, fi: fi, facts: facts}
+	st := newLockState()
+	w.stmts(fi.Decl.Body.List, st)
+	if !st.terminated {
+		w.exit(st, fi.Decl.Body.Rbrace)
+	}
+	// Net effects: classes certain-held (and not defer-released) at every
+	// exit are acquired on the caller's behalf.
+	if len(w.exits) > 0 {
+		counts := map[LockID]int{}
+		var order []heldEntry
+		for _, ex := range w.exits {
+			for _, e := range ex.held {
+				if e.certain && !e.deferred {
+					if counts[e.cls.ID] == 0 {
+						order = append(order, e)
+					}
+					counts[e.cls.ID]++
+				}
+			}
+		}
+		for _, e := range order {
+			if counts[e.cls.ID] == len(w.exits) {
+				facts.netAcquire = append(facts.netAcquire, e)
+			}
+		}
+	}
+	return facts
+}
+
+// exit records one function exit: certain-held non-deferred locks are
+// lockpath findings.
+func (w *lockWalker) exit(st *lockState, pos token.Pos) {
+	if w.inFuncLit {
+		return
+	}
+	for _, e := range st.held {
+		if e.certain && !e.deferred {
+			w.facts.diags = append(w.facts.diags, lockDiag{
+				pos:  pos,
+				kind: "lockpath",
+				msg: fmt.Sprintf("%s acquired with %s at %s is not released on this return path",
+					e.cls.ID, e.mode.acquireName(), w.prog.shortPos(e.pos)),
+			})
+		}
+	}
+	w.exits = append(w.exits, st.clone())
+	st.terminated = true
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, st *lockState) {
+	for _, s := range list {
+		if st.terminated {
+			return
+		}
+		w.stmt(s, st)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(x.X, st)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.scanExpr(e, st)
+		}
+		for _, e := range x.Lhs {
+			w.scanExpr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.scanExpr(x.Chan, st)
+		w.scanExpr(x.Value, st)
+	case *ast.IncDecStmt:
+		w.scanExpr(x.X, st)
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.scanExpr(e, st)
+		}
+		w.exit(st, x.Pos())
+	case *ast.BranchStmt:
+		// break/continue/goto/fallthrough: the successor is not the next
+		// statement. Treated as path termination — an under-approximation
+		// (see DESIGN.md §13) that errs toward silence.
+		st.terminated = true
+	case *ast.DeferStmt:
+		w.deferStmt(x, st)
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			w.scanExpr(a, st)
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLit(fl)
+		}
+	case *ast.BlockStmt:
+		w.stmts(x.List, st)
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt, st)
+	case *ast.IfStmt:
+		w.ifStmt(x, st)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			w.scanExpr(x.Cond, st)
+		}
+		w.loopBody(st, func(body *lockState) {
+			w.stmts(x.Body.List, body)
+			if x.Post != nil && !body.terminated {
+				w.stmt(x.Post, body)
+			}
+		})
+	case *ast.RangeStmt:
+		w.scanExpr(x.X, st)
+		w.loopBody(st, func(body *lockState) { w.stmts(x.Body.List, body) })
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			w.scanExpr(x.Tag, st)
+		}
+		w.clauses(x.Body, st, nil)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, st)
+		}
+		w.clauses(x.Body, st, nil)
+	case *ast.SelectStmt:
+		w.clauses(x.Body, st, func(c ast.Stmt, branch *lockState) {
+			if comm, ok := c.(*ast.CommClause); ok && comm.Comm != nil {
+				w.stmt(comm.Comm, branch)
+			}
+		})
+	}
+}
+
+// ifStmt flows both branches and merges.
+func (w *lockWalker) ifStmt(x *ast.IfStmt, st *lockState) {
+	if x.Init != nil {
+		w.stmt(x.Init, st)
+	}
+	w.scanExpr(x.Cond, st)
+	thenSt := st.clone()
+	w.stmts(x.Body.List, thenSt)
+	elseSt := st.clone()
+	if x.Else != nil {
+		w.stmt(x.Else, elseSt)
+	}
+	*st = *mergeStates(thenSt, elseSt)
+	if thenSt.terminated && elseSt.terminated {
+		st.terminated = true
+	}
+}
+
+// loopBody walks a loop body once on a cloned state, reports locks newly
+// certain-held at the end of the iteration (they would be reacquired on the
+// next pass), and merges the result as a maybe-execution.
+func (w *lockWalker) loopBody(st *lockState, walk func(*lockState)) {
+	pre := st.clone()
+	body := st.clone()
+	walk(body)
+	if !body.terminated {
+		for _, e := range body.held {
+			if e.certain && !e.deferred && pre.find(e.cls.ID) < 0 {
+				w.facts.diags = append(w.facts.diags, lockDiag{
+					pos:  e.pos,
+					kind: "lockpath",
+					msg: fmt.Sprintf("%s acquired with %s inside a loop is still held at the end of the iteration",
+						e.cls.ID, e.mode.acquireName()),
+				})
+			}
+		}
+	}
+	*st = *mergeStates(pre, body)
+}
+
+// clauses flows each case body on its own clone and merges all outcomes; a
+// missing default keeps the entry state as one outcome.
+func (w *lockWalker) clauses(body *ast.BlockStmt, st *lockState, pre func(ast.Stmt, *lockState)) {
+	var states []*lockState
+	hasDefault := false
+	for _, c := range body.List {
+		branch := st.clone()
+		if pre != nil {
+			pre(c, branch)
+		}
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.scanExpr(e, branch)
+			}
+			w.stmts(cc.Body, branch)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			w.stmts(cc.Body, branch)
+		}
+		states = append(states, branch)
+	}
+	if !hasDefault || len(states) == 0 {
+		states = append(states, st.clone())
+	}
+	out := states[0]
+	allTerminated := states[0].terminated
+	for _, s := range states[1:] {
+		out = mergeStates(out, s)
+		allTerminated = allTerminated && s.terminated
+	}
+	*st = *out
+	st.terminated = allTerminated
+}
+
+// scanExpr processes every call expression under e in pre-order. Function
+// literals are walked separately with a fresh held set (their body runs at
+// an unknown time with unknown locks).
+func (w *lockWalker) scanExpr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.funcLit(x)
+			return false
+		case *ast.CallExpr:
+			w.call(x, st)
+		}
+		return true
+	})
+}
+
+// funcLit analyzes a function literal body in isolation: its order edges,
+// call-site held sets and diagnostics feed the enclosing function's facts,
+// but its exits and net effects do not.
+func (w *lockWalker) funcLit(fl *ast.FuncLit) {
+	if fl.Body == nil {
+		return
+	}
+	sub := &lockWalker{prog: w.prog, fi: w.fi, facts: w.facts, inFuncLit: true}
+	sub.stmts(fl.Body.List, newLockState())
+}
+
+// call interprets one call: a lock operation mutates the held set, a
+// resolved module call records the held snapshot and applies the callee's
+// net effects, panic/os.Exit terminate the path.
+func (w *lockWalker) call(call *ast.CallExpr, st *lockState) {
+	pkg := w.fi.Pkg
+	if cls, mode, acquire, ok := w.prog.lockTargetOf(pkg, call); ok {
+		if acquire {
+			w.acquire(st, cls, mode, call.Pos(), "")
+		} else {
+			w.release(st, cls, mode, call.Pos())
+		}
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isFunc := objOf(pkg.Info, id).(*types.Func); !isFunc {
+			st.terminated = true // the builtin, not a shadowing declaration
+			return
+		}
+	}
+	cs := w.fi.callSiteOf(call)
+	if cs == nil {
+		return
+	}
+	if cs.ExtPath == "os" && cs.Name == "Exit" {
+		st.terminated = true
+		return
+	}
+	if cs.Callee == nil {
+		return
+	}
+	w.facts.calls = append(w.facts.calls, callHeld{cs: cs, held: append([]heldEntry(nil), st.held...)})
+	callee := w.prog.lockSummary(cs.Callee)
+	for _, cls := range callee.netRelease {
+		w.release(st, cls, 0, call.Pos())
+	}
+	for _, e := range callee.netAcquire {
+		w.acquire(st, e.cls, e.mode, call.Pos(), cs.Callee.Name())
+	}
+}
+
+// acquire adds a lock to the held set, recording order edges against every
+// already-held lock and flagging reacquisition. via names the callee when
+// the acquisition is a summary net effect applied at a call site.
+func (w *lockWalker) acquire(st *lockState, cls lockClass, mode lockMode, pos token.Pos, via string) {
+	if i := st.find(cls.ID); i >= 0 {
+		e := st.held[i]
+		if e.certain {
+			what := mode.acquireName()
+			if via != "" {
+				what = "call to " + via + " (which acquires it)"
+			} else if e.mode == modeR && mode == modeW {
+				what = "Lock (upgrade from RLock)"
+			}
+			w.facts.diags = append(w.facts.diags, lockDiag{
+				pos:  pos,
+				kind: "lockorder",
+				msg: fmt.Sprintf("%s already held (acquired with %s at %s): %s self-deadlocks",
+					cls.ID, e.mode.acquireName(), w.prog.shortPos(e.pos), what),
+			})
+			return
+		}
+		// Maybe-held: on this path it is now definitely acquired.
+		st.held[i].certain = true
+		st.held[i].mode = mode
+		st.held[i].pos = pos
+		return
+	}
+	viaStr := w.fi.Name()
+	if via != "" {
+		viaStr += " -> " + via
+	}
+	for _, h := range st.held {
+		w.facts.order = append(w.facts.order, &LockEdge{
+			From: h.cls.ID, To: cls.ID,
+			FromMode: h.mode, ToMode: mode,
+			Pos: pos,
+			Via: fmt.Sprintf("%s at %s", viaStr, w.prog.shortPos(pos)),
+		})
+	}
+	if _, ok := w.facts.acquires[cls.ID]; !ok {
+		w.facts.acquires[cls.ID] = acqWitness{
+			Pos: pos, Mode: mode,
+			Via: fmt.Sprintf("%s at %s", viaStr, w.prog.shortPos(pos)),
+		}
+	}
+	st.held = append(st.held, heldEntry{cls: cls, mode: mode, pos: pos, certain: true})
+}
+
+// release removes a lock from the held set. mode 0 (net effect from a
+// callee) skips the pairing check.
+func (w *lockWalker) release(st *lockState, cls lockClass, mode lockMode, pos token.Pos) {
+	i := st.find(cls.ID)
+	if i < 0 {
+		if relPos, ok := st.released[cls.ID]; ok {
+			w.facts.diags = append(w.facts.diags, lockDiag{
+				pos:  pos,
+				kind: "lockpath",
+				msg: fmt.Sprintf("double unlock: %s already released at %s",
+					cls.ID, w.prog.shortPos(relPos)),
+			})
+			return
+		}
+		if mode == 0 {
+			return // callee net-release of a lock we never held: no-op here
+		}
+		// Released without any acquisition on this path. Deliberate
+		// unlock-helpers must carry a //lint:ignore with the ownership story.
+		w.facts.diags = append(w.facts.diags, lockDiag{
+			pos:  pos,
+			kind: "lockpath",
+			msg:  fmt.Sprintf("%s of %s, which is not held at this point", mode.releaseName(), cls.ID),
+		})
+		if w.inFuncLit {
+			return
+		}
+		for _, c := range w.facts.netRelease {
+			if c.ID == cls.ID {
+				return
+			}
+		}
+		w.facts.netRelease = append(w.facts.netRelease, cls)
+		return
+	}
+	e := st.held[i]
+	if e.deferred {
+		w.facts.diags = append(w.facts.diags, lockDiag{
+			pos:  pos,
+			kind: "lockpath",
+			msg: fmt.Sprintf("double unlock: %s is released by the defer at %s and again here",
+				cls.ID, w.prog.shortPos(e.deferPos)),
+		})
+	}
+	if mode != 0 && e.mode != mode {
+		w.facts.diags = append(w.facts.diags, lockDiag{
+			pos:  pos,
+			kind: "lockpath",
+			msg: fmt.Sprintf("%s acquired with %s at %s but released with %s",
+				cls.ID, e.mode.acquireName(), w.prog.shortPos(e.pos), mode.releaseName()),
+		})
+	}
+	if e.certain {
+		st.released[cls.ID] = pos
+	}
+	st.held = append(st.held[:i], st.held[i+1:]...)
+}
+
+// deferStmt handles defer: a deferred unlock (directly or inside a deferred
+// closure) marks the held entry defer-released; other deferred calls are
+// outside the flow (they run at exit) and are skipped by the lock analyses.
+func (w *lockWalker) deferStmt(d *ast.DeferStmt, st *lockState) {
+	for _, a := range d.Call.Args {
+		w.scanExpr(a, st)
+	}
+	pkg := w.fi.Pkg
+	if cls, mode, acquire, ok := w.prog.lockTargetOf(pkg, d.Call); ok && !acquire {
+		w.deferRelease(st, cls, mode, d.Pos())
+		return
+	}
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok && fl.Body != nil {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if cls, mode, acquire, ok := w.prog.lockTargetOf(pkg, call); ok && !acquire {
+				w.deferRelease(st, cls, mode, d.Pos())
+			}
+			return true
+		})
+	}
+}
+
+func (w *lockWalker) deferRelease(st *lockState, cls lockClass, mode lockMode, deferPos token.Pos) {
+	i := st.find(cls.ID)
+	if i < 0 {
+		return // defer before (or without) the acquire: outside the model
+	}
+	e := &st.held[i]
+	if e.mode != mode {
+		w.facts.diags = append(w.facts.diags, lockDiag{
+			pos:  deferPos,
+			kind: "lockpath",
+			msg: fmt.Sprintf("%s acquired with %s at %s but defer releases it with %s",
+				cls.ID, e.mode.acquireName(), w.prog.shortPos(e.pos), mode.releaseName()),
+		})
+	}
+	e.deferred = true
+	e.deferPos = deferPos
+}

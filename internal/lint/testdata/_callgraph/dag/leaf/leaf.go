@@ -1,0 +1,20 @@
+// Package leaf is the bottom of the synthetic call DAG: declarations only,
+// no module-internal calls.
+package leaf
+
+import "sync"
+
+type Table struct {
+	mu   sync.Mutex
+	rows []int
+}
+
+func (t *Table) Append(v int) {
+	t.mu.Lock()
+	t.rows = append(t.rows, v)
+	t.mu.Unlock()
+}
+
+func (t *Table) Len() int { return len(t.rows) }
+
+func Combine(a, b int) int { return a + b }

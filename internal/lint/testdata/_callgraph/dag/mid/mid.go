@@ -1,0 +1,31 @@
+// Package mid is the middle of the synthetic call DAG: static calls into
+// leaf, plus one of each unresolvable call shape (interface dispatch,
+// function value, external package).
+package mid
+
+import (
+	"fmt"
+
+	"fixture/dag/leaf"
+)
+
+type Sink interface{ Write(int) }
+
+// Hook is a function-valued extension point; calls through it resolve to no
+// declaration.
+var Hook func(int)
+
+func Fill(t *leaf.Table, n int) {
+	for i := 0; i < n; i++ {
+		t.Append(leaf.Combine(i, 1))
+	}
+}
+
+func Report(t *leaf.Table, s Sink) {
+	n := t.Len()
+	s.Write(n)
+	if Hook != nil {
+		Hook(n)
+	}
+	fmt.Println(n)
+}

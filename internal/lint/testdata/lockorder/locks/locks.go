@@ -1,0 +1,83 @@
+// Package locks seeds lockorder violations: an ABBA cycle (one leg through
+// a callee), reacquisition of a held lock, and an RLock→Lock upgrade.
+package locks
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[int]int
+}
+
+type journal struct {
+	mu      sync.RWMutex
+	entries []int
+}
+
+// lockBoth establishes the blessed order: registry.mu before journal.mu.
+func lockBoth(r *registry, j *journal) {
+	r.mu.Lock()
+	j.mu.Lock() // want "lockorder: lock-order cycle: locks.journal.mu (Lock) acquired while holding locks.registry.mu (Lock)"
+	j.entries = append(j.entries, len(r.items))
+	j.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// appendLocked acquires journal.mu on the caller's behalf.
+func appendLocked(j *journal, v int) {
+	j.mu.Lock()
+	j.entries = append(j.entries, v)
+	j.mu.Unlock()
+}
+
+// reversed closes the cycle: journal.mu held while a callee takes
+// registry.mu — the reverse of lockBoth's order, one leg interprocedural.
+func reversed(r *registry, j *journal) {
+	j.mu.RLock()
+	countInto(r, j) // want "lockorder: lock-order cycle: locks.registry.mu (Lock) acquired while holding locks.journal.mu (RLock)"
+	j.mu.RUnlock()
+}
+
+func countInto(r *registry, j *journal) {
+	r.mu.Lock()
+	r.items[0] = len(j.entries)
+	r.mu.Unlock()
+}
+
+// relock reacquires a lock it already holds: guaranteed self-deadlock.
+func relock(r *registry) {
+	r.mu.Lock()
+	r.mu.Lock() // want "lockorder: locks.registry.mu already held (acquired with Lock"
+	r.mu.Unlock()
+}
+
+// upgrade promotes a read lock to a write lock in place: self-deadlock.
+func upgrade(j *journal) {
+	j.mu.RLock()
+	n := len(j.entries)
+	j.mu.Lock() // want "lockorder: locks.journal.mu already held (acquired with RLock"
+	_ = n
+	j.mu.RUnlock()
+}
+
+// heldAcross calls a function that re-takes the lock the caller holds.
+func heldAcross(j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	appendLocked(j, 1) // want "lockorder: locks.journal.mu held (acquired with Lock"
+}
+
+// consistent uses the blessed order everywhere: no findings.
+func consistent(r *registry, j *journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	appendLocked(j, len(r.items))
+}
+
+// sanctioned documents a deliberate exception to the reacquire rule.
+func sanctioned(j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	//lint:ignore lockorder demo: appendLocked is recursion-safe here, single-threaded init path
+	appendLocked(j, 2)
+}

@@ -1,0 +1,116 @@
+// Package paths seeds lockpath violations: leaked locks on early returns,
+// double unlocks, unlock-without-lock, Lock/RUnlock mode mixups, and a lock
+// held across loop iterations — plus the balanced shapes that must stay
+// silent.
+package paths
+
+import "sync"
+
+type guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+// leaky forgets the unlock on the abort path.
+func leaky(g *guard, abort bool) {
+	g.mu.Lock()
+	if abort {
+		return // want "lockpath: paths.guard.mu acquired with Lock at paths.go:21 is not released on this return path"
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+// doubleUnlock releases twice on the same path.
+func doubleUnlock(g *guard) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock() // want "lockpath: double unlock: paths.guard.mu already released at paths.go:33"
+}
+
+// unlockOnly releases a lock this function never acquired.
+func unlockOnly(r *rw) {
+	r.mu.RUnlock() // want "lockpath: RUnlock of paths.rw.mu, which is not held at this point"
+}
+
+// modeMismatch takes the write lock but gives back the read lock.
+func modeMismatch(r *rw) {
+	r.mu.Lock()
+	r.mu.RUnlock() // want "lockpath: paths.rw.mu acquired with Lock at paths.go:44 but released with RUnlock"
+}
+
+// deferThenExplicit releases once inline and once via the deferred unlock.
+func deferThenExplicit(g *guard) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	g.mu.Unlock() // want "lockpath: double unlock: paths.guard.mu is released by the defer at paths.go:51"
+}
+
+// deferWrongMode pairs RLock with a deferred write-unlock.
+func deferWrongMode(r *rw) int {
+	r.mu.RLock()
+	defer r.mu.Unlock() // want "lockpath: paths.rw.mu acquired with RLock at paths.go:58 but defer releases it with Unlock"
+	return len(r.m)
+}
+
+// loopHeld acquires afresh each iteration without releasing.
+func loopHeld(g *guard, n int) {
+	for i := 0; i < n; i++ {
+		g.mu.Lock() // want "lockpath: paths.guard.mu acquired with Lock inside a loop is still held at the end of the iteration"
+		g.n += i
+	}
+}
+
+// deferOk is the canonical balanced shape.
+func deferOk(g *guard) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// branchOk acquires and releases within one branch.
+func branchOk(g *guard, fast bool) {
+	if fast {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// bothPaths releases explicitly on every return path.
+func bothPaths(g *guard, abort bool) {
+	g.mu.Lock()
+	if abort {
+		g.mu.Unlock()
+		return
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+// loopOk releases before the iteration ends.
+func loopOk(r *rw, keys []int) int {
+	total := 0
+	for _, k := range keys {
+		r.mu.RLock()
+		total += r.m[k]
+		r.mu.RUnlock()
+	}
+	return total
+}
+
+// handoff transfers lock ownership to a consumer that releases it; the
+// directive documents the ownership story.
+func handoff(g *guard) {
+	g.mu.Lock()
+	g.n++
+	//lint:ignore lockpath ownership transfers to the worker, which releases it
+	return
+}

@@ -68,6 +68,7 @@ func (m *MultiSketch) query(i int) Sketch {
 // and the single sketch stored at word offset off in a flat arena, writing
 // dst[q] for each query. The row is loaded once and scored against all
 // queries — the kernel behind the tombstone-aware shared scan.
+//ferret:noalloc
 func HammingMultiAt(m *MultiSketch, arena []uint64, off int, dst []int32) {
 	w := arena[off : off+m.wps]
 	dst = dst[:m.nq]
@@ -101,6 +102,7 @@ func HammingMultiAt(m *MultiSketch, arena []uint64, off int, dst []int32) {
 // Rows are the outer loop, so each packed row is loaded from memory once for
 // all Q queries. A single packed query falls back to the benchmarked serial
 // kernel.
+//ferret:noalloc
 func HammingMultiBatch(m *MultiSketch, arena []uint64, off, count int, dst []int32) {
 	if count == 0 || m.nq == 0 {
 		return
@@ -147,6 +149,7 @@ func HammingMultiBatch(m *MultiSketch, arena []uint64, off, count int, dst []int
 // implementation of the fused multi-query select. It is installed by init in
 // multi_amd64.go when the CPU supports it and must produce output identical
 // to the portable loop below (same hits, same ascending row order).
+//ferret:noalloc
 var selectMultiASM func(m *MultiSketch, arena []uint64, off, count int, bounds, idx, dist []int32, stride int, ns []int32)
 
 // MultiKernel names the fused-select implementation in use ("avx512" or
@@ -167,6 +170,7 @@ func MultiKernel() string {
 // produce, so per-query consumers cannot tell a shared scan from a private
 // one. idx and dist must hold len(bounds)*stride values and stride must be
 // at least count.
+//ferret:noalloc
 func HammingSelectMulti(m *MultiSketch, arena []uint64, off, count int, bounds, idx, dist []int32, stride int, ns []int32) {
 	if len(bounds) != m.nq || len(ns) != m.nq {
 		panic("sketch: HammingSelectMulti bounds/ns length mismatch")
@@ -193,6 +197,7 @@ func HammingSelectMulti(m *MultiSketch, arena []uint64, off, count int, bounds, 
 
 // hammingSelectMultiGeneric is the portable fused select: rows outer, queries
 // inner, so each row is loaded once per block regardless of Q.
+//ferret:noalloc
 func hammingSelectMultiGeneric(m *MultiSketch, arena []uint64, off, count int, bounds, idx, dist []int32, stride int, ns []int32) {
 	wps := m.wps
 	w := arena[off : off+count*wps]

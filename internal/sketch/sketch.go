@@ -68,6 +68,7 @@ func (s Sketch) Bit(n int) bool { return s[n/64]&(1<<(n%64)) != 0 }
 // check is hoisted to a single sub-slice operation, so the popcount loop
 // runs with no per-word checks and no per-sketch slice-header loads — the
 // kernel the arena-backed filter scan is built on.
+//ferret:noalloc
 func HammingAt(q Sketch, arena []uint64, off int) int {
 	w := arena[off : off+len(q)]
 	var h int
@@ -81,6 +82,7 @@ func HammingAt(q Sketch, arena []uint64, off int) int {
 // consecutive sketches packed back to back (stride len(q) words) in a flat
 // arena starting at word offset off, writing the distances to dst[:count].
 // Small word counts — the common sketch sizes — get unrolled inner loops.
+//ferret:noalloc
 func HammingBatch(q Sketch, arena []uint64, off, count int, dst []int32) {
 	wps := len(q)
 	if count == 0 {
@@ -127,6 +129,7 @@ func HammingBatch(q Sketch, arena []uint64, off, count int, dst []int32) {
 // tightens) cost one compare and no stores, which is what lets the scan
 // approach the raw XOR+popcount throughput of the arena sweep. idx and dist
 // must each hold at least count values.
+//ferret:noalloc
 func HammingSelect(q Sketch, arena []uint64, off, count int, bound int32, idx, dist []int32) int {
 	wps := len(q)
 	if count == 0 {

@@ -387,6 +387,7 @@ type Span struct {
 
 // StartSpan opens a span named name, parented on the root, starting now.
 // Close it with End.
+//ferret:noalloc
 func (a *Active) StartSpan(name string) Span {
 	if a == nil {
 		return Span{}
@@ -410,6 +411,7 @@ func (a *Active) StartSpan(name string) Span {
 
 // Record adds a completed span from an already-measured interval — the
 // common form for stages that are timed anyway for histograms.
+//ferret:noalloc
 func (a *Active) Record(name string, start time.Time, d time.Duration) Span {
 	return a.record(name, 0, start, d)
 }
@@ -417,10 +419,12 @@ func (a *Active) Record(name string, start time.Time, d time.Duration) Span {
 // RecordShared is Record carrying a Ref span ID: the span stands for work
 // physically shared with other traces (the coalesced arena scan), and every
 // participating trace records it with the same ref, linking them.
+//ferret:noalloc
 func (a *Active) RecordShared(name string, ref SpanID, start time.Time, d time.Duration) Span {
 	return a.record(name, ref, start, d)
 }
 
+//ferret:noalloc
 func (a *Active) record(name string, ref SpanID, start time.Time, d time.Duration) Span {
 	if a == nil {
 		return Span{}
@@ -473,6 +477,7 @@ func (s Span) ID() SpanID {
 
 // SetAttr attaches an integer attribute; chainable. Attrs beyond the
 // per-span capacity are dropped silently.
+//ferret:noalloc
 func (s Span) SetAttr(key string, v int64) Span {
 	if s.a == nil {
 		return s
@@ -488,6 +493,7 @@ func (s Span) SetAttr(key string, v int64) Span {
 }
 
 // End closes a span opened with StartSpan, fixing its duration.
+//ferret:noalloc
 func (s Span) End() {
 	if s.a == nil {
 		return

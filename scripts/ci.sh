@@ -3,15 +3,20 @@
 #
 # Runs the full verification chain from a clean checkout:
 #
-#   build    go build ./...
-#   vet      go vet ./...
-#   lint     ferret-lint (layering, atomicfield, poolescape, floatcmp,
-#            errclose, ctxfirst)
-#   test     go test ./...
-#   race     go test -race ./...
-#   torture  storage crash-torture suite under -race (seed printed on
-#            failure; rerun one scenario with FERRET_TORTURE_SEED=<seed>)
-#   bench    ferret-benchcmp regression guard vs the committed artifact
+#   build      go build ./...
+#   vet        go vet ./...
+#   lint       ferret-lint, all nine analyzers (layering, atomicfield,
+#              poolescape, floatcmp, errclose, ctxfirst, lockorder,
+#              lockpath, noalloc)
+#   test       go test ./...
+#   race       go test -race ./...
+#   lint-test  go test -race ./internal/lint — the analyzer suite's own
+#              tests explicitly under the race detector
+#   lint-fast  scripts/lint-fast.sh — the changed-package analyzer
+#              selection, timed in the output so CI tracks its cost
+#   torture    storage crash-torture suite under -race (seed printed on
+#              failure; rerun one scenario with FERRET_TORTURE_SEED=<seed>)
+#   bench      ferret-benchcmp regression guard vs the committed artifact
 #
 # Every step must pass; the script stops at the first failure. CI systems
 # should invoke exactly this script so the local and remote gates cannot

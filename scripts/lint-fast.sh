@@ -1,0 +1,48 @@
+#!/bin/sh
+# lint-fast.sh — run only the analyzers affected by the working diff.
+#
+# The cheap per-package checks (layering, atomicfield, floatcmp, errclose,
+# ctxfirst) always run: the module loader dominates their cost anyway. The
+# module-wide interprocedural checks are added only when a changed file
+# contains their trigger constructs:
+#
+#   sync.Pool                    -> poolescape
+#   sync.Mutex / .Lock( / .RLock( -> lockorder, lockpath
+#   //ferret:noalloc             -> noalloc
+#
+# Changed means different from $LINT_FAST_BASE (default HEAD: the uncommitted
+# working tree), plus untracked files. This is an edit-loop accelerator only;
+# `make lint` with the full suite remains the merge gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+base="${LINT_FAST_BASE:-HEAD}"
+start=$(date +%s)
+
+changed=$(
+	{
+		git diff --name-only "$base" -- '*.go'
+		git ls-files --others --exclude-standard -- '*.go'
+	} | sort -u
+)
+
+existing=""
+for f in $changed; do
+	[ -f "$f" ] && existing="$existing $f"
+done
+
+if [ -z "$existing" ]; then
+	echo "lint-fast: no Go files changed vs $base; nothing to lint"
+	exit 0
+fi
+
+checks="layering,atomicfield,floatcmp,errclose,ctxfirst"
+# shellcheck disable=SC2086 — word-splitting $existing is the point.
+grep -q 'sync\.Pool' $existing && checks="$checks,poolescape" || true
+grep -qE 'sync\.(RW)?Mutex|\.R?Lock\(' $existing && checks="$checks,lockorder,lockpath" || true
+grep -q 'ferret:noalloc' $existing && checks="$checks,noalloc" || true
+
+echo "lint-fast: $(echo "$existing" | wc -w | tr -d ' ') changed file(s) vs $base; checks: $checks"
+go run ./cmd/ferret-lint -checks "$checks" ./...
+echo "lint-fast: clean in $(( $(date +%s) - start ))s"
