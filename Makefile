@@ -12,7 +12,7 @@ GO ?= go
 # committed scaling sweep shows the indexed filter losing to the scan.
 # Micro benches run -count=$(BENCH_COUNT) and benchcmp keeps the per-metric
 # minimum, so a transient load spike cannot fail (or hide) a regression.
-BENCH_OUT  ?= BENCH_7.json
+BENCH_OUT  ?= BENCH_9.json
 BENCH_TMP  ?= /tmp/ferret-bench
 BENCH_PKGS  = ./internal/core ./internal/sketch ./internal/vector
 BENCH_RE    = FilterScan|Hamming|QueryPipeline|L1
@@ -35,12 +35,16 @@ race:
 race-fast:
 	$(GO) test -race ./internal/telemetry ./internal/core ./internal/server ./internal/kvstore
 
-# The storage crash-torture suite under the race detector: every write/sync
+# The crash-torture suites under the race detector: every write/sync
 # boundary of a seeded workload is failed in every fault mode and recovery
-# must land on exactly a committed prefix. A failure prints the seed
+# must land on exactly a committed prefix. The kvstore suite tortures the
+# transactional store; the core suite drives the same fault matrix through
+# the whole segmented ingest pipeline (tail seal, background merge,
+# merge-time checkpoint) and additionally requires the recovered engine to
+# pass the segment invariants and serve queries. A failure prints the seed
 # (rerun with FERRET_TORTURE_SEED=<seed> to reproduce a single scenario).
 torture:
-	$(GO) test -race -run 'TestCrashTorture|TestFsyncPoisoningFreezesWrites|TestFreshWALSurvivesImmediatePowerCut' -v ./internal/kvstore
+	$(GO) test -race -run 'TestCrashTorture|TestFsyncPoisoning|TestFreshWALSurvivesImmediatePowerCut' -v ./internal/kvstore ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -77,7 +81,7 @@ bench:
 bench-json:
 	mkdir -p $(BENCH_TMP)
 	$(GO) test $(BENCH_PKGS) -run '^$$' -bench '$(BENCH_RE)' -count=$(BENCH_COUNT) -benchmem | tee $(BENCH_TMP)/micro.txt
-	$(GO) run ./cmd/ferret-bench -exp table2,throughput,scaling -scale medium -json $(BENCH_TMP)/pipeline.json
+	$(GO) run ./cmd/ferret-bench -exp table2,throughput,scaling,ingest -scale medium -json $(BENCH_TMP)/pipeline.json
 	$(GO) run ./cmd/ferret-benchcmp -merge -micro $(BENCH_TMP)/micro.txt \
 		-pipeline $(BENCH_TMP)/pipeline.json -out $(BENCH_OUT)
 

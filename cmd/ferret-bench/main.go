@@ -6,6 +6,7 @@
 //	ferret-bench -exp figure7           # avg precision vs sketch size
 //	ferret-bench -exp figure8           # query time vs dataset size
 //	ferret-bench -exp throughput        # closed-loop concurrent serving QPS
+//	ferret-bench -exp ingest            # query QPS under sustained ingest
 //	ferret-bench -exp scaling           # indexed filter vs arena scan sweep
 //	ferret-bench -exp all -scale medium
 //	ferret-bench -exp table2,throughput -json results.json
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments (comma-separated): table1, table2, figure7, figure8, ablations, throughput, scaling or all")
+	exp := flag.String("exp", "all", "experiments (comma-separated): table1, table2, figure7, figure8, ablations, ingest, throughput, scaling or all")
 	scaleName := flag.String("scale", "medium", "dataset scale: small, medium or paper")
 	jsonPath := flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	concurrency := flag.Int("concurrency", 0, "throughput: closed-loop client count (0 = sweep 1,2,4,8)")
@@ -132,6 +133,17 @@ func main() {
 			}
 			experiments.FprintScaling(os.Stdout, points)
 			return points, nil
+		})
+	}
+	if want("ingest") {
+		ran = true
+		run("ingest", "Mixed ingest: query QPS under sustained writes", func() (any, error) {
+			rows, err := experiments.Ingest(scale)
+			if err != nil {
+				return nil, err
+			}
+			experiments.FprintIngest(os.Stdout, rows)
+			return rows, nil
 		})
 	}
 	if want("throughput") {

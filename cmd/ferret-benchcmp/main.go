@@ -232,6 +232,9 @@ func compare(basePath, newPath, gate string, threshold float64) error {
 	if msg := checkScaling(base); msg != "" {
 		failures = append(failures, msg)
 	}
+	if msg := checkIngest(base); msg != "" {
+		failures = append(failures, msg)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
 	}
@@ -286,6 +289,70 @@ func checkScaling(base *Artifact) string {
 				last.N, last.Speedup)
 		}
 		return ""
+	}
+	return ""
+}
+
+// ingestRow mirrors experiments.IngestRow's gated fields.
+type ingestRow struct {
+	Arm        string  `json:"arm"`
+	QPS        float64 `json:"qps"`
+	Ingested   int     `json:"ingested"`
+	Seals      int64   `json:"seals"`
+	Merges     int64   `json:"merges"`
+	QPSPenalty float64 `json:"qps_penalty"`
+}
+
+// maxIngestPenalty is the mixed-workload gate: sustained ingest with
+// background compaction may cost at most this fraction of read-only query
+// throughput.
+const maxIngestPenalty = 0.10
+
+// checkIngest gates the committed mixed-ingest run (ferret-bench -exp
+// ingest), when the baseline artifact carries one: the write stream must
+// actually have streamed (objects ingested, tail seals observed) and the
+// query-throughput penalty versus the bracketing read-only arms must stay
+// under 10%. Returns a failure message or "".
+func checkIngest(base *Artifact) string {
+	if len(base.Pipeline) == 0 {
+		return ""
+	}
+	var summary struct {
+		Results []struct {
+			Name string          `json:"name"`
+			Rows json.RawMessage `json:"rows"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(base.Pipeline, &summary); err != nil {
+		return ""
+	}
+	for _, res := range summary.Results {
+		if res.Name != "ingest" {
+			continue
+		}
+		var rows []ingestRow
+		if err := json.Unmarshal(res.Rows, &rows); err != nil || len(rows) == 0 {
+			return fmt.Sprintf("ingest run in baseline is unreadable: %v", err)
+		}
+		for _, r := range rows {
+			if r.Arm != "mixed" {
+				continue
+			}
+			fmt.Printf("* ingest run: %.1f qps under %d sustained writes (%d seals, %d merges), penalty %.1f%%\n",
+				r.QPS, r.Ingested, r.Seals, r.Merges, r.QPSPenalty*100)
+			if r.Ingested == 0 {
+				return "ingest run: mixed arm streamed no objects"
+			}
+			if r.Seals == 0 {
+				return "ingest run: write stream never sealed a tail segment"
+			}
+			if r.QPSPenalty > maxIngestPenalty {
+				return fmt.Sprintf("ingest run: %.1f%% query-throughput penalty under sustained writes (limit %.0f%%)",
+					r.QPSPenalty*100, maxIngestPenalty*100)
+			}
+			return ""
+		}
+		return "ingest run in baseline has no mixed arm"
 	}
 	return ""
 }

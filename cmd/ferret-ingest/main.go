@@ -6,12 +6,24 @@
 //
 //	ferret-ingest -dir ./db -type image -data ./data
 //	ferret-ingest -dir ./db -type image -data ./data -eval ./data/vary.bench -mode sketch
+//
+// With -daemon it becomes a sustained-rate ingest driver: it rescans the
+// data directory every -scan-interval until SIGTERM/SIGINT, pacing ingests
+// at -ingest-rate objects per second through the engine's bounded ingest
+// queue (-queue/-queue-workers), with the segmented pipeline
+// (-seal-entries) absorbing the stream without stop-the-world compaction.
+//
+//	ferret-ingest -dir ./db -type image -data ./incoming -daemon \
+//	    -ingest-rate 50 -queue 256 -seal-entries 4096
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ferret"
@@ -30,6 +42,12 @@ func main() {
 		evalFile = flag.String("eval", "", "benchmark file to evaluate after ingest")
 		mode     = flag.String("mode", "filtering", "evaluation search mode")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		daemon   = flag.Bool("daemon", false, "keep rescanning -data until SIGTERM/SIGINT (sustained-rate ingest driver)")
+		scanIntv = flag.Duration("scan-interval", 10*time.Second, "rescan interval in daemon mode")
+		ingRate  = flag.Float64("ingest-rate", 0, "pace ingestion at this many objects per second (0 = unpaced)")
+		queue    = flag.Int("queue", 0, "bounded ingest queue depth; the scan blocks when full (0 = no queue)")
+		queueWk  = flag.Int("queue-workers", 0, "ingest queue drain workers (0 = 1; needs -queue)")
+		sealAt   = flag.Int("seal-entries", 0, "segmented ingest pipeline: seal the tail at this many entries, compact in the background (0 = single-arena)")
 	)
 	flag.Parse()
 
@@ -45,11 +63,28 @@ func main() {
 		logger.Fatal("configuration failed", "err", err)
 	}
 	cfg.Store.Logger = logger.With("kvstore")
+	if *sealAt > 0 {
+		cfg.Segments = ferret.SegmentParams{SealEntries: *sealAt}
+	}
+	if *queue > 0 {
+		cfg.Ingest = ferret.IngestParams{Depth: *queue, Workers: *queueWk}
+	}
 	sys, err := ferret.Open(ferret.RelaxedDurability(cfg), extractor)
 	if err != nil {
 		logger.Fatal("opening system failed", "dir", *dir, "err", err)
 	}
 	defer sys.Close()
+
+	if *daemon {
+		if *data == "" {
+			logger.Fatal("daemon mode needs -data")
+		}
+		runDaemon(sys, logger, *data, exts, *scanIntv, *ingRate)
+		if err := sys.Checkpoint(); err != nil {
+			logger.Fatal("checkpoint failed", "err", err)
+		}
+		return
+	}
 
 	if *dtype == "genomic" && *matrix != "" {
 		m, err := ferret.ParseMatrixTSV(*matrix)
@@ -100,6 +135,33 @@ func main() {
 		}
 		fmt.Println(rep)
 	}
+}
+
+// runDaemon is the sustained-rate ingest driver: rescan the data directory
+// until a signal arrives, pacing ingests at rate objects per second. Each
+// scan's outcome is logged with the queue backlog and the rejection
+// counter, so an operator watching the log sees backpressure as it happens.
+func runDaemon(sys *ferret.System, logger *telemetry.Logger, data string, exts []string, interval time.Duration, rate float64) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sc := sys.NewScanner(data, exts)
+	sc.Interval = interval
+	sc.Rate = rate
+	sc.OnError = func(path string, err error) {
+		logger.Warn("skipping file", "path", path, "err", err)
+	}
+	logger.Info("ingest daemon running", "dir", data, "interval", interval, "rate", rate)
+	reg := sys.Telemetry()
+	for added := range sc.Run(ctx) {
+		if added > 0 {
+			logger.Info("scan complete", "added", added, "objects", sys.Count(),
+				"queue_depth", sys.IngestQueueDepth(),
+				"rejected", int(reg.Value("ferret_ingest_rejected_total")),
+				"seals", int(reg.Value("ferret_seal_total")),
+				"merges", int(reg.Value("ferret_merge_total")))
+		}
+	}
+	logger.Info("ingest daemon stopping", "objects", sys.Count())
 }
 
 func systemFor(dtype, dir string, rate int, matrix, distance string) (ferret.Config, ferret.Extractor, []string, error) {

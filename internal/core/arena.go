@@ -71,6 +71,19 @@ func (a *sketchArena) appendEntry(weights []float32, sketches []sketch.Sketch) {
 	a.start = append(a.start, int32(len(a.entry)))
 }
 
+// appendFrom appends one entry's row range [lo, hi) from another arena with
+// the same words-per-sketch geometry — the segment merge builder's bulk
+// copy (see compactor.go).
+func (a *sketchArena) appendFrom(src *sketchArena, lo, hi int) {
+	entryIdx := int32(len(a.start) - 1)
+	a.words = append(a.words, src.words[lo*src.wps:hi*src.wps]...)
+	for r := lo; r < hi; r++ {
+		a.entry = append(a.entry, entryIdx)
+		a.weight = append(a.weight, src.weight[r])
+	}
+	a.start = append(a.start, int32(len(a.entry)))
+}
+
 // compact returns a new arena holding only the rows of entries for which
 // dead(idx) is false, renumbered densely in the original order.
 func (a *sketchArena) compact(dead func(idx int) bool) *sketchArena {

@@ -36,7 +36,7 @@ func ingestVariedKeys(t testing.TB, e *Engine, prefix string, n, d int) []object
 // exactly the sketches and weights the builder produces for its object.
 func checkArenaAgainstObjects(t *testing.T, e *Engine, byID map[object.ID]object.Object) {
 	t.Helper()
-	if err := e.arena.checkInvariants(len(e.entries)); err != nil {
+	if err := e.checkSegInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	for idx := range e.entries {
@@ -48,16 +48,17 @@ func checkArenaAgainstObjects(t *testing.T, e *Engine, byID map[object.ID]object
 		if !ok {
 			t.Fatalf("entry %d: unexpected id %d", idx, ent.id)
 		}
-		lo, hi := e.arena.rowsOf(idx)
+		sg, li := e.segOf(idx)
+		lo, hi := sg.arena.rowsOf(li)
 		if hi-lo != len(o.Segments) {
 			t.Fatalf("entry %d: %d arena rows for %d segments", idx, hi-lo, len(o.Segments))
 		}
 		for s, seg := range o.Segments {
-			if e.arena.weight[lo+s] != seg.Weight {
-				t.Fatalf("entry %d row %d: weight %g, want %g", idx, lo+s, e.arena.weight[lo+s], seg.Weight)
+			if sg.arena.weight[lo+s] != seg.Weight {
+				t.Fatalf("entry %d row %d: weight %g, want %g", idx, lo+s, sg.arena.weight[lo+s], seg.Weight)
 			}
 			want := e.builder.Build(seg.Vec)
-			got := e.arena.at(lo + s)
+			got := sg.arena.at(lo + s)
 			for w := range want {
 				if got[w] != want[w] {
 					t.Fatalf("entry %d row %d: sketch word %d mismatch", idx, lo+s, w)
@@ -85,11 +86,11 @@ func TestArenaIntegrityAcrossMutations(t *testing.T) {
 		totalSegs += len(o.Segments)
 	}
 	checkArenaAgainstObjects(t, e, byID)
-	if e.arena.rows() != totalSegs {
-		t.Fatalf("arena rows %d, want %d", e.arena.rows(), totalSegs)
+	if e.totalRows() != totalSegs {
+		t.Fatalf("arena rows %d, want %d", e.totalRows(), totalSegs)
 	}
-	if e.hindex.Rows() != totalSegs {
-		t.Fatalf("index rows %d, want %d", e.hindex.Rows(), totalSegs)
+	if e.indexedRows() != totalSegs {
+		t.Fatalf("index rows %d, want %d", e.indexedRows(), totalSegs)
 	}
 
 	// Tombstone every third object: the arena keeps the rows (the dead flag
@@ -103,8 +104,8 @@ func TestArenaIntegrityAcrossMutations(t *testing.T) {
 		delete(byID, objs[i].ID)
 	}
 	checkArenaAgainstObjects(t, e, byID)
-	if e.arena.rows() != totalSegs {
-		t.Fatalf("arena rows changed to %d on tombstoning, want %d", e.arena.rows(), totalSegs)
+	if e.totalRows() != totalSegs {
+		t.Fatalf("arena rows changed to %d on tombstoning, want %d", e.totalRows(), totalSegs)
 	}
 	if got := int(e.met.segments.Value()); got != liveSegs {
 		t.Fatalf("segments gauge %d, want %d", got, liveSegs)
@@ -127,11 +128,11 @@ func TestArenaIntegrityAcrossMutations(t *testing.T) {
 	// and the Hamming index must be remapped to exactly the live rows.
 	e.Compact()
 	checkArenaAgainstObjects(t, e, byID)
-	if e.arena.rows() != liveSegs {
-		t.Fatalf("arena rows %d after compact, want %d", e.arena.rows(), liveSegs)
+	if e.totalRows() != liveSegs {
+		t.Fatalf("arena rows %d after compact, want %d", e.totalRows(), liveSegs)
 	}
-	if e.hindex.Rows() != liveSegs {
-		t.Fatalf("index rows %d after compact, want %d", e.hindex.Rows(), liveSegs)
+	if e.indexedRows() != liveSegs {
+		t.Fatalf("index rows %d after compact, want %d", e.indexedRows(), liveSegs)
 	}
 	if len(e.entries) != len(byID) {
 		t.Fatalf("%d entries after compact, want %d", len(e.entries), len(byID))
@@ -217,7 +218,7 @@ func TestQueryConcurrentWithIngestCompact(t *testing.T) {
 	wg.Wait()
 
 	e.mu.RLock()
-	err := e.arena.checkInvariants(len(e.entries))
+	err := e.checkSegInvariants()
 	e.mu.RUnlock()
 	if err != nil {
 		t.Fatal(err)

@@ -169,11 +169,12 @@ func BenchmarkFilterScanLegacy(b *testing.B) {
 	var decoys [][]byte
 	entries := make([]legacyEntry, len(e.entries))
 	for idx := range e.entries {
-		lo, hi := e.arena.rowsOf(idx)
+		sg, li := e.segOf(idx)
+		lo, hi := sg.arena.rowsOf(li)
 		sks := make([]sketch.Sketch, 0, hi-lo)
 		for r := lo; r < hi; r++ {
-			sk := make(sketch.Sketch, e.arena.wps)
-			copy(sk, e.arena.at(r))
+			sk := make(sketch.Sketch, sg.arena.wps)
+			copy(sk, sg.arena.at(r))
 			sks = append(sks, sk)
 			decoys = append(decoys, make([]byte, 64))
 		}

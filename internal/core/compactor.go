@@ -1,0 +1,343 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"ferret/internal/hindex"
+	"ferret/internal/object"
+)
+
+// The segment compactor. Two entry points share one merge builder:
+//
+//   - Compact() is the user-facing full compaction: every segment (the
+//     mutable tail included) is merged into one tombstone-free segment. It
+//     freezes ingest (ingestMu) but NOT queries — the merge builds outside
+//     the engine lock and only the final swap takes it (satellite of the
+//     sealed-segment pipeline: queries make progress during a large
+//     compaction, asserted by TestQueriesDuringCompact under -race).
+//   - compactOnce() is one background step: it merges the first eligible
+//     run of adjacent small sealed segments, or rewrites the first
+//     tombstone-heavy sealed segment alone. The tail is never touched, so
+//     ingest proceeds concurrently; per-segment, never stop-the-world.
+//
+// Lock order (enforced by the lockorder analyzer): compactMu < ingestMu <
+// e.mu. compactMu serializes all mergers, so segment positions and global
+// entry numbering can only shift under a merger's own swap; Ingest appends
+// at the tail (no renumbering) and Delete only flips tombstone flags, both
+// of which the swap re-reads under the write lock (the newly-dead fixup).
+//
+// Durability: merges move no committed state — the metadata store is the
+// source of truth and deleted objects already left it at Delete time. A
+// merge that reclaimed tombstones checkpoints the store afterwards, folding
+// the WAL into a fresh snapshot; the crash-torture suite drives faults
+// through exactly this merge→checkpoint boundary.
+
+// compactStepHook, when non-nil, is called once per merge-build stride.
+// Tests use it to hold a compaction mid-build (TestQueriesDuringCompact);
+// it must only be set while no compaction can be running.
+var compactStepHook func()
+
+// compactStride is how many entries a merge build copies between pacing
+// checks.
+const compactStride = 64
+
+// compactPace yields the merge builder to in-flight queries: with queries
+// running, each stride sleeps Pace (or yields the processor); idle engines
+// build at full speed.
+func (e *Engine) compactPace() {
+	if compactStepHook != nil {
+		compactStepHook()
+	}
+	if e.met.inflight.Value() > 0 {
+		if p := e.cfg.Segments.Pace; p > 0 {
+			time.Sleep(p)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// segSnap is a merge input captured under the read lock: the segment's
+// identity, geometry, arena header and per-entry tombstone flags at
+// snapshot time. Sealed arenas are immutable, and the full-compaction path
+// freezes the tail via ingestMu, so the builder can read the arena outside
+// any lock; tombstone flags may keep changing, which the swap reconciles.
+type segSnap struct {
+	seg     *segment
+	loEntry int
+	n       int
+	arena   *sketchArena
+	dead    []bool
+}
+
+func snapshotSeg(e *Engine, s *segment) segSnap {
+	sn := segSnap{seg: s, loEntry: s.loEntry, n: s.n, arena: s.arena, dead: make([]bool, s.n)}
+	for li := 0; li < s.n; li++ {
+		sn.dead[li] = e.entries[s.loEntry+li].dead
+	}
+	return sn
+}
+
+// buildMerged concatenates the snapshots' live entries into one fresh arena
+// (densely renumbered, original order preserved) plus, when the engine is
+// indexed, a fresh per-segment Hamming index over its rows. Runs outside
+// the engine lock, paced against query load.
+func (e *Engine) buildMerged(snaps []segSnap) (*sketchArena, *hindex.Index) {
+	var wps int
+	if len(snaps) > 0 {
+		wps = snaps[0].arena.wps
+	}
+	merged := newArena(wps)
+	copied := 0
+	for _, sn := range snaps {
+		for li := 0; li < sn.n; li++ {
+			if sn.dead[li] {
+				continue
+			}
+			lo, hi := sn.arena.rowsOf(li)
+			merged.appendFrom(sn.arena, lo, hi)
+			if copied++; copied%compactStride == 0 {
+				e.compactPace()
+			}
+		}
+	}
+	var idx *hindex.Index
+	if e.cfg.HIndex.Enable {
+		idx = hindex.New(e.builder.N(), merged.wps, e.cfg.HIndex.Tables)
+		for row := 0; row < merged.rows(); row++ {
+			idx.Insert(int32(row), merged.words)
+			if (row+1)%(compactStride*4) == 0 {
+				e.compactPace()
+			}
+		}
+	}
+	return merged, idx
+}
+
+// swapMerged installs a merged segment over the snapshot range under the
+// engine write lock: entries tombstoned after the snapshot are re-marked
+// dead in the new numbering (and their rows removed from the fresh index),
+// the global entry/object slices are spliced, and later segments'
+// loEntry offsets shift down by the reclaimed tombstones. Returns the new
+// segment and the number of tombstones reclaimed. Caller holds compactMu
+// and the engine write lock.
+func (e *Engine) swapMerged(snaps []segSnap, merged *sketchArena, idx *hindex.Index) (*segment, int) {
+	gLo := snaps[0].loEntry
+	gHi := snaps[len(snaps)-1].loEntry + snaps[len(snaps)-1].n
+	cached := !e.cfg.SketchOnly && !e.cfg.LowMemory
+
+	mergedEntries := make([]sketchEntry, 0, gHi-gLo)
+	var mergedObjects []object.Object
+	if cached {
+		mergedObjects = make([]object.Object, 0, gHi-gLo)
+	}
+	newlyDead := 0
+	for _, sn := range snaps {
+		for li := 0; li < sn.n; li++ {
+			if sn.dead[li] {
+				continue
+			}
+			g := sn.loEntry + li
+			ent := e.entries[g]
+			k := len(mergedEntries)
+			if ent.dead {
+				// Tombstoned while the merge was building: the merged arena
+				// keeps the rows as tombstones; the fresh index must drop
+				// them (Delete removed them from the old segment's index).
+				newlyDead++
+				if idx != nil {
+					lo, hi := merged.rowsOf(k)
+					for row := lo; row < hi; row++ {
+						idx.Delete(int32(row), merged.words)
+					}
+				}
+			}
+			mergedEntries = append(mergedEntries, ent)
+			if cached {
+				mergedObjects = append(mergedObjects, e.objects[g])
+			}
+		}
+	}
+	reclaimed := (gHi - gLo) - len(mergedEntries)
+
+	newEntries := make([]sketchEntry, 0, len(e.entries)-reclaimed)
+	newEntries = append(newEntries, e.entries[:gLo]...)
+	newEntries = append(newEntries, mergedEntries...)
+	newEntries = append(newEntries, e.entries[gHi:]...)
+	e.entries = newEntries
+	if cached {
+		newObjects := make([]object.Object, 0, cap(newEntries))
+		newObjects = append(newObjects, e.objects[:gLo]...)
+		newObjects = append(newObjects, mergedObjects...)
+		newObjects = append(newObjects, e.objects[gHi:]...)
+		e.objects = newObjects
+	}
+	return &segment{
+		loEntry: gLo,
+		n:       len(mergedEntries),
+		deleted: newlyDead,
+		arena:   merged,
+		hindex:  idx,
+	}, reclaimed
+}
+
+// Compact merges every segment into one tombstone-free segment. Ingest is
+// frozen for the duration (ingestMu), but queries keep running: the merged
+// arena and index are built outside the engine lock and the write lock is
+// held only for the final swap. Reclaimed tombstones are folded into a
+// store checkpoint so the WAL shrinks with the in-memory state.
+func (e *Engine) Compact() {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+
+	e.mu.RLock()
+	if e.deleted == 0 && len(e.segs) == 1 {
+		e.mu.RUnlock()
+		return
+	}
+	snaps := make([]segSnap, len(e.segs))
+	for i, s := range e.segs {
+		snaps[i] = snapshotSeg(e, s)
+	}
+	e.mu.RUnlock()
+
+	merged, idx := e.buildMerged(snaps)
+
+	e.mu.Lock()
+	ms, reclaimed := e.swapMerged(snaps, merged, idx)
+	e.segs = []*segment{ms} // the lone segment is the new mutable tail
+	e.deleted = ms.deleted
+	liveRows := merged.rows()
+	for li := 0; li < ms.n; li++ {
+		if e.entries[li].dead {
+			liveRows -= ms.arena.nsegOf(li)
+		}
+	}
+	e.met.deleted.Set(int64(e.deleted))
+	e.met.segments.Set(int64(liveRows))
+	e.met.storageSegs.Set(int64(len(e.segs)))
+	e.updateIndexGauges()
+	e.met.compacts.Inc()
+	e.mu.Unlock()
+
+	e.checkpointAfterMerge(reclaimed)
+}
+
+// pickMerge chooses the background compactor's next unit under the read
+// lock: the first run of at least MergeSegments adjacent sealed segments
+// each no bigger than 4×SealEntries (two-level tiering: freshly sealed
+// segments merge up, already-merged ones are left alone), else the first
+// sealed segment whose tombstone fraction reached TombstoneFrac (solo
+// rewrite). Deterministic, so torture schedules replay exactly. Returns nil
+// when nothing is eligible.
+func (e *Engine) pickMerge() []segSnap {
+	p := e.cfg.Segments
+	sealed := e.segs[:len(e.segs)-1] // the tail is never merged
+	limit := 4 * p.SealEntries
+	runStart, runLen := -1, 0
+	for i, s := range sealed {
+		if s.liveEntries() <= limit {
+			if runStart < 0 {
+				runStart = i
+			}
+			runLen++
+			if runLen >= p.MergeSegments {
+				snaps := make([]segSnap, 0, runLen)
+				for _, rs := range sealed[runStart : runStart+runLen] {
+					snaps = append(snaps, snapshotSeg(e, rs))
+				}
+				return snaps
+			}
+		} else {
+			runStart, runLen = -1, 0
+		}
+	}
+	for _, s := range sealed {
+		if s.n > 0 && float64(s.deleted) >= p.TombstoneFrac*float64(s.n) && s.deleted > 0 {
+			return []segSnap{snapshotSeg(e, s)}
+		}
+	}
+	return nil
+}
+
+// compactOnce runs one background compaction step: merge one eligible run
+// of sealed segments (or rewrite one tombstone-heavy segment) and swap it
+// in. The mutable tail is untouched, so ingest never blocks behind a merge.
+// Returns whether a merge ran.
+func (e *Engine) compactOnce() bool {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+
+	e.mu.RLock()
+	snaps := e.pickMerge()
+	e.mu.RUnlock()
+	if snaps == nil {
+		return false
+	}
+
+	merged, idx := e.buildMerged(snaps)
+
+	e.mu.Lock()
+	ms, reclaimed := e.swapMerged(snaps, merged, idx)
+	ms.sealed = true
+	si := -1
+	for i, s := range e.segs {
+		if s == snaps[0].seg {
+			si = i
+			break
+		}
+	}
+	newSegs := make([]*segment, 0, len(e.segs))
+	newSegs = append(newSegs, e.segs[:si]...)
+	if ms.n > 0 {
+		newSegs = append(newSegs, ms)
+	}
+	newSegs = append(newSegs, e.segs[si+len(snaps):]...)
+	for _, s := range e.segs[si+len(snaps):] {
+		s.loEntry -= reclaimed
+	}
+	e.segs = newSegs
+	e.deleted -= reclaimed
+	e.met.deleted.Set(int64(e.deleted))
+	e.met.storageSegs.Set(int64(len(e.segs)))
+	e.updateIndexGauges()
+	e.met.merges.Inc()
+	e.mu.Unlock()
+
+	e.checkpointAfterMerge(reclaimed)
+	return true
+}
+
+// checkpointAfterMerge folds reclaimed tombstones into a store checkpoint:
+// the in-memory state just shrank, so the WAL's delete records can fold
+// into a fresh snapshot. Checkpoint failures are not fatal here — the store
+// either recovers the same state from the old checkpoint + WAL, or has
+// poisoned itself (fsync failure), which the next Ingest surfaces.
+func (e *Engine) checkpointAfterMerge(reclaimed int) {
+	if reclaimed == 0 {
+		return
+	}
+	if err := e.meta.Checkpoint(); err != nil && e.cfg.Store.Logger != nil {
+		e.cfg.Store.Logger.Error("post-merge checkpoint failed", "err", err.Error())
+	}
+}
+
+// compactLoop is the background compactor goroutine: one compaction step
+// per tick, paced against query load inside the build. Started by Open when
+// sealing is enabled with a non-negative Interval; stopped by Close.
+func (e *Engine) compactLoop() {
+	defer close(e.compactDone)
+	t := time.NewTicker(e.cfg.Segments.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.compactStop:
+			return
+		case <-t.C:
+			e.compactOnce()
+		}
+	}
+}

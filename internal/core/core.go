@@ -24,7 +24,6 @@ import (
 
 	"ferret/internal/attr"
 	"ferret/internal/emd"
-	"ferret/internal/hindex"
 	"ferret/internal/kvstore"
 	"ferret/internal/metastore"
 	"ferret/internal/object"
@@ -202,6 +201,16 @@ type Config struct {
 	// to the arena scan, with a cost-model fallback to the scan when a
 	// probe cannot win.
 	HIndex HIndexParams
+	// Segments configures the LSM-flavored segmented ingest pipeline (see
+	// segment.go and compactor.go): writes land in a small mutable tail
+	// segment that is sealed at SealEntries, while a background compactor
+	// merges sealed segments incrementally. The zero value keeps the engine
+	// in single-arena mode.
+	Segments SegmentParams
+	// Ingest configures the bounded ingest queue (see ingest.go):
+	// backpressure between producers and the engine's serialized write path.
+	// The zero value admits writers directly with no queue.
+	Ingest IngestParams
 	// LowMemory keeps only sketches resident: the ranking unit fetches
 	// candidate feature vectors from the metadata store on demand instead
 	// of caching every vector in RAM — the paper's large-dataset regime,
@@ -317,16 +326,28 @@ type Engine struct {
 
 	// pool is the persistent scan/rank worker pool (started at Open,
 	// stopped by Close); sched, when non-nil, coalesces concurrent Search
-	// calls into shared arena scans.
+	// calls into shared arena scans; queue, when non-nil, is the bounded
+	// ingest queue (see ingest.go).
 	pool  *workerPool
 	sched *scheduler
+	queue *ingestQueue
+
+	// compactMu serializes compaction (Compact and the background merge
+	// steps in compactor.go); ingestMu serializes the write path and lets a
+	// full compaction freeze the mutable tail without blocking queries.
+	// Lock order: compactMu < ingestMu < mu.
+	compactMu sync.Mutex
+	ingestMu  sync.Mutex
 
 	mu      sync.RWMutex
-	entries []sketchEntry   // per-object records, ID order
-	arena   *sketchArena    // flat sketch storage, rows parallel to entries
+	entries []sketchEntry   // per-object records, ID order (global numbering)
 	objects []object.Object // in-memory feature vectors (unless SketchOnly)
-	hindex  *hindex.Index   // optional multi-table Hamming index over arena rows
+	segs    []*segment      // storage segments tiling [0, len(entries))
 	deleted int             // live tombstone count
+
+	// Background compactor lifecycle (nil when sealing is disabled).
+	compactStop chan struct{}
+	compactDone chan struct{}
 }
 
 // Open opens or creates an engine. On reopen, the persisted sketch builder
@@ -388,10 +409,18 @@ func Open(cfg Config) (*Engine, error) {
 		e.builder = b
 	}
 
-	e.arena = newArena(sketch.Words(e.builder.N()))
+	// Resolve index and segment parameters before the first segment is
+	// created: newSegment reads both.
+	if cfg.HIndex.Enable {
+		e.cfg.HIndex = cfg.HIndex.withDefaults()
+	}
+	if cfg.Segments.SealEntries > 0 {
+		e.cfg.Segments = cfg.Segments.withDefaults()
+	}
+	e.segs = []*segment{e.newSegment(0)}
 	meta.ForEachSketchSet(func(id object.ID, set *metastore.SketchSet) bool {
 		e.entries = append(e.entries, sketchEntry{id: id})
-		e.arena.appendEntry(set.Weights, set.Sketches)
+		e.appendToTail(set.Weights, set.Sketches)
 		return true
 	})
 	for i := range e.entries {
@@ -416,13 +445,9 @@ func Open(cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	if cfg.HIndex.Enable {
-		e.cfg.HIndex = cfg.HIndex.withDefaults()
-		e.hindex = hindex.New(e.builder.N(), e.arena.wps, e.cfg.HIndex.Tables)
-		e.indexArena()
-	}
 	e.met.objects.Set(int64(len(e.entries)))
-	e.met.segments.Set(int64(e.arena.rows()))
+	e.met.segments.Set(int64(e.totalRows()))
+	e.met.storageSegs.Set(int64(len(e.segs)))
 	e.updateIndexGauges()
 	// At least two workers even on small hosts, so batch rank fan-out and
 	// the pool-utilization gauge are exercised everywhere.
@@ -434,6 +459,14 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.Scheduler.Window > 0 {
 		e.sched = newScheduler(e, cfg.Scheduler)
 	}
+	if e.cfg.Segments.SealEntries > 0 && e.cfg.Segments.Interval > 0 {
+		e.compactStop = make(chan struct{})
+		e.compactDone = make(chan struct{})
+		go e.compactLoop()
+	}
+	if cfg.Ingest.Workers > 0 || cfg.Ingest.Depth > 0 {
+		e.queue = newIngestQueue(e, e.cfg.Ingest.withDefaults())
+	}
 	return e, nil
 }
 
@@ -441,6 +474,14 @@ func Open(cfg Config) (*Engine, error) {
 // fails anything still queued, the worker pool drains, and the metadata
 // store is released. Safe to call more than once.
 func (e *Engine) Close() error {
+	if e.queue != nil {
+		e.queue.close()
+	}
+	if e.compactStop != nil {
+		close(e.compactStop)
+		<-e.compactDone
+		e.compactStop = nil
+	}
 	if e.sched != nil {
 		e.sched.close()
 	}
@@ -486,6 +527,9 @@ type Stats struct {
 	HIndexTables int
 	// HIndexLoad is the mean live-slot occupancy of the index tables.
 	HIndexLoad float64
+	// StorageSegments is the storage-segment count (sealed + mutable tail);
+	// 1 in single-arena mode.
+	StorageSegments int
 }
 
 // Stat reports engine statistics. The counts come from telemetry gauges
@@ -504,93 +548,32 @@ func (e *Engine) Stat() Stats {
 		IndexedSegments: int(e.met.indexedSegments.Value()),
 		HIndexTables:    int(e.met.hindexTables.Value()),
 		HIndexLoad:      float64(e.met.hindexLoad.Value()) / 1000,
+		StorageSegments: int(e.met.storageSegs.Value()),
 	}
 }
 
-// indexArena populates a fresh Hamming index with every live entry's arena
-// rows. Caller holds the write lock (or is inside Open, before the engine
-// is shared).
-func (e *Engine) indexArena() {
-	for idx := range e.entries {
-		if e.entries[idx].dead {
-			continue
-		}
-		lo, hi := e.arena.rowsOf(idx)
-		for row := lo; row < hi; row++ {
-			e.hindex.Insert(int32(row), e.arena.words)
-		}
-	}
-}
-
-// updateIndexGauges publishes the Hamming index's population, table count
-// and load factor after a mutation; Stat() reads them lock-free.
+// updateIndexGauges publishes the Hamming indexes' population, table count
+// and mean load factor after a mutation; Stat() reads them lock-free.
 func (e *Engine) updateIndexGauges() {
-	if e.hindex == nil {
+	if !e.cfg.HIndex.Enable {
 		return
 	}
-	e.met.indexedSegments.Set(int64(e.hindex.Rows()))
-	e.met.hindexTables.Set(int64(e.hindex.Tables()))
-	e.met.hindexLoad.Set(int64(e.hindex.LoadFactor() * 1000))
-}
-
-// Compact rebuilds the arena and the per-object records without
-// tombstones; the Hamming index is remapped in place (row renames only —
-// deleted rows already left it at Delete time), never rebuilt. Queries are
-// blocked for the duration. (Reopening the engine has the same effect,
-// since deleted metadata is already gone from the store.)
-func (e *Engine) Compact() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.deleted == 0 {
-		return
-	}
-	// The Hamming index's row renames must be computed against the *old*
-	// arena numbering: compaction keeps live rows in order, so the new ID
-	// is a running count over live entries' row ranges.
-	var remap []int32
-	if e.hindex != nil {
-		remap = make([]int32, e.arena.rows())
-		next := int32(0)
-		for idx := range e.entries {
-			lo, hi := e.arena.rowsOf(idx)
-			for row := lo; row < hi; row++ {
-				if e.entries[idx].dead {
-					remap[row] = -1
-					continue
-				}
-				remap[row] = next
-				next++
-			}
-		}
-	}
-	// The arena must be compacted against the *old* entry numbering before
-	// the entry slice itself is filtered.
-	e.arena = e.arena.compact(func(idx int) bool { return e.entries[idx].dead })
-	cached := !e.cfg.SketchOnly && !e.cfg.LowMemory
-	liveEntries := make([]sketchEntry, 0, len(e.entries)-e.deleted)
-	var liveObjects []object.Object
-	if cached {
-		liveObjects = make([]object.Object, 0, len(e.entries)-e.deleted)
-	}
-	for i := range e.entries {
-		if e.entries[i].dead {
+	rows, tables, nseg := 0, 0, 0
+	load := 0.0
+	for _, s := range e.segs {
+		if s.hindex == nil {
 			continue
 		}
-		liveEntries = append(liveEntries, e.entries[i])
-		if cached {
-			liveObjects = append(liveObjects, e.objects[i])
-		}
+		rows += s.hindex.Rows()
+		tables = s.hindex.Tables()
+		load += s.hindex.LoadFactor()
+		nseg++
 	}
-	e.entries = liveEntries
-	e.objects = liveObjects
-	e.deleted = 0
-	if e.hindex != nil {
-		e.hindex.Remap(remap)
-		e.updateIndexGauges()
+	e.met.indexedSegments.Set(int64(rows))
+	e.met.hindexTables.Set(int64(tables))
+	if nseg > 0 {
+		e.met.hindexLoad.Set(int64(load / float64(nseg) * 1000))
 	}
-	e.met.deleted.Set(0)
-	e.met.segments.Set(int64(e.arena.rows()))
-	e.met.compacts.Inc()
 }
 
 // Delete removes an object: its metadata is deleted transactionally and
@@ -608,20 +591,23 @@ func (e *Engine) Delete(id object.ID) error {
 		if e.entries[i].id == id && !e.entries[i].dead {
 			e.entries[i].dead = true
 			e.deleted++
-			if e.hindex != nil {
+			seg, li := e.segOf(i)
+			seg.deleted++
+			if seg.hindex != nil {
 				// Unindex online while the tombstoned rows are still in the
 				// arena (keys are recomputed from row content), so probes
-				// never see dead rows and compaction is a pure rename.
-				lo, hi := e.arena.rowsOf(i)
+				// never see dead rows and a merge is a pure rebuild over
+				// live rows.
+				lo, hi := seg.arena.rowsOf(li)
 				for row := lo; row < hi; row++ {
-					e.hindex.Delete(int32(row), e.arena.words)
+					seg.hindex.Delete(int32(row), seg.arena.words)
 				}
 				e.updateIndexGauges()
 			}
 			e.met.deletes.Inc()
 			e.met.objects.Add(-1)
 			e.met.deleted.Add(1)
-			e.met.segments.Add(-int64(e.arena.nsegOf(i)))
+			e.met.segments.Add(-int64(seg.arena.nsegOf(li)))
 			break
 		}
 	}
@@ -651,27 +637,32 @@ func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
 	if len(attrs) > 0 {
 		extra = func(txn *kvstore.Txn, id object.ID) { e.attrs.Set(txn, id, attrs) }
 	}
+	// ingestMu serializes the store commit with the in-memory append, so
+	// entries stay in ID order and a full compaction can freeze the tail by
+	// holding it; queries are untouched (they only take e.mu).
+	e.ingestMu.Lock()
 	id, err := e.meta.AddObject(o, set, e.cfg.SketchOnly, extra)
 	if err != nil {
+		e.ingestMu.Unlock()
+		if errors.Is(err, kvstore.ErrPoisoned) {
+			// The store can no longer fsync: reject instead of retrying into
+			// a wall. The server maps this to a distinct wire error.
+			e.met.ingestRejected.Inc()
+		}
 		return 0, err
 	}
 	o.ID = id
 	e.mu.Lock()
 	e.entries = append(e.entries, sketchEntry{id: id, key: o.Key})
-	e.arena.appendEntry(set.Weights, set.Sketches)
-	if e.hindex != nil {
-		lo, hi := e.arena.rowsOf(len(e.entries) - 1)
-		for row := lo; row < hi; row++ {
-			e.hindex.Insert(int32(row), e.arena.words)
-		}
-		e.updateIndexGauges()
-	}
+	e.appendToTail(set.Weights, set.Sketches)
+	e.updateIndexGauges()
 	if !e.cfg.SketchOnly && !e.cfg.LowMemory {
 		e.objects = append(e.objects, o)
 	}
 	e.met.objects.Add(1)
 	e.met.segments.Add(int64(len(set.Sketches)))
 	e.mu.Unlock()
+	e.ingestMu.Unlock()
 	e.met.ingests.Inc()
 	e.met.ingestTime.ObserveSince(start)
 	return id, nil

@@ -28,9 +28,11 @@ type queryScratch struct {
 	probe []int32    // candidate rows streamed out of the Hamming index
 	seen  []uint64   // per-row dedup bitmap for the index descent (kept zero)
 
-	// Filter-mode accounting for the answer's mode=index|scan flag: query
-	// segments served by a Hamming-index probe vs. by an arena scan.
-	idxSegs, scanSegs int
+	// Filter-mode accounting for the answer's mode=index|scan flag: (query
+	// segment × storage segment) units served by a Hamming-index probe vs.
+	// by an arena scan. scannedN counts the objects those units visited, for
+	// the shared batched path's per-request attribution.
+	idxSegs, scanSegs, scannedN int
 
 	// Ranking-unit scratch (sketch lower-bound pruning).
 	lbs    []lbCand
@@ -66,7 +68,7 @@ func getScratch() *queryScratch {
 	// Zero the per-query mode accounting here, not only in filter():
 	// brute-force and sketch-only queries never run the filter stage, and a
 	// reused scratch must not leak the previous query's FilterMode.
-	sc.idxSegs, sc.scanSegs = 0, 0
+	sc.idxSegs, sc.scanSegs, sc.scannedN = 0, 0, 0
 	return sc
 }
 
@@ -162,23 +164,31 @@ func (e *Engine) filter(clk *queryClock, q *object.Object, qset *metastore.Sketc
 		maxHam := int(frac * float64(n))
 		qsk := qset.Sketches[qi]
 
-		// With the Hamming index enabled, probe its substring tables
-		// instead of streaming the arena — unless the cost model predicts
-		// the probe loses, or verification shows the index's exact radius
-		// cannot cover this segment's threshold (probeSegment falls back).
-		if e.hindex != nil {
-			if heap, verified, ok := e.probeSegment(clk, qsk, maxHam, p.NearestPerSegment, opt, sc); ok {
-				scanned += verified
-				cands = append(cands, heap.items()...)
-				sc.idxSegs++
+		// One accumulator heap per query segment, fed by every storage
+		// segment in turn: pushes apply the global (hamming, entry) pair
+		// order, so the result is bit-identical to a single-arena pass no
+		// matter how the corpus is segmented.
+		acc := sc.heap(0, p.NearestPerSegment)
+		for _, seg := range e.segs {
+			if seg.liveEntries() == 0 {
 				continue
 			}
+			// With the Hamming index enabled, probe the segment's substring
+			// tables instead of streaming its arena — unless the cost model
+			// predicts the probe loses, or verification shows the index's
+			// exact radius cannot cover this query segment's threshold
+			// (probeSegment falls back).
+			if seg.hindex != nil {
+				if verified, ok := e.probeSegment(clk, seg, qsk, maxHam, p.NearestPerSegment, opt, sc, acc); ok {
+					scanned += verified
+					sc.idxSegs++
+					continue
+				}
+			}
+			scanned += e.scanSegment(clk, seg, qsk, maxHam, p.NearestPerSegment, workers, opt, sc, acc)
+			sc.scanSegs++
 		}
-
-		merged, segScanned := e.scanSketches(clk, qsk, maxHam, p.NearestPerSegment, workers, opt, sc)
-		scanned += segScanned
-		cands = append(cands, merged.items()...)
-		sc.scanSegs++
+		cands = append(cands, acc.items()...)
 	}
 
 	// Dedup the candidate union: one ranking evaluation per distinct
@@ -196,27 +206,28 @@ func (e *Engine) filter(clk *queryClock, q *object.Object, qset *metastore.Sketc
 	return cands, nil
 }
 
-// scanSketches streams the arena for one query segment and returns the
-// k-nearest heap plus the number of objects scanned. Results are identical
-// to the pre-arena slice-of-slices scan up to ties.
-func (e *Engine) scanSketches(clk *queryClock, qsk sketch.Sketch, maxHam, k, workers int, opt QueryOptions, sc *queryScratch) (*segHeap, int) {
-	a := e.arena
-	fast := opt.Restrict == nil && e.deleted == 0
+// scanSegment streams one storage segment's arena for one query segment,
+// pushing survivors into the cross-segment accumulator acc (heap slot 0;
+// the probe's temp heap is slot 1, parallel shard heaps start at slot 2).
+// Returns the number of objects scanned. Results are identical to a
+// single-arena scan: every push applies the global (hamming, entry) pair
+// order.
+func (e *Engine) scanSegment(clk *queryClock, seg *segment, qsk sketch.Sketch, maxHam, k, workers int, opt QueryOptions, sc *queryScratch, acc *segHeap) int {
+	fast := opt.Restrict == nil && seg.deleted == 0
 	if workers <= 1 {
-		heap := sc.heap(0, k)
 		if fast {
 			hits, dist := sc.selectBlocks()
-			e.scanArenaRows(clk, qsk, maxHam, heap, hits, dist, 0, a.rows())
-			return heap, len(e.entries)
+			e.scanArenaRows(clk, seg, qsk, maxHam, acc, hits, dist, 0, seg.arena.rows())
+			return seg.n
 		}
-		return heap, e.scanEntryRange(clk, qsk, maxHam, heap, opt, 0, len(e.entries))
+		return e.scanEntryRange(clk, seg, qsk, maxHam, acc, opt, 0, seg.n)
 	}
 
-	// Parallel scan: claim all shard heaps (and the merge slot) before the
-	// goroutines fan out, then shard the arena rows (fast path) or the
-	// entry range (slow path).
-	for s := 0; s <= workers; s++ {
-		sc.heap(s, k)
+	// Parallel scan: claim all shard heaps before the goroutines fan out,
+	// then shard the segment's arena rows (fast path) or its entry range
+	// (slow path) and merge the shard heaps into the accumulator.
+	for s := 0; s < workers; s++ {
+		sc.heap(2+s, k)
 	}
 	if cap(sc.scans) < workers {
 		sc.scans = make([]int, workers)
@@ -227,40 +238,40 @@ func (e *Engine) scanSketches(clk *queryClock, qsk sketch.Sketch, maxHam, k, wor
 	}
 	scanned := 0
 	if fast {
-		e.parallelScan(a.rows(), workers, func(shard, lo, hi int) {
+		e.parallelScan(seg.arena.rows(), workers, func(shard, lo, hi int) {
 			var hits, dist [batchRows]int32
-			e.scanArenaRows(clk, qsk, maxHam, sc.heaps[shard], hits[:], dist[:], lo, hi)
+			e.scanArenaRows(clk, seg, qsk, maxHam, sc.heaps[2+shard], hits[:], dist[:], lo, hi)
 		})
-		scanned = len(e.entries)
+		scanned = seg.n
 	} else {
-		e.parallelScan(len(e.entries), workers, func(shard, lo, hi int) {
-			scans[shard] = e.scanEntryRange(clk, qsk, maxHam, sc.heaps[shard], opt, lo, hi)
+		e.parallelScan(seg.n, workers, func(shard, lo, hi int) {
+			scans[shard] = e.scanEntryRange(clk, seg, qsk, maxHam, sc.heaps[2+shard], opt, lo, hi)
 		})
 		for _, n := range scans {
 			scanned += n
 		}
 	}
-	merged := sc.heaps[workers]
 	for s := 0; s < workers; s++ {
-		h := sc.heaps[s]
+		h := sc.heaps[2+s]
 		for i := range h.entry {
 			// Unconditional: push itself applies the (hamming, entry) pair
 			// order, so ties at the merge bound resolve identically to a
 			// serial scan.
-			merged.push(h.entry[i], h.ham[i])
+			acc.push(h.entry[i], h.ham[i])
 		}
 	}
-	return merged, scanned
+	return scanned
 }
 
-// scanArenaRows is the filter scan's fast path over arena rows [lo, hi):
-// blocks of rows go through the fused select kernel under the block-entry
-// bound, then the (few) selected rows replay the exact heap logic, so the
-// result is identical to a row-by-row scan while misses never leave the
-// kernel. Valid only when every row belongs to a live, unrestricted entry.
+// scanArenaRows is the filter scan's fast path over one segment's arena
+// rows [lo, hi) (segment-local): blocks of rows go through the fused select
+// kernel under the block-entry bound, then the (few) selected rows replay
+// the exact heap logic, so the result is identical to a row-by-row scan
+// while misses never leave the kernel. Valid only when every row belongs to
+// a live, unrestricted entry.
 //ferret:noalloc
-func (e *Engine) scanArenaRows(clk *queryClock, qsk sketch.Sketch, maxHam int, heap *segHeap, hits, dist []int32, lo, hi int) {
-	a := e.arena
+func (e *Engine) scanArenaRows(clk *queryClock, seg *segment, qsk sketch.Sketch, maxHam int, heap *segHeap, hits, dist []int32, lo, hi int) {
+	a := seg.arena
 	for base := lo; base < hi; base += batchRows {
 		if clk.stop() {
 			return
@@ -282,7 +293,7 @@ func (e *Engine) scanArenaRows(clk *queryClock, qsk sketch.Sketch, maxHam int, h
 		n := sketch.HammingSelect(qsk, a.words, base*a.wps, nb, bound, hits, dist)
 		for k := 0; k < n; k++ {
 			if h := dist[k]; h <= bound {
-				heap.push(int(a.entry[base+int(hits[k])]), int(h))
+				heap.push(seg.loEntry+int(a.entry[base+int(hits[k])]), int(h))
 				if w := heap.worst(); w < int(bound) {
 					bound = int32(w)
 				}
@@ -291,18 +302,19 @@ func (e *Engine) scanArenaRows(clk *queryClock, qsk sketch.Sketch, maxHam int, h
 	}
 }
 
-// scanEntryRange is the tombstone/Restrict-aware path over entries
-// [lo, hi), reading sketch rows from the arena. Returns the number of
-// objects scanned.
+// scanEntryRange is the tombstone/Restrict-aware path over one segment's
+// local entries [lo, hi), reading sketch rows from its arena. Returns the
+// number of objects scanned.
 //ferret:noalloc
-func (e *Engine) scanEntryRange(clk *queryClock, qsk sketch.Sketch, maxHam int, heap *segHeap, opt QueryOptions, lo, hi int) int {
-	a := e.arena
+func (e *Engine) scanEntryRange(clk *queryClock, seg *segment, qsk sketch.Sketch, maxHam int, heap *segHeap, opt QueryOptions, lo, hi int) int {
+	a := seg.arena
 	scanned := 0
-	for idx := lo; idx < hi; idx++ {
-		if (idx-lo)%scanCheckStride == 0 && clk.stop() {
+	for li := lo; li < hi; li++ {
+		if (li-lo)%scanCheckStride == 0 && clk.stop() {
 			break
 		}
-		ent := &e.entries[idx]
+		g := seg.loEntry + li
+		ent := &e.entries[g]
 		if ent.dead {
 			continue
 		}
@@ -310,7 +322,7 @@ func (e *Engine) scanEntryRange(clk *queryClock, qsk sketch.Sketch, maxHam int, 
 			continue
 		}
 		scanned++
-		rlo, rhi := a.rowsOf(idx)
+		rlo, rhi := a.rowsOf(li)
 		bound := maxHam
 		if w := heap.worst(); w < bound {
 			bound = w
@@ -318,7 +330,7 @@ func (e *Engine) scanEntryRange(clk *queryClock, qsk sketch.Sketch, maxHam int, 
 		for row := rlo; row < rhi; row++ {
 			h := sketch.HammingAt(qsk, a.words, row*a.wps)
 			if h <= bound {
-				heap.push(idx, h)
+				heap.push(g, h)
 				if w := heap.worst(); w < bound {
 					bound = w
 				}

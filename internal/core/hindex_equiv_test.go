@@ -239,7 +239,7 @@ func TestHIndexMutationEquivalence(t *testing.T) {
 			queryPair(t, fmt.Sprintf("step%d", step), ei, es, q, QueryOptions{K: k})
 		}
 	}
-	if got, want := ei.hindex.Rows(), es.Stat().Segments; got != want {
+	if got, want := ei.indexedRows(), es.Stat().Segments; got != want {
 		t.Fatalf("index holds %d rows, scan engine has %d live segments", got, want)
 	}
 }

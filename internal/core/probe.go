@@ -36,24 +36,29 @@ func (p HIndexParams) withDefaults() HIndexParams {
 	return p
 }
 
-// probeSegment serves one query segment from the multi-table Hamming index
-// instead of the arena scan. It returns the k-nearest heap, the number of
-// rows verified (the probe's contribution to the objects-scanned metric)
-// and whether the probe succeeded; on ok=false the caller must fall back to
-// scanSketches and the heap content is meaningless.
+// probeSegment serves one (query segment × storage segment) unit from the
+// storage segment's multi-table Hamming index instead of its arena scan. It
+// returns the number of rows verified (the probe's contribution to the
+// objects-scanned metric) and whether the probe succeeded; on success the
+// segment's k nearest were merged into the cross-segment accumulator acc,
+// on ok=false the caller must fall back to scanSegment and acc is
+// untouched.
 //
-// Correctness: the index's candidate stream is a superset of every row
-// within Hamming radius rEff = min(maxHam, Radius()) of the query
+// Correctness: the index's candidate stream is a superset of every segment
+// row within Hamming radius rEff = min(maxHam, Radius()) of the query
 // (pigeonhole). Candidates are verified with the same HammingAt kernel the
-// scan uses and pushed under the same (hamming, entry) pair order, with the
-// acceptance bound clamped to rEff. The result is bit-identical to the
-// arena scan's whenever the probe reports ok:
+// scan uses and pushed — into a private temp heap, so a failed probe never
+// pollutes the accumulator — under the same (hamming, entry) pair order,
+// with the acceptance bound clamped to rEff. The merge is bit-identical to
+// scanning the segment into acc whenever the probe reports ok:
 //
 //   - rEff == maxHam: the stream covers the whole acceptance radius, so the
-//     replay sees every row the scan would have accepted.
+//     replay sees every segment row the scan would have accepted.
 //   - rEff < maxHam: coverage is only guaranteed up to rEff, so the probe
-//     succeeds only if the heap fills within it — then the k global nearest
-//     all sit at distance ≤ worst ≤ rEff and were all in the stream.
+//     succeeds only if the temp heap fills within it — then the segment's k
+//     nearest all sit at distance ≤ worst ≤ rEff and were all in the
+//     stream. Any segment row beyond rEff is dominated by those k rows, so
+//     it could not have entered acc either.
 //
 // Cost model (ok=false before any verification): the estimated candidate
 // stream length (exact, from bucket populations) must stay below
@@ -61,8 +66,8 @@ func (p HIndexParams) withDefaults() HIndexParams {
 // row reads lose to the scan's streaming kernels — and, when rEff < maxHam,
 // must be at least k, or the heap provably cannot fill.
 //ferret:noalloc
-func (e *Engine) probeSegment(clk *queryClock, qsk sketch.Sketch, maxHam, k int, opt QueryOptions, sc *queryScratch) (*segHeap, int, bool) {
-	ix := e.hindex
+func (e *Engine) probeSegment(clk *queryClock, seg *segment, qsk sketch.Sketch, maxHam, k int, opt QueryOptions, sc *queryScratch, acc *segHeap) (int, bool) {
+	ix := seg.hindex
 	rEff := ix.Radius()
 	if maxHam < rEff {
 		rEff = maxHam
@@ -71,11 +76,11 @@ func (e *Engine) probeSegment(clk *queryClock, qsk sketch.Sketch, maxHam, k int,
 	rows := ix.Rows()
 	if float64(est) > e.cfg.HIndex.MaxCandidateFrac*float64(rows) || (rEff < maxHam && est < k) {
 		e.met.hixFallback.Inc()
-		return nil, 0, false
+		return 0, false
 	}
 
 	probeStart := time.Now()
-	seen := resizeU64(&sc.seen, (e.arena.rows()+63)/64)
+	seen := resizeU64(&sc.seen, (seg.arena.rows()+63)/64)
 	buf := ix.AppendCandidates(sc.probe[:0], qsk, seen)
 	for _, row := range buf {
 		seen[row>>6] &^= 1 << (uint(row) & 63)
@@ -89,8 +94,8 @@ func (e *Engine) probeSegment(clk *queryClock, qsk sketch.Sketch, maxHam, k int,
 		SetAttr("candidates", int64(len(buf)))
 
 	verifyStart := time.Now()
-	a := e.arena
-	heap := sc.heap(0, k)
+	a := seg.arena
+	tmp := sc.heap(1, k)
 	bound := rEff
 	for i, row := range buf {
 		if i%scanCheckStride == 0 && clk.stop() {
@@ -98,13 +103,13 @@ func (e *Engine) probeSegment(clk *queryClock, qsk sketch.Sketch, maxHam, k int,
 		}
 		// Deleted rows never appear (Delete removes them from the index);
 		// only a caller-supplied Restrict set can exclude a candidate.
-		if opt.Restrict != nil && !opt.Restrict[e.entries[a.entry[row]].id] {
+		if opt.Restrict != nil && !opt.Restrict[e.entries[seg.loEntry+int(a.entry[row])].id] {
 			continue
 		}
 		h := sketch.HammingAt(qsk, a.words, int(row)*a.wps)
 		if h <= bound {
-			heap.push(int(a.entry[row]), h)
-			if w := heap.worst(); w < bound {
+			tmp.push(seg.loEntry+int(a.entry[row]), h)
+			if w := tmp.worst(); w < bound {
 				bound = w
 			}
 		}
@@ -112,34 +117,40 @@ func (e *Engine) probeSegment(clk *queryClock, qsk sketch.Sketch, maxHam, k int,
 	e.met.hixProbes.Inc()
 	e.met.hixCandidates.Add(len(buf))
 	e.met.hixBaseline.Add(rows)
-	ok := rEff >= maxHam || heap.full()
+	ok := rEff >= maxHam || tmp.full()
 	sc.trp.Record(StageHVerify, verifyStart, time.Since(verifyStart)).
 		SetAttr("verified", int64(len(buf))).
-		SetAttr("kept", int64(len(heap.items())))
+		SetAttr("kept", int64(len(tmp.items())))
 	if !ok {
 		e.met.hixFallback.Inc()
-		return nil, 0, false
+		return 0, false
 	}
-	return heap, len(buf), true
+	for i := range tmp.entry {
+		acc.push(tmp.entry[i], tmp.ham[i])
+	}
+	return len(buf), true
 }
 
-// batchedProbe serves the index-eligible (query, query-segment) pairs of a
-// shared batch with one batched table descent, the way sharedScan batches
-// the arena pass: every eligible pair's buckets stream into one candidate
-// union, which is verified once per row with the multi-query Hamming
-// kernel. It returns the pairs the shared scan must still serve (cost-model
-// and coverage fallbacks) with their sketches, plus the union's size (the
-// probed pairs' contribution to the objects-scanned metric). Caller holds
-// the read lock.
+// batchedProbeSegment serves one storage segment's index-eligible
+// (query, query-segment) pairs of a shared batch with one batched table
+// descent, the way sharedScanSegment batches the arena pass: every eligible
+// pair's buckets stream into one candidate union, which is verified once
+// per row with the multi-query Hamming kernel. It returns the pairs the
+// segment's shared scan must still serve (cost-model and coverage
+// fallbacks) with their sketches. Caller holds the read lock.
 //
-// Pushing union rows into a pair's heap is sound even though the union
-// mixes in other pairs' bucket streams: any row within the pair's clamped
-// bound rEff is necessarily in that pair's own pigeonhole superset, so the
-// extra rows can only fail the bound check — the heap ends up exactly as a
-// private probe would leave it, and the (hamming, entry) pair order makes
-// the row visit order irrelevant.
-func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchScratch) ([]scanPair, []sketch.Sketch, int) {
-	ix := e.hindex
+// Verification pushes go into per-pair temp heaps (bs.theaps), exactly as
+// in probeSegment: a successful pair's temp heap is merged into its
+// accumulator heap, a failed pair's is discarded, so fallbacks never
+// pollute the accumulator with a partial probe. Pushing union rows into a
+// pair's temp heap is sound even though the union mixes in other pairs'
+// bucket streams: any row within the pair's clamped bound rEff is
+// necessarily in that pair's own pigeonhole superset, so the extra rows can
+// only fail the bound check — the temp heap ends up exactly as a private
+// probe would leave it, and the (hamming, entry) pair order makes the row
+// visit order irrelevant.
+func (e *Engine) batchedProbeSegment(seg *segment, reqs []*batchReq, scs []*queryScratch, bs *batchScratch) ([]scanPair, []sketch.Sketch) {
+	ix := seg.hindex
 	rows := ix.Rows()
 	maxFrac := e.cfg.HIndex.MaxCandidateFrac
 	radius := ix.Radius()
@@ -148,7 +159,7 @@ func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchSc
 	spairs := bs.spairs[:0]
 	sqsks := bs.sqsks[:0]
 	probe := bs.probe[:0]
-	seen := resizeU64(&bs.seen, (e.arena.rows()+63)/64)
+	seen := resizeU64(&bs.seen, (seg.arena.rows()+63)/64)
 	defer func() {
 		bs.ppairs, bs.pqsks = ppairs, pqsks
 		bs.spairs, bs.sqsks = spairs, sqsks
@@ -180,7 +191,7 @@ func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchSc
 		seen[row>>6] &^= 1 << (uint(row) & 63)
 	}
 	if len(ppairs) == 0 {
-		return spairs, sqsks, 0
+		return spairs, sqsks
 	}
 	slices.Sort(probe)
 
@@ -209,7 +220,7 @@ func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchSc
 
 	verifyStart := time.Now()
 	bs.ms.Reset(pqsks)
-	a := e.arena
+	a := seg.arena
 	rowd := resizeI32(&bs.rowd, len(ppairs))
 	bnds := resizeI32(&bs.bounds, len(ppairs))
 	for pi := range ppairs {
@@ -219,6 +230,7 @@ func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchSc
 			b = p.maxHam
 		}
 		bnds[pi] = int32(b)
+		bs.theap(pi, p.heap.k)
 	}
 	if cap(bs.stopped) < len(reqs) {
 		bs.stopped = make([]bool, len(reqs))
@@ -236,12 +248,12 @@ func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchSc
 			}
 		}
 		sketch.HammingMultiAt(&bs.ms, a.words, int(row)*a.wps, rowd)
-		ent := int(a.entry[row])
+		ent := seg.loEntry + int(a.entry[row])
 		for pi := range ppairs {
 			if h := rowd[pi]; h <= bnds[pi] {
-				p := &ppairs[pi]
-				p.heap.push(ent, int(h))
-				if w := p.heap.worst(); w < int(bnds[pi]) {
+				th := bs.theaps[pi]
+				th.push(ent, int(h))
+				if w := th.worst(); w < int(bnds[pi]) {
 					bnds[pi] = int32(w)
 				}
 			}
@@ -257,8 +269,9 @@ func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchSc
 	}
 
 	// Per-pair success check, as in probeSegment: full coverage of the
-	// pair's threshold, or a heap filled within the index radius. Failures
-	// rejoin the shared scan with a reset heap.
+	// pair's threshold, or a temp heap filled within the index radius.
+	// Successes merge their temp heap into the pair's accumulator; failures
+	// rejoin the segment's shared scan with the accumulator untouched.
 	for pi := range ppairs {
 		p := ppairs[pi]
 		rEff := radius
@@ -268,16 +281,20 @@ func (e *Engine) batchedProbe(reqs []*batchReq, scs []*queryScratch, bs *batchSc
 		e.met.hixProbes.Inc()
 		e.met.hixCandidates.Add(len(probe))
 		e.met.hixBaseline.Add(rows)
-		if rEff >= p.maxHam || p.heap.full() {
+		th := bs.theaps[pi]
+		if rEff >= p.maxHam || th.full() {
+			for i := range th.entry {
+				p.heap.push(th.entry[i], th.ham[i])
+			}
 			scs[p.req].idxSegs++
+			scs[p.req].scannedN += len(probe)
 			continue
 		}
 		e.met.hixFallback.Inc()
-		p.heap.reset(p.heap.k)
 		spairs = append(spairs, p)
 		sqsks = append(sqsks, pqsks[pi])
 	}
-	return spairs, sqsks, len(probe)
+	return spairs, sqsks
 }
 
 // filterMode renders the scratch's per-segment accounting as the answer's

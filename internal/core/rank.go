@@ -238,14 +238,15 @@ func (e *Engine) lowerBounds(qset *metastore.SketchSet, cands []int, sqrtW bool,
 // its cheapest row cost; symmetrically for demand) — the same inequality as
 // emd.LowerBound, over estimated rather than exact costs.
 func (e *Engine) sketchLowerBound(qset *metastore.SketchSet, qw []float64, idx int, sqrtW bool, sc *queryScratch) float64 {
-	a := e.arena
-	lo, hi := a.rowsOf(idx)
+	seg, li := e.segOf(idx)
+	a := seg.arena
+	lo, hi := a.rowsOf(li)
 	m, n := len(qset.Sketches), hi-lo
 	if m == 0 || n == 0 {
 		return infinity
 	}
 	if m == 1 && n == 1 {
-		return e.estimateAt(qset.Sketches[0], lo)
+		return e.estimateAt(qset.Sketches[0], a, lo)
 	}
 	colMin := resizeF64(&sc.colMin, n)
 	for j := range colMin {
@@ -255,7 +256,7 @@ func (e *Engine) sketchLowerBound(qset *metastore.SketchSet, qw []float64, idx i
 	for i, qsk := range qset.Sketches {
 		rowMin := math.Inf(1)
 		for j := 0; j < n; j++ {
-			d := e.estimateAt(qsk, lo+j)
+			d := e.estimateAt(qsk, a, lo+j)
 			if d < rowMin {
 				rowMin = d
 			}
@@ -328,14 +329,15 @@ func normalizedWeights(dst *[]float64, w []float32, sqrtW bool) []float64 {
 // weights with a ground cost matrix of sketch-estimated ℓ₁ distances.
 // Single-segment pairs reduce to one estimated segment distance.
 func (e *Engine) sketchObjectDistanceAt(qset *metastore.SketchSet, idx int) float64 {
-	a := e.arena
-	lo, hi := a.rowsOf(idx)
+	seg, li := e.segOf(idx)
+	a := seg.arena
+	lo, hi := a.rowsOf(li)
 	m, n := len(qset.Sketches), hi-lo
 	if m == 0 || n == 0 {
 		return infinity
 	}
 	if m == 1 && n == 1 {
-		return e.estimateAt(qset.Sketches[0], lo)
+		return e.estimateAt(qset.Sketches[0], a, lo)
 	}
 	supply := make([]float64, m)
 	for i, w := range qset.Weights {
@@ -351,7 +353,7 @@ func (e *Engine) sketchObjectDistanceAt(qset *metastore.SketchSet, idx int) floa
 	for i := 0; i < m; i++ {
 		cost[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			cost[i][j] = e.estimateAt(qset.Sketches[i], lo+j)
+			cost[i][j] = e.estimateAt(qset.Sketches[i], a, lo+j)
 		}
 	}
 	val, _, err := emd.Solve(supply, demand, cost)
@@ -395,11 +397,11 @@ func (e *Engine) sketchObjectDistanceSet(qset, oset *metastore.SketchSet) float6
 	return val
 }
 
-// estimateAt converts the Hamming distance between a query sketch and arena
-// row into an estimated segment distance, applying the rank threshold when
-// configured.
-func (e *Engine) estimateAt(q sketch.Sketch, row int) float64 {
-	d := e.builder.EstimateL1(sketch.HammingAt(q, e.arena.words, row*e.arena.wps))
+// estimateAt converts the Hamming distance between a query sketch and a row
+// of the given segment arena into an estimated segment distance, applying
+// the rank threshold when configured.
+func (e *Engine) estimateAt(q sketch.Sketch, a *sketchArena, row int) float64 {
+	d := e.builder.EstimateL1(sketch.HammingAt(q, a.words, row*a.wps))
 	if t := e.cfg.RankThreshold; t > 0 && d > t {
 		d = t
 	}

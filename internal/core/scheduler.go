@@ -395,14 +395,26 @@ type batchScratch struct {
 	rowd    []int32 // one row's per-pair distances (tombstone path)
 	stopped []bool  // per-request latched clock stops
 
-	// Batched Hamming-index descent buffers (see batchedProbe).
+	// Batched Hamming-index descent buffers (see batchedProbeSegment).
 	probe  []int32         // union of candidate rows across probed pairs
 	seen   []uint64        // per-row dedup bitmap for the descent (kept zero)
-	ppairs []scanPair      // pairs served by the index this batch
+	ppairs []scanPair      // pairs served by the index this segment
 	pqsks  []sketch.Sketch // their query sketches, parallel to ppairs
-	spairs []scanPair      // pairs left for the shared scan
+	spairs []scanPair      // pairs left for the segment's shared scan
 	sqsks  []sketch.Sketch
-	probed []bool // per-request: had at least one index-probed pair
+	probed []bool      // per-request: had at least one index-probed pair
+	theaps []*segHeap  // per-pair probe temp heaps, parallel to ppairs
+}
+
+// theap returns the i-th pooled probe temp heap reset to capacity k. A
+// failed probe discards its temp heap, so the pair's accumulator heap never
+// sees rows from a probe that fell back to the scan.
+func (bs *batchScratch) theap(i, k int) *segHeap {
+	for len(bs.theaps) <= i {
+		bs.theaps = append(bs.theaps, newSegHeap(k))
+	}
+	bs.theaps[i].reset(k)
+	return bs.theaps[i]
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -436,7 +448,7 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 		scs[i] = getScratch()
 		scs[i].clk.reset(r.ctx, r.opt.Budget)
 		scs[i].trp = r.tr
-		scs[i].idxSegs, scs[i].scanSegs = 0, 0
+		scs[i].idxSegs, scs[i].scanSegs, scs[i].scannedN = 0, 0, 0
 	}
 	stageStart := time.Now()
 	bs := batchScratchPool.Get().(*batchScratch)
@@ -483,26 +495,35 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 	starts[len(reqs)] = len(pairs)
 	bs.pairs, bs.qsks = pairs, qsks
 
-	// With the Hamming index enabled, eligible pairs go through one batched
-	// table descent first; only the fallbacks (cost model, radius coverage)
-	// share the arena scan, over a correspondingly narrower kernel batch.
-	scanPairs, scanQsks, unionLen := pairs, qsks, 0
-	if e.hindex != nil {
-		scanPairs, scanQsks, unionLen = e.batchedProbe(reqs, scs, bs)
-	}
-	for pi := range scanPairs {
-		scs[scanPairs[pi].req].scanSegs++
-	}
-	if len(scanPairs) > 0 {
-		bs.ms.Reset(scanQsks)
-		// The shared scan runs under a stage pprof label and runtime/trace
-		// region so CPU profiles and execution traces slice by pipeline
-		// stage.
-		pprof.Do(reqs[0].ctx, pprof.Labels("ferret_stage", StageScan), func(ctx context.Context) {
-			defer rtrace.StartRegion(ctx, "ferret.scan").End()
-			e.sharedScan(reqs, scs, bs, scanPairs)
-		})
-	}
+	// One pass per storage segment, exactly as the serial filter iterates
+	// them: each segment's index-eligible pairs go through one batched table
+	// descent first, and only the fallbacks (cost model, radius coverage)
+	// share that segment's arena scan, over a correspondingly narrower
+	// kernel batch. The whole sweep runs under a stage pprof label and
+	// runtime/trace region so CPU profiles and execution traces slice by
+	// pipeline stage.
+	pprof.Do(reqs[0].ctx, pprof.Labels("ferret_stage", StageScan), func(ctx context.Context) {
+		defer rtrace.StartRegion(ctx, "ferret.scan").End()
+		for _, seg := range e.segs {
+			if seg.liveEntries() == 0 {
+				continue
+			}
+			scanPairs, scanQsks := pairs, qsks
+			if seg.hindex != nil {
+				scanPairs, scanQsks = e.batchedProbeSegment(seg, reqs, scs, bs)
+			}
+			if len(scanPairs) == 0 {
+				continue
+			}
+			for pi := range scanPairs {
+				sc := scs[scanPairs[pi].req]
+				sc.scanSegs++
+				sc.scannedN += seg.liveEntries()
+			}
+			bs.ms.Reset(scanQsks)
+			e.sharedScanSegment(seg, reqs, scs, bs, scanPairs)
+		}
+	})
 
 	// Per-query candidate assembly, exactly as filter() does it: heap items
 	// in segment order, then sort + compact dedup. Every coalesced query's
@@ -519,10 +540,10 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 		slices.Sort(cands)
 		cands = slices.Compact(cands)
 		sc.cands = cands
-		// As in the serial filter, "scanned" counts live objects per
-		// scan-served query segment streamed, plus the verified union rows
-		// for index-served segments.
-		e.met.scanned.Add(sc.scanSegs*(len(e.entries)-e.deleted) + sc.idxSegs*unionLen)
+		// As in the serial filter, "scanned" counts live objects streamed
+		// per scan-served unit plus verified union rows per index-served
+		// unit — accumulated per request as the segment sweep ran.
+		e.met.scanned.Add(sc.scannedN)
 		e.met.candidates.Add(len(cands))
 		e.met.stageFilter.Observe(sharedDur.Seconds())
 		sc.trp.RecordShared(StageScan, scanID, stageStart, sharedDur).
@@ -568,15 +589,16 @@ func (e *Engine) runSharedBatch(reqs []*batchReq) {
 	batchScratchPool.Put(bs)
 }
 
-// sharedScan streams the arena once for the given pairs (whose sketches
-// bs.ms was Reset with, in the same order). The fast path (no tombstones)
-// runs block-wise through the multi-query select kernel with per-pair
-// block-entry bounds and replays hits through the serial scan's exact
-// push/tighten logic; the tombstone path walks entries row by row with the
-// multi-query distance kernel. Either way each pair's heap ends up
-// identical to what its private scanSketches pass would have built.
-func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScratch, pairs []scanPair) {
-	a := e.arena
+// sharedScanSegment streams one storage segment's arena once for the given
+// pairs (whose sketches bs.ms was Reset with, in the same order). The fast
+// path (no tombstones in the segment) runs block-wise through the
+// multi-query select kernel with per-pair block-entry bounds and replays
+// hits through the serial scan's exact push/tighten logic; the tombstone
+// path walks the segment's entries row by row with the multi-query distance
+// kernel. Either way each pair's heap ends up identical to what its private
+// scanSegment pass would have built.
+func (e *Engine) sharedScanSegment(seg *segment, reqs []*batchReq, scs []*queryScratch, bs *batchScratch, pairs []scanPair) {
+	a := seg.arena
 	np := len(pairs)
 	bounds := resizeI32(&bs.bounds, np)
 	ns := resizeI32(&bs.ns, np)
@@ -585,7 +607,7 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 	}
 	stopped := bs.stopped[:len(reqs)]
 
-	if e.deleted == 0 {
+	if seg.deleted == 0 {
 		idx := resizeI32(&bs.idx, np*batchRows)
 		dist := resizeI32(&bs.dist, np*batchRows)
 		rows := a.rows()
@@ -630,7 +652,7 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 				ds := dist[pi*batchRows:]
 				for k := 0; k < int(ns[pi]); k++ {
 					if h := ds[k]; h <= bound {
-						p.heap.push(int(a.entry[base+int(hits[k])]), int(h))
+						p.heap.push(seg.loEntry+int(a.entry[base+int(hits[k])]), int(h))
 						if w := p.heap.worst(); w < int(bound) {
 							bound = int32(w)
 						}
@@ -641,14 +663,15 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 		return
 	}
 
-	// Tombstone path: walk entries, score each live row against all pairs
-	// at once, and apply the serial entry scan's per-entry bound logic.
+	// Tombstone path: walk the segment's entries, score each live row
+	// against all pairs at once, and apply the serial entry scan's per-entry
+	// bound logic.
 	rowd := resizeI32(&bs.rowd, np)
 	for i := range stopped {
 		stopped[i] = false
 	}
-	for idxE := range e.entries {
-		if idxE%scanCheckStride == 0 {
+	for li := 0; li < seg.n; li++ {
+		if li%scanCheckStride == 0 {
 			active := false
 			for i := range reqs {
 				stopped[i] = scs[i].clk.stop()
@@ -660,7 +683,8 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 				return
 			}
 		}
-		ent := &e.entries[idxE]
+		g := seg.loEntry + li
+		ent := &e.entries[g]
 		if ent.dead {
 			continue
 		}
@@ -676,13 +700,13 @@ func (e *Engine) sharedScan(reqs []*batchReq, scs []*queryScratch, bs *batchScra
 			}
 			bounds[pi] = b
 		}
-		rlo, rhi := a.rowsOf(idxE)
+		rlo, rhi := a.rowsOf(li)
 		for row := rlo; row < rhi; row++ {
 			sketch.HammingMultiAt(&bs.ms, a.words, row*a.wps, rowd)
 			for pi := range pairs {
 				if h := rowd[pi]; h <= bounds[pi] {
 					p := &pairs[pi]
-					p.heap.push(idxE, int(h))
+					p.heap.push(g, int(h))
 					if w := p.heap.worst(); w < int(bounds[pi]) {
 						bounds[pi] = int32(w)
 					}

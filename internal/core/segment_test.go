@@ -1,0 +1,309 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ferret/internal/object"
+)
+
+// The segmented engine's correctness contract: however the corpus is cut
+// into storage segments — and however the background compactor reshuffles
+// them mid-stream — every query must return bit-identical answers to a
+// single-arena engine over the same objects.
+
+// TestSegmentedEquivalence drives a segmented engine (tiny seal threshold,
+// manual compaction schedule) and a single-arena twin through one random
+// interleaving of Ingest, Delete, compaction and queries, and compares full
+// answers at every query step, with and without the Hamming index.
+func TestSegmentedEquivalence(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		name := "scan"
+		if indexed {
+			name = "hindex"
+		}
+		t.Run(name, func(t *testing.T) {
+			const d = 8
+			cfgSeg := testConfig(t.TempDir(), d)
+			cfgSeg.Segments = SegmentParams{SealEntries: 6, MergeSegments: 3, Interval: -1}
+			cfgFlat := testConfig(t.TempDir(), d)
+			if indexed {
+				hp := HIndexParams{Enable: true, Tables: 4, MaxCandidateFrac: 0.9}
+				cfgSeg.HIndex, cfgFlat.HIndex = hp, hp
+			}
+			eseg := openEngine(t, cfgSeg)
+			eflat := openEngine(t, cfgFlat)
+
+			pair := func(label string, q object.Object, opt QueryOptions) {
+				t.Helper()
+				as, err := eseg.Search(context.Background(), q, opt)
+				if err != nil {
+					t.Fatalf("%s: segmented search: %v", label, err)
+				}
+				af, err := eflat.Search(context.Background(), q, opt)
+				if err != nil {
+					t.Fatalf("%s: flat search: %v", label, err)
+				}
+				sameAnswers(t, label, as.Results, af.Results)
+			}
+
+			rng := rand.New(rand.NewSource(81))
+			live := map[string]object.ID{}
+			seq := 0
+			for step := 0; step < 260; step++ {
+				if step == 130 || step == 250 {
+					// Full compaction collapses everything to one segment;
+					// keep it at fixed steps so sealed runs can accumulate
+					// for the background merges in between.
+					eseg.Compact()
+					eflat.Compact()
+					continue
+				}
+				switch op := rng.Intn(12); {
+				case op < 5 || len(live) < 10: // ingest
+					key := fmt.Sprintf("s%04d", seq)
+					seq++
+					o := clusterObject(key, rng.Intn(5), d, 1+rng.Intn(3), 0.01, rng)
+					id, err := eseg.Ingest(o, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := eflat.Ingest(o, nil); err != nil {
+						t.Fatal(err)
+					}
+					live[key] = id
+				case op < 7: // delete a random live object from both
+					for key, id := range live {
+						if err := eseg.Delete(id); err != nil {
+							t.Fatal(err)
+						}
+						fid, ok := eflat.Meta().LookupKey(key)
+						if !ok {
+							t.Fatalf("flat engine lost key %s", key)
+						}
+						if err := eflat.Delete(fid); err != nil {
+							t.Fatal(err)
+						}
+						delete(live, key)
+						break
+					}
+				case op < 9: // one background compaction step (segmented only)
+					eseg.compactOnce()
+				default: // query
+					q := clusterObject("q", rng.Intn(5), d, 2, 0.02, rng)
+					pair(fmt.Sprintf("step%d", step), q, QueryOptions{K: 1 + rng.Intn(12)})
+				}
+			}
+
+			// The batched path must agree with both the segmented serial path
+			// and the flat engine.
+			queries := make([]object.Object, 6)
+			for i := range queries {
+				queries[i] = clusterObject(fmt.Sprintf("bq%d", i), i%5, d, 2, 0.02, rng)
+			}
+			opt := QueryOptions{K: 10, Filter: FilterParams{NearestPerSegment: 8}}
+			answers, errs := eseg.SearchBatch(context.Background(), queries, opt)
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("batch query %d: %v", i, err)
+				}
+				serial, err := eseg.searchOne(context.Background(), queries[i], opt)
+				if err != nil {
+					t.Fatalf("serial query %d: %v", i, err)
+				}
+				sameAnswers(t, fmt.Sprintf("batch-vs-serial/q%d", i), answers[i].Results, serial.Results)
+				flat, err := eflat.Search(context.Background(), queries[i], opt)
+				if err != nil {
+					t.Fatalf("flat query %d: %v", i, err)
+				}
+				sameAnswers(t, fmt.Sprintf("batch-vs-flat/q%d", i), answers[i].Results, flat.Results)
+			}
+
+			// The stream must actually have exercised the pipeline: seals
+			// happened, merges happened, and the invariants held up.
+			reg := eseg.Telemetry()
+			if reg.Value("ferret_seal_total") == 0 {
+				t.Fatal("segmented engine never sealed a tail segment")
+			}
+			if reg.Value("ferret_merge_total") == 0 {
+				t.Fatal("background compactor never merged a run")
+			}
+			eseg.mu.RLock()
+			err := eseg.checkSegInvariants()
+			eseg.mu.RUnlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSegmentGeometry pins the deterministic seal/merge/rewrite schedule:
+// seals at the configured capacity, merge of an adjacent sealed run, solo
+// rewrite of a tombstone-heavy segment, and a clean rebuild on reopen.
+func TestSegmentGeometry(t *testing.T) {
+	const d = 10
+	cfg := testConfig(t.TempDir(), d)
+	cfg.Segments = SegmentParams{SealEntries: 4, MergeSegments: 2, TombstoneFrac: 0.5, Interval: -1}
+	cfg.HIndex = HIndexParams{Enable: true}
+	e := openEngine(t, cfg)
+
+	objs := ingestVaried(t, e, 10, d)
+	byID := map[object.ID]object.Object{}
+	for _, o := range objs {
+		byID[o.ID] = o
+	}
+	// 10 entries at SealEntries=4: two sealed segments plus a 2-entry tail.
+	if got := e.Stat().StorageSegments; got != 3 {
+		t.Fatalf("%d storage segments after 10 ingests, want 3", got)
+	}
+	checkArenaAgainstObjects(t, e, byID)
+
+	// One background step merges the adjacent sealed run (the tail is never
+	// touched); a second step finds nothing eligible.
+	if !e.compactOnce() {
+		t.Fatal("compactOnce found no eligible merge run")
+	}
+	if got := e.Stat().StorageSegments; got != 2 {
+		t.Fatalf("%d storage segments after merge, want 2", got)
+	}
+	if e.compactOnce() {
+		t.Fatal("compactOnce merged with only one sealed segment")
+	}
+	checkArenaAgainstObjects(t, e, byID)
+
+	// Four more ingests: the tail seals at 4 and a fresh tail opens.
+	more := ingestVariedKeys(t, e, "h", 4, d)
+	for _, o := range more {
+		byID[o.ID] = o
+	}
+	if got := e.Stat().StorageSegments; got != 3 {
+		t.Fatalf("%d storage segments after re-ingest, want 3", got)
+	}
+	// The merged segment and the fresh seal form a new adjacent run.
+	if !e.compactOnce() {
+		t.Fatal("compactOnce skipped the merged+sealed run")
+	}
+	if got := e.Stat().StorageSegments; got != 2 {
+		t.Fatalf("%d storage segments after second merge, want 2", got)
+	}
+
+	// Tombstone half of the 12-entry sealed segment: the dead fraction
+	// reaches TombstoneFrac and the next step solo-rewrites it.
+	for _, o := range objs[:6] {
+		if err := e.Delete(o.ID); err != nil {
+			t.Fatal(err)
+		}
+		delete(byID, o.ID)
+	}
+	if !e.compactOnce() {
+		t.Fatal("compactOnce skipped the tombstone-heavy segment")
+	}
+	if got := e.Stat().Deleted; got != 0 {
+		t.Fatalf("%d tombstones after solo rewrite, want 0", got)
+	}
+	if got := len(e.entries); got != 8 {
+		t.Fatalf("%d entries after rewrite, want 8", got)
+	}
+	checkArenaAgainstObjects(t, e, byID)
+
+	rng := rand.New(rand.NewSource(17))
+	q := clusterObject("q", 1, d, 2, 0.02, rng)
+	res, err := e.Query(q, QueryOptions{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopened engine rebuilds the segmentation from the metadata store
+	// and answers identically.
+	e.Close()
+	e2 := openEngine(t, cfg)
+	checkArenaAgainstObjects(t, e2, byID)
+	res2, err := e2.Query(q, QueryOptions{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnswers(t, "reopen", res2, res)
+}
+
+// TestQueriesDuringCompact is the lock-protocol contract of the full
+// compaction: Compact freezes ingest but builds the merged segment outside
+// the engine lock, so queries keep completing while it runs. The compaction
+// is held mid-build via compactStepHook; run under -race this also checks
+// the snapshot/swap protocol against concurrent readers.
+func TestQueriesDuringCompact(t *testing.T) {
+	const d = 8
+	cfg := testConfig(t.TempDir(), d)
+	cfg.Parallelism = 2
+	e := openEngine(t, cfg)
+	objs := ingestVaried(t, e, 150, d)
+	for i := 0; i < len(objs); i += 4 {
+		if err := e.Delete(objs[i].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var holdOnce sync.Once
+	compactStepHook = func() {
+		holdOnce.Do(func() { close(held) })
+		<-release
+	}
+	defer func() { compactStepHook = nil }()
+
+	compactDone := make(chan struct{})
+	go func() {
+		e.Compact()
+		close(compactDone)
+	}()
+	<-held
+
+	// Queries must make progress while the merge is building.
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 8; i++ {
+		q := clusterObject(fmt.Sprintf("q%d", i), i%7, d, 2, 0.02, rng)
+		if _, err := e.Query(q, QueryOptions{K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-compactDone:
+		t.Fatal("compaction finished while the step hook held it")
+	default:
+	}
+
+	// Ingest parks behind the compaction's write freeze and completes once
+	// the compaction is released.
+	ingDone := make(chan error, 1)
+	go func() {
+		o := clusterObject("w", 1, d, 2, 0.02, rand.New(rand.NewSource(92)))
+		_, err := e.Ingest(o, nil)
+		ingDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-ingDone:
+		t.Fatalf("ingest completed during the compaction freeze (err=%v)", err)
+	default:
+	}
+
+	close(release)
+	<-compactDone
+	if err := <-ingDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stat().Deleted; got != 0 {
+		t.Fatalf("%d tombstones survived the full compaction", got)
+	}
+	e.mu.RLock()
+	err := e.checkSegInvariants()
+	e.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

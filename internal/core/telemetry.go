@@ -44,6 +44,11 @@ type engineMetrics struct {
 	deletes     *telemetry.Counter // ferret_delete_total
 	compacts    *telemetry.Counter // ferret_compact_total
 
+	// Segmented-ingest counters (see segment.go / compactor.go).
+	seals          *telemetry.Counter // ferret_seal_total
+	merges         *telemetry.Counter // ferret_merge_total
+	ingestRejected *telemetry.Counter // ferret_ingest_rejected_total
+
 	// Pipeline counters (per-stage attribution of work done).
 	scanned      *telemetry.Counter // ferret_filter_objects_scanned_total
 	candidates   *telemetry.Counter // ferret_filter_candidates_total
@@ -74,6 +79,8 @@ type engineMetrics struct {
 	indexedSegments *telemetry.Gauge // ferret_indexed_segments
 	hindexTables    *telemetry.Gauge // ferret_hindex_tables
 	hindexLoad      *telemetry.Gauge // ferret_hindex_load_permille
+	storageSegs     *telemetry.Gauge // ferret_storage_segments
+	queueDepth      *telemetry.Gauge // ferret_ingest_queue_depth
 	inflight        *telemetry.Gauge // ferret_inflight_queries
 	poolWorkers     *telemetry.Gauge // ferret_pool_workers
 	poolBusy        *telemetry.Gauge // ferret_pool_busy_workers
@@ -109,6 +116,11 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		deletes:  reg.Counter("ferret_delete_total", "Objects deleted."),
 		compacts: reg.Counter("ferret_compact_total", "Tombstone compactions run."),
 
+		seals:  reg.Counter("ferret_seal_total", "Mutable tail segments sealed."),
+		merges: reg.Counter("ferret_merge_total", "Background segment merges completed."),
+		ingestRejected: reg.Counter("ferret_ingest_rejected_total",
+			"Ingests rejected up front (poisoned store or shed by the bounded ingest queue)."),
+
 		scanned:    reg.Counter("ferret_filter_objects_scanned_total", "Live objects visited by the filtering unit."),
 		candidates: reg.Counter("ferret_filter_candidates_total", "Candidate objects surviving the filter stage."),
 		emdEvals:   reg.Counter("ferret_rank_distance_evals_total", "Object-distance (EMD) evaluations in the ranking unit."),
@@ -142,6 +154,8 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		hindexTables:    reg.Gauge("ferret_hindex_tables", "Substring tables in the Hamming index (0 = index disabled)."),
 		hindexLoad: reg.Gauge("ferret_hindex_load_permille",
 			"Mean live-slot occupancy of the Hamming index tables, in thousandths."),
+		storageSegs: reg.Gauge("ferret_storage_segments", "Storage segments (sealed + mutable tail)."),
+		queueDepth:  reg.Gauge("ferret_ingest_queue_depth", "Objects waiting in the bounded ingest queue."),
 		inflight:    reg.Gauge("ferret_inflight_queries", "Queries currently executing."),
 		poolWorkers: reg.Gauge("ferret_pool_workers", "Persistent scan/rank pool size."),
 		poolBusy:    reg.Gauge("ferret_pool_busy_workers", "Pool workers currently running a task."),

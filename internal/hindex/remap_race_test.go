@@ -1,0 +1,116 @@
+package hindex
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// TestRemapConcurrentProbes extends the mutation oracle to the engine's
+// reader/writer discipline under the race detector: compaction-style Remap
+// cycles run under a write lock while probe goroutines search under read
+// locks. Every probe must observe a consistent index — the probed row's own
+// sketch always returns the row itself (exact self-match), candidate IDs
+// never point past the dense live range, and after the writer stops the
+// index still agrees exactly with a rebuilt oracle.
+func TestRemapConcurrentProbes(t *testing.T) {
+	const nbits, wps, target = 128, 2, 300
+	rng := rand.New(rand.NewSource(21))
+	ix := New(nbits, wps, 4)
+	var mu sync.RWMutex
+	arena := make([]uint64, 0, target*wps)
+	randSketch := func(r *rand.Rand) []uint64 {
+		w := make([]uint64, wps)
+		for i := range w {
+			w[i] = uint64(r.Intn(8)) << uint(r.Intn(60))
+		}
+		return w
+	}
+	for row := int32(0); row < target; row++ {
+		arena = append(arena, randSketch(rng)...)
+		ix.Insert(row, arena)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				n := ix.Rows() // rows are densely renamed to [0, n)
+				if n == 0 {
+					mu.RUnlock()
+					continue
+				}
+				row := int32(prng.Intn(n))
+				q := arena[int(row)*wps : (int(row)+1)*wps]
+				got := sortedCandidates(ix, q)
+				if !slices.Contains(got, row) {
+					t.Errorf("probe lost its own row %d (rows=%d)", row, n)
+				}
+				for _, r := range got {
+					if int(r) >= n {
+						t.Errorf("candidate %d past the live range %d", r, n)
+					}
+				}
+				mu.RUnlock()
+			}
+		}(int64(100 + g))
+	}
+
+	// Writer: arena-compaction remaps — tombstone a quarter, rename the
+	// survivors densely, refill to the target population — interleaved with
+	// the probes above.
+	for cycle := 0; cycle < 40; cycle++ {
+		mu.Lock()
+		n := int32(ix.Rows())
+		remap := make([]int32, n)
+		var newArena []uint64
+		next := int32(0)
+		for row := int32(0); row < n; row++ {
+			if rng.Intn(4) == 0 {
+				ix.Delete(row, arena)
+				remap[row] = -1
+				continue
+			}
+			remap[row] = next
+			newArena = append(newArena, arena[int(row)*wps:(int(row)+1)*wps]...)
+			next++
+		}
+		if dropped := ix.Remap(remap); dropped != 0 {
+			t.Fatalf("cycle %d: remap dropped %d live rows", cycle, dropped)
+		}
+		arena = newArena
+		for next < target {
+			arena = append(arena, randSketch(rng)...)
+			ix.Insert(next, arena)
+			next++
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+
+	// Exact equivalence after the storm: the remapped index answers like an
+	// oracle rebuilt over the final arena.
+	ref := New(nbits, wps, 4)
+	o := newOracle(ref)
+	for row := int32(0); row < int32(ix.Rows()); row++ {
+		o.insert(row, arena)
+	}
+	for trial := 0; trial < 60; trial++ {
+		q := randSketch(rng)
+		if got, want := sortedCandidates(ix, q), o.candidates(q); !slices.Equal(got, want) {
+			t.Fatalf("trial %d: candidates %v, oracle %v", trial, got, want)
+		}
+	}
+}

@@ -31,7 +31,7 @@ const (
 )
 
 // writeCheckpoint snapshots tables (a name → btree map) into dir.
-func writeCheckpoint(fs fsys, dir string, txnID uint64, tables map[string]*btree) error {
+func writeCheckpoint(fs FS, dir string, txnID uint64, tables map[string]*btree) error {
 	tmp := filepath.Join(dir, "checkpoint.tmp")
 	final := filepath.Join(dir, "checkpoint.db")
 	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -123,7 +123,7 @@ func writeCheckpoint(fs fsys, dir string, txnID uint64, tables map[string]*btree
 // loadCheckpoint reads a checkpoint into a fresh table map. A missing file
 // yields an empty map; a corrupt file is an error (the store refuses to
 // open rather than silently serving bad data).
-func loadCheckpoint(fs fsys, dir string) (map[string]*btree, uint64, error) {
+func loadCheckpoint(fs FS, dir string) (map[string]*btree, uint64, error) {
 	path := filepath.Join(dir, "checkpoint.db")
 	data, err := fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -199,7 +199,7 @@ func loadCheckpoint(fs fsys, dir string) (map[string]*btree, uint64, error) {
 // Sync and the Close error are propagated: this is the last step of the
 // checkpoint commit, and a discarded error here could report a failed
 // rename flush as a committed checkpoint.
-func syncDir(fs fsys, dir string) error {
+func syncDir(fs FS, dir string) error {
 	d, err := fs.Open(dir)
 	if err != nil {
 		return err

@@ -9,9 +9,10 @@ import (
 	"sync"
 )
 
-// This file implements memFS, a fault-injecting in-memory fsys for the
-// crash-torture tests. It models the split a real filesystem has between
-// the page cache and durable storage:
+// FaultFS is a fault-injecting in-memory FS for crash-torture suites —
+// exported so the engine-level torture tests (internal/core) can drive the
+// same fault matrix through the metadata store. It models the split a real
+// filesystem has between the page cache and durable storage:
 //
 //   - each inode carries data (the page-cache view every read sees) and
 //     durable (what survives a power cut);
@@ -20,7 +21,7 @@ import (
 //     the *directory* is synced, matching the strict POSIX model where a
 //     fully fsynced file can still vanish if its directory entry was never
 //     flushed;
-//   - a power cut (crashNow) replaces every inode's durable content with a
+//   - a power cut (CrashNow) replaces every inode's durable content with a
 //     plausible writeback outcome: nothing flushed, everything flushed, or
 //     a torn prefix of the unsynced delta, chosen by the scenario's seeded
 //     RNG.
@@ -30,45 +31,50 @@ import (
 // mode) pair, so the torture driver can enumerate every boundary of a
 // workload and fault each one in every mode.
 
-// faultMode selects what happens at the armed operation.
-type faultMode int
+// FaultMode selects what happens at the armed operation.
+type FaultMode int
 
 const (
-	// faultErr fails the operation with errInjected; the process keeps
+	// FaultErr fails the operation with ErrInjected; the process keeps
 	// running (the store is expected to poison itself where durability is
 	// now unknowable).
-	faultErr faultMode = iota
-	// faultShortErr applies a strict prefix of a write and then fails —
+	FaultErr FaultMode = iota
+	// FaultShortErr applies a strict prefix of a write and then fails —
 	// a torn write with the error surfaced. Non-write operations treat it
-	// as faultErr.
-	faultShortErr
-	// faultCrash is a power cut before the operation takes effect.
-	faultCrash
-	// faultCrashAfter is a power cut after the operation takes effect
+	// as FaultErr.
+	FaultShortErr
+	// FaultCrash is a power cut before the operation takes effect.
+	FaultCrash
+	// FaultCrashAfter is a power cut after the operation takes effect
 	// (and, where the operation implies durability — Sync, journaled
 	// Rename — after that durability too).
-	faultCrashAfter
+	FaultCrashAfter
 )
 
-var tortureModes = []faultMode{faultErr, faultShortErr, faultCrash, faultCrashAfter}
+// TortureModes is the full fault matrix a torture driver applies to every
+// write boundary.
+var TortureModes = []FaultMode{FaultErr, FaultShortErr, FaultCrash, FaultCrashAfter}
 
-func (m faultMode) String() string {
+func (m FaultMode) String() string {
 	switch m {
-	case faultErr:
+	case FaultErr:
 		return "err"
-	case faultShortErr:
+	case FaultShortErr:
 		return "short-write-err"
-	case faultCrash:
+	case FaultCrash:
 		return "crash-before"
-	case faultCrashAfter:
+	case FaultCrashAfter:
 		return "crash-after"
 	}
 	return "unknown"
 }
 
 var (
-	errInjected = errors.New("faultfs: injected I/O error")
-	errCrashed  = errors.New("faultfs: power cut")
+	// ErrInjected is the error surfaced by a FaultErr/FaultShortErr fault.
+	ErrInjected = errors.New("faultfs: injected I/O error")
+	// ErrCrashed is returned by every operation after a simulated power cut
+	// until Reboot.
+	ErrCrashed = errors.New("faultfs: power cut")
 )
 
 // fsInode is one file: data is the page-cache view, durable is what a power
@@ -78,8 +84,8 @@ type fsInode struct {
 	durable []byte
 }
 
-// memFS is the fault-injecting fsys.
-type memFS struct {
+// FaultFS is the fault-injecting FS.
+type FaultFS struct {
 	mu      sync.Mutex
 	names   map[string]*fsInode // page-cache namespace
 	durable map[string]*fsInode // namespace as of the last directory sync
@@ -88,12 +94,12 @@ type memFS struct {
 
 	ops     int // write-boundary operations seen so far
 	failAt  int // operation index to fault at; -1 never faults
-	mode    faultMode
+	mode    FaultMode
 	crashed bool
 }
 
-func newMemFS(seed int64) *memFS {
-	return &memFS{
+func NewFaultFS(seed int64) *FaultFS {
+	return &FaultFS{
 		names:   map[string]*fsInode{},
 		durable: map[string]*fsInode{},
 		dirs:    map[string]bool{},
@@ -102,23 +108,23 @@ func newMemFS(seed int64) *memFS {
 	}
 }
 
-// arm schedules a fault at write-boundary operation index at.
-func (m *memFS) arm(at int, mode faultMode) {
+// Arm schedules a fault at write-boundary operation index at.
+func (m *FaultFS) Arm(at int, mode FaultMode) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.failAt = at
 	m.mode = mode
 }
 
-// opCount returns how many write-boundary operations have run.
-func (m *memFS) opCount() int {
+// OpCount returns how many write-boundary operations have run.
+func (m *FaultFS) OpCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.ops
 }
 
-// isCrashed reports whether a simulated power cut has happened.
-func (m *memFS) isCrashed() bool {
+// IsCrashed reports whether a simulated power cut has happened.
+func (m *FaultFS) IsCrashed() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.crashed
@@ -126,7 +132,7 @@ func (m *memFS) isCrashed() bool {
 
 // step advances the operation counter and reports whether this operation
 // must fault (callers hold m.mu).
-func (m *memFS) step() (faultMode, bool) {
+func (m *FaultFS) step() (FaultMode, bool) {
 	idx := m.ops
 	m.ops++
 	if idx == m.failAt {
@@ -135,8 +141,8 @@ func (m *memFS) step() (faultMode, bool) {
 	return 0, false
 }
 
-// crashNow simulates a power cut from outside a faulting operation.
-func (m *memFS) crashNow() {
+// CrashNow simulates a power cut from outside a faulting operation.
+func (m *FaultFS) CrashNow() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.crashed {
@@ -144,7 +150,7 @@ func (m *memFS) crashNow() {
 	}
 }
 
-func (m *memFS) crashNowLocked() {
+func (m *FaultFS) crashNowLocked() {
 	m.crashed = true
 	seen := map[*fsInode]bool{}
 	for _, n := range m.names {
@@ -164,7 +170,7 @@ func (m *memFS) crashNowLocked() {
 // tearLocked picks what the kernel managed to write back before the power
 // cut: the last synced content, the full page cache, or a torn state in
 // between.
-func (m *memFS) tearLocked(n *fsInode) []byte {
+func (m *FaultFS) tearLocked(n *fsInode) []byte {
 	if bytes.Equal(n.data, n.durable) {
 		return n.durable
 	}
@@ -184,9 +190,9 @@ func (m *memFS) tearLocked(n *fsInode) []byte {
 	}
 }
 
-// reboot returns a crashed filesystem to service holding exactly the
+// Reboot returns a crashed filesystem to service holding exactly the
 // durable state, with fault injection disarmed (recovery must succeed).
-func (m *memFS) reboot() {
+func (m *FaultFS) Reboot() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.crashed = false
@@ -205,21 +211,21 @@ func (m *memFS) reboot() {
 	m.durable = durable
 }
 
-func (m *memFS) MkdirAll(path string, perm os.FileMode) error {
+func (m *FaultFS) MkdirAll(path string, perm os.FileMode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {
-		return errCrashed
+		return ErrCrashed
 	}
 	m.dirs[path] = true
 	return nil
 }
 
-func (m *memFS) OpenFile(name string, flag int, perm os.FileMode) (fsFile, error) {
+func (m *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {
-		return nil, errCrashed
+		return nil, ErrCrashed
 	}
 	n := m.names[name]
 	if n == nil {
@@ -231,30 +237,30 @@ func (m *memFS) OpenFile(name string, flag int, perm os.FileMode) (fsFile, error
 	} else if flag&os.O_TRUNC != 0 {
 		n.data = nil
 	}
-	return &memHandle{fs: m, node: n, name: name, appendMode: flag&os.O_APPEND != 0}, nil
+	return &faultHandle{fs: m, node: n, name: name, appendMode: flag&os.O_APPEND != 0}, nil
 }
 
-func (m *memFS) Open(name string) (fsFile, error) {
+func (m *FaultFS) Open(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {
-		return nil, errCrashed
+		return nil, ErrCrashed
 	}
 	if m.dirs[name] {
-		return &memHandle{fs: m, name: name}, nil // directory handle
+		return &faultHandle{fs: m, name: name}, nil // directory handle
 	}
 	n := m.names[name]
 	if n == nil {
 		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
 	}
-	return &memHandle{fs: m, node: n, name: name}, nil
+	return &faultHandle{fs: m, node: n, name: name}, nil
 }
 
-func (m *memFS) ReadFile(name string) ([]byte, error) {
+func (m *FaultFS) ReadFile(name string) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {
-		return nil, errCrashed
+		return nil, ErrCrashed
 	}
 	n := m.names[name]
 	if n == nil {
@@ -263,11 +269,11 @@ func (m *memFS) ReadFile(name string) ([]byte, error) {
 	return append([]byte(nil), n.data...), nil
 }
 
-func (m *memFS) Rename(oldpath, newpath string) error {
+func (m *FaultFS) Rename(oldpath, newpath string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {
-		return errCrashed
+		return ErrCrashed
 	}
 	apply := func() {
 		n := m.names[oldpath]
@@ -279,12 +285,12 @@ func (m *memFS) Rename(oldpath, newpath string) error {
 	}
 	if mode, fault := m.step(); fault {
 		switch mode {
-		case faultErr, faultShortErr:
-			return errInjected
-		case faultCrash:
+		case FaultErr, FaultShortErr:
+			return ErrInjected
+		case FaultCrash:
 			m.crashNowLocked()
-			return errCrashed
-		case faultCrashAfter:
+			return ErrCrashed
+		case FaultCrashAfter:
 			// The rename reached the metadata journal before the cut: it is
 			// applied and durable even without the directory sync.
 			apply()
@@ -293,7 +299,7 @@ func (m *memFS) Rename(oldpath, newpath string) error {
 				delete(m.durable, oldpath)
 			}
 			m.crashNowLocked()
-			return errCrashed
+			return ErrCrashed
 		}
 	}
 	if m.names[oldpath] == nil {
@@ -303,11 +309,11 @@ func (m *memFS) Rename(oldpath, newpath string) error {
 	return nil
 }
 
-func (m *memFS) Size(name string) (int64, error) {
+func (m *FaultFS) Size(name string) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {
-		return 0, errCrashed
+		return 0, ErrCrashed
 	}
 	n := m.names[name]
 	if n == nil {
@@ -316,20 +322,20 @@ func (m *memFS) Size(name string) (int64, error) {
 	return int64(len(n.data)), nil
 }
 
-// memHandle is an open file (or, with node == nil, directory) on a memFS.
-type memHandle struct {
-	fs         *memFS
+// faultHandle is an open file (or, with node == nil, directory) on a FaultFS.
+type faultHandle struct {
+	fs         *FaultFS
 	node       *fsInode // nil for directory handles
 	name       string
 	appendMode bool
 	off        int64
 }
 
-func (h *memHandle) Read(p []byte) (int, error) {
+func (h *faultHandle) Read(p []byte) (int, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
-		return 0, errCrashed
+		return 0, ErrCrashed
 	}
 	if h.node == nil {
 		return 0, errors.New("faultfs: read on directory")
@@ -342,40 +348,40 @@ func (h *memHandle) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-func (h *memHandle) Write(p []byte) (int, error) {
+func (h *faultHandle) Write(p []byte) (int, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
-		return 0, errCrashed
+		return 0, ErrCrashed
 	}
 	if h.node == nil {
 		return 0, errors.New("faultfs: write on directory")
 	}
 	if mode, fault := h.fs.step(); fault {
 		switch mode {
-		case faultErr:
-			return 0, errInjected
-		case faultShortErr:
+		case FaultErr:
+			return 0, ErrInjected
+		case FaultShortErr:
 			n := 0
 			if len(p) > 1 {
 				n = h.fs.rng.Intn(len(p)) // strictly short
 			}
 			h.writeLocked(p[:n])
-			return n, errInjected
-		case faultCrash:
+			return n, ErrInjected
+		case FaultCrash:
 			h.fs.crashNowLocked()
-			return 0, errCrashed
-		case faultCrashAfter:
+			return 0, ErrCrashed
+		case FaultCrashAfter:
 			h.writeLocked(p)
 			h.fs.crashNowLocked()
-			return len(p), errCrashed
+			return len(p), ErrCrashed
 		}
 	}
 	h.writeLocked(p)
 	return len(p), nil
 }
 
-func (h *memHandle) writeLocked(p []byte) {
+func (h *faultHandle) writeLocked(p []byte) {
 	if h.appendMode {
 		h.off = int64(len(h.node.data))
 	}
@@ -389,11 +395,11 @@ func (h *memHandle) writeLocked(p []byte) {
 	h.off = end
 }
 
-func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+func (h *faultHandle) Seek(offset int64, whence int) (int64, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
-		return 0, errCrashed
+		return 0, ErrCrashed
 	}
 	switch whence {
 	case io.SeekStart:
@@ -406,39 +412,39 @@ func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
 	return h.off, nil
 }
 
-func (h *memHandle) Close() error {
+func (h *faultHandle) Close() error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
-		return errCrashed
+		return ErrCrashed
 	}
 	return nil
 }
 
-func (h *memHandle) Sync() error {
+func (h *faultHandle) Sync() error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
-		return errCrashed
+		return ErrCrashed
 	}
 	if mode, fault := h.fs.step(); fault {
 		switch mode {
-		case faultErr, faultShortErr:
-			return errInjected
-		case faultCrash:
+		case FaultErr, FaultShortErr:
+			return ErrInjected
+		case FaultCrash:
 			h.fs.crashNowLocked()
-			return errCrashed
-		case faultCrashAfter:
+			return ErrCrashed
+		case FaultCrashAfter:
 			h.syncLocked()
 			h.fs.crashNowLocked()
-			return errCrashed
+			return ErrCrashed
 		}
 	}
 	h.syncLocked()
 	return nil
 }
 
-func (h *memHandle) syncLocked() {
+func (h *faultHandle) syncLocked() {
 	if h.node == nil {
 		// Directory sync: the current name → inode bindings become durable.
 		durable := make(map[string]*fsInode, len(h.fs.names))
@@ -451,11 +457,11 @@ func (h *memHandle) syncLocked() {
 	h.node.durable = append([]byte(nil), h.node.data...)
 }
 
-func (h *memHandle) Truncate(size int64) error {
+func (h *faultHandle) Truncate(size int64) error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
-		return errCrashed
+		return ErrCrashed
 	}
 	if h.node == nil {
 		return errors.New("faultfs: truncate on directory")
@@ -471,26 +477,26 @@ func (h *memHandle) Truncate(size int64) error {
 	}
 	if mode, fault := h.fs.step(); fault {
 		switch mode {
-		case faultErr, faultShortErr:
-			return errInjected
-		case faultCrash:
+		case FaultErr, FaultShortErr:
+			return ErrInjected
+		case FaultCrash:
 			h.fs.crashNowLocked()
-			return errCrashed
-		case faultCrashAfter:
+			return ErrCrashed
+		case FaultCrashAfter:
 			apply()
 			h.fs.crashNowLocked()
-			return errCrashed
+			return ErrCrashed
 		}
 	}
 	apply()
 	return nil
 }
 
-func (h *memHandle) Size() (int64, error) {
+func (h *faultHandle) Size() (int64, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
-		return 0, errCrashed
+		return 0, ErrCrashed
 	}
 	return int64(len(h.node.data)), nil
 }

@@ -5,20 +5,20 @@ import (
 	"os"
 )
 
-// fsys is the store's seam to the filesystem: every byte the store persists
+// FS is the store's seam to the filesystem: every byte the store persists
 // and every durability barrier it relies on goes through this interface.
 // Production uses osFS (the real filesystem); the crash-torture tests inject
 // a fault-modeling implementation that can tear writes, fail fsyncs and
 // simulate a power cut at any write/sync boundary, then "reboot" to exactly
 // the durable state — so the recovery path is exercised against every crash
 // the real filesystem could produce, not just cleanly written files.
-type fsys interface {
+type FS interface {
 	// MkdirAll creates the database directory (and parents).
 	MkdirAll(path string, perm os.FileMode) error
 	// OpenFile opens a file with os.OpenFile semantics.
-	OpenFile(name string, flag int, perm os.FileMode) (fsFile, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
 	// Open opens a file (or directory, for syncDir) read-only.
-	Open(name string) (fsFile, error)
+	Open(name string) (File, error)
 	// ReadFile reads a whole file; a missing file satisfies
 	// errors.Is(err, os.ErrNotExist).
 	ReadFile(name string) ([]byte, error)
@@ -29,8 +29,8 @@ type fsys interface {
 	Size(name string) (int64, error)
 }
 
-// fsFile is the file handle surface the store uses.
-type fsFile interface {
+// File is the file handle surface the store uses.
+type File interface {
 	io.Reader
 	io.Writer
 	io.Seeker
@@ -48,7 +48,7 @@ type osFS struct{}
 
 func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 
-func (osFS) OpenFile(name string, flag int, perm os.FileMode) (fsFile, error) {
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	f, err := os.OpenFile(name, flag, perm)
 	if err != nil {
 		return nil, err
@@ -56,7 +56,7 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (fsFile, error) {
 	return osFile{f}, nil
 }
 
-func (osFS) Open(name string) (fsFile, error) {
+func (osFS) Open(name string) (File, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
@@ -76,7 +76,7 @@ func (osFS) Size(name string) (int64, error) {
 	return fi.Size(), nil
 }
 
-// osFile adapts *os.File to fsFile.
+// osFile adapts *os.File to File.
 type osFile struct{ f *os.File }
 
 func (o osFile) Read(p []byte) (int, error)                { return o.f.Read(p) }

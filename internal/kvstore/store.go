@@ -65,7 +65,7 @@ type Options struct {
 
 	// fs overrides the filesystem (crash-fault injection in tests); nil
 	// means the real filesystem.
-	fs fsys
+	FS FS
 }
 
 // Store is an open database. All methods are safe for concurrent use;
@@ -73,7 +73,7 @@ type Options struct {
 type Store struct {
 	dir  string
 	opts Options
-	fs   fsys
+	fs   FS
 
 	mu     sync.RWMutex // guards tables and all btree access
 	tables map[string]*btree
@@ -107,7 +107,7 @@ func Open(opts Options) (*Store, error) {
 	if opts.CheckpointBytes <= 0 {
 		opts.CheckpointBytes = 64 << 20
 	}
-	fs := opts.fs
+	fs := opts.FS
 	if fs == nil {
 		fs = osFS{}
 	}

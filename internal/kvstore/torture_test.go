@@ -12,7 +12,7 @@ import (
 	"ferret/internal/telemetry"
 )
 
-// Crash-torture harness: run a deterministic workload against a memFS,
+// Crash-torture harness: run a deterministic workload against a FaultFS,
 // count its write-boundary operations, then replay the workload once per
 // (operation, fault mode) pair — tearing, failing or power-cutting that
 // exact boundary — pull the plug, reboot to the durable state, reopen the
@@ -74,14 +74,14 @@ func prefixStates(txns [][]tortureOp) []map[string]string {
 	return states
 }
 
-func tortureOptions(fs *memFS) Options {
+func tortureOptions(fs *FaultFS) Options {
 	return Options{
 		Dir:  "db",
 		Sync: SyncEveryCommit,
 		// Small threshold so the workload crosses the checkpoint path
 		// several times.
 		CheckpointBytes: 2 << 10,
-		fs:              fs,
+		FS:              fs,
 	}
 }
 
@@ -90,7 +90,7 @@ func tortureOptions(fs *memFS) Options {
 // many were attempted. Injected errors do not stop the drive (post-error
 // behavior — poisoning — is part of what the torture exercises); a power
 // cut does.
-func runTortureWorkload(fs *memFS, txns [][]tortureOp) (lastAcked, attempted int) {
+func runTortureWorkload(fs *FaultFS, txns [][]tortureOp) (lastAcked, attempted int) {
 	s, err := Open(tortureOptions(fs))
 	if err != nil {
 		return 0, 0
@@ -110,7 +110,7 @@ func runTortureWorkload(fs *memFS, txns [][]tortureOp) (lastAcked, attempted int
 			lastAcked = i + 1
 			continue
 		}
-		if errors.Is(err, errCrashed) {
+		if errors.Is(err, ErrCrashed) {
 			return lastAcked, attempted
 		}
 	}
@@ -170,32 +170,32 @@ func TestCrashTorture(t *testing.T) {
 		states := prefixStates(txns)
 
 		// Phase A: clean run to count the workload's write boundaries.
-		clean := newMemFS(seed)
+		clean := NewFaultFS(seed)
 		cleanAcked, _ := runTortureWorkload(clean, txns)
 		if cleanAcked != len(txns) {
 			t.Fatalf("seed %d: clean run acked %d/%d txns", seed, cleanAcked, len(txns))
 		}
-		points := clean.opCount()
+		points := clean.OpCount()
 		if points == 0 {
 			t.Fatalf("seed %d: no injection points counted", seed)
 		}
 
 		// Phase B: fault every boundary in every mode.
 		for point := 0; point < points; point++ {
-			for _, mode := range tortureModes {
+			for _, mode := range TortureModes {
 				scenarios++
 				fail := func(format string, arg ...any) {
 					t.Helper()
 					t.Fatalf("seed %d op %d mode %v: %s (rerun with FERRET_TORTURE_SEED=%d)",
 						seed, point, mode, fmt.Sprintf(format, arg...), seed)
 				}
-				fs := newMemFS(seed)
-				fs.arm(point, mode)
+				fs := NewFaultFS(seed)
+				fs.Arm(point, mode)
 				lastAcked, attempted := runTortureWorkload(fs, txns)
 				// Pull the plug (if the fault didn't already) and reboot to
 				// the durable state.
-				fs.crashNow()
-				fs.reboot()
+				fs.CrashNow()
+				fs.Reboot()
 				s, err := Open(tortureOptions(fs))
 				if err != nil {
 					fail("recovery failed: %v", err)
@@ -233,7 +233,7 @@ func TestCrashTorture(t *testing.T) {
 // refuse every further write with ErrPoisoned (reads stay available) and
 // report it through the ferret_store_poisoned gauge.
 func TestFsyncPoisoningFreezesWrites(t *testing.T) {
-	fs := newMemFS(42)
+	fs := NewFaultFS(42)
 	reg := telemetry.NewRegistry()
 	opts := tortureOptions(fs)
 	opts.Telemetry = reg
@@ -253,8 +253,8 @@ func TestFsyncPoisoningFreezesWrites(t *testing.T) {
 	}
 
 	// The next commit performs a buffered write then a sync; fault the sync.
-	fs.arm(fs.opCount()+1, faultErr)
-	if err := s.Put("t", []byte("b"), []byte("2")); !errors.Is(err, errInjected) {
+	fs.Arm(fs.OpCount()+1, FaultErr)
+	if err := s.Put("t", []byte("b"), []byte("2")); !errors.Is(err, ErrInjected) {
 		t.Fatalf("faulted commit error = %v, want injected sync failure", err)
 	}
 	if !s.Poisoned() {
@@ -275,8 +275,8 @@ func TestFsyncPoisoningFreezesWrites(t *testing.T) {
 	}
 
 	// Reopening recovers: only the acknowledged write must be present.
-	fs.crashNow()
-	fs.reboot()
+	fs.CrashNow()
+	fs.Reboot()
 	s2, err := Open(tortureOptions(fs))
 	if err != nil {
 		t.Fatal(err)
@@ -294,7 +294,7 @@ func TestFsyncPoisoningFreezesWrites(t *testing.T) {
 // one transaction and losing power must not lose the acked commit just
 // because the WAL's directory entry was young (Open syncs the directory).
 func TestFreshWALSurvivesImmediatePowerCut(t *testing.T) {
-	fs := newMemFS(7)
+	fs := NewFaultFS(7)
 	s, err := Open(tortureOptions(fs))
 	if err != nil {
 		t.Fatal(err)
@@ -302,8 +302,8 @@ func TestFreshWALSurvivesImmediatePowerCut(t *testing.T) {
 	if err := s.Put("t", []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	fs.crashNow()
-	fs.reboot()
+	fs.CrashNow()
+	fs.Reboot()
 	s2, err := Open(tortureOptions(fs))
 	if err != nil {
 		t.Fatal(err)

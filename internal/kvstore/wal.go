@@ -129,14 +129,14 @@ func decodeWALRecord(payload []byte) (*walRecord, error) {
 
 // wal appends transaction records to a log file.
 type wal struct {
-	f   fsFile
+	f   File
 	buf *bufio.Writer
 	// size is the current byte length of the log, used for the checkpoint
 	// threshold.
 	size int64
 }
 
-func openWAL(fs fsys, path string) (*wal, error) {
+func openWAL(fs FS, path string) (*wal, error) {
 	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -208,7 +208,7 @@ func (w *wal) close() error {
 // in order. It stops silently at the first torn or corrupt record (the
 // crash-truncated tail) and returns the number of applied records and the
 // highest transaction ID seen.
-func replayWAL(fs fsys, path string, apply func(*walRecord)) (applied int, maxTxn uint64, err error) {
+func replayWAL(fs FS, path string, apply func(*walRecord)) (applied int, maxTxn uint64, err error) {
 	f, err := fs.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, nil

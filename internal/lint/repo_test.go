@@ -29,3 +29,45 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Errorf("%d lint diagnostics in the tree; fix them or add //lint:ignore with a reason", len(diags))
 	}
 }
+
+// TestLockGraphCoversCompactor pins the analyzer's view of the engine's
+// compaction lock protocol: the module-wide lock graph must contain the
+// compactMu → ingestMu → mu acquisition chain (Compact freezes the
+// compactor, then ingest, then swaps under the engine lock) and must not
+// contain any reverse edge among the three — the zero-diagnostics gate
+// above would only prove the analyzer found no cycle, not that it models
+// these locks at all.
+func TestLockGraphCoversCompactor(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(repo root): %v", err)
+	}
+	edges, _ := NewProgram(pkgs).lockGraph()
+	has := map[[2]LockID]bool{}
+	for _, e := range edges {
+		has[[2]LockID{e.From, e.To}] = true
+	}
+	const (
+		compactMu = LockID("internal/core.Engine.compactMu")
+		ingestMu  = LockID("internal/core.Engine.ingestMu")
+		engineMu  = LockID("internal/core.Engine.mu")
+	)
+	order := [][2]LockID{
+		{compactMu, ingestMu},
+		{compactMu, engineMu},
+		{ingestMu, engineMu},
+	}
+	for _, want := range order {
+		if !has[want] {
+			t.Errorf("lock graph misses the %s -> %s acquisition edge", want[0], want[1])
+		}
+		rev := [2]LockID{want[1], want[0]}
+		if has[rev] {
+			t.Errorf("lock graph contains the reverse %s -> %s edge: protocol violation", rev[0], rev[1])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"ferret/internal/core"
+	"ferret/internal/kvstore"
+	"ferret/internal/object"
+	"ferret/internal/protocol"
+	"ferret/internal/sketch"
+)
+
+// TestPoisonedStoreWireError drives a poisoned metadata store through the
+// whole stack: after a failed WAL sync, ADDFILE and DELETE answer with the
+// distinct "poisoned" wire error (not BUSY — retrying cannot help), the
+// rejection counter moves, and queries keep serving the committed corpus.
+func TestPoisonedStoreWireError(t *testing.T) {
+	const d = 6
+	min := make([]float32, d)
+	max := make([]float32, d)
+	for i := range max {
+		max[i] = 1
+	}
+	fs := kvstore.NewFaultFS(11)
+	engine, err := core.Open(core.Config{
+		Dir:    "db",
+		Sketch: sketch.Params{N: 128, K: 1, Min: min, Max: max, Seed: 9},
+		Store:  kvstore.Options{Sync: kvstore.SyncEveryCommit, FS: fs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { engine.Close() })
+	extract := func(path string) (object.Object, error) {
+		vec := make([]float32, d)
+		for i := range vec {
+			vec[i] = float32(len(path)%7)/7 + float32(i)*0.01
+		}
+		return object.Single(path, vec), nil
+	}
+	for i := 0; i < 3; i++ {
+		o, _ := extract(fmt.Sprintf("seed%d", i))
+		if _, err := engine.Ingest(o, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := &Server{Engine: engine, DefaultK: 5, Extract: extract}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(context.Background(), l)
+	t.Cleanup(func() { srv.Close() })
+	client := dialTest(t, l.Addr().String())
+
+	// Fault the next commit's sync: the first ADDFILE fails with the
+	// injected error and poisons the store.
+	fs.Arm(fs.OpCount()+1, kvstore.FaultErr)
+	if err := client.AddFile("f1", nil); err == nil {
+		t.Fatal("ADDFILE over the faulted sync succeeded")
+	}
+	err = client.AddFile("f2", nil)
+	if err == nil {
+		t.Fatal("ADDFILE on a poisoned store succeeded")
+	}
+	if !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("poisoned ADDFILE error %q does not announce poisoned", err)
+	}
+	if strings.Contains(err.Error(), "BUSY") {
+		t.Fatalf("poisoned ADDFILE error %q claims to be transient", err)
+	}
+	err = client.Delete("seed0")
+	if err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("poisoned DELETE error %q does not announce poisoned", err)
+	}
+	if got := engine.Telemetry().Value("ferret_ingest_rejected_total"); got != 1 {
+		t.Fatalf("ferret_ingest_rejected_total = %v, want 1", got)
+	}
+
+	// The committed corpus keeps answering.
+	results, err := client.Query("seed0", protocol.QueryParams{K: 3})
+	if err != nil {
+		t.Fatalf("query on poisoned store: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("query returned %d results, want 3", len(results))
+	}
+	if n, err := client.Count(); err != nil || n != 3 {
+		t.Fatalf("COUNT = %d, %v, want 3", n, err)
+	}
+}
+
+// TestMutationErrMapping pins the wire mapping of write-path failures:
+// wrapped store poisoning becomes the terminal "poisoned" error, a shed
+// ingest becomes transient BUSY, anything else passes through.
+func TestMutationErrMapping(t *testing.T) {
+	wrapped := fmt.Errorf("adding object: %w", kvstore.ErrPoisoned)
+	if got := mutationErr(wrapped); got != errPoisoned {
+		t.Fatalf("mutationErr(wrapped ErrPoisoned) = %v", got)
+	}
+	if got := mutationErr(core.ErrOverloaded); got != errIngestBusy {
+		t.Fatalf("mutationErr(ErrOverloaded) = %v", got)
+	}
+	if !strings.Contains(errIngestBusy.Error(), "BUSY") {
+		t.Fatalf("shed error %q does not announce BUSY", errIngestBusy)
+	}
+	other := errors.New("some other failure")
+	if got := mutationErr(other); got != other {
+		t.Fatalf("mutationErr passed %v, got %v", other, got)
+	}
+}

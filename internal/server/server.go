@@ -21,6 +21,7 @@ import (
 
 	"ferret/internal/attr"
 	"ferret/internal/core"
+	"ferret/internal/kvstore"
 	"ferret/internal/object"
 	"ferret/internal/protocol"
 	"ferret/internal/telemetry"
@@ -160,6 +161,29 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 // marker is load-bearing: clients (evaltool's retry loop) treat it as
 // transient and back off instead of failing the run.
 var errBusy = errors.New("BUSY: server at connection limit, retry later")
+
+// errIngestBusy is the bounded ingest queue's shed response. Same BUSY
+// marker as the connection limit: transient, back off and retry.
+var errIngestBusy = errors.New("BUSY: ingest queue full, retry later")
+
+// errPoisoned is the wire form of a poisoned metadata store: a failed fsync
+// made durability unknowable, so every further mutation is rejected until
+// the process restarts and recovery replays the committed prefix. The
+// "poisoned" marker is distinct from BUSY on purpose — retrying cannot
+// help, an operator has to intervene.
+var errPoisoned = errors.New("poisoned: metadata store rejects writes after a failed sync, restart to recover")
+
+// mutationErr maps engine write-path failures to their wire forms; other
+// errors pass through unchanged.
+func mutationErr(err error) error {
+	switch {
+	case errors.Is(err, kvstore.ErrPoisoned):
+		return errPoisoned
+	case errors.Is(err, core.ErrOverloaded):
+		return errIngestBusy
+	}
+	return err
+}
 
 // Serve accepts connections on l until ctx is cancelled or Shutdown/Close
 // is called. It always returns a non-nil error (net.ErrClosed after a clean
@@ -457,8 +481,10 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, st *connState, req p
 			return s.writeErr(w, err)
 		}
 		attrs := attrArgs(req)
-		if _, err := s.Engine.Ingest(o, attrs); err != nil {
-			return s.writeErr(w, err)
+		// Through the bounded ingest queue when one is configured: a full
+		// queue blocks this handler (backpressure) or sheds with BUSY.
+		if _, err := s.Engine.IngestQueued(ctx, o, attrs); err != nil {
+			return s.writeErr(w, mutationErr(err))
 		}
 		return protocol.WriteResults(w, nil)
 
@@ -530,7 +556,7 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, st *connState, req p
 			return s.writeErr(w, fmt.Errorf("unknown object key %q", req.Args["key"]))
 		}
 		if err := s.Engine.Delete(id); err != nil {
-			return s.writeErr(w, err)
+			return s.writeErr(w, mutationErr(err))
 		}
 		return protocol.WriteResults(w, nil)
 

@@ -14,8 +14,11 @@
 #              tests explicitly under the race detector
 #   lint-fast  scripts/lint-fast.sh — the changed-package analyzer
 #              selection, timed in the output so CI tracks its cost
-#   torture    storage crash-torture suite under -race (seed printed on
-#              failure; rerun one scenario with FERRET_TORTURE_SEED=<seed>)
+#   torture    crash-torture suites under -race: the kvstore fault matrix
+#              plus the engine-level suite driving the same faults through
+#              the segmented ingest pipeline (seal, merge, checkpoint).
+#              Seed printed on failure; rerun one scenario with
+#              FERRET_TORTURE_SEED=<seed>
 #   bench      ferret-benchcmp regression guard vs the committed artifact
 #
 # Every step must pass; the script stops at the first failure. CI systems
