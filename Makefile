@@ -4,15 +4,18 @@ GO ?= go
 
 # Benchmark artifact plumbing. bench-json measures the filter/kernel/pipeline
 # microbenchmarks plus a medium-scale ferret-bench run (Table 2, the
-# closed-loop serving-throughput sweep and the Hamming-index scaling sweep)
-# and merges them into $(BENCH_OUT); check-bench re-measures the
+# closed-loop serving-throughput sweep, the Hamming-index scaling sweep, the
+# mixed-ingest run and the wire-level serving sweep with the result cache
+# off/on) and merges them into $(BENCH_OUT); check-bench re-measures the
 # microbenchmarks and fails if a gated benchmark (filter scan, multi-query
 # Hamming kernel, index probe, concurrent query pipeline with and without
 # trace recording) regressed >20% ns/op vs the committed artifact, or if the
-# committed scaling sweep shows the indexed filter losing to the scan.
+# committed scaling sweep shows the indexed filter losing to the scan, or if
+# the committed serving sweep's hot-cached arm falls under 2x the uncached
+# throughput.
 # Micro benches run -count=$(BENCH_COUNT) and benchcmp keeps the per-metric
 # minimum, so a transient load spike cannot fail (or hide) a regression.
-BENCH_OUT  ?= BENCH_9.json
+BENCH_OUT  ?= BENCH_10.json
 BENCH_TMP  ?= /tmp/ferret-bench
 BENCH_PKGS  = ./internal/core ./internal/sketch ./internal/vector
 BENCH_RE    = FilterScan|Hamming|QueryPipeline|L1
@@ -81,7 +84,7 @@ bench:
 bench-json:
 	mkdir -p $(BENCH_TMP)
 	$(GO) test $(BENCH_PKGS) -run '^$$' -bench '$(BENCH_RE)' -count=$(BENCH_COUNT) -benchmem | tee $(BENCH_TMP)/micro.txt
-	$(GO) run ./cmd/ferret-bench -exp table2,throughput,scaling,ingest -scale medium -json $(BENCH_TMP)/pipeline.json
+	$(GO) run ./cmd/ferret-bench -exp table2,throughput,scaling,ingest,serving -scale medium -json $(BENCH_TMP)/pipeline.json
 	$(GO) run ./cmd/ferret-benchcmp -merge -micro $(BENCH_TMP)/micro.txt \
 		-pipeline $(BENCH_TMP)/pipeline.json -out $(BENCH_OUT)
 

@@ -8,6 +8,7 @@
 //	ferret-bench -exp throughput        # closed-loop concurrent serving QPS
 //	ferret-bench -exp ingest            # query QPS under sustained ingest
 //	ferret-bench -exp scaling           # indexed filter vs arena scan sweep
+//	ferret-bench -exp serving           # wire-level QPS, result cache off/on
 //	ferret-bench -exp all -scale medium
 //	ferret-bench -exp table2,throughput -json results.json
 //
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments (comma-separated): table1, table2, figure7, figure8, ablations, ingest, throughput, scaling or all")
+	exp := flag.String("exp", "all", "experiments (comma-separated): table1, table2, figure7, figure8, ablations, ingest, throughput, scaling, serving or all")
 	scaleName := flag.String("scale", "medium", "dataset scale: small, medium or paper")
 	jsonPath := flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	concurrency := flag.Int("concurrency", 0, "throughput: closed-loop client count (0 = sweep 1,2,4,8)")
@@ -143,6 +144,17 @@ func main() {
 				return nil, err
 			}
 			experiments.FprintIngest(os.Stdout, rows)
+			return rows, nil
+		})
+	}
+	if want("serving") {
+		ran = true
+		run("serving", "Wire serving: binary protocol v2, result cache off/on", func() (any, error) {
+			rows, err := experiments.Serving(scale)
+			if err != nil {
+				return nil, err
+			}
+			experiments.FprintServing(os.Stdout, rows)
 			return rows, nil
 		})
 	}

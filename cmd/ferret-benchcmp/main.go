@@ -235,6 +235,9 @@ func compare(basePath, newPath, gate string, threshold float64) error {
 	if msg := checkIngest(base); msg != "" {
 		failures = append(failures, msg)
 	}
+	if msg := checkServing(base); msg != "" {
+		failures = append(failures, msg)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
 	}
@@ -353,6 +356,74 @@ func checkIngest(base *Artifact) string {
 			return ""
 		}
 		return "ingest run in baseline has no mixed arm"
+	}
+	return ""
+}
+
+// servingRow mirrors experiments.ServingRow's gated fields.
+type servingRow struct {
+	Arm     string  `json:"arm"`
+	QPS     float64 `json:"qps"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// minServingSpeedup is the serving-path gate: on the hot working set the
+// result cache must at least double wire-level throughput versus the same
+// workload with the cache off.
+const minServingSpeedup = 2.0
+
+// checkServing gates the committed wire-serving run (ferret-bench -exp
+// serving), when the baseline artifact carries one: the cached hot arm must
+// actually have hit the cache and its QPS must be at least
+// minServingSpeedup times the uncached hot arm's. Returns a failure message
+// or "".
+func checkServing(base *Artifact) string {
+	if len(base.Pipeline) == 0 {
+		return ""
+	}
+	var summary struct {
+		Results []struct {
+			Name string          `json:"name"`
+			Rows json.RawMessage `json:"rows"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(base.Pipeline, &summary); err != nil {
+		return ""
+	}
+	for _, res := range summary.Results {
+		if res.Name != "serving" {
+			continue
+		}
+		var rows []servingRow
+		if err := json.Unmarshal(res.Rows, &rows); err != nil || len(rows) == 0 {
+			return fmt.Sprintf("serving run in baseline is unreadable: %v", err)
+		}
+		var hot, uncached *servingRow
+		for i := range rows {
+			switch rows[i].Arm {
+			case "hot-cached":
+				hot = &rows[i]
+			case "hot-uncached":
+				uncached = &rows[i]
+			}
+		}
+		if hot == nil || uncached == nil {
+			return "serving run in baseline lacks the hot-cached/hot-uncached arm pair"
+		}
+		speedup := 0.0
+		if uncached.QPS > 0 {
+			speedup = hot.QPS / uncached.QPS
+		}
+		fmt.Printf("* serving run: hot-cached %.0f qps vs uncached %.0f qps (%.2fx, %.0f%% hits)\n",
+			hot.QPS, uncached.QPS, speedup, hot.HitRate*100)
+		if hot.HitRate <= 0 {
+			return "serving run: hot-cached arm never hit the result cache"
+		}
+		if speedup < minServingSpeedup {
+			return fmt.Sprintf("serving run: hot-cached only %.2fx uncached throughput (floor %.1fx)",
+				speedup, minServingSpeedup)
+		}
+		return ""
 	}
 	return ""
 }

@@ -33,6 +33,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "ferretd protocol address")
 	timeout := flag.Duration("timeout", 30*time.Second, "dial and per-request timeout (0 = none)")
+	proto := flag.String("proto", "v2", "wire protocol: v2 upgrades to the binary protocol (text fallback if refused), text stays on the line protocol")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -45,6 +46,17 @@ func main() {
 	}
 	defer client.Close()
 	client.SetTimeout(*timeout)
+	switch *proto {
+	case "v2":
+		// Best-effort upgrade: an old or text-only server answers ERR and
+		// the connection keeps speaking the line protocol.
+		if _, err := client.TryUpgradeV2(); err != nil {
+			fatal("negotiating protocol with %s: %v", *addr, err)
+		}
+	case "text":
+	default:
+		fatal("invalid -proto %q (v2 or text)", *proto)
+	}
 
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -99,6 +111,9 @@ func main() {
 				if it.Meta.Mode != "" {
 					fmt.Printf("     filter mode: %s\n", it.Meta.Mode)
 				}
+				if it.Meta.Cache != "" {
+					fmt.Printf("     cache: %s\n", it.Meta.Cache)
+				}
 				printResults(it.Results, true)
 				printTrace(it.Meta)
 			}
@@ -126,6 +141,9 @@ func main() {
 		}
 		if meta.Mode != "" {
 			fmt.Printf("filter mode: %s\n", meta.Mode)
+		}
+		if meta.Cache != "" {
+			fmt.Printf("cache: %s\n", meta.Cache)
 		}
 		printResults(results, true)
 		printTrace(meta)

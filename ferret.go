@@ -93,6 +93,10 @@ type (
 	// slow-query log); the Config.Trace field. The zero value enables
 	// tracing with defaults.
 	TraceParams = trace.Params
+	// ResultCacheParams configures the engine's hot-query result cache
+	// (epoch-invalidated, LRU + single-flight); the Config.ResultCache
+	// field. The zero value disables the cache.
+	ResultCacheParams = core.ResultCacheParams
 	// QueryOptions controls one similarity query.
 	QueryOptions = core.QueryOptions
 	// Result is one ranked answer.
@@ -151,6 +155,10 @@ type ServerConfig struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each response write (0 = none).
 	WriteTimeout time.Duration
+	// Proto selects the wire-protocol policy: "" or "v2" accepts the
+	// binary protocol v2 upgrade (HELLO proto=v2), "text" refuses it and
+	// keeps every connection on the line protocol.
+	Proto string
 }
 
 // System is a running similarity search system: the core engine plus the
@@ -335,6 +343,7 @@ func (s *System) server() *server.Server {
 			MaxConns:     s.srvCfg.MaxConns,
 			ReadTimeout:  s.srvCfg.ReadTimeout,
 			WriteTimeout: s.srvCfg.WriteTimeout,
+			Proto:        s.srvCfg.Proto,
 			Logger:       s.logger.With("server"),
 		}
 		if s.extractor != nil {

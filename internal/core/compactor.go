@@ -221,6 +221,7 @@ func (e *Engine) Compact() {
 	e.met.storageSegs.Set(int64(len(e.segs)))
 	e.updateIndexGauges()
 	e.met.compacts.Inc()
+	e.epoch.Add(1)
 	e.mu.Unlock()
 
 	e.checkpointAfterMerge(reclaimed)
@@ -305,6 +306,7 @@ func (e *Engine) compactOnce() bool {
 	e.met.storageSegs.Set(int64(len(e.segs)))
 	e.updateIndexGauges()
 	e.met.merges.Inc()
+	e.epoch.Add(1)
 	e.mu.Unlock()
 
 	e.checkpointAfterMerge(reclaimed)

@@ -20,6 +20,7 @@ import (
 	rtrace "runtime/trace"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ferret/internal/attr"
@@ -211,6 +212,11 @@ type Config struct {
 	// backpressure between producers and the engine's serialized write path.
 	// The zero value admits writers directly with no queue.
 	Ingest IngestParams
+	// ResultCache configures the engine-level hot-query result cache (see
+	// cache.go): exact answers keyed on (query identity, canonicalized
+	// options), epoch-invalidated by every ingest/delete/seal/compaction
+	// segment-set change. The zero value disables caching.
+	ResultCache ResultCacheParams
 	// LowMemory keeps only sketches resident: the ranking unit fetches
 	// candidate feature vectors from the metadata store on demand instead
 	// of caching every vector in RAM — the paper's large-dataset regime,
@@ -286,6 +292,12 @@ type Answer struct {
 	// FilterModeIndex, FilterModeScan or FilterModeMixed (empty for
 	// brute-force modes, which have no filter stage).
 	FilterMode string
+	// Cache reports the result cache's involvement: CacheHit (served from
+	// the cache or coalesced onto a concurrent identical query), CacheMiss
+	// (computed through the pipeline with the cache consulted), or ""
+	// (cache disabled, or the query is uncacheable). Results of a CacheHit
+	// answer are shared with other hits and must not be modified.
+	Cache string
 }
 
 // TraceInfo is the per-answer trace handle: the retained trace's hex ID
@@ -331,6 +343,13 @@ type Engine struct {
 	pool  *workerPool
 	sched *scheduler
 	queue *ingestQueue
+
+	// rcache is the hot-query result cache (nil when disabled); epoch is
+	// its invalidation clock, bumped under the write lock by every
+	// segment-set change (ingest, delete, seal, compaction swap). See
+	// cache.go for the soundness protocol.
+	rcache *resultCache
+	epoch  atomic.Uint64
 
 	// compactMu serializes compaction (Compact and the background merge
 	// steps in compactor.go); ingestMu serializes the write path and lets a
@@ -466,6 +485,9 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if cfg.Ingest.Workers > 0 || cfg.Ingest.Depth > 0 {
 		e.queue = newIngestQueue(e, e.cfg.Ingest.withDefaults())
+	}
+	if cfg.ResultCache.Enable {
+		e.rcache = newResultCache(cfg.ResultCache.withDefaults(), e.met)
 	}
 	return e, nil
 }
@@ -608,6 +630,7 @@ func (e *Engine) Delete(id object.ID) error {
 			e.met.objects.Add(-1)
 			e.met.deleted.Add(1)
 			e.met.segments.Add(-int64(seg.arena.nsegOf(li)))
+			e.epoch.Add(1)
 			break
 		}
 	}
@@ -661,6 +684,7 @@ func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
 	}
 	e.met.objects.Add(1)
 	e.met.segments.Add(int64(len(set.Sketches)))
+	e.epoch.Add(1)
 	e.mu.Unlock()
 	e.ingestMu.Unlock()
 	e.met.ingests.Inc()
@@ -672,8 +696,36 @@ func (e *Engine) Ingest(o object.Object, attrs attr.Attrs) (object.ID, error) {
 // the query object. In SketchOnly databases only sketch modes are
 // meaningful.
 func (e *Engine) SearchByID(ctx context.Context, id object.ID, opt QueryOptions) (Answer, error) {
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	// The cache fast path comes before any metadata fetch: a hit serves
+	// repeat queries without decoding the stored object (the id pins the
+	// query content), which keeps this path allocation-free.
+	if key, ok := e.idCacheKey(id, &opt); ok {
+		start := time.Now()
+		epoch := e.epoch.Load()
+		if ans, hit := e.rcache.get(key, epoch); hit {
+			e.met.cacheHits.Inc()
+			e.met.queries.Inc()
+			e.met.queryTime.ObserveSince(start)
+			opt.Trace.Record(StageCache, start, time.Since(start))
+			ans.Cache = CacheHit
+			return ans, nil
+		}
+		e.met.cacheMisses.Inc()
+		return e.flightCompute(ctx, key, func() (Answer, error) {
+			return e.searchByIDUncached(ctx, id, opt)
+		})
+	}
+	return e.searchByIDUncached(ctx, id, opt)
+}
+
+// searchByIDUncached resolves the stored object (or its sketch set in
+// sketch-only stores) and runs the pipeline without consulting the cache.
+func (e *Engine) searchByIDUncached(ctx context.Context, id object.ID, opt QueryOptions) (Answer, error) {
 	if o, ok := e.meta.GetObject(id); ok {
-		return e.Search(ctx, o, opt)
+		return e.searchObject(ctx, o, opt)
 	}
 	// Sketch-only store: synthesize a query from the stored sketch set.
 	set, ok := e.meta.GetSketchSet(id)
@@ -700,6 +752,31 @@ func (e *Engine) QueryByID(id object.ID, opt QueryOptions) ([]Result, error) {
 // filter, rank) and pipeline counters are recorded in the engine's
 // telemetry registry.
 func (e *Engine) Search(ctx context.Context, q object.Object, opt QueryOptions) (Answer, error) {
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	if key, ok := e.objectCacheKey(&q, &opt); ok {
+		start := time.Now()
+		epoch := e.epoch.Load()
+		if ans, hit := e.rcache.get(key, epoch); hit {
+			e.met.cacheHits.Inc()
+			e.met.queries.Inc()
+			e.met.queryTime.ObserveSince(start)
+			opt.Trace.Record(StageCache, start, time.Since(start))
+			ans.Cache = CacheHit
+			return ans, nil
+		}
+		e.met.cacheMisses.Inc()
+		return e.flightCompute(ctx, key, func() (Answer, error) {
+			return e.searchObject(ctx, q, opt)
+		})
+	}
+	return e.searchObject(ctx, q, opt)
+}
+
+// searchObject validates and routes one query without consulting the
+// cache; opt.K must already be resolved.
+func (e *Engine) searchObject(ctx context.Context, q object.Object, opt QueryOptions) (Answer, error) {
 	if err := q.Validate(); err != nil {
 		e.met.queryErrors.Inc()
 		return Answer{}, fmt.Errorf("core: invalid query object: %w", err)
@@ -707,9 +784,6 @@ func (e *Engine) Search(ctx context.Context, q object.Object, opt QueryOptions) 
 	if q.Dim() != e.builder.Dim() {
 		e.met.queryErrors.Inc()
 		return Answer{}, fmt.Errorf("core: query dimension %d, engine expects %d", q.Dim(), e.builder.Dim())
-	}
-	if opt.K <= 0 {
-		opt.K = 10
 	}
 	if e.sched != nil && e.batchable(opt) {
 		return e.sched.search(ctx, q, opt)

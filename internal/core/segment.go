@@ -168,6 +168,7 @@ func (e *Engine) sealTail() {
 	e.segs = append(e.segs, e.newSegment(t.loEntry+t.n))
 	e.met.seals.Inc()
 	e.met.storageSegs.Set(int64(len(e.segs)))
+	e.epoch.Add(1)
 }
 
 // checkSegInvariants verifies the segment tiling, per-segment arena

@@ -27,6 +27,10 @@ const (
 	StageScan    = "scan"
 	StageHProbe  = "hindex_probe"
 	StageHVerify = "hindex_verify"
+
+	// StageCache is the result-cache lookup on a served hit — the whole
+	// pipeline collapses into this one span.
+	StageCache = "cache"
 )
 
 // engineMetrics are the engine's handles into its telemetry registry. All
@@ -64,6 +68,15 @@ type engineMetrics struct {
 	hixCandidates *telemetry.Counter // ferret_hindex_candidates_total
 	hixFallback   *telemetry.Counter // ferret_hindex_fallback_total
 	hixBaseline   *telemetry.Counter // ferret_hindex_baseline_rows_total
+
+	// Result-cache counters and gauges (see cache.go).
+	cacheHits        *telemetry.Counter // ferret_result_cache_hits_total
+	cacheMisses      *telemetry.Counter // ferret_result_cache_misses_total
+	cacheInvalidated *telemetry.Counter // ferret_result_cache_invalidated_total
+	cacheEvictions   *telemetry.Counter // ferret_result_cache_evictions_total
+	cacheCoalesced   *telemetry.Counter // ferret_result_cache_coalesced_total
+	cacheEntries     *telemetry.Gauge   // ferret_result_cache_entries
+	cacheBytes       *telemetry.Gauge   // ferret_result_cache_bytes
 
 	// Batch-scheduler counters and histograms (see scheduler.go).
 	batches   *telemetry.Counter   // ferret_batches_total
@@ -138,6 +151,17 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 			"Index probes that fell back to the arena scan (cost model or radius coverage)."),
 		hixBaseline: reg.Counter("ferret_hindex_baseline_rows_total",
 			"Indexed rows an unindexed scan would have streamed for the probed segments (candidate-ratio denominator)."),
+
+		cacheHits:   reg.Counter("ferret_result_cache_hits_total", "Queries served from the result cache."),
+		cacheMisses: reg.Counter("ferret_result_cache_misses_total", "Cacheable queries that missed the result cache."),
+		cacheInvalidated: reg.Counter("ferret_result_cache_invalidated_total",
+			"Result-cache entries dropped on lookup because the mutation epoch moved."),
+		cacheEvictions: reg.Counter("ferret_result_cache_evictions_total",
+			"Result-cache entries evicted by the LRU capacity bounds."),
+		cacheCoalesced: reg.Counter("ferret_result_cache_coalesced_total",
+			"Queries that shared a concurrent identical query's computation (single-flight)."),
+		cacheEntries: reg.Gauge("ferret_result_cache_entries", "Result-cache entries resident."),
+		cacheBytes:   reg.Gauge("ferret_result_cache_bytes", "Approximate result-cache resident bytes."),
 
 		batches: reg.Counter("ferret_batches_total", "Shared-scan query batches executed."),
 		coalesced: reg.Counter("ferret_queries_coalesced_total",

@@ -87,7 +87,10 @@ func Ingest(scale Scale) ([]IngestRow, error) {
 			Interval:    25 * time.Millisecond,
 			Pace:        500 * time.Microsecond,
 		},
-		Ingest: core.IngestParams{Depth: 256, Workers: 1},
+		// Two drain workers: the stream commits concurrently, so the arm
+		// also exercises the ingest path's order-independence (the queue
+		// serializes commits but not sketch construction).
+		Ingest: core.IngestParams{Depth: 256, Workers: 2},
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"ferret/internal/core"
+	"ferret/internal/kvstore"
+	"ferret/internal/protocol"
+	"ferret/internal/server"
+	"ferret/internal/synth"
+)
+
+// ServingRow is one arm of the wire-level serving benchmark: closed-loop
+// protocol clients over loopback TCP, speaking the binary protocol v2,
+// against a server whose engine has the hot-query result cache either off or
+// on. The hot arms replay a small key set (the cacheable regime the cache is
+// for); the cold arms stride through the whole corpus so nearly every query
+// misses. SpeedupVsUncached on the cached hot arm is the headline number —
+// how much the cache buys on a hot working set, end to end through the
+// protocol stack.
+type ServingRow struct {
+	Arm               string         `json:"arm"` // e.g. "hot-cached"
+	Proto             string         `json:"proto"`
+	Clients           int            `json:"clients"`
+	Queries           int            `json:"queries"`
+	WallSec           float64        `json:"wall_sec"`
+	QPS               float64        `json:"qps"`
+	Latency           LatencySummary `json:"latency"`
+	HitRate           float64        `json:"hit_rate"`
+	SpeedupVsUncached float64        `json:"speedup_vs_uncached,omitempty"`
+}
+
+// servingHotKeys is the hot working set size: small enough that the whole
+// set stays resident in the result cache, large enough that the closed loop
+// isn't a single-key pathological case.
+const servingHotKeys = 16
+
+// Serving measures end-to-end serving throughput over the wire on the
+// mixed-shape speed corpus: real TCP connections, binary protocol v2, the
+// pooled zero-copy encode path, with the result cache off and on. The corpus
+// is ingested once; each cache arm reopens the same store.
+func Serving(scale Scale) ([]ServingRow, error) {
+	dt := mixedShapeType()
+	objs := synth.MixedShapeObjects(scale.MixedShapeN, 301)
+	perClient := 20 * scale.SpeedQueries
+	const clients = 4
+
+	// Hot set: a strided sample of corpus keys shared by every client.
+	hot := make([]string, servingHotKeys)
+	for i := range hot {
+		hot[i] = objs[(i*len(objs)/servingHotKeys)%len(objs)].Key
+	}
+	// Cold workload: every key once, clients interleaved, so repeats within
+	// a measurement window are rare and the cache stays cold.
+	cold := make([]string, len(objs))
+	for i := range objs {
+		cold[i] = objs[i].Key
+	}
+
+	dir, err := os.MkdirTemp("", "ferret-exp-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	open := func(cache bool) (*core.Engine, error) {
+		return core.Open(core.Config{
+			Dir:           dir,
+			Sketch:        dt.sketchCfg(dt.sketchBits),
+			RankThreshold: dt.rankThresh,
+			ResultCache:   core.ResultCacheParams{Enable: cache},
+			Store:         kvstore.Options{Sync: kvstore.SyncPeriodic, SyncInterval: time.Minute},
+		})
+	}
+
+	var rows []ServingRow
+	ingested := false
+	for _, cached := range []bool{false, true} {
+		e, err := open(cached)
+		if err != nil {
+			return nil, err
+		}
+		if !ingested {
+			for i := range objs {
+				if _, err := e.Ingest(objs[i], nil); err != nil {
+					e.Close()
+					return nil, fmt.Errorf("experiments: ingest %s: %w", objs[i].Key, err)
+				}
+			}
+			ingested = true
+		}
+		suffix := "uncached"
+		if cached {
+			suffix = "cached"
+		}
+		for _, arm := range []struct {
+			name string
+			keys []string
+		}{
+			{"hot-" + suffix, hot},
+			{"cold-" + suffix, cold},
+		} {
+			row, err := measureServingArm(e, arm.keys, clients, perClient)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			row.Arm = arm.name
+			rows = append(rows, row)
+		}
+		if err := e.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Speedup of each cached arm relative to its uncached counterpart.
+	ref := map[string]float64{}
+	for _, r := range rows {
+		switch r.Arm {
+		case "hot-uncached":
+			ref["hot-cached"] = r.QPS
+		case "cold-uncached":
+			ref["cold-cached"] = r.QPS
+		}
+	}
+	for i := range rows {
+		if base := ref[rows[i].Arm]; base > 0 {
+			rows[i].SpeedupVsUncached = rows[i].QPS / base
+		}
+	}
+	return rows, nil
+}
+
+// measureServingArm serves the engine on a loopback listener and runs
+// `clients` v2 protocol connections, each issuing `perClient` QUERYs from
+// the key list back to back.
+func measureServingArm(e *core.Engine, keys []string, clients, perClient int) (ServingRow, error) {
+	reg := e.Telemetry()
+	hits0 := reg.Value("ferret_result_cache_hits_total")
+
+	srv := &server.Server{Engine: e, DefaultK: 20}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServingRow{}, err
+	}
+	go srv.Serve(context.Background(), l)
+	defer srv.Close()
+
+	conns := make([]*protocol.Client, clients)
+	for c := range conns {
+		cl, err := protocol.Dial(l.Addr().String())
+		if err != nil {
+			return ServingRow{}, err
+		}
+		defer cl.Close()
+		if err := cl.UpgradeV2(); err != nil {
+			return ServingRow{}, fmt.Errorf("experiments: v2 upgrade: %w", err)
+		}
+		conns[c] = cl
+	}
+
+	lats := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := conns[c]
+			secs := make([]float64, 0, perClient)
+			params := protocol.QueryParams{K: 20, Mode: "filtering"}
+			for i := 0; i < perClient; i++ {
+				key := keys[(c+i*clients)%len(keys)]
+				t0 := time.Now()
+				if _, err := cl.Query(key, params); err != nil {
+					errs[c] = err
+					return
+				}
+				secs = append(secs, time.Since(t0).Seconds())
+			}
+			lats[c] = secs
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return ServingRow{}, err
+		}
+	}
+
+	var all []float64
+	for _, s := range lats {
+		all = append(all, s...)
+	}
+	row := ServingRow{
+		Proto:   "v2",
+		Clients: clients,
+		Queries: len(all),
+		WallSec: wall,
+		Latency: summarizeLatencies(all),
+	}
+	if wall > 0 {
+		row.QPS = float64(len(all)) / wall
+	}
+	row.Latency.QPS = row.QPS
+	if row.Queries > 0 {
+		row.HitRate = (reg.Value("ferret_result_cache_hits_total") - hits0) / float64(row.Queries)
+	}
+	return row, nil
+}
+
+// FprintServing renders the sweep as a table.
+func FprintServing(w io.Writer, rows []ServingRow) {
+	fmt.Fprintf(w, "%14s %6s %8s %8s %10s %10s %10s %8s %9s\n",
+		"Arm", "Proto", "Clients", "Queries", "QPS", "p50(ms)", "p99(ms)", "HitRate", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%14s %6s %8d %8d %10.1f %10.3f %10.3f %7.1f%% %8.2fx\n",
+			r.Arm, r.Proto, r.Clients, r.Queries, r.QPS,
+			r.Latency.P50Sec*1e3, r.Latency.P99Sec*1e3,
+			r.HitRate*100, r.SpeedupVsUncached)
+	}
+}

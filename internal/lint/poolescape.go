@@ -98,15 +98,33 @@ func buildPoolWorld(prog *Program) *poolWorld {
 					return true
 				}
 				if vs.Type != nil {
-					if name, ok := isPkgSelector(vs.Type, imports, "sync"); ok && name == "Pool" {
+					// Plain pools (var p sync.Pool) and size-class pool
+					// arrays (var pools [N]sync.Pool) both count: the
+					// server's wire buffers draw from indexed pools.
+					t := vs.Type
+					if at, ok := t.(*ast.ArrayType); ok {
+						t = at.Elt
+					}
+					if name, ok := isPkgSelector(t, imports, "sync"); ok && name == "Pool" {
 						w.markPoolVars(pkg, vs)
 					}
 				}
 				for _, v := range vs.Values {
 					if cl, ok := v.(*ast.CompositeLit); ok {
-						if name, ok := isPkgSelector(cl.Type, imports, "sync"); ok && name == "Pool" {
+						clType := cl.Type
+						if at, ok := clType.(*ast.ArrayType); ok {
+							clType = at.Elt
+						}
+						if name, ok := isPkgSelector(clType, imports, "sync"); ok && name == "Pool" {
 							w.markPoolVars(pkg, vs)
 							collectNewTypes(cl, w.pooledTypes)
+							// An array literal's elements are the per-class
+							// pools; harvest their New types too.
+							for _, elt := range cl.Elts {
+								if inner, ok := elt.(*ast.CompositeLit); ok {
+									collectNewTypes(inner, w.pooledTypes)
+								}
+							}
 						}
 					}
 				}
@@ -221,7 +239,13 @@ func (w *poolWorld) isPoolGet(pkg *Package, e ast.Expr, accessors bool) bool {
 			if fn.Sel.Name != "Get" {
 				return false
 			}
-			if id, ok := fn.X.(*ast.Ident); ok {
+			recv := unparen(fn.X)
+			// Indexed receivers (wireBufPools[c].Get()) resolve to the
+			// underlying pool-array variable.
+			if ix, ok := recv.(*ast.IndexExpr); ok {
+				recv = unparen(ix.X)
+			}
+			if id, ok := recv.(*ast.Ident); ok {
 				return w.poolVars[objOf(pkg.Info, id)]
 			}
 		case *ast.Ident:

@@ -72,3 +72,35 @@ func selfStore() {
 	s.buf = make([]int, 8)
 	put(s)
 }
+
+// Size-class pool arrays (the server's wire-buffer idiom): values drawn
+// with an indexed Get are tracked exactly like plain-pool values.
+type wire struct {
+	b []byte
+}
+
+var wirePools [3]sync.Pool
+
+var wireLeaked *wire
+
+func getWire(c int) *wire { return wirePools[c].Get().(*wire) }
+
+// wireConfined is the sanctioned shape for indexed pools.
+func wireConfined() int {
+	b := getWire(1)
+	b.b = append(b.b[:0], 'x')
+	n := len(b.b)
+	wirePools[1].Put(b)
+	return n
+}
+
+func wireStoreGlobal() {
+	b := wirePools[2].Get().(*wire)
+	wireLeaked = b // want "poolescape: pool-derived value b stored in package-level variable wireLeaked"
+}
+
+// WireLeak returns indexed-pool scratch across the package API.
+func WireLeak() []byte {
+	b := getWire(0)
+	return b.b // want "poolescape: pool-derived value b.b returned from exported WireLeak"
+}

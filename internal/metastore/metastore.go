@@ -199,6 +199,17 @@ func (s *Store) LookupKey(key string) (object.ID, bool) {
 	return parseID(v), true
 }
 
+// LookupKeyBytes is LookupKey for a caller-owned byte slice: the server's
+// binary protocol resolves keys straight out of the wire frame without a
+// string conversion (the kvstore compares bytes and never retains the key).
+func (s *Store) LookupKeyBytes(key []byte) (object.ID, bool) {
+	v, ok := s.kv.Get(tableKeys, key)
+	if !ok || len(v) != 8 {
+		return 0, false
+	}
+	return parseID(v), true
+}
+
 // Key returns the external key of id ("" if unknown).
 func (s *Store) Key(id object.ID) string {
 	v, _ := s.kv.Get(tableNames, idKey(id))

@@ -2,6 +2,8 @@ package protocol
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -19,6 +21,13 @@ type Client struct {
 	conn    io.ReadWriteCloser
 	rd      *bufio.Reader
 	timeout time.Duration
+
+	// v2 is set once the connection upgraded to the binary protocol
+	// (UpgradeV2). wbuf/fbuf are the encode scratch and frame read buffer,
+	// reused across requests under mu.
+	v2   bool
+	wbuf []byte
+	fbuf []byte
 }
 
 // deadliner is the subset of net.Conn needed for per-request deadlines;
@@ -62,6 +71,116 @@ func (c *Client) SetTimeout(d time.Duration) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// ProtoV2 reports whether the connection upgraded to the binary protocol.
+func (c *Client) ProtoV2() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v2
+}
+
+// UpgradeV2 negotiates the binary protocol v2 on the established
+// connection. On success all subsequent requests use binary frames; hot
+// commands get dedicated compact encodings, everything else tunnels the
+// text command line through an OpText frame. A *ServerError means the
+// server doesn't speak (or refuses) v2 — the connection remains usable on
+// the text protocol.
+func (c *Client) UpgradeV2() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.v2 {
+		return nil
+	}
+	c.deadline()
+	if _, err := io.WriteString(c.conn, HelloV2+"\n"); err != nil {
+		return err
+	}
+	lines, _, err := ReadResponseMeta(c.rd)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if line == "proto="+HelloV2Value {
+			c.v2 = true
+			return nil
+		}
+	}
+	return fmt.Errorf("protocol: server accepted HELLO but did not confirm proto=%s", HelloV2Value)
+}
+
+// TryUpgradeV2 attempts UpgradeV2 and reports whether the connection is now
+// binary; a server that doesn't speak v2 leaves the client on the text
+// protocol without error. Transport failures are still returned.
+func (c *Client) TryUpgradeV2() (bool, error) {
+	err := c.UpgradeV2()
+	var se *ServerError
+	if errors.As(err, &se) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// deadline arms (or clears) the per-request deadline. Caller holds mu.
+func (c *Client) deadline() {
+	if d, ok := c.conn.(deadliner); ok {
+		if c.timeout > 0 {
+			d.SetDeadline(time.Now().Add(c.timeout))
+		} else {
+			d.SetDeadline(time.Time{})
+		}
+	}
+}
+
+// binRoundTrip sends one binary frame and reads the response frame. The
+// returned payload aliases the client's frame buffer: it is only valid
+// until the next request, so callers decode before releasing mu.
+// Caller holds mu.
+func (c *Client) binRoundTrip(op byte, payload []byte) (byte, []byte, error) {
+	c.deadline()
+	if err := WriteFrame(c.conn, op, payload); err != nil {
+		return 0, nil, err
+	}
+	status, resp, fbuf, err := ReadFrame(c.rd, c.fbuf)
+	c.fbuf = fbuf
+	if err != nil {
+		return 0, nil, err
+	}
+	if status == StatusError {
+		return 0, nil, DecodeError(resp)
+	}
+	return status, resp, nil
+}
+
+// binPairs runs a binary round trip expecting a StatusPairs response.
+func (c *Client) binPairs(op byte, payload []byte) (map[string]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, resp, err := c.binRoundTrip(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusPairs {
+		return nil, fmt.Errorf("protocol: unexpected response status 0x%02x", status)
+	}
+	return DecodePairs(resp)
+}
+
+// textTunnel sends a text command line through an OpText frame and parses
+// the raw text response carried back in StatusText. Caller holds mu.
+func (c *Client) textTunnel(line string) ([]string, ResponseMeta, error) {
+	c.wbuf = append(c.wbuf[:0], line...)
+	status, resp, err := c.binRoundTrip(OpText, c.wbuf)
+	if err != nil {
+		return nil, ResponseMeta{}, err
+	}
+	if status != StatusText {
+		return nil, ResponseMeta{}, fmt.Errorf("protocol: unexpected response status 0x%02x", status)
+	}
+	return ReadResponseMeta(bufio.NewReader(bytes.NewReader(resp)))
+}
+
 // roundTrip sends one request and reads the raw response lines.
 func (c *Client) roundTrip(req Request) ([]string, error) {
 	lines, _, err := c.roundTripMeta(req)
@@ -73,13 +192,12 @@ func (c *Client) roundTrip(req Request) ([]string, error) {
 func (c *Client) roundTripMeta(req Request) ([]string, ResponseMeta, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if d, ok := c.conn.(deadliner); ok {
-		if c.timeout > 0 {
-			d.SetDeadline(time.Now().Add(c.timeout))
-		} else {
-			d.SetDeadline(time.Time{})
-		}
+	if c.v2 {
+		// Commands without a dedicated binary encoding tunnel their text
+		// line through an OpText frame.
+		return c.textTunnel(FormatRequest(req))
 	}
+	c.deadline()
 	if _, err := io.WriteString(c.conn, FormatRequest(req)+"\n"); err != nil {
 		return nil, ResponseMeta{}, err
 	}
@@ -88,12 +206,23 @@ func (c *Client) roundTripMeta(req Request) ([]string, ResponseMeta, error) {
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
+	if c.ProtoV2() {
+		_, err := c.binPairs(OpPing, nil)
+		return err
+	}
 	_, err := c.roundTrip(Request{Cmd: CmdPing})
 	return err
 }
 
 // Count returns the number of objects in the server's database.
 func (c *Client) Count() (int, error) {
+	if c.ProtoV2() {
+		pairs, err := c.binPairs(OpCount, nil)
+		if err != nil {
+			return 0, err
+		}
+		return strconv.Atoi(pairs["count"])
+	}
 	lines, err := c.roundTrip(Request{Cmd: CmdCount})
 	if err != nil {
 		return 0, err
@@ -158,17 +287,51 @@ func (p QueryParams) fill(args map[string]string) {
 	}
 }
 
+// binaryEligible reports whether the parameters fit the compact OpQuery
+// encoding; keyword/attribute restrictions and segment-weight adjustments
+// ride the OpText tunnel instead.
+func (p QueryParams) binaryEligible() bool {
+	return len(p.Keywords) == 0 && len(p.Attrs) == 0 && len(p.SegWeights) == 0
+}
+
 // Query runs a similarity query using an already-ingested object.
 func (c *Client) Query(key string, p QueryParams) ([]Result, error) {
 	results, _, err := c.QueryMeta(key, p)
 	return results, err
 }
 
-// QueryMeta is Query exposing the response flags (degradation).
+// QueryMeta is Query exposing the response flags (degradation, cache).
 func (c *Client) QueryMeta(key string, p QueryParams) ([]Result, ResponseMeta, error) {
+	if results, meta, ok, err := c.binQuery(key, p); ok {
+		return results, meta, err
+	}
 	args := map[string]string{"key": key}
 	p.fill(args)
 	return c.resultsMeta(Request{Cmd: CmdQuery, Args: args})
+}
+
+// binQuery runs QUERY over the binary protocol; ok is false when the
+// connection is on the text protocol or the parameters need the tunnel.
+func (c *Client) binQuery(key string, p QueryParams) (results []Result, meta ResponseMeta, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.v2 || !p.binaryEligible() {
+		return nil, ResponseMeta{}, false, nil
+	}
+	var flags byte
+	if p.Trace {
+		flags |= QueryFlagTrace
+	}
+	c.wbuf = AppendQueryV2(c.wbuf[:0], key, p.K, p.Mode, flags, uint64(p.Budget))
+	status, resp, err := c.binRoundTrip(OpQuery, c.wbuf)
+	if err != nil {
+		return nil, ResponseMeta{}, true, err
+	}
+	if status != StatusResults {
+		return nil, ResponseMeta{}, true, fmt.Errorf("protocol: unexpected response status 0x%02x", status)
+	}
+	results, meta, err = DecodeResults(resp)
+	return results, meta, true, err
 }
 
 // BatchQuery runs similarity queries for several already-ingested objects as
@@ -176,6 +339,15 @@ func (c *Client) QueryMeta(key string, p QueryParams) ([]Result, ResponseMeta, e
 // returned slice is parallel to keys; per-query failures are reported in
 // BatchItem.Err without failing their siblings.
 func (c *Client) BatchQuery(keys []string, p QueryParams) ([]BatchItem, error) {
+	if items, ok, err := c.binBatchQuery(keys, p); ok {
+		if err != nil {
+			return nil, err
+		}
+		if len(items) != len(keys) {
+			return nil, fmt.Errorf("protocol: BATCHQUERY returned %d groups for %d keys", len(items), len(keys))
+		}
+		return items, nil
+	}
 	args := map[string]string{"n": strconv.Itoa(len(keys))}
 	for i, k := range keys {
 		args["key"+strconv.Itoa(i)] = k
@@ -195,10 +367,37 @@ func (c *Client) BatchQuery(keys []string, p QueryParams) ([]BatchItem, error) {
 	return items, nil
 }
 
+// binBatchQuery runs BATCHQUERY over the binary protocol; ok is false when
+// the connection is on the text protocol or the parameters need the tunnel.
+func (c *Client) binBatchQuery(keys []string, p QueryParams) (items []BatchItem, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.v2 || !p.binaryEligible() {
+		return nil, false, nil
+	}
+	var flags byte
+	if p.Trace {
+		flags |= QueryFlagTrace
+	}
+	c.wbuf = AppendBatchQueryV2(c.wbuf[:0], keys, p.K, p.Mode, flags, uint64(p.Budget))
+	status, resp, err := c.binRoundTrip(OpBatchQuery, c.wbuf)
+	if err != nil {
+		return nil, true, err
+	}
+	if status != StatusBatch {
+		return nil, true, fmt.Errorf("protocol: unexpected response status 0x%02x", status)
+	}
+	items, err = DecodeBatch(resp)
+	return items, true, err
+}
+
 // Traces fetches retained query traces, one compact rendering per line,
 // keyed recent<i>/slow<i> in newest-first order. slowOnly restricts the
 // answer to the slow-query log; n caps each list (server default when 0).
 func (c *Client) Traces(n int, slowOnly bool) (map[string]string, error) {
+	if c.ProtoV2() {
+		return c.binPairs(OpTrace, AppendTraceV2(nil, n, slowOnly, ""))
+	}
 	args := map[string]string{}
 	if n > 0 {
 		args["n"] = strconv.Itoa(n)
@@ -244,6 +443,10 @@ func (c *Client) QueryFileMeta(path string, p QueryParams) ([]Result, ResponseMe
 // AddFile ingests a data file through the server's plug-in extractor,
 // attaching the given attributes.
 func (c *Client) AddFile(path string, attrs map[string]string) error {
+	if c.ProtoV2() {
+		_, err := c.binPairs(OpIngest, AppendIngestV2(nil, path, attrs))
+		return err
+	}
 	args := map[string]string{"path": path}
 	for k, v := range attrs {
 		args["attr:"+k] = v
@@ -290,6 +493,9 @@ func (c *Client) Info(key string) (map[string]string, error) {
 
 // Stats returns the server engine's statistics as name → value pairs.
 func (c *Client) Stats() (map[string]string, error) {
+	if c.ProtoV2() {
+		return c.binPairs(OpStats, nil)
+	}
 	lines, err := c.roundTrip(Request{Cmd: CmdStats})
 	if err != nil {
 		return nil, err
@@ -326,6 +532,10 @@ func (c *Client) Telemetry() (map[string]string, error) {
 
 // Delete removes an object by key.
 func (c *Client) Delete(key string) error {
+	if c.ProtoV2() {
+		_, err := c.binPairs(OpDelete, AppendStr16(nil, key))
+		return err
+	}
 	_, err := c.roundTrip(Request{Cmd: CmdDelete, Args: map[string]string{"key": key}})
 	return err
 }

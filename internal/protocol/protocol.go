@@ -25,8 +25,16 @@
 //	                  look it up with TRACE id=<id> or /debug/traces)
 //	stages=<a:ns,..>  per-stage wall-clock breakdown of a traced query:
 //	                  comma-separated name:nanoseconds pairs
+//	cache=<hit|miss>  whether the server's result cache served the answer
+//	                  (absent when the cache is disabled or not consulted)
 //
 // Unknown flags are ignored by clients, so flags are forward-compatible.
+//
+// A client may upgrade an established connection to the binary protocol v2
+// (see binary.go) by sending "HELLO proto=v2": a v2-capable server answers
+// with an OK pairs response carrying proto=v2 and both sides switch to
+// length-prefixed binary frames; older servers answer ERR and the
+// connection stays on the text protocol.
 package protocol
 
 import (
@@ -155,6 +163,16 @@ func maybeQuote(v string) string {
 	return v
 }
 
+// AppendMaybeQuote appends v to b under the protocol's quoting rule
+// (quoted exactly when it is empty or contains separators) — the append
+// form used by pooled response encoders.
+func AppendMaybeQuote(b []byte, v string) []byte {
+	if v == "" || strings.ContainsAny(v, " \t\"\\\n") {
+		return strconv.AppendQuote(b, v)
+	}
+	return append(b, v...)
+}
+
 // Result is one line of a similarity or attribute search response.
 type Result struct {
 	Key      string
@@ -183,6 +201,10 @@ type ResponseMeta struct {
 	TraceID string
 	// Stages is the traced query's per-stage timing breakdown.
 	Stages []StageTiming
+	// Cache is "hit" or "miss" when the server's result cache was
+	// consulted, "" otherwise (cache disabled, uncacheable query, or an
+	// old server).
+	Cache string
 }
 
 // flags renders the head-line flag tokens (leading space included).
@@ -198,6 +220,10 @@ func (m ResponseMeta) flags() string {
 	if m.TraceID != "" {
 		sb.WriteString(" trace=")
 		sb.WriteString(m.TraceID)
+	}
+	if m.Cache != "" {
+		sb.WriteString(" cache=")
+		sb.WriteString(m.Cache)
 	}
 	if len(m.Stages) > 0 {
 		sb.WriteString(" stages=")
@@ -223,6 +249,8 @@ func (m *ResponseMeta) parseFlag(f string) {
 		m.Mode = f[len("mode="):]
 	case strings.HasPrefix(f, "trace="):
 		m.TraceID = f[len("trace="):]
+	case strings.HasPrefix(f, "cache="):
+		m.Cache = f[len("cache="):]
 	case strings.HasPrefix(f, "stages="):
 		for _, pair := range strings.Split(f[len("stages="):], ",") {
 			colon := strings.LastIndexByte(pair, ':')

@@ -45,6 +45,10 @@ type Server struct {
 	// flagged degraded (see core.QueryOptions.Budget). Clients may request
 	// a tighter budget per query (budget=...), never a looser one.
 	QueryBudget time.Duration
+	// Proto selects the wire protocols the server speaks: "" or "v2"
+	// accepts binary-protocol upgrades (HELLO proto=v2), "text" refuses
+	// them and keeps every connection on the text protocol.
+	Proto string
 	// MaxConns, when positive, caps concurrent client connections; excess
 	// connections are answered with a single BUSY error and closed
 	// (ferret_conns_shed_total counts them).
@@ -106,6 +110,19 @@ type serverMetrics struct {
 	connsTotal   *telemetry.Counter            // ferret_server_connections_total
 	shed         *telemetry.Counter            // ferret_conns_shed_total
 	latency      *telemetry.Histogram          // ferret_server_request_seconds
+	v2Conns      *telemetry.Gauge              // ferret_server_v2_connections
+	v2Upgrades   *telemetry.Counter            // ferret_server_v2_upgrades_total
+	wireGets     *telemetry.Gauge              // ferret_wire_buf_gets_total
+	wireMisses   *telemetry.Gauge              // ferret_wire_buf_misses_total
+	wirePuts     *telemetry.Gauge              // ferret_wire_buf_puts_total
+}
+
+// refreshWireBuf publishes the wire-buffer pool counters into their
+// telemetry gauges (called when a stats or telemetry dump is assembled).
+func (m *serverMetrics) refreshWireBuf() {
+	m.wireGets.Set(wireBufGets.Load())
+	m.wireMisses.Set(wireBufMisses.Load())
+	m.wirePuts.Set(wireBufPuts.Load())
 }
 
 // metrics lazily resolves the registry (Telemetry field, else the engine's)
@@ -131,6 +148,11 @@ func (s *Server) metrics() *serverMetrics {
 			connsTotal:   reg.Counter("ferret_server_connections_total", "Client connections accepted."),
 			shed:         reg.Counter("ferret_conns_shed_total", "Connections refused with BUSY at the connection limit."),
 			latency:      reg.Histogram("ferret_server_request_seconds", "Protocol request latency in seconds.", nil),
+			v2Conns:      reg.Gauge("ferret_server_v2_connections", "Open connections speaking the binary protocol v2."),
+			v2Upgrades:   reg.Counter("ferret_server_v2_upgrades_total", "Successful HELLO proto=v2 negotiations."),
+			wireGets:     reg.Gauge("ferret_wire_buf_gets_total", "Wire buffers drawn from the size-class pools."),
+			wireMisses:   reg.Gauge("ferret_wire_buf_misses_total", "Wire-buffer gets that had to allocate."),
+			wirePuts:     reg.Gauge("ferret_wire_buf_puts_total", "Wire buffers returned to the size-class pools."),
 		}
 		for _, cmd := range []string{
 			protocol.CmdPing, protocol.CmdCount, protocol.CmdQuery,
@@ -324,18 +346,21 @@ func (s *Server) handleConn(ctx context.Context, st *connState) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	w := countingWriter{w: conn, c: met.bytesWritten}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	// The writer is boxed into its interface once per connection, so the
+	// per-request dispatch calls don't re-box it (an allocation the binary
+	// fast path's 0 allocs/op contract cannot afford).
+	var w io.Writer = countingWriter{w: conn, c: met.bytesWritten}
+	rd := bufio.NewReaderSize(conn, 1<<16)
 	for {
 		if s.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
 		}
-		if !sc.Scan() {
+		line, err := readLine(rd)
+		if err != nil {
 			return
 		}
-		met.bytesRead.Add(len(sc.Bytes()) + 1) // +1 for the newline
-		line := strings.TrimSpace(sc.Text())
+		met.bytesRead.Add(len(line) + 1) // +1 for the newline
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
@@ -345,7 +370,24 @@ func (s *Server) handleConn(ctx context.Context, st *connState) {
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		err := s.handleLine(ctx, w, st, line)
+		if line == "HELLO" || strings.HasPrefix(line, "HELLO ") {
+			upgraded, err := s.handleHello(w, line)
+			st.busy.Store(false)
+			if err != nil {
+				return
+			}
+			if upgraded {
+				// The reader carries over: bytes the client pipelined
+				// behind the HELLO are already binary frames.
+				s.serveBinary(ctx, conn, w, rd, st)
+				return
+			}
+			if s.draining.Load() {
+				return
+			}
+			continue
+		}
+		err = s.handleLine(ctx, w, st, line)
 		st.busy.Store(false)
 		if err != nil {
 			return // transport error: drop the connection
@@ -354,6 +396,61 @@ func (s *Server) handleConn(ctx context.Context, st *connState) {
 			return // finish the drained request, then hang up
 		}
 	}
+}
+
+// maxLineBytes bounds one text request line (the old Scanner buffer limit).
+const maxLineBytes = 1 << 20
+
+// readLine reads one newline-terminated request line, enforcing the length
+// cap without unbounded buffering. A final unterminated line before EOF is
+// still returned (Scanner semantics).
+func readLine(rd *bufio.Reader) (string, error) {
+	var long []byte
+	for {
+		frag, err := rd.ReadSlice('\n')
+		if long == nil && err == nil {
+			return string(frag[:len(frag)-1]), nil // common case: one read
+		}
+		long = append(long, frag...)
+		if len(long) > maxLineBytes {
+			return "", errors.New("server: request line too long")
+		}
+		switch err {
+		case nil:
+			return string(long[:len(long)-1]), nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(long) > 0 {
+				return string(long), nil
+			}
+			return "", io.EOF
+		default:
+			return "", err
+		}
+	}
+}
+
+// handleHello answers a HELLO negotiation line: accepting (proto=v2 on a
+// v2-speaking server) writes the confirming pairs response and reports
+// upgraded; refusals write ERR and leave the connection on the text
+// protocol. The returned error is a transport error.
+func (s *Server) handleHello(w io.Writer, line string) (bool, error) {
+	req, err := protocol.ParseRequest(line)
+	if err != nil {
+		return false, s.writeErr(w, err)
+	}
+	if proto := req.Args["proto"]; proto != protocol.HelloV2Value {
+		return false, s.writeErr(w, fmt.Errorf("unsupported protocol %q", proto))
+	}
+	if s.Proto == "text" {
+		return false, s.writeErr(w, errors.New("binary protocol disabled on this server"))
+	}
+	if err := protocol.WritePairs(w, map[string]string{"proto": protocol.HelloV2Value}); err != nil {
+		return false, err
+	}
+	s.metrics().v2Upgrades.Inc()
+	return true, nil
 }
 
 // handleLine parses and dispatches one request line, writing exactly one
@@ -504,42 +601,12 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, st *connState, req p
 		return protocol.WriteResults(w, out)
 
 	case protocol.CmdStats:
-		st := s.Engine.Stat()
-		pairs := map[string]string{
-			"objects":          strconv.Itoa(st.Objects),
-			"deleted":          strconv.Itoa(st.Deleted),
-			"segments":         strconv.Itoa(st.Segments),
-			"sketch_bits":      strconv.Itoa(st.SketchBits),
-			"sketch_bytes":     strconv.Itoa(st.SketchBytes),
-			"indexed_segments": strconv.Itoa(st.IndexedSegments),
-			"hindex_tables":    strconv.Itoa(st.HIndexTables),
-			"hindex_load":      strconv.FormatFloat(st.HIndexLoad, 'f', 3, 64),
-		}
-		// Telemetry extension: headline pipeline counters and latency
-		// percentiles ride along with the structural statistics.
-		reg := s.Engine.Telemetry()
-		for flat, name := range map[string]string{
-			"queries_total":      "ferret_query_total",
-			"query_errors_total": "ferret_query_errors_total",
-			"ingests_total":      "ferret_ingest_total",
-			"deletes_total":      "ferret_delete_total",
-			"inflight_queries":   "ferret_inflight_queries",
-			"candidates_total":   "ferret_filter_candidates_total",
-			"query_p50_seconds":  "ferret_query_seconds_p50",
-			"query_p99_seconds":  "ferret_query_seconds_p99",
-		} {
-			pairs[flat] = formatMetric(reg.Value(name))
-		}
-		// The index's candidate-reduction ratio: rows verified per row an
-		// unindexed scan would have streamed, over all served probes.
-		if base := reg.Value("ferret_hindex_baseline_rows_total"); base > 0 {
-			pairs["hindex_candidate_ratio"] = formatMetric(reg.Value("ferret_hindex_candidates_total") / base)
-		}
-		return protocol.WritePairs(w, pairs)
+		return protocol.WritePairs(w, s.statsPairs())
 
 	case protocol.CmdTelemetry:
 		// Full telemetry dump: every registered series as flat name=value
 		// pairs, covering both the query pipeline and the serving layer.
+		met.refreshWireBuf()
 		pairs := map[string]string{}
 		regs := []*telemetry.Registry{met.reg}
 		if er := s.Engine.Telemetry(); er != met.reg {
@@ -578,6 +645,60 @@ func (s *Server) dispatch(ctx context.Context, w io.Writer, st *connState, req p
 	default:
 		return s.writeErr(w, fmt.Errorf("unknown command %q", req.Cmd))
 	}
+}
+
+// statsPairs assembles the STATS response: structural engine statistics,
+// headline pipeline counters, result-cache health and serving-protocol
+// health (shared by the text and binary dispatchers).
+func (s *Server) statsPairs() map[string]string {
+	met := s.metrics()
+	st := s.Engine.Stat()
+	pairs := map[string]string{
+		"objects":          strconv.Itoa(st.Objects),
+		"deleted":          strconv.Itoa(st.Deleted),
+		"segments":         strconv.Itoa(st.Segments),
+		"sketch_bits":      strconv.Itoa(st.SketchBits),
+		"sketch_bytes":     strconv.Itoa(st.SketchBytes),
+		"indexed_segments": strconv.Itoa(st.IndexedSegments),
+		"hindex_tables":    strconv.Itoa(st.HIndexTables),
+		"hindex_load":      strconv.FormatFloat(st.HIndexLoad, 'f', 3, 64),
+	}
+	// Telemetry extension: headline pipeline counters and latency
+	// percentiles ride along with the structural statistics — the result
+	// cache's hit/miss/invalidation health included.
+	reg := s.Engine.Telemetry()
+	for flat, name := range map[string]string{
+		"queries_total":                  "ferret_query_total",
+		"query_errors_total":             "ferret_query_errors_total",
+		"ingests_total":                  "ferret_ingest_total",
+		"deletes_total":                  "ferret_delete_total",
+		"inflight_queries":               "ferret_inflight_queries",
+		"candidates_total":               "ferret_filter_candidates_total",
+		"query_p50_seconds":              "ferret_query_seconds_p50",
+		"query_p99_seconds":              "ferret_query_seconds_p99",
+		"result_cache_hits_total":        "ferret_result_cache_hits_total",
+		"result_cache_misses_total":      "ferret_result_cache_misses_total",
+		"result_cache_invalidated_total": "ferret_result_cache_invalidated_total",
+		"result_cache_evictions_total":   "ferret_result_cache_evictions_total",
+		"result_cache_entries":           "ferret_result_cache_entries",
+		"result_cache_bytes":             "ferret_result_cache_bytes",
+	} {
+		pairs[flat] = formatMetric(reg.Value(name))
+	}
+	// The index's candidate-reduction ratio: rows verified per row an
+	// unindexed scan would have streamed, over all served probes.
+	if base := reg.Value("ferret_hindex_baseline_rows_total"); base > 0 {
+		pairs["hindex_candidate_ratio"] = formatMetric(reg.Value("ferret_hindex_candidates_total") / base)
+	}
+	// Serving-protocol health: binary-protocol adoption and wire-buffer
+	// pool effectiveness.
+	met.refreshWireBuf()
+	pairs["v2_connections"] = strconv.FormatInt(met.v2Conns.Value(), 10)
+	pairs["v2_upgrades_total"] = strconv.FormatUint(met.v2Upgrades.Value(), 10)
+	pairs["wire_buf_gets_total"] = strconv.FormatInt(wireBufGets.Load(), 10)
+	pairs["wire_buf_misses_total"] = strconv.FormatInt(wireBufMisses.Load(), 10)
+	pairs["wire_buf_puts_total"] = strconv.FormatInt(wireBufPuts.Load(), 10)
+	return pairs
 }
 
 // armTrace arms the connection's trace recording buffer when the request
@@ -626,28 +747,42 @@ func stageTimings(stages []trace.Stage) []protocol.StageTiming {
 // 10), slow=1 restricts the answer to the slow-query log, id=<hex> looks up
 // one retained trace (key trace0).
 func (s *Server) dispatchTrace(w io.Writer, req protocol.Request) error {
-	tracer := s.Engine.Tracer()
-	if tracer == nil {
-		return s.writeErr(w, errors.New("tracing disabled on this server"))
-	}
-	if v := req.Args["id"]; v != "" {
-		id, err := trace.ParseTraceID(v)
-		if err != nil {
-			return s.writeErr(w, err)
-		}
-		tr := tracer.Find(id)
-		if tr == nil {
-			return s.writeErr(w, fmt.Errorf("trace %s not retained", id))
-		}
-		return protocol.WritePairs(w, map[string]string{"trace0": tr.Compact()})
-	}
-	n := 10
+	n := 0
 	if v := req.Args["n"]; v != "" {
 		k, err := strconv.Atoi(v)
 		if err != nil || k <= 0 {
 			return s.writeErr(w, fmt.Errorf("bad n %q", v))
 		}
 		n = k
+	}
+	pairs, err := s.tracePairs(n, req.Args["slow"] != "", req.Args["id"])
+	if err != nil {
+		return s.writeErr(w, err)
+	}
+	return protocol.WritePairs(w, pairs)
+}
+
+// tracePairs assembles a TRACE answer (shared by the text and binary
+// dispatchers): one retained trace by ID, or the newest-first recent and
+// slow lists capped at n (default 10).
+func (s *Server) tracePairs(n int, slowOnly bool, id string) (map[string]string, error) {
+	tracer := s.Engine.Tracer()
+	if tracer == nil {
+		return nil, errors.New("tracing disabled on this server")
+	}
+	if id != "" {
+		tid, err := trace.ParseTraceID(id)
+		if err != nil {
+			return nil, err
+		}
+		tr := tracer.Find(tid)
+		if tr == nil {
+			return nil, fmt.Errorf("trace %s not retained", tid)
+		}
+		return map[string]string{"trace0": tr.Compact()}, nil
+	}
+	if n <= 0 {
+		n = 10
 	}
 	pairs := map[string]string{}
 	add := func(prefix string, traces []*trace.Trace) {
@@ -659,10 +794,10 @@ func (s *Server) dispatchTrace(w io.Writer, req protocol.Request) error {
 		}
 	}
 	add("slow", tracer.Slow())
-	if req.Args["slow"] == "" {
+	if !slowOnly {
 		add("recent", tracer.Recent())
 	}
-	return protocol.WritePairs(w, pairs)
+	return pairs, nil
 }
 
 // maxBatchKeys caps one BATCHQUERY request, keeping a single request line's
@@ -693,14 +828,26 @@ func (s *Server) dispatchBatch(ctx context.Context, w io.Writer, req protocol.Re
 		}
 		opt.ForceTrace = true
 	}
-	items := make([]protocol.BatchItem, n)
-	queries := make([]object.Object, 0, n)
-	slots := make([]int, 0, n) // queries[j] answers items[slots[j]]
+	keys := make([]string, n)
 	for i := 0; i < n; i++ {
 		key, ok := req.Args["key"+strconv.Itoa(i)]
 		if !ok {
 			return s.writeErr(w, fmt.Errorf("batch of %d is missing key%d", n, i))
 		}
+		keys[i] = key
+	}
+	return protocol.WriteBatch(w, s.runBatch(ctx, keys, opt))
+}
+
+// runBatch answers one batch of keys through the engine's batched search
+// (shared by the text and binary dispatchers). Per-key failures are
+// reported inside their group without failing the rest.
+func (s *Server) runBatch(ctx context.Context, keys []string, opt core.QueryOptions) []protocol.BatchItem {
+	n := len(keys)
+	items := make([]protocol.BatchItem, n)
+	queries := make([]object.Object, 0, n)
+	slots := make([]int, 0, n) // queries[j] answers items[slots[j]]
+	for i, key := range keys {
 		id, ok := s.Engine.Meta().LookupKey(key)
 		if !ok {
 			items[i].Err = fmt.Sprintf("unknown object key %q", key)
@@ -729,14 +876,14 @@ func (s *Server) dispatchBatch(ctx context.Context, w io.Writer, req protocol.Re
 		}
 		items[slot] = answerItem(answers[j])
 	}
-	return protocol.WriteBatch(w, items)
+	return items
 }
 
 // answerItem converts one engine answer into a batch response group.
 func answerItem(ans core.Answer) protocol.BatchItem {
 	it := protocol.BatchItem{
 		Results: make([]protocol.Result, len(ans.Results)),
-		Meta:    protocol.ResponseMeta{Degraded: ans.Degraded, Mode: ans.FilterMode},
+		Meta:    protocol.ResponseMeta{Degraded: ans.Degraded, Mode: ans.FilterMode, Cache: ans.Cache},
 	}
 	if ans.Trace != nil {
 		it.Meta.TraceID = ans.Trace.ID
@@ -845,24 +992,62 @@ func attrArgs(req protocol.Request) attr.Attrs {
 	return out
 }
 
-// writeAnswer writes one query answer. For a traced request the response
-// meta carries the trace ID and the aggregated stage breakdown, the response
-// write itself is recorded as a span (visible in the retained trace, not in
-// the inline breakdown — it can't time itself into the bytes it produces),
-// and the trace is finished, applying retention.
+// writeAnswer writes one query answer, encoding the text response straight
+// from the engine answer into a pooled wire buffer — no intermediate result
+// slice, no per-response bufio.Writer — and writing it in one call. For a
+// traced request the head-line flags carry the trace ID and the aggregated
+// stage breakdown, the response write itself is recorded as a span (visible
+// in the retained trace, not in the inline breakdown — it can't time itself
+// into the bytes it produces), and the trace is finished, applying
+// retention.
 func writeAnswer(w io.Writer, ans core.Answer, tr *trace.Active) error {
-	out := make([]protocol.Result, len(ans.Results))
-	for i, r := range ans.Results {
-		out[i] = protocol.Result{Key: r.Key, Distance: r.Distance}
+	est := 64
+	for i := range ans.Results {
+		est += len(ans.Results[i].Key) + 28
 	}
-	meta := protocol.ResponseMeta{Degraded: ans.Degraded, Mode: ans.FilterMode}
+	wb := getWireBuf(est)
+	b := append(wb.b, "OK "...)
+	b = strconv.AppendInt(b, int64(len(ans.Results)), 10)
+	if ans.Degraded {
+		b = append(b, " degraded"...)
+	}
+	if ans.FilterMode != "" {
+		b = append(b, " mode="...)
+		b = append(b, ans.FilterMode...)
+	}
 	if tr.Armed() {
-		meta.TraceID = tr.ID().String()
-		meta.Stages = stageTimings(tr.Stages())
+		b = append(b, " trace="...)
+		b = append(b, tr.ID().String()...)
+	}
+	if ans.Cache != "" {
+		b = append(b, " cache="...)
+		b = append(b, ans.Cache...)
+	}
+	if tr.Armed() {
+		if stages := tr.Stages(); len(stages) > 0 {
+			b = append(b, " stages="...)
+			for i, st := range stages {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				b = append(b, st.Name...)
+				b = append(b, ':')
+				b = strconv.AppendInt(b, int64(st.Dur), 10)
+			}
+		}
+	}
+	b = append(b, '\n')
+	for i := range ans.Results {
+		b = protocol.AppendMaybeQuote(b, ans.Results[i].Key)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, ans.Results[i].Distance, 'g', -1, 64)
+		b = append(b, '\n')
 	}
 	ws := time.Now()
-	err := protocol.WriteResultsMeta(w, out, meta)
+	_, err := w.Write(b)
 	tr.Record("write", ws, time.Since(ws))
 	tr.Finish()
+	wb.b = b
+	putWireBuf(wb)
 	return err
 }

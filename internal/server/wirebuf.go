@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pooled wire buffers (mbuf-style, per the zero-copy serving path): every
+// response — text or binary — is encoded by appending into a buffer drawn
+// from one of a few size-class pools and written to the socket in one call,
+// replacing the per-command bufio.Writer and intermediate result-slice
+// allocations. Buffers above the largest class are allocated directly and
+// never pooled, so a single huge response cannot pin its memory forever.
+//
+// The poolescape analyzer tracks values drawn from the pool array exactly
+// like plain sync.Pool values: a *wireBuf (or its byte slice) must stay
+// confined to the call tree between getWireBuf and putWireBuf.
+
+// wireClassSizes are the size classes. 512 B covers PING/COUNT/errors,
+// 4 KiB a typical k=10 QUERY response, 64 KiB large batches, 512 KiB
+// STATS/TELEMETRY dumps and worst-case batch responses.
+var wireClassSizes = [...]int{512, 4 << 10, 64 << 10, 512 << 10}
+
+const wireClasses = len(wireClassSizes)
+
+// wireBuf is one pooled encode buffer; class is its pool index (-1 for
+// oversize unpooled buffers).
+type wireBuf struct {
+	b     []byte
+	class int
+}
+
+var wireBufPools [wireClasses]sync.Pool
+
+// Wire-buffer pool telemetry, published by the serving layer's metrics:
+// gets, puts and misses (a get that found an empty pool and allocated).
+var (
+	wireBufGets   atomic.Int64
+	wireBufMisses atomic.Int64
+	wireBufPuts   atomic.Int64
+)
+
+// wireClass maps a size hint to the smallest class that fits (-1 when no
+// class does).
+func wireClass(n int) int {
+	for c, size := range wireClassSizes {
+		if n <= size {
+			return c
+		}
+	}
+	return -1
+}
+
+// getWireBuf returns a buffer with at least n bytes of capacity and zero
+// length. The caller must hand it back with putWireBuf.
+func getWireBuf(n int) *wireBuf {
+	wireBufGets.Add(1)
+	c := wireClass(n)
+	if c < 0 {
+		wireBufMisses.Add(1)
+		return &wireBuf{b: make([]byte, 0, n), class: -1}
+	}
+	wb, ok := wireBufPools[c].Get().(*wireBuf)
+	if !ok {
+		wireBufMisses.Add(1)
+		return &wireBuf{b: make([]byte, 0, wireClassSizes[c]), class: c}
+	}
+	if cap(wb.b) < n {
+		// A demoted buffer whose capacity sits below the hint inside the
+		// same class: regrow to the full class size once.
+		wireBufMisses.Add(1)
+		wb.b = make([]byte, 0, wireClassSizes[c])
+	}
+	wb.b = wb.b[:0]
+	return wb
+}
+
+// putWireBuf returns a buffer to its pool. Buffers that grew past their
+// class (appends beyond the size hint) are demoted to the class that now
+// fits, so pooled capacity converges on what responses actually need;
+// oversize buffers are dropped for the garbage collector.
+func putWireBuf(wb *wireBuf) {
+	wireBufPuts.Add(1)
+	c := wireClass(cap(wb.b))
+	if wb.class >= 0 && c == wb.class {
+		wireBufPools[c].Put(wb)
+		return
+	}
+	if c >= 0 {
+		wb.class = c
+		wireBufPools[c].Put(wb)
+	}
+}
